@@ -1,0 +1,606 @@
+//! The baseline host: process model and virtual-time accounting shared by
+//! the ramfs and UNFS3 comparison systems.
+//!
+//! Both baselines run the same coherent [`MemFs`](crate::memfs::MemFs); they
+//! differ in *where operations pay their costs*:
+//!
+//! * **ramfs** (Linux tmpfs stand-in): VFS syscall + dcache walk on the
+//!   caller's core; namespace mutations serialize on the directory's
+//!   virtual lock (the CC-SMP bottleneck of paper §2.1); data copies are
+//!   cheap coherent-cache copies. Descriptor offsets are shared across
+//!   fork through shared memory — trivially, which is the paper's point
+//!   about what cache coherence buys.
+//! * **unfs** (UNFS3 user-space NFS over loopback): every operation pays a
+//!   loopback RPC and serializes at the single NFS daemon
+//!   ([`vtime::ResourceClock`]); file data crosses the socket. Descriptors
+//!   are *not* shared across processes (NFS has no mechanism, paper §2.2):
+//!   children get independent offset copies.
+
+use crate::memfs::{self, MemFs, MemInode};
+use crate::pipes::PipeBuf;
+use fsapi::{
+    DirEntry, Errno, Fd, FileType, FsResult, MkdirOpts, Mode, OpenFlags, ProcHandle, ProcJoin,
+    ProcMain, Stat, System, Whence,
+};
+use parking_lot::Mutex;
+use std::sync::atomic::AtomicUsize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Weak};
+use vtime::{Clocks, CostModel, ResourceClock};
+
+/// Block size used for data-cost accounting (4 KiB pages).
+const BLOCK_SIZE: usize = 4096;
+
+/// Which baseline this host models.
+pub enum Flavor {
+    /// Linux ramfs/tmpfs on coherent shared memory.
+    Ramfs,
+    /// UNFS3: one user-space NFS daemon reached over loopback.
+    Unfs {
+        /// The single-threaded daemon's serialization point.
+        server: ResourceClock,
+    },
+}
+
+/// A baseline machine.
+pub struct HostSystem {
+    fs: MemFs,
+    /// Per-core busy counters.
+    clocks: Clocks,
+    /// Latest process timeline observed.
+    timeline: std::sync::atomic::AtomicU64,
+    cost: CostModel,
+    flavor: Flavor,
+    app_cores: Vec<usize>,
+    self_ref: Weak<HostSystem>,
+    proc_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Cycles for a Linux `fork` + `exec` (faster than Hare's scheduling-server
+/// path; the paper credits Linux's scheduler in §5.3.3).
+const LINUX_SPAWN_COST: u64 = 80_000;
+
+impl HostSystem {
+    /// Boots a baseline machine with `ncores` cores, all usable by
+    /// applications.
+    pub fn start(ncores: usize, flavor: Flavor) -> Arc<HostSystem> {
+        // The NFS daemon gets a dedicated core (the paper's Figure 8 setup
+        // runs the server on one core and the application on another).
+        let app_cores: Vec<usize> = if matches!(flavor, Flavor::Unfs { .. }) && ncores > 1 {
+            (1..ncores).collect()
+        } else {
+            (0..ncores).collect()
+        };
+        Arc::new_cyclic(|weak| HostSystem {
+            fs: MemFs::new(),
+            clocks: Clocks::new(ncores),
+            timeline: std::sync::atomic::AtomicU64::new(0),
+            cost: CostModel::default(),
+            flavor,
+            app_cores,
+            self_ref: weak.clone(),
+            proc_threads: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The Linux ramfs/tmpfs baseline.
+    pub fn ramfs(ncores: usize) -> Arc<HostSystem> {
+        Self::start(ncores, Flavor::Ramfs)
+    }
+
+    /// The UNFS3 baseline: the daemon occupies one core conceptually; the
+    /// paper's Figure 8 setup gives it a dedicated core and runs the
+    /// application on another.
+    pub fn unfs(ncores: usize) -> Arc<HostSystem> {
+        Self::start(
+            ncores,
+            Flavor::Unfs {
+                server: ResourceClock::new(),
+            },
+        )
+    }
+
+    /// Joins finished process threads (housekeeping).
+    pub fn shutdown(&self) {
+        let mut ts = self.proc_threads.lock();
+        for t in ts.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    // ----- Cost accounting --------------------------------------------------
+
+    /// Publishes a process timeline value.
+    fn note(&self, t: u64) {
+        self.timeline.fetch_max(t, Ordering::SeqCst);
+    }
+
+    /// Executes `cycles` of CPU work on `proc`: busy on its core, forward
+    /// on its timeline.
+    fn work(&self, p: &HostProc, cycles: u64) -> u64 {
+        self.clocks.advance(p.core, cycles);
+        let t = p.now.fetch_add(cycles, Ordering::SeqCst) + cycles;
+        self.note(t);
+        t
+    }
+
+    /// Waits (no CPU) until `t` on `proc`'s timeline.
+    fn wait(&self, p: &HostProc, t: u64) {
+        let now = p.now.fetch_max(t, Ordering::SeqCst).max(t);
+        self.note(now);
+    }
+
+    /// Charges a metadata operation: `walk` path components resolved, an
+    /// optional mutated directory (whose lock serializes), and `entries`
+    /// result items.
+    fn charge_meta(&self, p: &HostProc, walk: usize, mutated: Option<&MemInode>, entries: usize) {
+        match &self.flavor {
+            Flavor::Ramfs => {
+                let mut c = self.cost.ramfs_syscall + self.cost.ramfs_op;
+                c += 120 * walk as u64; // dcache hits
+                c += 30 * entries as u64;
+                let t = self.work(p, c);
+                if let Some(dir) = mutated {
+                    // The per-directory lock: concurrent mutators of one
+                    // directory serialize here (paper §2.1). The hold time
+                    // is executed work; the queueing delay is waiting.
+                    let hold = self.cost.ramfs_dirlock_hold + self.cost.ramfs_contention;
+                    let release = dir.dir_clock.serve(t, hold);
+                    self.clocks.advance(p.core, hold);
+                    self.wait(p, release);
+                }
+            }
+            Flavor::Unfs { server } => {
+                // Client-side loopback send (kernel network stack is CPU
+                // work), then the single daemon serializes the operation.
+                let t = self.work(p, self.cost.ramfs_syscall + self.cost.unfs_rpc / 2);
+                let service = self.cost.unfs_op + 150 * walk as u64 + 40 * entries as u64;
+                let release = server.serve(t, service);
+                if self.app_cores.first() != Some(&0) {
+                    self.clocks.advance(0, service); // daemon core
+                }
+                self.wait(p, release);
+                self.work(p, self.cost.unfs_rpc / 2);
+            }
+        }
+    }
+
+    /// Charges a data operation of `bytes` bytes.
+    fn charge_io(&self, p: &HostProc, ino: &MemInode, bytes: usize, write: bool) {
+        let blocks = bytes.div_ceil(BLOCK_SIZE).max(1) as u64;
+        match &self.flavor {
+            Flavor::Ramfs => {
+                let c = self.cost.ramfs_syscall + blocks * self.cost.ramfs_data_blk;
+                let t = self.work(p, c);
+                if write {
+                    // Exclusive inode lock for writes (Linux i_rwsem).
+                    let hold = blocks * 80;
+                    let release = ino.file_clock.serve(t, hold);
+                    self.clocks.advance(p.core, hold);
+                    self.wait(p, release);
+                }
+            }
+            Flavor::Unfs { server } => {
+                let t = self.work(p, self.cost.ramfs_syscall + self.cost.unfs_rpc / 2);
+                let service = self.cost.unfs_op + blocks * self.cost.unfs_data_blk;
+                let release = server.serve(t, service);
+                if self.app_cores.first() != Some(&0) {
+                    self.clocks.advance(0, service); // daemon core
+                }
+                self.wait(p, release);
+                self.work(p, self.cost.unfs_rpc / 2);
+            }
+        }
+    }
+
+    /// True when descriptors stay shared across spawn (coherent shared
+    /// memory). NFS clients have no mechanism for this (paper §2.2).
+    fn shares_fds(&self) -> bool {
+        matches!(self.flavor, Flavor::Ramfs)
+    }
+}
+
+impl System for HostSystem {
+    type Proc = HostProc;
+
+    fn start_proc(&self) -> HostProc {
+        let sys = self.self_ref.upgrade().expect("system alive");
+        HostProc {
+            core: self.app_cores[0],
+            sys,
+            now: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            fds: Mutex::new(HashMap::new()),
+            next_fd: AtomicU32::new(0),
+            rr: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    fn elapsed_cycles(&self) -> u64 {
+        let mut t = self
+            .clocks
+            .max_time()
+            .max(self.timeline.load(Ordering::SeqCst));
+        if let Flavor::Unfs { server } = &self.flavor {
+            t = t.max(server.now());
+        }
+        t
+    }
+
+    fn ncores(&self) -> usize {
+        self.app_cores.len()
+    }
+
+    fn sync_cores(&self) {
+        let t = self.elapsed_cycles();
+        for core in 0..self.clocks.ncores() {
+            self.clocks.observe(core, t);
+        }
+        self.timeline.fetch_max(t, Ordering::SeqCst);
+    }
+}
+
+/// One file descriptor of a baseline process.
+#[derive(Clone)]
+enum HostFd {
+    File {
+        ino: Arc<MemInode>,
+        flags: OpenFlags,
+        /// Shared across fork on ramfs; copied on unfs.
+        offset: Arc<Mutex<u64>>,
+    },
+    Pipe {
+        pipe: Arc<PipeBuf>,
+        writer: bool,
+    },
+}
+
+/// One baseline process (a thread bound to a virtual core).
+pub struct HostProc {
+    core: usize,
+    sys: Arc<HostSystem>,
+    /// This process's logical timeline (shared with its join handles).
+    now: Arc<std::sync::atomic::AtomicU64>,
+    fds: Mutex<HashMap<u32, HostFd>>,
+    next_fd: AtomicU32,
+    /// Round-robin spawn cursor (Linux load balancing stand-in).
+    rr: Arc<AtomicUsize>,
+}
+
+impl HostProc {
+    fn insert_fd(&self, fd: HostFd) -> Fd {
+        let n = self.next_fd.fetch_add(1, Ordering::SeqCst);
+        self.fds.lock().insert(n, fd);
+        Fd(n)
+    }
+
+    fn get_fd(&self, fd: Fd) -> FsResult<HostFd> {
+        self.fds.lock().get(&fd.0).cloned().ok_or(Errno::EBADF)
+    }
+}
+
+impl fsapi::ProcFs for HostProc {
+    fn open(&self, path: &str, flags: OpenFlags, mode: Mode) -> FsResult<Fd> {
+        let mut walk = 0usize;
+        let (dir, name) = self.sys.fs.resolve_parent(path)?;
+        let ino = match self.sys.fs.lookup_in(&dir, name) {
+            Ok(i) => {
+                if flags.contains(OpenFlags::CREAT) && flags.contains(OpenFlags::EXCL) {
+                    self.sys.charge_meta(self, 1, None, 0);
+                    return Err(Errno::EEXIST);
+                }
+                if i.ftype == FileType::Directory {
+                    return Err(Errno::EISDIR);
+                }
+                self.sys.charge_meta(self, 1 + walk, None, 0);
+                i
+            }
+            Err(Errno::ENOENT) if flags.contains(OpenFlags::CREAT) => {
+                walk += 1;
+                let i = self
+                    .sys
+                    .fs
+                    .create_in(&dir, name, FileType::Regular, mode.0)?;
+                self.sys.charge_meta(self, walk, Some(&dir), 0);
+                i
+            }
+            Err(e) => {
+                self.sys.charge_meta(self, walk, None, 0);
+                return Err(e);
+            }
+        };
+        if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+            memfs::truncate(&ino, 0);
+        }
+        Ok(self.insert_fd(HostFd::File {
+            ino,
+            flags,
+            offset: Arc::new(Mutex::new(0)),
+        }))
+    }
+
+    fn close(&self, fd: Fd) -> FsResult<()> {
+        let entry = self.fds.lock().remove(&fd.0).ok_or(Errno::EBADF)?;
+        if let HostFd::Pipe { pipe, writer } = &entry {
+            pipe.drop_ref(*writer);
+        }
+        self.sys.work(self, self.sys.cost.ramfs_syscall);
+        Ok(())
+    }
+
+    fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {
+        match self.get_fd(fd)? {
+            HostFd::File { ino, flags, offset } => {
+                if !flags.readable() {
+                    return Err(Errno::EBADF);
+                }
+                let mut off = offset.lock();
+                let n = memfs::read_at(&ino, *off, buf);
+                *off += n as u64;
+                drop(off);
+                self.sys.charge_io(self, &ino, n, false);
+                Ok(n)
+            }
+            HostFd::Pipe { pipe, writer } => {
+                if writer {
+                    return Err(Errno::EBADF);
+                }
+                let n = pipe.read(buf);
+                self.sys
+                    .work(self, self.sys.cost.ramfs_syscall + n as u64 / 16);
+                Ok(n)
+            }
+        }
+    }
+
+    fn write(&self, fd: Fd, buf: &[u8]) -> FsResult<usize> {
+        match self.get_fd(fd)? {
+            HostFd::File { ino, flags, offset } => {
+                if !flags.writable() {
+                    return Err(Errno::EBADF);
+                }
+                let mut off = offset.lock();
+                let start = if flags.contains(OpenFlags::APPEND) {
+                    ino.size()
+                } else {
+                    *off
+                };
+                let n = memfs::write_at(&ino, start, buf);
+                *off = start + n as u64;
+                drop(off);
+                self.sys.charge_io(self, &ino, n, true);
+                Ok(n)
+            }
+            HostFd::Pipe { pipe, writer } => {
+                if !writer {
+                    return Err(Errno::EBADF);
+                }
+                let n = pipe.write(buf)?;
+                self.sys
+                    .work(self, self.sys.cost.ramfs_syscall + n as u64 / 16);
+                Ok(n)
+            }
+        }
+    }
+
+    fn lseek(&self, fd: Fd, off: i64, whence: Whence) -> FsResult<u64> {
+        match self.get_fd(fd)? {
+            HostFd::File { ino, offset, .. } => {
+                let mut cur = offset.lock();
+                let new = fsapi::flags::apply_seek(*cur, ino.size(), off, whence)
+                    .map_err(|_| Errno::EINVAL)?;
+                *cur = new;
+                self.sys.work(self, self.sys.cost.ramfs_syscall);
+                Ok(new)
+            }
+            HostFd::Pipe { .. } => Err(Errno::ESPIPE),
+        }
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        match self.get_fd(fd)? {
+            HostFd::File { .. } => {
+                self.sys.work(self, self.sys.cost.ramfs_syscall);
+                Ok(())
+            }
+            HostFd::Pipe { .. } => Err(Errno::EINVAL),
+        }
+    }
+
+    fn ftruncate(&self, fd: Fd, len: u64) -> FsResult<()> {
+        match self.get_fd(fd)? {
+            HostFd::File { ino, flags, .. } => {
+                if !flags.writable() {
+                    return Err(Errno::EINVAL);
+                }
+                memfs::truncate(&ino, len);
+                self.sys.charge_io(self, &ino, 0, true);
+                Ok(())
+            }
+            HostFd::Pipe { .. } => Err(Errno::EINVAL),
+        }
+    }
+
+    fn dup(&self, fd: Fd) -> FsResult<Fd> {
+        let entry = self.get_fd(fd)?;
+        if let HostFd::Pipe { pipe, writer } = &entry {
+            pipe.add_ref(*writer);
+        }
+        self.sys.work(self, self.sys.cost.ramfs_syscall);
+        Ok(self.insert_fd(entry))
+    }
+
+    fn pipe(&self) -> FsResult<(Fd, Fd)> {
+        let p = PipeBuf::new();
+        self.sys.work(self, self.sys.cost.ramfs_syscall * 2);
+        let r = self.insert_fd(HostFd::Pipe {
+            pipe: Arc::clone(&p),
+            writer: false,
+        });
+        let w = self.insert_fd(HostFd::Pipe {
+            pipe: p,
+            writer: true,
+        });
+        Ok((r, w))
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        let (dir, name) = self.sys.fs.resolve_parent(path)?;
+        let r = self.sys.fs.unlink_in(&dir, name).map(|_| ());
+        self.sys.charge_meta(self, 1, Some(&dir), 0);
+        r
+    }
+
+    fn mkdir_opts(&self, path: &str, mode: Mode, _opts: MkdirOpts) -> FsResult<()> {
+        let (dir, name) = self.sys.fs.resolve_parent(path)?;
+        let r = self
+            .sys
+            .fs
+            .create_in(&dir, name, FileType::Directory, mode.0)
+            .map(|_| ());
+        self.sys.charge_meta(self, 1, Some(&dir), 0);
+        r
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        let (dir, name) = self.sys.fs.resolve_parent(path)?;
+        let r = self.sys.fs.rmdir_in(&dir, name);
+        self.sys.charge_meta(self, 1, Some(&dir), 0);
+        r
+    }
+
+    fn rename(&self, old: &str, new: &str) -> FsResult<()> {
+        if fsapi::path::normalize(old)? == fsapi::path::normalize(new)? {
+            return Ok(());
+        }
+        let (od, on) = self.sys.fs.resolve_parent(old)?;
+        let (nd, nn) = self.sys.fs.resolve_parent(new)?;
+        let r = self.sys.fs.rename(&od, on, &nd, nn);
+        self.sys.charge_meta(self, 2, Some(&od), 0);
+        if !Arc::ptr_eq(&od, &nd) {
+            self.sys.charge_meta(self, 0, Some(&nd), 0);
+        }
+        r
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let mut walk = 0usize;
+        let dir = self.sys.fs.resolve(path, Some(&mut walk))?;
+        let entries = self.sys.fs.readdir(&dir)?;
+        self.sys.charge_meta(self, walk, None, entries.len());
+        Ok(entries)
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Stat> {
+        let mut walk = 0usize;
+        let ino = self.sys.fs.resolve(path, Some(&mut walk))?;
+        self.sys.charge_meta(self, walk, None, 0);
+        Ok(ino.stat())
+    }
+
+    fn fstat(&self, fd: Fd) -> FsResult<Stat> {
+        match self.get_fd(fd)? {
+            HostFd::File { ino, .. } => {
+                self.sys.work(self, self.sys.cost.ramfs_syscall);
+                Ok(ino.stat())
+            }
+            HostFd::Pipe { .. } => Ok(Stat {
+                ino: 0,
+                server: 0,
+                ftype: FileType::Pipe,
+                size: 0,
+                nlink: 1,
+                mode: 0o600,
+                blocks: 0,
+            }),
+        }
+    }
+}
+
+impl ProcHandle for HostProc {
+    fn spawn(&self, main: ProcMain<Self>) -> FsResult<ProcJoin> {
+        let sys = Arc::clone(&self.sys);
+        let slot = self.rr.fetch_add(1, Ordering::SeqCst);
+        let target = sys.app_cores[slot % sys.app_cores.len()];
+        // fork + exec on Linux.
+        let t_parent = sys.work(self, LINUX_SPAWN_COST);
+
+        // Child descriptor table: shared offsets on coherent Linux, copied
+        // offsets on NFS.
+        let share = sys.shares_fds();
+        let child_fds: HashMap<u32, HostFd> = self
+            .fds
+            .lock()
+            .iter()
+            .map(|(n, f)| {
+                let f2 = match f {
+                    HostFd::File { ino, flags, offset } => HostFd::File {
+                        ino: Arc::clone(ino),
+                        flags: *flags,
+                        offset: if share {
+                            Arc::clone(offset)
+                        } else {
+                            Arc::new(Mutex::new(*offset.lock()))
+                        },
+                    },
+                    HostFd::Pipe { pipe, writer } => {
+                        pipe.add_ref(*writer);
+                        HostFd::Pipe {
+                            pipe: Arc::clone(pipe),
+                            writer: *writer,
+                        }
+                    }
+                };
+                (*n, f2)
+            })
+            .collect();
+        let next_fd = self.next_fd.load(Ordering::SeqCst);
+        let child_rr = Arc::clone(&self.rr);
+
+        let (exit_tx, exit_rx) = msg::channel::<i32>(msg::MsgStats::shared());
+        let sys2 = Arc::clone(&sys);
+        let handle = std::thread::Builder::new()
+            .name(format!("host-proc-c{target}"))
+            .spawn(move || {
+                let child = HostProc {
+                    core: target,
+                    sys: Arc::clone(&sys2),
+                    now: Arc::new(std::sync::atomic::AtomicU64::new(t_parent)),
+                    fds: Mutex::new(child_fds),
+                    next_fd: AtomicU32::new(next_fd),
+                    rr: child_rr,
+                };
+                let status = main(&child);
+                // Close inherited descriptors (drop pipe refs).
+                let fds: Vec<u32> = child.fds.lock().keys().copied().collect();
+                for n in fds {
+                    let _ = fsapi::ProcFs::close(&child, Fd(n));
+                }
+                let t = child.now.load(Ordering::SeqCst);
+                let _ = exit_tx.send(status, t, target);
+            })
+            .map_err(|_| Errno::EAGAIN)?;
+        sys.proc_threads.lock().push(handle);
+
+        let sys3 = Arc::clone(&sys);
+        let parent_now = Arc::clone(&self.now);
+        Ok(ProcJoin::new(move || match exit_rx.recv() {
+            Ok(env) => {
+                // waitpid: the parent's timeline advances to the child's
+                // exit time.
+                parent_now.fetch_max(env.deliver_at, Ordering::SeqCst);
+                sys3.note(env.deliver_at);
+                env.payload
+            }
+            Err(_) => -1,
+        }))
+    }
+
+    fn core(&self) -> usize {
+        self.core
+    }
+
+    fn compute(&self, cycles: u64) {
+        self.sys.work(self, cycles);
+    }
+}

@@ -1,0 +1,25 @@
+//! # hare-baseline — the paper's comparison systems
+//!
+//! The Hare evaluation (paper §5.3.3, Figures 8 and 15) compares against
+//! two systems, both reproduced here on the common [`fsapi`] interface so
+//! the same workload binaries run on all three:
+//!
+//! * **Linux ramfs/tmpfs** ([`HostSystem::ramfs`]): a coherent
+//!   shared-memory in-memory file system. It is both the fast single-core
+//!   baseline of Figure 8 (Hare reaches a median 0.39× of its throughput)
+//!   and the CC-SMP scalability comparator of Figure 15, complete with the
+//!   per-directory lock serialization that limits its scaling on
+//!   create-heavy workloads.
+//! * **UNFS3** ([`HostSystem::unfs`]): a user-space NFS server reached
+//!   over loopback — "a naïve alternative to Hare, to check whether Hare's
+//!   sophisticated design is necessary". Every operation pays a loopback
+//!   RPC and serializes at the single daemon; descriptors cannot be shared
+//!   across processes (paper §2.2).
+
+pub mod host;
+pub mod memfs;
+pub mod pipes;
+
+pub use host::{Flavor, HostProc, HostSystem};
+pub use memfs::MemFs;
+pub use pipes::PipeBuf;

@@ -1,0 +1,388 @@
+//! A coherent shared-memory in-memory file system.
+//!
+//! This is the functional core both baselines wrap:
+//!
+//! * **ramfs** (the paper's Linux ramfs/tmpfs comparator) uses it directly —
+//!   on a cache-coherent machine shared data structures under locks are
+//!   exactly how Linux implements tmpfs, including the per-directory lock
+//!   that serializes namespace operations (paper §2.1 cites directory locks
+//!   as the classic CC-SMP scalability bottleneck).
+//! * **unfs** (the UNFS3 comparator) uses it as the server-side state of a
+//!   single user-space NFS daemon.
+//!
+//! The structures are deliberately simple: an inode table of
+//! `Arc<MemInode>`, `BTreeMap` directories, `Vec<u8>` file data. Orphan
+//! semantics (unlinked-but-open files) fall out of `Arc` reachability:
+//! open descriptors hold the inode alive after the namespace drops it.
+//!
+//! Virtual-time cost accounting lives in the wrapping baselines; this core
+//! exposes the serialization points ([`vtime::ResourceClock`] per directory
+//! and per file) they charge against.
+
+use fsapi::{DirEntry, Errno, FileType, FsResult, Stat};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use vtime::ResourceClock;
+
+/// One in-memory inode.
+pub struct MemInode {
+    /// Inode number.
+    pub ino: u64,
+    /// Object type.
+    pub ftype: FileType,
+    /// Permission bits.
+    pub mode: u16,
+    /// Hard link count.
+    pub nlink: AtomicU32,
+    /// File contents (empty for directories).
+    pub data: RwLock<Vec<u8>>,
+    /// Directory entries (empty for files).
+    pub children: Mutex<BTreeMap<String, Arc<MemInode>>>,
+    /// Virtual serialization point: the directory's lock (Linux `i_mutex`).
+    pub dir_clock: ResourceClock,
+    /// Virtual serialization point: exclusive writes to the file.
+    pub file_clock: ResourceClock,
+}
+
+impl MemInode {
+    fn new(ino: u64, ftype: FileType, mode: u16) -> Arc<MemInode> {
+        Arc::new(MemInode {
+            ino,
+            ftype,
+            mode,
+            nlink: AtomicU32::new(1),
+            data: RwLock::new(Vec::new()),
+            children: Mutex::new(BTreeMap::new()),
+            dir_clock: ResourceClock::new(),
+            file_clock: ResourceClock::new(),
+        })
+    }
+
+    /// Current file size.
+    pub fn size(&self) -> u64 {
+        self.data.read().len() as u64
+    }
+
+    /// Builds a `stat` view.
+    pub fn stat(&self) -> Stat {
+        Stat {
+            ino: self.ino,
+            server: 0,
+            ftype: self.ftype,
+            size: self.size(),
+            nlink: self.nlink.load(Ordering::SeqCst),
+            mode: self.mode,
+            blocks: self.size().div_ceil(4096),
+        }
+    }
+}
+
+/// The coherent in-memory file system.
+pub struct MemFs {
+    root: Arc<MemInode>,
+    next_ino: AtomicU64,
+}
+
+impl Default for MemFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemFs {
+    /// An empty file system with a root directory.
+    pub fn new() -> Self {
+        MemFs {
+            root: MemInode::new(1, FileType::Directory, 0o755),
+            next_ino: AtomicU64::new(2),
+        }
+    }
+
+    /// The root inode.
+    pub fn root(&self) -> Arc<MemInode> {
+        Arc::clone(&self.root)
+    }
+
+    fn alloc_ino(&self) -> u64 {
+        self.next_ino.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Resolves a path to an inode. `steps_out`, when provided, receives
+    /// the number of components walked (for cost accounting).
+    pub fn resolve(&self, path: &str, steps_out: Option<&mut usize>) -> FsResult<Arc<MemInode>> {
+        let comps = fsapi::path::components(path)?;
+        if let Some(s) = steps_out {
+            *s = comps.len();
+        }
+        let mut cur = self.root();
+        for c in comps {
+            if cur.ftype != FileType::Directory {
+                return Err(Errno::ENOTDIR);
+            }
+            let next = cur.children.lock().get(c).cloned().ok_or(Errno::ENOENT)?;
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    /// Resolves the parent directory of `path`, returning `(dir, name)`.
+    pub fn resolve_parent<'p>(&self, path: &'p str) -> FsResult<(Arc<MemInode>, &'p str)> {
+        let (parents, name) = fsapi::path::split_parent(path)?;
+        let mut cur = self.root();
+        for c in parents {
+            if cur.ftype != FileType::Directory {
+                return Err(Errno::ENOTDIR);
+            }
+            let next = cur.children.lock().get(c).cloned().ok_or(Errno::ENOENT)?;
+            cur = next;
+        }
+        if cur.ftype != FileType::Directory {
+            return Err(Errno::ENOTDIR);
+        }
+        Ok((cur, name))
+    }
+
+    /// Creates a file or directory under `dir`. Fails with `EEXIST` when
+    /// the name is taken.
+    pub fn create_in(
+        &self,
+        dir: &Arc<MemInode>,
+        name: &str,
+        ftype: FileType,
+        mode: u16,
+    ) -> FsResult<Arc<MemInode>> {
+        fsapi::path::validate_name(name)?;
+        let mut ch = dir.children.lock();
+        if ch.contains_key(name) {
+            return Err(Errno::EEXIST);
+        }
+        let ino = MemInode::new(self.alloc_ino(), ftype, mode);
+        ch.insert(name.to_string(), Arc::clone(&ino));
+        Ok(ino)
+    }
+
+    /// Looks up `name` in `dir`.
+    pub fn lookup_in(&self, dir: &Arc<MemInode>, name: &str) -> FsResult<Arc<MemInode>> {
+        dir.children.lock().get(name).cloned().ok_or(Errno::ENOENT)
+    }
+
+    /// Unlinks a non-directory entry; the inode stays alive while open
+    /// descriptors reference it (Arc reachability = orphan semantics).
+    pub fn unlink_in(&self, dir: &Arc<MemInode>, name: &str) -> FsResult<Arc<MemInode>> {
+        let mut ch = dir.children.lock();
+        match ch.get(name) {
+            None => Err(Errno::ENOENT),
+            Some(i) if i.ftype == FileType::Directory => Err(Errno::EISDIR),
+            Some(_) => {
+                let ino = ch.remove(name).expect("checked present");
+                ino.nlink.fetch_sub(1, Ordering::SeqCst);
+                Ok(ino)
+            }
+        }
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir_in(&self, dir: &Arc<MemInode>, name: &str) -> FsResult<()> {
+        let mut ch = dir.children.lock();
+        match ch.get(name) {
+            None => Err(Errno::ENOENT),
+            Some(i) if i.ftype != FileType::Directory => Err(Errno::ENOTDIR),
+            Some(i) => {
+                if !i.children.lock().is_empty() {
+                    return Err(Errno::ENOTEMPTY);
+                }
+                let ino = ch.remove(name).expect("checked present");
+                ino.nlink.fetch_sub(1, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+    }
+
+    /// Renames `old_dir/old_name` to `new_dir/new_name`, replacing a
+    /// non-directory target. Directory locks are taken in inode order to
+    /// avoid ABBA deadlock, as Linux does.
+    pub fn rename(
+        &self,
+        old_dir: &Arc<MemInode>,
+        old_name: &str,
+        new_dir: &Arc<MemInode>,
+        new_name: &str,
+    ) -> FsResult<()> {
+        fsapi::path::validate_name(new_name)?;
+        if Arc::ptr_eq(old_dir, new_dir) {
+            let mut ch = old_dir.children.lock();
+            let moving = ch.get(old_name).cloned().ok_or(Errno::ENOENT)?;
+            if let Some(existing) = ch.get(new_name) {
+                if existing.ftype == FileType::Directory {
+                    return Err(Errno::EISDIR);
+                }
+                existing.nlink.fetch_sub(1, Ordering::SeqCst);
+            }
+            ch.remove(old_name);
+            ch.insert(new_name.to_string(), moving);
+            return Ok(());
+        }
+        let (first, second) = if old_dir.ino < new_dir.ino {
+            (old_dir, new_dir)
+        } else {
+            (new_dir, old_dir)
+        };
+        let mut g1 = first.children.lock();
+        let mut g2 = second.children.lock();
+        let (old_ch, new_ch) = if old_dir.ino < new_dir.ino {
+            (&mut *g1, &mut *g2)
+        } else {
+            (&mut *g2, &mut *g1)
+        };
+        let moving = old_ch.get(old_name).cloned().ok_or(Errno::ENOENT)?;
+        if let Some(existing) = new_ch.get(new_name) {
+            if existing.ftype == FileType::Directory {
+                return Err(Errno::EISDIR);
+            }
+            existing.nlink.fetch_sub(1, Ordering::SeqCst);
+        }
+        old_ch.remove(old_name);
+        new_ch.insert(new_name.to_string(), moving);
+        Ok(())
+    }
+
+    /// Lists a directory; returns entries plus the count (for accounting).
+    pub fn readdir(&self, dir: &Arc<MemInode>) -> FsResult<Vec<DirEntry>> {
+        if dir.ftype != FileType::Directory {
+            return Err(Errno::ENOTDIR);
+        }
+        Ok(dir
+            .children
+            .lock()
+            .iter()
+            .map(|(name, i)| DirEntry {
+                name: name.clone(),
+                ino: i.ino,
+                server: 0,
+                ftype: i.ftype,
+            })
+            .collect())
+    }
+}
+
+/// Positional read; returns bytes read.
+pub fn read_at(ino: &MemInode, offset: u64, buf: &mut [u8]) -> usize {
+    let data = ino.data.read();
+    if offset as usize >= data.len() {
+        return 0;
+    }
+    let n = buf.len().min(data.len() - offset as usize);
+    buf[..n].copy_from_slice(&data[offset as usize..offset as usize + n]);
+    n
+}
+
+/// Positional write; extends the file (zero-filling gaps); returns bytes
+/// written.
+pub fn write_at(ino: &MemInode, offset: u64, src: &[u8]) -> usize {
+    let mut data = ino.data.write();
+    let end = offset as usize + src.len();
+    if data.len() < end {
+        data.resize(end, 0);
+    }
+    data[offset as usize..end].copy_from_slice(src);
+    src.len()
+}
+
+/// Truncates or zero-extends the file.
+pub fn truncate(ino: &MemInode, len: u64) {
+    ino.data.write().resize(len as usize, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_resolve_io() {
+        let fs = MemFs::new();
+        let (root, name) = fs.resolve_parent("/f").unwrap();
+        let f = fs.create_in(&root, name, FileType::Regular, 0o644).unwrap();
+        write_at(&f, 0, b"hello");
+        let got = fs.resolve("/f", None).unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(read_at(&got, 0, &mut buf), 5);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn orphan_data_survives_unlink() {
+        let fs = MemFs::new();
+        let root = fs.root();
+        let f = fs.create_in(&root, "x", FileType::Regular, 0o644).unwrap();
+        write_at(&f, 0, b"keep");
+        let held = Arc::clone(&f); // an "open descriptor"
+        fs.unlink_in(&root, "x").unwrap();
+        assert!(fs.resolve("/x", None).is_err());
+        let mut buf = [0u8; 4];
+        assert_eq!(read_at(&held, 0, &mut buf), 4);
+        assert_eq!(&buf, b"keep");
+    }
+
+    #[test]
+    fn rename_replaces_files_not_dirs() {
+        let fs = MemFs::new();
+        let root = fs.root();
+        fs.create_in(&root, "a", FileType::Regular, 0o644).unwrap();
+        fs.create_in(&root, "b", FileType::Regular, 0o644).unwrap();
+        fs.rename(&root, "a", &root, "b").unwrap();
+        assert!(fs.resolve("/a", None).is_err());
+        assert!(fs.resolve("/b", None).is_ok());
+        fs.create_in(&root, "d", FileType::Directory, 0o755).unwrap();
+        assert!(matches!(fs.rename(&root, "b", &root, "d"), Err(Errno::EISDIR)));
+    }
+
+    #[test]
+    fn rename_across_directories() {
+        let fs = MemFs::new();
+        let root = fs.root();
+        let d1 = fs.create_in(&root, "d1", FileType::Directory, 0o755).unwrap();
+        let d2 = fs.create_in(&root, "d2", FileType::Directory, 0o755).unwrap();
+        let f = fs.create_in(&d1, "f", FileType::Regular, 0o644).unwrap();
+        write_at(&f, 0, b"m");
+        fs.rename(&d1, "f", &d2, "f2").unwrap();
+        assert!(fs.resolve("/d1/f", None).is_err());
+        assert_eq!(fs.resolve("/d2/f2", None).unwrap().size(), 1);
+        // And the reverse direction (lock ordering branch).
+        fs.rename(&d2, "f2", &d1, "f").unwrap();
+        assert!(fs.resolve("/d1/f", None).is_ok());
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let fs = MemFs::new();
+        let root = fs.root();
+        let d = fs.create_in(&root, "d", FileType::Directory, 0o755).unwrap();
+        fs.create_in(&d, "f", FileType::Regular, 0o644).unwrap();
+        assert!(matches!(fs.rmdir_in(&root, "d"), Err(Errno::ENOTEMPTY)));
+        fs.unlink_in(&d, "f").unwrap();
+        fs.rmdir_in(&root, "d").unwrap();
+        assert!(fs.resolve("/d", None).is_err());
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let fs = MemFs::new();
+        let root = fs.root();
+        let f = fs.create_in(&root, "s", FileType::Regular, 0o644).unwrap();
+        write_at(&f, 100, b"x");
+        assert_eq!(f.size(), 101);
+        let mut buf = [9u8; 100];
+        read_at(&f, 0, &mut buf);
+        assert_eq!(buf, [0u8; 100]);
+    }
+
+    #[test]
+    fn unlink_dir_rejected() {
+        let fs = MemFs::new();
+        let root = fs.root();
+        fs.create_in(&root, "d", FileType::Directory, 0o755).unwrap();
+        assert!(matches!(fs.unlink_in(&root, "d"), Err(Errno::EISDIR)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Coherent local pipes for the baseline systems.
+//!
+//! On the Linux baselines pipes are ordinary kernel pipes in coherent
+//! shared memory (blocking via condition variables). Note that on the NFS
+//! baseline pipes are *local to the client host* — which is exactly why
+//! NFS cannot run make's jobserver across machines (paper §1/§2.2); our
+//! UNFS3 configuration is single-host, matching the paper's Figure 8 setup.
+
+use fsapi::Errno;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Default pipe capacity (Linux: 64 KiB).
+pub const PIPE_CAPACITY: usize = 64 * 1024;
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    readers: u32,
+    writers: u32,
+}
+
+/// A blocking byte pipe.
+pub struct PipeBuf {
+    state: Mutex<PipeState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl PipeBuf {
+    /// A fresh pipe with one reader and one writer reference.
+    pub fn new() -> Arc<PipeBuf> {
+        Arc::new(PipeBuf {
+            state: Mutex::new(PipeState {
+                buf: VecDeque::new(),
+                readers: 1,
+                writers: 1,
+            }),
+            cv: Condvar::new(),
+            capacity: PIPE_CAPACITY,
+        })
+    }
+
+    /// Blocking read; returns 0 at EOF (all writers closed, buffer empty).
+    pub fn read(&self, buf: &mut [u8]) -> usize {
+        let mut st = self.state.lock();
+        loop {
+            if !st.buf.is_empty() {
+                let n = buf.len().min(st.buf.len());
+                for (i, b) in st.buf.drain(..n).enumerate() {
+                    buf[i] = b;
+                }
+                self.cv.notify_all();
+                return n;
+            }
+            if st.writers == 0 || buf.is_empty() {
+                return 0;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Blocking write; partial writes allowed; `EPIPE` with no readers.
+    pub fn write(&self, data: &[u8]) -> Result<usize, Errno> {
+        let mut st = self.state.lock();
+        loop {
+            if st.readers == 0 {
+                return Err(Errno::EPIPE);
+            }
+            if data.is_empty() {
+                return Ok(0);
+            }
+            let space = self.capacity - st.buf.len();
+            if space > 0 {
+                let n = data.len().min(space);
+                st.buf.extend(&data[..n]);
+                self.cv.notify_all();
+                return Ok(n);
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Adds a reference to one end.
+    pub fn add_ref(&self, writer: bool) {
+        let mut st = self.state.lock();
+        if writer {
+            st.writers += 1;
+        } else {
+            st.readers += 1;
+        }
+    }
+
+    /// Drops a reference to one end, waking blocked peers.
+    pub fn drop_ref(&self, writer: bool) {
+        let mut st = self.state.lock();
+        if writer {
+            st.writers -= 1;
+        } else {
+            st.readers -= 1;
+        }
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let p = PipeBuf::new();
+        assert_eq!(p.write(b"abc").unwrap(), 3);
+        let mut buf = [0u8; 2];
+        assert_eq!(p.read(&mut buf), 2);
+        assert_eq!(&buf, b"ab");
+    }
+
+    #[test]
+    fn eof_after_writer_close() {
+        let p = PipeBuf::new();
+        p.write(b"z").unwrap();
+        p.drop_ref(true);
+        let mut buf = [0u8; 4];
+        assert_eq!(p.read(&mut buf), 1);
+        assert_eq!(p.read(&mut buf), 0, "EOF");
+    }
+
+    #[test]
+    fn epipe_without_readers() {
+        let p = PipeBuf::new();
+        p.drop_ref(false);
+        assert_eq!(p.write(b"x"), Err(Errno::EPIPE));
+    }
+
+    #[test]
+    fn blocking_read_woken_by_cross_thread_write() {
+        let p = PipeBuf::new();
+        let p2 = Arc::clone(&p);
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 4];
+            p2.read(&mut buf)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        p.write(b"go").unwrap();
+        assert_eq!(t.join().unwrap(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 15: Hare vs. Linux (tmpfs) on the cache-coherent machine —
+//! relative speedup of the parallel benchmarks at full core count, with
+//! absolute virtual runtimes.
+//!
+//! Paper shape: "some tests scale better on Hare while others scale better
+//! on Linux" — Hare wins the shared-directory namespace workloads
+//! (creates, renames, directories) because distribution removes the
+//! per-directory lock; Linux wins the lookup- and compute-heavy ones
+//! (pfind sparse, mailbench, fsstress, build linux) on raw syscall cost.
+
+use hare_workloads::Workload;
+
+fn main() {
+    let s = hare_bench::scale();
+    let cores = hare_bench::max_cores();
+
+    let mut table = hare_bench::Table::new(&[
+        "benchmark",
+        "hare speedup",
+        "linux speedup",
+        "hare time (s)",
+        "linux time (s)",
+    ]);
+
+    for wl in Workload::PARALLEL {
+        let hare1 = hare_bench::run_hare_timeshare(1, wl, &s);
+        let hare_n = hare_bench::run_hare_timeshare(cores, wl, &s);
+        let linux1 = hare_bench::run_ramfs(1, wl, 1, &s);
+        let linux_n = hare_bench::run_ramfs(cores, wl, cores, &s);
+
+        table.row(vec![
+            wl.name().to_string(),
+            format!("{:.1}", hare_n.throughput() / hare1.throughput()),
+            format!("{:.1}", linux_n.throughput() / linux1.throughput()),
+            format!("{:.3}", hare_n.virtual_secs()),
+            format!("{:.3}", linux_n.virtual_secs()),
+        ]);
+        eprintln!("done: {wl}");
+    }
+
+    println!("Figure 15: speedup at {cores} cores, Hare (timeshare) vs. Linux tmpfs\n");
+    table.print();
+}

@@ -1,0 +1,40 @@
+//! Figure 5: operation breakdown for the benchmarks.
+//!
+//! Runs every workload once (4 processes on a 4-core timeshare machine)
+//! and prints the percentage mix of file system operations each issues —
+//! the paper's point being that "the breakdown of operations is
+//! significantly different across the various benchmarks".
+
+use hare_core::HareConfig;
+use hare_workloads::ctx::{ALL_OPS, OpKind};
+use hare_workloads::Workload;
+
+fn main() {
+    let s = hare_bench::scale();
+    let cores = 4;
+
+    // Columns: the categories that dominate at least one workload.
+    let show: Vec<OpKind> = ALL_OPS.to_vec();
+    let mut headers: Vec<&str> = vec!["benchmark", "total ops"];
+    headers.extend(show.iter().map(|k| k.label()));
+    let mut table = hare_bench::Table::new(&headers);
+
+    for wl in Workload::ALL {
+        let r = hare_bench::run_hare(HareConfig::timeshare(cores), wl, cores, &s);
+        let total = r.stats.total();
+        let mut row = vec![wl.name().to_string(), total.to_string()];
+        for k in &show {
+            let pct = 100.0 * r.stats.get(*k) as f64 / total.max(1) as f64;
+            row.push(if pct >= 0.05 {
+                format!("{pct:.1}%")
+            } else {
+                "-".to_string()
+            });
+        }
+        table.row(row);
+    }
+
+    println!("Figure 5: operation breakdown per benchmark (Hare, {cores} cores timeshare)\n");
+    table.print();
+    println!("\nNote: paper Figure 5 is a stacked-percentage bar chart; rows above are the same data.");
+}

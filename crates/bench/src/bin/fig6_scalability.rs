@@ -1,0 +1,52 @@
+//! Figure 6: speedup of the benchmarks on Hare as cores are added,
+//! relative to single-core throughput (timeshare configuration, servers
+//! and applications on every core).
+//!
+//! Paper headline: "our suite of benchmarks achieves an average speedup of
+//! 14× on a 40-core machine"; `pfind sparse` scales worst because all
+//! clients walk the same few centralized directories in the same order.
+
+use hare_workloads::Workload;
+
+fn main() {
+    let s = hare_bench::scale();
+    let max = hare_bench::max_cores();
+    let mut cores: Vec<usize> = vec![1, 2, 4, 8, 16, 24, 32, 40];
+    cores.retain(|c| *c <= max);
+    if cores.last() != Some(&max) {
+        cores.push(max);
+    }
+
+    let mut headers: Vec<String> = vec!["benchmark".to_string()];
+    headers.extend(cores.iter().map(|c| format!("{c}c")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = hare_bench::Table::new(&headers_ref);
+
+    let mut speedups_at_max: Vec<f64> = Vec::new();
+    for wl in Workload::ALL {
+        let base = hare_bench::run_hare_timeshare(1, wl, &s).throughput();
+        let mut row = vec![wl.name().to_string()];
+        for &c in &cores {
+            let t = if c == 1 {
+                base
+            } else {
+                hare_bench::run_hare_timeshare(c, wl, &s).throughput()
+            };
+            let speedup = t / base;
+            if c == *cores.last().expect("nonempty") {
+                speedups_at_max.push(speedup);
+            }
+            row.push(format!("{speedup:.1}"));
+        }
+        table.row(row);
+        eprintln!("done: {wl}");
+    }
+
+    println!("Figure 6: speedup vs. single-core Hare (timeshare configuration)\n");
+    table.print();
+    let avg = speedups_at_max.iter().sum::<f64>() / speedups_at_max.len() as f64;
+    println!(
+        "\naverage speedup at {} cores: {avg:.1}x (paper: ~14x at 40 cores)",
+        cores.last().expect("nonempty")
+    );
+}

@@ -1,0 +1,75 @@
+//! Figure 7: performance of Hare in split vs. timeshare configurations.
+//!
+//! Three bars per benchmark, normalized to the timeshare configuration:
+//! timeshare (1.0 by construction), a 20/20 split, and the best split
+//! found by sweeping the server count — with the optimal server count
+//! printed, since the paper's conclusion is that the optimum is highly
+//! workload-dependent (mailbench/fsstress want many servers, pfind wants
+//! few).
+
+use hare_core::HareConfig;
+use hare_workloads::Workload;
+
+fn main() {
+    let s = hare_bench::scale();
+    let total = hare_bench::max_cores();
+    let half = total / 2;
+    // Sweep of dedicated-server counts for the "best" configuration.
+    let sweep: Vec<usize> = [total / 5, total / 4, 3 * total / 10, 2 * total / 5, half,
+        3 * total / 5, 7 * total / 10, 4 * total / 5]
+        .into_iter()
+        .filter(|&n| n > 0 && n < total)
+        .collect();
+
+    let mut table = hare_bench::Table::new(&[
+        "benchmark",
+        "timeshare",
+        &format!("{half}/{half} split"),
+        "best split",
+        "best #servers",
+    ]);
+
+    for wl in Workload::ALL {
+        let ts = hare_bench::run_hare(HareConfig::timeshare(total), wl, total, &s).throughput();
+        let half_tp = hare_bench::run_hare(
+            HareConfig::split(total, half),
+            wl,
+            total - half,
+            &s,
+        )
+        .throughput();
+
+        let mut best = (half_tp, half);
+        for &ns in &sweep {
+            if ns == half {
+                continue;
+            }
+            let tp =
+                hare_bench::run_hare(HareConfig::split(total, ns), wl, total - ns, &s).throughput();
+            if tp > best.0 {
+                best = (tp, ns);
+            }
+        }
+        // Timeshare itself may win the sweep (it uses every core twice).
+        let (best_tp, best_ns) = if ts > best.0 { (ts, 0) } else { best };
+
+        table.row(vec![
+            wl.name().to_string(),
+            "1.00".to_string(),
+            format!("{:.2}", half_tp / ts),
+            format!("{:.2}", best_tp / ts),
+            if best_ns == 0 {
+                "timeshare".to_string()
+            } else {
+                best_ns.to_string()
+            },
+        ]);
+        eprintln!("done: {wl}");
+    }
+
+    println!(
+        "Figure 7: Hare split vs. timeshare, {total} cores (normalized to timeshare)\n"
+    );
+    table.print();
+    println!("\npaper: optimal #servers is highly workload-dependent; a fixed split can lose badly.");
+}

@@ -1,0 +1,55 @@
+//! Figure 8: single-core sequential performance — Hare (timeshare and
+//! 2-core split) vs. Linux ramfs and UNFS3, normalized to Hare timeshare.
+//!
+//! Paper shape claims: the split configuration beats timesharing (no
+//! context switches, ~7.2 µs vs 4.2 µs per rename); Linux ramfs is up to
+//! ~3.4× faster than Hare (median: Hare reaches 0.39× of Linux); UNFS3 is
+//! far slower than Hare on everything except the CPU-bound build linux.
+
+use hare_core::HareConfig;
+use hare_workloads::Workload;
+
+fn main() {
+    let s = hare_bench::scale();
+
+    let mut table = hare_bench::Table::new(&[
+        "benchmark",
+        "hare timeshare",
+        "hare 2-core",
+        "linux ramfs",
+        "linux unfs",
+        "hare runtime (virt ms)",
+    ]);
+
+    let mut ramfs_ratios = Vec::new();
+    for wl in Workload::ALL {
+        // Hare timeshare: app + server time-multiplex one core.
+        let hare_ts = hare_bench::run_hare(HareConfig::timeshare(1), wl, 1, &s);
+        // Hare 2-core split: dedicated server core.
+        let hare_2c = hare_bench::run_hare(HareConfig::split(2, 1), wl, 1, &s);
+        // Linux ramfs on one core.
+        let ramfs = hare_bench::run_ramfs(1, wl, 1, &s);
+        // UNFS3 over loopback, application on one core.
+        let unfs = hare_bench::run_unfs(wl, &s);
+
+        let base = hare_ts.throughput();
+        ramfs_ratios.push(base / ramfs.throughput());
+        table.row(vec![
+            wl.name().to_string(),
+            "1.00".to_string(),
+            format!("{:.2}", hare_2c.throughput() / base),
+            format!("{:.2}", ramfs.throughput() / base),
+            format!("{:.2}", unfs.throughput() / base),
+            format!("{:.2}", hare_ts.virtual_secs() * 1e3),
+        ]);
+        eprintln!("done: {wl}");
+    }
+
+    println!("Figure 8: normalized single-core throughput (1.0 = hare timeshare)\n");
+    table.print();
+    ramfs_ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = ramfs_ratios[ramfs_ratios.len() / 2];
+    println!(
+        "\nmedian Hare throughput relative to Linux ramfs: {median:.2}x (paper: 0.39x)"
+    );
+}

@@ -1,0 +1,199 @@
+//! # hare-bench — figure and table regeneration harness
+//!
+//! One binary per table/figure of the paper's evaluation (§5):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig4_sloc` | Figure 4 — SLOC breakdown by component |
+//! | `fig5_breakdown` | Figure 5 — per-benchmark operation mix |
+//! | `fig6_scalability` | Figure 6 — speedup vs. cores (timeshare) |
+//! | `fig7_split` | Figure 7 — timeshare vs. 20/20 vs. best split |
+//! | `fig8_sequential` | Figure 8 — single-core vs. ramfs and UNFS3 |
+//! | `fig9_techniques` | Figures 9–14 — technique ablations |
+//! | `fig15_cc_machine` | Figure 15 — Hare vs. Linux at full core count |
+//! | `micro_rename` | §5.3.3 — rename RPC cost, same-core vs. split |
+//!
+//! Numbers come from the virtual-time model (see `vtime`), so the claims
+//! being checked are the paper's *shape* claims: who wins, by what rough
+//! factor, where crossovers fall. EXPERIMENTS.md records paper-vs-measured
+//! values for each figure.
+
+use hare_baseline::HostSystem;
+use hare_core::{HareConfig, Techniques};
+use hare_sched::HareSystem;
+use hare_workloads::{self as workloads, Scale, Workload, WorkloadResult};
+
+/// Default core count for full-machine experiments (the paper's machine
+/// has 40; override with the `HARE_CORES` environment variable if the
+/// wall-clock budget is tight).
+pub fn max_cores() -> usize {
+    std::env::var("HARE_CORES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+/// Scale preset selected by `HARE_SCALE` (`quick` or `bench`, default
+/// bench).
+pub fn scale() -> Scale {
+    match std::env::var("HARE_SCALE").as_deref() {
+        Ok("quick") => Scale::quick(),
+        _ => Scale::bench(),
+    }
+}
+
+/// Runs one workload on a fresh Hare machine with `cfg`.
+pub fn run_hare(cfg: HareConfig, wl: Workload, nprocs: usize, s: &Scale) -> WorkloadResult {
+    let sys = HareSystem::start(cfg);
+    let r = workloads::run(&*sys, wl, nprocs, s)
+        .unwrap_or_else(|e| panic!("hare run of {wl} failed: {e}"));
+    sys.shutdown();
+    r
+}
+
+/// Runs one workload on a fresh Hare machine in the timeshare
+/// configuration with `cores` cores (the Figure 6 setup).
+pub fn run_hare_timeshare(cores: usize, wl: Workload, s: &Scale) -> WorkloadResult {
+    run_hare(HareConfig::timeshare(cores), wl, cores, s)
+}
+
+/// Runs one workload on a fresh ramfs machine.
+pub fn run_ramfs(cores: usize, wl: Workload, nprocs: usize, s: &Scale) -> WorkloadResult {
+    let sys = HostSystem::ramfs(cores);
+    let r = workloads::run(&*sys, wl, nprocs, s)
+        .unwrap_or_else(|e| panic!("ramfs run of {wl} failed: {e}"));
+    sys.shutdown();
+    r
+}
+
+/// Runs one workload on a fresh UNFS3 machine (single application core,
+/// as in Figure 8).
+pub fn run_unfs(wl: Workload, s: &Scale) -> WorkloadResult {
+    let sys = HostSystem::unfs(2);
+    let r = workloads::run(&*sys, wl, 1, s)
+        .unwrap_or_else(|e| panic!("unfs run of {wl} failed: {e}"));
+    sys.shutdown();
+    r
+}
+
+/// Runs one workload on Hare with one technique disabled (Figures 9–14).
+pub fn run_hare_without(
+    technique: &str,
+    cores: usize,
+    wl: Workload,
+    s: &Scale,
+) -> WorkloadResult {
+    let mut cfg = HareConfig::timeshare(cores);
+    cfg.techniques = Techniques::without(technique);
+    run_hare(cfg, wl, cores, s)
+}
+
+/// Simple fixed-width table printer for figure output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].len();
+                if i == 0 {
+                    line.push_str(&cells[i]);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(&cells[i]);
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a ratio like `1.37x`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Summary statistics over a set of ratios (the Figure 9 rows).
+pub fn summarize(ratios: &[f64]) -> (f64, f64, f64, f64) {
+    assert!(!ratios.is_empty());
+    let mut sorted = ratios.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let min = sorted[0];
+    let max = *sorted.last().expect("nonempty");
+    let avg = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    (min, avg, median, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1.00x".into()]);
+        t.row(vec!["longer".into(), "10.00x".into()]);
+        let r = t.render();
+        assert!(r.contains("name"));
+        assert!(r.lines().count() == 4);
+    }
+
+    #[test]
+    fn summarize_stats() {
+        let (min, avg, median, max) = summarize(&[1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(min, 1.0);
+        assert_eq!(max, 10.0);
+        assert_eq!(avg, 4.0);
+        assert_eq!(median, 2.5);
+    }
+}

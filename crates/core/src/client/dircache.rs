@@ -1,0 +1,170 @@
+//! The client library's directory-entry lookup cache.
+//!
+//! "Hare caches the results of directory lookups, because lookups involve
+//! one RPC per pathname component, and lookups are frequent" (paper §3.6.1).
+//! Servers push invalidations into the client's queue with atomic delivery;
+//! the cache **drains that queue before every consult**, so any invalidation
+//! sent before the current lookup began is guaranteed to be applied — the
+//! "check the invalidation queue first" discipline that lets servers
+//! proceed without acknowledgments.
+
+use crate::proto::Invalidation;
+use crate::types::InodeId;
+use fsapi::FileType;
+use std::collections::HashMap;
+
+/// A cached directory entry: everything a lookup RPC returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedDentry {
+    /// The inode the name maps to.
+    pub target: InodeId,
+    /// Target type.
+    pub ftype: FileType,
+    /// Distribution flag for directory targets.
+    pub dist: bool,
+}
+
+/// The lookup cache plus its invalidation queue.
+pub struct DirCache {
+    entries: HashMap<(InodeId, String), CachedDentry>,
+    inval_rx: msg::Receiver<Invalidation>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl DirCache {
+    /// Creates an empty cache draining `inval_rx`.
+    pub fn new(inval_rx: msg::Receiver<Invalidation>) -> Self {
+        DirCache {
+            entries: HashMap::new(),
+            inval_rx,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Applies every queued invalidation; returns how many were processed
+    /// (the caller charges their processing cost).
+    pub fn process_invals(&mut self) -> usize {
+        let mut n = 0;
+        while let Ok(env) = self.inval_rx.try_recv() {
+            self.entries.remove(&(env.payload.dir, env.payload.name));
+            n += 1;
+        }
+        self.invalidations += n as u64;
+        n
+    }
+
+    /// Looks up `(dir, name)`, processing pending invalidations first.
+    /// Returns the entry and the number of invalidations drained.
+    pub fn lookup(&mut self, dir: InodeId, name: &str) -> (Option<CachedDentry>, usize) {
+        let drained = self.process_invals();
+        let hit = self.entries.get(&(dir, name.to_string())).copied();
+        if hit.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        (hit, drained)
+    }
+
+    /// Records a lookup result.
+    pub fn insert(&mut self, dir: InodeId, name: &str, val: CachedDentry) {
+        self.entries.insert((dir, name.to_string()), val);
+    }
+
+    /// Drops an entry the local client knows is stale (it mutated the name
+    /// itself; servers do not echo invalidations to the mutator).
+    pub fn remove(&mut self, dir: InodeId, name: &str) {
+        self.entries.remove(&(dir, name.to_string()));
+    }
+
+    /// `(hits, misses, invalidations)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.invalidations)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> (msg::Sender<Invalidation>, DirCache) {
+        let (tx, rx) = msg::channel(msg::MsgStats::shared());
+        (tx, DirCache::new(rx))
+    }
+
+    fn entry(num: u64) -> CachedDentry {
+        CachedDentry {
+            target: InodeId { server: 0, num },
+            ftype: FileType::Regular,
+            dist: false,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let (_tx, mut c) = cache();
+        c.insert(InodeId::ROOT, "a", entry(5));
+        let (hit, _) = c.lookup(InodeId::ROOT, "a");
+        assert_eq!(hit.unwrap().target.num, 5);
+        assert_eq!(c.stats().0, 1);
+    }
+
+    #[test]
+    fn queued_invalidation_applied_before_lookup() {
+        let (tx, mut c) = cache();
+        c.insert(InodeId::ROOT, "a", entry(5));
+        // A server invalidates the entry; the message sits in the queue.
+        tx.send(
+            Invalidation {
+                dir: InodeId::ROOT,
+                name: "a".into(),
+            },
+            0,
+            0,
+        )
+        .unwrap();
+        // The very next lookup must observe the invalidation (atomic
+        // delivery makes this sound, paper §3.6.1).
+        let (hit, drained) = c.lookup(InodeId::ROOT, "a");
+        assert!(hit.is_none());
+        assert_eq!(drained, 1);
+    }
+
+    #[test]
+    fn invalidation_of_uncached_name_is_harmless() {
+        let (tx, mut c) = cache();
+        tx.send(
+            Invalidation {
+                dir: InodeId::ROOT,
+                name: "ghost".into(),
+            },
+            0,
+            0,
+        )
+        .unwrap();
+        assert_eq!(c.process_invals(), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn local_remove() {
+        let (_tx, mut c) = cache();
+        c.insert(InodeId::ROOT, "a", entry(5));
+        c.remove(InodeId::ROOT, "a");
+        assert!(c.lookup(InodeId::ROOT, "a").0.is_none());
+    }
+}

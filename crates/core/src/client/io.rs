@@ -1,0 +1,641 @@
+//! Descriptor I/O: read/write/seek/fsync/truncate/dup/pipes, plus the
+//! descriptor export/import used by spawn.
+
+use super::fd::{ExportedFd, FdEntry, FdMode};
+use super::{expect_reply, ClientLib};
+use crate::proto::{DemoteInfo, Reply, Request};
+use fsapi::{Errno, FileType, FsResult, OpenFlags, Stat, Whence};
+use nccmem::BLOCK_SIZE;
+use std::collections::HashSet;
+
+impl ClientLib {
+    // ----- close -----------------------------------------------------------
+
+    pub(crate) fn close_impl(&self, num: u32) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let entry = st.fds.remove(num)?;
+        drop(st);
+        self.flush_entry(&entry);
+        let size = if entry.wrote && !entry.is_pipe() && self.params.techniques.direct_access {
+            Some(entry.size)
+        } else {
+            None
+        };
+        let _ = expect_reply!(
+            self.call(
+                entry.ino.server,
+                Request::CloseFd {
+                    fd: entry.fdid,
+                    size,
+                },
+            ),
+            Reply::Closed { refs } => refs
+        )?;
+        Ok(())
+    }
+
+    /// The write-back half of close-to-open consistency: push this core's
+    /// dirty private-cache blocks of the file to shared DRAM (paper §3.2).
+    fn flush_entry(&self, entry: &FdEntry) {
+        if entry.dirty.is_empty() {
+            return;
+        }
+        let blocks: Vec<nccmem::BlockId> = entry
+            .dirty
+            .iter()
+            .filter_map(|i| entry.blocks.get(*i).copied())
+            .collect();
+        let n = self
+            .machine
+            .with_cache(self.params.core, |cache, dram| {
+                cache.writeback_all(dram, blocks)
+            });
+        self.charge(self.machine.cost.writeback_blk * n as u64);
+    }
+
+    // ----- read ------------------------------------------------------------
+
+    pub(crate) fn read_impl(&self, num: u32, buf: &mut [u8]) -> FsResult<usize> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let entry = st.fds.get_mut(num)?;
+        if !entry.flags.readable() {
+            return Err(Errno::EBADF);
+        }
+        match (entry.ftype, entry.mode) {
+            (FileType::Pipe, _) => {
+                let (ino, fdid) = (entry.ino, entry.fdid);
+                drop(st);
+                let (data, _eof) = expect_reply!(
+                    self.call(
+                        ino.server,
+                        Request::PipeRead {
+                            fd: fdid,
+                            max: buf.len() as u64,
+                        },
+                    ),
+                    Reply::Data { data, _eof } => (data, _eof)
+                )?;
+                self.charge(data.len() as u64 / 32);
+                buf[..data.len()].copy_from_slice(&data);
+                Ok(data.len())
+            }
+            (_, FdMode::Local { offset }) => {
+                if self.params.techniques.direct_access {
+                    let n = self.read_local(entry, offset, buf);
+                    entry.mode = FdMode::Local {
+                        offset: offset + n as u64,
+                    };
+                    Ok(n)
+                } else {
+                    // Ablation: all data moves through the file server.
+                    let (ino, fdid) = (entry.ino, entry.fdid);
+                    let (data, _eof) = expect_reply!(
+                        self.call(
+                            ino.server,
+                            Request::ReadData {
+                                fd: fdid,
+                                offset,
+                                len: buf.len() as u64,
+                            },
+                        ),
+                        Reply::Data { data, _eof } => (data, _eof)
+                    )?;
+                    let entry = st.fds.get_mut(num)?;
+                    entry.mode = FdMode::Local {
+                        offset: offset + data.len() as u64,
+                    };
+                    self.charge(data.len() as u64 / 32);
+                    buf[..data.len()].copy_from_slice(&data);
+                    Ok(data.len())
+                }
+            }
+            (_, FdMode::Shared) => {
+                let (ino, fdid) = (entry.ino, entry.fdid);
+                drop(st);
+                let r = expect_reply!(
+                    self.call(
+                        ino.server,
+                        Request::SharedIo {
+                            fd: fdid,
+                            len: buf.len() as u64,
+                            write: false,
+                            append: false,
+                        },
+                    ),
+                    Reply::SharedIo { offset, len, blocks, size, demote } =>
+                        (offset, len, blocks, size, demote)
+                )?;
+                let (offset, len, blocks, _size, demote) = r;
+                self.copy_from_dram(offset, len as usize, &blocks, buf);
+                if let Some(d) = demote {
+                    self.apply_demote(num, d);
+                }
+                Ok(len as usize)
+            }
+        }
+    }
+
+    /// Direct buffer-cache read through this core's private cache
+    /// (the paper's headline data path, §3.2/§5.4-Figure 12).
+    fn read_local(&self, entry: &FdEntry, offset: u64, buf: &mut [u8]) -> usize {
+        if offset >= entry.size {
+            return 0;
+        }
+        let n = (buf.len() as u64).min(entry.size - offset) as usize;
+        let mut filled = 0usize;
+        let mut cost = 0u64;
+        self.machine.with_cache(self.params.core, |cache, dram| {
+            while filled < n {
+                let pos = offset as usize + filled;
+                let (bi, bo) = (pos / BLOCK_SIZE, pos % BLOCK_SIZE);
+                let chunk = (BLOCK_SIZE - bo).min(n - filled);
+                if let Some(b) = entry.blocks.get(bi) {
+                    let access = cache.read(dram, *b, bo, &mut buf[filled..filled + chunk]);
+                    cost += if access.is_miss() {
+                        self.machine.cost.cache_miss_blk
+                    } else {
+                        self.machine.cost.cache_hit_blk
+                    };
+                } else {
+                    // Hole (allocated lazily): zeros.
+                    buf[filled..filled + chunk].fill(0);
+                    cost += self.machine.cost.cache_hit_blk;
+                }
+                filled += chunk;
+            }
+        });
+        self.charge(cost);
+        n
+    }
+
+    // ----- write -----------------------------------------------------------
+
+    pub(crate) fn write_impl(&self, num: u32, buf: &[u8]) -> FsResult<usize> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let entry = st.fds.get_mut(num)?;
+        if !entry.flags.writable() {
+            return Err(Errno::EBADF);
+        }
+        let append = entry.flags.contains(OpenFlags::APPEND);
+        match (entry.ftype, entry.mode) {
+            (FileType::Pipe, _) => {
+                let (ino, fdid) = (entry.ino, entry.fdid);
+                drop(st);
+                self.charge(buf.len() as u64 / 32);
+                let n = expect_reply!(
+                    self.call(
+                        ino.server,
+                        Request::PipeWrite {
+                            fd: fdid,
+                            data: buf.to_vec(),
+                        },
+                    ),
+                    Reply::Written { n } => n
+                )?;
+                Ok(n as usize)
+            }
+            (_, FdMode::Local { offset }) => {
+                let start = if append { entry.size } else { offset };
+                if self.params.techniques.direct_access {
+                    self.write_local(num, &mut st, start, buf)?;
+                } else {
+                    let (ino, fdid) = (entry.ino, entry.fdid);
+                    let n = expect_reply!(
+                        self.call(
+                            ino.server,
+                            Request::WriteData {
+                                fd: fdid,
+                                offset: start,
+                                data: buf.to_vec(),
+                                append: false,
+                            },
+                        ),
+                        Reply::Written { n } => n
+                    )?;
+                    debug_assert_eq!(n as usize, buf.len());
+                    self.charge(buf.len() as u64 / 32);
+                    let entry = st.fds.get_mut(num)?;
+                    entry.size = entry.size.max(start + buf.len() as u64);
+                    entry.wrote = true;
+                }
+                let entry = st.fds.get_mut(num)?;
+                entry.mode = FdMode::Local {
+                    offset: start + buf.len() as u64,
+                };
+                Ok(buf.len())
+            }
+            (_, FdMode::Shared) => {
+                let (ino, fdid) = (entry.ino, entry.fdid);
+                drop(st);
+                let r = expect_reply!(
+                    self.call(
+                        ino.server,
+                        Request::SharedIo {
+                            fd: fdid,
+                            len: buf.len() as u64,
+                            write: true,
+                            append,
+                        },
+                    ),
+                    Reply::SharedIo { offset, len, blocks, size, demote } =>
+                        (offset, len, blocks, size, demote)
+                )?;
+                let (offset, len, blocks, _size, demote) = r;
+                self.copy_to_dram(offset, &buf[..len as usize], &blocks);
+                if let Some(d) = demote {
+                    self.apply_demote(num, d);
+                    let mut st = self.state.lock();
+                    if let Ok(e) = st.fds.get_mut(num) {
+                        e.wrote = true;
+                    }
+                }
+                Ok(len as usize)
+            }
+        }
+    }
+
+    /// Direct buffer-cache write through the private cache; blocks are
+    /// allocated from the file server on demand and the data stays dirty in
+    /// the private cache until close/fsync writes it back.
+    fn write_local(
+        &self,
+        num: u32,
+        st: &mut parking_lot::MutexGuard<'_, super::ClientState>,
+        start: u64,
+        buf: &[u8],
+    ) -> FsResult<()> {
+        let end = start + buf.len() as u64;
+        let entry = st.fds.get_mut(num)?;
+        let need_blocks = (end as usize).div_ceil(BLOCK_SIZE);
+        if need_blocks > entry.blocks.len() {
+            let (ino, fdid) = (entry.ino, entry.fdid);
+            let (blocks, _size) = expect_reply!(
+                self.call(
+                    ino.server,
+                    Request::AllocBlocks {
+                        fd: fdid,
+                        min_size: end,
+                    },
+                ),
+                Reply::Blocks { blocks, size } => (blocks, size)
+            )?;
+            let entry = st.fds.get_mut(num)?;
+            entry.blocks = blocks;
+        }
+        let entry = st.fds.get_mut(num)?;
+        let mut written = 0usize;
+        let mut cost = 0u64;
+        let mut dirtied: Vec<usize> = Vec::new();
+        self.machine.with_cache(self.params.core, |cache, dram| {
+            while written < buf.len() {
+                let pos = start as usize + written;
+                let (bi, bo) = (pos / BLOCK_SIZE, pos % BLOCK_SIZE);
+                let chunk = (BLOCK_SIZE - bo).min(buf.len() - written);
+                let access = cache.write(dram, entry.blocks[bi], bo, &buf[written..written + chunk]);
+                cost += if access.is_miss() {
+                    self.machine.cost.cache_miss_blk
+                } else {
+                    self.machine.cost.cache_hit_blk
+                };
+                dirtied.push(bi);
+                written += chunk;
+            }
+        });
+        self.charge(cost);
+        entry.dirty.extend(dirtied);
+        entry.size = entry.size.max(end);
+        entry.wrote = true;
+        Ok(())
+    }
+
+    // ----- lseek / fsync / truncate -----------------------------------------
+
+    pub(crate) fn lseek_impl(&self, num: u32, offset: i64, whence: Whence) -> FsResult<u64> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let entry = st.fds.get_mut(num)?;
+        if entry.is_pipe() {
+            return Err(Errno::ESPIPE);
+        }
+        match entry.mode {
+            FdMode::Local { offset: cur } => {
+                let new = fsapi::flags::apply_seek(cur, entry.size, offset, whence)
+                    .map_err(|_| Errno::EINVAL)?;
+                entry.mode = FdMode::Local { offset: new };
+                Ok(new)
+            }
+            FdMode::Shared => {
+                let (ino, fdid) = (entry.ino, entry.fdid);
+                drop(st);
+                let (new, demote) = expect_reply!(
+                    self.call(
+                        ino.server,
+                        Request::SeekShared {
+                            fd: fdid,
+                            offset,
+                            whence,
+                        },
+                    ),
+                    Reply::Seeked { offset, demote } => (offset, demote)
+                )?;
+                if let Some(d) = demote {
+                    self.apply_demote(num, d);
+                }
+                Ok(new)
+            }
+        }
+    }
+
+    pub(crate) fn fsync_impl(&self, num: u32) -> FsResult<()> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let entry = st.fds.get_mut(num)?;
+        if entry.is_pipe() {
+            return Err(Errno::EINVAL);
+        }
+        match entry.mode {
+            FdMode::Local { .. } => {
+                if !entry.wrote {
+                    return Ok(());
+                }
+                let snapshot = entry.clone();
+                entry.dirty.clear();
+                drop(st);
+                self.flush_entry(&snapshot);
+                if self.params.techniques.direct_access {
+                    self.call_unit(
+                        snapshot.ino.server,
+                        Request::SetSize {
+                            fd: snapshot.fdid,
+                            size: snapshot.size,
+                        },
+                    )?;
+                }
+                Ok(())
+            }
+            // Shared descriptors are server-mediated: nothing to flush.
+            FdMode::Shared => Ok(()),
+        }
+    }
+
+    pub(crate) fn ftruncate_impl(&self, num: u32, len: u64) -> FsResult<()> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let entry = st.fds.get_mut(num)?;
+        if entry.is_pipe() {
+            return Err(Errno::EINVAL);
+        }
+        if !entry.flags.writable() {
+            return Err(Errno::EINVAL);
+        }
+        // Flush local dirty data first: the server zeroes the truncated
+        // tail in DRAM, and this core's copies must be refreshed after.
+        let snapshot = entry.clone();
+        self.flush_entry(&snapshot);
+        let (ino, fdid) = (entry.ino, entry.fdid);
+        self.call_unit(ino.server, Request::Truncate { fd: fdid, size: len })?;
+        let entry = st.fds.get_mut(num)?;
+        if let FdMode::Local { .. } = entry.mode {
+            let keep = (len as usize).div_ceil(BLOCK_SIZE);
+            let mut drop_list: Vec<nccmem::BlockId> = Vec::new();
+            if entry.blocks.len() > keep {
+                drop_list.extend(entry.blocks.split_off(keep));
+            }
+            // The last kept block had its tail zeroed server-side: drop the
+            // stale private copy too.
+            if len < entry.size {
+                if let Some(b) = entry.blocks.last() {
+                    drop_list.push(*b);
+                }
+            }
+            entry.dirty.clear();
+            let dropped = self.machine.with_cache(self.params.core, |cache, _| {
+                cache.invalidate_all(drop_list.iter().copied())
+            });
+            self.charge(self.machine.cost.invalidate_blk * dropped as u64);
+            entry.size = len;
+            entry.wrote = true;
+        }
+        Ok(())
+    }
+
+    // ----- dup / pipe / fstat ------------------------------------------------
+
+    pub(crate) fn dup_impl(&self, num: u32) -> FsResult<u32> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let entry = st.fds.get(num)?.clone();
+        // Duplicates share one offset: promote to shared state at the
+        // server, exactly as a cross-process share would (paper §3.4).
+        let offset = match entry.mode {
+            FdMode::Local { offset } => {
+                self.flush_entry(&entry);
+                offset
+            }
+            FdMode::Shared => 0,
+        };
+        self.call_unit(
+            entry.ino.server,
+            Request::FdIncref {
+                fd: entry.fdid,
+                offset,
+            },
+        )?;
+        let e = st.fds.get_mut(num)?;
+        e.mode = FdMode::Shared;
+        e.dirty.clear();
+        let mut copy = e.clone();
+        copy.mode = FdMode::Shared;
+        st.fds.insert(copy)
+    }
+
+    pub(crate) fn pipe_impl(&self) -> FsResult<(u32, u32)> {
+        self.syscall();
+        // Pipes are placed on the designated nearby server (affinity) or
+        // spread by client id when affinity is disabled.
+        let server = if self.params.techniques.affinity {
+            self.local_server
+        } else {
+            (self.params.id % self.servers.len() as u64) as u16
+        };
+        let (ino, rfd, wfd) = expect_reply!(
+            self.call(server, Request::PipeCreate),
+            Reply::Pipe { ino, rfd, wfd } => (ino, rfd, wfd)
+        )?;
+        let mut st = self.state.lock();
+        let mk = |fdid, flags| FdEntry {
+            ino,
+            fdid,
+            flags,
+            ftype: FileType::Pipe,
+            mode: FdMode::Shared,
+            size: 0,
+            blocks: Vec::new(),
+            dirty: HashSet::new(),
+            wrote: false,
+        };
+        let r = st.fds.insert(mk(rfd, OpenFlags::RDONLY))?;
+        let w = st.fds.insert(mk(wfd, OpenFlags::WRONLY))?;
+        Ok((r, w))
+    }
+
+    pub(crate) fn fstat_impl(&self, num: u32) -> FsResult<Stat> {
+        self.syscall();
+        let st = self.state.lock();
+        let entry = st.fds.get(num)?.clone();
+        drop(st);
+        let mut stat = expect_reply!(
+            self.call(
+                entry.ino.server,
+                Request::StatInode {
+                    num: entry.ino.num,
+                },
+            ),
+            Reply::Stat(s) => s
+        )?;
+        // Local written size is ahead of the server's until close/fsync.
+        if let FdMode::Local { .. } = entry.mode {
+            if entry.wrote {
+                stat.size = stat.size.max(entry.size);
+            }
+        }
+        Ok(stat)
+    }
+
+    // ----- spawn support ------------------------------------------------------
+
+    /// Prepares every open descriptor for inheritance by a child process:
+    /// flushes local state, increments the server-side reference count, and
+    /// flips the descriptor to shared (paper §3.4/§3.5).
+    pub fn export_fds(&self) -> FsResult<Vec<ExportedFd>> {
+        let mut st = self.state.lock();
+        let mut out = Vec::new();
+        for num in st.fds.numbers() {
+            let entry = st.fds.get(num)?.clone();
+            let offset = match entry.mode {
+                FdMode::Local { offset } => {
+                    self.flush_entry(&entry);
+                    // Drop private copies: subsequent shared I/O moves
+                    // through DRAM directly.
+                    let dropped = self.machine.with_cache(self.params.core, |cache, _| {
+                        cache.invalidate_all(entry.blocks.iter().copied())
+                    });
+                    self.charge(self.machine.cost.invalidate_blk * dropped as u64);
+                    offset
+                }
+                FdMode::Shared => 0,
+            };
+            self.call_unit(
+                entry.ino.server,
+                Request::FdIncref {
+                    fd: entry.fdid,
+                    offset,
+                },
+            )?;
+            let e = st.fds.get_mut(num)?;
+            e.mode = FdMode::Shared;
+            e.dirty.clear();
+            out.push(ExportedFd {
+                num,
+                ino: e.ino,
+                fdid: e.fdid,
+                flags: e.flags,
+                ftype: e.ftype,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Installs inherited descriptors in a freshly spawned process.
+    pub fn import_fds(&self, fds: &[ExportedFd]) {
+        let mut st = self.state.lock();
+        for f in fds {
+            st.fds.insert_at(
+                f.num,
+                FdEntry {
+                    ino: f.ino,
+                    fdid: f.fdid,
+                    flags: f.flags,
+                    ftype: f.ftype,
+                    mode: FdMode::Shared,
+                    size: 0,
+                    blocks: Vec::new(),
+                    dirty: HashSet::new(),
+                    wrote: false,
+                },
+            );
+        }
+    }
+
+    // ----- shared-descriptor data movement -------------------------------------
+
+    /// Applies a server-initiated demotion: the descriptor returns to local
+    /// state with a fresh view of the file (treated like a re-open:
+    /// invalidate the block copies this core may hold).
+    fn apply_demote(&self, num: u32, d: DemoteInfo) {
+        let dropped = self.machine.with_cache(self.params.core, |cache, _| {
+            cache.invalidate_all(d.blocks.iter().copied())
+        });
+        self.charge(self.machine.cost.invalidate_blk * dropped as u64);
+        let mut st = self.state.lock();
+        if let Ok(e) = st.fds.get_mut(num) {
+            e.mode = FdMode::Local { offset: d.offset };
+            e.size = d.size;
+            e.blocks = d.blocks;
+            e.dirty.clear();
+        }
+    }
+
+    /// Copies a shared-I/O read range out of DRAM, bypassing the private
+    /// cache (shared descriptors must observe a coherent view).
+    fn copy_from_dram(&self, offset: u64, len: usize, blocks: &[nccmem::BlockId], buf: &mut [u8]) {
+        if len == 0 {
+            return;
+        }
+        let first_bi = offset as usize / BLOCK_SIZE;
+        let mut filled = 0usize;
+        while filled < len {
+            let pos = offset as usize + filled;
+            let (bi, bo) = (pos / BLOCK_SIZE - first_bi, pos % BLOCK_SIZE);
+            let chunk = (BLOCK_SIZE - bo).min(len - filled);
+            if let Some(b) = blocks.get(bi) {
+                self.machine.dram.read(*b, bo, &mut buf[filled..filled + chunk]);
+            } else {
+                buf[filled..filled + chunk].fill(0);
+            }
+            filled += chunk;
+            self.charge(self.machine.cost.dram_direct_blk);
+        }
+        // This core's private cache may hold stale copies of these blocks
+        // from before the descriptor was shared: drop them.
+        self.machine.with_cache(self.params.core, |cache, _| {
+            cache.invalidate_all(blocks.iter().copied())
+        });
+    }
+
+    /// Copies a shared-I/O write range into DRAM, bypassing the private
+    /// cache.
+    fn copy_to_dram(&self, offset: u64, data: &[u8], blocks: &[nccmem::BlockId]) {
+        if data.is_empty() {
+            return;
+        }
+        let first_bi = offset as usize / BLOCK_SIZE;
+        let mut written = 0usize;
+        while written < data.len() {
+            let pos = offset as usize + written;
+            let (bi, bo) = (pos / BLOCK_SIZE - first_bi, pos % BLOCK_SIZE);
+            let chunk = (BLOCK_SIZE - bo).min(data.len() - written);
+            debug_assert!(bi < blocks.len(), "server must have allocated blocks");
+            self.machine
+                .dram
+                .write(blocks[bi], bo, &data[written..written + chunk]);
+            written += chunk;
+            self.charge(self.machine.cost.dram_direct_blk);
+        }
+        self.machine.with_cache(self.params.core, |cache, _| {
+            cache.invalidate_all(blocks.iter().copied())
+        });
+    }
+}

@@ -1,0 +1,366 @@
+//! The Hare client library.
+//!
+//! One client library instance backs each simulated process (paper Figure
+//! 2: applications call into a per-core library which maintains caches,
+//! accesses the shared buffer cache directly, and talks to file servers by
+//! message passing). The library implements the POSIX surface of
+//! [`fsapi::ProcFs`].
+
+pub mod dircache;
+pub mod fd;
+mod io;
+mod ops;
+mod resolve;
+
+use crate::config::Techniques;
+use crate::machine::{Entity, Machine};
+use crate::proto::{Reply, Request, WireReply};
+use crate::rpc::{self, ServerHandle};
+use crate::types::{ClientId, InodeId, ServerId};
+use dircache::DirCache;
+use fd::ClientFdTable;
+use fsapi::{Errno, FsResult};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Per-client configuration (derived from the instance's `HareConfig`).
+#[derive(Debug, Clone)]
+pub struct ClientParams {
+    /// Unique client id.
+    pub id: ClientId,
+    /// Core this process runs on.
+    pub core: usize,
+    /// Logical time at which this process begins (spawn completion time).
+    pub start_time: u64,
+    /// Technique toggles (shared with the servers).
+    pub techniques: Techniques,
+    /// Distribution default for `MkdirOpts { distributed: None }`.
+    pub default_distributed: bool,
+    /// Effective distribution flag of the root directory.
+    pub root_distributed: bool,
+}
+
+/// Internal mutable state, serialized behind one lock (a process is a
+/// single thread of control; the lock exists because `ProcFs` takes
+/// `&self`).
+pub(crate) struct ClientState {
+    pub(crate) fds: ClientFdTable,
+    pub(crate) dircache: DirCache,
+}
+
+/// A process's Hare client library.
+pub struct ClientLib {
+    pub(crate) machine: Arc<Machine>,
+    pub(crate) servers: Arc<Vec<ServerHandle>>,
+    pub(crate) params: ClientParams,
+    /// This process's logical timeline.
+    pub(crate) entity: Entity,
+    /// This client's designated nearby server for creation affinity
+    /// (paper §3.6.4: "each client library has a designated local server").
+    pub(crate) local_server: ServerId,
+    pub(crate) state: Mutex<ClientState>,
+    detached: AtomicBool,
+}
+
+impl ClientLib {
+    /// Creates a client library for a process on `core`, registering it
+    /// with every server so invalidation callbacks can reach it.
+    pub fn new(
+        machine: Arc<Machine>,
+        servers: Arc<Vec<ServerHandle>>,
+        params: ClientParams,
+    ) -> FsResult<ClientLib> {
+        let (inval_tx, inval_rx) = msg::channel(Arc::clone(&machine.msg_stats));
+        machine.register_entity(params.core);
+        let local_server = designated_local_server(&machine, &servers, params.core, params.id);
+        let entity = Entity::new(params.core, params.start_time);
+        let lib = ClientLib {
+            machine,
+            servers,
+            params,
+            entity,
+            local_server,
+            state: Mutex::new(ClientState {
+                fds: ClientFdTable::default(),
+                dircache: DirCache::new(inval_rx),
+            }),
+            detached: AtomicBool::new(false),
+        };
+        for s in lib.servers.iter() {
+            lib.call_srv(
+                s,
+                Request::Register {
+                    client: lib.params.id,
+                    core: lib.params.core,
+                    inval: inval_tx.clone(),
+                },
+            )?;
+        }
+        Ok(lib)
+    }
+
+    /// The core this process runs on.
+    pub fn core(&self) -> usize {
+        self.params.core
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.params.id
+    }
+
+    /// Number of file servers.
+    pub fn nservers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Directory-cache `(hits, misses, invalidations)`.
+    pub fn dircache_stats(&self) -> (u64, u64, u64) {
+        self.state.lock().dircache.stats()
+    }
+
+    // ----- RPC helpers -----------------------------------------------------
+
+    pub(crate) fn call_srv(&self, server: &ServerHandle, req: Request) -> WireReply {
+        rpc::call(&self.machine, &self.entity, server, req)
+    }
+
+    pub(crate) fn call(&self, server: ServerId, req: Request) -> WireReply {
+        rpc::call(
+            &self.machine,
+            &self.entity,
+            &self.servers[server as usize],
+            req,
+        )
+    }
+
+    /// Fans a request out to every server (directory broadcast §3.6.2, or
+    /// sequential RPCs when the broadcast technique is disabled).
+    pub(crate) fn call_all(&self, mk: impl FnMut(ServerId) -> Request) -> Vec<WireReply> {
+        rpc::multicall(
+            &self.machine,
+            &self.entity,
+            &self.servers,
+            self.params.techniques.broadcast,
+            mk,
+        )
+    }
+
+    /// Charges client-side CPU work to this process.
+    pub(crate) fn charge(&self, cycles: u64) {
+        self.entity.work(&self.machine, cycles);
+    }
+
+    /// This process's current logical time.
+    pub fn vnow(&self) -> u64 {
+        self.entity.now()
+    }
+
+    /// Executes application CPU work on this process (used by `compute`).
+    pub fn vwork(&self, cycles: u64) {
+        self.entity.work(&self.machine, cycles);
+    }
+
+    /// Waits (without consuming CPU) until logical time `t`.
+    pub fn vwait(&self, t: u64) {
+        self.entity.wait_until(&self.machine, t);
+    }
+
+    /// The shared machine (for diagnostics and spawn plumbing).
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// Charges the client-library syscall entry cost.
+    pub(crate) fn syscall(&self) {
+        self.charge(self.machine.cost.syscall_base);
+    }
+
+    // ----- Placement -------------------------------------------------------
+
+    /// The dentry shard server for `name` in `dir`:
+    /// `hash(dir, name) % NSERVERS` for distributed directories (paper
+    /// §3.3 — `dir` is the parent's inode id, rename-stable), or the home
+    /// server for centralized ones.
+    pub(crate) fn shard_of(&self, dir: InodeId, dist: bool, name: &str) -> ServerId {
+        if !dist {
+            return dir.server;
+        }
+        let mut h = DefaultHasher::new();
+        dir.server.hash(&mut h);
+        dir.num.hash(&mut h);
+        name.hash(&mut h);
+        (h.finish() % self.servers.len() as u64) as ServerId
+    }
+
+    /// Where to place a newly created inode (creation affinity §3.6.4):
+    /// the dentry server if it is nearby (same socket), else this client's
+    /// designated local server. With affinity disabled, always the dentry
+    /// server (maximal coalescing).
+    pub(crate) fn inode_server_for_create(&self, dentry_server: ServerId) -> ServerId {
+        if !self.params.techniques.affinity {
+            return dentry_server;
+        }
+        let dcore = self.servers[dentry_server as usize].core;
+        let same_socket = self.machine.topology.socket_of(dcore)
+            == self.machine.topology.socket_of(self.params.core);
+        if same_socket {
+            dentry_server
+        } else {
+            self.local_server
+        }
+    }
+
+    /// Resolved distribution flag for a new directory.
+    pub(crate) fn effective_dist(&self, requested: Option<bool>) -> bool {
+        requested.unwrap_or(self.params.default_distributed) && self.params.techniques.distribution
+    }
+
+    // ----- Teardown ---------------------------------------------------------
+
+    /// Closes every descriptor and unregisters from all servers. Called at
+    /// process exit; subsequent calls are no-ops.
+    pub fn shutdown(&self) {
+        if self.detached.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let nums = self.state.lock().fds.numbers();
+        for n in nums {
+            let _ = self.close_impl(n);
+        }
+        for s in self.servers.iter() {
+            let _ = self.call_srv(
+                s,
+                Request::Unregister {
+                    client: self.params.id,
+                },
+            );
+        }
+        self.machine.unregister_entity(self.params.core);
+    }
+}
+
+impl Drop for ClientLib {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Picks the client's designated nearby server: the servers on the client's
+/// socket, indexed by client id so co-located clients spread over them
+/// ("each client library has a designated local server it uses in this
+/// situation, to avoid all clients storing files on the same local server",
+/// §3.6.4). Falls back to the lowest-latency server if the socket has none.
+fn designated_local_server(
+    machine: &Arc<Machine>,
+    servers: &Arc<Vec<ServerHandle>>,
+    core: usize,
+    id: ClientId,
+) -> ServerId {
+    let my_socket = machine.topology.socket_of(core);
+    let on_socket: Vec<ServerId> = servers
+        .iter()
+        .filter(|s| machine.topology.socket_of(s.core) == my_socket)
+        .map(|s| s.id)
+        .collect();
+    if !on_socket.is_empty() {
+        return on_socket[(id as usize) % on_socket.len()];
+    }
+    servers
+        .iter()
+        .min_by_key(|s| (machine.latency(core, s.core), s.id))
+        .map(|s| s.id)
+        .expect("at least one server")
+}
+
+/// Extracts the expected reply variant or flags a protocol error.
+macro_rules! expect_reply {
+    ($wire:expr, $pat:pat => $out:expr) => {
+        match $wire {
+            Ok($pat) => Ok($out),
+            Ok(other) => {
+                debug_assert!(false, "protocol mismatch: {:?}", other);
+                Err(Errno::EIO)
+            }
+            Err(e) => Err(e),
+        }
+    };
+}
+pub(crate) use expect_reply;
+
+impl fsapi::ProcFs for ClientLib {
+    fn open(&self, path: &str, flags: fsapi::OpenFlags, mode: fsapi::Mode) -> FsResult<fsapi::Fd> {
+        self.open_impl(path, flags, mode).map(fsapi::Fd)
+    }
+
+    fn close(&self, fd: fsapi::Fd) -> FsResult<()> {
+        self.syscall();
+        self.close_impl(fd.0)
+    }
+
+    fn read(&self, fd: fsapi::Fd, buf: &mut [u8]) -> FsResult<usize> {
+        self.read_impl(fd.0, buf)
+    }
+
+    fn write(&self, fd: fsapi::Fd, buf: &[u8]) -> FsResult<usize> {
+        self.write_impl(fd.0, buf)
+    }
+
+    fn lseek(&self, fd: fsapi::Fd, offset: i64, whence: fsapi::Whence) -> FsResult<u64> {
+        self.lseek_impl(fd.0, offset, whence)
+    }
+
+    fn fsync(&self, fd: fsapi::Fd) -> FsResult<()> {
+        self.fsync_impl(fd.0)
+    }
+
+    fn ftruncate(&self, fd: fsapi::Fd, len: u64) -> FsResult<()> {
+        self.ftruncate_impl(fd.0, len)
+    }
+
+    fn dup(&self, fd: fsapi::Fd) -> FsResult<fsapi::Fd> {
+        self.dup_impl(fd.0).map(fsapi::Fd)
+    }
+
+    fn pipe(&self) -> FsResult<(fsapi::Fd, fsapi::Fd)> {
+        self.pipe_impl().map(|(r, w)| (fsapi::Fd(r), fsapi::Fd(w)))
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        self.unlink_impl(path)
+    }
+
+    fn mkdir_opts(&self, path: &str, mode: fsapi::Mode, opts: fsapi::MkdirOpts) -> FsResult<()> {
+        self.mkdir_impl(path, mode, opts)
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.rmdir_impl(path)
+    }
+
+    fn rename(&self, old: &str, new: &str) -> FsResult<()> {
+        self.rename_impl(old, new)
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<fsapi::DirEntry>> {
+        self.readdir_impl(path)
+    }
+
+    fn stat(&self, path: &str) -> FsResult<fsapi::Stat> {
+        self.stat_impl(path)
+    }
+
+    fn fstat(&self, fd: fsapi::Fd) -> FsResult<fsapi::Stat> {
+        self.fstat_impl(fd.0)
+    }
+}
+
+/// Helper shared by ops/io: run an RPC that returns `Reply::Unit`.
+impl ClientLib {
+    pub(crate) fn call_unit(&self, server: ServerId, req: Request) -> FsResult<()> {
+        expect_reply!(self.call(server, req), Reply::Unit => ())
+    }
+}

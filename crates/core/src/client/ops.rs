@@ -1,0 +1,524 @@
+//! Namespace operations: open/create, unlink, mkdir, rmdir, rename,
+//! readdir, stat.
+
+use super::dircache::CachedDentry;
+use super::fd::{FdEntry, FdMode};
+use super::resolve::DirRef;
+use super::{expect_reply, ClientLib, ClientState};
+use crate::proto::{MarkResult, OpenResult, Reply, Request};
+use crate::types::{InodeId, ServerId};
+use fsapi::{DirEntry, Errno, FileType, FsResult, MkdirOpts, Mode, OpenFlags, Stat};
+use std::collections::HashSet;
+
+impl ClientLib {
+    // ----- open ------------------------------------------------------------
+
+    pub(crate) fn open_impl(&self, path: &str, flags: OpenFlags, mode: Mode) -> FsResult<u32> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let (dir, name) = self.resolve_parent(&mut st, path)?;
+
+        match self.lookup_child(&mut st, dir, name) {
+            Ok(d) => {
+                if flags.contains(OpenFlags::CREAT) && flags.contains(OpenFlags::EXCL) {
+                    return Err(Errno::EEXIST);
+                }
+                self.open_existing(&mut st, d, flags)
+            }
+            Err(Errno::ENOENT) if flags.contains(OpenFlags::CREAT) => {
+                match self.create_file(&mut st, dir, name, flags, mode) {
+                    Err(Errno::EEXIST) => {
+                        // Lost a create race: open the winner's file.
+                        let d = self.lookup_child(&mut st, dir, name)?;
+                        self.open_existing(&mut st, d, flags)
+                    }
+                    other => other,
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn open_existing(
+        &self,
+        st: &mut ClientState,
+        dentry: CachedDentry,
+        flags: OpenFlags,
+    ) -> FsResult<u32> {
+        if dentry.ftype == FileType::Directory {
+            return Err(Errno::EISDIR);
+        }
+        let open = expect_reply!(
+            self.call(
+                dentry.target.server,
+                Request::OpenInode {
+                    client: self.params.id,
+                    num: dentry.target.num,
+                    flags,
+                },
+            ),
+            Reply::Opened(o) => o
+        )?;
+        self.install_fd(st, dentry.target, open, flags)
+    }
+
+    /// Creates and opens a new file. One coalesced message when the dentry
+    /// shard and the inode server coincide (paper §3.6.3); otherwise a
+    /// create+open at the inode server followed by ADD_MAP at the shard.
+    fn create_file(
+        &self,
+        st: &mut ClientState,
+        dir: DirRef,
+        name: &str,
+        flags: OpenFlags,
+        mode: Mode,
+    ) -> FsResult<u32> {
+        fsapi::path::validate_name(name)?;
+        let dentry_server = self.shard_of(dir.ino, dir.dist, name);
+        let inode_server = self.inode_server_for_create(dentry_server);
+
+        if inode_server == dentry_server {
+            let (ino, open) = expect_reply!(
+                self.call(
+                    inode_server,
+                    Request::Create {
+                        client: self.params.id,
+                        ftype: FileType::Regular,
+                        mode,
+                        dist: false,
+                        add_map: Some((dir.ino, name.to_string())),
+                        open: Some(flags),
+                    },
+                ),
+                Reply::Created { ino, open } => (ino, open)
+            )?;
+            let open = open.ok_or(Errno::EIO)?;
+            if self.params.techniques.dircache {
+                st.dircache.insert(
+                    dir.ino,
+                    name,
+                    CachedDentry {
+                        target: ino,
+                        ftype: FileType::Regular,
+                        dist: false,
+                    },
+                );
+            }
+            return self.install_fd(st, ino, open, flags);
+        }
+
+        // Affinity placement: inode near the creator, entry at its shard.
+        let (ino, open) = expect_reply!(
+            self.call(
+                inode_server,
+                Request::Create {
+                    client: self.params.id,
+                    ftype: FileType::Regular,
+                    mode,
+                    dist: false,
+                    add_map: None,
+                    open: Some(flags),
+                },
+            ),
+            Reply::Created { ino, open } => (ino, open)
+        )?;
+        let open = open.ok_or(Errno::EIO)?;
+        let added = expect_reply!(
+            self.call(
+                dentry_server,
+                Request::AddMap {
+                    client: self.params.id,
+                    dir: dir.ino,
+                    name: name.to_string(),
+                    target: ino,
+                    ftype: FileType::Regular,
+                    dist: false,
+                    replace: false,
+                },
+            ),
+            Reply::AddMapped { replaced } => replaced
+        );
+        match added {
+            Ok(_) => {
+                if self.params.techniques.dircache {
+                    st.dircache.insert(
+                        dir.ino,
+                        name,
+                        CachedDentry {
+                            target: ino,
+                            ftype: FileType::Regular,
+                            dist: false,
+                        },
+                    );
+                }
+                self.install_fd(st, ino, open, flags)
+            }
+            Err(e) => {
+                // Undo the orphaned inode (lost race or vanished directory).
+                let _ = self.call(
+                    ino.server,
+                    Request::CloseFd {
+                        fd: open.fd,
+                        size: None,
+                    },
+                );
+                let _ = self.call(ino.server, Request::LinkDecref { num: ino.num });
+                Err(e)
+            }
+        }
+    }
+
+    /// Installs a client descriptor for a server-side open, applying the
+    /// open half of close-to-open consistency: invalidate this core's
+    /// private-cache copies of the file's blocks so reads observe the last
+    /// writer's write-back (paper §3.2).
+    fn install_fd(
+        &self,
+        st: &mut ClientState,
+        ino: InodeId,
+        open: OpenResult,
+        flags: OpenFlags,
+    ) -> FsResult<u32> {
+        let dropped = self.machine.with_cache(self.params.core, |cache, _| {
+            cache.invalidate_all(open.blocks.iter().copied())
+        });
+        self.charge(self.machine.cost.invalidate_blk * open.blocks.len().max(dropped) as u64);
+        let entry = FdEntry {
+            ino,
+            fdid: open.fd,
+            flags,
+            ftype: FileType::Regular,
+            mode: FdMode::Local { offset: 0 },
+            size: open.size,
+            blocks: open.blocks,
+            dirty: HashSet::new(),
+            wrote: false,
+        };
+        st.fds.insert(entry)
+    }
+
+    // ----- unlink ----------------------------------------------------------
+
+    pub(crate) fn unlink_impl(&self, path: &str) -> FsResult<()> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let (dir, name) = self.resolve_parent(&mut st, path)?;
+        let server = self.shard_of(dir.ino, dir.dist, name);
+        let (target, _ftype) = expect_reply!(
+            self.call(
+                server,
+                Request::RmMap {
+                    client: self.params.id,
+                    dir: dir.ino,
+                    name: name.to_string(),
+                    must_be_file: true,
+                },
+            ),
+            Reply::RmMapped { target, ftype } => (target, ftype)
+        )?;
+        st.dircache.remove(dir.ino, name);
+        self.call_unit(target.server, Request::LinkDecref { num: target.num })
+    }
+
+    // ----- mkdir -----------------------------------------------------------
+
+    pub(crate) fn mkdir_impl(&self, path: &str, mode: Mode, opts: MkdirOpts) -> FsResult<()> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let (dir, name) = self.resolve_parent(&mut st, path)?;
+        fsapi::path::validate_name(name)?;
+        let dist = self.effective_dist(opts.distributed);
+        let dentry_server = self.shard_of(dir.ino, dir.dist, name);
+        let home_server = self.inode_server_for_create(dentry_server);
+
+        if home_server == dentry_server {
+            let ino = expect_reply!(
+                self.call(
+                    home_server,
+                    Request::Create {
+                        client: self.params.id,
+                        ftype: FileType::Directory,
+                        mode,
+                        dist,
+                        add_map: Some((dir.ino, name.to_string())),
+                        open: None,
+                    },
+                ),
+                Reply::Created { ino, .. } => ino
+            )?;
+            if self.params.techniques.dircache {
+                st.dircache.insert(
+                    dir.ino,
+                    name,
+                    CachedDentry {
+                        target: ino,
+                        ftype: FileType::Directory,
+                        dist,
+                    },
+                );
+            }
+            return Ok(());
+        }
+
+        let ino = expect_reply!(
+            self.call(
+                home_server,
+                Request::Create {
+                    client: self.params.id,
+                    ftype: FileType::Directory,
+                    mode,
+                    dist,
+                    add_map: None,
+                    open: None,
+                },
+            ),
+            Reply::Created { ino, .. } => ino
+        )?;
+        let added = expect_reply!(
+            self.call(
+                dentry_server,
+                Request::AddMap {
+                    client: self.params.id,
+                    dir: dir.ino,
+                    name: name.to_string(),
+                    target: ino,
+                    ftype: FileType::Directory,
+                    dist,
+                    replace: false,
+                },
+            ),
+            Reply::AddMapped { replaced } => replaced
+        );
+        match added {
+            Ok(_) => {
+                if self.params.techniques.dircache {
+                    st.dircache.insert(
+                        dir.ino,
+                        name,
+                        CachedDentry {
+                            target: ino,
+                            ftype: FileType::Directory,
+                            dist,
+                        },
+                    );
+                }
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.call(ino.server, Request::LinkDecref { num: ino.num });
+                Err(e)
+            }
+        }
+    }
+
+    // ----- rmdir -----------------------------------------------------------
+
+    pub(crate) fn rmdir_impl(&self, path: &str) -> FsResult<()> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let (parent, name) = self.resolve_parent(&mut st, path)?;
+        let d = self.lookup_child(&mut st, parent, name)?;
+        if d.ftype != FileType::Directory {
+            return Err(Errno::ENOTDIR);
+        }
+        if d.target == InodeId::ROOT {
+            return Err(Errno::EBUSY);
+        }
+        let dir = d.target;
+        let dist = d.dist && self.params.techniques.distribution;
+
+        if !dist {
+            // Centralized: a single atomic message to the home server.
+            self.call_unit(dir.server, Request::RmdirCentral { dir })?;
+        } else {
+            self.rmdir_distributed(dir)?;
+        }
+
+        // Remove the entry from the parent and drop the cached dentry.
+        let shard = self.shard_of(parent.ino, parent.dist, name);
+        let _ = expect_reply!(
+            self.call(
+                shard,
+                Request::RmMap {
+                    client: self.params.id,
+                    dir: parent.ino,
+                    name: name.to_string(),
+                    must_be_file: false,
+                },
+            ),
+            Reply::RmMapped { target, ftype } => (target, ftype)
+        )?;
+        st.dircache.remove(parent.ino, name);
+        Ok(())
+    }
+
+    /// The three-phase removal protocol for distributed directories
+    /// (paper §3.3).
+    fn rmdir_distributed(&self, dir: InodeId) -> FsResult<()> {
+        // Phase 1: serialize at the home server.
+        expect_reply!(
+            self.call(dir.server, Request::RmdirSerialize { dir }),
+            Reply::RmdirLocked => ()
+        )?;
+
+        // Phase 2 (prepare): ask every server to mark the directory,
+        // succeeding only on empty shards.
+        let marks = self.call_all(|_| Request::RmdirMark { dir });
+        let mut all_marked = true;
+        let mut failed = false;
+        let mut marked: Vec<ServerId> = Vec::new();
+        for (i, m) in marks.iter().enumerate() {
+            match m {
+                Ok(Reply::RmdirMark(MarkResult::Marked)) => marked.push(i as ServerId),
+                Ok(Reply::RmdirMark(MarkResult::NotEmpty)) => all_marked = false,
+                Ok(_) | Err(_) => {
+                    all_marked = false;
+                    failed = true;
+                }
+            }
+        }
+
+        // Phase 3: COMMIT if everyone marked, else ABORT the markers.
+        let result = if all_marked {
+            let _ = self.call_all(|_| Request::RmdirCommit { dir });
+            Ok(())
+        } else {
+            for s in marked {
+                let _ = self.call(s, Request::RmdirAbort { dir });
+            }
+            if failed {
+                Err(Errno::EIO)
+            } else {
+                Err(Errno::ENOTEMPTY)
+            }
+        };
+        let _ = self.call(dir.server, Request::RmdirRelease { dir });
+        result
+    }
+
+    // ----- rename ----------------------------------------------------------
+
+    pub(crate) fn rename_impl(&self, old: &str, new: &str) -> FsResult<()> {
+        self.syscall();
+        let old_n = fsapi::path::normalize(old)?;
+        let new_n = fsapi::path::normalize(new)?;
+        if old_n == new_n {
+            return Ok(());
+        }
+        // POSIX: renaming a directory into its own subtree is invalid
+        // (would disconnect the subtree from the namespace).
+        if new_n.starts_with(&format!("{old_n}/")) {
+            return Err(Errno::EINVAL);
+        }
+        let mut st = self.state.lock();
+        let (old_dir, old_name) = self.resolve_parent(&mut st, &old_n)?;
+        let (new_dir, new_name) = self.resolve_parent(&mut st, &new_n)?;
+        fsapi::path::validate_name(new_name)?;
+        let d = self.lookup_child(&mut st, old_dir, old_name)?;
+
+        // Paper §3.3: "rename first contacts the server storing the new
+        // name, to create (or replace) a hard link with the new name, and
+        // then contacts the server storing the old name to unlink it."
+        let new_shard = self.shard_of(new_dir.ino, new_dir.dist, new_name);
+        let replaced = expect_reply!(
+            self.call(
+                new_shard,
+                Request::AddMap {
+                    client: self.params.id,
+                    dir: new_dir.ino,
+                    name: new_name.to_string(),
+                    target: d.target,
+                    ftype: d.ftype,
+                    dist: d.dist,
+                    replace: true,
+                },
+            ),
+            Reply::AddMapped { replaced } => replaced
+        )?;
+
+        let old_shard = self.shard_of(old_dir.ino, old_dir.dist, old_name);
+        let _ = expect_reply!(
+            self.call(
+                old_shard,
+                Request::RmMap {
+                    client: self.params.id,
+                    dir: old_dir.ino,
+                    name: old_name.to_string(),
+                    must_be_file: false,
+                },
+            ),
+            Reply::RmMapped { target, ftype } => (target, ftype)
+        )?;
+
+        // The displaced target (if any) loses a link.
+        if let Some((displaced, _ftype)) = replaced {
+            let _ = self.call(
+                displaced.server,
+                Request::LinkDecref {
+                    num: displaced.num,
+                },
+            );
+        }
+
+        st.dircache.remove(old_dir.ino, old_name);
+        if self.params.techniques.dircache {
+            st.dircache.insert(new_dir.ino, new_name, d);
+        }
+        Ok(())
+    }
+
+    // ----- readdir ---------------------------------------------------------
+
+    pub(crate) fn readdir_impl(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let comps = fsapi::path::components(path)?;
+        let dir = self.resolve_dir(&mut st, &comps)?;
+        drop(st);
+
+        if dir.dist {
+            // Distributed: fan out to all servers (directory broadcast,
+            // §3.6.2; sequential RPCs when the technique is disabled).
+            let shards = self.call_all(|_| Request::ListShard { dir: dir.ino });
+            let mut out = Vec::new();
+            for s in shards {
+                let entries = expect_reply!(s, Reply::Shard { entries } => entries)?;
+                out.extend(entries);
+            }
+            self.charge(20 * out.len() as u64);
+            out.sort();
+            Ok(out)
+        } else {
+            let entries = expect_reply!(
+                self.call(dir.ino.server, Request::ListShard { dir: dir.ino }),
+                Reply::Shard { entries } => entries
+            )?;
+            self.charge(20 * entries.len() as u64);
+            let mut out = entries;
+            out.sort();
+            Ok(out)
+        }
+    }
+
+    // ----- stat ------------------------------------------------------------
+
+    pub(crate) fn stat_impl(&self, path: &str) -> FsResult<Stat> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let comps = fsapi::path::components(path)?;
+        let target = if comps.is_empty() {
+            InodeId::ROOT
+        } else {
+            let (dir, name) = {
+                let (parents, name) = (&comps[..comps.len() - 1], comps[comps.len() - 1]);
+                (self.resolve_dir(&mut st, parents)?, name)
+            };
+            self.lookup_child(&mut st, dir, name)?.target
+        };
+        drop(st);
+        expect_reply!(
+            self.call(target.server, Request::StatInode { num: target.num }),
+            Reply::Stat(s) => s
+        )
+    }
+}

@@ -1,0 +1,91 @@
+//! Iterative pathname resolution through the directory cache.
+//!
+//! "Pathname lookups proceed iteratively, issuing the following RPC to each
+//! directory server in turn: `lookup(dir, name) -> (server, inode)`"
+//! (paper §3.6.1). Results are cached; servers invalidate stale entries.
+
+use super::dircache::CachedDentry;
+use super::{expect_reply, ClientLib, ClientState};
+use crate::proto::{Reply, Request};
+use crate::types::InodeId;
+use fsapi::{Errno, FileType, FsResult};
+
+/// A resolved directory: its inode plus distribution flag (needed to route
+/// subsequent entry operations to the right shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirRef {
+    /// Directory inode.
+    pub ino: InodeId,
+    /// Whether its entries are distributed over all servers.
+    pub dist: bool,
+}
+
+impl ClientLib {
+    /// The root directory reference.
+    pub(crate) fn root_ref(&self) -> DirRef {
+        DirRef {
+            ino: InodeId::ROOT,
+            dist: self.params.root_distributed && self.params.techniques.distribution,
+        }
+    }
+
+    /// Resolves one component inside `dir`, consulting the lookup cache
+    /// first (when the technique is enabled).
+    pub(crate) fn lookup_child(
+        &self,
+        st: &mut ClientState,
+        dir: DirRef,
+        name: &str,
+    ) -> FsResult<CachedDentry> {
+        if self.params.techniques.dircache {
+            let (hit, drained) = st.dircache.lookup(dir.ino, name);
+            self.charge(self.machine.cost.dircache_hit + drained as u64 * 50);
+            if let Some(v) = hit {
+                return Ok(v);
+            }
+        }
+        let server = self.shard_of(dir.ino, dir.dist, name);
+        let got = expect_reply!(
+            self.call(
+                server,
+                Request::Lookup {
+                    client: self.params.id,
+                    dir: dir.ino,
+                    name: name.to_string(),
+                },
+            ),
+            Reply::Lookup { target, ftype, dist } => CachedDentry { target, ftype, dist }
+        )?;
+        if self.params.techniques.dircache {
+            st.dircache.insert(dir.ino, name, got);
+        }
+        Ok(got)
+    }
+
+    /// Resolves a component list to a directory.
+    pub(crate) fn resolve_dir(&self, st: &mut ClientState, comps: &[&str]) -> FsResult<DirRef> {
+        let mut cur = self.root_ref();
+        for comp in comps {
+            let d = self.lookup_child(st, cur, comp)?;
+            if d.ftype != FileType::Directory {
+                return Err(Errno::ENOTDIR);
+            }
+            cur = DirRef {
+                ino: d.target,
+                dist: d.dist && self.params.techniques.distribution,
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Resolves `path` to `(parent directory, final name)`.
+    pub(crate) fn resolve_parent<'p>(
+        &self,
+        st: &mut ClientState,
+        path: &'p str,
+    ) -> FsResult<(DirRef, &'p str)> {
+        let (parents, name) = fsapi::path::split_parent(path)?;
+        let dir = self.resolve_dir(st, &parents)?;
+        Ok((dir, name))
+    }
+}

@@ -1,0 +1,187 @@
+//! Hare instance configuration: core/server layout and technique toggles.
+
+use vtime::{CostModel, Topology};
+
+/// The five techniques the paper ablates in §5.4 (Figure 9).
+///
+/// Each toggle removes one optimization while keeping the system correct,
+/// which is exactly how the paper measures technique importance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Techniques {
+    /// Directory distribution (§3.3): when off, every directory is
+    /// centralized at its home server regardless of creation flags.
+    pub distribution: bool,
+    /// Directory broadcast (§3.6.2): when off, `readdir`/`rmdir` over a
+    /// distributed directory issue sequential RPCs to each server instead of
+    /// parallel fan-out.
+    pub broadcast: bool,
+    /// Direct buffer-cache access (§3.6, Figure 12): when off, file data
+    /// moves through the file server by RPC instead of through shared DRAM.
+    pub direct_access: bool,
+    /// Directory-entry lookup cache with server invalidations (§3.6.1).
+    pub dircache: bool,
+    /// Creation affinity (§3.6.4): place a new file's inode on a server
+    /// close to the creating core.
+    pub affinity: bool,
+}
+
+impl Default for Techniques {
+    /// All techniques enabled (the paper's normal configuration).
+    fn default() -> Self {
+        Techniques {
+            distribution: true,
+            broadcast: true,
+            direct_access: true,
+            dircache: true,
+            affinity: true,
+        }
+    }
+}
+
+impl Techniques {
+    /// Returns the default set with one named technique disabled; used by
+    /// the Figure 9–14 ablation harness.
+    pub fn without(name: &str) -> Techniques {
+        let mut t = Techniques::default();
+        match name {
+            "distribution" => t.distribution = false,
+            "broadcast" => t.broadcast = false,
+            "direct_access" => t.direct_access = false,
+            "dircache" => t.dircache = false,
+            "affinity" => t.affinity = false,
+            other => panic!("unknown technique {other:?}"),
+        }
+        t
+    }
+}
+
+/// Placement policy for remote execution (paper §3.5: "our prototype
+/// supports both a random and a round-robin policy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Uniformly random core.
+    Random,
+    /// Round-robin over cores, with the cursor propagated from parent to
+    /// child.
+    RoundRobin,
+}
+
+/// Full configuration of one simulated Hare machine.
+#[derive(Debug, Clone)]
+pub struct HareConfig {
+    /// Total cores in the machine.
+    pub ncores: usize,
+    /// Cores that run a file server (one server per listed core).
+    pub server_cores: Vec<usize>,
+    /// Cores available to application processes.
+    pub app_cores: Vec<usize>,
+    /// NUMA layout.
+    pub topology: Topology,
+    /// Cost model for virtual-time accounting.
+    pub cost: CostModel,
+    /// Buffer-cache size in blocks, divided evenly among servers
+    /// (2 GB in the paper's setup; scaled down here).
+    pub dram_blocks: usize,
+    /// Per-core private cache capacity in blocks.
+    pub cache_blocks: usize,
+    /// Whether directories are distributed when the application does not
+    /// say (applications pass [`fsapi::MkdirOpts`] to choose per directory).
+    pub default_distributed: bool,
+    /// The root directory's distribution flag.
+    pub root_distributed: bool,
+    /// Technique toggles.
+    pub techniques: Techniques,
+    /// Remote-execution placement policy.
+    pub placement: Placement,
+    /// Pipe capacity in bytes (Linux default 64 KiB).
+    pub pipe_capacity: usize,
+}
+
+impl HareConfig {
+    /// The paper's *timeshare* configuration: a file server and application
+    /// processes on every core (§5.3.2, used for the headline scalability
+    /// results).
+    pub fn timeshare(ncores: usize) -> Self {
+        let all: Vec<usize> = (0..ncores).collect();
+        HareConfig {
+            ncores,
+            server_cores: all.clone(),
+            app_cores: all,
+            topology: Topology::with_cores(ncores),
+            cost: CostModel::default(),
+            // Scaled-down buffer cache (the paper uses 2 GB): 8 MiB per
+            // server keeps per-partition headroom at every machine size.
+            dram_blocks: 2048 * ncores,
+            cache_blocks: 256, // 1 MiB private cache
+            default_distributed: false,
+            root_distributed: true,
+            techniques: Techniques::default(),
+            placement: Placement::RoundRobin,
+            pipe_capacity: 64 * 1024,
+        }
+    }
+
+    /// The paper's *split* configuration: `nserver` dedicated server cores,
+    /// the rest running applications (§5.3.2, Figure 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < nservers < ncores`.
+    pub fn split(ncores: usize, nservers: usize) -> Self {
+        assert!(nservers > 0 && nservers < ncores);
+        let mut cfg = HareConfig::timeshare(ncores);
+        cfg.server_cores = (0..nservers).collect();
+        cfg.app_cores = (nservers..ncores).collect();
+        cfg
+    }
+
+    /// Number of file servers (`NSERVERS` in the paper's hash function).
+    pub fn nservers(&self) -> usize {
+        self.server_cores.len()
+    }
+
+    /// True when some core hosts both a server and applications.
+    pub fn is_timeshare(&self) -> bool {
+        self.server_cores.iter().any(|c| self.app_cores.contains(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeshare_layout() {
+        let c = HareConfig::timeshare(8);
+        assert_eq!(c.nservers(), 8);
+        assert_eq!(c.app_cores.len(), 8);
+        assert!(c.is_timeshare());
+    }
+
+    #[test]
+    fn split_layout() {
+        let c = HareConfig::split(40, 20);
+        assert_eq!(c.nservers(), 20);
+        assert_eq!(c.app_cores, (20..40).collect::<Vec<_>>());
+        assert!(!c.is_timeshare());
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_needs_app_cores() {
+        HareConfig::split(4, 4);
+    }
+
+    #[test]
+    fn technique_toggles() {
+        let t = Techniques::without("broadcast");
+        assert!(!t.broadcast);
+        assert!(t.distribution && t.direct_access && t.dircache && t.affinity);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_technique_rejected() {
+        Techniques::without("bogus");
+    }
+}

@@ -1,0 +1,517 @@
+//! The Hare wire protocol between client libraries and file servers.
+//!
+//! Every request is handled by exactly one server; operations that span
+//! servers (create with affinity, rename, distributed `rmdir`) are composed
+//! by the client library from these primitives, never by server-to-server
+//! RPC — "Hare avoids server-to-server RPCs, which simplifies reasoning
+//! about possible deadlock scenarios" (paper §3.3).
+//!
+//! Several requests are *coalesced* forms: [`Request::Create`] performs
+//! inode creation, directory-entry insertion, and descriptor open in one
+//! message when the dentry and inode land on the same server
+//! (message coalescing, paper §3.6.3).
+
+use crate::types::{ClientId, FdId, InodeId};
+use fsapi::{DirEntry, Errno, FileType, Mode, OpenFlags, Stat, Whence};
+
+/// A directory-cache invalidation callback, sent by a server to every client
+/// that has `(dir, name)` cached (paper §3.6.1). Thanks to atomic message
+/// delivery the server proceeds as soon as `send()` returns.
+#[derive(Debug, Clone)]
+pub struct Invalidation {
+    /// Directory whose entry changed.
+    pub dir: InodeId,
+    /// The entry name.
+    pub name: String,
+}
+
+/// Result of the mark phase of the three-phase `rmdir` protocol (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkResult {
+    /// This server holds no entries of the directory; it is now marked.
+    Marked,
+    /// This server still holds entries; the directory cannot be removed.
+    NotEmpty,
+}
+
+/// A request from a client library to one file server.
+#[derive(Debug)]
+pub enum Request {
+    /// Introduces a client and its invalidation queue to the server.
+    Register {
+        /// The registering client.
+        client: ClientId,
+        /// Core the client runs on (for invalidation delivery latency).
+        core: usize,
+        /// Channel on which the server delivers [`Invalidation`]s.
+        inval: msg::Sender<Invalidation>,
+    },
+    /// Removes a client's registration and cache-tracking state (sent at
+    /// process exit).
+    Unregister {
+        /// The departing client.
+        client: ClientId,
+    },
+
+    // ----- Directory entries (this server is the shard for (dir, name)) --
+    /// `lookup(dir, name) -> (server, inode)` (paper §3.6.1). The server
+    /// records the client in the entry's tracking list for future
+    /// invalidations.
+    Lookup {
+        /// Requesting client (tracked for invalidation).
+        client: ClientId,
+        /// Parent directory inode.
+        dir: InodeId,
+        /// Entry name.
+        name: String,
+    },
+    /// Inserts a directory entry (the paper's ADD_MAP). With `replace`,
+    /// atomically replaces an existing non-directory target (rename).
+    AddMap {
+        /// Mutating client (skipped when broadcasting invalidations).
+        client: ClientId,
+        /// Parent directory inode.
+        dir: InodeId,
+        /// New entry name.
+        name: String,
+        /// Inode the entry points at.
+        target: InodeId,
+        /// Type of the target (stored in the entry so `readdir` and
+        /// resolution need not contact the inode server).
+        ftype: FileType,
+        /// For directory targets: the directory's distribution flag.
+        dist: bool,
+        /// Replace an existing entry (rename semantics) instead of failing
+        /// with `EEXIST`.
+        replace: bool,
+    },
+    /// Removes a directory entry (the paper's RM_MAP), returning the target
+    /// so the client can decrement its link count.
+    RmMap {
+        /// Mutating client.
+        client: ClientId,
+        /// Parent directory inode.
+        dir: InodeId,
+        /// Entry name.
+        name: String,
+        /// `unlink` sets this so directories are rejected with `EISDIR`;
+        /// `rmdir`/`rename` cleanup clears it.
+        must_be_file: bool,
+    },
+    /// Lists this server's shard of a directory (`readdir` fan-out,
+    /// paper §3.6.2).
+    ListShard {
+        /// Directory inode.
+        dir: InodeId,
+    },
+
+    // ----- Three-phase rmdir (paper §3.3) --------------------------------
+    /// Phase 1 at the directory's home server: serialize concurrent
+    /// `rmdir`s of one directory to avoid deadlock.
+    RmdirSerialize {
+        /// Directory being removed.
+        dir: InodeId,
+    },
+    /// Releases the phase-1 serialization lock.
+    RmdirRelease {
+        /// Directory being removed.
+        dir: InodeId,
+    },
+    /// Phase 2 (prepare) at every server: mark the directory for deletion
+    /// if this shard holds no entries. While marked, operations on the
+    /// directory are delayed until COMMIT or ABORT.
+    RmdirMark {
+        /// Directory being removed.
+        dir: InodeId,
+    },
+    /// Phase 3a: all servers marked successfully — delete the directory.
+    /// The home server also destroys the directory's inode.
+    RmdirCommit {
+        /// Directory being removed.
+        dir: InodeId,
+    },
+    /// Phase 3b: some server reported entries — remove deletion marks.
+    RmdirAbort {
+        /// Directory being removed.
+        dir: InodeId,
+    },
+    /// Single-message removal of a **centralized** directory: its entries
+    /// all live at its home server, so emptiness check, tombstone, and inode
+    /// destruction are one atomic step.
+    RmdirCentral {
+        /// Directory being removed.
+        dir: InodeId,
+    },
+
+    // ----- Inodes and descriptors (this server stores the inode) ---------
+    /// Creates an inode; optionally also inserts the directory entry (when
+    /// this server is the dentry shard — message coalescing §3.6.3) and
+    /// opens a descriptor (for `open(O_CREAT)`).
+    Create {
+        /// Creating client.
+        client: ClientId,
+        /// Object type.
+        ftype: FileType,
+        /// Permission bits.
+        mode: Mode,
+        /// Distribution flag when creating a directory.
+        dist: bool,
+        /// Coalesced ADD_MAP: insert `(dir, name) -> new inode` locally.
+        add_map: Option<(InodeId, String)>,
+        /// Coalesced open: also open a descriptor with these flags.
+        open: Option<OpenFlags>,
+    },
+    /// Opens an existing inode after permission checks, returning the
+    /// block list for direct buffer-cache access (paper §3.2).
+    OpenInode {
+        /// Opening client.
+        client: ClientId,
+        /// Per-server inode number (the inode lives on this server).
+        num: u64,
+        /// Open flags (handles `O_TRUNC`).
+        flags: OpenFlags,
+    },
+    /// Closes one reference to a descriptor; the last close of an orphaned
+    /// (unlinked) file frees its blocks (paper §3.4). `size` carries the
+    /// client's final size for files it wrote (close-to-open write-back).
+    CloseFd {
+        /// Descriptor handle.
+        fd: FdId,
+        /// New authoritative size if the closer wrote the file.
+        size: Option<u64>,
+    },
+    /// Increments a descriptor's reference count because it is being shared
+    /// with another process (fork/spawn/dup). Migrates the offset from the
+    /// client to the server: the descriptor enters *shared* state
+    /// (paper §3.4).
+    FdIncref {
+        /// Descriptor handle.
+        fd: FdId,
+        /// The client-held offset at migration time (ignored if the
+        /// descriptor is already shared).
+        offset: u64,
+    },
+    /// Reserves a byte range for I/O on a *shared* descriptor: the server
+    /// owns the offset, advances it atomically, and returns the range plus
+    /// block list; the client then moves the data through shared DRAM.
+    SharedIo {
+        /// Descriptor handle.
+        fd: FdId,
+        /// Requested transfer length.
+        len: u64,
+        /// Write (true) or read (false).
+        write: bool,
+        /// Append mode: writes start at end of file.
+        append: bool,
+    },
+    /// `lseek` on a shared descriptor.
+    SeekShared {
+        /// Descriptor handle.
+        fd: FdId,
+        /// Seek delta.
+        offset: i64,
+        /// Seek origin.
+        whence: Whence,
+    },
+    /// Extends a file's block list so it can hold `min_size` bytes
+    /// (blocks come from this server's buffer-cache partition, §3.2).
+    AllocBlocks {
+        /// Descriptor handle.
+        fd: FdId,
+        /// Required file capacity in bytes.
+        min_size: u64,
+    },
+    /// Publishes a new file size (fsync or close while keeping other
+    /// descriptors open).
+    SetSize {
+        /// Descriptor handle.
+        fd: FdId,
+        /// New size.
+        size: u64,
+    },
+    /// Truncates the file; blocks beyond the new size are *defer-freed*
+    /// until every descriptor closes, so a concurrent writer on another
+    /// core cannot corrupt a reallocated block (paper §3.2).
+    Truncate {
+        /// Descriptor handle.
+        fd: FdId,
+        /// New size.
+        size: u64,
+    },
+    /// Reads file data *through the server* (used when the direct-access
+    /// technique is disabled — Figure 12 ablation).
+    ReadData {
+        /// Descriptor handle.
+        fd: FdId,
+        /// Absolute file offset.
+        offset: u64,
+        /// Length to read.
+        len: u64,
+    },
+    /// Writes file data *through the server* (direct access disabled).
+    WriteData {
+        /// Descriptor handle.
+        fd: FdId,
+        /// Absolute file offset (ignored with `append`).
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+        /// Append at end of file.
+        append: bool,
+    },
+    /// Increments an inode's link count (rename bookkeeping).
+    LinkIncref {
+        /// Per-server inode number.
+        num: u64,
+    },
+    /// Decrements an inode's link count; at zero the inode becomes an
+    /// orphan if descriptors remain open, else it is destroyed.
+    LinkDecref {
+        /// Per-server inode number.
+        num: u64,
+    },
+    /// Returns inode metadata.
+    StatInode {
+        /// Per-server inode number.
+        num: u64,
+    },
+
+    // ----- Pipes (server-side so they can be shared across cores) --------
+    /// Creates a pipe on this server; returns both descriptor handles.
+    PipeCreate,
+    /// Reads from a pipe; blocks (deferred reply) while the pipe is empty
+    /// and writers remain.
+    PipeRead {
+        /// Read-end descriptor.
+        fd: FdId,
+        /// Maximum bytes.
+        max: u64,
+    },
+    /// Writes to a pipe; blocks (deferred reply) while the pipe is full.
+    PipeWrite {
+        /// Write-end descriptor.
+        fd: FdId,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+
+    /// Stops the server loop (machine shutdown).
+    Shutdown,
+}
+
+/// State returned to the last remaining holder of a descriptor when the
+/// server migrates the offset back to the client ("it changes back to local
+/// state when the reference count at the server drops to one", paper §3.4).
+#[derive(Debug, Clone)]
+pub struct DemoteInfo {
+    /// The offset at migration time.
+    pub offset: u64,
+    /// Current file size.
+    pub size: u64,
+    /// Block list for resumed direct access.
+    pub blocks: Vec<nccmem::BlockId>,
+}
+
+/// Fields returned by a successful open (plain or coalesced into `Create`).
+#[derive(Debug, Clone)]
+pub struct OpenResult {
+    /// Server-side descriptor handle.
+    pub fd: FdId,
+    /// Current file size.
+    pub size: u64,
+    /// The file's block list for direct buffer-cache access.
+    pub blocks: Vec<nccmem::BlockId>,
+}
+
+/// A successful reply. Failures travel as `Err(Errno)` in [`WireReply`].
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// Generic acknowledgment.
+    Unit,
+    /// Lookup hit: target inode, its type, and (for directories) the
+    /// distribution flag.
+    Lookup {
+        /// Target inode.
+        target: InodeId,
+        /// Target type.
+        ftype: FileType,
+        /// Distribution flag for directory targets.
+        dist: bool,
+    },
+    /// ADD_MAP done; carries the replaced target for rename cleanup.
+    AddMapped {
+        /// Previously mapped target, if `replace` displaced one.
+        replaced: Option<(InodeId, FileType)>,
+    },
+    /// RM_MAP done; carries the removed target.
+    RmMapped {
+        /// The inode the removed entry pointed at.
+        target: InodeId,
+        /// Its type.
+        ftype: FileType,
+    },
+    /// One shard of a directory listing.
+    Shard {
+        /// Entries stored at this server.
+        entries: Vec<DirEntry>,
+    },
+    /// Inode created (with optional coalesced open).
+    Created {
+        /// The new inode.
+        ino: InodeId,
+        /// Open descriptor if requested.
+        open: Option<OpenResult>,
+    },
+    /// Descriptor opened.
+    Opened(OpenResult),
+    /// Descriptor closed; `demote_peer` is true when exactly one reference
+    /// remains and the survivor may return to local state (paper §3.4).
+    Closed {
+        /// Remaining reference count.
+        refs: u32,
+    },
+    /// Shared-descriptor I/O reservation.
+    SharedIo {
+        /// Absolute offset the transfer starts at.
+        offset: u64,
+        /// Number of bytes reserved (may be less than asked for reads).
+        len: u64,
+        /// Block list covering the range.
+        blocks: Vec<nccmem::BlockId>,
+        /// File size after the operation.
+        size: u64,
+        /// When the reference count has dropped back to one, the server
+        /// migrates the offset back to the client: descriptor state, size,
+        /// and block list for local operation.
+        demote: Option<DemoteInfo>,
+    },
+    /// New offset after a shared seek.
+    Seeked {
+        /// Resulting absolute offset.
+        offset: u64,
+        /// Demotion to local state, if applicable.
+        demote: Option<DemoteInfo>,
+    },
+    /// Extended block list after allocation.
+    Blocks {
+        /// The file's full block list.
+        blocks: Vec<nccmem::BlockId>,
+        /// Current size.
+        size: u64,
+    },
+    /// Inline data (server-mediated reads, pipe reads).
+    Data {
+        /// The bytes read.
+        data: Vec<u8>,
+        /// For pipe reads: false once all writers closed and the buffer
+        /// drained (EOF).
+        _eof: bool,
+    },
+    /// Bytes accepted by a server-mediated or pipe write.
+    Written {
+        /// Byte count.
+        n: u64,
+    },
+    /// Inode metadata.
+    Stat(Stat),
+    /// rmdir serialization lock granted.
+    RmdirLocked,
+    /// Result of the rmdir mark phase on this server.
+    RmdirMark(MarkResult),
+    /// Pipe created.
+    Pipe {
+        /// Pipe identity (for fstat).
+        ino: InodeId,
+        /// Read-end handle.
+        rfd: FdId,
+        /// Write-end handle.
+        wfd: FdId,
+    },
+}
+
+/// What travels back to the client.
+pub type WireReply = Result<Reply, Errno>;
+
+/// One message into a server: the request plus its reply channel.
+///
+/// The envelope around this carries `deliver_at` (virtual arrival time) and
+/// `src_core` (for reply latency).
+pub struct ServerMsg {
+    /// The request body.
+    pub req: Request,
+    /// Where the (possibly deferred) reply goes.
+    pub reply: msg::Sender<WireReply>,
+}
+
+impl std::fmt::Debug for ServerMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServerMsg({:?})", self.req)
+    }
+}
+
+/// Base service cost (cycles) of a request at the server, before per-item
+/// additions computed by the handler. ADD_MAP and RM_MAP use the paper's
+/// measured 1211 and 756 cycles (§5.3.3).
+pub fn base_service_cost(req: &Request) -> u64 {
+    match req {
+        Request::Register { .. } | Request::Unregister { .. } => 200,
+        Request::Lookup { .. } => 600,
+        Request::AddMap { .. } => 1211,
+        Request::RmMap { .. } => 756,
+        Request::ListShard { .. } => 400,
+        Request::RmdirSerialize { .. } | Request::RmdirRelease { .. } => 300,
+        Request::RmdirMark { .. } => 400,
+        Request::RmdirCommit { .. } | Request::RmdirAbort { .. } => 350,
+        Request::RmdirCentral { .. } => 700,
+        Request::Create { .. } => 900,
+        Request::OpenInode { .. } => 800,
+        Request::CloseFd { .. } => 250,
+        Request::FdIncref { .. } => 350,
+        Request::SharedIo { .. } => 500,
+        Request::SeekShared { .. } => 300,
+        Request::AllocBlocks { .. } => 400,
+        Request::SetSize { .. } => 250,
+        Request::Truncate { .. } => 500,
+        Request::ReadData { .. } => 500,
+        Request::WriteData { .. } => 500,
+        Request::LinkIncref { .. } | Request::LinkDecref { .. } => 300,
+        Request::StatInode { .. } => 400,
+        Request::PipeCreate => 600,
+        Request::PipeRead { .. } => 450,
+        Request::PipeWrite { .. } => 450,
+        Request::Shutdown => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibrated_costs() {
+        let add = Request::AddMap {
+            client: 0,
+            dir: InodeId::ROOT,
+            name: "x".into(),
+            target: InodeId { server: 0, num: 2 },
+            ftype: FileType::Regular,
+            dist: false,
+            replace: false,
+        };
+        let rm = Request::RmMap {
+            client: 0,
+            dir: InodeId::ROOT,
+            name: "x".into(),
+            must_be_file: true,
+        };
+        // Paper §5.3.3: ADD_MAP takes 1211 cycles and RM_MAP 756 cycles at
+        // the server.
+        assert_eq!(base_service_cost(&add), 1211);
+        assert_eq!(base_service_cost(&rm), 756);
+    }
+
+    #[test]
+    fn shutdown_is_free() {
+        assert_eq!(base_service_cost(&Request::Shutdown), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! One server's partition of the shared buffer cache.
+//!
+//! "The buffer cache is divided into blocks which file servers allocate to
+//! files on demand. Each server maintains a list of free buffer cache
+//! blocks; each block is managed by one file server" (paper §3.2). Block
+//! stealing between servers is not implemented, as in the paper's
+//! prototype.
+
+use fsapi::{Errno, FsResult};
+use nccmem::BlockId;
+
+/// Free-list allocator over one contiguous partition of DRAM blocks.
+#[derive(Debug)]
+pub struct BlockAllocator {
+    free: Vec<BlockId>,
+    total: usize,
+}
+
+impl BlockAllocator {
+    /// Creates an allocator owning blocks `[start, start + count)`.
+    pub fn new(start: usize, count: usize) -> Self {
+        BlockAllocator {
+            // LIFO free list; reverse so low block numbers allocate first.
+            free: (start..start + count).rev().map(BlockId).collect(),
+            total: count,
+        }
+    }
+
+    /// Allocates `n` blocks (lowest-numbered first, for determinism), or
+    /// fails with `ENOSPC` leaving the free list untouched.
+    pub fn alloc(&mut self, n: usize) -> FsResult<Vec<BlockId>> {
+        if self.free.len() < n {
+            return Err(Errno::ENOSPC);
+        }
+        let mut out = self.free.split_off(self.free.len() - n);
+        out.reverse();
+        Ok(out)
+    }
+
+    /// Returns blocks to the free list.
+    pub fn free(&mut self, blocks: impl IntoIterator<Item = BlockId>) {
+        self.free.extend(blocks);
+        debug_assert!(self.free.len() <= self.total);
+    }
+
+    /// Blocks currently free.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Partition size.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut a = BlockAllocator::new(100, 10);
+        assert_eq!(a.available(), 10);
+        let blocks = a.alloc(3).unwrap();
+        assert_eq!(blocks.len(), 3);
+        assert!(blocks.iter().all(|b| (100..110).contains(&b.0)));
+        assert_eq!(a.available(), 7);
+        a.free(blocks);
+        assert_eq!(a.available(), 10);
+    }
+
+    #[test]
+    fn low_blocks_first() {
+        let mut a = BlockAllocator::new(0, 4);
+        assert_eq!(a.alloc(2).unwrap(), vec![BlockId(0), BlockId(1)]);
+    }
+
+    #[test]
+    fn enospc_is_atomic() {
+        let mut a = BlockAllocator::new(0, 2);
+        assert_eq!(a.alloc(3), Err(Errno::ENOSPC));
+        assert_eq!(a.available(), 2, "failed alloc must not consume blocks");
+        assert!(a.alloc(2).is_ok());
+        assert_eq!(a.alloc(1), Err(Errno::ENOSPC));
+    }
+}

@@ -1,0 +1,246 @@
+//! One server's shard of the distributed directory entries.
+//!
+//! A distributed directory's entries are spread over all servers by
+//! `hash(dir, name) % NSERVERS` (paper §3.3); a centralized directory keeps
+//! all its entries at its home server. Either way, the entries a given
+//! server stores live here, together with the per-entry client tracking
+//! lists used for invalidation callbacks (paper §3.6.1) and the tombstones
+//! of removed directories.
+
+use crate::types::{ClientId, InodeId};
+use fsapi::{DirEntry, Errno, FileType, FsResult};
+use std::collections::{HashMap, HashSet};
+
+/// Value of one directory entry.
+///
+/// Entries store the full `(server, inode)` target plus the target's type
+/// and — for directories — the distribution flag, so path resolution learns
+/// everything it needs from a single lookup RPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DentryVal {
+    /// The inode this name maps to.
+    pub target: InodeId,
+    /// The target's type.
+    pub ftype: FileType,
+    /// Distribution flag (meaningful for directory targets).
+    pub dist: bool,
+}
+
+/// This server's slice of every directory.
+#[derive(Debug, Default)]
+pub struct DentryShard {
+    /// dir → name → value.
+    dirs: HashMap<InodeId, HashMap<String, DentryVal>>,
+    /// Clients holding `(dir, name)` in their lookup caches.
+    tracking: HashMap<(InodeId, String), HashSet<ClientId>>,
+    /// Directories removed by a committed rmdir. Entries can never be
+    /// created under a tombstoned directory, closing the race between a
+    /// committed removal and a client with a stale parent lookup.
+    tombstones: HashSet<InodeId>,
+}
+
+impl DentryShard {
+    /// Looks up `name` in `dir`'s local slice.
+    pub fn lookup(&self, dir: InodeId, name: &str) -> Option<DentryVal> {
+        self.dirs.get(&dir).and_then(|m| m.get(name)).copied()
+    }
+
+    /// Inserts an entry. With `replace`, an existing non-directory entry is
+    /// displaced and returned; without, an existing entry fails `EEXIST`.
+    /// Directories are never displaced (`EISDIR`), matching the restricted
+    /// rename-over semantics this reproduction supports.
+    pub fn insert(
+        &mut self,
+        dir: InodeId,
+        name: &str,
+        val: DentryVal,
+        replace: bool,
+    ) -> FsResult<Option<DentryVal>> {
+        if self.tombstones.contains(&dir) {
+            return Err(Errno::ENOENT);
+        }
+        let slot = self.dirs.entry(dir).or_default();
+        match slot.get(name) {
+            None => {
+                slot.insert(name.to_string(), val);
+                Ok(None)
+            }
+            Some(old) if replace => {
+                if old.ftype == FileType::Directory {
+                    // Nothing may displace a directory entry.
+                    return Err(Errno::EISDIR);
+                }
+                if val.ftype == FileType::Directory {
+                    // A directory may not displace a file (POSIX ENOTDIR).
+                    return Err(Errno::ENOTDIR);
+                }
+                let old = *old;
+                slot.insert(name.to_string(), val);
+                Ok(Some(old))
+            }
+            Some(_) => Err(Errno::EEXIST),
+        }
+    }
+
+    /// Removes an entry, returning its value.
+    pub fn remove(&mut self, dir: InodeId, name: &str) -> FsResult<DentryVal> {
+        if self.tombstones.contains(&dir) {
+            return Err(Errno::ENOENT);
+        }
+        let slot = self.dirs.get_mut(&dir).ok_or(Errno::ENOENT)?;
+        let val = slot.remove(name).ok_or(Errno::ENOENT)?;
+        if slot.is_empty() {
+            self.dirs.remove(&dir);
+        }
+        Ok(val)
+    }
+
+    /// Number of entries this shard holds for `dir` (the rmdir emptiness
+    /// check, paper §3.3).
+    pub fn count(&self, dir: InodeId) -> usize {
+        self.dirs.get(&dir).map_or(0, |m| m.len())
+    }
+
+    /// This shard's contribution to `readdir(dir)`.
+    pub fn list(&self, dir: InodeId) -> Vec<DirEntry> {
+        self.dirs.get(&dir).map_or_else(Vec::new, |m| {
+            m.iter()
+                .map(|(name, v)| DirEntry {
+                    name: name.clone(),
+                    ino: v.target.num,
+                    server: v.target.server,
+                    ftype: v.ftype,
+                })
+                .collect()
+        })
+    }
+
+    /// True if `dir` was removed by a committed rmdir.
+    pub fn is_tombstoned(&self, dir: InodeId) -> bool {
+        self.tombstones.contains(&dir)
+    }
+
+    /// Marks `dir` permanently removed.
+    pub fn tombstone(&mut self, dir: InodeId) {
+        self.tombstones.insert(dir);
+        self.dirs.remove(&dir);
+    }
+
+    /// Records that `client` cached `(dir, name)`; it will receive an
+    /// invalidation when the entry changes.
+    pub fn track(&mut self, dir: InodeId, name: &str, client: ClientId) {
+        self.tracking
+            .entry((dir, name.to_string()))
+            .or_default()
+            .insert(client);
+    }
+
+    /// Removes and returns the clients tracking `(dir, name)`, excluding
+    /// the mutating client (its library updates its own cache locally).
+    pub fn take_trackers(&mut self, dir: InodeId, name: &str, except: ClientId) -> Vec<ClientId> {
+        match self.tracking.remove(&(dir, name.to_string())) {
+            Some(set) => set.into_iter().filter(|c| *c != except).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drops a departing client from every tracking list.
+    pub fn untrack_client(&mut self, client: ClientId) {
+        for set in self.tracking.values_mut() {
+            set.remove(&client);
+        }
+        self.tracking.retain(|_, set| !set.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIR: InodeId = InodeId { server: 0, num: 1 };
+
+    fn file_val(num: u64) -> DentryVal {
+        DentryVal {
+            target: InodeId { server: 1, num },
+            ftype: FileType::Regular,
+            dist: false,
+        }
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut s = DentryShard::default();
+        assert!(s.insert(DIR, "a", file_val(5), false).unwrap().is_none());
+        assert_eq!(s.lookup(DIR, "a").unwrap().target.num, 5);
+        assert_eq!(s.count(DIR), 1);
+        assert_eq!(s.remove(DIR, "a").unwrap().target.num, 5);
+        assert_eq!(s.count(DIR), 0);
+        assert_eq!(s.remove(DIR, "a"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn duplicate_insert_fails_without_replace() {
+        let mut s = DentryShard::default();
+        s.insert(DIR, "a", file_val(5), false).unwrap();
+        assert_eq!(s.insert(DIR, "a", file_val(6), false), Err(Errno::EEXIST));
+        // Replace displaces and returns the old value.
+        let old = s.insert(DIR, "a", file_val(7), true).unwrap().unwrap();
+        assert_eq!(old.target.num, 5);
+        assert_eq!(s.lookup(DIR, "a").unwrap().target.num, 7);
+    }
+
+    #[test]
+    fn replace_never_displaces_directories() {
+        let mut s = DentryShard::default();
+        let dir_val = DentryVal {
+            target: InodeId { server: 0, num: 9 },
+            ftype: FileType::Directory,
+            dist: true,
+        };
+        s.insert(DIR, "d", dir_val, false).unwrap();
+        assert_eq!(s.insert(DIR, "d", file_val(5), true), Err(Errno::EISDIR));
+    }
+
+    #[test]
+    fn tombstone_blocks_creation() {
+        let mut s = DentryShard::default();
+        s.tombstone(DIR);
+        assert_eq!(s.insert(DIR, "a", file_val(5), false), Err(Errno::ENOENT));
+        assert!(s.is_tombstoned(DIR));
+    }
+
+    #[test]
+    fn tracking_roundtrip() {
+        let mut s = DentryShard::default();
+        s.track(DIR, "a", 1);
+        s.track(DIR, "a", 2);
+        s.track(DIR, "a", 3);
+        let mut got = s.take_trackers(DIR, "a", 2);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3]);
+        // Tracking list is consumed.
+        assert!(s.take_trackers(DIR, "a", 0).is_empty());
+    }
+
+    #[test]
+    fn untrack_client_purges() {
+        let mut s = DentryShard::default();
+        s.track(DIR, "a", 1);
+        s.track(DIR, "b", 1);
+        s.track(DIR, "b", 2);
+        s.untrack_client(1);
+        assert!(s.take_trackers(DIR, "a", 0).is_empty());
+        assert_eq!(s.take_trackers(DIR, "b", 0), vec![2]);
+    }
+
+    #[test]
+    fn list_reports_entry_metadata() {
+        let mut s = DentryShard::default();
+        s.insert(DIR, "x", file_val(5), false).unwrap();
+        let l = s.list(DIR);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].name, "x");
+        assert_eq!(l[0].ino, 5);
+        assert_eq!(l[0].server, 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Server-side open file descriptor tracking.
+//!
+//! Hare's *hybrid* descriptor tracking (paper §3.4): the server responsible
+//! for a file's inode records every open descriptor and its reference
+//! count, so unlinked files stay valid until the last close. The offset is
+//! client-held ("local") while one process owns the descriptor and migrates
+//! here ("shared") when the descriptor is shared by fork/spawn/dup.
+
+use fsapi::OpenFlags;
+
+/// What an open descriptor handle refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdKind {
+    /// A regular file inode on this server.
+    File,
+    /// The read end of a pipe on this server.
+    PipeRead,
+    /// The write end of a pipe on this server.
+    PipeWrite,
+}
+
+/// One server-side descriptor record.
+#[derive(Debug)]
+pub struct ServerFd {
+    /// Local inode number (file) or pipe number.
+    pub ino: u64,
+    /// File or pipe end.
+    pub kind: FdKind,
+    /// Open flags at descriptor creation.
+    pub flags: OpenFlags,
+    /// Processes referencing this descriptor.
+    pub refs: u32,
+    /// `Some(offset)`: the descriptor is in **shared** state and the server
+    /// owns the offset. `None`: local state, the client owns it.
+    pub shared_offset: Option<u64>,
+    /// Set when `refs` has dropped back to one: the next shared operation
+    /// returns the offset to the surviving client (demotion, paper §3.4).
+    pub demote_armed: bool,
+}
+
+/// The per-server descriptor table.
+#[derive(Debug, Default)]
+pub struct FdTable {
+    map: std::collections::HashMap<u64, ServerFd>,
+    next: u64,
+}
+
+impl FdTable {
+    /// Opens a new descriptor record in local state with one reference.
+    pub fn open(&mut self, ino: u64, kind: FdKind, flags: OpenFlags) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        self.map.insert(
+            id,
+            ServerFd {
+                ino,
+                kind,
+                flags,
+                refs: 1,
+                shared_offset: None,
+                demote_armed: false,
+            },
+        );
+        id
+    }
+
+    /// Looks up a descriptor.
+    pub fn get(&self, id: u64) -> Option<&ServerFd> {
+        self.map.get(&id)
+    }
+
+    /// Looks up a descriptor mutably.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut ServerFd> {
+        self.map.get_mut(&id)
+    }
+
+    /// Drops one reference; returns the record if it reached zero (caller
+    /// finishes inode/pipe bookkeeping). Arms demotion at exactly one
+    /// remaining reference.
+    pub fn close(&mut self, id: u64) -> Option<ServerFd> {
+        let fd = self.map.get_mut(&id)?;
+        fd.refs -= 1;
+        if fd.refs == 0 {
+            return self.map.remove(&id);
+        }
+        if fd.refs == 1 && fd.shared_offset.is_some() {
+            fd.demote_armed = true;
+        }
+        None
+    }
+
+    /// Adds a reference, migrating the offset to the server on the first
+    /// share.
+    pub fn incref(&mut self, id: u64, offset: u64) -> bool {
+        match self.map.get_mut(&id) {
+            Some(fd) => {
+                fd.refs += 1;
+                fd.demote_armed = false;
+                if fd.shared_offset.is_none() {
+                    fd.shared_offset = Some(offset);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of live descriptors (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no descriptors are open on this server.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_lifecycle() {
+        let mut t = FdTable::default();
+        let id = t.open(7, FdKind::File, OpenFlags::RDWR);
+        assert_eq!(t.get(id).unwrap().refs, 1);
+        assert!(t.get(id).unwrap().shared_offset.is_none(), "starts local");
+
+        // Share it: offset migrates to the server.
+        assert!(t.incref(id, 123));
+        let fd = t.get(id).unwrap();
+        assert_eq!(fd.refs, 2);
+        assert_eq!(fd.shared_offset, Some(123));
+
+        // First close leaves one reference and arms demotion.
+        assert!(t.close(id).is_none());
+        let fd = t.get(id).unwrap();
+        assert_eq!(fd.refs, 1);
+        assert!(fd.demote_armed);
+
+        // Last close removes the record.
+        let gone = t.close(id).unwrap();
+        assert_eq!(gone.ino, 7);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn second_incref_keeps_original_offset() {
+        let mut t = FdTable::default();
+        let id = t.open(1, FdKind::File, OpenFlags::RDONLY);
+        t.incref(id, 10);
+        t.incref(id, 99);
+        assert_eq!(t.get(id).unwrap().shared_offset, Some(10));
+        assert_eq!(t.get(id).unwrap().refs, 3);
+    }
+
+    #[test]
+    fn incref_clears_demote() {
+        let mut t = FdTable::default();
+        let id = t.open(1, FdKind::File, OpenFlags::RDONLY);
+        t.incref(id, 0);
+        t.close(id);
+        assert!(t.get(id).unwrap().demote_armed);
+        t.incref(id, 5);
+        assert!(!t.get(id).unwrap().demote_armed);
+    }
+
+    #[test]
+    fn unknown_ids() {
+        let mut t = FdTable::default();
+        assert!(t.get(99).is_none());
+        assert!(!t.incref(99, 0));
+        assert!(t.close(99).is_none());
+    }
+}

@@ -1,0 +1,1070 @@
+//! The Hare file server.
+//!
+//! One server runs per configured server core (paper Figure 2). Each server
+//! owns: a shard of every distributed directory (plus all entries of
+//! centralized directories homed here), the inodes it allocated, their open
+//! descriptors, its partition of the shared buffer cache, and its pipes.
+//! Servers never talk to each other — all multi-server operations are
+//! composed by client libraries (paper §3.3).
+//!
+//! The server is single-threaded: its state needs no locks, and requests
+//! serialize on its core's virtual clock, which is exactly the queueing
+//! behaviour the evaluation measures.
+
+pub mod buffer;
+pub mod dentry;
+pub mod fdtable;
+pub mod inode;
+pub mod pipes;
+pub mod rmdir;
+
+use crate::machine::Machine;
+use crate::proto::{
+    base_service_cost, DemoteInfo, Invalidation, MarkResult, OpenResult, Reply, Request,
+    ServerMsg, WireReply,
+};
+use crate::types::{ClientId, FdId, InodeId, ServerId};
+use buffer::BlockAllocator;
+use dentry::{DentryShard, DentryVal};
+use fdtable::{FdKind, FdTable};
+use fsapi::{Errno, FileType, FsResult, Mode, OpenFlags, Stat, Whence};
+use inode::{InodeKind, InodeTable};
+use nccmem::{BlockId, BLOCK_SIZE};
+use pipes::{Parked, ParkedPayload, Pipe, PipeTable, Wakeup};
+use rmdir::{LockWaiter, RmdirState};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-request side effects gathered during dispatch and applied once the
+/// request's completion time is known.
+#[derive(Default)]
+struct Ctx {
+    /// Additional service cycles beyond the request's base cost.
+    extra: u64,
+    /// Parked replies released by this request (pipe progress, lock
+    /// hand-off).
+    wake: Vec<Wakeup>,
+    /// Directory-cache invalidations to deliver (client, message).
+    invals: Vec<(ClientId, Invalidation)>,
+    /// Operations delayed behind a deletion mark, replayed after COMMIT or
+    /// ABORT resolved it.
+    replays: Vec<rmdir::ParkedOp>,
+}
+
+/// Construction parameters for one server.
+pub struct ServerParams {
+    /// Server index.
+    pub id: ServerId,
+    /// Core the server runs on.
+    pub core: usize,
+    /// First DRAM block of this server's buffer-cache partition.
+    pub partition_start: usize,
+    /// Partition length in blocks.
+    pub partition_len: usize,
+    /// Root directory distribution flag (server 0 creates the root).
+    pub root_distributed: bool,
+    /// Pipe capacity in bytes.
+    pub pipe_capacity: usize,
+}
+
+/// One Hare file server.
+pub struct Server {
+    id: ServerId,
+    core: usize,
+    machine: Arc<Machine>,
+    inodes: InodeTable,
+    dentries: DentryShard,
+    fds: FdTable,
+    alloc: BlockAllocator,
+    pipes: PipeTable,
+    rmdir: RmdirState,
+    clients: HashMap<ClientId, (msg::Sender<Invalidation>, usize)>,
+    pipe_capacity: usize,
+    /// Virtual time the current busy period is anchored at (the last
+    /// phase barrier).
+    anchor: u64,
+    /// Service cycles dispensed since `anchor`.
+    acc: u64,
+    stop: bool,
+}
+
+impl Server {
+    /// Creates a server; server 0 bootstraps the root directory inode.
+    pub fn new(machine: Arc<Machine>, params: ServerParams) -> Self {
+        let mut inodes = InodeTable::new(2);
+        if params.id == InodeId::ROOT.server {
+            inodes.insert_at(
+                InodeId::ROOT.num,
+                Mode(0o755),
+                InodeKind::Dir {
+                    dist: params.root_distributed,
+                },
+            );
+        }
+        Server {
+            id: params.id,
+            core: params.core,
+            machine,
+            inodes,
+            dentries: DentryShard::default(),
+            fds: FdTable::default(),
+            alloc: BlockAllocator::new(params.partition_start, params.partition_len),
+            pipes: PipeTable::default(),
+            rmdir: RmdirState::default(),
+            clients: HashMap::new(),
+            pipe_capacity: params.pipe_capacity,
+            anchor: 0,
+            acc: 0,
+            stop: false,
+        }
+    }
+
+    /// Runs the request loop until shutdown. Consumes the server.
+    pub fn run(mut self, rx: msg::Receiver<ServerMsg>) {
+        while !self.stop {
+            match rx.recv() {
+                Ok(env) => self.handle(env),
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Serves one request: the server's core absorbs the executed work and
+    /// the completion time reflects queueing at a saturated server.
+    ///
+    /// Completion is `max(arrival + service, anchor + accumulated
+    /// service)`: when the server is saturated (requests keep it
+    /// continuously busy since the last phase barrier) the accumulated
+    /// term dominates and requests queue — the `pfind sparse` bottleneck.
+    /// When the server has spare capacity, completion tracks the arrival.
+    /// Deliberately *not* `max(now, arrival) + service`: real threads
+    /// deliver messages out of virtual-time order, and a ratcheting `now`
+    /// would let one late-arriving message inflate every later-processed
+    /// one (the simulation artifact, not queueing).
+    fn serve(&mut self, arrival: u64, service: u64) -> u64 {
+        let sync = self.machine.sync_time();
+        if sync > self.anchor {
+            self.anchor = sync;
+            self.acc = 0;
+        }
+        self.acc += service;
+        self.machine.busy.advance(self.core, service);
+        let done = (arrival + service).max(self.anchor + self.acc);
+        self.machine.note(done);
+        done
+    }
+
+    /// The directory an operation must be delayed on while marked for
+    /// deletion (paper §3.3: "file creation and other directory operations
+    /// are delayed until the server receives a COMMIT or ABORT message").
+    fn marked_dir_of(req: &Request) -> Option<InodeId> {
+        match req {
+            Request::Lookup { dir, .. }
+            | Request::AddMap { dir, .. }
+            | Request::RmMap { dir, .. }
+            | Request::ListShard { dir } => Some(*dir),
+            Request::Create {
+                add_map: Some((dir, _)),
+                ..
+            } => Some(*dir),
+            _ => None,
+        }
+    }
+
+    /// Processes one request envelope end-to-end (including virtual-time
+    /// accounting and reply delivery).
+    pub fn handle(&mut self, env: msg::Envelope<ServerMsg>) {
+        // Delay operations on directories marked for deletion.
+        if let Some(dir) = Self::marked_dir_of(&env.payload.req) {
+            if self.rmdir.is_marked(dir) {
+                // The server still pays for receiving and inspecting the
+                // message.
+                let cost = self.machine.cost.msg_recv + 100;
+                self.serve(env.deliver_at, cost);
+                self.rmdir.park(dir, env);
+                return;
+            }
+        }
+
+        let deliver_at = env.deliver_at;
+        let src_core = env.src_core;
+        let ServerMsg { req, reply } = env.payload;
+        if matches!(req, Request::Shutdown) {
+            self.stop = true;
+            return;
+        }
+        let base = base_service_cost(&req);
+        let mut ctx = Ctx::default();
+        let out = self.dispatch(req, src_core, &reply, &mut ctx);
+
+        let mut cost = self.machine.cost.msg_recv + base + ctx.extra;
+        if out.is_some() {
+            cost += self.machine.cost.msg_send;
+        }
+        cost += (ctx.wake.len() + ctx.invals.len()) as u64 * self.machine.cost.msg_send;
+        if self.machine.timeshared(self.core) {
+            cost += self.machine.cost.ctx_switch;
+        }
+        let done = self.serve(deliver_at, cost);
+
+        if let Some(r) = out {
+            let _ = reply.send(r, done + self.machine.latency(self.core, src_core), self.core);
+        }
+        for (tx, wsrc, wr) in ctx.wake.drain(..) {
+            let _ = tx.send(wr, done + self.machine.latency(self.core, wsrc), self.core);
+        }
+        for (client, inv) in ctx.invals.drain(..) {
+            if let Some((tx, ccore)) = self.clients.get(&client) {
+                // Atomic delivery: the invalidation is in the client's queue
+                // when this send returns; the server never waits for an ack
+                // (paper §3.6.1).
+                let _ = tx.send(inv, done + self.machine.latency(self.core, *ccore), self.core);
+            }
+        }
+        // Replay operations that were delayed behind a resolved mark.
+        for parked in ctx.replays {
+            let arrival = parked.deliver_at.max(done);
+            self.handle(msg::Envelope {
+                payload: parked.payload,
+                deliver_at: arrival,
+                src_core: parked.src_core,
+            });
+        }
+    }
+
+    /// Executes a request against server state. Returns `None` when the
+    /// reply was parked for later (blocked pipe I/O, rmdir lock wait).
+    fn dispatch(
+        &mut self,
+        req: Request,
+        src_core: usize,
+        reply: &msg::Sender<WireReply>,
+        ctx: &mut Ctx,
+    ) -> Option<WireReply> {
+        match req {
+            Request::Register { client, core, inval } => {
+                self.clients.insert(client, (inval, core));
+                Some(Ok(Reply::Unit))
+            }
+            Request::Unregister { client } => {
+                self.clients.remove(&client);
+                self.dentries.untrack_client(client);
+                Some(Ok(Reply::Unit))
+            }
+            Request::Lookup { client, dir, name } => Some(self.op_lookup(client, dir, &name)),
+            Request::AddMap {
+                client,
+                dir,
+                name,
+                target,
+                ftype,
+                dist,
+                replace,
+            } => Some(self.op_add_map(client, dir, &name, target, ftype, dist, replace, ctx)),
+            Request::RmMap {
+                client,
+                dir,
+                name,
+                must_be_file,
+            } => Some(self.op_rm_map(client, dir, &name, must_be_file, ctx)),
+            Request::ListShard { dir } => Some(self.op_list_shard(dir, ctx)),
+            Request::RmdirSerialize { dir } => self.op_rmdir_serialize(dir, src_core, reply),
+            Request::RmdirRelease { dir } => {
+                if let Some(w) = self.rmdir.unlock(dir) {
+                    ctx.wake.push((w.reply, w.src_core, Ok(Reply::RmdirLocked)));
+                }
+                Some(Ok(Reply::Unit))
+            }
+            Request::RmdirMark { dir } => Some(self.op_rmdir_mark(dir)),
+            Request::RmdirCommit { dir } => {
+                ctx.replays = self.rmdir.resolve(dir);
+                self.dentries.tombstone(dir);
+                if dir.server == self.id {
+                    self.inodes.remove(dir.num);
+                }
+                Some(Ok(Reply::Unit))
+            }
+            Request::RmdirAbort { dir } => {
+                ctx.replays = self.rmdir.resolve(dir);
+                Some(Ok(Reply::Unit))
+            }
+            Request::RmdirCentral { dir } => Some(self.op_rmdir_central(dir)),
+            Request::Create {
+                client,
+                ftype,
+                mode,
+                dist,
+                add_map,
+                open,
+            } => Some(self.op_create(client, ftype, mode, dist, add_map, open, ctx)),
+            Request::OpenInode { client: _, num, flags } => Some(self.op_open(num, flags, ctx)),
+            Request::CloseFd { fd, size } => Some(self.op_close(fd, size, ctx)),
+            Request::FdIncref { fd, offset } => Some(self.op_incref(fd, offset)),
+            Request::SharedIo {
+                fd,
+                len,
+                write,
+                append,
+            } => Some(self.op_shared_io(fd, len, write, append, ctx)),
+            Request::SeekShared { fd, offset, whence } => Some(self.op_seek(fd, offset, whence)),
+            Request::AllocBlocks { fd, min_size } => Some(self.op_alloc(fd, min_size, ctx)),
+            Request::SetSize { fd, size } => Some(self.op_set_size(fd, size)),
+            Request::Truncate { fd, size } => Some(self.op_truncate(fd, size)),
+            Request::ReadData { fd, offset, len } => Some(self.op_read_data(fd, offset, len, ctx)),
+            Request::WriteData {
+                fd,
+                offset,
+                data,
+                append,
+            } => Some(self.op_write_data(fd, offset, data, append, ctx)),
+            Request::LinkIncref { num } => Some(self.op_link_incref(num)),
+            Request::LinkDecref { num } => Some(self.op_link_decref(num)),
+            Request::StatInode { num } => Some(self.op_stat(num)),
+            Request::PipeCreate => Some(self.op_pipe_create()),
+            Request::PipeRead { fd, max } => self.op_pipe_read(fd, max, src_core, reply, ctx),
+            Request::PipeWrite { fd, data } => self.op_pipe_write(fd, data, src_core, reply, ctx),
+            Request::Shutdown => {
+                self.stop = true;
+                None
+            }
+        }
+    }
+
+    // ----- Directory entry operations ------------------------------------
+
+    fn op_lookup(&mut self, client: ClientId, dir: InodeId, name: &str) -> WireReply {
+        if self.dentries.is_tombstoned(dir) {
+            return Err(Errno::ENOENT);
+        }
+        match self.dentries.lookup(dir, name) {
+            Some(v) => {
+                self.dentries.track(dir, name, client);
+                Ok(Reply::Lookup {
+                    target: v.target,
+                    ftype: v.ftype,
+                    dist: v.dist,
+                })
+            }
+            None => Err(Errno::ENOENT),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn op_add_map(
+        &mut self,
+        client: ClientId,
+        dir: InodeId,
+        name: &str,
+        target: InodeId,
+        ftype: FileType,
+        dist: bool,
+        replace: bool,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        let val = DentryVal { target, ftype, dist };
+        let replaced = self.dentries.insert(dir, name, val, replace)?;
+        if replaced.is_some() {
+            self.queue_invals(client, dir, name, ctx);
+        }
+        self.dentries.track(dir, name, client);
+        Ok(Reply::AddMapped {
+            replaced: replaced.map(|v| (v.target, v.ftype)),
+        })
+    }
+
+    fn op_rm_map(
+        &mut self,
+        client: ClientId,
+        dir: InodeId,
+        name: &str,
+        must_be_file: bool,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        let cur = self
+            .dentries
+            .lookup(dir, name)
+            .ok_or(Errno::ENOENT)?;
+        if must_be_file && cur.ftype == FileType::Directory {
+            return Err(Errno::EISDIR);
+        }
+        let v = self.dentries.remove(dir, name)?;
+        self.queue_invals(client, dir, name, ctx);
+        Ok(Reply::RmMapped {
+            target: v.target,
+            ftype: v.ftype,
+        })
+    }
+
+    fn op_list_shard(&mut self, dir: InodeId, ctx: &mut Ctx) -> WireReply {
+        if self.dentries.is_tombstoned(dir) {
+            return Err(Errno::ENOENT);
+        }
+        let entries = self.dentries.list(dir);
+        ctx.extra += 25 * entries.len() as u64;
+        Ok(Reply::Shard { entries })
+    }
+
+    /// Queues invalidations for every client tracking `(dir, name)` other
+    /// than the mutator.
+    fn queue_invals(&mut self, mutator: ClientId, dir: InodeId, name: &str, ctx: &mut Ctx) {
+        for c in self.dentries.take_trackers(dir, name, mutator) {
+            ctx.invals.push((
+                c,
+                Invalidation {
+                    dir,
+                    name: name.to_string(),
+                },
+            ));
+        }
+    }
+
+    // ----- rmdir protocol -------------------------------------------------
+
+    fn op_rmdir_serialize(
+        &mut self,
+        dir: InodeId,
+        src_core: usize,
+        reply: &msg::Sender<WireReply>,
+    ) -> Option<WireReply> {
+        // The home server stores the directory inode; a vanished inode means
+        // another rmdir already won.
+        debug_assert_eq!(dir.server, self.id, "serialize goes to the home server");
+        match self.inodes.get(dir.num) {
+            Err(_) => return Some(Err(Errno::ENOENT)),
+            Ok(ino) if ino.ftype() != FileType::Directory => {
+                return Some(Err(Errno::ENOTDIR))
+            }
+            Ok(_) => {}
+        }
+        let granted = self.rmdir.lock(dir, || LockWaiter {
+            reply: reply.clone(),
+            src_core,
+        });
+        if granted {
+            Some(Ok(Reply::RmdirLocked))
+        } else {
+            None
+        }
+    }
+
+    fn op_rmdir_mark(&mut self, dir: InodeId) -> WireReply {
+        if self.dentries.is_tombstoned(dir) {
+            return Err(Errno::ENOENT);
+        }
+        if self.dentries.count(dir) > 0 {
+            return Ok(Reply::RmdirMark(MarkResult::NotEmpty));
+        }
+        let fresh = self.rmdir.mark(dir);
+        debug_assert!(fresh, "serialization must prevent double marks");
+        Ok(Reply::RmdirMark(MarkResult::Marked))
+    }
+
+    fn op_rmdir_central(&mut self, dir: InodeId) -> WireReply {
+        debug_assert_eq!(dir.server, self.id, "centralized rmdir at home server");
+        let ino = self.inodes.get(dir.num)?;
+        if ino.ftype() != FileType::Directory {
+            return Err(Errno::ENOTDIR);
+        }
+        if self.dentries.count(dir) > 0 {
+            return Err(Errno::ENOTEMPTY);
+        }
+        self.dentries.tombstone(dir);
+        self.inodes.remove(dir.num);
+        Ok(Reply::Unit)
+    }
+
+    // ----- Inode / descriptor operations ----------------------------------
+
+    fn op_create(
+        &mut self,
+        client: ClientId,
+        ftype: FileType,
+        mode: Mode,
+        dist: bool,
+        add_map: Option<(InodeId, String)>,
+        open: Option<OpenFlags>,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        if let Some((dir, name)) = &add_map {
+            if self.dentries.is_tombstoned(*dir) {
+                return Err(Errno::ENOENT);
+            }
+            if self.dentries.lookup(*dir, name).is_some() {
+                return Err(Errno::EEXIST);
+            }
+        }
+        let kind = match ftype {
+            FileType::Regular => InodeKind::File {
+                blocks: Vec::new(),
+                size: 0,
+            },
+            FileType::Directory => InodeKind::Dir { dist },
+            FileType::Pipe => return Err(Errno::EINVAL),
+        };
+        let num = self.inodes.alloc(mode, kind);
+        let ino = InodeId {
+            server: self.id,
+            num,
+        };
+        if let Some((dir, name)) = &add_map {
+            let val = DentryVal {
+                target: ino,
+                ftype,
+                dist,
+            };
+            // Checked above; the server is single-threaded so this cannot
+            // race.
+            self.dentries
+                .insert(*dir, name, val, false)
+                .expect("entry checked absent");
+            self.dentries.track(*dir, name, client);
+            ctx.extra += 300; // coalesced ADD_MAP work
+        }
+        let open = match open {
+            Some(flags) if ftype == FileType::Regular => {
+                let fd = self.fds.open(num, FdKind::File, flags);
+                self.inodes.get_mut(num).expect("just created").open_fds += 1;
+                Some(OpenResult {
+                    fd: FdId(fd),
+                    size: 0,
+                    blocks: Vec::new(),
+                })
+            }
+            _ => None,
+        };
+        Ok(Reply::Created { ino, open })
+    }
+
+    fn op_open(&mut self, num: u64, flags: OpenFlags, ctx: &mut Ctx) -> WireReply {
+        let ino = self.inodes.get(num)?;
+        match ino.kind {
+            InodeKind::File { .. } => {}
+            InodeKind::Dir { .. } => return Err(Errno::EISDIR),
+            InodeKind::Pipe => return Err(Errno::EINVAL),
+        }
+        // Standard POSIX permission checks at the server (paper §3.2).
+        if flags.readable() && !ino.mode.owner_read() {
+            return Err(Errno::EACCES);
+        }
+        if flags.writable() && !ino.mode.owner_write() {
+            return Err(Errno::EACCES);
+        }
+        if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+            self.truncate_inode(num, 0)?;
+        }
+        let fd = self.fds.open(num, FdKind::File, flags);
+        let ino = self.inodes.get_mut(num).expect("checked");
+        ino.open_fds += 1;
+        let (blocks, size) = match &ino.kind {
+            InodeKind::File { blocks, size } => (blocks.clone(), *size),
+            _ => unreachable!("checked file"),
+        };
+        ctx.extra += 8 * blocks.len() as u64; // block-list transfer
+        Ok(Reply::Opened(OpenResult {
+            fd: FdId(fd),
+            size,
+            blocks,
+        }))
+    }
+
+    fn op_close(&mut self, fd: FdId, size: Option<u64>, ctx: &mut Ctx) -> WireReply {
+        let (kind, ino_num) = {
+            let rec = self.fds.get(fd.0).ok_or(Errno::EBADF)?;
+            (rec.kind, rec.ino)
+        };
+        // Pipe end reference counts mirror the descriptor's refs: every
+        // dropped reference is one fewer reader/writer (EOF and EPIPE
+        // depend on these reaching zero).
+        if matches!(kind, FdKind::PipeRead | FdKind::PipeWrite) {
+            self.close_pipe_end(ino_num, kind, ctx);
+        }
+        match self.fds.close(fd.0) {
+            Some(rec) => {
+                // Last reference gone.
+                if kind == FdKind::File {
+                    let ino = self.inodes.get_mut(rec.ino)?;
+                    if let (Some(sz), InodeKind::File { size, .. }) = (size, &mut ino.kind) {
+                        *size = sz;
+                    }
+                    ino.open_fds -= 1;
+                    if ino.open_fds == 0 {
+                        let defer: Vec<BlockId> = std::mem::take(&mut ino.defer_free);
+                        let orphaned = ino.orphaned;
+                        let num = rec.ino;
+                        self.release_blocks(defer);
+                        if orphaned {
+                            self.destroy_inode(num);
+                        }
+                    }
+                }
+                Ok(Reply::Closed { refs: 0 })
+            }
+            None => {
+                let refs = self.fds.get(fd.0).map_or(0, |f| f.refs);
+                Ok(Reply::Closed { refs })
+            }
+        }
+    }
+
+    fn close_pipe_end(&mut self, num: u64, kind: FdKind, ctx: &mut Ctx) {
+        if let Some(pipe) = self.pipes.get_mut(num) {
+            match kind {
+                FdKind::PipeRead => pipe.close_reader(&mut ctx.wake),
+                FdKind::PipeWrite => pipe.close_writer(&mut ctx.wake),
+                FdKind::File => unreachable!("pipe end expected"),
+            }
+            if pipe.defunct() {
+                self.pipes.remove_if_defunct(num);
+                self.inodes.remove(num);
+            }
+        }
+    }
+
+    fn op_incref(&mut self, fd: FdId, offset: u64) -> WireReply {
+        let kind = self.fds.get(fd.0).ok_or(Errno::EBADF)?.kind;
+        if !self.fds.incref(fd.0, offset) {
+            return Err(Errno::EBADF);
+        }
+        // Sharing a pipe end also adds a reader/writer reference.
+        if let Some(rec) = self.fds.get(fd.0) {
+            if let Some(pipe) = self.pipes.get_mut(rec.ino) {
+                match kind {
+                    FdKind::PipeRead => pipe.readers += 1,
+                    FdKind::PipeWrite => pipe.writers += 1,
+                    FdKind::File => {}
+                }
+            }
+        }
+        Ok(Reply::Unit)
+    }
+
+    fn op_shared_io(
+        &mut self,
+        fd: FdId,
+        len: u64,
+        write: bool,
+        append: bool,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        let rec = self.fds.get(fd.0).ok_or(Errno::EBADF)?;
+        if rec.kind != FdKind::File {
+            return Err(Errno::EBADF);
+        }
+        let num = rec.ino;
+        let cur = rec.shared_offset.ok_or(Errno::EIO)?;
+        if write {
+            let ino = self.inodes.get(num)?;
+            let start = if append { ino.size() } else { cur };
+            self.ensure_capacity(num, start + len, ctx)?;
+            let ino = self.inodes.get_mut(num)?;
+            if let InodeKind::File { size, .. } = &mut ino.kind {
+                *size = (*size).max(start + len);
+            }
+            self.finish_shared_io(fd, num, start, len, ctx)
+        } else {
+            let ino = self.inodes.get(num)?;
+            let n = len.min(ino.size().saturating_sub(cur));
+            self.finish_shared_io(fd, num, cur, n, ctx)
+        }
+    }
+
+    fn finish_shared_io(
+        &mut self,
+        fd: FdId,
+        num: u64,
+        offset: u64,
+        len: u64,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        let ino = self.inodes.get(num)?;
+        let (all_blocks, size) = match &ino.kind {
+            InodeKind::File { blocks, size } => (blocks.clone(), *size),
+            _ => return Err(Errno::EBADF),
+        };
+        let blocks = covering_blocks(&all_blocks, offset, len);
+        ctx.extra += 10 * blocks.len() as u64;
+        let rec = self.fds.get_mut(fd.0).expect("looked up above");
+        rec.shared_offset = Some(offset + len);
+        let demote = if rec.demote_armed {
+            rec.demote_armed = false;
+            let off = rec.shared_offset.take().expect("was shared");
+            Some(DemoteInfo {
+                offset: off,
+                size,
+                blocks: all_blocks,
+            })
+        } else {
+            None
+        };
+        Ok(Reply::SharedIo {
+            offset,
+            len,
+            blocks,
+            size,
+            demote,
+        })
+    }
+
+    fn op_seek(&mut self, fd: FdId, offset: i64, whence: Whence) -> WireReply {
+        let rec = self.fds.get(fd.0).ok_or(Errno::EBADF)?;
+        if rec.kind != FdKind::File {
+            return Err(Errno::ESPIPE);
+        }
+        let num = rec.ino;
+        let cur = rec.shared_offset.ok_or(Errno::EIO)?;
+        let ino = self.inodes.get(num)?;
+        let size = ino.size();
+        let new = fsapi::flags::apply_seek(cur, size, offset, whence).map_err(|_| Errno::EINVAL)?;
+        let (all_blocks, size) = match &ino.kind {
+            InodeKind::File { blocks, size } => (blocks.clone(), *size),
+            _ => return Err(Errno::EBADF),
+        };
+        let rec = self.fds.get_mut(fd.0).expect("looked up above");
+        rec.shared_offset = Some(new);
+        let demote = if rec.demote_armed {
+            rec.demote_armed = false;
+            rec.shared_offset = None;
+            Some(DemoteInfo {
+                offset: new,
+                size,
+                blocks: all_blocks,
+            })
+        } else {
+            None
+        };
+        Ok(Reply::Seeked {
+            offset: new,
+            demote,
+        })
+    }
+
+    fn op_alloc(&mut self, fd: FdId, min_size: u64, ctx: &mut Ctx) -> WireReply {
+        let rec = self.fds.get(fd.0).ok_or(Errno::EBADF)?;
+        if rec.kind != FdKind::File {
+            return Err(Errno::EBADF);
+        }
+        let num = rec.ino;
+        self.ensure_capacity(num, min_size, ctx)?;
+        let ino = self.inodes.get(num)?;
+        match &ino.kind {
+            InodeKind::File { blocks, size } => Ok(Reply::Blocks {
+                blocks: blocks.clone(),
+                size: *size,
+            }),
+            _ => Err(Errno::EBADF),
+        }
+    }
+
+    /// Grows `num`'s block list to cover `bytes` bytes, allocating from this
+    /// server's buffer-cache partition.
+    fn ensure_capacity(&mut self, num: u64, bytes: u64, ctx: &mut Ctx) -> FsResult<()> {
+        let ino = self.inodes.get(num)?;
+        let have = ino.nblocks() as usize;
+        let need = (bytes as usize).div_ceil(BLOCK_SIZE);
+        if need <= have {
+            return Ok(());
+        }
+        let fresh = self.alloc.alloc(need - have)?;
+        ctx.extra += 40 * fresh.len() as u64;
+        let ino = self.inodes.get_mut(num)?;
+        match &mut ino.kind {
+            InodeKind::File { blocks, .. } => blocks.extend(fresh),
+            _ => return Err(Errno::EBADF),
+        }
+        Ok(())
+    }
+
+    fn op_set_size(&mut self, fd: FdId, size: u64) -> WireReply {
+        let rec = self.fds.get(fd.0).ok_or(Errno::EBADF)?;
+        let ino = self.inodes.get_mut(rec.ino)?;
+        match &mut ino.kind {
+            InodeKind::File { size: s, .. } => {
+                *s = size;
+                Ok(Reply::Unit)
+            }
+            _ => Err(Errno::EBADF),
+        }
+    }
+
+    fn op_truncate(&mut self, fd: FdId, size: u64) -> WireReply {
+        let rec = self.fds.get(fd.0).ok_or(Errno::EBADF)?;
+        if rec.kind != FdKind::File {
+            return Err(Errno::EBADF);
+        }
+        self.truncate_inode(rec.ino, size)?;
+        Ok(Reply::Unit)
+    }
+
+    /// Truncates a file inode; surplus blocks are defer-freed while
+    /// descriptors remain open (paper §3.2). The tail of the last kept
+    /// block is zeroed so a later size extension reads zeros, as POSIX
+    /// requires.
+    fn truncate_inode(&mut self, num: u64, new_size: u64) -> FsResult<()> {
+        let ino = self.inodes.get_mut(num)?;
+        let keep = (new_size as usize).div_ceil(BLOCK_SIZE);
+        let mut tail_zero: Option<(BlockId, usize)> = None;
+        let cut: Vec<BlockId> = match &mut ino.kind {
+            InodeKind::File { blocks, size } => {
+                if new_size < *size {
+                    let tail_off = new_size as usize % BLOCK_SIZE;
+                    if tail_off != 0 {
+                        if let Some(b) = blocks.get(keep - 1) {
+                            tail_zero = Some((*b, tail_off));
+                        }
+                    }
+                }
+                *size = new_size;
+                if blocks.len() > keep {
+                    blocks.split_off(keep)
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => return Err(Errno::EBADF),
+        };
+        if let Some((b, off)) = tail_zero {
+            let zeros = [0u8; BLOCK_SIZE];
+            self.machine.dram.write(b, off, &zeros[off..]);
+        }
+        let ino = self.inodes.get_mut(num)?;
+        if ino.open_fds > 0 {
+            ino.defer_free.extend(cut);
+        } else {
+            self.release_blocks(cut);
+        }
+        Ok(())
+    }
+
+    fn op_read_data(&mut self, fd: FdId, offset: u64, len: u64, ctx: &mut Ctx) -> WireReply {
+        let rec = self.fds.get(fd.0).ok_or(Errno::EBADF)?;
+        if rec.kind != FdKind::File {
+            return Err(Errno::EBADF);
+        }
+        let ino = self.inodes.get(rec.ino)?;
+        let (blocks, size) = match &ino.kind {
+            InodeKind::File { blocks, size } => (blocks, *size),
+            _ => return Err(Errno::EBADF),
+        };
+        let n = len.min(size.saturating_sub(offset)) as usize;
+        let mut data = vec![0u8; n];
+        let mut filled = 0usize;
+        while filled < n {
+            let pos = offset as usize + filled;
+            let (bi, bo) = (pos / BLOCK_SIZE, pos % BLOCK_SIZE);
+            let chunk = (BLOCK_SIZE - bo).min(n - filled);
+            // Holes past the allocated block list read as zeros.
+            if let Some(b) = blocks.get(bi) {
+                self.machine
+                    .dram
+                    .read(*b, bo, &mut data[filled..filled + chunk]);
+            }
+            filled += chunk;
+            ctx.extra += self.machine.cost.dram_direct_blk;
+        }
+        Ok(Reply::Data { data, _eof: false })
+    }
+
+    fn op_write_data(
+        &mut self,
+        fd: FdId,
+        offset: u64,
+        data: Vec<u8>,
+        append: bool,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        let rec = self.fds.get(fd.0).ok_or(Errno::EBADF)?;
+        if rec.kind != FdKind::File {
+            return Err(Errno::EBADF);
+        }
+        let num = rec.ino;
+        let start = if append {
+            self.inodes.get(num)?.size()
+        } else {
+            offset
+        };
+        let end = start + data.len() as u64;
+        self.ensure_capacity(num, end, ctx)?;
+        let ino = self.inodes.get_mut(num)?;
+        let blocks = match &mut ino.kind {
+            InodeKind::File { blocks, size } => {
+                *size = (*size).max(end);
+                blocks.clone()
+            }
+            _ => return Err(Errno::EBADF),
+        };
+        let mut written = 0usize;
+        while written < data.len() {
+            let pos = start as usize + written;
+            let (bi, bo) = (pos / BLOCK_SIZE, pos % BLOCK_SIZE);
+            let chunk = (BLOCK_SIZE - bo).min(data.len() - written);
+            self.machine
+                .dram
+                .write(blocks[bi], bo, &data[written..written + chunk]);
+            written += chunk;
+            ctx.extra += self.machine.cost.dram_direct_blk;
+        }
+        Ok(Reply::Written {
+            n: data.len() as u64,
+        })
+    }
+
+    fn op_link_incref(&mut self, num: u64) -> WireReply {
+        self.inodes.get_mut(num)?.nlink += 1;
+        Ok(Reply::Unit)
+    }
+
+    fn op_link_decref(&mut self, num: u64) -> WireReply {
+        let ino = self.inodes.get_mut(num)?;
+        debug_assert!(ino.nlink > 0);
+        ino.nlink -= 1;
+        if ino.nlink == 0 {
+            if ino.open_fds > 0 {
+                // Unlinked while open: keep data until last close
+                // (paper §3.4).
+                ino.orphaned = true;
+            } else {
+                self.destroy_inode(num);
+            }
+        }
+        Ok(Reply::Unit)
+    }
+
+    fn op_stat(&mut self, num: u64) -> WireReply {
+        let ino = self.inodes.get(num)?;
+        Ok(Reply::Stat(Stat {
+            ino: num,
+            server: self.id,
+            ftype: ino.ftype(),
+            size: ino.size(),
+            nlink: ino.nlink,
+            mode: ino.mode.0,
+            blocks: ino.nblocks(),
+        }))
+    }
+
+    // ----- Pipes -----------------------------------------------------------
+
+    fn op_pipe_create(&mut self) -> WireReply {
+        let num = self.inodes.alloc(Mode(0o600), InodeKind::Pipe);
+        self.pipes.insert(num, Pipe::new(self.pipe_capacity));
+        let rfd = self.fds.open(num, FdKind::PipeRead, OpenFlags::RDONLY);
+        let wfd = self.fds.open(num, FdKind::PipeWrite, OpenFlags::WRONLY);
+        self.inodes.get_mut(num).expect("just created").open_fds += 2;
+        Ok(Reply::Pipe {
+            ino: InodeId {
+                server: self.id,
+                num,
+            },
+            rfd: FdId(rfd),
+            wfd: FdId(wfd),
+        })
+    }
+
+    fn op_pipe_read(
+        &mut self,
+        fd: FdId,
+        max: u64,
+        src_core: usize,
+        reply: &msg::Sender<WireReply>,
+        ctx: &mut Ctx,
+    ) -> Option<WireReply> {
+        let rec = match self.fds.get(fd.0) {
+            Some(r) if r.kind == FdKind::PipeRead => r,
+            Some(_) => return Some(Err(Errno::EBADF)),
+            None => return Some(Err(Errno::EBADF)),
+        };
+        let num = rec.ino;
+        let pipe = match self.pipes.get_mut(num) {
+            Some(p) => p,
+            None => return Some(Err(Errno::EBADF)),
+        };
+        match pipe.read(max, &mut ctx.wake) {
+            Some(r) => Some(r),
+            None => {
+                pipe.pending_reads.push_back(Parked {
+                    reply: reply.clone(),
+                    src_core,
+                    payload: ParkedPayload::Read(max),
+                });
+                None
+            }
+        }
+    }
+
+    fn op_pipe_write(
+        &mut self,
+        fd: FdId,
+        data: Vec<u8>,
+        src_core: usize,
+        reply: &msg::Sender<WireReply>,
+        ctx: &mut Ctx,
+    ) -> Option<WireReply> {
+        let rec = match self.fds.get(fd.0) {
+            Some(r) if r.kind == FdKind::PipeWrite => r,
+            Some(_) => return Some(Err(Errno::EBADF)),
+            None => return Some(Err(Errno::EBADF)),
+        };
+        let num = rec.ino;
+        ctx.extra += data.len() as u64 / 64;
+        let pipe = match self.pipes.get_mut(num) {
+            Some(p) => p,
+            None => return Some(Err(Errno::EBADF)),
+        };
+        match pipe.write(data, &mut ctx.wake) {
+            Ok(r) => Some(r),
+            Err(data) => {
+                pipe.pending_writes.push_back(Parked {
+                    reply: reply.clone(),
+                    src_core,
+                    payload: ParkedPayload::Write(data),
+                });
+                None
+            }
+        }
+    }
+
+    // ----- Block bookkeeping ----------------------------------------------
+
+    /// Returns blocks to the free list, zeroing them so recycled blocks
+    /// never leak prior file contents.
+    fn release_blocks(&mut self, blocks: Vec<BlockId>) {
+        for b in &blocks {
+            self.machine.dram.zero(*b);
+        }
+        self.alloc.free(blocks);
+    }
+
+    /// Destroys an inode and reclaims all its blocks.
+    fn destroy_inode(&mut self, num: u64) {
+        if let Some(ino) = self.inodes.remove(num) {
+            let mut blocks = ino.defer_free;
+            if let InodeKind::File { blocks: b, .. } = ino.kind {
+                blocks.extend(b);
+            }
+            self.release_blocks(blocks);
+        }
+    }
+
+    /// Test-only view of internal state.
+    #[cfg(test)]
+    pub(crate) fn debug_state(&self) -> (usize, usize, usize) {
+        (self.inodes.len(), self.fds.len(), self.alloc.available())
+    }
+}
+
+/// The sub-slice of a file's block list covering `[offset, offset + len)`.
+fn covering_blocks(blocks: &[BlockId], offset: u64, len: u64) -> Vec<BlockId> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let first = (offset as usize) / BLOCK_SIZE;
+    let last = ((offset + len - 1) as usize) / BLOCK_SIZE;
+    blocks
+        .get(first..=last.min(blocks.len().saturating_sub(1)))
+        .unwrap_or(&[])
+        .to_vec()
+}
+
+/// Handles to access a freshly spawned inode for tests.
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,385 @@
+//! Server-side pipes.
+//!
+//! Hare implements pipes at a file server so they can be shared across
+//! cores — the paper's flagship example is make's jobserver pipe, which
+//! must be shared by build processes on every core ("make relies on a
+//! shared pipe implemented in Hare in order to coordinate with its
+//! jobserver", §5.2).
+//!
+//! Blocking semantics are implemented with *deferred replies*: a read on an
+//! empty pipe (or a write on a full one) parks the reply channel here; a
+//! later write (or read, or close) completes it. The server loop never
+//! blocks.
+
+use crate::proto::{Reply, WireReply};
+use fsapi::Errno;
+use std::collections::VecDeque;
+
+/// A reply that could not be answered yet.
+#[derive(Debug)]
+pub struct Parked {
+    /// Where the reply eventually goes.
+    pub reply: msg::Sender<WireReply>,
+    /// Core of the blocked client (for reply latency).
+    pub src_core: usize,
+    /// Read: maximum bytes wanted. Write: the data not yet accepted.
+    pub payload: ParkedPayload,
+}
+
+/// Parked operation payload.
+#[derive(Debug)]
+pub enum ParkedPayload {
+    /// A blocked read wanting up to this many bytes.
+    Read(u64),
+    /// A blocked write still holding its data.
+    Write(Vec<u8>),
+}
+
+/// One pipe.
+#[derive(Debug)]
+pub struct Pipe {
+    /// Buffered bytes.
+    pub buf: VecDeque<u8>,
+    /// Capacity in bytes (64 KiB by default, as in Linux).
+    pub capacity: usize,
+    /// Open read-end references.
+    pub readers: u32,
+    /// Open write-end references.
+    pub writers: u32,
+    /// Reads waiting for data.
+    pub pending_reads: VecDeque<Parked>,
+    /// Writes waiting for space.
+    pub pending_writes: VecDeque<Parked>,
+}
+
+/// A reply released by pipe progress, to be sent once the server knows the
+/// current operation's completion time.
+pub type Wakeup = (msg::Sender<WireReply>, usize, WireReply);
+
+impl Pipe {
+    /// Creates an empty pipe with one reader and one writer reference.
+    pub fn new(capacity: usize) -> Self {
+        Pipe {
+            buf: VecDeque::new(),
+            capacity,
+            readers: 1,
+            writers: 1,
+            pending_reads: VecDeque::new(),
+            pending_writes: VecDeque::new(),
+        }
+    }
+
+    /// Space left in the buffer.
+    pub fn space(&self) -> usize {
+        self.capacity - self.buf.len()
+    }
+
+    /// Attempts a read of up to `max` bytes. Returns `None` if the caller
+    /// must block (empty pipe, writers still open). `wakeups` receives any
+    /// writers unblocked by the freed space.
+    pub fn read(&mut self, max: u64, wakeups: &mut Vec<Wakeup>) -> Option<WireReply> {
+        if self.buf.is_empty() {
+            if self.writers == 0 {
+                // EOF.
+                return Some(Ok(Reply::Data {
+                    data: Vec::new(),
+                    _eof: true,
+                }));
+            }
+            if max == 0 {
+                return Some(Ok(Reply::Data {
+                    data: Vec::new(),
+                    _eof: false,
+                }));
+            }
+            return None;
+        }
+        let n = (max as usize).min(self.buf.len());
+        let data: Vec<u8> = self.buf.drain(..n).collect();
+        self.pump(wakeups);
+        Some(Ok(Reply::Data { data, _eof: false }))
+    }
+
+    /// Attempts a write. Returns `Err(data)` (giving the bytes back) if the
+    /// caller must block because the pipe is full. Partial writes are
+    /// allowed, as POSIX permits for pipes fuller than `PIPE_BUF`.
+    /// `wakeups` receives any readers unblocked by new data.
+    pub fn write(&mut self, data: Vec<u8>, wakeups: &mut Vec<Wakeup>) -> Result<WireReply, Vec<u8>> {
+        if self.readers == 0 {
+            return Ok(Err(Errno::EPIPE));
+        }
+        if data.is_empty() {
+            return Ok(Ok(Reply::Written { n: 0 }));
+        }
+        let space = self.space();
+        if space == 0 {
+            return Err(data);
+        }
+        let n = data.len().min(space);
+        self.buf.extend(&data[..n]);
+        self.pump(wakeups);
+        Ok(Ok(Reply::Written { n: n as u64 }))
+    }
+
+    /// Drops a reader reference; at zero, blocked writers fail with EPIPE.
+    pub fn close_reader(&mut self, wakeups: &mut Vec<Wakeup>) {
+        self.readers -= 1;
+        if self.readers == 0 {
+            while let Some(p) = self.pending_writes.pop_front() {
+                wakeups.push((p.reply, p.src_core, Err(Errno::EPIPE)));
+            }
+        }
+    }
+
+    /// Drops a writer reference; at zero, blocked readers see EOF once the
+    /// buffer drains.
+    pub fn close_writer(&mut self, wakeups: &mut Vec<Wakeup>) {
+        self.writers -= 1;
+        if self.writers == 0 {
+            self.pump(wakeups);
+        }
+    }
+
+    /// True when both ends are fully closed and nothing is parked.
+    pub fn defunct(&self) -> bool {
+        self.readers == 0
+            && self.writers == 0
+            && self.pending_reads.is_empty()
+            && self.pending_writes.is_empty()
+    }
+
+    /// Makes all possible progress on parked operations.
+    fn pump(&mut self, wakeups: &mut Vec<Wakeup>) {
+        loop {
+            let mut progressed = false;
+            // Satisfy parked reads while data is available (or EOF).
+            while let Some(front) = self.pending_reads.front() {
+                let max = match &front.payload {
+                    ParkedPayload::Read(m) => *m,
+                    ParkedPayload::Write(_) => unreachable!("read queue holds reads"),
+                };
+                if self.buf.is_empty() && self.writers > 0 {
+                    break;
+                }
+                let p = self.pending_reads.pop_front().expect("front exists");
+                let n = (max as usize).min(self.buf.len());
+                let data: Vec<u8> = self.buf.drain(..n).collect();
+                wakeups.push((
+                    p.reply,
+                    p.src_core,
+                    Ok(Reply::Data {
+                        data,
+                        _eof: self.writers == 0 && self.buf.is_empty(),
+                    }),
+                ));
+                progressed = true;
+            }
+            // Satisfy parked writes while space is available.
+            while let Some(front) = self.pending_writes.front() {
+                let len = match &front.payload {
+                    ParkedPayload::Write(d) => d.len(),
+                    ParkedPayload::Read(_) => unreachable!("write queue holds writes"),
+                };
+                let space = self.space();
+                if space == 0 {
+                    break;
+                }
+                let p = self.pending_writes.pop_front().expect("front exists");
+                let data = match p.payload {
+                    ParkedPayload::Write(d) => d,
+                    ParkedPayload::Read(_) => unreachable!(),
+                };
+                let n = len.min(space);
+                self.buf.extend(&data[..n]);
+                wakeups.push((p.reply, p.src_core, Ok(Reply::Written { n: n as u64 })));
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+/// The per-server pipe table, keyed by pipe inode number.
+#[derive(Debug, Default)]
+pub struct PipeTable {
+    map: std::collections::HashMap<u64, Pipe>,
+}
+
+impl PipeTable {
+    /// Installs a new pipe under `num`.
+    pub fn insert(&mut self, num: u64, pipe: Pipe) {
+        self.map.insert(num, pipe);
+    }
+
+    /// Looks up a pipe mutably.
+    pub fn get_mut(&mut self, num: u64) -> Option<&mut Pipe> {
+        self.map.get_mut(&num)
+    }
+
+    /// Removes a pipe once defunct.
+    pub fn remove_if_defunct(&mut self, num: u64) {
+        if self.map.get(&num).is_some_and(|p| p.defunct()) {
+            self.map.remove(&num);
+        }
+    }
+
+    /// Live pipes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no pipes exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire() -> (msg::Sender<WireReply>, msg::Receiver<WireReply>) {
+        msg::channel(msg::MsgStats::shared())
+    }
+
+    fn unwrap_data(r: WireReply) -> Vec<u8> {
+        match r.unwrap() {
+            Reply::Data { data, .. } => data,
+            other => panic!("expected Data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut p = Pipe::new(16);
+        let mut w = Vec::new();
+        let r = p.write(b"hello".to_vec(), &mut w).unwrap();
+        assert!(matches!(r, Ok(Reply::Written { n: 5 })));
+        let r = p.read(3, &mut w).unwrap();
+        assert_eq!(unwrap_data(r), b"hel");
+        let r = p.read(10, &mut w).unwrap();
+        assert_eq!(unwrap_data(r), b"lo");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn read_blocks_until_write() {
+        let mut p = Pipe::new(16);
+        let mut w = Vec::new();
+        assert!(p.read(4, &mut w).is_none(), "empty pipe must block");
+        let (tx, rx) = wire();
+        p.pending_reads.push_back(Parked {
+            reply: tx,
+            src_core: 0,
+            payload: ParkedPayload::Read(4),
+        });
+        p.write(b"ab".to_vec(), &mut w).unwrap();
+        assert_eq!(w.len(), 1, "write must wake the parked read");
+        let (tx2, src, reply) = w.pop().unwrap();
+        assert_eq!(src, 0);
+        tx2.send(reply, 0, 0).unwrap();
+        assert_eq!(unwrap_data(rx.try_recv().unwrap().payload), b"ab");
+    }
+
+    #[test]
+    fn full_pipe_blocks_writer_until_read() {
+        let mut p = Pipe::new(4);
+        let mut w = Vec::new();
+        p.write(b"abcd".to_vec(), &mut w).unwrap();
+        assert!(p.write(b"xy".to_vec(), &mut w).is_err(), "full pipe blocks");
+        let (tx, rx) = wire();
+        p.pending_writes.push_back(Parked {
+            reply: tx,
+            src_core: 2,
+            payload: ParkedPayload::Write(b"xy".to_vec()),
+        });
+        let r = p.read(3, &mut w).unwrap();
+        assert_eq!(unwrap_data(r), b"abc");
+        assert_eq!(w.len(), 1);
+        let (tx2, _, reply) = w.pop().unwrap();
+        tx2.send(reply, 0, 0).unwrap();
+        assert!(matches!(
+            rx.try_recv().unwrap().payload,
+            Ok(Reply::Written { n: 2 })
+        ));
+        // Buffer now holds "d" + "xy".
+        let r = p.read(10, &mut w).unwrap();
+        assert_eq!(unwrap_data(r), b"dxy");
+    }
+
+    #[test]
+    fn eof_and_epipe() {
+        let mut p = Pipe::new(8);
+        let mut w = Vec::new();
+        p.write(b"z".to_vec(), &mut w).unwrap();
+        p.close_writer(&mut w);
+        // Buffered data still readable, then EOF.
+        assert_eq!(unwrap_data(p.read(8, &mut w).unwrap()), b"z");
+        let r = p.read(8, &mut w).unwrap();
+        assert_eq!(unwrap_data(r), b"");
+        // All readers gone: writes fail.
+        p.close_reader(&mut w);
+        assert!(matches!(
+            Pipe::new(8).write(b"q".to_vec(), &mut Vec::new()),
+            Ok(Ok(_))
+        ));
+        let mut p2 = Pipe::new(8);
+        p2.close_reader(&mut w);
+        assert!(matches!(
+            p2.write(b"q".to_vec(), &mut Vec::new()),
+            Ok(Err(Errno::EPIPE))
+        ));
+    }
+
+    #[test]
+    fn closing_writers_wakes_parked_reader_with_eof() {
+        let mut p = Pipe::new(8);
+        let (tx, rx) = wire();
+        p.pending_reads.push_back(Parked {
+            reply: tx,
+            src_core: 1,
+            payload: ParkedPayload::Read(4),
+        });
+        let mut w = Vec::new();
+        p.close_writer(&mut w);
+        assert_eq!(w.len(), 1);
+        let (tx2, _, reply) = w.pop().unwrap();
+        tx2.send(reply, 0, 0).unwrap();
+        let env = rx.try_recv().unwrap();
+        assert_eq!(unwrap_data(env.payload), b"");
+    }
+
+    #[test]
+    fn closing_readers_fails_parked_writer() {
+        let mut p = Pipe::new(2);
+        let mut w = Vec::new();
+        p.write(b"ab".to_vec(), &mut w).unwrap();
+        let (tx, rx) = wire();
+        p.pending_writes.push_back(Parked {
+            reply: tx,
+            src_core: 1,
+            payload: ParkedPayload::Write(b"cd".to_vec()),
+        });
+        p.close_reader(&mut w);
+        assert_eq!(w.len(), 1);
+        let (tx2, _, reply) = w.pop().unwrap();
+        assert!(matches!(reply, Err(Errno::EPIPE)));
+        tx2.send(reply, 0, 0).unwrap();
+        assert!(rx.try_recv().is_ok());
+    }
+
+    #[test]
+    fn defunct_cleanup() {
+        let mut t = PipeTable::default();
+        let mut p = Pipe::new(4);
+        let mut w = Vec::new();
+        p.close_reader(&mut w);
+        p.close_writer(&mut w);
+        assert!(p.defunct());
+        t.insert(1, p);
+        t.remove_if_defunct(1);
+        assert!(t.is_empty());
+    }
+}

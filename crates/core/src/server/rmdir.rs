@@ -1,0 +1,171 @@
+//! Server-side state for the three-phase directory removal protocol.
+//!
+//! Paper §3.3: removing a distributed directory must be atomic with respect
+//! to concurrent file creation. Hare runs a two-phase commit (mark for
+//! deletion, then COMMIT or ABORT) preceded by a serialization phase at the
+//! directory's *home server* so concurrent `rmdir`s of one directory cannot
+//! deadlock. While a directory is marked, operations on it are **delayed**
+//! (their envelopes parked here) until the coordinator resolves the
+//! outcome.
+
+use crate::proto::ServerMsg;
+use crate::types::InodeId;
+use std::collections::{HashMap, VecDeque};
+
+/// A parked serialization-lock waiter.
+#[derive(Debug)]
+pub struct LockWaiter {
+    /// Reply channel for the eventual `RmdirLocked` grant.
+    pub reply: msg::Sender<crate::proto::WireReply>,
+    /// Core of the waiting client.
+    pub src_core: usize,
+}
+
+/// A directory operation delayed by a deletion mark, replayed on resolve.
+pub type ParkedOp = msg::Envelope<ServerMsg>;
+
+/// Rmdir protocol state on one server.
+#[derive(Debug, Default)]
+pub struct RmdirState {
+    /// Home-server serialization locks: present key = locked; the queue
+    /// holds waiters for the lock.
+    locks: HashMap<InodeId, VecDeque<LockWaiter>>,
+    /// Directories marked for deletion on this server, with the operations
+    /// delayed behind the mark.
+    marks: HashMap<InodeId, Vec<ParkedOp>>,
+}
+
+impl RmdirState {
+    /// Tries to take the serialization lock for `dir`. Returns true if
+    /// granted immediately; otherwise parks `waiter`.
+    pub fn lock(&mut self, dir: InodeId, waiter: impl FnOnce() -> LockWaiter) -> bool {
+        match self.locks.entry(dir) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(VecDeque::new());
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                o.get_mut().push_back(waiter());
+                false
+            }
+        }
+    }
+
+    /// Releases the serialization lock; returns the next waiter to grant,
+    /// if any (the lock stays held on its behalf).
+    pub fn unlock(&mut self, dir: InodeId) -> Option<LockWaiter> {
+        let queue = self.locks.get_mut(&dir)?;
+        match queue.pop_front() {
+            Some(w) => Some(w),
+            None => {
+                self.locks.remove(&dir);
+                None
+            }
+        }
+    }
+
+    /// True if `dir` is currently marked for deletion on this server.
+    pub fn is_marked(&self, dir: InodeId) -> bool {
+        self.marks.contains_key(&dir)
+    }
+
+    /// Marks `dir` for deletion. Returns false if already marked (protocol
+    /// violation guarded by the serialization phase).
+    pub fn mark(&mut self, dir: InodeId) -> bool {
+        if self.marks.contains_key(&dir) {
+            return false;
+        }
+        self.marks.insert(dir, Vec::new());
+        true
+    }
+
+    /// Parks an operation behind `dir`'s mark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir` is not marked (callers check first).
+    pub fn park(&mut self, dir: InodeId, op: ParkedOp) {
+        self.marks
+            .get_mut(&dir)
+            .expect("park requires an existing mark")
+            .push(op);
+    }
+
+    /// Removes the mark (COMMIT or ABORT), returning the delayed operations
+    /// for replay.
+    pub fn resolve(&mut self, dir: InodeId) -> Vec<ParkedOp> {
+        self.marks.remove(&dir).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Request;
+
+    const DIR: InodeId = InodeId { server: 0, num: 7 };
+
+    fn waiter() -> LockWaiter {
+        let (tx, _rx) = msg::channel(msg::MsgStats::shared());
+        LockWaiter {
+            reply: tx,
+            src_core: 0,
+        }
+    }
+
+    #[test]
+    fn lock_grants_then_queues() {
+        let mut s = RmdirState::default();
+        assert!(s.lock(DIR, waiter));
+        assert!(!s.lock(DIR, waiter), "second locker must queue");
+        // Unlock hands the lock to the waiter.
+        assert!(s.unlock(DIR).is_some());
+        // The waiter now holds it; releasing again frees the lock.
+        assert!(s.unlock(DIR).is_none());
+        assert!(s.lock(DIR, waiter));
+    }
+
+    #[test]
+    fn mark_park_resolve() {
+        let mut s = RmdirState::default();
+        assert!(!s.is_marked(DIR));
+        assert!(s.mark(DIR));
+        assert!(!s.mark(DIR), "double mark rejected");
+        assert!(s.is_marked(DIR));
+
+        let (tx, _rx) = msg::channel(msg::MsgStats::shared());
+        s.park(
+            DIR,
+            msg::Envelope {
+                payload: ServerMsg {
+                    req: Request::ListShard { dir: DIR },
+                    reply: tx,
+                },
+                deliver_at: 5,
+                src_core: 1,
+            },
+        );
+        let parked = s.resolve(DIR);
+        assert_eq!(parked.len(), 1);
+        assert!(!s.is_marked(DIR));
+        assert!(s.resolve(DIR).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn park_without_mark_panics() {
+        let mut s = RmdirState::default();
+        let (tx, _rx) = msg::channel(msg::MsgStats::shared());
+        s.park(
+            DIR,
+            msg::Envelope {
+                payload: ServerMsg {
+                    req: Request::ListShard { dir: DIR },
+                    reply: tx,
+                },
+                deliver_at: 0,
+                src_core: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,577 @@
+//! Direct handler-level tests of the file server (no threads: envelopes are
+//! fed to `handle` synchronously and replies read back from the channel).
+
+use super::*;
+use crate::config::HareConfig;
+
+struct Harness {
+    server: Server,
+    machine: Arc<Machine>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let cfg = HareConfig::timeshare(2);
+        let machine = Machine::new(&cfg);
+        let server = Server::new(
+            Arc::clone(&machine),
+            ServerParams {
+                id: 0,
+                core: 0,
+                partition_start: 0,
+                partition_len: 64,
+                root_distributed: false,
+                pipe_capacity: 16,
+            },
+        );
+        Harness { server, machine }
+    }
+
+    /// Sends one request and returns the immediate reply (None if parked).
+    fn req(&mut self, req: Request) -> Option<WireReply> {
+        let (tx, rx) = msg::channel(Arc::clone(&self.machine.msg_stats));
+        self.server.handle(msg::Envelope {
+            payload: ServerMsg { req, reply: tx },
+            deliver_at: 0,
+            src_core: 1,
+        });
+        rx.try_recv().ok().map(|e| e.payload)
+    }
+
+    fn must(&mut self, req: Request) -> Reply {
+        self.req(req).expect("reply expected").expect("ok expected")
+    }
+
+    fn create_file(&mut self, name: &str) -> (InodeId, OpenResult) {
+        match self.must(Request::Create {
+            client: 1,
+            ftype: FileType::Regular,
+            mode: Mode::default(),
+            dist: false,
+            add_map: Some((InodeId::ROOT, name.to_string())),
+            open: Some(OpenFlags::RDWR),
+        }) {
+            Reply::Created { ino, open } => (ino, open.expect("open requested")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn coalesced_create_open_unlink_orphan() {
+    let mut h = Harness::new();
+    let (ino, open) = h.create_file("f");
+    assert_eq!(ino.server, 0);
+
+    // Lookup finds it.
+    match h.must(Request::Lookup {
+        client: 2,
+        dir: InodeId::ROOT,
+        name: "f".into(),
+    }) {
+        Reply::Lookup { target, ftype, .. } => {
+            assert_eq!(target, ino);
+            assert_eq!(ftype, FileType::Regular);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Unlink while open: RM_MAP + decref orphans the inode but keeps it.
+    h.must(Request::RmMap {
+        client: 1,
+        dir: InodeId::ROOT,
+        name: "f".into(),
+        must_be_file: true,
+    });
+    h.must(Request::LinkDecref { num: ino.num });
+    // Inode still alive: stat succeeds (orphan semantics, paper §3.4).
+    match h.must(Request::StatInode { num: ino.num }) {
+        Reply::Stat(st) => assert_eq!(st.nlink, 0),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Last close destroys it.
+    h.must(Request::CloseFd {
+        fd: open.fd,
+        size: None,
+    });
+    assert!(matches!(
+        h.req(Request::StatInode { num: ino.num }),
+        Some(Err(Errno::ENOENT))
+    ));
+}
+
+#[test]
+fn duplicate_create_fails() {
+    let mut h = Harness::new();
+    h.create_file("f");
+    let r = h.req(Request::Create {
+        client: 1,
+        ftype: FileType::Regular,
+        mode: Mode::default(),
+        dist: false,
+        add_map: Some((InodeId::ROOT, "f".into())),
+        open: None,
+    });
+    assert!(matches!(r, Some(Err(Errno::EEXIST))));
+}
+
+#[test]
+fn alloc_grows_and_truncate_defers() {
+    let mut h = Harness::new();
+    let (_ino, open) = h.create_file("f");
+    let blocks = match h.must(Request::AllocBlocks {
+        fd: open.fd,
+        min_size: 3 * BLOCK_SIZE as u64,
+    }) {
+        Reply::Blocks { blocks, .. } => blocks,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(blocks.len(), 3);
+    let (_, _, avail) = h.server.debug_state();
+    assert_eq!(avail, 61);
+
+    // Truncate to one block: two blocks defer-freed while the fd is open.
+    h.must(Request::Truncate {
+        fd: open.fd,
+        size: 100,
+    });
+    let (_, _, avail) = h.server.debug_state();
+    assert_eq!(avail, 61, "blocks must not be reused while fds are open");
+
+    h.must(Request::CloseFd {
+        fd: open.fd,
+        size: Some(100),
+    });
+    let (_, _, avail) = h.server.debug_state();
+    assert_eq!(avail, 63, "deferred blocks freed at last close");
+}
+
+#[test]
+fn shared_fd_offset_and_demotion() {
+    let mut h = Harness::new();
+    let (_ino, open) = h.create_file("f");
+    // Share the descriptor (fork): offset migrates to the server.
+    h.must(Request::FdIncref {
+        fd: open.fd,
+        offset: 0,
+    });
+    // Two writers appending through the shared offset never overlap.
+    let r1 = h.must(Request::SharedIo {
+        fd: open.fd,
+        len: 100,
+        write: true,
+        append: false,
+    });
+    let r2 = h.must(Request::SharedIo {
+        fd: open.fd,
+        len: 50,
+        write: true,
+        append: false,
+    });
+    match (r1, r2) {
+        (
+            Reply::SharedIo {
+                offset: o1,
+                demote: None,
+                ..
+            },
+            Reply::SharedIo {
+                offset: o2,
+                demote: None,
+                ..
+            },
+        ) => {
+            assert_eq!(o1, 0);
+            assert_eq!(o2, 100);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // One process closes its reference: demotion arms.
+    h.must(Request::CloseFd {
+        fd: open.fd,
+        size: None,
+    });
+    // Next shared op returns the offset to the survivor.
+    match h.must(Request::SharedIo {
+        fd: open.fd,
+        len: 10,
+        write: false,
+        append: false,
+    }) {
+        Reply::SharedIo { demote: Some(d), .. } => {
+            // The read at offset 150 hits EOF (size 150): offset unchanged.
+            assert_eq!(d.offset, 150);
+            assert_eq!(d.size, 150);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn rmdir_three_phase_commit() {
+    let mut h = Harness::new();
+    // Create an empty dir "d" under root.
+    let dir = match h.must(Request::Create {
+        client: 1,
+        ftype: FileType::Directory,
+        mode: Mode::default(),
+        dist: true,
+        add_map: Some((InodeId::ROOT, "d".into())),
+        open: None,
+    }) {
+        Reply::Created { ino, .. } => ino,
+        other => panic!("unexpected {other:?}"),
+    };
+
+    // Phase 1: serialize at the home server.
+    assert!(matches!(
+        h.must(Request::RmdirSerialize { dir }),
+        Reply::RmdirLocked
+    ));
+    // Phase 2: mark.
+    assert!(matches!(
+        h.must(Request::RmdirMark { dir }),
+        Reply::RmdirMark(MarkResult::Marked)
+    ));
+    // Phase 3: commit destroys the inode and tombstones the dir.
+    h.must(Request::RmdirCommit { dir });
+    h.must(Request::RmdirRelease { dir });
+    assert!(matches!(
+        h.req(Request::StatInode { num: dir.num }),
+        Some(Err(Errno::ENOENT))
+    ));
+    // Create under the removed dir is refused.
+    let r = h.req(Request::AddMap {
+        client: 1,
+        dir,
+        name: "x".into(),
+        target: InodeId { server: 0, num: 99 },
+        ftype: FileType::Regular,
+        dist: false,
+        replace: false,
+    });
+    assert!(matches!(r, Some(Err(Errno::ENOENT))));
+}
+
+#[test]
+fn rmdir_mark_delays_creates_until_abort() {
+    let mut h = Harness::new();
+    let dir = match h.must(Request::Create {
+        client: 1,
+        ftype: FileType::Directory,
+        mode: Mode::default(),
+        dist: true,
+        add_map: Some((InodeId::ROOT, "d".into())),
+        open: None,
+    }) {
+        Reply::Created { ino, .. } => ino,
+        other => panic!("unexpected {other:?}"),
+    };
+    h.must(Request::RmdirSerialize { dir });
+    h.must(Request::RmdirMark { dir });
+
+    // A create lands while the mark is held: it must be delayed, not
+    // answered.
+    let (tx, rx) = msg::channel(Arc::clone(&h.machine.msg_stats));
+    h.server.handle(msg::Envelope {
+        payload: ServerMsg {
+            req: Request::AddMap {
+                client: 2,
+                dir,
+                name: "x".into(),
+                target: InodeId { server: 0, num: 50 },
+                ftype: FileType::Regular,
+                dist: false,
+                replace: false,
+            },
+            reply: tx,
+        },
+        deliver_at: 0,
+        src_core: 1,
+    });
+    assert!(rx.try_recv().is_err(), "operation must be parked");
+
+    // ABORT releases and replays it: the create now succeeds.
+    h.must(Request::RmdirAbort { dir });
+    let env = rx.try_recv().expect("replayed after abort");
+    assert!(matches!(env.payload, Ok(Reply::AddMapped { replaced: None })));
+}
+
+#[test]
+fn rmdir_mark_fails_on_nonempty_shard() {
+    let mut h = Harness::new();
+    let dir = match h.must(Request::Create {
+        client: 1,
+        ftype: FileType::Directory,
+        mode: Mode::default(),
+        dist: true,
+        add_map: Some((InodeId::ROOT, "d".into())),
+        open: None,
+    }) {
+        Reply::Created { ino, .. } => ino,
+        other => panic!("unexpected {other:?}"),
+    };
+    h.must(Request::AddMap {
+        client: 1,
+        dir,
+        name: "child".into(),
+        target: InodeId { server: 0, num: 40 },
+        ftype: FileType::Regular,
+        dist: false,
+        replace: false,
+    });
+    h.must(Request::RmdirSerialize { dir });
+    assert!(matches!(
+        h.must(Request::RmdirMark { dir }),
+        Reply::RmdirMark(MarkResult::NotEmpty)
+    ));
+}
+
+#[test]
+fn rmdir_serialization_queues_second_locker() {
+    let mut h = Harness::new();
+    let dir = match h.must(Request::Create {
+        client: 1,
+        ftype: FileType::Directory,
+        mode: Mode::default(),
+        dist: true,
+        add_map: Some((InodeId::ROOT, "d".into())),
+        open: None,
+    }) {
+        Reply::Created { ino, .. } => ino,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(matches!(
+        h.must(Request::RmdirSerialize { dir }),
+        Reply::RmdirLocked
+    ));
+    // Second locker parks.
+    let (tx, rx) = msg::channel(Arc::clone(&h.machine.msg_stats));
+    h.server.handle(msg::Envelope {
+        payload: ServerMsg {
+            req: Request::RmdirSerialize { dir },
+            reply: tx,
+        },
+        deliver_at: 0,
+        src_core: 1,
+    });
+    assert!(rx.try_recv().is_err(), "second rmdir must wait");
+    // Release grants it.
+    h.must(Request::RmdirRelease { dir });
+    let env = rx.try_recv().expect("lock handed off");
+    assert!(matches!(env.payload, Ok(Reply::RmdirLocked)));
+}
+
+#[test]
+fn centralized_rmdir_single_message() {
+    let mut h = Harness::new();
+    let dir = match h.must(Request::Create {
+        client: 1,
+        ftype: FileType::Directory,
+        mode: Mode::default(),
+        dist: false,
+        add_map: Some((InodeId::ROOT, "d".into())),
+        open: None,
+    }) {
+        Reply::Created { ino, .. } => ino,
+        other => panic!("unexpected {other:?}"),
+    };
+    // Non-empty fails.
+    h.must(Request::AddMap {
+        client: 1,
+        dir,
+        name: "c".into(),
+        target: InodeId { server: 0, num: 70 },
+        ftype: FileType::Regular,
+        dist: false,
+        replace: false,
+    });
+    assert!(matches!(
+        h.req(Request::RmdirCentral { dir }),
+        Some(Err(Errno::ENOTEMPTY))
+    ));
+    h.must(Request::RmMap {
+        client: 1,
+        dir,
+        name: "c".into(),
+        must_be_file: true,
+    });
+    assert!(matches!(
+        h.must(Request::RmdirCentral { dir }),
+        Reply::Unit
+    ));
+}
+
+#[test]
+fn invalidations_reach_tracking_clients() {
+    let mut h = Harness::new();
+    // Client 7 registers with an invalidation queue.
+    let (itx, irx) = msg::channel::<Invalidation>(Arc::clone(&h.machine.msg_stats));
+    h.must(Request::Register {
+        client: 7,
+        core: 1,
+        inval: itx,
+    });
+    let (ino, _open) = h.create_file("f");
+    let _ = ino;
+    // Client 7 looks the name up (now tracked).
+    h.must(Request::Lookup {
+        client: 7,
+        dir: InodeId::ROOT,
+        name: "f".into(),
+    });
+    // Client 1 removes the entry: client 7 must get an invalidation.
+    h.must(Request::RmMap {
+        client: 1,
+        dir: InodeId::ROOT,
+        name: "f".into(),
+        must_be_file: true,
+    });
+    let inv = irx.try_recv().expect("invalidation must be queued already");
+    assert_eq!(inv.payload.dir, InodeId::ROOT);
+    assert_eq!(inv.payload.name, "f");
+    // The mutator itself is not invalidated (its library updates locally).
+    assert!(irx.try_recv().is_err());
+}
+
+#[test]
+fn pipe_blocking_read_woken_by_write() {
+    let mut h = Harness::new();
+    let (rfd, wfd) = match h.must(Request::PipeCreate) {
+        Reply::Pipe { rfd, wfd, .. } => (rfd, wfd),
+        other => panic!("unexpected {other:?}"),
+    };
+    // Blocking read parks.
+    let (tx, rx) = msg::channel(Arc::clone(&h.machine.msg_stats));
+    h.server.handle(msg::Envelope {
+        payload: ServerMsg {
+            req: Request::PipeRead { fd: rfd, max: 4 },
+            reply: tx,
+        },
+        deliver_at: 0,
+        src_core: 1,
+    });
+    assert!(rx.try_recv().is_err(), "read on empty pipe parks");
+    // A write wakes it.
+    h.must(Request::PipeWrite {
+        fd: wfd,
+        data: b"hi".to_vec(),
+    });
+    match rx.try_recv().expect("woken").payload {
+        Ok(Reply::Data { data, .. }) => assert_eq!(data, b"hi"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn pipe_write_blocks_at_capacity_and_epipe() {
+    let mut h = Harness::new();
+    let (rfd, wfd) = match h.must(Request::PipeCreate) {
+        Reply::Pipe { rfd, wfd, .. } => (rfd, wfd),
+        other => panic!("unexpected {other:?}"),
+    };
+    // Capacity is 16 in the harness.
+    h.must(Request::PipeWrite {
+        fd: wfd,
+        data: vec![0u8; 16],
+    });
+    let (tx, rx) = msg::channel(Arc::clone(&h.machine.msg_stats));
+    h.server.handle(msg::Envelope {
+        payload: ServerMsg {
+            req: Request::PipeWrite {
+                fd: wfd,
+                data: b"more".to_vec(),
+            },
+            reply: tx,
+        },
+        deliver_at: 0,
+        src_core: 1,
+    });
+    assert!(rx.try_recv().is_err(), "write to full pipe parks");
+    // Close the read end: the parked writer fails with EPIPE.
+    h.must(Request::CloseFd {
+        fd: rfd,
+        size: None,
+    });
+    assert!(matches!(
+        rx.try_recv().expect("woken").payload,
+        Err(Errno::EPIPE)
+    ));
+}
+
+#[test]
+fn open_nonexistent_inode_fails() {
+    let mut h = Harness::new();
+    assert!(matches!(
+        h.req(Request::OpenInode {
+            client: 1,
+            num: 424242,
+            flags: OpenFlags::RDONLY,
+        }),
+        Some(Err(Errno::ENOENT))
+    ));
+}
+
+#[test]
+fn permission_checks_at_open() {
+    let mut h = Harness::new();
+    let (ino, open) = h.create_file("locked");
+    h.must(Request::CloseFd {
+        fd: open.fd,
+        size: None,
+    });
+    // Flip the mode to write-only-by-owner... we have no chmod in the
+    // protocol, so create a fresh inode with a restrictive mode instead.
+    let r = h.must(Request::Create {
+        client: 1,
+        ftype: FileType::Regular,
+        mode: Mode(0o200),
+        dist: false,
+        add_map: Some((InodeId::ROOT, "wonly".into())),
+        open: None,
+    });
+    let ino2 = match r {
+        Reply::Created { ino, .. } => ino,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(matches!(
+        h.req(Request::OpenInode {
+            client: 1,
+            num: ino2.num,
+            flags: OpenFlags::RDONLY,
+        }),
+        Some(Err(Errno::EACCES))
+    ));
+    // The readable file opens fine.
+    assert!(h
+        .req(Request::OpenInode {
+            client: 1,
+            num: ino.num,
+            flags: OpenFlags::RDONLY,
+        })
+        .unwrap()
+        .is_ok());
+}
+
+#[test]
+fn server_data_io_handles_holes() {
+    let mut h = Harness::new();
+    let (_ino, open) = h.create_file("f");
+    // Write through the server at offset 5000 (block 1).
+    h.must(Request::WriteData {
+        fd: open.fd,
+        offset: 5000,
+        data: b"xyz".to_vec(),
+        append: false,
+    });
+    // Read spanning the hole in block 0 returns zeros then data.
+    match h.must(Request::ReadData {
+        fd: open.fd,
+        offset: 4998,
+        len: 5,
+    }) {
+        Reply::Data { data, .. } => assert_eq!(data, vec![0, 0, b'x', b'y', b'z']),
+        other => panic!("unexpected {other:?}"),
+    }
+}

@@ -1,0 +1,67 @@
+//! Identifier types used throughout the Hare protocol.
+
+/// Index of a file server (0-based, dense).
+pub type ServerId = u16;
+
+/// Unique identifier of one client library instance.
+///
+/// Every simulated process has a client library; servers track client ids
+/// for directory-cache invalidation callbacks (paper §3.6.1).
+pub type ClientId = u64;
+
+/// A globally unique inode name.
+///
+/// "Hare names inodes by a tuple consisting of the server ID and the
+/// per-server inode number to guarantee uniqueness across the system as well
+/// as scalable allocation of inode numbers" (paper §3.6.4). Directory entries
+/// must therefore store both pieces (paper §3.6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InodeId {
+    /// The server storing the inode.
+    pub server: ServerId,
+    /// The per-server inode number.
+    pub num: u64,
+}
+
+impl InodeId {
+    /// The root directory, stored at the designated server 0 (paper §3.1:
+    /// "a designated server stores the root directory entry").
+    pub const ROOT: InodeId = InodeId { server: 0, num: 1 };
+}
+
+impl std::fmt::Display for InodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ino{}.{}", self.server, self.num)
+    }
+}
+
+/// A server-side open-file handle id, scoped to the issuing server.
+///
+/// The server responsible for a file's inode tracks its open descriptors and
+/// their reference counts (paper §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FdId(pub u64);
+
+impl std::fmt::Display for FdId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sfd{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_on_designated_server() {
+        assert_eq!(InodeId::ROOT.server, 0);
+        assert_eq!(InodeId::ROOT.to_string(), "ino0.1");
+    }
+
+    #[test]
+    fn inode_ids_are_ordered() {
+        let a = InodeId { server: 0, num: 5 };
+        let b = InodeId { server: 1, num: 1 };
+        assert!(a < b);
+    }
+}

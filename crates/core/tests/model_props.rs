@@ -1,0 +1,292 @@
+//! Model-based property test: random operation sequences on Hare must
+//! behave identically to a trivial reference file system (a map of paths
+//! to byte vectors), including error codes.
+
+use fsapi::{Errno, Mode, OpenFlags, ProcFs};
+use hare_core::{HareConfig, HareInstance};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A reference model: directories and files by absolute path.
+#[derive(Debug, Default)]
+struct Model {
+    dirs: BTreeMap<String, ()>,
+    files: BTreeMap<String, Vec<u8>>,
+}
+
+impl Model {
+    /// `Ok(())` when the parent resolves to a directory; the POSIX errno
+    /// otherwise (`ENOTDIR` when a file is in the way, `ENOENT` when the
+    /// parent is missing).
+    fn parent_ok(&self, path: &str) -> Result<(), Errno> {
+        match path.rfind('/') {
+            Some(0) => Ok(()),
+            Some(i) => {
+                let parent = &path[..i];
+                if self.dirs.contains_key(parent) {
+                    Ok(())
+                } else if self.files.contains_key(parent) {
+                    Err(Errno::ENOTDIR)
+                } else {
+                    Err(Errno::ENOENT)
+                }
+            }
+            None => Err(Errno::ENOENT),
+        }
+    }
+
+    fn children(&self, dir: &str) -> Vec<String> {
+        let prefix = format!("{dir}/");
+        let direct = |p: &str| {
+            p.strip_prefix(&prefix)
+                .filter(|rest| !rest.contains('/'))
+                .map(|rest| rest.to_string())
+        };
+        let mut out: Vec<String> = self
+            .dirs
+            .keys()
+            .filter_map(|p| direct(p))
+            .chain(self.files.keys().filter_map(|p| direct(p)))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Get(u8),
+    Unlink(u8),
+    Mkdir(u8),
+    Rmdir(u8),
+    Rename(u8, u8),
+    Readdir(u8),
+    Stat(u8),
+}
+
+/// Eight path slots: half files in nested dirs, half top-level.
+fn path_for(slot: u8) -> String {
+    match slot % 8 {
+        0 => "/a".to_string(),
+        1 => "/b".to_string(),
+        2 => "/d1".to_string(),
+        3 => "/d2".to_string(),
+        4 => "/d1/x".to_string(),
+        5 => "/d1/y".to_string(),
+        6 => "/d2/z".to_string(),
+        _ => "/d1/sub".to_string(),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(s, d)| Op::Put(s, d)),
+        any::<u8>().prop_map(Op::Get),
+        any::<u8>().prop_map(Op::Unlink),
+        any::<u8>().prop_map(Op::Mkdir),
+        any::<u8>().prop_map(Op::Rmdir),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+        any::<u8>().prop_map(Op::Readdir),
+        any::<u8>().prop_map(Op::Stat),
+    ]
+}
+
+fn put(client: &hare_core::ClientLib, path: &str, data: &[u8]) -> Result<(), Errno> {
+    let fd = client.open(
+        path,
+        OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC,
+        Mode::default(),
+    )?;
+    let mut off = 0;
+    while off < data.len() {
+        off += client.write(fd, &data[off..])?;
+    }
+    client.close(fd)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn hare_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let inst = HareInstance::start(HareConfig::timeshare(2));
+        let client = inst.new_client(0).unwrap();
+        let mut model = Model::default();
+
+        for op in &ops {
+            match op {
+                Op::Put(s, data) => {
+                    let p = path_for(*s);
+                    let real = put(&client, &p, data);
+                    // Model: parent must exist; path must not be a dir.
+                    let expect = match model.parent_ok(&p) {
+                        Err(e) => Err(e),
+                        Ok(()) if model.dirs.contains_key(&p) => Err(Errno::EISDIR),
+                        Ok(()) => {
+                            model.files.insert(p.clone(), data.clone());
+                            Ok(())
+                        }
+                    };
+                    prop_assert_eq!(real, expect, "put {}", p);
+                }
+                Op::Get(s) => {
+                    let p = path_for(*s);
+                    let real = fsapi::read_to_vec(&client, &p);
+                    let expect = if model.dirs.contains_key(&p) {
+                        Err(Errno::EISDIR)
+                    } else if let Some(d) = model.files.get(&p) {
+                        Ok(d.clone())
+                    } else {
+                        Err(model.parent_ok(&p).err().unwrap_or(Errno::ENOENT))
+                    };
+                    prop_assert_eq!(real, expect, "get {}", p);
+                }
+                Op::Unlink(s) => {
+                    let p = path_for(*s);
+                    let real = client.unlink(&p);
+                    let expect = if model.dirs.contains_key(&p) {
+                        Err(Errno::EISDIR)
+                    } else if let Err(e) = model.parent_ok(&p) {
+                        Err(e)
+                    } else if model.files.remove(&p).is_some() {
+                        Ok(())
+                    } else {
+                        Err(Errno::ENOENT)
+                    };
+                    prop_assert_eq!(real, expect, "unlink {}", p);
+                }
+                Op::Mkdir(s) => {
+                    let p = path_for(*s);
+                    let real = client.mkdir(&p, Mode::default());
+                    let expect = if let Err(e) = model.parent_ok(&p) {
+                        Err(e)
+                    } else if model.dirs.contains_key(&p) || model.files.contains_key(&p) {
+                        Err(Errno::EEXIST)
+                    } else {
+                        model.dirs.insert(p.clone(), ());
+                        Ok(())
+                    };
+                    prop_assert_eq!(real, expect, "mkdir {}", p);
+                }
+                Op::Rmdir(s) => {
+                    let p = path_for(*s);
+                    let real = client.rmdir(&p);
+                    let expect = if let Err(e) = model.parent_ok(&p) {
+                        Err(e)
+                    } else if model.files.contains_key(&p) {
+                        Err(Errno::ENOTDIR)
+                    } else if !model.dirs.contains_key(&p) {
+                        Err(Errno::ENOENT)
+                    } else if !model.children(&p).is_empty() {
+                        Err(Errno::ENOTEMPTY)
+                    } else {
+                        model.dirs.remove(&p);
+                        Ok(())
+                    };
+                    prop_assert_eq!(real, expect, "rmdir {}", p);
+                }
+                Op::Rename(a, b) => {
+                    let (pa, pb) = (path_for(*a), path_for(*b));
+                    let real = client.rename(&pa, &pb);
+                    // Mirror the client's check order: old parent, new
+                    // parent, source lookup, then target rules.
+                    let expect = if pa == pb {
+                        real // same-path rename is a no-op in the client
+                    } else if pb.starts_with(&format!("{pa}/")) {
+                        // Moving a directory (or anything) into its own
+                        // subtree path prefix is rejected up front.
+                        Err(Errno::EINVAL)
+                    } else if let Err(e) = model.parent_ok(&pa) {
+                        Err(e)
+                    } else if let Err(e) = model.parent_ok(&pb) {
+                        Err(e)
+                    } else if model.dirs.contains_key(&pa) {
+                        // Directory rename: only onto an absent target.
+                        if model.dirs.contains_key(&pb) {
+                            Err(Errno::EISDIR)
+                        } else if model.files.contains_key(&pb) {
+                            Err(Errno::ENOTDIR)
+                        } else {
+                            let moved: Vec<(String, Vec<u8>)> = model
+                                .files
+                                .iter()
+                                .filter(|(k, _)| k.starts_with(&format!("{pa}/")))
+                                .map(|(k, v)| (k.replacen(&pa, &pb, 1), v.clone()))
+                                .collect();
+                            model.files.retain(|k, _| !k.starts_with(&format!("{pa}/")));
+                            let moved_dirs: Vec<String> = model
+                                .dirs
+                                .keys()
+                                .filter(|k| k.starts_with(&format!("{pa}/")))
+                                .map(|k| k.replacen(&pa, &pb, 1))
+                                .collect();
+                            model.dirs.retain(|k, _| !k.starts_with(&format!("{pa}/")));
+                            model.dirs.remove(&pa);
+                            model.dirs.insert(pb.clone(), ());
+                            for d in moved_dirs {
+                                model.dirs.insert(d, ());
+                            }
+                            for (k, v) in moved {
+                                model.files.insert(k, v);
+                            }
+                            Ok(())
+                        }
+                    } else if let Some(data) = model.files.get(&pa).cloned() {
+                        if model.dirs.contains_key(&pb) {
+                            Err(Errno::EISDIR)
+                        } else {
+                            model.files.remove(&pa);
+                            model.files.insert(pb.clone(), data);
+                            Ok(())
+                        }
+                    } else {
+                        Err(Errno::ENOENT)
+                    };
+                    prop_assert_eq!(real, expect, "rename {} {}", pa, pb);
+                }
+                Op::Readdir(s) => {
+                    let p = path_for(*s);
+                    let real = client.readdir(&p).map(|entries| {
+                        let mut names: Vec<String> =
+                            entries.into_iter().map(|e| e.name).collect();
+                        names.sort();
+                        names
+                    });
+                    let expect = if let Err(e) = model.parent_ok(&p) {
+                        Err(e)
+                    } else if model.files.contains_key(&p) {
+                        Err(Errno::ENOTDIR)
+                    } else if model.dirs.contains_key(&p) {
+                        Ok(model.children(&p))
+                    } else {
+                        Err(Errno::ENOENT)
+                    };
+                    prop_assert_eq!(real, expect, "readdir {}", p);
+                }
+                Op::Stat(s) => {
+                    let p = path_for(*s);
+                    let real = client.stat(&p);
+                    match (real, model.files.get(&p), model.dirs.contains_key(&p)) {
+                        (Ok(st), Some(data), _) => {
+                            prop_assert_eq!(st.size as usize, data.len(), "stat size {}", p);
+                            prop_assert!(st.ftype.is_file());
+                        }
+                        (Ok(st), None, true) => prop_assert!(st.ftype.is_dir()),
+                        (Err(Errno::ENOENT), None, false) | (Err(Errno::ENOTDIR), None, false) => {}
+                        (r, f, d) => {
+                            return Err(TestCaseError::fail(format!(
+                                "stat {p}: got {r:?}, model file={} dir={d}",
+                                f.is_some()
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        drop(client);
+        inst.shutdown();
+    }
+}

@@ -1,0 +1,179 @@
+//! POSIX-style error numbers.
+//!
+//! Hare strives to implement the POSIX system call API faithfully enough to
+//! run unmodified applications (paper §1), so errors cross the client/server
+//! protocol as errno values rather than rich error types.
+
+/// Result alias used across all file system interfaces.
+pub type FsResult<T> = Result<T, Errno>;
+
+/// POSIX error numbers used by this reproduction.
+///
+/// The set covers every failure mode the Hare protocol and the paper's
+/// benchmarks can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Errno {
+    /// No such file or directory.
+    ENOENT,
+    /// File exists.
+    EEXIST,
+    /// Not a directory.
+    ENOTDIR,
+    /// Is a directory.
+    EISDIR,
+    /// Directory not empty.
+    ENOTEMPTY,
+    /// Bad file descriptor.
+    EBADF,
+    /// Invalid argument.
+    EINVAL,
+    /// No space left on device (buffer cache partition exhausted).
+    ENOSPC,
+    /// File name too long.
+    ENAMETOOLONG,
+    /// Device or resource busy (e.g. directory marked for deletion).
+    EBUSY,
+    /// Resource temporarily unavailable.
+    EAGAIN,
+    /// Broken pipe: write with no readers.
+    EPIPE,
+    /// Illegal seek (on a pipe).
+    ESPIPE,
+    /// Permission denied.
+    EACCES,
+    /// Too many open files in this process.
+    EMFILE,
+    /// Operation not supported by this system (e.g. shared descriptors on
+    /// the NFS baseline, paper §2.2).
+    ENOSYS,
+    /// Low-level I/O error (protocol failure).
+    EIO,
+    /// Cross-device link (rename across file systems).
+    EXDEV,
+    /// Too many links.
+    EMLINK,
+    /// Argument list too long (spawn).
+    E2BIG,
+    /// No child processes.
+    ECHILD,
+    /// Interrupted system call.
+    EINTR,
+}
+
+impl Errno {
+    /// The conventional numeric value (Linux x86-64 ABI) for this errno.
+    pub fn code(self) -> i32 {
+        match self {
+            Errno::ENOENT => 2,
+            Errno::EINTR => 4,
+            Errno::EIO => 5,
+            Errno::E2BIG => 7,
+            Errno::EBADF => 9,
+            Errno::ECHILD => 10,
+            Errno::EAGAIN => 11,
+            Errno::EACCES => 13,
+            Errno::EBUSY => 16,
+            Errno::EEXIST => 17,
+            Errno::EXDEV => 18,
+            Errno::ENOTDIR => 20,
+            Errno::EISDIR => 21,
+            Errno::EINVAL => 22,
+            Errno::EMFILE => 24,
+            Errno::ENOSPC => 28,
+            Errno::ESPIPE => 29,
+            Errno::EMLINK => 31,
+            Errno::EPIPE => 32,
+            Errno::ENAMETOOLONG => 36,
+            Errno::ENOTEMPTY => 39,
+            Errno::ENOSYS => 38,
+        }
+    }
+
+    /// A short human-readable description, as `strerror` would produce.
+    pub fn message(self) -> &'static str {
+        match self {
+            Errno::ENOENT => "No such file or directory",
+            Errno::EINTR => "Interrupted system call",
+            Errno::EIO => "Input/output error",
+            Errno::E2BIG => "Argument list too long",
+            Errno::EBADF => "Bad file descriptor",
+            Errno::ECHILD => "No child processes",
+            Errno::EAGAIN => "Resource temporarily unavailable",
+            Errno::EACCES => "Permission denied",
+            Errno::EBUSY => "Device or resource busy",
+            Errno::EEXIST => "File exists",
+            Errno::EXDEV => "Invalid cross-device link",
+            Errno::ENOTDIR => "Not a directory",
+            Errno::EISDIR => "Is a directory",
+            Errno::EINVAL => "Invalid argument",
+            Errno::EMFILE => "Too many open files",
+            Errno::ENOSPC => "No space left on device",
+            Errno::ESPIPE => "Illegal seek",
+            Errno::EMLINK => "Too many links",
+            Errno::EPIPE => "Broken pipe",
+            Errno::ENAMETOOLONG => "File name too long",
+            Errno::ENOTEMPTY => "Directory not empty",
+            Errno::ENOSYS => "Function not implemented",
+        }
+    }
+}
+
+impl std::fmt::Display for Errno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self, self.message())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_linux_abi() {
+        assert_eq!(Errno::ENOENT.code(), 2);
+        assert_eq!(Errno::EEXIST.code(), 17);
+        assert_eq!(Errno::ENOTEMPTY.code(), 39);
+        assert_eq!(Errno::EPIPE.code(), 32);
+    }
+
+    #[test]
+    fn display_includes_message() {
+        let s = Errno::ENOENT.to_string();
+        assert!(s.contains("ENOENT"));
+        assert!(s.contains("No such file or directory"));
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let all = [
+            Errno::ENOENT,
+            Errno::EEXIST,
+            Errno::ENOTDIR,
+            Errno::EISDIR,
+            Errno::ENOTEMPTY,
+            Errno::EBADF,
+            Errno::EINVAL,
+            Errno::ENOSPC,
+            Errno::ENAMETOOLONG,
+            Errno::EBUSY,
+            Errno::EAGAIN,
+            Errno::EPIPE,
+            Errno::ESPIPE,
+            Errno::EACCES,
+            Errno::EMFILE,
+            Errno::ENOSYS,
+            Errno::EIO,
+            Errno::EXDEV,
+            Errno::EMLINK,
+            Errno::E2BIG,
+            Errno::ECHILD,
+            Errno::EINTR,
+        ];
+        let mut codes: Vec<i32> = all.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+    }
+}

@@ -1,0 +1,171 @@
+//! Open flags, file modes, and seek whence values.
+
+use std::ops::{BitAnd, BitOr, BitOrAssign};
+
+/// Flags accepted by [`crate::ProcFs::open`], a subset of POSIX `O_*`.
+///
+/// Implemented by hand (rather than via the `bitflags` crate) to keep the
+/// dependency set to the pre-approved list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OpenFlags(pub u32);
+
+impl OpenFlags {
+    /// Open for reading only.
+    pub const RDONLY: OpenFlags = OpenFlags(0o0);
+    /// Open for writing only.
+    pub const WRONLY: OpenFlags = OpenFlags(0o1);
+    /// Open for reading and writing.
+    pub const RDWR: OpenFlags = OpenFlags(0o2);
+    /// Create the file if it does not exist.
+    pub const CREAT: OpenFlags = OpenFlags(0o100);
+    /// With [`Self::CREAT`], fail if the file already exists.
+    pub const EXCL: OpenFlags = OpenFlags(0o200);
+    /// Truncate the file to length 0 on open.
+    pub const TRUNC: OpenFlags = OpenFlags(0o1000);
+    /// All writes append to the end of the file.
+    pub const APPEND: OpenFlags = OpenFlags(0o2000);
+    /// Expect a directory; fail with `ENOTDIR` otherwise.
+    pub const DIRECTORY: OpenFlags = OpenFlags(0o200000);
+
+    const ACCESS_MASK: u32 = 0o3;
+
+    /// True if every flag in `other` is set in `self`.
+    pub fn contains(self, other: OpenFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if the access mode permits reading.
+    pub fn readable(self) -> bool {
+        matches!(self.0 & Self::ACCESS_MASK, 0o0 | 0o2)
+    }
+
+    /// True if the access mode permits writing.
+    pub fn writable(self) -> bool {
+        matches!(self.0 & Self::ACCESS_MASK, 0o1 | 0o2)
+    }
+}
+
+impl BitOr for OpenFlags {
+    type Output = OpenFlags;
+    fn bitor(self, rhs: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for OpenFlags {
+    fn bitor_assign(&mut self, rhs: OpenFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for OpenFlags {
+    type Output = OpenFlags;
+    fn bitand(self, rhs: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 & rhs.0)
+    }
+}
+
+/// A POSIX permission mode (e.g. `0o644`).
+///
+/// Hare performs "the standard POSIX permission checks" at the file server on
+/// open (paper §3.2); this reproduction carries modes through the protocol
+/// and checks the owner-class bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mode(pub u16);
+
+impl Mode {
+    /// Returns true if the owner class may read.
+    pub fn owner_read(self) -> bool {
+        self.0 & 0o400 != 0
+    }
+
+    /// Returns true if the owner class may write.
+    pub fn owner_write(self) -> bool {
+        self.0 & 0o200 != 0
+    }
+}
+
+impl Default for Mode {
+    /// The conventional `0o644` default.
+    fn default() -> Self {
+        Mode(0o644)
+    }
+}
+
+/// The `whence` argument of [`crate::ProcFs::lseek`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Whence {
+    /// Offset is absolute.
+    Set,
+    /// Offset is relative to the current position.
+    Cur,
+    /// Offset is relative to end of file.
+    End,
+}
+
+/// Computes a new file offset from an lseek request.
+///
+/// Returns `Err(())` if the resulting offset would be negative.
+pub fn apply_seek(cur: u64, size: u64, offset: i64, whence: Whence) -> Result<u64, ()> {
+    let base = match whence {
+        Whence::Set => 0,
+        Whence::Cur => cur as i64,
+        Whence::End => size as i64,
+    };
+    let new = base.checked_add(offset).ok_or(())?;
+    if new < 0 {
+        Err(())
+    } else {
+        Ok(new as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_modes() {
+        assert!(OpenFlags::RDONLY.readable());
+        assert!(!OpenFlags::RDONLY.writable());
+        assert!(!OpenFlags::WRONLY.readable());
+        assert!(OpenFlags::WRONLY.writable());
+        assert!(OpenFlags::RDWR.readable());
+        assert!(OpenFlags::RDWR.writable());
+    }
+
+    #[test]
+    fn combined_flags_preserve_access_mode() {
+        let f = OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC;
+        assert!(f.writable());
+        assert!(!f.readable());
+        assert!(f.contains(OpenFlags::CREAT));
+        assert!(f.contains(OpenFlags::TRUNC));
+        assert!(!f.contains(OpenFlags::EXCL));
+    }
+
+    #[test]
+    fn seek_arithmetic() {
+        assert_eq!(apply_seek(0, 100, 10, Whence::Set), Ok(10));
+        assert_eq!(apply_seek(10, 100, -5, Whence::Cur), Ok(5));
+        assert_eq!(apply_seek(10, 100, -5, Whence::End), Ok(95));
+        assert_eq!(apply_seek(10, 100, 5, Whence::End), Ok(105));
+        assert!(apply_seek(0, 0, -1, Whence::Cur).is_err());
+        assert!(apply_seek(0, 0, i64::MAX, Whence::End).is_ok());
+    }
+
+    #[test]
+    fn default_mode_is_644() {
+        let m = Mode::default();
+        assert!(m.owner_read());
+        assert!(m.owner_write());
+        assert_eq!(m.0, 0o644);
+    }
+
+    #[test]
+    fn mode_bits() {
+        assert!(!Mode(0o000).owner_read());
+        assert!(!Mode(0o044).owner_write());
+        assert!(Mode(0o200).owner_write());
+    }
+}

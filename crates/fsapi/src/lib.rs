@@ -1,0 +1,268 @@
+//! Common POSIX-like file system interface.
+//!
+//! The Hare paper evaluates three systems against the same POSIX workloads:
+//! Hare itself, Linux `ramfs`/`tmpfs`, and the user-space NFS server UNFS3.
+//! This crate defines the narrow waist those systems share in this
+//! reproduction: a process-scoped file system handle ([`ProcFs`]), a process
+//! spawning interface ([`ProcHandle`]), and the plain-old-data types that
+//! cross it ([`OpenFlags`], [`Stat`], [`DirEntry`], [`Errno`], ...).
+//!
+//! Workloads (crate `hare-workloads`) are written once against these traits
+//! and run unchanged on every system, mirroring how the paper runs unmodified
+//! POSIX applications on all three systems.
+
+pub mod errno;
+pub mod flags;
+pub mod path;
+pub mod stat;
+
+pub use errno::{Errno, FsResult};
+pub use flags::{Mode, OpenFlags, Whence};
+pub use stat::{DirEntry, FileType, Stat};
+
+/// A process-local file descriptor.
+///
+/// Descriptors are small integers scoped to one process, exactly as in POSIX.
+/// They are handed out by [`ProcFs::open`] and friends and retired by
+/// [`ProcFs::close`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u32);
+
+impl std::fmt::Display for Fd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// Options controlling directory creation.
+///
+/// Hare lets applications choose, per directory, whether its entries are
+/// distributed across all file servers or kept at a single home server
+/// (paper §3.3, "determined by a flag at directory creation time").
+/// Baseline systems ignore the flag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MkdirOpts {
+    /// `Some(true)` forces a distributed directory, `Some(false)` forces a
+    /// centralized one, and `None` defers to the system-wide default.
+    pub distributed: Option<bool>,
+}
+
+impl MkdirOpts {
+    /// Options requesting a distributed directory.
+    pub const DISTRIBUTED: MkdirOpts = MkdirOpts {
+        distributed: Some(true),
+    };
+    /// Options requesting a centralized directory.
+    pub const CENTRALIZED: MkdirOpts = MkdirOpts {
+        distributed: Some(false),
+    };
+}
+
+/// The entry point a spawned process runs, analogous to `main()`.
+///
+/// The closure receives the child's process handle and returns the process
+/// exit status.
+pub type ProcMain<P> = Box<dyn FnOnce(&P) -> i32 + Send + 'static>;
+
+/// A handle for waiting on a spawned process, analogous to `waitpid`.
+///
+/// In Hare the parent of a remotely-executed process waits on a local *proxy*
+/// which relays the exit status from the remote core's scheduling server
+/// (paper §3.5); this type is the caller-facing end of that relay.
+pub struct ProcJoin {
+    waiter: Box<dyn FnOnce() -> i32 + Send + 'static>,
+}
+
+impl ProcJoin {
+    /// Wraps an implementation-specific wait mechanism.
+    pub fn new(waiter: impl FnOnce() -> i32 + Send + 'static) -> Self {
+        ProcJoin {
+            waiter: Box::new(waiter),
+        }
+    }
+
+    /// Blocks until the process exits and returns its exit status.
+    pub fn wait(self) -> i32 {
+        (self.waiter)()
+    }
+}
+
+impl std::fmt::Debug for ProcJoin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProcJoin")
+    }
+}
+
+/// File system operations available to one process.
+///
+/// This is the slice of the POSIX API the paper's benchmarks exercise
+/// (Figure 5): file and directory namespace operations, file I/O through
+/// descriptors, pipes, and descriptor duplication. All paths are absolute.
+pub trait ProcFs {
+    /// Opens `path`, optionally creating it, and returns a new descriptor.
+    fn open(&self, path: &str, flags: OpenFlags, mode: Mode) -> FsResult<Fd>;
+
+    /// Closes a descriptor. For Hare this triggers the write-back half of
+    /// close-to-open consistency (paper §3.2).
+    fn close(&self, fd: Fd) -> FsResult<()>;
+
+    /// Reads up to `buf.len()` bytes at the descriptor's current offset,
+    /// advancing the offset. Returns the number of bytes read; 0 means EOF.
+    fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize>;
+
+    /// Writes `buf` at the descriptor's current offset, advancing the offset
+    /// (or at end of file when the descriptor is `O_APPEND`).
+    fn write(&self, fd: Fd, buf: &[u8]) -> FsResult<usize>;
+
+    /// Repositions the descriptor offset and returns the new offset.
+    fn lseek(&self, fd: Fd, offset: i64, whence: Whence) -> FsResult<u64>;
+
+    /// Forces written data of `fd` to the shared store. For Hare this writes
+    /// back dirty private-cache blocks to shared DRAM (paper §3.2).
+    fn fsync(&self, fd: Fd) -> FsResult<()>;
+
+    /// Truncates the file open at `fd` to `len` bytes.
+    fn ftruncate(&self, fd: Fd, len: u64) -> FsResult<()>;
+
+    /// Duplicates a descriptor (`dup`). The two descriptors share one offset.
+    fn dup(&self, fd: Fd) -> FsResult<Fd>;
+
+    /// Creates a pipe, returning `(read_end, write_end)`.
+    fn pipe(&self) -> FsResult<(Fd, Fd)>;
+
+    /// Removes the directory entry `path`; the file's data remains readable
+    /// through already-open descriptors (orphan semantics, paper §3.4).
+    fn unlink(&self, path: &str) -> FsResult<()>;
+
+    /// Creates a directory with default distribution policy.
+    fn mkdir(&self, path: &str, mode: Mode) -> FsResult<()> {
+        self.mkdir_opts(path, mode, MkdirOpts::default())
+    }
+
+    /// Creates a directory with an explicit distribution choice.
+    fn mkdir_opts(&self, path: &str, mode: Mode, opts: MkdirOpts) -> FsResult<()>;
+
+    /// Removes an empty directory. For distributed directories Hare runs the
+    /// three-phase removal protocol (paper §3.3).
+    fn rmdir(&self, path: &str) -> FsResult<()>;
+
+    /// Atomically renames `old` to `new`, replacing `new` if it exists.
+    fn rename(&self, old: &str, new: &str) -> FsResult<()>;
+
+    /// Lists the entries of a directory (excluding `.` and `..`).
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>>;
+
+    /// Returns metadata for `path`.
+    fn stat(&self, path: &str) -> FsResult<Stat>;
+
+    /// Returns metadata for an open descriptor.
+    fn fstat(&self, fd: Fd) -> FsResult<Stat>;
+}
+
+/// A handle to a running process on one of the machine's cores.
+///
+/// [`ProcHandle::spawn`] is the `fork` + `exec` idiom the paper's workloads
+/// use: the child inherits every open descriptor of the parent (making those
+/// descriptors *shared* in Hare's hybrid descriptor tracking, paper §3.4) and
+/// begins execution on a core chosen by the system's placement policy
+/// (paper §3.5).
+pub trait ProcHandle: ProcFs + Send + Sized + 'static {
+    /// Spawns a child process running `main`, inheriting all open
+    /// descriptors. Returns a join handle delivering the exit status.
+    fn spawn(&self, main: ProcMain<Self>) -> FsResult<ProcJoin>;
+
+    /// The virtual core this process currently runs on.
+    fn core(&self) -> usize;
+
+    /// Burns `cycles` of virtual CPU time on this process's core (models
+    /// application compute, e.g. the compiler work in the build-linux
+    /// workload).
+    fn compute(&self, cycles: u64);
+}
+
+/// A complete system under test: a machine image that can host processes.
+pub trait System: Send + Sync + 'static {
+    /// The process handle type for this system.
+    type Proc: ProcHandle;
+
+    /// Starts the initial process (the benchmark driver) on core 0.
+    fn start_proc(&self) -> Self::Proc;
+
+    /// Total virtual cycles consumed so far (max over all core clocks).
+    fn elapsed_cycles(&self) -> u64;
+
+    /// Synchronizes every core clock to the global maximum: a barrier
+    /// between experiment phases, so measured work cannot overlap setup.
+    fn sync_cores(&self);
+
+    /// Number of cores in the simulated machine.
+    fn ncores(&self) -> usize;
+}
+
+/// Convenience: read the entire contents of `path`.
+pub fn read_to_vec<P: ProcFs + ?Sized>(p: &P, path: &str) -> FsResult<Vec<u8>> {
+    let fd = p.open(path, OpenFlags::RDONLY, Mode::default())?;
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = p.read(fd, &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    p.close(fd)?;
+    Ok(out)
+}
+
+/// Convenience: create (or truncate) `path` and write `data` to it.
+pub fn write_file<P: ProcFs + ?Sized>(p: &P, path: &str, data: &[u8]) -> FsResult<()> {
+    let fd = p.open(
+        path,
+        OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC,
+        Mode::default(),
+    )?;
+    let mut off = 0;
+    while off < data.len() {
+        off += p.write(fd, &data[off..])?;
+    }
+    p.close(fd)
+}
+
+/// Convenience: `mkdir -p` — creates all missing ancestors of `path`.
+pub fn mkdir_p<P: ProcFs + ?Sized>(p: &P, path: &str, opts: MkdirOpts) -> FsResult<()> {
+    let comps = path::components(path)?;
+    let mut cur = String::new();
+    for c in comps {
+        cur.push('/');
+        cur.push_str(c);
+        match p.mkdir_opts(&cur, Mode::default(), opts) {
+            Ok(()) | Err(Errno::EEXIST) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_display() {
+        assert_eq!(Fd(3).to_string(), "fd3");
+    }
+
+    #[test]
+    fn proc_join_delivers_status() {
+        let j = ProcJoin::new(|| 42);
+        assert_eq!(j.wait(), 42);
+    }
+
+    #[test]
+    fn mkdir_opts_constants() {
+        assert_eq!(MkdirOpts::DISTRIBUTED.distributed, Some(true));
+        assert_eq!(MkdirOpts::CENTRALIZED.distributed, Some(false));
+        assert_eq!(MkdirOpts::default().distributed, None);
+    }
+}

@@ -1,0 +1,158 @@
+//! Absolute path parsing and normalization.
+//!
+//! Hare resolves pathnames iteratively, one component per directory-server
+//! RPC (paper §3.6.1). The helpers here split paths into the component lists
+//! that resolution walks. Only absolute paths are supported; `.` components
+//! are dropped and `..` components are resolved lexically (the paper's
+//! benchmarks never traverse `..` through renamed directories, so lexical
+//! resolution is equivalent).
+
+use crate::errno::{Errno, FsResult};
+
+/// Maximum length of a single path component, as in Linux (`NAME_MAX`).
+pub const NAME_MAX: usize = 255;
+
+/// Maximum length of a whole path, as in Linux (`PATH_MAX`).
+pub const PATH_MAX: usize = 4096;
+
+/// Validates a single directory-entry name.
+///
+/// Names must be non-empty, at most [`NAME_MAX`] bytes, contain no `/` or NUL
+/// bytes, and must not be `.` or `..`.
+pub fn validate_name(name: &str) -> FsResult<()> {
+    if name.is_empty() || name == "." || name == ".." {
+        return Err(Errno::EINVAL);
+    }
+    if name.len() > NAME_MAX {
+        return Err(Errno::ENAMETOOLONG);
+    }
+    if name.bytes().any(|b| b == b'/' || b == 0) {
+        return Err(Errno::EINVAL);
+    }
+    Ok(())
+}
+
+/// Splits an absolute path into normalized components.
+///
+/// Returns the empty vector for the root directory `/`.
+///
+/// # Examples
+///
+/// ```
+/// let c = fsapi::path::components("/a//b/./c/../d").unwrap();
+/// assert_eq!(c, vec!["a", "b", "d"]);
+/// ```
+pub fn components(path: &str) -> FsResult<Vec<&str>> {
+    if !path.starts_with('/') {
+        return Err(Errno::EINVAL);
+    }
+    if path.len() > PATH_MAX {
+        return Err(Errno::ENAMETOOLONG);
+    }
+    let mut out: Vec<&str> = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                // Lexical parent: `..` at the root stays at the root, as in
+                // POSIX.
+                out.pop();
+            }
+            name => {
+                if name.len() > NAME_MAX {
+                    return Err(Errno::ENAMETOOLONG);
+                }
+                out.push(name);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a path into `(parent_components, last_name)`.
+///
+/// Fails with `EINVAL` for the root directory, which has no parent entry.
+pub fn split_parent(path: &str) -> FsResult<(Vec<&str>, &str)> {
+    let mut comps = components(path)?;
+    match comps.pop() {
+        Some(name) => Ok((comps, name)),
+        None => Err(Errno::EINVAL),
+    }
+}
+
+/// Joins a directory path and an entry name.
+pub fn join(dir: &str, name: &str) -> String {
+    if dir.ends_with('/') {
+        format!("{dir}{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+/// Normalizes an absolute path to its canonical text form.
+pub fn normalize(path: &str) -> FsResult<String> {
+    let comps = components(path)?;
+    if comps.is_empty() {
+        Ok("/".to_string())
+    } else {
+        Ok(format!("/{}", comps.join("/")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_no_components() {
+        assert_eq!(components("/").unwrap(), Vec::<&str>::new());
+        assert_eq!(components("///").unwrap(), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn relative_paths_rejected() {
+        assert_eq!(components("a/b"), Err(Errno::EINVAL));
+        assert_eq!(components(""), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn dot_and_dotdot() {
+        assert_eq!(components("/a/./b").unwrap(), vec!["a", "b"]);
+        assert_eq!(components("/a/../b").unwrap(), vec!["b"]);
+        assert_eq!(components("/../a").unwrap(), vec!["a"]);
+        assert_eq!(components("/a/b/../..").unwrap(), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn split_parent_basic() {
+        let (dir, name) = split_parent("/a/b/c").unwrap();
+        assert_eq!(dir, vec!["a", "b"]);
+        assert_eq!(name, "c");
+        assert!(split_parent("/").is_err());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("ok").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name(".").is_err());
+        assert!(validate_name("..").is_err());
+        assert!(validate_name("a/b").is_err());
+        assert!(validate_name(&"x".repeat(NAME_MAX)).is_ok());
+        assert!(validate_name(&"x".repeat(NAME_MAX + 1)).is_err());
+    }
+
+    #[test]
+    fn join_and_normalize() {
+        assert_eq!(join("/a", "b"), "/a/b");
+        assert_eq!(join("/", "b"), "/b");
+        assert_eq!(normalize("/a//b/.").unwrap(), "/a/b");
+        assert_eq!(normalize("/").unwrap(), "/");
+    }
+
+    #[test]
+    fn long_path_rejected() {
+        let long = format!("/{}", "a/".repeat(PATH_MAX));
+        assert_eq!(components(&long), Err(Errno::ENAMETOOLONG));
+    }
+}

@@ -1,0 +1,95 @@
+//! File metadata types (`stat`, directory entries).
+
+/// The type of a file system object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FileType {
+    /// Regular file backed by buffer cache blocks.
+    Regular,
+    /// Directory (centralized or distributed in Hare).
+    Directory,
+    /// Pipe endpoint (Hare implements pipes at a file server so they can be
+    /// shared across cores, e.g. make's jobserver — paper §5.2).
+    Pipe,
+}
+
+impl FileType {
+    /// True for [`FileType::Directory`].
+    pub fn is_dir(self) -> bool {
+        matches!(self, FileType::Directory)
+    }
+
+    /// True for [`FileType::Regular`].
+    pub fn is_file(self) -> bool {
+        matches!(self, FileType::Regular)
+    }
+}
+
+/// Metadata describing one file system object, as returned by `stat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stat {
+    /// Inode number, unique within the owning server.
+    pub ino: u64,
+    /// Identifier of the file server storing the inode. Hare names inodes
+    /// with a `(server, number)` tuple for uniqueness and scalable allocation
+    /// (paper §3.6.4); baselines report 0.
+    pub server: u16,
+    /// Object type.
+    pub ftype: FileType,
+    /// Size in bytes (0 for directories).
+    pub size: u64,
+    /// Number of hard links.
+    pub nlink: u32,
+    /// Permission bits.
+    pub mode: u16,
+    /// Number of buffer-cache blocks allocated to the file.
+    pub blocks: u64,
+}
+
+/// One entry of a directory listing.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DirEntry {
+    /// Entry name (no slashes).
+    pub name: String,
+    /// Inode number of the target.
+    pub ino: u64,
+    /// Server storing the target's inode (Hare directory entries record both
+    /// the inode and the server, paper §3.6.1).
+    pub server: u16,
+    /// Target type.
+    pub ftype: FileType,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_type_predicates() {
+        assert!(FileType::Directory.is_dir());
+        assert!(!FileType::Directory.is_file());
+        assert!(FileType::Regular.is_file());
+        assert!(!FileType::Pipe.is_dir());
+        assert!(!FileType::Pipe.is_file());
+    }
+
+    #[test]
+    fn dir_entries_sort_by_name() {
+        let mut v = vec![
+            DirEntry {
+                name: "b".into(),
+                ino: 1,
+                server: 0,
+                ftype: FileType::Regular,
+            },
+            DirEntry {
+                name: "a".into(),
+                ino: 2,
+                server: 1,
+                ftype: FileType::Directory,
+            },
+        ];
+        v.sort();
+        assert_eq!(v[0].name, "a");
+        assert_eq!(v[1].name, "b");
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests for path normalization.
+
+use fsapi::path;
+use proptest::prelude::*;
+
+/// Strategy producing valid path component names.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.-]{1,12}".prop_filter("no dot names", |s| s != "." && s != "..")
+}
+
+proptest! {
+    /// Normalization is idempotent.
+    #[test]
+    fn normalize_idempotent(comps in prop::collection::vec(name_strategy(), 0..8)) {
+        let p = format!("/{}", comps.join("/"));
+        let n1 = path::normalize(&p).unwrap();
+        let n2 = path::normalize(&n1).unwrap();
+        prop_assert_eq!(n1, n2);
+    }
+
+    /// components() of a path built by joining names returns those names.
+    #[test]
+    fn components_roundtrip(comps in prop::collection::vec(name_strategy(), 0..8)) {
+        let p = format!("/{}", comps.join("/"));
+        let got = path::components(&p).unwrap();
+        prop_assert_eq!(got, comps.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    }
+
+    /// Redundant slashes and `.` components never change the result.
+    #[test]
+    fn noise_invariant(comps in prop::collection::vec(name_strategy(), 1..6)) {
+        let clean = format!("/{}", comps.join("/"));
+        let noisy = format!("//{}/.", comps.join("/./"));
+        prop_assert_eq!(
+            path::components(&clean).unwrap(),
+            path::components(&noisy).unwrap()
+        );
+    }
+
+    /// split_parent + join reconstructs the normalized path.
+    #[test]
+    fn split_join_roundtrip(comps in prop::collection::vec(name_strategy(), 1..8)) {
+        let p = format!("/{}", comps.join("/"));
+        let (parent, name) = path::split_parent(&p).unwrap();
+        let parent_path = if parent.is_empty() {
+            "/".to_string()
+        } else {
+            format!("/{}", parent.join("/"))
+        };
+        prop_assert_eq!(path::join(&parent_path, name), path::normalize(&p).unwrap());
+    }
+
+    /// `..` never escapes the root.
+    #[test]
+    fn dotdot_contained(n in 0usize..10) {
+        let p = format!("/{}x", "../".repeat(n));
+        let comps = path::components(&p).unwrap();
+        prop_assert_eq!(comps, vec!["x"]);
+    }
+}

@@ -1,0 +1,220 @@
+//! The atomic-delivery channel.
+
+use crate::stats::MsgStats;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A message plus the simulation metadata Hare needs.
+#[derive(Debug, Clone)]
+pub struct Envelope<T> {
+    /// The message body.
+    pub payload: T,
+    /// Virtual time (cycles) at which the message is available at the
+    /// receiver: sender's clock at send plus wire latency. The receiving
+    /// entity advances its core clock to at least this value.
+    pub deliver_at: u64,
+    /// Core the sender was running on (for distance-dependent reply
+    /// latency).
+    pub src_core: usize,
+}
+
+/// Error returned by [`Sender::send`] when the channel is closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError;
+
+/// Error returned by receive operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// Queue empty (only from `try_recv`).
+    Empty,
+    /// Channel closed and drained.
+    Closed,
+}
+
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    avail: Condvar,
+    stats: Arc<MsgStats>,
+}
+
+struct State<T> {
+    queue: VecDeque<Envelope<T>>,
+    closed: bool,
+}
+
+/// Sending half; cheap to clone (multiple producers).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender")
+    }
+}
+
+/// Receiving half (single consumer by convention; `recv` is `&self` so the
+/// owning entity can be shared behind an `Arc`).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver")
+    }
+}
+
+/// Creates a channel. `stats` accumulates machine-wide message counters.
+pub fn channel<T>(stats: Arc<MsgStats>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State {
+            queue: VecDeque::new(),
+            closed: false,
+        }),
+        avail: Condvar::new(),
+        stats,
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends a message with atomic delivery: when this returns `Ok`, the
+    /// envelope is already in the receiver's queue.
+    pub fn send(&self, payload: T, deliver_at: u64, src_core: usize) -> Result<(), SendError> {
+        let mut st = self.shared.queue.lock();
+        if st.closed {
+            return Err(SendError);
+        }
+        st.queue.push_back(Envelope {
+            payload,
+            deliver_at,
+            src_core,
+        });
+        self.shared.stats.record_send();
+        drop(st);
+        self.shared.avail.notify_one();
+        Ok(())
+    }
+
+    /// Closes the channel; pending messages remain receivable, after which
+    /// receivers observe [`RecvError::Closed`].
+    pub fn close(&self) {
+        let mut st = self.shared.queue.lock();
+        st.closed = true;
+        drop(st);
+        self.shared.avail.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking receive: polls the queue, as Hare's client library polls
+    /// its invalidation queue before each directory-cache lookup (§3.6.1).
+    pub fn try_recv(&self) -> Result<Envelope<T>, RecvError> {
+        let mut st = self.shared.queue.lock();
+        match st.queue.pop_front() {
+            Some(env) => Ok(env),
+            None if st.closed => Err(RecvError::Closed),
+            None => Err(RecvError::Empty),
+        }
+    }
+
+    /// Drains every currently queued message without blocking.
+    pub fn drain(&self) -> Vec<Envelope<T>> {
+        let mut st = self.shared.queue.lock();
+        st.queue.drain(..).collect()
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Envelope<T>, RecvError> {
+        let mut st = self.shared.queue.lock();
+        loop {
+            if let Some(env) = st.queue.pop_front() {
+                return Ok(env);
+            }
+            if st.closed {
+                return Err(RecvError::Closed);
+            }
+            self.shared.avail.wait(&mut st);
+        }
+    }
+
+    /// Number of queued messages (diagnostics).
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().queue.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Creates another sender for this queue (servers hand these out so any
+    /// client can message them).
+    pub fn sender(&self) -> Sender<T> {
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_recv_empty_then_closed() {
+        let (tx, rx) = channel::<u8>(MsgStats::shared());
+        assert_eq!(rx.try_recv().unwrap_err(), RecvError::Empty);
+        tx.send(1, 0, 0).unwrap();
+        tx.close();
+        // Pending message still delivered after close.
+        assert_eq!(rx.try_recv().unwrap().payload, 1);
+        assert_eq!(rx.try_recv().unwrap_err(), RecvError::Closed);
+        assert!(tx.send(2, 0, 0).is_err());
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let (tx, rx) = channel::<u8>(MsgStats::shared());
+        for i in 0..5 {
+            tx.send(i, i as u64, 0).unwrap();
+        }
+        let all = rx.drain();
+        assert_eq!(all.len(), 5);
+        assert!(rx.is_empty());
+        assert_eq!(all[4].deliver_at, 4);
+    }
+
+    #[test]
+    fn stats_count_sends() {
+        let stats = MsgStats::shared();
+        let (tx, _rx) = channel::<u8>(Arc::clone(&stats));
+        for _ in 0..3 {
+            tx.send(0, 0, 0).unwrap();
+        }
+        assert_eq!(stats.sends(), 3);
+    }
+
+    #[test]
+    fn receiver_can_mint_senders() {
+        let (_tx, rx) = channel::<u8>(MsgStats::shared());
+        let tx2 = rx.sender();
+        tx2.send(9, 0, 0).unwrap();
+        assert_eq!(rx.recv().unwrap().payload, 9);
+    }
+}

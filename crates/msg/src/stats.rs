@@ -1,0 +1,45 @@
+//! Machine-wide messaging counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters shared by every channel of one simulated machine.
+///
+/// The evaluation uses these to report messages-per-operation, the paper's
+/// main sequential-overhead diagnosis ("the messaging overhead is roughly
+/// 1000 cycles per operation", §5.3.3).
+#[derive(Debug, Default)]
+pub struct MsgStats {
+    sends: AtomicU64,
+}
+
+impl MsgStats {
+    /// A fresh shared counter block.
+    pub fn shared() -> Arc<MsgStats> {
+        Arc::new(MsgStats::default())
+    }
+
+    /// Records one message send.
+    pub fn record_send(&self) {
+        self.sends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total messages sent so far.
+    pub fn sends(&self) -> u64 {
+        self.sends.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let s = MsgStats::default();
+        assert_eq!(s.sends(), 0);
+        s.record_send();
+        s.record_send();
+        assert_eq!(s.sends(), 2);
+    }
+}

@@ -1,0 +1,367 @@
+//! One core's private write-back cache.
+
+use crate::dram::{BlockId, Dram};
+use crate::stats::CacheStats;
+use crate::BLOCK_SIZE;
+use std::collections::HashMap;
+
+/// What the cache hardware did to satisfy an access.
+///
+/// The caller (the virtual-time layer) charges the corresponding cost:
+/// private-cache hits are cheap, DRAM fetches are expensive, and evictions
+/// add a write-back on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Served from the private cache.
+    Hit,
+    /// Block fetched from DRAM into the private cache.
+    Miss,
+    /// Block fetched from DRAM and a dirty victim was written back.
+    MissEvictDirty,
+}
+
+impl Access {
+    /// True unless the access hit in the private cache.
+    pub fn is_miss(self) -> bool {
+        !matches!(self, Access::Hit)
+    }
+}
+
+/// A cached copy of one DRAM block.
+struct Line {
+    data: Box<[u8]>,
+    dirty: bool,
+    /// LRU timestamp (monotone per-cache counter).
+    used: u64,
+}
+
+/// One core's private cache, deliberately non-coherent.
+///
+/// * Reads return the cached copy if present — even if DRAM has since been
+///   updated by another core (stale reads are the point).
+/// * Writes are **write-back**: they dirty the private copy and reach DRAM
+///   only on [`PrivateCache::writeback`] or dirty eviction, exactly the
+///   hazard Hare's invalidation/write-back protocol exists to manage
+///   (paper §3.2).
+/// * Capacity is bounded; the LRU victim is evicted on overflow, with dirty
+///   victims written back to DRAM (as real write-back hardware does).
+///
+/// A `PrivateCache` models hardware owned by a single core, so it is not
+/// `Sync`; the machine layer wraps it in a per-core lock because several
+/// simulated processes time-share one core.
+pub struct PrivateCache {
+    lines: HashMap<BlockId, Line>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl PrivateCache {
+    /// Creates a cache holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        PrivateCache {
+            lines: HashMap::new(),
+            capacity,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True if no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Returns accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// True if `block` is present (regardless of dirtiness).
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.lines.contains_key(&block)
+    }
+
+    /// True if `block` is present and dirty.
+    pub fn is_dirty(&self, block: BlockId) -> bool {
+        self.lines.get(&block).is_some_and(|l| l.dirty)
+    }
+
+    fn touch(&mut self, block: BlockId) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(line) = self.lines.get_mut(&block) {
+            line.used = tick;
+        }
+    }
+
+    /// Ensures `block` is resident, fetching from DRAM on miss.
+    fn ensure(&mut self, dram: &Dram, block: BlockId) -> Access {
+        if self.lines.contains_key(&block) {
+            self.stats.hits += 1;
+            self.touch(block);
+            return Access::Hit;
+        }
+        let evicted_dirty = if self.lines.len() >= self.capacity {
+            self.evict_lru(dram)
+        } else {
+            false
+        };
+        let mut data = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+        {
+            let mut tmp = [0u8; BLOCK_SIZE];
+            dram.read_block(block, &mut tmp);
+            data.copy_from_slice(&tmp);
+        }
+        self.tick += 1;
+        self.lines.insert(
+            block,
+            Line {
+                data,
+                dirty: false,
+                used: self.tick,
+            },
+        );
+        self.stats.misses += 1;
+        if evicted_dirty {
+            self.stats.dirty_evictions += 1;
+            Access::MissEvictDirty
+        } else {
+            Access::Miss
+        }
+    }
+
+    /// Evicts the least-recently-used line; returns true if it was dirty
+    /// (and therefore written back to DRAM, as write-back hardware does).
+    fn evict_lru(&mut self, dram: &Dram) -> bool {
+        let victim = self
+            .lines
+            .iter()
+            .min_by_key(|(_, l)| l.used)
+            .map(|(b, _)| *b);
+        if let Some(b) = victim {
+            let line = self.lines.remove(&b).expect("victim exists");
+            self.stats.evictions += 1;
+            if line.dirty {
+                dram.write_block(b, &line.data);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reads bytes from `block` at `offset` through the cache.
+    ///
+    /// The data may be **stale** with respect to DRAM if this core cached
+    /// the block before another core updated it: that is the defining
+    /// behaviour of a non-coherent system.
+    pub fn read(&mut self, dram: &Dram, block: BlockId, offset: usize, buf: &mut [u8]) -> Access {
+        debug_assert!(offset + buf.len() <= BLOCK_SIZE);
+        let access = self.ensure(dram, block);
+        let line = self.lines.get(&block).expect("ensured");
+        buf.copy_from_slice(&line.data[offset..offset + buf.len()]);
+        access
+    }
+
+    /// Writes bytes into `block` at `offset` through the cache.
+    ///
+    /// The write stays in the private cache (dirty) until written back.
+    pub fn write(&mut self, dram: &Dram, block: BlockId, offset: usize, data: &[u8]) -> Access {
+        debug_assert!(offset + data.len() <= BLOCK_SIZE);
+        let access = self.ensure(dram, block);
+        let line = self.lines.get_mut(&block).expect("ensured");
+        line.data[offset..offset + data.len()].copy_from_slice(data);
+        line.dirty = true;
+        self.stats.writes += 1;
+        access
+    }
+
+    /// Discards the private copy of `block` without writing it back.
+    ///
+    /// Hare's client library invalidates a file's blocks when the file is
+    /// opened, so the first read after open observes the latest data written
+    /// back by other cores (paper §3.2). Returns true if a copy was present.
+    pub fn invalidate(&mut self, block: BlockId) -> bool {
+        let present = self.lines.remove(&block).is_some();
+        if present {
+            self.stats.invalidations += 1;
+        }
+        present
+    }
+
+    /// Invalidates many blocks; returns how many copies were dropped.
+    pub fn invalidate_all<I: IntoIterator<Item = BlockId>>(&mut self, blocks: I) -> usize {
+        blocks.into_iter().filter(|b| self.invalidate(*b)).count()
+    }
+
+    /// Writes `block` back to DRAM if dirty; returns true if a write-back
+    /// happened.
+    ///
+    /// Hare's client library writes back a file's dirty blocks on `close`
+    /// and `fsync` (paper §3.2).
+    pub fn writeback(&mut self, dram: &Dram, block: BlockId) -> bool {
+        if let Some(line) = self.lines.get_mut(&block) {
+            if line.dirty {
+                dram.write_block(block, &line.data);
+                line.dirty = false;
+                self.stats.writebacks += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Writes back every dirty block in `blocks`; returns the count written.
+    pub fn writeback_all<I: IntoIterator<Item = BlockId>>(
+        &mut self,
+        dram: &Dram,
+        blocks: I,
+    ) -> usize {
+        blocks
+            .into_iter()
+            .filter(|b| self.writeback(dram, *b))
+            .count()
+    }
+
+    /// Writes back **all** dirty lines (used at simulated shutdown).
+    pub fn flush(&mut self, dram: &Dram) -> usize {
+        let dirty: Vec<BlockId> = self
+            .lines
+            .iter()
+            .filter(|(_, l)| l.dirty)
+            .map(|(b, _)| *b)
+            .collect();
+        self.writeback_all(dram, dirty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Dram, PrivateCache) {
+        (Dram::new(16), PrivateCache::new(4))
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let (dram, mut c) = setup();
+        dram.write(BlockId(3), 0, b"abc");
+        let mut buf = [0u8; 3];
+        assert_eq!(c.read(&dram, BlockId(3), 0, &mut buf), Access::Miss);
+        assert_eq!(&buf, b"abc");
+        assert_eq!(c.read(&dram, BlockId(3), 0, &mut buf), Access::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn write_is_buffered_until_writeback() {
+        let (dram, mut c) = setup();
+        c.write(&dram, BlockId(0), 0, b"xyz");
+        let mut raw = [0u8; 3];
+        dram.read(BlockId(0), 0, &mut raw);
+        assert_eq!(raw, [0, 0, 0], "write-back cache must not write through");
+        assert!(c.is_dirty(BlockId(0)));
+        assert!(c.writeback(&dram, BlockId(0)));
+        dram.read(BlockId(0), 0, &mut raw);
+        assert_eq!(&raw, b"xyz");
+        assert!(!c.is_dirty(BlockId(0)));
+        // Second writeback is a no-op.
+        assert!(!c.writeback(&dram, BlockId(0)));
+    }
+
+    #[test]
+    fn stale_read_after_remote_update() {
+        let (dram, mut c) = setup();
+        let mut buf = [0u8; 1];
+        c.read(&dram, BlockId(0), 0, &mut buf);
+        assert_eq!(buf[0], 0);
+        // Another core (here: direct DRAM write) updates the block.
+        dram.write(BlockId(0), 0, &[42]);
+        c.read(&dram, BlockId(0), 0, &mut buf);
+        assert_eq!(buf[0], 0, "must read the stale private copy");
+        // Invalidation exposes the fresh value.
+        assert!(c.invalidate(BlockId(0)));
+        c.read(&dram, BlockId(0), 0, &mut buf);
+        assert_eq!(buf[0], 42);
+    }
+
+    #[test]
+    fn invalidate_discards_dirty_data() {
+        let (dram, mut c) = setup();
+        c.write(&dram, BlockId(1), 0, b"zz");
+        assert!(c.invalidate(BlockId(1)));
+        let mut buf = [9u8; 2];
+        c.read(&dram, BlockId(1), 0, &mut buf);
+        assert_eq!(buf, [0, 0], "invalidate must drop dirty data, not flush it");
+    }
+
+    #[test]
+    fn lru_eviction_writes_back_dirty_victim() {
+        let (dram, mut c) = setup();
+        // Fill the 4-line cache; block 0 is dirty.
+        c.write(&dram, BlockId(0), 0, b"d");
+        for i in 1..4 {
+            let mut b = [0u8];
+            c.read(&dram, BlockId(i), 0, &mut b);
+        }
+        assert_eq!(c.len(), 4);
+        // Touch 1..4 so block 0 is LRU, then bring in block 5.
+        for i in 1..4 {
+            let mut b = [0u8];
+            c.read(&dram, BlockId(i), 0, &mut b);
+        }
+        let mut b = [0u8];
+        let acc = c.read(&dram, BlockId(5), 0, &mut b);
+        assert_eq!(acc, Access::MissEvictDirty);
+        assert!(!c.contains(BlockId(0)));
+        // The dirty data reached DRAM on eviction.
+        let mut raw = [0u8];
+        dram.read(BlockId(0), 0, &mut raw);
+        assert_eq!(raw[0], b'd');
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn flush_writes_all_dirty_lines() {
+        let (dram, mut c) = setup();
+        c.write(&dram, BlockId(0), 0, b"a");
+        c.write(&dram, BlockId(1), 0, b"b");
+        let mut buf = [0u8];
+        c.read(&dram, BlockId(2), 0, &mut buf);
+        assert_eq!(c.flush(&dram), 2);
+        let mut raw = [0u8];
+        dram.read(BlockId(0), 0, &mut raw);
+        assert_eq!(raw[0], b'a');
+        dram.read(BlockId(1), 0, &mut raw);
+        assert_eq!(raw[0], b'b');
+    }
+
+    #[test]
+    fn invalidate_all_counts() {
+        let (dram, mut c) = setup();
+        let mut buf = [0u8];
+        c.read(&dram, BlockId(0), 0, &mut buf);
+        c.read(&dram, BlockId(1), 0, &mut buf);
+        let n = c.invalidate_all([BlockId(0), BlockId(1), BlockId(2)]);
+        assert_eq!(n, 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        PrivateCache::new(0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared DRAM: the single physical memory all cores can address.
+
+use crate::BLOCK_SIZE;
+use parking_lot::Mutex;
+
+/// Index of one [`BLOCK_SIZE`] block in shared DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "blk{}", self.0)
+    }
+}
+
+/// The shared physical memory, divided into fixed-size blocks.
+///
+/// A real memory controller serializes accesses to a line; we model that
+/// atomicity at block granularity with one lock per block. The lock is an
+/// artifact of simulating hardware — it does **not** give cores coherence,
+/// because cores normally access DRAM only through their [`PrivateCache`]
+/// and see its possibly-stale contents.
+///
+/// In Hare the buffer cache lives here: 2 GB in the paper's setup, divided
+/// into per-server partitions of free blocks (paper §3.2). Partitioning is
+/// done by the file servers; `Dram` itself is just flat storage.
+///
+/// [`PrivateCache`]: crate::PrivateCache
+pub struct Dram {
+    blocks: Vec<Mutex<Box<[u8]>>>,
+}
+
+impl Dram {
+    /// Allocates a DRAM of `nblocks` blocks, zero-initialized.
+    pub fn new(nblocks: usize) -> Self {
+        Dram {
+            blocks: (0..nblocks)
+                .map(|_| Mutex::new(vec![0u8; BLOCK_SIZE].into_boxed_slice()))
+                .collect(),
+        }
+    }
+
+    /// Total number of blocks.
+    pub fn nblocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.blocks.len() * BLOCK_SIZE
+    }
+
+    /// Copies bytes out of a block, starting at `offset` within the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block id is out of range or `offset + buf.len()`
+    /// exceeds [`BLOCK_SIZE`]; both indicate a protocol bug, not a user
+    /// error.
+    pub fn read(&self, block: BlockId, offset: usize, buf: &mut [u8]) {
+        let guard = self.blocks[block.0].lock();
+        buf.copy_from_slice(&guard[offset..offset + buf.len()]);
+    }
+
+    /// Copies bytes into a block, starting at `offset` within the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range block id or block overflow (protocol bug).
+    pub fn write(&self, block: BlockId, offset: usize, data: &[u8]) {
+        let mut guard = self.blocks[block.0].lock();
+        guard[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Copies a whole block out of DRAM.
+    pub fn read_block(&self, block: BlockId, buf: &mut [u8; BLOCK_SIZE]) {
+        let guard = self.blocks[block.0].lock();
+        buf.copy_from_slice(&guard[..]);
+    }
+
+    /// Copies a whole block into DRAM.
+    pub fn write_block(&self, block: BlockId, data: &[u8]) {
+        debug_assert!(data.len() <= BLOCK_SIZE);
+        let mut guard = self.blocks[block.0].lock();
+        guard[..data.len()].copy_from_slice(data);
+    }
+
+    /// Zeroes a block (used when a server recycles a freed block, so freed
+    /// data never leaks into a newly allocated file).
+    pub fn zero(&self, block: BlockId) {
+        let mut guard = self.blocks[block.0].lock();
+        guard.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let d = Dram::new(2);
+        d.write(BlockId(1), 100, b"hello");
+        let mut buf = [0u8; 5];
+        d.read(BlockId(1), 100, &mut buf);
+        assert_eq!(&buf, b"hello");
+        // Block 0 untouched.
+        d.read(BlockId(0), 100, &mut buf);
+        assert_eq!(buf, [0u8; 5]);
+    }
+
+    #[test]
+    fn zero_clears_block() {
+        let d = Dram::new(1);
+        d.write(BlockId(0), 0, &[0xff; 16]);
+        d.zero(BlockId(0));
+        let mut buf = [0xaau8; 16];
+        d.read(BlockId(0), 0, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let d = Dram::new(10);
+        assert_eq!(d.nblocks(), 10);
+        assert_eq!(d.capacity(), 10 * BLOCK_SIZE);
+    }
+
+    #[test]
+    fn whole_block_io() {
+        let d = Dram::new(1);
+        let data = [7u8; BLOCK_SIZE];
+        d.write_block(BlockId(0), &data);
+        let mut out = [0u8; BLOCK_SIZE];
+        d.read_block(BlockId(0), &mut out);
+        assert_eq!(out[0], 7);
+        assert_eq!(out[BLOCK_SIZE - 1], 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_block_panics() {
+        let d = Dram::new(1);
+        let mut buf = [0u8; 1];
+        d.read(BlockId(5), 0, &mut buf);
+    }
+}

@@ -1,0 +1,79 @@
+//! Simulated non-cache-coherent shared memory.
+//!
+//! Hare targets machines with "private caches, shared DRAM, but no hardware
+//! cache coherence" (paper Figure 1). The machine this reproduction runs on
+//! *is* cache coherent, so — like the paper itself, which ran on a coherent
+//! 40-core Xeon and used coherence only for message transport — we need the
+//! incoherence to be a *software discipline*. Unlike the paper's informal
+//! check ("we informally checked that Hare does not inadvertently rely on
+//! shared memory", §4), this crate makes the discipline mechanically
+//! enforceable:
+//!
+//! * [`Dram`] is the shared physical memory, divided into fixed-size
+//!   [`BLOCK_SIZE`] blocks.
+//! * [`PrivateCache`] is one core's private write-back cache. Reads hit a
+//!   possibly **stale** private copy; writes are buffered dirty and invisible
+//!   to other cores until an explicit [`PrivateCache::writeback`].
+//!   [`PrivateCache::invalidate`] discards the private copy so the next read
+//!   fetches fresh data from DRAM.
+//!
+//! Hare's close-to-open consistency protocol (invalidate file blocks on
+//! `open`, write back dirty blocks on `close`/`fsync`, paper §3.2) is
+//! implemented *on top of* these primitives, and the tests in this crate
+//! demonstrate both directions: following the protocol yields fresh data,
+//! skipping it observably yields stale data.
+//!
+//! Every operation reports what the "hardware" did (hit, miss, write-back)
+//! via [`Access`] so the virtual-time layer can charge costs.
+
+pub mod cache;
+pub mod dram;
+pub mod stats;
+
+pub use cache::{Access, PrivateCache};
+pub use dram::{BlockId, Dram};
+pub use stats::CacheStats;
+
+/// Size of one buffer-cache block in bytes (4 KiB, a page).
+pub const BLOCK_SIZE: usize = 4096;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline property: without the invalidate/writeback protocol,
+    /// core 2 reads stale data; with the protocol it reads fresh data.
+    #[test]
+    fn incoherence_is_real_and_protocol_fixes_it() {
+        let dram = Dram::new(8);
+        let mut c1 = PrivateCache::new(4);
+        let mut c2 = PrivateCache::new(4);
+        let b = BlockId(0);
+
+        // Both cores read the block: both now have private copies of zeros.
+        let mut buf = [0u8; 4];
+        c1.read(&dram, b, 0, &mut buf);
+        c2.read(&dram, b, 0, &mut buf);
+        assert_eq!(buf, [0, 0, 0, 0]);
+
+        // Core 1 writes, but the write stays in its private cache.
+        c1.write(&dram, b, 0, &[9, 9, 9, 9]);
+
+        // Core 2 still sees the stale zeros: no coherence.
+        c2.read(&dram, b, 0, &mut buf);
+        assert_eq!(buf, [0, 0, 0, 0], "private caches must not be coherent");
+
+        // Even DRAM does not have the data yet (write-back, not
+        // write-through).
+        let mut draw = [0u8; 4];
+        dram.read(b, 0, &mut draw);
+        assert_eq!(draw, [0, 0, 0, 0]);
+
+        // Hare's protocol: writer writes back on close...
+        c1.writeback(&dram, b);
+        // ...and reader invalidates on open.
+        c2.invalidate(b);
+        c2.read(&dram, b, 0, &mut buf);
+        assert_eq!(buf, [9, 9, 9, 9], "protocol must restore consistency");
+    }
+}

@@ -1,0 +1,88 @@
+//! Cache event counters.
+
+/// Counters of private-cache events, used both by tests (to assert protocol
+/// behaviour) and by the evaluation (buffer-cache miss comparisons like the
+/// paper's shared-vs-private buffer cache study in §5.4, "Direct Access to
+/// Buffer Cache").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads/writes served from the private cache.
+    pub hits: u64,
+    /// Block fetches from DRAM.
+    pub misses: u64,
+    /// Writes buffered in the private cache.
+    pub writes: u64,
+    /// Explicit write-backs (close/fsync protocol).
+    pub writebacks: u64,
+    /// Explicit invalidations (open protocol).
+    pub invalidations: u64,
+    /// Lines evicted for capacity.
+    pub evictions: u64,
+    /// Evicted lines that were dirty (implicit hardware write-back).
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Total accesses that consulted the cache.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when there were no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Field-wise sum of two stat blocks (for machine-wide aggregation).
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            writes: self.writes + other.writes,
+            writebacks: self.writebacks + other.writebacks,
+            invalidations: self.invalidations + other.invalidations,
+            evictions: self.evictions + other.evictions,
+            dirty_evictions: self.dirty_evictions + other.dirty_evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_edges() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = CacheStats {
+            hits: 1,
+            misses: 2,
+            writes: 3,
+            writebacks: 4,
+            invalidations: 5,
+            evictions: 6,
+            dirty_evictions: 7,
+        };
+        let b = a;
+        let m = a.merged(&b);
+        assert_eq!(m.hits, 2);
+        assert_eq!(m.dirty_evictions, 14);
+    }
+}

@@ -1,0 +1,42 @@
+//! # hare-sched — Hare's scheduling servers and process model
+//!
+//! Hare "introduces a scheduling server ... responsible for spawning new
+//! processes on its local core, waiting for these processes to exit, and
+//! returning their exit status back to their original parents", plus signal
+//! relay (paper §3.1, §3.5).
+//!
+//! The key insight reproduced here is the **remote execution protocol**:
+//! `exec` is a narrow point where a process's entire state is its arguments
+//! and its open file descriptors, so `exec` can be an RPC to a scheduling
+//! server on another core. The caller becomes a *proxy* that relays the
+//! exit status (and signals) between the original parent and the remote
+//! process.
+//!
+//! In this reproduction a simulated process is an OS thread bound to a
+//! virtual core, owning a [`hare_core::ClientLib`]. [`HareProc::spawn`]
+//! implements the fork+exec idiom the paper's workloads use: descriptors
+//! are exported (made *shared*, paper §3.4), the scheduling server of the
+//! policy-chosen core starts the child, and the returned [`fsapi::ProcJoin`]
+//! is the proxy's wait channel.
+//!
+//! [`HareProc::spawn`]: proc::HareProc
+//! [`hare_core::ClientLib`]: hare_core::ClientLib
+
+pub mod policy;
+pub mod proc;
+pub mod server;
+pub mod signal;
+pub mod system;
+
+pub use policy::PlacementState;
+pub use proc::HareProc;
+pub use signal::{SignalReceiver, SignalSender, SIGKILL, SIGTERM, SIGUSR1};
+pub use system::HareSystem;
+
+/// Virtual cycles to start a process image on the destination core (the
+/// scheduling server forks itself and execs the target, paper §3.5; the
+/// paper notes Hare's scheduler is slower than Linux's, §5.3.3).
+pub const SPAWN_COST: u64 = 120_000;
+
+/// Virtual cycles the parent spends packaging an exec RPC.
+pub const EXEC_SEND_COST: u64 = 8_000;

@@ -1,0 +1,80 @@
+//! Signal relay between original parents and remotely executed processes.
+//!
+//! "The scheduling server is responsible for propagating signals between
+//! the child process and the original parent ... if the proxy process
+//! receives any signals, it relays them to the new process" (paper §3.1,
+//! §3.5). Delivery is asynchronous: the target polls its queue, matching
+//! Hare's polling IPC design.
+
+use std::sync::Arc;
+
+/// `SIGTERM` number.
+pub const SIGTERM: i32 = 15;
+/// `SIGKILL` number.
+pub const SIGKILL: i32 = 9;
+/// `SIGUSR1` number.
+pub const SIGUSR1: i32 = 10;
+
+/// Sending half of a process's signal queue (held by the parent's proxy).
+#[derive(Clone)]
+pub struct SignalSender {
+    tx: msg::Sender<i32>,
+}
+
+/// Receiving half (held by the process; polled).
+pub struct SignalReceiver {
+    rx: msg::Receiver<i32>,
+}
+
+/// Creates a signal queue pair.
+pub fn signal_queue(stats: Arc<msg::MsgStats>) -> (SignalSender, SignalReceiver) {
+    let (tx, rx) = msg::channel(stats);
+    (SignalSender { tx }, SignalReceiver { rx })
+}
+
+impl SignalSender {
+    /// Delivers a signal (the proxy relay: parent → remote process).
+    pub fn kill(&self, sig: i32) {
+        let _ = self.tx.send(sig, 0, 0);
+    }
+}
+
+impl SignalReceiver {
+    /// Polls for a pending signal.
+    pub fn poll(&self) -> Option<i32> {
+        self.rx.try_recv().ok().map(|e| e.payload)
+    }
+
+    /// True if a termination signal (`SIGTERM`/`SIGKILL`) is pending;
+    /// consumes everything queued before it.
+    pub fn should_terminate(&self) -> bool {
+        while let Some(sig) = self.poll() {
+            if sig == SIGTERM || sig == SIGKILL {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_roundtrip() {
+        let (tx, rx) = signal_queue(msg::MsgStats::shared());
+        assert!(rx.poll().is_none());
+        tx.kill(SIGUSR1);
+        assert_eq!(rx.poll(), Some(SIGUSR1));
+    }
+
+    #[test]
+    fn terminate_detection() {
+        let (tx, rx) = signal_queue(msg::MsgStats::shared());
+        tx.kill(SIGUSR1);
+        tx.kill(SIGTERM);
+        assert!(rx.should_terminate());
+        assert!(!rx.should_terminate(), "queue was drained");
+    }
+}

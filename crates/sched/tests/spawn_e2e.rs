@@ -1,0 +1,200 @@
+//! End-to-end tests of the remote execution protocol: spawn, descriptor
+//! inheritance, exit-status proxying, signals.
+
+use fsapi::{write_file, Fd, Mode, OpenFlags, ProcFs, ProcHandle, System};
+use hare_core::HareConfig;
+use hare_sched::{HareSystem, SIGTERM};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn spawn_runs_on_other_cores_and_returns_status() {
+    let sys = HareSystem::start(HareConfig::timeshare(4));
+    let root = sys.start_proc();
+    let parent_core = root.core();
+
+    let cores = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut joins = Vec::new();
+    for i in 0..6 {
+        let cores = Arc::clone(&cores);
+        joins.push(
+            root.spawn(Box::new(move |p| {
+                cores.lock().push(p.core());
+                i as i32 * 10
+            }))
+            .unwrap(),
+        );
+    }
+    let statuses: Vec<i32> = joins.into_iter().map(|j| j.wait()).collect();
+    assert_eq!(statuses, vec![0, 10, 20, 30, 40, 50]);
+
+    let used: std::collections::HashSet<usize> = cores.lock().iter().copied().collect();
+    assert!(
+        used.len() > 1,
+        "round-robin must place children on several cores (parent on {parent_core}, used {used:?})"
+    );
+    drop(root);
+    sys.shutdown();
+}
+
+#[test]
+fn children_share_parent_descriptor_offset() {
+    // The tar/extract idiom (paper §2.2): parent opens a file, children
+    // inherit the descriptor and read *disjoint* chunks because the offset
+    // is shared at the server.
+    let sys = HareSystem::start(HareConfig::timeshare(4));
+    let root = sys.start_proc();
+
+    let data: Vec<u8> = (0..4000u32).map(|i| (i % 256) as u8).collect();
+    write_file(&root, "/archive", &data).unwrap();
+    let fd = root.open("/archive", OpenFlags::RDONLY, Mode::default()).unwrap();
+
+    let total = Arc::new(AtomicUsize::new(0));
+    let mut joins = Vec::new();
+    for _ in 0..4 {
+        let total = Arc::clone(&total);
+        joins.push(
+            root.spawn(Box::new(move |p| {
+                // Each child reads 1000 bytes through the inherited fd.
+                let mut buf = vec![0u8; 1000];
+                let mut got = 0;
+                while got < 1000 {
+                    let n = p.read(Fd(fd.0), &mut buf[got..]).unwrap();
+                    if n == 0 {
+                        break;
+                    }
+                    got += n;
+                }
+                total.fetch_add(got, Ordering::SeqCst);
+                0
+            }))
+            .unwrap(),
+        );
+    }
+    for j in joins {
+        assert_eq!(j.wait(), 0);
+    }
+    // All 4000 bytes were consumed exactly once across the children.
+    assert_eq!(total.load(Ordering::SeqCst), 4000);
+    // The shared offset is at EOF for the parent too.
+    let mut buf = [0u8; 8];
+    assert_eq!(root.read(fd, &mut buf).unwrap(), 0, "offset shared: EOF");
+    root.close(fd).unwrap();
+    drop(root);
+    sys.shutdown();
+}
+
+#[test]
+fn jobserver_pipe_across_processes() {
+    // make's jobserver (paper §5.2): tokens in a shared pipe bound the
+    // number of concurrently running jobs.
+    let sys = HareSystem::start(HareConfig::timeshare(4));
+    let root = sys.start_proc();
+    let (r, w) = root.pipe().unwrap();
+    // Two job tokens.
+    root.write(w, b"TT").unwrap();
+
+    let peak = Arc::new(AtomicUsize::new(0));
+    let cur = Arc::new(AtomicUsize::new(0));
+    let mut joins = Vec::new();
+    for _ in 0..6 {
+        let peak = Arc::clone(&peak);
+        let cur = Arc::clone(&cur);
+        joins.push(
+            root.spawn(Box::new(move |p| {
+                // Acquire a token (blocks when both are taken).
+                let mut tok = [0u8; 1];
+                assert_eq!(p.read(Fd(r.0), &mut tok).unwrap(), 1);
+                let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                cur.fetch_sub(1, Ordering::SeqCst);
+                // Return the token.
+                p.write(Fd(w.0), &tok).unwrap();
+                0
+            }))
+            .unwrap(),
+        );
+    }
+    for j in joins {
+        assert_eq!(j.wait(), 0);
+    }
+    assert!(
+        peak.load(Ordering::SeqCst) <= 2,
+        "jobserver must bound concurrency at the token count"
+    );
+    root.close(r).unwrap();
+    root.close(w).unwrap();
+    drop(root);
+    sys.shutdown();
+}
+
+#[test]
+fn signals_relayed_to_remote_child() {
+    let sys = HareSystem::start(HareConfig::timeshare(2));
+    let root = sys.start_proc();
+    let (join, sig) = root
+        .spawn_with_signals(Box::new(|p| {
+            let signals = p.signals().expect("spawned child has a signal queue");
+            // Poll until SIGTERM arrives (polling IPC, paper §4).
+            for _ in 0..10_000 {
+                if signals.should_terminate() {
+                    return 42;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            1
+        }))
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    sig.kill(SIGTERM);
+    assert_eq!(join.wait(), 42);
+    drop(root);
+    sys.shutdown();
+}
+
+#[test]
+fn nested_spawn_propagates_round_robin() {
+    let sys = HareSystem::start(HareConfig::timeshare(4));
+    let root = sys.start_proc();
+    let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let seen2 = Arc::clone(&seen);
+    let j = root
+        .spawn(Box::new(move |child| {
+            // Grandchildren: placement state was inherited, so they land on
+            // successive cores, not all on the same one.
+            let mut joins = Vec::new();
+            for _ in 0..3 {
+                let seen = Arc::clone(&seen2);
+                joins.push(
+                    child
+                        .spawn(Box::new(move |g| {
+                            seen.lock().push(g.core());
+                            0
+                        }))
+                        .unwrap(),
+                );
+            }
+            joins.into_iter().map(|j| j.wait()).sum::<i32>()
+        }))
+        .unwrap();
+    assert_eq!(j.wait(), 0);
+    let cores = seen.lock().clone();
+    let distinct: std::collections::HashSet<usize> = cores.iter().copied().collect();
+    assert!(distinct.len() >= 2, "grandchildren spread: {cores:?}");
+    drop(root);
+    sys.shutdown();
+}
+
+#[test]
+fn virtual_time_advances_with_work() {
+    let sys = HareSystem::start(HareConfig::timeshare(2));
+    let root = sys.start_proc();
+    let t0 = sys.elapsed_cycles();
+    write_file(&root, "/x", &[0u8; 8192]).unwrap();
+    let t1 = sys.elapsed_cycles();
+    assert!(t1 > t0, "file work must consume virtual time");
+    assert_eq!(sys.ncores(), 2);
+    drop(root);
+    sys.shutdown();
+}

@@ -1,0 +1,194 @@
+//! The calibrated cost model.
+//!
+//! All costs are in cycles of the simulated 2 GHz machine. The calibration
+//! anchors come from the paper's own measurements (§5.3.3):
+//!
+//! * `rename()` issues two RPCs, ADD_MAP and RM_MAP, costing 2434 and 1767
+//!   cycles at the client while the server spends 1211 and 756 cycles —
+//!   so the messaging overhead is "roughly 1000 cycles per operation".
+//!   With `msg_send + msg_recv + 2 × latency(same socket)` =
+//!   300 + 250 + 2×250 = 1050, our model lands in the same place.
+//! * `rename()` takes 7.204 µs when client and server time-share one core
+//!   versus 4.171 µs on separate cores; the ~6000-cycle difference over two
+//!   RPCs gives ~1500 cycles per context switch (two switches per same-core
+//!   RPC), which is `ctx_switch` below.
+
+use crate::topology::Distance;
+
+/// Cost constants (cycles @ 2 GHz) for every simulated action.
+///
+/// The struct is plain data so experiments can perturb individual costs
+/// (e.g. the "better hardware support for IPC" discussion in paper §6 maps
+/// to lowering `msg_*` and `ctx_switch`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    // --- Messaging (Hare's Pika-derived message passing library) ---
+    /// Client/server CPU cost to send one message.
+    pub msg_send: u64,
+    /// CPU cost to receive/dispatch one message.
+    pub msg_recv: u64,
+    /// Wire latency between distinct cores on one socket.
+    pub lat_same_socket: u64,
+    /// Wire latency across sockets.
+    pub lat_cross_socket: u64,
+    /// Delivery latency when sender and receiver share a core.
+    pub lat_same_core: u64,
+    /// Context switch when a message crosses entities time-sharing a core
+    /// (Linux schedule + switch in the paper's prototype; reduced by their
+    /// PCID patch but still dominant, §4, §5.3.3).
+    pub ctx_switch: u64,
+
+    // --- Hare client library ---
+    /// Client-library entry/exit per intercepted syscall.
+    pub syscall_base: u64,
+    /// Directory-cache hit (drain invalidation queue + hash lookup).
+    pub dircache_hit: u64,
+
+    // --- Buffer cache (through the non-coherent private cache) ---
+    /// Access to a block resident in the private cache.
+    pub cache_hit_blk: u64,
+    /// Fetch of a block from shared DRAM on a private-cache miss.
+    pub cache_miss_blk: u64,
+    /// Write-back of one dirty block to shared DRAM (close/fsync).
+    pub writeback_blk: u64,
+    /// Invalidate of one block (open).
+    pub invalidate_blk: u64,
+    /// Server-side direct DRAM access per block (shared-fd I/O and the
+    /// no-direct-access ablation route data through the server).
+    pub dram_direct_blk: u64,
+
+    // --- Linux (ramfs/tmpfs) baseline: coherent shared memory ---
+    /// VFS syscall entry/exit.
+    pub ramfs_syscall: u64,
+    /// Typical metadata operation body.
+    pub ramfs_op: u64,
+    /// Directory-lock hold time for a namespace mutation (serialized per
+    /// directory — the CC-SMP scalability bottleneck of paper §2.1).
+    pub ramfs_dirlock_hold: u64,
+    /// Per-block data copy (coherent caches, no protocol).
+    pub ramfs_data_blk: u64,
+    /// Cache-line contention penalty per cross-core shared-lock acquisition.
+    pub ramfs_contention: u64,
+
+    // --- UNFS3 baseline: user-space NFS over loopback ---
+    /// One loopback RPC through the kernel network stack (both directions).
+    pub unfs_rpc: u64,
+    /// Server-side cost per NFS operation.
+    pub unfs_op: u64,
+    /// Per-block data transfer cost through the socket.
+    pub unfs_data_blk: u64,
+}
+
+impl CostModel {
+    /// Message latency for a distance class.
+    pub fn latency(&self, d: Distance) -> u64 {
+        match d {
+            Distance::SameCore => self.lat_same_core,
+            Distance::SameSocket => self.lat_same_socket,
+            Distance::CrossSocket => self.lat_cross_socket,
+        }
+    }
+
+    /// A cost model with all messaging and context-switch costs zeroed,
+    /// useful in unit tests that check functional behaviour only.
+    pub fn free() -> Self {
+        CostModel {
+            msg_send: 0,
+            msg_recv: 0,
+            lat_same_socket: 0,
+            lat_cross_socket: 0,
+            lat_same_core: 0,
+            ctx_switch: 0,
+            syscall_base: 0,
+            dircache_hit: 0,
+            cache_hit_blk: 0,
+            cache_miss_blk: 0,
+            writeback_blk: 0,
+            invalidate_blk: 0,
+            dram_direct_blk: 0,
+            ramfs_syscall: 0,
+            ramfs_op: 0,
+            ramfs_dirlock_hold: 0,
+            ramfs_data_blk: 0,
+            ramfs_contention: 0,
+            unfs_rpc: 0,
+            unfs_op: 0,
+            unfs_data_blk: 0,
+        }
+    }
+}
+
+impl Default for CostModel {
+    /// The calibrated model (see module docs for the anchors).
+    fn default() -> Self {
+        CostModel {
+            msg_send: 300,
+            msg_recv: 250,
+            lat_same_socket: 250,
+            lat_cross_socket: 750,
+            lat_same_core: 100,
+            ctx_switch: 1500,
+            syscall_base: 300,
+            dircache_hit: 120,
+            cache_hit_blk: 150,
+            cache_miss_blk: 1000,
+            writeback_blk: 800,
+            invalidate_blk: 60,
+            dram_direct_blk: 1200,
+            ramfs_syscall: 350,
+            ramfs_op: 1000,
+            ramfs_dirlock_hold: 700,
+            ramfs_data_blk: 350,
+            ramfs_contention: 400,
+            unfs_rpc: 60_000,
+            unfs_op: 2500,
+            unfs_data_blk: 5000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::us_to_cycles;
+
+    /// The model must reproduce the paper's §5.3.3 calibration anchors to
+    /// first order.
+    #[test]
+    fn rename_rpc_overhead_matches_paper() {
+        let m = CostModel::default();
+        // Client-side overhead beyond server service, same-socket split
+        // configuration: the paper reports ~1000-1200 cycles.
+        let overhead = m.msg_send + m.msg_recv + 2 * m.lat_same_socket;
+        assert!(
+            (900..=1400).contains(&overhead),
+            "client-side RPC overhead {overhead} out of calibration band"
+        );
+    }
+
+    #[test]
+    fn same_core_penalty_matches_paper() {
+        let m = CostModel::default();
+        // Same-core rename is ~3 µs slower than split over two RPCs
+        // (7.204 µs vs 4.171 µs): two context switches per RPC.
+        let penalty = 2 * 2 * m.ctx_switch;
+        let paper = us_to_cycles(7) - us_to_cycles(4);
+        assert!(
+            penalty.abs_diff(paper) < 1500,
+            "ctx-switch penalty {penalty} too far from paper's ~{paper}"
+        );
+    }
+
+    #[test]
+    fn latency_ordering() {
+        let m = CostModel::default();
+        assert!(m.latency(Distance::SameCore) < m.latency(Distance::SameSocket));
+        assert!(m.latency(Distance::SameSocket) < m.latency(Distance::CrossSocket));
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let m = CostModel::free();
+        assert_eq!(m.msg_send + m.ctx_switch + m.cache_miss_blk, 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Virtual-time cost accounting for the Hare reproduction.
+//!
+//! The paper evaluates Hare on a 40-core, 4-socket Xeon E7-4850 machine.
+//! This reproduction runs on whatever machine it is given (possibly one
+//! core), so wall-clock time cannot reproduce the paper's scalability
+//! results. Instead, every simulated core carries a **virtual clock**
+//! (in CPU cycles) and every action — client-side syscall work, message
+//! latency, server service time, context switches when a server time-shares
+//! a core with an application, private-cache hits/misses/write-backs —
+//! advances the clock of the core it runs on by a calibrated cost.
+//!
+//! Contention falls out naturally: a server entity serializes its requests
+//! on its core's clock (`clock = max(clock, arrival) + service`), so a
+//! single hot server becomes a queueing bottleneck exactly as the paper's
+//! `pfind sparse` benchmark demonstrates (§5.3.1), while sharded directory
+//! operations spread load over many clocks and scale.
+//!
+//! A benchmark's virtual runtime is the maximum participating core clock;
+//! speedups are ratios of virtual runtimes. The cost constants in
+//! [`CostModel`] are calibrated against the measurements the paper reports
+//! in §5.3.3 (e.g. 2434/1767-cycle client-side cost of the two rename RPCs,
+//! 7.2 µs vs 4.2 µs single-core vs split rename latency).
+
+pub mod clock;
+pub mod cost;
+pub mod topology;
+
+pub use clock::{Clocks, ResourceClock};
+pub use cost::CostModel;
+pub use topology::{Distance, Topology};
+
+/// Cycles per microsecond of the simulated machine (2 GHz, matching the
+/// Xeon E7-4850's nominal clock).
+pub const CYCLES_PER_US: u64 = 2000;
+
+/// Converts cycles to nanoseconds at the simulated clock rate.
+pub fn cycles_to_ns(cycles: u64) -> u64 {
+    cycles * 1000 / CYCLES_PER_US
+}
+
+/// Converts microseconds to cycles at the simulated clock rate.
+pub fn us_to_cycles(us: u64) -> u64 {
+    us * CYCLES_PER_US
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversion() {
+        assert_eq!(us_to_cycles(1), 2000);
+        assert_eq!(cycles_to_ns(2000), 1000);
+        assert_eq!(cycles_to_ns(1), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! NUMA topology of the simulated machine.
+
+/// Relative distance between two cores, determining message latency and the
+/// benefit of Hare's creation-affinity heuristic (paper §3.6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distance {
+    /// Same core: no interconnect hop, but a context switch if two entities
+    /// time-share the core.
+    SameCore,
+    /// Different cores on one socket.
+    SameSocket,
+    /// Cores on different sockets (QPI hop on the paper's machine).
+    CrossSocket,
+}
+
+/// A sockets × cores-per-socket machine layout.
+///
+/// The paper's testbed is 4 × Intel Xeon E7-4850 (10 cores each), i.e.
+/// `Topology::new(4, 10)`. Core ids are dense: socket = id / cores_per_socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    sockets: usize,
+    cores_per_socket: usize,
+}
+
+impl Topology {
+    /// Creates a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(sockets: usize, cores_per_socket: usize) -> Self {
+        assert!(sockets > 0 && cores_per_socket > 0);
+        Topology {
+            sockets,
+            cores_per_socket,
+        }
+    }
+
+    /// The paper's 40-core evaluation machine: 4 sockets × 10 cores.
+    pub fn paper_machine() -> Self {
+        Topology::new(4, 10)
+    }
+
+    /// A topology with `n` cores spread over up to 4 sockets, mirroring how
+    /// the paper's experiments use core subsets of the 4-socket machine.
+    pub fn with_cores(n: usize) -> Self {
+        assert!(n > 0);
+        if n <= 10 {
+            Topology::new(1, n)
+        } else {
+            Topology::new(4, n.div_ceil(4))
+        }
+    }
+
+    /// Total number of cores.
+    pub fn ncores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Number of sockets.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// The socket a core belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn socket_of(&self, core: usize) -> usize {
+        assert!(core < self.ncores(), "core {core} out of range");
+        core / self.cores_per_socket
+    }
+
+    /// Distance class between two cores.
+    pub fn distance(&self, a: usize, b: usize) -> Distance {
+        if a == b {
+            Distance::SameCore
+        } else if self.socket_of(a) == self.socket_of(b) {
+            Distance::SameSocket
+        } else {
+            Distance::CrossSocket
+        }
+    }
+
+    /// Cores sharing a socket with `core` (including itself).
+    pub fn socket_peers(&self, core: usize) -> std::ops::Range<usize> {
+        let s = self.socket_of(core);
+        s * self.cores_per_socket..(s + 1) * self.cores_per_socket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_shape() {
+        let t = Topology::paper_machine();
+        assert_eq!(t.ncores(), 40);
+        assert_eq!(t.sockets(), 4);
+        assert_eq!(t.socket_of(0), 0);
+        assert_eq!(t.socket_of(9), 0);
+        assert_eq!(t.socket_of(10), 1);
+        assert_eq!(t.socket_of(39), 3);
+    }
+
+    #[test]
+    fn distances() {
+        let t = Topology::paper_machine();
+        assert_eq!(t.distance(3, 3), Distance::SameCore);
+        assert_eq!(t.distance(3, 7), Distance::SameSocket);
+        assert_eq!(t.distance(3, 13), Distance::CrossSocket);
+    }
+
+    #[test]
+    fn with_cores_small_is_single_socket() {
+        let t = Topology::with_cores(8);
+        assert_eq!(t.sockets(), 1);
+        assert!(t.ncores() >= 8);
+        let t = Topology::with_cores(40);
+        assert_eq!(t.sockets(), 4);
+        assert_eq!(t.ncores(), 40);
+    }
+
+    #[test]
+    fn socket_peers_range() {
+        let t = Topology::paper_machine();
+        assert_eq!(t.socket_peers(12), 10..20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_core() {
+        Topology::new(1, 2).socket_of(2);
+    }
+}

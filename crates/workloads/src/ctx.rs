@@ -1,0 +1,381 @@
+//! Workload execution context: a process handle plus operation counters.
+//!
+//! Every syscall a workload issues goes through [`Ctx`], which tallies it
+//! by category — this is how Figure 5 ("operation breakdown for our
+//! benchmarks") is regenerated.
+
+use fsapi::{
+    DirEntry, Errno, Fd, FsResult, MkdirOpts, Mode, OpenFlags, ProcHandle, ProcJoin, Stat, Whence,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Syscall categories, matching the paper's Figure 5 legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum OpKind {
+    /// `open` of an existing file.
+    Open,
+    /// `open` with `O_CREAT` creating the file.
+    Creat,
+    /// `close`.
+    Close,
+    /// `read` (files and pipes).
+    Read,
+    /// `write` (files and pipes).
+    Write,
+    /// `lseek`.
+    Seek,
+    /// `fsync`.
+    Fsync,
+    /// `ftruncate`.
+    Truncate,
+    /// `dup`.
+    Dup,
+    /// `pipe`.
+    Pipe,
+    /// `unlink`.
+    Unlink,
+    /// `mkdir`.
+    Mkdir,
+    /// `rmdir`.
+    Rmdir,
+    /// `rename`.
+    Rename,
+    /// `readdir` (getdents).
+    Readdir,
+    /// `stat`/`fstat`.
+    Stat,
+    /// `fork`+`exec` (spawn).
+    Spawn,
+}
+
+/// Number of [`OpKind`] categories.
+pub const N_OPS: usize = 17;
+
+/// All categories in display order.
+pub const ALL_OPS: [OpKind; N_OPS] = [
+    OpKind::Open,
+    OpKind::Creat,
+    OpKind::Close,
+    OpKind::Read,
+    OpKind::Write,
+    OpKind::Seek,
+    OpKind::Fsync,
+    OpKind::Truncate,
+    OpKind::Dup,
+    OpKind::Pipe,
+    OpKind::Unlink,
+    OpKind::Mkdir,
+    OpKind::Rmdir,
+    OpKind::Rename,
+    OpKind::Readdir,
+    OpKind::Stat,
+    OpKind::Spawn,
+];
+
+impl OpKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Open => "open",
+            OpKind::Creat => "creat",
+            OpKind::Close => "close",
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Seek => "lseek",
+            OpKind::Fsync => "fsync",
+            OpKind::Truncate => "trunc",
+            OpKind::Dup => "dup",
+            OpKind::Pipe => "pipe",
+            OpKind::Unlink => "unlink",
+            OpKind::Mkdir => "mkdir",
+            OpKind::Rmdir => "rmdir",
+            OpKind::Rename => "rename",
+            OpKind::Readdir => "readdir",
+            OpKind::Stat => "stat",
+            OpKind::Spawn => "spawn",
+        }
+    }
+}
+
+/// Machine-wide syscall counters for one workload run.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    counts: [AtomicU64; N_OPS],
+}
+
+impl OpStats {
+    /// Fresh shared counters.
+    pub fn shared() -> Arc<OpStats> {
+        Arc::new(OpStats::default())
+    }
+
+    /// Records one operation.
+    pub fn record(&self, kind: OpKind) {
+        self.counts[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count for one category.
+    pub fn get(&self, kind: OpKind) -> u64 {
+        self.counts[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// `(label, count, percent)` rows for the Figure 5 table.
+    pub fn breakdown(&self) -> Vec<(&'static str, u64, f64)> {
+        let total = self.total().max(1) as f64;
+        ALL_OPS
+            .iter()
+            .map(|k| {
+                let c = self.get(*k);
+                (k.label(), c, 100.0 * c as f64 / total)
+            })
+            .collect()
+    }
+}
+
+/// A counting wrapper around one process.
+pub struct Ctx<'p, P: ProcHandle> {
+    /// The underlying process.
+    pub p: &'p P,
+    /// Shared syscall counters.
+    pub stats: Arc<OpStats>,
+    /// Workload-defined "operations completed" counter (the unit of each
+    /// benchmark's throughput).
+    pub ops: Arc<AtomicU64>,
+}
+
+impl<'p, P: ProcHandle> Ctx<'p, P> {
+    /// Root context for the initial process.
+    pub fn new(p: &'p P) -> Self {
+        Ctx {
+            p,
+            stats: OpStats::shared(),
+            ops: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds workload operations to the throughput counter.
+    pub fn add_ops(&self, n: u64) {
+        self.ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Spawns a worker process whose closure receives a [`Ctx`] sharing
+    /// these counters.
+    pub fn spawn(
+        &self,
+        f: impl FnOnce(&Ctx<'_, P>) -> i32 + Send + 'static,
+    ) -> FsResult<ProcJoin> {
+        self.stats.record(OpKind::Spawn);
+        let stats = Arc::clone(&self.stats);
+        let ops = Arc::clone(&self.ops);
+        self.p.spawn(Box::new(move |p| {
+            let ctx = Ctx { p, stats, ops };
+            f(&ctx)
+        }))
+    }
+
+    // ----- counted syscall wrappers -----------------------------------------
+
+    /// `open`, counting creations separately.
+    pub fn open(&self, path: &str, flags: OpenFlags, mode: Mode) -> FsResult<Fd> {
+        let kind = if flags.contains(OpenFlags::CREAT) {
+            OpKind::Creat
+        } else {
+            OpKind::Open
+        };
+        self.stats.record(kind);
+        self.p.open(path, flags, mode)
+    }
+
+    /// `close`.
+    pub fn close(&self, fd: Fd) -> FsResult<()> {
+        self.stats.record(OpKind::Close);
+        self.p.close(fd)
+    }
+
+    /// `read`.
+    pub fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {
+        self.stats.record(OpKind::Read);
+        self.p.read(fd, buf)
+    }
+
+    /// Reads until `buf` is full or EOF; returns bytes read.
+    pub fn read_full(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {
+        let mut got = 0;
+        while got < buf.len() {
+            let n = self.read(fd, &mut buf[got..])?;
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        Ok(got)
+    }
+
+    /// `write`.
+    pub fn write(&self, fd: Fd, buf: &[u8]) -> FsResult<usize> {
+        self.stats.record(OpKind::Write);
+        self.p.write(fd, buf)
+    }
+
+    /// Writes all of `buf`.
+    pub fn write_all(&self, fd: Fd, buf: &[u8]) -> FsResult<()> {
+        let mut done = 0;
+        while done < buf.len() {
+            done += self.write(fd, &buf[done..])?;
+        }
+        Ok(())
+    }
+
+    /// `lseek`.
+    pub fn lseek(&self, fd: Fd, offset: i64, whence: Whence) -> FsResult<u64> {
+        self.stats.record(OpKind::Seek);
+        self.p.lseek(fd, offset, whence)
+    }
+
+    /// `fsync`.
+    pub fn fsync(&self, fd: Fd) -> FsResult<()> {
+        self.stats.record(OpKind::Fsync);
+        self.p.fsync(fd)
+    }
+
+    /// `ftruncate`.
+    pub fn ftruncate(&self, fd: Fd, len: u64) -> FsResult<()> {
+        self.stats.record(OpKind::Truncate);
+        self.p.ftruncate(fd, len)
+    }
+
+    /// `dup`.
+    pub fn dup(&self, fd: Fd) -> FsResult<Fd> {
+        self.stats.record(OpKind::Dup);
+        self.p.dup(fd)
+    }
+
+    /// `pipe`.
+    pub fn pipe(&self) -> FsResult<(Fd, Fd)> {
+        self.stats.record(OpKind::Pipe);
+        self.p.pipe()
+    }
+
+    /// `unlink`.
+    pub fn unlink(&self, path: &str) -> FsResult<()> {
+        self.stats.record(OpKind::Unlink);
+        self.p.unlink(path)
+    }
+
+    /// `mkdir`.
+    pub fn mkdir(&self, path: &str, opts: MkdirOpts) -> FsResult<()> {
+        self.stats.record(OpKind::Mkdir);
+        self.p.mkdir_opts(path, Mode(0o755), opts)
+    }
+
+    /// `mkdir -p`.
+    pub fn mkdir_p(&self, path: &str, opts: MkdirOpts) -> FsResult<()> {
+        let comps = fsapi::path::components(path)?;
+        let mut cur = String::new();
+        for c in comps {
+            cur.push('/');
+            cur.push_str(c);
+            match self.mkdir(&cur, opts) {
+                Ok(()) | Err(Errno::EEXIST) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// `rmdir`.
+    pub fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.stats.record(OpKind::Rmdir);
+        self.p.rmdir(path)
+    }
+
+    /// `rename`.
+    pub fn rename(&self, old: &str, new: &str) -> FsResult<()> {
+        self.stats.record(OpKind::Rename);
+        self.p.rename(old, new)
+    }
+
+    /// `readdir`.
+    pub fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        self.stats.record(OpKind::Readdir);
+        self.p.readdir(path)
+    }
+
+    /// `stat`.
+    pub fn stat(&self, path: &str) -> FsResult<Stat> {
+        self.stats.record(OpKind::Stat);
+        self.p.stat(path)
+    }
+
+    /// `fstat`.
+    pub fn fstat(&self, fd: Fd) -> FsResult<Stat> {
+        self.stats.record(OpKind::Stat);
+        self.p.fstat(fd)
+    }
+
+    /// Creates `path` with `data` as contents (creat + writes + close).
+    pub fn put_file(&self, path: &str, data: &[u8]) -> FsResult<()> {
+        let fd = self.open(
+            path,
+            OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC,
+            Mode::default(),
+        )?;
+        self.write_all(fd, data)?;
+        self.close(fd)
+    }
+
+    /// Reads all of `path`.
+    pub fn get_file(&self, path: &str) -> FsResult<Vec<u8>> {
+        let fd = self.open(path, OpenFlags::RDONLY, Mode::default())?;
+        let mut out = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            let n = self.read(fd, &mut buf)?;
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        self.close(fd)?;
+        Ok(out)
+    }
+
+    /// Burns virtual CPU (application compute).
+    pub fn compute(&self, cycles: u64) {
+        self.p.compute(cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let s = OpStats::default();
+        s.record(OpKind::Read);
+        s.record(OpKind::Read);
+        s.record(OpKind::Write);
+        s.record(OpKind::Creat);
+        let rows = s.breakdown();
+        let total_pct: f64 = rows.iter().map(|r| r.2).sum();
+        assert!((total_pct - 100.0).abs() < 1e-9);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.get(OpKind::Read), 2);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = ALL_OPS.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), N_OPS);
+    }
+}

@@ -1,0 +1,167 @@
+//! `extract` and `punzip`: archive extraction workloads.
+//!
+//! `extract` reproduces the tar idiom the paper calls out (§2.2): the
+//! parent opens the archive, forks children, and the children **share the
+//! file descriptor** — each `read` atomically claims the next record
+//! through the server-held offset, so the archive is partitioned among
+//! workers without any explicit coordination. This is precisely what NFS
+//! cannot do ("applications using this idiom are limited to a single
+//! core").
+//!
+//! `punzip` unzips independent archive copies in parallel (the paper uses
+//! 20 copies of the manpages); each worker runs a decompressor child piped
+//! into a writer, exercising cross-process pipes.
+
+use crate::ctx::Ctx;
+use crate::scale::Scale;
+use crate::trees::synth_data;
+use fsapi::{FsResult, MkdirOpts, Mode, OpenFlags, ProcHandle};
+
+const EXTRACT_DIR: &str = "/extract";
+const ARCHIVE: &str = "/extract/archive.tar";
+const PUNZIP_DIR: &str = "/punzip";
+
+/// One archive record: 8-byte index header + payload.
+pub const RECORD: usize = 4096;
+
+fn record(idx: u64) -> Vec<u8> {
+    let mut r = synth_data(idx, RECORD);
+    r[..8].copy_from_slice(&idx.to_le_bytes());
+    r
+}
+
+/// Writes the archive.
+pub fn setup_extract<P: ProcHandle>(ctx: &Ctx<'_, P>, _nprocs: usize, s: &Scale) -> FsResult<()> {
+    ctx.mkdir(EXTRACT_DIR, MkdirOpts::DISTRIBUTED)?;
+    let fd = ctx.open(
+        ARCHIVE,
+        OpenFlags::CREAT | OpenFlags::WRONLY,
+        Mode::default(),
+    )?;
+    for i in 0..s.archive_records {
+        ctx.write_all(fd, &record(i as u64))?;
+    }
+    ctx.close(fd)
+}
+
+/// Extracts the archive with `nprocs` children sharing one descriptor.
+pub fn run_extract<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, _s: &Scale) -> FsResult<()> {
+    let fd = ctx.open(ARCHIVE, OpenFlags::RDONLY, Mode::default())?;
+    let mut joins = Vec::new();
+    for _ in 0..nprocs {
+        let raw = fd;
+        joins.push(ctx.spawn(move |wctx| {
+            let body = || -> FsResult<()> {
+                let mut buf = vec![0u8; RECORD];
+                loop {
+                    // The shared offset makes each full-record read an
+                    // atomic claim of the next record (paper §3.4).
+                    let n = wctx.read_full(raw, &mut buf)?;
+                    if n < RECORD {
+                        break;
+                    }
+                    let idx = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+                    wctx.put_file(&format!("{EXTRACT_DIR}/f{idx}"), &buf)?;
+                    wctx.add_ops(1);
+                }
+                Ok(())
+            };
+            match body() {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("extract worker failed: {e}");
+                    1
+                }
+            }
+        })?);
+    }
+    let mut bad = 0;
+    for j in joins {
+        bad += j.wait();
+    }
+    ctx.close(fd)?;
+    if bad != 0 {
+        return Err(fsapi::Errno::EIO);
+    }
+    Ok(())
+}
+
+/// Writes one archive copy and output directory per process. Each copy is
+/// written by a process on its owner's future core, so creation affinity
+/// spreads the copies over the servers' buffer-cache partitions (just as
+/// the paper's 20 manpage copies were not all written from one core).
+pub fn setup_punzip<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> FsResult<()> {
+    ctx.mkdir(PUNZIP_DIR, MkdirOpts::DISTRIBUTED)?;
+    let nfiles = s.punzip_files;
+    crate::run_workers(ctx, nprocs, move |wctx, w| {
+        let fd = wctx.open(
+            &format!("{PUNZIP_DIR}/arch{w}"),
+            OpenFlags::CREAT | OpenFlags::WRONLY,
+            Mode::default(),
+        )?;
+        for i in 0..nfiles {
+            wctx.write_all(fd, &record(i as u64))?;
+        }
+        wctx.close(fd)?;
+        wctx.mkdir(&format!("{PUNZIP_DIR}/out{w}"), MkdirOpts::DISTRIBUTED)?;
+        Ok(())
+    })
+}
+
+/// Each worker pipes its archive through a decompressor child and writes
+/// the extracted files.
+pub fn run_punzip<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> FsResult<()> {
+    let nfiles = s.punzip_files;
+    crate::run_workers(ctx, nprocs, move |wctx, w| {
+        let (r, wr) = wctx.pipe()?;
+        // Decompressor child: archive -> pipe (with decompression compute).
+        let arch = format!("{PUNZIP_DIR}/arch{w}");
+        let join = wctx.spawn(move |cctx| {
+            let body = || -> FsResult<()> {
+                let fd = cctx.open(&arch, OpenFlags::RDONLY, Mode::default())?;
+                let mut buf = vec![0u8; RECORD];
+                loop {
+                    let n = cctx.read_full(fd, &mut buf)?;
+                    if n == 0 {
+                        break;
+                    }
+                    cctx.compute(20_000); // inflate
+                    cctx.write_all(wr, &buf[..n])?;
+                    if n < RECORD {
+                        break;
+                    }
+                }
+                cctx.close(fd)?;
+                cctx.close(wr)?;
+                Ok(())
+            };
+            match body() {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("punzip decompressor failed: {e}");
+                    1
+                }
+            }
+        })?;
+        // Writer side: close our copy of the write end so EOF propagates.
+        wctx.close(wr)?;
+        let mut buf = vec![0u8; RECORD];
+        let mut written = 0usize;
+        loop {
+            let n = wctx.read_full(r, &mut buf)?;
+            if n < RECORD {
+                break;
+            }
+            let idx = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+            wctx.put_file(&format!("{PUNZIP_DIR}/out{w}/f{idx}"), &buf)?;
+            wctx.add_ops(1);
+            written += 1;
+        }
+        wctx.close(r)?;
+        if join.wait() != 0 {
+            return Err(fsapi::Errno::EIO);
+        }
+        debug_assert_eq!(written, nfiles);
+        Ok(())
+    })
+}

@@ -1,0 +1,130 @@
+//! `fsstress`: randomized file system exerciser, borrowed by the paper
+//! from the Linux Test Project (§5.2).
+//!
+//! Each process runs a seeded random mix of operations in its **own
+//! subtree** — "each of the fsstress processes perform operations in
+//! different subtrees" — which is why the paper runs it with directory
+//! distribution off (its rmdirs on small directories would otherwise pay
+//! the all-server broadcast, Figure 10).
+
+use crate::ctx::Ctx;
+use crate::scale::Scale;
+use crate::trees::synth_data;
+use fsapi::{Errno, FsResult, MkdirOpts, Mode, OpenFlags, ProcHandle, Whence};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+const ROOT: &str = "/stress";
+
+/// Creates the shared parent; each process creates its own subtree when it
+/// starts (as LTP fsstress does), so creation affinity places each subtree
+/// near its owner rather than piling them on the setup process's server.
+pub fn setup<P: ProcHandle>(ctx: &Ctx<'_, P>, _nprocs: usize, _s: &Scale) -> FsResult<()> {
+    ctx.mkdir(ROOT, MkdirOpts::DISTRIBUTED)
+}
+
+/// Runs `fsstress_ops` random operations per process.
+pub fn run<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> FsResult<()> {
+    let nops = s.fsstress_ops;
+    crate::run_workers(ctx, nprocs, move |wctx, w| {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xF55 + w as u64);
+        let base = format!("{ROOT}/w{w}");
+        wctx.mkdir(&base, MkdirOpts::CENTRALIZED)?;
+        let mut files: Vec<String> = Vec::new();
+        let mut dirs: Vec<String> = vec![base.clone()];
+        let mut seq = 0usize;
+
+        for _ in 0..nops {
+            let roll = rng.gen_range(0..100);
+            match roll {
+                // create
+                0..=24 => {
+                    let dir = dirs.choose(&mut rng).expect("base dir always present");
+                    let path = format!("{dir}/f{seq}");
+                    seq += 1;
+                    let fd = wctx.open(
+                        &path,
+                        OpenFlags::CREAT | OpenFlags::WRONLY,
+                        Mode::default(),
+                    )?;
+                    wctx.close(fd)?;
+                    files.push(path);
+                }
+                // write
+                25..=39 => {
+                    if let Some(path) = files.choose(&mut rng) {
+                        let fd = wctx.open(path, OpenFlags::WRONLY, Mode::default())?;
+                        let off = rng.gen_range(0..8) * 1024;
+                        wctx.lseek(fd, off, Whence::Set)?;
+                        wctx.write_all(fd, &synth_data(seq as u64, 1024))?;
+                        wctx.close(fd)?;
+                    }
+                }
+                // read
+                40..=54 => {
+                    if let Some(path) = files.choose(&mut rng) {
+                        let fd = wctx.open(path, OpenFlags::RDONLY, Mode::default())?;
+                        let mut buf = [0u8; 1024];
+                        let _ = wctx.read(fd, &mut buf)?;
+                        wctx.close(fd)?;
+                    }
+                }
+                // unlink
+                55..=64 => {
+                    if !files.is_empty() {
+                        let i = rng.gen_range(0..files.len());
+                        let path = files.swap_remove(i);
+                        wctx.unlink(&path)?;
+                    }
+                }
+                // mkdir
+                65..=74 => {
+                    let parent = dirs.choose(&mut rng).expect("nonempty");
+                    let path = format!("{parent}/d{seq}");
+                    seq += 1;
+                    wctx.mkdir(&path, MkdirOpts::CENTRALIZED)?;
+                    dirs.push(path);
+                }
+                // rmdir (may be non-empty: tolerated, like fsstress itself)
+                75..=82 => {
+                    if dirs.len() > 1 {
+                        let i = rng.gen_range(1..dirs.len());
+                        match wctx.rmdir(&dirs[i]) {
+                            Ok(()) => {
+                                dirs.swap_remove(i);
+                            }
+                            Err(Errno::ENOTEMPTY) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                // rename
+                83..=89 => {
+                    if !files.is_empty() {
+                        let i = rng.gen_range(0..files.len());
+                        let dir = dirs.choose(&mut rng).expect("nonempty").clone();
+                        let new = format!("{dir}/r{seq}");
+                        seq += 1;
+                        wctx.rename(&files[i], &new)?;
+                        files[i] = new;
+                    }
+                }
+                // stat
+                90..=94 => {
+                    if let Some(path) = files.choose(&mut rng) {
+                        wctx.stat(path)?;
+                    } else {
+                        wctx.stat(&base)?;
+                    }
+                }
+                // readdir
+                _ => {
+                    let dir = dirs.choose(&mut rng).expect("nonempty");
+                    let _ = wctx.readdir(dir)?;
+                }
+            }
+            wctx.add_ops(1);
+        }
+        Ok(())
+    })
+}

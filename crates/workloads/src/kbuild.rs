@@ -1,0 +1,154 @@
+//! `build linux`: the paper's flagship application benchmark (§1, §5.2) —
+//! a parallel kernel-style build.
+//!
+//! The synthetic build preserves what makes `make` hard for a file system
+//! without cache coherence:
+//!
+//! * make's **jobserver** is a pipe whose tokens bound build parallelism;
+//!   the pipe is *shared by processes on every core*, which required a
+//!   one-line change to make in the paper ("to flag the pipe of the
+//!   jobserver as shared") and is exactly what Hare's server-side pipes
+//!   provide.
+//! * Every compile is a **remotely executed process** (`cc` spawned via the
+//!   scheduling servers) inheriting the jobserver descriptors.
+//! * Compiles read shared headers, write objects into shared distributed
+//!   directories, and the link steps read many objects — the op mix that
+//!   makes build linux issue ~1.2 M file system operations in the paper.
+
+use crate::ctx::Ctx;
+use crate::scale::Scale;
+use crate::trees::synth_data;
+use fsapi::{Errno, FsResult, MkdirOpts, ProcHandle};
+
+const SRC: &str = "/src/linux";
+const OBJ: &str = "/obj";
+
+fn src_dir(k: usize) -> String {
+    format!("{SRC}/d{k}")
+}
+
+fn obj_dir(k: usize) -> String {
+    format!("{OBJ}/d{k}")
+}
+
+/// Generates the synthetic kernel tree: shared headers plus `kbuild_units`
+/// compilation units spread over `kbuild_dirs` directories.
+pub fn setup<P: ProcHandle>(ctx: &Ctx<'_, P>, _nprocs: usize, s: &Scale) -> FsResult<()> {
+    ctx.mkdir_p(&format!("{SRC}/include"), MkdirOpts::DISTRIBUTED)?;
+    for j in 0..s.kbuild_headers {
+        ctx.put_file(
+            &format!("{SRC}/include/h{j}.h"),
+            &synth_data(j as u64, 2048),
+        )?;
+    }
+    for k in 0..s.kbuild_dirs {
+        ctx.mkdir(&src_dir(k), MkdirOpts::DISTRIBUTED)?;
+        ctx.mkdir_p(&obj_dir(k), MkdirOpts::DISTRIBUTED)?;
+    }
+    for u in 0..s.kbuild_units {
+        let k = u % s.kbuild_dirs;
+        ctx.put_file(
+            &format!("{}/c{u}.c", src_dir(k)),
+            &synth_data(1000 + u as u64, 4096),
+        )?;
+    }
+    Ok(())
+}
+
+/// Runs the parallel build: compile every unit (jobserver-bounded), archive
+/// each directory, link the image.
+pub fn run<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> FsResult<()> {
+    // make -jN: the jobserver pipe holds N tokens.
+    let (jr, jw) = ctx.pipe()?;
+    let tokens = vec![b'T'; nprocs];
+    ctx.write_all(jw, &tokens)?;
+
+    // Compile phase: one `cc` process per unit, remotely executed; each
+    // blocks on a jobserver token, so at most `nprocs` run concurrently.
+    let nheaders = s.kbuild_headers;
+    let ndirs = s.kbuild_dirs;
+    let cc_cycles = s.cc_cycles;
+    let mut joins = Vec::new();
+    for u in 0..s.kbuild_units {
+        joins.push(ctx.spawn(move |cc| {
+            let body = || -> FsResult<()> {
+                // Acquire a job token.
+                let mut tok = [0u8; 1];
+                if cc.read_full(jr, &mut tok)? != 1 {
+                    return Err(Errno::EIO);
+                }
+                let k = u % ndirs;
+                let source = cc.get_file(&format!("{}/c{u}.c", src_dir(k)))?;
+                for h in 0..3usize.min(nheaders) {
+                    let _ = cc.get_file(&format!("{SRC}/include/h{}.h", (u + h) % nheaders))?;
+                }
+                cc.compute(cc_cycles);
+                cc.put_file(
+                    &format!("{}/c{u}.o", obj_dir(k)),
+                    &synth_data(2000 + u as u64, source.len()),
+                )?;
+                cc.add_ops(1);
+                // Release the token.
+                cc.write_all(jw, &tok)?;
+                Ok(())
+            };
+            match body() {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("cc {u} failed: {e}");
+                    1
+                }
+            }
+        })?);
+    }
+    let mut bad: i32 = joins.into_iter().map(|j| j.wait()).sum();
+
+    // Archive phase: one `ar` per directory, also token-bounded.
+    let mut joins = Vec::new();
+    for k in 0..s.kbuild_dirs {
+        joins.push(ctx.spawn(move |ar| {
+            let body = || -> FsResult<()> {
+                let mut tok = [0u8; 1];
+                if ar.read_full(jr, &mut tok)? != 1 {
+                    return Err(Errno::EIO);
+                }
+                let dir = obj_dir(k);
+                let mut total = 0usize;
+                for e in ar.readdir(&dir)? {
+                    if e.name.ends_with(".o") {
+                        total += ar.get_file(&fsapi::path::join(&dir, &e.name))?.len();
+                    }
+                }
+                ar.compute(total as u64 / 8);
+                ar.put_file(&format!("{dir}/built-in.a"), &synth_data(k as u64, total))?;
+                ar.add_ops(1);
+                ar.write_all(jw, &tok)?;
+                Ok(())
+            };
+            match body() {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("ar {k} failed: {e}");
+                    1
+                }
+            }
+        })?);
+    }
+    bad += joins.into_iter().map(|j| j.wait()).sum::<i32>();
+
+    // Link phase: the final image, by the make process itself.
+    let mut total = 0usize;
+    for k in 0..s.kbuild_dirs {
+        total += ctx.get_file(&format!("{}/built-in.a", obj_dir(k)))?.len();
+    }
+    ctx.compute(4 * s.cc_cycles);
+    ctx.put_file(&format!("{OBJ}/vmlinux"), &synth_data(0xBEEF, total.min(1 << 20)))?;
+    ctx.add_ops(1);
+
+    ctx.close(jr)?;
+    ctx.close(jw)?;
+    if bad != 0 {
+        return Err(Errno::EIO);
+    }
+    Ok(())
+}

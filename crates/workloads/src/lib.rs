@@ -1,0 +1,245 @@
+//! # hare-workloads — the paper's 13 evaluation workloads
+//!
+//! Every benchmark in the Hare paper's evaluation (§5.2, Figure 5), written
+//! once against the [`fsapi`] traits so the identical workload runs on
+//! Hare, the Linux ramfs baseline, and the UNFS3 baseline:
+//!
+//! | workload | module | stresses |
+//! |---|---|---|
+//! | creates | [`micro`] | concurrent file creation in one directory |
+//! | writes | [`micro`] | the direct buffer-cache write path |
+//! | renames | [`micro`] | ADD_MAP/RM_MAP dentry protocol |
+//! | directories | [`micro`] | mkdir + three-phase rmdir broadcast |
+//! | rm dense / rm sparse | [`rm`] | recursive removal of both tree shapes |
+//! | pfind dense / sparse | [`pfind`] | parallel find (readdir + stat) |
+//! | extract | [`extract`] | shared file descriptors (tar idiom) |
+//! | punzip | [`extract`] | cross-process pipes, parallel unzip |
+//! | mailbench | [`mailbench`] | create + fsync + rename + unlink mix |
+//! | fsstress | [`fsstress`] | randomized op mix in private subtrees |
+//! | build linux | [`kbuild`] | jobserver pipe, remote exec, full build |
+//!
+//! [`run`] executes one workload on one system and returns virtual-time
+//! throughput plus the Figure 5 operation breakdown.
+
+pub mod ctx;
+pub mod extract;
+pub mod fsstress;
+pub mod kbuild;
+pub mod mailbench;
+pub mod micro;
+pub mod pfind;
+pub mod rm;
+pub mod scale;
+pub mod trees;
+
+pub use ctx::{Ctx, OpKind, OpStats};
+pub use scale::Scale;
+
+use fsapi::{Errno, FsResult, ProcHandle, System};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The thirteen benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// File creations in a shared directory.
+    Creates,
+    /// Block writes through the buffer cache.
+    Writes,
+    /// Renames within a shared directory.
+    Renames,
+    /// mkdir/rmdir pairs of distributed directories.
+    Directories,
+    /// Recursive removal of the dense tree.
+    RmDense,
+    /// Recursive removal of the sparse tree.
+    RmSparse,
+    /// Parallel find over the dense tree.
+    PfindDense,
+    /// Parallel find over the sparse tree.
+    PfindSparse,
+    /// Archive extraction through a shared descriptor.
+    Extract,
+    /// Parallel unzip through pipes.
+    Punzip,
+    /// sv6 mail server benchmark.
+    Mailbench,
+    /// LTP randomized stress.
+    Fsstress,
+    /// Parallel kernel-style build.
+    BuildLinux,
+}
+
+impl Workload {
+    /// All workloads in the paper's figure order.
+    pub const ALL: [Workload; 13] = [
+        Workload::Creates,
+        Workload::Writes,
+        Workload::Renames,
+        Workload::Directories,
+        Workload::RmDense,
+        Workload::RmSparse,
+        Workload::PfindDense,
+        Workload::PfindSparse,
+        Workload::Extract,
+        Workload::Punzip,
+        Workload::Mailbench,
+        Workload::Fsstress,
+        Workload::BuildLinux,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Creates => "creates",
+            Workload::Writes => "writes",
+            Workload::Renames => "renames",
+            Workload::Directories => "directories",
+            Workload::RmDense => "rm dense",
+            Workload::RmSparse => "rm sparse",
+            Workload::PfindDense => "pfind dense",
+            Workload::PfindSparse => "pfind sparse",
+            Workload::Extract => "extract",
+            Workload::Punzip => "punzip",
+            Workload::Mailbench => "mailbench",
+            Workload::Fsstress => "fsstress",
+            Workload::BuildLinux => "build linux",
+        }
+    }
+
+    /// The ten workloads of the paper's 40-core Hare-vs-Linux comparison
+    /// (Figure 15 omits extract and the rm tests).
+    pub const PARALLEL: [Workload; 10] = [
+        Workload::Creates,
+        Workload::Writes,
+        Workload::Renames,
+        Workload::Directories,
+        Workload::PfindDense,
+        Workload::PfindSparse,
+        Workload::Punzip,
+        Workload::Mailbench,
+        Workload::Fsstress,
+        Workload::BuildLinux,
+    ];
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Outcome of one workload run.
+#[derive(Debug)]
+pub struct WorkloadResult {
+    /// Which workload ran.
+    pub workload: Workload,
+    /// Worker process count.
+    pub nprocs: usize,
+    /// Workload-defined operations completed in the measured region.
+    pub ops: u64,
+    /// Virtual cycles of the measured region.
+    pub cycles: u64,
+    /// Syscall breakdown (Figure 5).
+    pub stats: Arc<OpStats>,
+}
+
+impl WorkloadResult {
+    /// Virtual seconds of the measured region.
+    pub fn virtual_secs(&self) -> f64 {
+        self.cycles as f64 / (vtime::CYCLES_PER_US as f64 * 1e6)
+    }
+
+    /// Operations per virtual second.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / self.virtual_secs()
+    }
+}
+
+/// Runs `workload` on a **fresh** system with `nprocs` worker processes.
+///
+/// Setup (tree building, archive writing) happens first; core clocks are
+/// then synchronized so the measured region starts from a common virtual
+/// instant; the measured region's cycles and operations are reported.
+pub fn run<S: System>(
+    sys: &S,
+    workload: Workload,
+    nprocs: usize,
+    s: &Scale,
+) -> FsResult<WorkloadResult> {
+    assert!(nprocs > 0);
+    let root = sys.start_proc();
+    let ctx = Ctx::new(&root);
+
+    match workload {
+        Workload::Creates | Workload::Writes | Workload::Renames | Workload::Directories => {
+            micro::setup(&ctx, nprocs, s)?
+        }
+        Workload::RmDense => rm::setup_dense(&ctx, nprocs, s)?,
+        Workload::RmSparse => rm::setup_sparse(&ctx, nprocs, s)?,
+        Workload::PfindDense => pfind::setup_dense(&ctx, nprocs, s)?,
+        Workload::PfindSparse => pfind::setup_sparse(&ctx, nprocs, s)?,
+        Workload::Extract => extract::setup_extract(&ctx, nprocs, s)?,
+        Workload::Punzip => extract::setup_punzip(&ctx, nprocs, s)?,
+        Workload::Mailbench => mailbench::setup(&ctx, nprocs, s)?,
+        Workload::Fsstress => fsstress::setup(&ctx, nprocs, s)?,
+        Workload::BuildLinux => kbuild::setup(&ctx, nprocs, s)?,
+    }
+
+    sys.sync_cores();
+    let t0 = sys.elapsed_cycles();
+
+    match workload {
+        Workload::Creates => micro::run_creates(&ctx, nprocs, s)?,
+        Workload::Writes => micro::run_writes(&ctx, nprocs, s)?,
+        Workload::Renames => micro::run_renames(&ctx, nprocs, s)?,
+        Workload::Directories => micro::run_directories(&ctx, nprocs, s)?,
+        Workload::RmDense => rm::run_dense(&ctx, nprocs, s)?,
+        Workload::RmSparse => rm::run_sparse(&ctx, nprocs, s)?,
+        Workload::PfindDense => pfind::run_dense(&ctx, nprocs, s)?,
+        Workload::PfindSparse => pfind::run_sparse(&ctx, nprocs, s)?,
+        Workload::Extract => extract::run_extract(&ctx, nprocs, s)?,
+        Workload::Punzip => extract::run_punzip(&ctx, nprocs, s)?,
+        Workload::Mailbench => mailbench::run(&ctx, nprocs, s)?,
+        Workload::Fsstress => fsstress::run(&ctx, nprocs, s)?,
+        Workload::BuildLinux => kbuild::run(&ctx, nprocs, s)?,
+    }
+
+    let t1 = sys.elapsed_cycles();
+    Ok(WorkloadResult {
+        workload,
+        nprocs,
+        ops: ctx.ops.load(Ordering::Relaxed),
+        cycles: t1.saturating_sub(t0),
+        stats: Arc::clone(&ctx.stats),
+    })
+}
+
+/// Spawns `nprocs` worker processes running `f(ctx, worker_id)` and joins
+/// them, failing if any worker failed.
+pub(crate) fn run_workers<P, F>(ctx: &Ctx<'_, P>, nprocs: usize, f: F) -> FsResult<()>
+where
+    P: ProcHandle,
+    F: Fn(&Ctx<'_, P>, usize) -> FsResult<()> + Clone + Send + 'static,
+{
+    let mut joins = Vec::with_capacity(nprocs);
+    for w in 0..nprocs {
+        let g = f.clone();
+        joins.push(ctx.spawn(move |wctx| match g(wctx, w) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("worker {w} failed: {e}");
+                1
+            }
+        })?);
+    }
+    let bad: i32 = joins.into_iter().map(|j| j.wait()).sum();
+    if bad != 0 {
+        Err(Errno::EIO)
+    } else {
+        Ok(())
+    }
+}

@@ -1,0 +1,64 @@
+//! `mailbench`: the sv6 mail-server benchmark (paper §5.2).
+//!
+//! Each process delivers messages the maildir way: write the message into
+//! a shared spool directory, fsync it, then `rename` it atomically into
+//! the recipient's mailbox. Periodically the mailbox is scanned, a message
+//! read and deleted (pickup). The spool and mailboxes are distributed —
+//! mailbench is one of the workloads the paper lists as using the
+//! distribution flag, and one that benefits from creation affinity
+//! (Figure 14: the creator immediately re-accesses the file).
+
+use crate::ctx::Ctx;
+use crate::scale::Scale;
+use crate::trees::synth_data;
+use fsapi::{FsResult, MkdirOpts, Mode, OpenFlags, ProcHandle};
+
+const SPOOL: &str = "/mail/tmp";
+
+fn mailbox(w: usize) -> String {
+    format!("/mail/u{w}/new")
+}
+
+/// Creates the spool and one mailbox per process.
+pub fn setup<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, _s: &Scale) -> FsResult<()> {
+    ctx.mkdir_p(SPOOL, MkdirOpts::DISTRIBUTED)?;
+    for w in 0..nprocs {
+        ctx.mkdir_p(&mailbox(w), MkdirOpts::DISTRIBUTED)?;
+    }
+    Ok(())
+}
+
+/// Delivers `mail_msgs` messages per process; every fourth message the
+/// mailbox is scanned and an old message picked up and deleted.
+pub fn run<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> FsResult<()> {
+    let msgs = s.mail_msgs;
+    crate::run_workers(ctx, nprocs, move |wctx, w| {
+        let body = synth_data(w as u64, 2048);
+        let inbox = mailbox(w);
+        for i in 0..msgs {
+            // Deliver: spool write + fsync + atomic rename into the inbox.
+            let tmp = format!("{SPOOL}/w{w}_m{i}");
+            let fd = wctx.open(
+                &tmp,
+                OpenFlags::CREAT | OpenFlags::WRONLY | OpenFlags::EXCL,
+                Mode::default(),
+            )?;
+            wctx.write_all(fd, &body)?;
+            wctx.fsync(fd)?;
+            wctx.close(fd)?;
+            wctx.rename(&tmp, &format!("{inbox}/m{i}"))?;
+            wctx.add_ops(1);
+
+            // Pickup: list the mailbox, read and delete the oldest message.
+            if i % 4 == 3 {
+                let entries = wctx.readdir(&inbox)?;
+                if let Some(oldest) = entries.first() {
+                    let path = fsapi::path::join(&inbox, &oldest.name);
+                    let _ = wctx.get_file(&path)?;
+                    wctx.unlink(&path)?;
+                }
+            }
+        }
+        Ok(())
+    })
+}

@@ -1,0 +1,105 @@
+//! The four operation microbenchmarks: creates, writes, renames,
+//! directories (paper §5.2: "an individual operation is performed many
+//! times ... within the same directory, to reduce variance").
+//!
+//! All four hammer one shared directory from every process, which is the
+//! access pattern directory distribution exists for (Figure 10: creates is
+//! ~4× faster with distribution). The paper lists creates, renames (and
+//! the dense tests) among the workloads that opt into the distribution
+//! flag; `directories` additionally creates its victim directories
+//! *distributed* so its rmdirs exercise the broadcast path (Figure 11).
+
+use crate::ctx::Ctx;
+use crate::scale::Scale;
+use fsapi::{FsResult, MkdirOpts, Mode, OpenFlags, ProcHandle, Whence};
+
+const BENCH_DIR: &str = "/bench";
+
+/// Shared setup: the one directory every process works in (idempotent so
+/// several microbenchmarks can run on one system).
+pub fn setup<P: ProcHandle>(ctx: &Ctx<'_, P>, _nprocs: usize, _s: &Scale) -> FsResult<()> {
+    ctx.mkdir_p(BENCH_DIR, MkdirOpts::DISTRIBUTED)
+}
+
+/// `creates`: every process creates files in the shared directory.
+pub fn run_creates<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> FsResult<()> {
+    let iters = s.iters;
+    crate::run_workers(ctx, nprocs, move |wctx, w| {
+        for i in 0..iters {
+            let path = format!("{BENCH_DIR}/w{w}_f{i}");
+            let fd = wctx.open(
+                &path,
+                OpenFlags::CREAT | OpenFlags::WRONLY,
+                Mode::default(),
+            )?;
+            wctx.close(fd)?;
+            wctx.add_ops(1);
+        }
+        Ok(())
+    })
+}
+
+/// `writes`: every process rewrites blocks of its own file in the shared
+/// directory.
+pub fn run_writes<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> FsResult<()> {
+    let iters = s.iters;
+    let chunk = s.write_chunk;
+    crate::run_workers(ctx, nprocs, move |wctx, w| {
+        let path = format!("{BENCH_DIR}/w{w}_data");
+        let fd = wctx.open(
+            &path,
+            OpenFlags::CREAT | OpenFlags::RDWR,
+            Mode::default(),
+        )?;
+        let data = crate::trees::synth_data(w as u64, chunk);
+        // Rotate over 16 block-sized slots so the file stays bounded while
+        // the write path (allocation + private-cache writes) is exercised.
+        for i in 0..iters {
+            let slot = (i % 16) as i64;
+            wctx.lseek(fd, slot * chunk as i64, Whence::Set)?;
+            wctx.write_all(fd, &data)?;
+            wctx.add_ops(1);
+        }
+        wctx.close(fd)?;
+        Ok(())
+    })
+}
+
+/// `renames`: every process renames its file back and forth in the shared
+/// directory (two dentry-server RPCs per operation: ADD_MAP + RM_MAP,
+/// paper §5.3.3).
+pub fn run_renames<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> FsResult<()> {
+    let iters = s.iters;
+    crate::run_workers(ctx, nprocs, move |wctx, w| {
+        let a = format!("{BENCH_DIR}/w{w}_a");
+        let b = format!("{BENCH_DIR}/w{w}_b");
+        wctx.put_file(&a, b"r")?;
+        for i in 0..iters {
+            if i % 2 == 0 {
+                wctx.rename(&a, &b)?;
+            } else {
+                wctx.rename(&b, &a)?;
+            }
+            wctx.add_ops(1);
+        }
+        Ok(())
+    })
+}
+
+/// `directories`: every process creates and removes directories in the
+/// shared parent. The victims are *centralized* — §5.2 lists creates,
+/// renames, pfind dense, mailbench and build linux as the workloads using
+/// the distribution flag, and Figure 10 shows rmdir-heavy tests lose from
+/// distributing small directories.
+pub fn run_directories<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> FsResult<()> {
+    let iters = s.iters;
+    crate::run_workers(ctx, nprocs, move |wctx, w| {
+        for i in 0..iters {
+            let d = format!("{BENCH_DIR}/w{w}_d{i}");
+            wctx.mkdir(&d, MkdirOpts::CENTRALIZED)?;
+            wctx.rmdir(&d)?;
+            wctx.add_ops(1);
+        }
+        Ok(())
+    })
+}

@@ -1,0 +1,48 @@
+//! `pfind dense` and `pfind sparse`: parallel `find` over the two tree
+//! shapes.
+//!
+//! Every process walks the *whole* tree (readdir + stat each entry).
+//! On the sparse tree the directories are centralized and few, so all `n`
+//! clients resolve them at the same servers in the same order — the
+//! single-server bottleneck the paper identifies as its worst-scaling case
+//! ("each of the clients contacts the servers in the same order, resulting
+//! in a bottleneck", §5.3.1).
+
+use crate::ctx::Ctx;
+use crate::scale::Scale;
+use crate::trees;
+use fsapi::{FsResult, ProcHandle};
+
+const DENSE_ROOT: &str = "/pfind_dense";
+const SPARSE_ROOT: &str = "/pfind_sparse";
+
+/// Builds the dense tree (distributed directories; readdir benefits from
+/// broadcast — Figure 11 shows pfind dense gaining the most).
+pub fn setup_dense<P: ProcHandle>(ctx: &Ctx<'_, P>, _nprocs: usize, s: &Scale) -> FsResult<()> {
+    trees::build_dense(ctx, DENSE_ROOT, s)?;
+    Ok(())
+}
+
+/// Each process runs a full `find` over the dense tree.
+pub fn run_dense<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, _s: &Scale) -> FsResult<()> {
+    crate::run_workers(ctx, nprocs, move |wctx, _w| {
+        let visited = trees::walk_tree(wctx, DENSE_ROOT)?;
+        wctx.add_ops(visited);
+        Ok(())
+    })
+}
+
+/// Builds the sparse tree (centralized directories).
+pub fn setup_sparse<P: ProcHandle>(ctx: &Ctx<'_, P>, _nprocs: usize, s: &Scale) -> FsResult<()> {
+    trees::build_sparse(ctx, SPARSE_ROOT, s)?;
+    Ok(())
+}
+
+/// Each process runs a full `find` over the sparse tree.
+pub fn run_sparse<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, _s: &Scale) -> FsResult<()> {
+    crate::run_workers(ctx, nprocs, move |wctx, _w| {
+        let visited = trees::walk_tree(wctx, SPARSE_ROOT)?;
+        wctx.add_ops(visited);
+        Ok(())
+    })
+}

@@ -1,0 +1,104 @@
+//! `rm dense` and `rm sparse`: parallel recursive removal of the two
+//! paper tree shapes (§5.2).
+//!
+//! `rm sparse` is the workload that *loses* from directory distribution
+//! (Figure 10): removing many nearly-empty directories turns each `rmdir`
+//! into an all-server three-phase broadcast. The sparse tree is therefore
+//! built centralized, as the paper's configuration does ("workloads such
+//! as rm sparse ... perform worse with directory distribution enabled and
+//! likewise run without this feature").
+
+use crate::ctx::Ctx;
+use crate::scale::Scale;
+use crate::trees;
+use fsapi::{FsResult, ProcHandle};
+
+const DENSE_ROOT: &str = "/rm_dense";
+const SPARSE_ROOT: &str = "/rm_sparse";
+
+/// Builds the dense tree.
+pub fn setup_dense<P: ProcHandle>(ctx: &Ctx<'_, P>, _nprocs: usize, s: &Scale) -> FsResult<()> {
+    trees::build_dense(ctx, DENSE_ROOT, s)?;
+    Ok(())
+}
+
+/// Removes the dense tree in parallel: the entries below each top-level
+/// directory are partitioned round-robin over the processes; the skeleton
+/// is removed by the driver afterwards.
+pub fn run_dense<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> FsResult<()> {
+    // Flatten the first level of every top directory into a work list.
+    let mut work: Vec<(String, bool)> = Vec::new();
+    for t in 0..s.dense_top {
+        let top = format!("{DENSE_ROOT}/top{t}");
+        for e in ctx.readdir(&top)? {
+            work.push((fsapi::path::join(&top, &e.name), e.ftype.is_dir()));
+        }
+    }
+    let work = std::sync::Arc::new(work);
+
+    crate::run_workers(ctx, nprocs, move |wctx, w| {
+        for (i, (path, is_dir)) in work.iter().enumerate() {
+            if i % nprocs != w {
+                continue;
+            }
+            let removed = if *is_dir {
+                trees::remove_tree(wctx, path)?
+            } else {
+                wctx.unlink(path)?;
+                1
+            };
+            wctx.add_ops(removed);
+        }
+        Ok(())
+    })?;
+
+    // Remove the emptied skeleton.
+    for t in 0..s.dense_top {
+        ctx.rmdir(&format!("{DENSE_ROOT}/top{t}"))?;
+        ctx.add_ops(1);
+    }
+    ctx.rmdir(DENSE_ROOT)?;
+    ctx.add_ops(1);
+    Ok(())
+}
+
+/// Builds the sparse tree.
+pub fn setup_sparse<P: ProcHandle>(ctx: &Ctx<'_, P>, _nprocs: usize, s: &Scale) -> FsResult<()> {
+    trees::build_sparse(ctx, SPARSE_ROOT, s)?;
+    Ok(())
+}
+
+/// Removes the sparse tree: processes take the side branches and leaf
+/// files of disjoint levels; the chain itself must come out bottom-up and
+/// is removed by the driver.
+pub fn run_sparse<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> FsResult<()> {
+    let levels = s.sparse_levels;
+    crate::run_workers(ctx, nprocs, move |wctx, w| {
+        let mut prefix = format!("{SPARSE_ROOT}/top");
+        for l in 0..levels {
+            if l % nprocs == w {
+                wctx.rmdir(&format!("{prefix}/b{l}"))?;
+                wctx.unlink(&format!("{prefix}/leaf{l}"))?;
+                wctx.add_ops(2);
+            }
+            prefix = format!("{prefix}/a{l}");
+        }
+        Ok(())
+    })?;
+
+    // Remove the chain bottom-up.
+    let mut chain: Vec<String> = Vec::new();
+    let mut prefix = format!("{SPARSE_ROOT}/top");
+    for l in 0..levels {
+        prefix = format!("{prefix}/a{l}");
+        chain.push(prefix.clone());
+    }
+    for dir in chain.iter().rev() {
+        ctx.rmdir(dir)?;
+        ctx.add_ops(1);
+    }
+    ctx.rmdir(&format!("{SPARSE_ROOT}/top"))?;
+    ctx.rmdir(SPARSE_ROOT)?;
+    ctx.add_ops(2);
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! Directory tree and synthetic data generators.
+//!
+//! The paper's rm/pfind microbenchmarks run over two tree shapes (§5.2):
+//! a *dense* tree ("2 top-level directories and 3 sub-levels with 10
+//! directories and 2000 files per sub-level") and a *sparse* tree ("1
+//! top-level directory and 14 sub-levels of directories with 2
+//! subdirectories per level"). These generators reproduce the shapes at
+//! configurable scale.
+
+use crate::ctx::Ctx;
+use crate::scale::Scale;
+use fsapi::{FsResult, MkdirOpts, ProcHandle};
+
+/// Deterministic pseudo-random bytes (content for generated files).
+pub fn synth_data(seed: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+    while out.len() < len {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        out.extend_from_slice(&z.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Builds the dense tree under `root`; returns the top-level directory
+/// paths (for work partitioning) and the total file count.
+///
+/// Layout per the paper: `dense_top` top-level dirs; under each, a chain of
+/// `dense_levels` levels; each level holds `dense_dirs` directories (one of
+/// which continues the chain) and `dense_files` small files. Dense
+/// directories are distributed (they hold many entries — the case directory
+/// distribution targets, Figure 10).
+pub fn build_dense<P: ProcHandle>(
+    ctx: &Ctx<'_, P>,
+    root: &str,
+    s: &Scale,
+) -> FsResult<(Vec<String>, usize)> {
+    ctx.mkdir_p(root, MkdirOpts::DISTRIBUTED)?;
+    let mut tops = Vec::new();
+    let mut files = 0usize;
+    for t in 0..s.dense_top {
+        let top = format!("{root}/top{t}");
+        ctx.mkdir(&top, MkdirOpts::DISTRIBUTED)?;
+        let mut cur = top.clone();
+        for level in 0..s.dense_levels {
+            for d in 0..s.dense_dirs {
+                ctx.mkdir(&format!("{cur}/d{level}_{d}"), MkdirOpts::DISTRIBUTED)?;
+            }
+            for f in 0..s.dense_files {
+                ctx.put_file(&format!("{cur}/f{level}_{f}"), b"dense")?;
+                files += 1;
+            }
+            cur = format!("{cur}/d{level}_0");
+        }
+        tops.push(top);
+    }
+    Ok((tops, files))
+}
+
+/// Builds the sparse tree under `root`; returns the top-level directory.
+///
+/// A chain of `sparse_levels` levels with 2 subdirectories per level (one
+/// continuing the chain) and one small file per level. Sparse directories
+/// are centralized — the paper turns distribution *off* for them because
+/// broadcasting rmdir/readdir over near-empty directories only adds cost
+/// (Figure 10, `rm sparse` and `pfind sparse`).
+pub fn build_sparse<P: ProcHandle>(
+    ctx: &Ctx<'_, P>,
+    root: &str,
+    s: &Scale,
+) -> FsResult<String> {
+    ctx.mkdir_p(root, MkdirOpts::CENTRALIZED)?;
+    let top = format!("{root}/top");
+    ctx.mkdir(&top, MkdirOpts::CENTRALIZED)?;
+    let mut cur = top.clone();
+    for level in 0..s.sparse_levels {
+        ctx.mkdir(&format!("{cur}/a{level}"), MkdirOpts::CENTRALIZED)?;
+        ctx.mkdir(&format!("{cur}/b{level}"), MkdirOpts::CENTRALIZED)?;
+        ctx.put_file(&format!("{cur}/leaf{level}"), b"sparse")?;
+        cur = format!("{cur}/a{level}");
+    }
+    Ok(top)
+}
+
+/// Recursively removes `dir` (an `rm -r`): readdir, unlink files, recurse
+/// into directories, rmdir. Returns entries removed.
+pub fn remove_tree<P: ProcHandle>(ctx: &Ctx<'_, P>, dir: &str) -> FsResult<u64> {
+    let mut removed = 0u64;
+    for e in ctx.readdir(dir)? {
+        let path = fsapi::path::join(dir, &e.name);
+        if e.ftype.is_dir() {
+            removed += remove_tree(ctx, &path)?;
+        } else {
+            ctx.unlink(&path)?;
+            removed += 1;
+        }
+    }
+    ctx.rmdir(dir)?;
+    Ok(removed + 1)
+}
+
+/// Recursively walks `dir` (a `find`): readdir + stat every entry.
+/// Returns entries visited.
+pub fn walk_tree<P: ProcHandle>(ctx: &Ctx<'_, P>, dir: &str) -> FsResult<u64> {
+    let mut visited = 0u64;
+    for e in ctx.readdir(dir)? {
+        let path = fsapi::path::join(dir, &e.name);
+        ctx.stat(&path)?;
+        visited += 1;
+        if e.ftype.is_dir() {
+            visited += walk_tree(ctx, &path)?;
+        }
+    }
+    Ok(visited)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_data_is_deterministic() {
+        assert_eq!(synth_data(7, 100), synth_data(7, 100));
+        assert_ne!(synth_data(7, 100), synth_data(8, 100));
+        assert_eq!(synth_data(1, 13).len(), 13);
+    }
+}

@@ -1,0 +1,85 @@
+//! What "no cache coherence" actually means — and how Hare's protocol
+//! hides it.
+//!
+//! This example pokes at the simulated hardware directly (the `nccmem`
+//! substrate) and then shows the same scenario through Hare's POSIX API,
+//! where the close-to-open protocol makes it invisible.
+//!
+//! ```sh
+//! cargo run --example stale_cache
+//! ```
+
+use fsapi::{Mode, OpenFlags, ProcFs, ProcHandle, System};
+use hare::{HareConfig, HareSystem};
+use nccmem::{BlockId, Dram, PrivateCache};
+
+fn main() {
+    // ---- Layer 1: the raw hardware -------------------------------------
+    println!("== raw non-coherent hardware ==");
+    let dram = Dram::new(4);
+    let mut cache_a = PrivateCache::new(8); // core A's private cache
+    let mut cache_b = PrivateCache::new(8); // core B's private cache
+    let blk = BlockId(0);
+
+    // Both cores read the block: each now holds a private copy.
+    let mut buf = [0u8; 5];
+    cache_a.read(&dram, blk, 0, &mut buf);
+    cache_b.read(&dram, blk, 0, &mut buf);
+
+    // Core A writes. The write sits dirty in A's private cache.
+    cache_a.write(&dram, blk, 0, b"fresh");
+
+    // Core B still reads stale zeros: no hardware coherence.
+    cache_b.read(&dram, blk, 0, &mut buf);
+    println!("core B sees {buf:?} after core A wrote b\"fresh\" (stale!)");
+
+    // The software protocol: A writes back, B invalidates.
+    cache_a.writeback(&dram, blk);
+    cache_b.invalidate(blk);
+    cache_b.read(&dram, blk, 0, &mut buf);
+    println!(
+        "after write-back + invalidate, core B sees {:?}",
+        std::str::from_utf8(&buf).unwrap()
+    );
+
+    // ---- Layer 2: the same hardware behind Hare's POSIX API -------------
+    println!("\n== through Hare's close-to-open protocol ==");
+    let sys = HareSystem::start(HareConfig::timeshare(2));
+    let writer = sys.start_proc();
+
+    fsapi::write_file(&writer, "/shared.dat", b"version-1").unwrap();
+
+    // A reader process on the other core caches the file...
+    let join = writer
+        .spawn(Box::new(|reader: &hare::HareProc| {
+            let v1 = fsapi::read_to_vec(reader, "/shared.dat").unwrap();
+            println!("reader (core {}): {:?}", reader.core(), String::from_utf8_lossy(&v1));
+            0
+        }))
+        .unwrap();
+    join.wait();
+
+    // ...the writer rewrites it (write + close = write-back)...
+    let fd = writer
+        .open("/shared.dat", OpenFlags::WRONLY | OpenFlags::TRUNC, Mode::default())
+        .unwrap();
+    writer.write(fd, b"version-2").unwrap();
+    writer.close(fd).unwrap();
+
+    // ...and a fresh open on the other core (open = invalidate) is
+    // guaranteed to see the last close's data. No stale reads, ever —
+    // the client library ran the invalidate/write-back protocol for us.
+    let join = writer
+        .spawn(Box::new(|reader: &hare::HareProc| {
+            let v2 = fsapi::read_to_vec(reader, "/shared.dat").unwrap();
+            assert_eq!(v2, b"version-2");
+            println!("reader (core {}): {:?}", reader.core(), String::from_utf8_lossy(&v2));
+            0
+        }))
+        .unwrap();
+    join.wait();
+
+    drop(writer);
+    sys.shutdown();
+    println!("close-to-open consistency held.");
+}

@@ -1,0 +1,47 @@
+//! # hare — reproduction of *Hare: a file system for non-cache-coherent
+//! multicores* (EuroSys 2015)
+//!
+//! This facade crate re-exports the whole reproduction:
+//!
+//! * [`core`](hare_core) — the Hare file system: sharded file servers, the
+//!   client library, the close-to-open invalidate/write-back protocol over
+//!   a simulated non-coherent memory, the three-phase distributed `rmdir`,
+//!   hybrid shared file descriptors, and server-side pipes.
+//! * [`sched`](hare_sched) — scheduling servers, the remote execution
+//!   protocol with proxy processes and signal relay, and the
+//!   [`fsapi::System`] implementation ([`HareSystem`]).
+//! * [`baseline`](hare_baseline) — the paper's comparison systems: Linux
+//!   ramfs/tmpfs and the UNFS3 user-space NFS server.
+//! * [`workloads`](hare_workloads) — the 13 evaluation benchmarks.
+//! * [`nccmem`], [`vtime`], [`msg`] — the simulated hardware substrates:
+//!   non-coherent shared memory, per-core virtual clocks, atomic-delivery
+//!   message passing.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fsapi::{ProcFs, System, write_file, read_to_vec};
+//! use hare::{HareConfig, HareSystem};
+//!
+//! // A 4-core machine in the paper's timeshare configuration.
+//! let sys = HareSystem::start(HareConfig::timeshare(4));
+//! let proc0 = sys.start_proc();
+//! write_file(&proc0, "/hello", b"non-coherent world").unwrap();
+//! assert_eq!(read_to_vec(&proc0, "/hello").unwrap(), b"non-coherent world");
+//! drop(proc0);
+//! sys.shutdown();
+//! ```
+
+pub use fsapi;
+pub use hare_baseline as baseline;
+pub use hare_core as core;
+pub use hare_sched as sched;
+pub use hare_workloads as workloads;
+pub use msg;
+pub use nccmem;
+pub use vtime;
+
+pub use hare_baseline::HostSystem;
+pub use hare_core::{HareConfig, HareInstance, Placement, Techniques};
+pub use hare_sched::{HareProc, HareSystem};
+pub use hare_workloads::{Scale, Workload};

@@ -1,0 +1,141 @@
+//! Concurrency stress: many processes hammer one distributed directory
+//! with mixed namespace operations while others read; afterwards the
+//! namespace must exactly match the deterministic expectation.
+
+use fsapi::{read_to_vec, write_file, Errno, MkdirOpts, Mode, ProcFs, ProcHandle, System};
+use hare::{HareConfig, HareSystem};
+use std::collections::BTreeSet;
+
+#[test]
+fn mixed_namespace_storm_converges() {
+    let sys = HareSystem::start(HareConfig::timeshare(6));
+    let root = sys.start_proc();
+    root.mkdir_opts("/storm", Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+
+    // Each worker: create K files, rename half of them, delete a third,
+    // create and remove directories, all in the shared directory.
+    const WORKERS: usize = 6;
+    const K: usize = 30;
+    let mut joins = Vec::new();
+    for w in 0..WORKERS {
+        joins.push(
+            root.spawn(Box::new(move |p: &hare::HareProc| {
+                for i in 0..K {
+                    let f = format!("/storm/w{w}_f{i}");
+                    write_file(p, &f, format!("{w}:{i}").as_bytes()).unwrap();
+                    if i % 2 == 0 {
+                        p.rename(&f, &format!("/storm/w{w}_r{i}")).unwrap();
+                    }
+                    if i % 3 == 0 {
+                        let victim = if i % 2 == 0 {
+                            format!("/storm/w{w}_r{i}")
+                        } else {
+                            f.clone()
+                        };
+                        p.unlink(&victim).unwrap();
+                    }
+                    let d = format!("/storm/w{w}_d{i}");
+                    p.mkdir_opts(&d, Mode::default(), MkdirOpts::DISTRIBUTED)
+                        .unwrap();
+                    if i % 2 == 1 {
+                        p.rmdir(&d).unwrap();
+                    }
+                }
+                0
+            }))
+            .unwrap(),
+        );
+    }
+    // Concurrent readers listing the directory must never crash or see
+    // duplicate names (non-linearizable snapshots are allowed, paper §3.3).
+    for _ in 0..2 {
+        joins.push(
+            root.spawn(Box::new(|p: &hare::HareProc| {
+                for _ in 0..20 {
+                    let entries = p.readdir("/storm").unwrap();
+                    let names: BTreeSet<&str> =
+                        entries.iter().map(|e| e.name.as_str()).collect();
+                    assert_eq!(names.len(), entries.len(), "duplicate entries");
+                }
+                0
+            }))
+            .unwrap(),
+        );
+    }
+    for j in joins {
+        assert_eq!(j.wait(), 0);
+    }
+
+    // Deterministic expectation per worker.
+    let mut expect = BTreeSet::new();
+    for w in 0..WORKERS {
+        for i in 0..K {
+            let renamed = i % 2 == 0;
+            let deleted = i % 3 == 0;
+            if !deleted {
+                if renamed {
+                    expect.insert(format!("w{w}_r{i}"));
+                } else {
+                    expect.insert(format!("w{w}_f{i}"));
+                }
+            }
+            if i % 2 == 0 {
+                expect.insert(format!("w{w}_d{i}"));
+            }
+        }
+    }
+    let got: BTreeSet<String> = root
+        .readdir("/storm")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(got, expect);
+
+    // Surviving files still hold their contents.
+    for w in 0..WORKERS {
+        for i in (0..K).filter(|i| i % 3 != 0 && i % 2 == 1) {
+            let data = read_to_vec(&root, &format!("/storm/w{w}_f{i}")).unwrap();
+            assert_eq!(data, format!("{w}:{i}").as_bytes());
+        }
+    }
+    drop(root);
+    sys.shutdown();
+}
+
+#[test]
+fn storm_with_each_technique_disabled() {
+    for t in ["distribution", "broadcast", "direct_access", "dircache", "affinity"] {
+        let mut cfg = HareConfig::timeshare(4);
+        cfg.techniques = hare::Techniques::without(t);
+        let sys = HareSystem::start(cfg);
+        let root = sys.start_proc();
+        root.mkdir_opts("/mini", Mode::default(), MkdirOpts::DISTRIBUTED)
+            .unwrap();
+        let mut joins = Vec::new();
+        for w in 0..4 {
+            joins.push(
+                root.spawn(Box::new(move |p: &hare::HareProc| {
+                    for i in 0..10 {
+                        write_file(p, &format!("/mini/{w}_{i}"), b"x").unwrap();
+                    }
+                    0
+                }))
+                .unwrap(),
+            );
+        }
+        for j in joins {
+            assert_eq!(j.wait(), 0, "technique {t}");
+        }
+        assert_eq!(root.readdir("/mini").unwrap().len(), 40, "technique {t}");
+        assert_eq!(
+            root.stat("/mini/0_0").unwrap().size,
+            1,
+            "technique {t}"
+        );
+        assert_eq!(root.unlink("/mini/missing").unwrap_err(), Errno::ENOENT);
+        drop(root);
+        sys.shutdown();
+    }
+}

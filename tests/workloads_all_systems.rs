@@ -1,0 +1,118 @@
+//! Cross-system integration test: every paper workload runs to completion
+//! on every system (Hare, Linux ramfs, UNFS3) and produces sensible
+//! operation counts and virtual runtimes.
+
+use fsapi::System;
+use hare::{baseline::HostSystem, HareConfig, HareSystem, Scale, Workload};
+use hare_workloads as workloads;
+
+fn check<S: System>(sys: &S, wl: Workload, nprocs: usize) -> workloads::WorkloadResult {
+    let s = Scale::quick();
+    let r = workloads::run(sys, wl, nprocs, &s).unwrap_or_else(|e| {
+        panic!("workload {wl} failed: {e}");
+    });
+    assert!(r.ops > 0, "{wl}: no operations recorded");
+    assert!(r.cycles > 0, "{wl}: no virtual time consumed");
+    assert!(r.stats.total() > 0, "{wl}: no syscalls recorded");
+    r
+}
+
+#[test]
+fn all_workloads_on_hare() {
+    for wl in Workload::ALL {
+        let sys = HareSystem::start(HareConfig::timeshare(4));
+        check(&*sys, wl, 3);
+        sys.shutdown();
+    }
+}
+
+#[test]
+fn all_workloads_on_ramfs() {
+    for wl in Workload::ALL {
+        let sys = HostSystem::ramfs(4);
+        check(&*sys, wl, 3);
+        sys.shutdown();
+    }
+}
+
+#[test]
+fn all_workloads_on_unfs_single_core() {
+    // The paper runs UNFS3 single-core (Figure 8): NFS cannot share
+    // descriptors across processes, so multi-core runs of the shared-fd
+    // workloads are not meaningful (paper §2.2).
+    for wl in Workload::ALL {
+        let sys = HostSystem::unfs(2);
+        check(&*sys, wl, 1);
+        sys.shutdown();
+    }
+}
+
+#[test]
+fn hare_split_configuration_runs() {
+    for wl in [Workload::Creates, Workload::Mailbench, Workload::BuildLinux] {
+        let sys = HareSystem::start(HareConfig::split(4, 2));
+        check(&*sys, wl, 2);
+        sys.shutdown();
+    }
+}
+
+#[test]
+fn techniques_disabled_still_correct() {
+    // Every ablation configuration must stay functionally correct — the
+    // Figure 9 experiments only make sense if disabling a technique
+    // changes performance, not results.
+    for t in [
+        "distribution",
+        "broadcast",
+        "direct_access",
+        "dircache",
+        "affinity",
+    ] {
+        for wl in [
+            Workload::Creates,
+            Workload::Directories,
+            Workload::RmSparse,
+            Workload::Extract,
+            Workload::Mailbench,
+        ] {
+            let mut cfg = HareConfig::timeshare(4);
+            cfg.techniques = hare::Techniques::without(t);
+            let sys = HareSystem::start(cfg);
+            let s = Scale::quick();
+            workloads::run(&*sys, wl, 2, &s)
+                .unwrap_or_else(|e| panic!("{wl} with {t} disabled failed: {e}"));
+            sys.shutdown();
+        }
+    }
+}
+
+#[test]
+fn op_mix_differs_by_workload() {
+    // Figure 5's point: the benchmarks stress different operations.
+    let sys = HareSystem::start(HareConfig::timeshare(2));
+    let s = Scale::quick();
+    let creates = workloads::run(&*sys, Workload::Creates, 2, &s).unwrap();
+    sys.shutdown();
+
+    let sys = HareSystem::start(HareConfig::timeshare(2));
+    let renames = workloads::run(&*sys, Workload::Renames, 2, &s).unwrap();
+    sys.shutdown();
+
+    use hare_workloads::OpKind;
+    assert!(creates.stats.get(OpKind::Creat) > creates.stats.get(OpKind::Rename));
+    assert!(renames.stats.get(OpKind::Rename) > 0);
+    assert!(
+        renames.stats.get(OpKind::Rename) > renames.stats.get(OpKind::Creat),
+        "renames workload must be rename-dominated"
+    );
+}
+
+#[test]
+fn throughput_is_finite_and_positive() {
+    let sys = HareSystem::start(HareConfig::timeshare(2));
+    let r = workloads::run(&*sys, Workload::Creates, 2, &Scale::quick()).unwrap();
+    assert!(r.throughput() > 0.0);
+    assert!(r.throughput().is_finite());
+    assert!(r.virtual_secs() > 0.0);
+    sys.shutdown();
+}
