@@ -15,15 +15,21 @@
 //! | Direct cache access | 0.98 | 1.18 | 1.01 | 2.39 |
 //! | Directory cache | 0.87 | 1.44 | 1.42 | 2.42 |
 //! | Creation affinity | 0.96 | 1.02 | 1.00 | 1.16 |
+//!
+//! Two further rows ablate this reproduction's own hot-path extensions
+//! (no paper counterpart): the coalesced lookup+open RPC and the negative
+//! dentry cache.
 
 use hare_workloads::Workload;
 
-const TECHNIQUES: [(&str, &str); 5] = [
+const TECHNIQUES: [(&str, &str); 7] = [
     ("distribution", "Directory distribution"),
     ("broadcast", "Directory broadcast"),
     ("direct_access", "Direct cache access"),
     ("dircache", "Directory cache"),
     ("affinity", "Creation affinity"),
+    ("coalesced_open", "Coalesced lookup+open"),
+    ("neg_dircache", "Negative dentry cache"),
 ];
 
 fn main() {

@@ -1,0 +1,155 @@
+//! `micro_open`: RPCs-per-open and virtual cycles-per-op for the
+//! open-existing hot path and the ENOENT probe path, per technique
+//! configuration.
+//!
+//! This is the measurement harness for the two hot-path extensions
+//! (`coalesced_open`, `neg_dircache`): it reports how many messages and
+//! virtual cycles one cold-cache `open()` of an existing file costs, and
+//! what a repeated failing lookup (the `O_CREAT` probe idiom) costs, with
+//! each technique on and off. Results are printed as a table and written
+//! to `BENCH_micro_open.json` so the repository keeps a measured
+//! trajectory of the open path across PRs.
+
+use fsapi::{Errno, MkdirOpts, Mode, OpenFlags, ProcFs};
+use hare_core::{HareConfig, HareInstance, Techniques};
+
+/// One configuration's measurements.
+struct Row {
+    name: &'static str,
+    open_rpcs: f64,
+    open_cycles: f64,
+    probe_rpcs: f64,
+    probe_cycles: f64,
+}
+
+/// Iterations scaled by `HARE_SCALE` (quick for CI smoke, bench for real
+/// numbers).
+fn iters() -> (usize, usize) {
+    match std::env::var("HARE_SCALE").as_deref() {
+        Ok("quick") => (4, 64),
+        _ => (16, 512),
+    }
+}
+
+fn measure(name: &'static str, techniques: Techniques, cores: usize) -> Row {
+    let (rounds, probes) = iters();
+    let nfiles = 16usize;
+    let mut cfg = HareConfig::timeshare(cores);
+    cfg.techniques = techniques;
+    let inst = HareInstance::start(cfg);
+
+    let setup = inst.new_client(0).unwrap();
+    fsapi::mkdir_p(&setup, "/open/bench", MkdirOpts::default()).unwrap();
+    for i in 0..nfiles {
+        fsapi::write_file(&setup, &format!("/open/bench/f{i}"), b"x").unwrap();
+    }
+    drop(setup);
+
+    // Open-existing, cold cache: a fresh client per round so every open
+    // resolves every component with real RPCs.
+    let mut open_sends = 0u64;
+    let mut open_cycles = 0u64;
+    let nopens = (rounds * nfiles) as f64;
+    for _ in 0..rounds {
+        let c = inst.new_client(0).unwrap();
+        for i in 0..nfiles {
+            let path = format!("/open/bench/f{i}");
+            let s0 = inst.machine().msg_stats.sends();
+            let t0 = c.vnow();
+            let fd = c.open(&path, OpenFlags::RDONLY, Mode::default()).unwrap();
+            open_sends += inst.machine().msg_stats.sends() - s0;
+            open_cycles += c.vnow() - t0;
+            c.close(fd).unwrap();
+        }
+        drop(c);
+    }
+
+    // ENOENT probes: one client re-asking about the same absent name (the
+    // negative cache answers every probe after the first locally).
+    let c = inst.new_client(0).unwrap();
+    assert_eq!(
+        c.stat("/open/bench/missing").unwrap_err(),
+        Errno::ENOENT,
+        "warm the negative entry"
+    );
+    let s0 = inst.machine().msg_stats.sends();
+    let t0 = c.vnow();
+    for _ in 0..probes {
+        assert_eq!(c.stat("/open/bench/missing").unwrap_err(), Errno::ENOENT);
+    }
+    let probe_sends = inst.machine().msg_stats.sends() - s0;
+    let probe_cycles = c.vnow() - t0;
+    drop(c);
+    inst.shutdown();
+
+    Row {
+        name,
+        // Two sends per RPC (request + reply).
+        open_rpcs: open_sends as f64 / 2.0 / nopens,
+        open_cycles: open_cycles as f64 / nopens,
+        probe_rpcs: probe_sends as f64 / 2.0 / probes as f64,
+        probe_cycles: probe_cycles as f64 / probes as f64,
+    }
+}
+
+fn main() {
+    let cores = hare_bench::max_cores().min(8);
+    let rows = [
+        measure("all", Techniques::default(), cores),
+        measure("no coalesced_open", Techniques::without("coalesced_open"), cores),
+        measure("no neg_dircache", Techniques::without("neg_dircache"), cores),
+        measure("no dircache", Techniques::without("dircache"), cores),
+    ];
+
+    println!("micro_open: open-existing and ENOENT-probe hot paths ({cores} cores timeshare)\n");
+    let mut t = hare_bench::Table::new(&[
+        "configuration",
+        "open RPCs/op",
+        "open cycles/op",
+        "probe RPCs/op",
+        "probe cycles/op",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.name.to_string(),
+            format!("{:.2}", r.open_rpcs),
+            format!("{:.0}", r.open_cycles),
+            format!("{:.2}", r.probe_rpcs),
+            format!("{:.0}", r.probe_cycles),
+        ]);
+    }
+    t.print();
+
+    // Machine-readable trajectory point for the repository.
+    let mut json = String::from("{\n  \"bench\": \"micro_open\",\n");
+    json.push_str(&format!("  \"cores\": {cores},\n  \"configs\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"open_rpcs_per_op\": {:.3}, \"open_cycles_per_op\": {:.1}, \
+             \"probe_rpcs_per_op\": {:.3}, \"probe_cycles_per_op\": {:.1}}}{}\n",
+            r.name,
+            r.open_rpcs,
+            r.open_cycles,
+            r.probe_rpcs,
+            r.probe_cycles,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_micro_open.json", &json).expect("write BENCH_micro_open.json");
+    println!("\nwrote BENCH_micro_open.json");
+
+    // The whole point of the fast path: strictly fewer RPCs per open.
+    assert!(
+        rows[0].open_rpcs < rows[1].open_rpcs,
+        "coalesced open must save RPCs ({:.2} vs {:.2})",
+        rows[0].open_rpcs,
+        rows[1].open_rpcs
+    );
+    assert!(
+        rows[0].probe_rpcs < rows[2].probe_rpcs,
+        "negative cache must save probe RPCs ({:.2} vs {:.2})",
+        rows[0].probe_rpcs,
+        rows[2].probe_rpcs
+    );
+}

@@ -7,6 +7,17 @@
 //! sent before the current lookup began is guaranteed to be applied — the
 //! "check the invalidation queue first" discipline that lets servers
 //! proceed without acknowledgments.
+//!
+//! Two properties beyond the paper's cache:
+//!
+//! * **Negative entries**: an ENOENT lookup result is cached as
+//!   [`Cached::Neg`]. Servers track misses exactly like hits, so the
+//!   ADD_MAP that later creates the name invalidates the negative entry
+//!   with the same queue-drain soundness argument. `O_CREAT` probes and
+//!   repeated failing lookups then cost zero RPCs.
+//! * **Allocation-free hits**: entries are keyed `dir → name`, with names
+//!   stored as `Box<str>`, so a hit probes two maps with borrowed `&str`
+//!   keys instead of building a fresh `(InodeId, String)` tuple per lookup.
 
 use crate::proto::Invalidation;
 use crate::types::InodeId;
@@ -24,9 +35,18 @@ pub struct CachedDentry {
     pub dist: bool,
 }
 
+/// One cache slot: a known mapping or a known absence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cached {
+    /// The name resolves to this entry.
+    Pos(CachedDentry),
+    /// The name is known absent (a cached ENOENT).
+    Neg,
+}
+
 /// The lookup cache plus its invalidation queue.
 pub struct DirCache {
-    entries: HashMap<(InodeId, String), CachedDentry>,
+    entries: HashMap<InodeId, HashMap<Box<str>, Cached>>,
     inval_rx: msg::Receiver<Invalidation>,
     hits: u64,
     misses: u64,
@@ -50,18 +70,33 @@ impl DirCache {
     pub fn process_invals(&mut self) -> usize {
         let mut n = 0;
         while let Ok(env) = self.inval_rx.try_recv() {
-            self.entries.remove(&(env.payload.dir, env.payload.name));
+            self.remove_slot(env.payload.dir, &env.payload.name);
             n += 1;
         }
         self.invalidations += n as u64;
         n
     }
 
+    /// Drops one slot, pruning the per-directory map when it empties.
+    fn remove_slot(&mut self, dir: InodeId, name: &str) {
+        if let Some(names) = self.entries.get_mut(&dir) {
+            names.remove(name);
+            if names.is_empty() {
+                self.entries.remove(&dir);
+            }
+        }
+    }
+
     /// Looks up `(dir, name)`, processing pending invalidations first.
-    /// Returns the entry and the number of invalidations drained.
-    pub fn lookup(&mut self, dir: InodeId, name: &str) -> (Option<CachedDentry>, usize) {
+    /// Returns the slot (positive or negative) and the number of
+    /// invalidations drained. The probe borrows `name` — no allocation.
+    pub fn lookup(&mut self, dir: InodeId, name: &str) -> (Option<Cached>, usize) {
         let drained = self.process_invals();
-        let hit = self.entries.get(&(dir, name.to_string())).copied();
+        let hit = self
+            .entries
+            .get(&dir)
+            .and_then(|names| names.get(name))
+            .copied();
         if hit.is_some() {
             self.hits += 1;
         } else {
@@ -70,25 +105,38 @@ impl DirCache {
         (hit, drained)
     }
 
-    /// Records a lookup result.
+    /// Records a positive lookup result.
     pub fn insert(&mut self, dir: InodeId, name: &str, val: CachedDentry) {
-        self.entries.insert((dir, name.to_string()), val);
+        self.entries
+            .entry(dir)
+            .or_default()
+            .insert(Box::from(name), Cached::Pos(val));
+    }
+
+    /// Records a negative lookup result (the server answered ENOENT and
+    /// tracked this client for the eventual creation's invalidation).
+    pub fn insert_negative(&mut self, dir: InodeId, name: &str) {
+        self.entries
+            .entry(dir)
+            .or_default()
+            .insert(Box::from(name), Cached::Neg);
     }
 
     /// Drops an entry the local client knows is stale (it mutated the name
     /// itself; servers do not echo invalidations to the mutator).
     pub fn remove(&mut self, dir: InodeId, name: &str) {
-        self.entries.remove(&(dir, name.to_string()));
+        self.remove_slot(dir, name);
     }
 
-    /// `(hits, misses, invalidations)` counters.
+    /// `(hits, misses, invalidations)` counters. Negative hits count as
+    /// hits: they elide an RPC exactly like positive ones.
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.hits, self.misses, self.invalidations)
     }
 
-    /// Number of cached entries.
+    /// Number of cached entries (positive and negative).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.values().map(|names| names.len()).sum()
     }
 
     /// True when nothing is cached.
@@ -114,12 +162,19 @@ mod tests {
         }
     }
 
+    fn pos(c: Option<Cached>) -> Option<CachedDentry> {
+        match c {
+            Some(Cached::Pos(v)) => Some(v),
+            _ => None,
+        }
+    }
+
     #[test]
     fn hit_after_insert() {
         let (_tx, mut c) = cache();
         c.insert(InodeId::ROOT, "a", entry(5));
         let (hit, _) = c.lookup(InodeId::ROOT, "a");
-        assert_eq!(hit.unwrap().target.num, 5);
+        assert_eq!(pos(hit).unwrap().target.num, 5);
         assert_eq!(c.stats().0, 1);
     }
 
@@ -145,6 +200,43 @@ mod tests {
     }
 
     #[test]
+    fn negative_entry_hit_and_removal() {
+        let (_tx, mut c) = cache();
+        c.insert_negative(InodeId::ROOT, "ghost");
+        let (hit, _) = c.lookup(InodeId::ROOT, "ghost");
+        assert_eq!(hit, Some(Cached::Neg));
+        assert_eq!(c.stats().0, 1, "negative hits count as hits");
+        // The local client creating the name replaces the negative slot.
+        c.insert(InodeId::ROOT, "ghost", entry(9));
+        let (hit, _) = c.lookup(InodeId::ROOT, "ghost");
+        assert_eq!(pos(hit).unwrap().target.num, 9);
+    }
+
+    #[test]
+    fn negative_entry_invalidated_by_racing_create() {
+        // Mirror of queued_invalidation_applied_before_lookup for negative
+        // entries: a create on another client races with our cached miss.
+        let (tx, mut c) = cache();
+        c.insert_negative(InodeId::ROOT, "newfile");
+        // The creating client's ADD_MAP invalidates trackers of the miss;
+        // the message is in our queue before the creator proceeds.
+        tx.send(
+            Invalidation {
+                dir: InodeId::ROOT,
+                name: "newfile".into(),
+            },
+            0,
+            0,
+        )
+        .unwrap();
+        // The very next lookup must miss (and re-resolve at the server),
+        // never report the stale ENOENT.
+        let (hit, drained) = c.lookup(InodeId::ROOT, "newfile");
+        assert!(hit.is_none(), "stale negative entry must be dropped");
+        assert_eq!(drained, 1);
+    }
+
+    #[test]
     fn invalidation_of_uncached_name_is_harmless() {
         let (tx, mut c) = cache();
         tx.send(
@@ -166,5 +258,16 @@ mod tests {
         c.insert(InodeId::ROOT, "a", entry(5));
         c.remove(InodeId::ROOT, "a");
         assert!(c.lookup(InodeId::ROOT, "a").0.is_none());
+        assert!(c.is_empty(), "empty per-directory maps are pruned");
+    }
+
+    #[test]
+    fn len_spans_directories_and_polarities() {
+        let (_tx, mut c) = cache();
+        let sub = InodeId { server: 1, num: 7 };
+        c.insert(InodeId::ROOT, "a", entry(1));
+        c.insert_negative(InodeId::ROOT, "b");
+        c.insert(sub, "a", entry(2));
+        assert_eq!(c.len(), 3);
     }
 }

@@ -89,7 +89,10 @@ impl ClientLib {
                     Ok(n)
                 } else {
                     // Ablation: all data moves through the file server.
+                    // Drop the state lock before the RPC, like every other
+                    // server-mediated branch.
                     let (ino, fdid) = (entry.ino, entry.fdid);
+                    drop(st);
                     let (data, _eof) = expect_reply!(
                         self.call(
                             ino.server,
@@ -101,10 +104,17 @@ impl ClientLib {
                         ),
                         Reply::Data { data, _eof } => (data, _eof)
                     )?;
+                    let mut st = self.state.lock();
                     let entry = st.fds.get_mut(num)?;
-                    entry.mode = FdMode::Local {
-                        offset: offset + data.len() as u64,
-                    };
+                    // The descriptor may have been shared (dup/export)
+                    // while the lock was dropped: only advance a still-
+                    // local offset.
+                    if let FdMode::Local { .. } = entry.mode {
+                        entry.mode = FdMode::Local {
+                            offset: offset + data.len() as u64,
+                        };
+                    }
+                    drop(st);
                     self.charge(data.len() as u64 / 32);
                     buf[..data.len()].copy_from_slice(&data);
                     Ok(data.len())
@@ -189,7 +199,10 @@ impl ClientLib {
                         ino.server,
                         Request::PipeWrite {
                             fd: fdid,
-                            data: buf.to_vec(),
+                            // One copy into a shared buffer; the msg layer
+                            // and any parking at the server then clone the
+                            // Arc, not the bytes.
+                            data: std::sync::Arc::from(buf),
                         },
                     ),
                     Reply::Written { n } => n
@@ -200,15 +213,22 @@ impl ClientLib {
                 let start = if append { entry.size } else { offset };
                 if self.params.techniques.direct_access {
                     self.write_local(num, &mut st, start, buf)?;
+                    let entry = st.fds.get_mut(num)?;
+                    entry.mode = FdMode::Local {
+                        offset: start + buf.len() as u64,
+                    };
                 } else {
+                    // Ablation: write through the server, releasing the
+                    // state lock for the duration of the RPC.
                     let (ino, fdid) = (entry.ino, entry.fdid);
+                    drop(st);
                     let n = expect_reply!(
                         self.call(
                             ino.server,
                             Request::WriteData {
                                 fd: fdid,
                                 offset: start,
-                                data: buf.to_vec(),
+                                data: std::sync::Arc::from(buf),
                                 append: false,
                             },
                         ),
@@ -216,14 +236,18 @@ impl ClientLib {
                     )?;
                     debug_assert_eq!(n as usize, buf.len());
                     self.charge(buf.len() as u64 / 32);
+                    let mut st = self.state.lock();
                     let entry = st.fds.get_mut(num)?;
                     entry.size = entry.size.max(start + buf.len() as u64);
                     entry.wrote = true;
+                    // As in read: don't clobber a descriptor that went
+                    // shared while the lock was dropped.
+                    if let FdMode::Local { .. } = entry.mode {
+                        entry.mode = FdMode::Local {
+                            offset: start + buf.len() as u64,
+                        };
+                    }
                 }
-                let entry = st.fds.get_mut(num)?;
-                entry.mode = FdMode::Local {
-                    offset: start + buf.len() as u64,
-                };
                 Ok(buf.len())
             }
             (_, FdMode::Shared) => {
@@ -596,6 +620,7 @@ impl ClientLib {
         }
         let first_bi = offset as usize / BLOCK_SIZE;
         let mut filled = 0usize;
+        let mut transfers = 0u64;
         while filled < len {
             let pos = offset as usize + filled;
             let (bi, bo) = (pos / BLOCK_SIZE - first_bi, pos % BLOCK_SIZE);
@@ -606,8 +631,11 @@ impl ClientLib {
                 buf[filled..filled + chunk].fill(0);
             }
             filled += chunk;
-            self.charge(self.machine.cost.dram_direct_blk);
+            transfers += 1;
         }
+        // One aggregated charge for the whole transfer instead of one
+        // atomic clock bump per block.
+        self.charge(self.machine.cost.dram_direct_blk * transfers);
         // This core's private cache may hold stale copies of these blocks
         // from before the descriptor was shared: drop them.
         self.machine.with_cache(self.params.core, |cache, _| {
@@ -623,6 +651,7 @@ impl ClientLib {
         }
         let first_bi = offset as usize / BLOCK_SIZE;
         let mut written = 0usize;
+        let mut transfers = 0u64;
         while written < data.len() {
             let pos = offset as usize + written;
             let (bi, bo) = (pos / BLOCK_SIZE - first_bi, pos % BLOCK_SIZE);
@@ -632,8 +661,10 @@ impl ClientLib {
                 .dram
                 .write(blocks[bi], bo, &data[written..written + chunk]);
             written += chunk;
-            self.charge(self.machine.cost.dram_direct_blk);
+            transfers += 1;
         }
+        // Aggregated, as in `copy_from_dram`.
+        self.charge(self.machine.cost.dram_direct_blk * transfers);
         self.machine.with_cache(self.params.core, |cache, _| {
             cache.invalidate_all(blocks.iter().copied())
         });

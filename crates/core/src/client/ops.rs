@@ -1,7 +1,7 @@
 //! Namespace operations: open/create, unlink, mkdir, rmdir, rename,
 //! readdir, stat.
 
-use super::dircache::CachedDentry;
+use super::dircache::{Cached, CachedDentry};
 use super::fd::{FdEntry, FdMode};
 use super::resolve::DirRef;
 use super::{expect_reply, ClientLib, ClientState};
@@ -18,22 +18,124 @@ impl ClientLib {
         let mut st = self.state.lock();
         let (dir, name) = self.resolve_parent(&mut st, path)?;
 
-        match self.lookup_child(&mut st, dir, name) {
-            Ok(d) => {
-                if flags.contains(OpenFlags::CREAT) && flags.contains(OpenFlags::EXCL) {
-                    return Err(Errno::EEXIST);
+        // The coalesced fast path resolves the final component and opens
+        // the target in one RPC when possible.
+        let excl = flags.contains(OpenFlags::CREAT) && flags.contains(OpenFlags::EXCL);
+        let existing = if self.params.techniques.coalesced_open {
+            if excl {
+                // O_CREAT|O_EXCL expects the name absent: when the create
+                // would be coalesced (inode placed at the dentry shard),
+                // skip the lookup probe RPC and let the create's atomic
+                // existence check answer instead — the maildir delivery
+                // pattern, where every spool name is fresh. A cross-server
+                // create failing EEXIST would churn an orphan inode
+                // (Create + AddMap + CloseFd + LinkDecref), so in that
+                // placement keep the probe-first path. The directory cache
+                // short-circuits names known present either way.
+                match self.consult_dircache(&mut st, dir.ino, name) {
+                    Some(Cached::Pos(_)) => return Err(Errno::EEXIST),
+                    // Known absent: go straight to the create.
+                    Some(Cached::Neg) => Err(Errno::ENOENT),
+                    None => {
+                        let shard = self.shard_of(dir.ino, dir.dist, name);
+                        if self.inode_server_for_create(shard) == shard {
+                            Err(Errno::ENOENT)
+                        } else {
+                            match self.lookup_child_uncached(&mut st, dir, name) {
+                                Ok(_) => return Err(Errno::EEXIST),
+                                Err(e) => Err(e),
+                            }
+                        }
+                    }
                 }
-                self.open_existing(&mut st, d, flags)
+            } else {
+                self.lookup_open_fast(&mut st, dir, name, flags)
             }
+        } else {
+            match self.lookup_child(&mut st, dir, name) {
+                Ok(d) => {
+                    if excl {
+                        return Err(Errno::EEXIST);
+                    }
+                    self.open_existing(&mut st, d, flags)
+                }
+                Err(e) => Err(e),
+            }
+        };
+        match existing {
             Err(Errno::ENOENT) if flags.contains(OpenFlags::CREAT) => {
                 match self.create_file(&mut st, dir, name, flags, mode) {
-                    Err(Errno::EEXIST) => {
+                    Err(Errno::EEXIST) if !excl => {
                         // Lost a create race: open the winner's file.
                         let d = self.lookup_child(&mut st, dir, name)?;
                         self.open_existing(&mut st, d, flags)
                     }
+                    Err(Errno::EEXIST) => {
+                        // Probe-elided O_EXCL hit an existing name (a
+                        // lock-file retry loop, not fresh maildir spool).
+                        // Cache the winner's entry so every further retry
+                        // is answered locally until the holder's unlink
+                        // invalidates it.
+                        if self.params.techniques.dircache {
+                            let _ = self.lookup_child(&mut st, dir, name);
+                        }
+                        Err(Errno::EEXIST)
+                    }
                     other => other,
                 }
+            }
+            other => other,
+        }
+    }
+
+    /// Opens an existing file via the coalesced `LookupOpen` RPC (extends
+    /// §3.6.3 coalescing to open-existing): one round trip to the dentry
+    /// shard resolves the name and — when the inode lives there too, the
+    /// common case under creation affinity §3.6.4 — opens the descriptor.
+    /// Falls back to a separate `OpenInode` for remote inodes.
+    fn lookup_open_fast(
+        &self,
+        st: &mut ClientState,
+        dir: DirRef,
+        name: &str,
+        flags: OpenFlags,
+    ) -> FsResult<u32> {
+        match self.consult_dircache(st, dir.ino, name) {
+            // Cached dentry: go straight to the inode server.
+            Some(Cached::Pos(d)) => return self.open_existing(st, d, flags),
+            Some(Cached::Neg) => return Err(Errno::ENOENT),
+            None => {}
+        }
+        let shard = self.shard_of(dir.ino, dir.dist, name);
+        let got = expect_reply!(
+            self.call(
+                shard,
+                Request::LookupOpen {
+                    client: self.params.id,
+                    dir: dir.ino,
+                    name: name.to_string(),
+                    flags,
+                },
+            ),
+            Reply::LookupOpened { target, ftype, dist, open } =>
+                (CachedDentry { target, ftype, dist }, open)
+        );
+        match got {
+            Ok((d, open)) => {
+                if self.params.techniques.dircache {
+                    st.dircache.insert(dir.ino, name, d);
+                }
+                match open {
+                    Some(o) => self.install_fd(st, d.target, o, flags),
+                    // Remote inode (or non-file): complete with the
+                    // two-RPC path; `open_existing` raises EISDIR for
+                    // directories.
+                    None => self.open_existing(st, d, flags),
+                }
+            }
+            Err(Errno::ENOENT) => {
+                self.cache_negative(st, dir.ino, name);
+                Err(Errno::ENOENT)
             }
             Err(e) => Err(e),
         }

@@ -4,7 +4,7 @@
 //! directory server in turn: `lookup(dir, name) -> (server, inode)`"
 //! (paper §3.6.1). Results are cached; servers invalidate stale entries.
 
-use super::dircache::CachedDentry;
+use super::dircache::{Cached, CachedDentry};
 use super::{expect_reply, ClientLib, ClientState};
 use crate::proto::{Reply, Request};
 use crate::types::InodeId;
@@ -29,21 +29,59 @@ impl ClientLib {
         }
     }
 
+    /// Consults the directory cache for `(dir, name)`, charging the hit
+    /// cost plus invalidation-drain work. `None` when the cache is
+    /// disabled or has no slot for the name.
+    pub(crate) fn consult_dircache(
+        &self,
+        st: &mut ClientState,
+        dir: InodeId,
+        name: &str,
+    ) -> Option<Cached> {
+        if !self.params.techniques.dircache {
+            return None;
+        }
+        let (hit, drained) = st.dircache.lookup(dir, name);
+        self.charge(self.machine.cost.dircache_hit + drained as u64 * 50);
+        hit
+    }
+
+    /// Records an ENOENT result as a negative dentry, when the technique
+    /// is enabled. The single gate for every ENOENT-caching path.
+    pub(crate) fn cache_negative(&self, st: &mut ClientState, dir: InodeId, name: &str) {
+        if self.params.techniques.dircache && self.params.techniques.neg_dircache {
+            st.dircache.insert_negative(dir, name);
+        }
+    }
+
     /// Resolves one component inside `dir`, consulting the lookup cache
-    /// first (when the technique is enabled).
+    /// first (when the technique is enabled). Misses are cached negatively
+    /// (when `neg_dircache` is enabled) so repeated probes of absent names
+    /// cost no RPC; the server tracks the miss and invalidates the
+    /// negative entry when the name is created.
     pub(crate) fn lookup_child(
         &self,
         st: &mut ClientState,
         dir: DirRef,
         name: &str,
     ) -> FsResult<CachedDentry> {
-        if self.params.techniques.dircache {
-            let (hit, drained) = st.dircache.lookup(dir.ino, name);
-            self.charge(self.machine.cost.dircache_hit + drained as u64 * 50);
-            if let Some(v) = hit {
-                return Ok(v);
-            }
+        match self.consult_dircache(st, dir.ino, name) {
+            Some(Cached::Pos(v)) => return Ok(v),
+            Some(Cached::Neg) => return Err(Errno::ENOENT),
+            None => {}
         }
+        self.lookup_child_uncached(st, dir, name)
+    }
+
+    /// The RPC half of [`Self::lookup_child`]: resolves at the dentry
+    /// shard and updates the cache, without consulting it first (for
+    /// callers that already did).
+    pub(crate) fn lookup_child_uncached(
+        &self,
+        st: &mut ClientState,
+        dir: DirRef,
+        name: &str,
+    ) -> FsResult<CachedDentry> {
         let server = self.shard_of(dir.ino, dir.dist, name);
         let got = expect_reply!(
             self.call(
@@ -55,11 +93,20 @@ impl ClientLib {
                 },
             ),
             Reply::Lookup { target, ftype, dist } => CachedDentry { target, ftype, dist }
-        )?;
-        if self.params.techniques.dircache {
-            st.dircache.insert(dir.ino, name, got);
+        );
+        match got {
+            Ok(v) => {
+                if self.params.techniques.dircache {
+                    st.dircache.insert(dir.ino, name, v);
+                }
+                Ok(v)
+            }
+            Err(Errno::ENOENT) => {
+                self.cache_negative(st, dir.ino, name);
+                Err(Errno::ENOENT)
+            }
+            Err(e) => Err(e),
         }
-        Ok(got)
     }
 
     /// Resolves a component list to a directory.

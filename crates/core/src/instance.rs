@@ -46,6 +46,9 @@ impl HareInstance {
                     partition_len: per_server,
                     root_distributed: cfg.root_distributed && cfg.techniques.distribution,
                     pipe_capacity: cfg.pipe_capacity,
+                    // Normalized: negative caching is meaningless (and
+                    // would leak invalidations) without the dircache.
+                    neg_dircache: cfg.techniques.neg_dircache && cfg.techniques.dircache,
                 },
             );
             threads.push(

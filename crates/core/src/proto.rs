@@ -9,10 +9,23 @@
 //! Several requests are *coalesced* forms: [`Request::Create`] performs
 //! inode creation, directory-entry insertion, and descriptor open in one
 //! message when the dentry and inode land on the same server
-//! (message coalescing, paper §3.6.3).
+//! (message coalescing, paper §3.6.3). [`Request::LookupOpen`] extends the
+//! same idea to the open-existing path: it resolves the final pathname
+//! component at the dentry shard and, when the target inode happens to live
+//! on that same server (the common case under creation affinity §3.6.4),
+//! opens a descriptor in the same round trip. The reply always carries the
+//! lookup result; `open` is `None` when the inode is remote (the client
+//! falls back to a separate [`Request::OpenInode`]) or the target is not a
+//! regular file.
+//!
+//! Bulk payloads ([`Request::WriteData`], [`Request::PipeWrite`],
+//! [`Reply::Data`]) travel as `Arc<[u8]>` so the msg layer, parked pipe
+//! operations, and reply clones share one buffer instead of copying it at
+//! every hop.
 
 use crate::types::{ClientId, FdId, InodeId};
 use fsapi::{DirEntry, Errno, FileType, Mode, OpenFlags, Stat, Whence};
+use std::sync::Arc;
 
 /// A directory-cache invalidation callback, sent by a server to every client
 /// that has `(dir, name)` cached (paper §3.6.1). Thanks to atomic message
@@ -97,6 +110,22 @@ pub enum Request {
         /// `unlink` sets this so directories are rejected with `EISDIR`;
         /// `rmdir`/`rename` cleanup clears it.
         must_be_file: bool,
+    },
+    /// Coalesced `lookup` + `open` of the final pathname component
+    /// (extends §3.6.3 message coalescing to the open-existing path). The
+    /// server resolves `(dir, name)` and, when the target is a regular file
+    /// whose inode it also stores, opens a descriptor in the same message.
+    /// Misses are tracked like [`Request::Lookup`] so negative cache
+    /// entries receive invalidations.
+    LookupOpen {
+        /// Requesting client (tracked for invalidation).
+        client: ClientId,
+        /// Parent directory inode.
+        dir: InodeId,
+        /// Entry name.
+        name: String,
+        /// Open flags for the coalesced open (handles `O_TRUNC`).
+        flags: OpenFlags,
     },
     /// Lists this server's shard of a directory (`readdir` fan-out,
     /// paper §3.6.2).
@@ -254,8 +283,8 @@ pub enum Request {
         fd: FdId,
         /// Absolute file offset (ignored with `append`).
         offset: u64,
-        /// Bytes to write.
-        data: Vec<u8>,
+        /// Bytes to write (shared, so retries and parking never copy).
+        data: Arc<[u8]>,
         /// Append at end of file.
         append: bool,
     },
@@ -291,8 +320,8 @@ pub enum Request {
     PipeWrite {
         /// Write-end descriptor.
         fd: FdId,
-        /// Bytes to write.
-        data: Vec<u8>,
+        /// Bytes to write (shared, so a parked write holds no copy).
+        data: Arc<[u8]>,
     },
 
     /// Stops the server loop (machine shutdown).
@@ -337,6 +366,19 @@ pub enum Reply {
         ftype: FileType,
         /// Distribution flag for directory targets.
         dist: bool,
+    },
+    /// Coalesced lookup+open result. `open` is present only when the
+    /// target was a regular file stored on the answering server; otherwise
+    /// the client completes the open with a separate [`Request::OpenInode`].
+    LookupOpened {
+        /// Target inode.
+        target: InodeId,
+        /// Target type.
+        ftype: FileType,
+        /// Distribution flag for directory targets.
+        dist: bool,
+        /// The coalesced open, when the inode was local.
+        open: Option<OpenResult>,
     },
     /// ADD_MAP done; carries the replaced target for rename cleanup.
     AddMapped {
@@ -399,10 +441,12 @@ pub enum Reply {
         /// Current size.
         size: u64,
     },
-    /// Inline data (server-mediated reads, pipe reads).
+    /// Inline data (server-mediated reads, pipe reads). The buffer is
+    /// shared: cloning the reply (or re-delivering a parked one) does not
+    /// copy the payload.
     Data {
         /// The bytes read.
-        data: Vec<u8>,
+        data: Arc<[u8]>,
         /// For pipe reads: false once all writers closed and the buffer
         /// drained (EOF).
         _eof: bool,
@@ -456,6 +500,9 @@ pub fn base_service_cost(req: &Request) -> u64 {
     match req {
         Request::Register { .. } | Request::Unregister { .. } => 200,
         Request::Lookup { .. } => 600,
+        // The lookup half; the handler adds the open half only when it
+        // actually coalesces (local regular-file target).
+        Request::LookupOpen { .. } => 600,
         Request::AddMap { .. } => 1211,
         Request::RmMap { .. } => 756,
         Request::ListShard { .. } => 400,

@@ -31,8 +31,10 @@ pub struct DentryVal {
 pub struct DentryShard {
     /// dir → name → value.
     dirs: HashMap<InodeId, HashMap<String, DentryVal>>,
-    /// Clients holding `(dir, name)` in their lookup caches.
-    tracking: HashMap<(InodeId, String), HashSet<ClientId>>,
+    /// Clients holding `(dir, name)` — positively or negatively — in
+    /// their lookup caches, nested by directory so rmdir can drop a
+    /// directory's lists without scanning unrelated state.
+    tracking: HashMap<InodeId, HashMap<String, HashSet<ClientId>>>,
     /// Directories removed by a committed rmdir. Entries can never be
     /// created under a tombstoned directory, closing the race between a
     /// committed removal and a client with a stale parent lookup.
@@ -120,17 +122,22 @@ impl DentryShard {
         self.tombstones.contains(&dir)
     }
 
-    /// Marks `dir` permanently removed.
+    /// Marks `dir` permanently removed. Tracking lists under the directory
+    /// are dropped too: a tombstoned directory can never gain entries, so
+    /// no tracked client will ever need an invalidation for it.
     pub fn tombstone(&mut self, dir: InodeId) {
         self.tombstones.insert(dir);
         self.dirs.remove(&dir);
+        self.tracking.remove(&dir);
     }
 
     /// Records that `client` cached `(dir, name)`; it will receive an
     /// invalidation when the entry changes.
     pub fn track(&mut self, dir: InodeId, name: &str, client: ClientId) {
         self.tracking
-            .entry((dir, name.to_string()))
+            .entry(dir)
+            .or_default()
+            .entry(name.to_string())
             .or_default()
             .insert(client);
     }
@@ -138,18 +145,28 @@ impl DentryShard {
     /// Removes and returns the clients tracking `(dir, name)`, excluding
     /// the mutating client (its library updates its own cache locally).
     pub fn take_trackers(&mut self, dir: InodeId, name: &str, except: ClientId) -> Vec<ClientId> {
-        match self.tracking.remove(&(dir, name.to_string())) {
+        let Some(names) = self.tracking.get_mut(&dir) else {
+            return Vec::new();
+        };
+        let out = match names.remove(name) {
             Some(set) => set.into_iter().filter(|c| *c != except).collect(),
             None => Vec::new(),
+        };
+        if names.is_empty() {
+            self.tracking.remove(&dir);
         }
+        out
     }
 
     /// Drops a departing client from every tracking list.
     pub fn untrack_client(&mut self, client: ClientId) {
-        for set in self.tracking.values_mut() {
-            set.remove(&client);
+        for names in self.tracking.values_mut() {
+            for set in names.values_mut() {
+                set.remove(&client);
+            }
+            names.retain(|_, set| !set.is_empty());
         }
-        self.tracking.retain(|_, set| !set.is_empty());
+        self.tracking.retain(|_, names| !names.is_empty());
     }
 }
 

@@ -65,6 +65,10 @@ pub struct ServerParams {
     pub root_distributed: bool,
     /// Pipe capacity in bytes.
     pub pipe_capacity: usize,
+    /// Whether clients cache negative dentries (mirrors
+    /// `Techniques::neg_dircache`): gates miss tracking and fresh-insert
+    /// invalidations so the ablation truly restores baseline behavior.
+    pub neg_dircache: bool,
 }
 
 /// One Hare file server.
@@ -80,6 +84,7 @@ pub struct Server {
     rmdir: RmdirState,
     clients: HashMap<ClientId, (msg::Sender<Invalidation>, usize)>,
     pipe_capacity: usize,
+    neg_dircache: bool,
     /// Virtual time the current busy period is anchored at (the last
     /// phase barrier).
     anchor: u64,
@@ -113,6 +118,7 @@ impl Server {
             rmdir: RmdirState::default(),
             clients: HashMap::new(),
             pipe_capacity: params.pipe_capacity,
+            neg_dircache: params.neg_dircache,
             anchor: 0,
             acc: 0,
             stop: false,
@@ -160,6 +166,7 @@ impl Server {
     fn marked_dir_of(req: &Request) -> Option<InodeId> {
         match req {
             Request::Lookup { dir, .. }
+            | Request::LookupOpen { dir, .. }
             | Request::AddMap { dir, .. }
             | Request::RmMap { dir, .. }
             | Request::ListShard { dir } => Some(*dir),
@@ -252,6 +259,12 @@ impl Server {
                 Some(Ok(Reply::Unit))
             }
             Request::Lookup { client, dir, name } => Some(self.op_lookup(client, dir, &name)),
+            Request::LookupOpen {
+                client,
+                dir,
+                name,
+                flags,
+            } => Some(self.op_lookup_open(client, dir, &name, flags, ctx)),
             Request::AddMap {
                 client,
                 dir,
@@ -345,7 +358,66 @@ impl Server {
                     dist: v.dist,
                 })
             }
-            None => Err(Errno::ENOENT),
+            None => {
+                // Track the miss too: a client caching the ENOENT
+                // (negative dentry) must be invalidated when the name is
+                // later created. Gated so the ablation sheds this state.
+                if self.neg_dircache {
+                    self.dentries.track(dir, name, client);
+                }
+                Err(Errno::ENOENT)
+            }
+        }
+    }
+
+    /// Coalesced lookup+open (extends §3.6.3 to the open-existing path):
+    /// resolves the entry and, when its inode is local and a regular file,
+    /// opens a descriptor in the same round trip.
+    fn op_lookup_open(
+        &mut self,
+        client: ClientId,
+        dir: InodeId,
+        name: &str,
+        flags: OpenFlags,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        if self.dentries.is_tombstoned(dir) {
+            return Err(Errno::ENOENT);
+        }
+        match self.dentries.lookup(dir, name) {
+            Some(v) => {
+                self.dentries.track(dir, name, client);
+                let open = if v.ftype == FileType::Regular && v.target.server == self.id {
+                    // The open half of the coalesced message (cheaper than
+                    // a standalone OpenInode: no second dispatch). A
+                    // failing open (EACCES) degrades to lookup-only — and
+                    // charges nothing extra — so the client still caches
+                    // the dentry; its fallback OpenInode reproduces the
+                    // authoritative error.
+                    match self.open_local_file(v.target.num, flags, ctx) {
+                        Ok(o) => {
+                            ctx.extra += 700;
+                            Some(o)
+                        }
+                        Err(_) => None,
+                    }
+                } else {
+                    None
+                };
+                Ok(Reply::LookupOpened {
+                    target: v.target,
+                    ftype: v.ftype,
+                    dist: v.dist,
+                    open,
+                })
+            }
+            None => {
+                // Track the miss for negative-cache invalidation.
+                if self.neg_dircache {
+                    self.dentries.track(dir, name, client);
+                }
+                Err(Errno::ENOENT)
+            }
         }
     }
 
@@ -363,7 +435,11 @@ impl Server {
     ) -> WireReply {
         let val = DentryVal { target, ftype, dist };
         let replaced = self.dentries.insert(dir, name, val, replace)?;
-        if replaced.is_some() {
+        // Invalidate on fresh inserts too (when negative caching is on),
+        // not just replacements: clients may hold *negative* entries for
+        // the name (they probed it and cached the ENOENT) and must
+        // re-resolve now that it exists.
+        if replaced.is_some() || self.neg_dircache {
             self.queue_invals(client, dir, name, ctx);
         }
         self.dentries.track(dir, name, client);
@@ -517,6 +593,11 @@ impl Server {
             self.dentries
                 .insert(*dir, name, val, false)
                 .expect("entry checked absent");
+            // Clients holding a cached ENOENT for this name must hear
+            // about the creation (negative dentry invalidation).
+            if self.neg_dircache {
+                self.queue_invals(client, *dir, name, ctx);
+            }
             self.dentries.track(*dir, name, client);
             ctx.extra += 300; // coalesced ADD_MAP work
         }
@@ -536,6 +617,18 @@ impl Server {
     }
 
     fn op_open(&mut self, num: u64, flags: OpenFlags, ctx: &mut Ctx) -> WireReply {
+        Ok(Reply::Opened(self.open_local_file(num, flags, ctx)?))
+    }
+
+    /// Opens a descriptor on a locally stored regular file after POSIX
+    /// permission checks (paper §3.2). Shared by the standalone
+    /// [`Request::OpenInode`] and the coalesced [`Request::LookupOpen`].
+    fn open_local_file(
+        &mut self,
+        num: u64,
+        flags: OpenFlags,
+        ctx: &mut Ctx,
+    ) -> FsResult<OpenResult> {
         let ino = self.inodes.get(num)?;
         match ino.kind {
             InodeKind::File { .. } => {}
@@ -560,11 +653,11 @@ impl Server {
             _ => unreachable!("checked file"),
         };
         ctx.extra += 8 * blocks.len() as u64; // block-list transfer
-        Ok(Reply::Opened(OpenResult {
+        Ok(OpenResult {
             fd: FdId(fd),
             size,
             blocks,
-        }))
+        })
     }
 
     fn op_close(&mut self, fd: FdId, size: Option<u64>, ctx: &mut Ctx) -> WireReply {
@@ -861,14 +954,17 @@ impl Server {
             filled += chunk;
             ctx.extra += self.machine.cost.dram_direct_blk;
         }
-        Ok(Reply::Data { data, _eof: false })
+        Ok(Reply::Data {
+            data: data.into(),
+            _eof: false,
+        })
     }
 
     fn op_write_data(
         &mut self,
         fd: FdId,
         offset: u64,
-        data: Vec<u8>,
+        data: Arc<[u8]>,
         append: bool,
         ctx: &mut Ctx,
     ) -> WireReply {
@@ -994,7 +1090,7 @@ impl Server {
     fn op_pipe_write(
         &mut self,
         fd: FdId,
-        data: Vec<u8>,
+        data: Arc<[u8]>,
         src_core: usize,
         reply: &msg::Sender<WireReply>,
         ctx: &mut Ctx,

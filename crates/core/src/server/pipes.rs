@@ -14,6 +14,12 @@
 use crate::proto::{Reply, WireReply};
 use fsapi::Errno;
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// An empty shared data buffer (EOF replies, zero-byte reads).
+fn empty() -> Arc<[u8]> {
+    Arc::from(Vec::new())
+}
 
 /// A reply that could not be answered yet.
 #[derive(Debug)]
@@ -31,8 +37,9 @@ pub struct Parked {
 pub enum ParkedPayload {
     /// A blocked read wanting up to this many bytes.
     Read(u64),
-    /// A blocked write still holding its data.
-    Write(Vec<u8>),
+    /// A blocked write still holding its data (shared with the sender: no
+    /// copy is made while the write waits for space).
+    Write(Arc<[u8]>),
 }
 
 /// One pipe.
@@ -82,29 +89,33 @@ impl Pipe {
             if self.writers == 0 {
                 // EOF.
                 return Some(Ok(Reply::Data {
-                    data: Vec::new(),
+                    data: empty(),
                     _eof: true,
                 }));
             }
             if max == 0 {
                 return Some(Ok(Reply::Data {
-                    data: Vec::new(),
+                    data: empty(),
                     _eof: false,
                 }));
             }
             return None;
         }
         let n = (max as usize).min(self.buf.len());
-        let data: Vec<u8> = self.buf.drain(..n).collect();
+        let data: Arc<[u8]> = self.buf.drain(..n).collect();
         self.pump(wakeups);
         Some(Ok(Reply::Data { data, _eof: false }))
     }
 
-    /// Attempts a write. Returns `Err(data)` (giving the bytes back) if the
-    /// caller must block because the pipe is full. Partial writes are
-    /// allowed, as POSIX permits for pipes fuller than `PIPE_BUF`.
-    /// `wakeups` receives any readers unblocked by new data.
-    pub fn write(&mut self, data: Vec<u8>, wakeups: &mut Vec<Wakeup>) -> Result<WireReply, Vec<u8>> {
+    /// Attempts a write. Returns `Err(data)` (giving the shared buffer
+    /// back) if the caller must block because the pipe is full. Partial
+    /// writes are allowed, as POSIX permits for pipes fuller than
+    /// `PIPE_BUF`. `wakeups` receives any readers unblocked by new data.
+    pub fn write(
+        &mut self,
+        data: Arc<[u8]>,
+        wakeups: &mut Vec<Wakeup>,
+    ) -> Result<WireReply, Arc<[u8]>> {
         if self.readers == 0 {
             return Ok(Err(Errno::EPIPE));
         }
@@ -163,13 +174,13 @@ impl Pipe {
                 }
                 let p = self.pending_reads.pop_front().expect("front exists");
                 let n = (max as usize).min(self.buf.len());
-                let data: Vec<u8> = self.buf.drain(..n).collect();
+                let data: Arc<[u8]> = self.buf.drain(..n).collect();
                 wakeups.push((
                     p.reply,
                     p.src_core,
                     Ok(Reply::Data {
-                        data,
                         _eof: self.writers == 0 && self.buf.is_empty(),
+                        data,
                     }),
                 ));
                 progressed = true;
@@ -246,7 +257,7 @@ mod tests {
 
     fn unwrap_data(r: WireReply) -> Vec<u8> {
         match r.unwrap() {
-            Reply::Data { data, .. } => data,
+            Reply::Data { data, .. } => data.to_vec(),
             other => panic!("expected Data, got {other:?}"),
         }
     }
@@ -255,7 +266,7 @@ mod tests {
     fn write_then_read() {
         let mut p = Pipe::new(16);
         let mut w = Vec::new();
-        let r = p.write(b"hello".to_vec(), &mut w).unwrap();
+        let r = p.write(b"hello".to_vec().into(), &mut w).unwrap();
         assert!(matches!(r, Ok(Reply::Written { n: 5 })));
         let r = p.read(3, &mut w).unwrap();
         assert_eq!(unwrap_data(r), b"hel");
@@ -275,7 +286,7 @@ mod tests {
             src_core: 0,
             payload: ParkedPayload::Read(4),
         });
-        p.write(b"ab".to_vec(), &mut w).unwrap();
+        let _ = p.write(b"ab".to_vec().into(), &mut w).unwrap();
         assert_eq!(w.len(), 1, "write must wake the parked read");
         let (tx2, src, reply) = w.pop().unwrap();
         assert_eq!(src, 0);
@@ -287,13 +298,13 @@ mod tests {
     fn full_pipe_blocks_writer_until_read() {
         let mut p = Pipe::new(4);
         let mut w = Vec::new();
-        p.write(b"abcd".to_vec(), &mut w).unwrap();
-        assert!(p.write(b"xy".to_vec(), &mut w).is_err(), "full pipe blocks");
+        let _ = p.write(b"abcd".to_vec().into(), &mut w).unwrap();
+        assert!(p.write(b"xy".to_vec().into(), &mut w).is_err(), "full pipe blocks");
         let (tx, rx) = wire();
         p.pending_writes.push_back(Parked {
             reply: tx,
             src_core: 2,
-            payload: ParkedPayload::Write(b"xy".to_vec()),
+            payload: ParkedPayload::Write(b"xy".to_vec().into()),
         });
         let r = p.read(3, &mut w).unwrap();
         assert_eq!(unwrap_data(r), b"abc");
@@ -313,7 +324,7 @@ mod tests {
     fn eof_and_epipe() {
         let mut p = Pipe::new(8);
         let mut w = Vec::new();
-        p.write(b"z".to_vec(), &mut w).unwrap();
+        let _ = p.write(b"z".to_vec().into(), &mut w).unwrap();
         p.close_writer(&mut w);
         // Buffered data still readable, then EOF.
         assert_eq!(unwrap_data(p.read(8, &mut w).unwrap()), b"z");
@@ -322,13 +333,13 @@ mod tests {
         // All readers gone: writes fail.
         p.close_reader(&mut w);
         assert!(matches!(
-            Pipe::new(8).write(b"q".to_vec(), &mut Vec::new()),
+            Pipe::new(8).write(b"q".to_vec().into(), &mut Vec::new()),
             Ok(Ok(_))
         ));
         let mut p2 = Pipe::new(8);
         p2.close_reader(&mut w);
         assert!(matches!(
-            p2.write(b"q".to_vec(), &mut Vec::new()),
+            p2.write(b"q".to_vec().into(), &mut Vec::new()),
             Ok(Err(Errno::EPIPE))
         ));
     }
@@ -355,12 +366,12 @@ mod tests {
     fn closing_readers_fails_parked_writer() {
         let mut p = Pipe::new(2);
         let mut w = Vec::new();
-        p.write(b"ab".to_vec(), &mut w).unwrap();
+        let _ = p.write(b"ab".to_vec().into(), &mut w).unwrap();
         let (tx, rx) = wire();
         p.pending_writes.push_back(Parked {
             reply: tx,
             src_core: 1,
-            payload: ParkedPayload::Write(b"cd".to_vec()),
+            payload: ParkedPayload::Write(b"cd".to_vec().into()),
         });
         p.close_reader(&mut w);
         assert_eq!(w.len(), 1);

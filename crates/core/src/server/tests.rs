@@ -22,6 +22,7 @@ impl Harness {
                 partition_len: 64,
                 root_distributed: false,
                 pipe_capacity: 16,
+                neg_dircache: true,
             },
         );
         Harness { server, machine }
@@ -456,10 +457,10 @@ fn pipe_blocking_read_woken_by_write() {
     // A write wakes it.
     h.must(Request::PipeWrite {
         fd: wfd,
-        data: b"hi".to_vec(),
+        data: b"hi".to_vec().into(),
     });
     match rx.try_recv().expect("woken").payload {
-        Ok(Reply::Data { data, .. }) => assert_eq!(data, b"hi"),
+        Ok(Reply::Data { data, .. }) => assert_eq!(&data[..], b"hi"),
         other => panic!("unexpected {other:?}"),
     }
 }
@@ -474,14 +475,14 @@ fn pipe_write_blocks_at_capacity_and_epipe() {
     // Capacity is 16 in the harness.
     h.must(Request::PipeWrite {
         fd: wfd,
-        data: vec![0u8; 16],
+        data: vec![0u8; 16].into(),
     });
     let (tx, rx) = msg::channel(Arc::clone(&h.machine.msg_stats));
     h.server.handle(msg::Envelope {
         payload: ServerMsg {
             req: Request::PipeWrite {
                 fd: wfd,
-                data: b"more".to_vec(),
+                data: b"more".to_vec().into(),
             },
             reply: tx,
         },
@@ -498,6 +499,160 @@ fn pipe_write_blocks_at_capacity_and_epipe() {
         rx.try_recv().expect("woken").payload,
         Err(Errno::EPIPE)
     ));
+}
+
+#[test]
+fn lookup_open_coalesces_on_local_inode() {
+    let mut h = Harness::new();
+    let (ino, open0) = h.create_file("f");
+    h.must(Request::CloseFd {
+        fd: open0.fd,
+        size: None,
+    });
+    // One message resolves the dentry AND opens a descriptor because the
+    // inode lives on this (the dentry shard) server.
+    match h.must(Request::LookupOpen {
+        client: 2,
+        dir: InodeId::ROOT,
+        name: "f".into(),
+        flags: OpenFlags::RDONLY,
+    }) {
+        Reply::LookupOpened {
+            target,
+            ftype,
+            open: Some(_),
+            ..
+        } => {
+            assert_eq!(target, ino);
+            assert_eq!(ftype, FileType::Regular);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn lookup_open_falls_back_for_remote_inode() {
+    let mut h = Harness::new();
+    let remote = InodeId { server: 1, num: 9 };
+    h.must(Request::AddMap {
+        client: 1,
+        dir: InodeId::ROOT,
+        name: "r".into(),
+        target: remote,
+        ftype: FileType::Regular,
+        dist: false,
+        replace: false,
+    });
+    // The dentry resolves, but the inode lives elsewhere: no coalesced
+    // open, the client must follow up with OpenInode at server 1.
+    match h.must(Request::LookupOpen {
+        client: 2,
+        dir: InodeId::ROOT,
+        name: "r".into(),
+        flags: OpenFlags::RDONLY,
+    }) {
+        Reply::LookupOpened {
+            target, open: None, ..
+        } => assert_eq!(target, remote),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn lookup_open_degrades_to_lookup_when_open_fails() {
+    let mut h = Harness::new();
+    // A write-only file: the coalesced RDONLY open must fail EACCES, but
+    // the reply still carries the resolution so the client caches the
+    // dentry (its fallback OpenInode reproduces the error).
+    let ino = match h.must(Request::Create {
+        client: 1,
+        ftype: FileType::Regular,
+        mode: Mode(0o200),
+        dist: false,
+        add_map: Some((InodeId::ROOT, "wonly".into())),
+        open: None,
+    }) {
+        Reply::Created { ino, .. } => ino,
+        other => panic!("unexpected {other:?}"),
+    };
+    match h.must(Request::LookupOpen {
+        client: 2,
+        dir: InodeId::ROOT,
+        name: "wonly".into(),
+        flags: OpenFlags::RDONLY,
+    }) {
+        Reply::LookupOpened {
+            target, open: None, ..
+        } => assert_eq!(target, ino),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(matches!(
+        h.req(Request::OpenInode {
+            client: 2,
+            num: ino.num,
+            flags: OpenFlags::RDONLY,
+        }),
+        Some(Err(Errno::EACCES))
+    ));
+}
+
+#[test]
+fn fresh_addmap_invalidates_miss_trackers() {
+    let mut h = Harness::new();
+    let (itx, irx) = msg::channel::<Invalidation>(Arc::clone(&h.machine.msg_stats));
+    h.must(Request::Register {
+        client: 7,
+        core: 1,
+        inval: itx,
+    });
+    // Client 7 probes an absent name (and caches the ENOENT): the miss is
+    // tracked.
+    assert!(matches!(
+        h.req(Request::Lookup {
+            client: 7,
+            dir: InodeId::ROOT,
+            name: "soon".into(),
+        }),
+        Some(Err(Errno::ENOENT))
+    ));
+    // Client 1 creates the name (coalesced create): client 7's negative
+    // entry must be invalidated.
+    h.create_file("soon");
+    let inv = irx.try_recv().expect("negative entry must be invalidated");
+    assert_eq!(inv.payload.dir, InodeId::ROOT);
+    assert_eq!(inv.payload.name, "soon");
+}
+
+#[test]
+fn lookup_open_miss_is_tracked_for_invalidation() {
+    let mut h = Harness::new();
+    let (itx, irx) = msg::channel::<Invalidation>(Arc::clone(&h.machine.msg_stats));
+    h.must(Request::Register {
+        client: 7,
+        core: 1,
+        inval: itx,
+    });
+    assert!(matches!(
+        h.req(Request::LookupOpen {
+            client: 7,
+            dir: InodeId::ROOT,
+            name: "later".into(),
+            flags: OpenFlags::RDONLY,
+        }),
+        Some(Err(Errno::ENOENT))
+    ));
+    // A plain (non-coalesced) AddMap creation also reaches miss trackers.
+    h.must(Request::AddMap {
+        client: 1,
+        dir: InodeId::ROOT,
+        name: "later".into(),
+        target: InodeId { server: 0, num: 33 },
+        ftype: FileType::Regular,
+        dist: false,
+        replace: false,
+    });
+    let inv = irx.try_recv().expect("miss tracker must hear the create");
+    assert_eq!(inv.payload.name, "later");
 }
 
 #[test]
@@ -562,7 +717,7 @@ fn server_data_io_handles_holes() {
     h.must(Request::WriteData {
         fd: open.fd,
         offset: 5000,
-        data: b"xyz".to_vec(),
+        data: b"xyz".to_vec().into(),
         append: false,
     });
     // Read spanning the hole in block 0 returns zeros then data.
@@ -571,7 +726,7 @@ fn server_data_io_handles_holes() {
         offset: 4998,
         len: 5,
     }) {
-        Reply::Data { data, .. } => assert_eq!(data, vec![0, 0, b'x', b'y', b'z']),
+        Reply::Data { data, .. } => assert_eq!(&data[..], [0, 0, b'x', b'y', b'z']),
         other => panic!("unexpected {other:?}"),
     }
 }

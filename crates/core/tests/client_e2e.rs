@@ -424,6 +424,45 @@ fn concurrent_rmdir_and_create_race_is_safe() {
 }
 
 #[test]
+fn negative_dentry_invalidated_by_racing_create() {
+    let inst = boot(2);
+    let a = inst.new_client(0).unwrap();
+    let b = inst.new_client(1).unwrap();
+    // b probes a missing name twice: the second miss is served from the
+    // negative cache without an RPC.
+    assert_eq!(b.stat("/later").unwrap_err(), Errno::ENOENT);
+    assert_eq!(b.stat("/later").unwrap_err(), Errno::ENOENT);
+    // a creates the name: the server invalidates b's negative entry, so b
+    // must observe the file on its next resolution.
+    write_file(&a, "/later", b"now you see me").unwrap();
+    assert_eq!(read_to_vec(&b, "/later").unwrap(), b"now you see me");
+}
+
+#[test]
+fn negative_dentry_on_intermediate_component() {
+    let inst = boot(2);
+    let a = inst.new_client(0).unwrap();
+    let b = inst.new_client(1).unwrap();
+    // The whole parent chain is missing; b caches the first component's
+    // absence.
+    assert_eq!(b.stat("/dir/leaf").unwrap_err(), Errno::ENOENT);
+    fsapi::mkdir_p(&a, "/dir", MkdirOpts::default()).unwrap();
+    write_file(&a, "/dir/leaf", b"x").unwrap();
+    assert_eq!(read_to_vec(&b, "/dir/leaf").unwrap(), b"x");
+}
+
+#[test]
+fn open_existing_works_with_coalescing_disabled() {
+    let mut cfg = HareConfig::timeshare(4);
+    cfg.techniques = hare_core::Techniques::without("coalesced_open");
+    let inst = HareInstance::start(cfg);
+    let a = inst.new_client(0).unwrap();
+    let b = inst.new_client(2).unwrap();
+    write_file(&a, "/plain", b"two-rpc path").unwrap();
+    assert_eq!(read_to_vec(&b, "/plain").unwrap(), b"two-rpc path");
+}
+
+#[test]
 fn dircache_invalidation_prevents_stale_resolution() {
     let inst = boot(2);
     let a = inst.new_client(0).unwrap();

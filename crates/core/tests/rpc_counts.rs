@@ -1,0 +1,126 @@
+//! RPC-count regression tests built on the machine-wide `msg` send
+//! counters: the coalesced lookup+open and the negative dentry cache exist
+//! to remove whole round trips from the hot path, so these tests pin the
+//! exact message counts and fail if a code change quietly re-adds one.
+//!
+//! Counting convention: every RPC is two message sends (request + reply);
+//! none of the measured operations trigger invalidation sends.
+
+use fsapi::{Errno, MkdirOpts, Mode, OpenFlags, ProcFs};
+use hare_core::{HareConfig, HareInstance, Techniques};
+
+/// Message sends for one cold-cache `open(O_RDONLY)` of `/d1/d2/f` on a
+/// single-server machine (dentry shard and inode server always coincide).
+fn open_existing_sends(techniques: Techniques) -> u64 {
+    let mut cfg = HareConfig::timeshare(1);
+    cfg.techniques = techniques;
+    let inst = HareInstance::start(cfg);
+    let setup = inst.new_client(0).unwrap();
+    fsapi::mkdir_p(&setup, "/d1/d2", MkdirOpts::default()).unwrap();
+    fsapi::write_file(&setup, "/d1/d2/f", b"payload").unwrap();
+    drop(setup);
+
+    // A fresh client: its directory cache is cold, so every pathname
+    // component costs a real RPC.
+    let prober = inst.new_client(0).unwrap();
+    let before = inst.machine().msg_stats.sends();
+    let fd = prober
+        .open("/d1/d2/f", OpenFlags::RDONLY, Mode::default())
+        .unwrap();
+    let delta = inst.machine().msg_stats.sends() - before;
+    prober.close(fd).unwrap();
+    drop(prober);
+    inst.shutdown();
+    delta
+}
+
+#[test]
+fn coalesced_open_costs_depth_plus_one_rpcs() {
+    // /d1/d2/f has depth = 2 parent directories. Coalesced path: two
+    // parent lookups + one LookupOpen = depth + 1 RPCs.
+    assert_eq!(open_existing_sends(Techniques::default()), 2 * (2 + 1));
+}
+
+#[test]
+fn uncoalesced_open_costs_depth_plus_two_rpcs() {
+    // Toggle off: two parent lookups + Lookup + OpenInode = depth + 2.
+    assert_eq!(
+        open_existing_sends(Techniques::without("coalesced_open")),
+        2 * (2 + 2)
+    );
+}
+
+/// Message sends for the second of two identical failing lookups.
+fn repeat_miss_sends(techniques: Techniques) -> u64 {
+    let mut cfg = HareConfig::timeshare(1);
+    cfg.techniques = techniques;
+    let inst = HareInstance::start(cfg);
+    let c = inst.new_client(0).unwrap();
+    assert_eq!(c.stat("/absent").unwrap_err(), Errno::ENOENT);
+    let before = inst.machine().msg_stats.sends();
+    assert_eq!(c.stat("/absent").unwrap_err(), Errno::ENOENT);
+    let delta = inst.machine().msg_stats.sends() - before;
+    drop(c);
+    inst.shutdown();
+    delta
+}
+
+#[test]
+fn negative_cache_elides_repeat_miss_rpcs() {
+    assert_eq!(repeat_miss_sends(Techniques::default()), 0);
+}
+
+#[test]
+fn without_negative_cache_repeat_miss_pays_one_rpc() {
+    assert_eq!(repeat_miss_sends(Techniques::without("neg_dircache")), 2);
+}
+
+#[test]
+fn excl_retry_loop_is_answered_locally() {
+    // The lock-file idiom: open(O_CREAT|O_EXCL) retried while another
+    // process holds the name. The first attempt pays the (elided-probe)
+    // create attempt and caches the holder's entry; every further retry
+    // must be answered from the dircache with zero RPCs.
+    let inst = HareInstance::start(HareConfig::timeshare(1));
+    let holder = inst.new_client(0).unwrap();
+    fsapi::write_file(&holder, "/lock", b"held").unwrap();
+    let waiter = inst.new_client(0).unwrap();
+    let excl = OpenFlags::CREAT | OpenFlags::EXCL | OpenFlags::WRONLY;
+    assert_eq!(waiter.open("/lock", excl, Mode::default()).unwrap_err(), Errno::EEXIST);
+    let before = inst.machine().msg_stats.sends();
+    for _ in 0..3 {
+        assert_eq!(waiter.open("/lock", excl, Mode::default()).unwrap_err(), Errno::EEXIST);
+    }
+    assert_eq!(inst.machine().msg_stats.sends() - before, 0);
+    // The holder releases the lock: the waiter's cached entry is
+    // invalidated and the next attempt wins.
+    holder.unlink("/lock").unwrap();
+    let fd = waiter.open("/lock", excl, Mode::default()).unwrap();
+    waiter.close(fd).unwrap();
+    drop(waiter);
+    drop(holder);
+    inst.shutdown();
+}
+
+#[test]
+fn o_creat_probe_is_free_after_first_miss() {
+    // The mailbench/O_CREAT pattern: a failing open probe, then another.
+    // With the negative cache the second probe's lookup is answered
+    // locally; only the create-side RPCs remain.
+    let inst = HareInstance::start(HareConfig::timeshare(1));
+    let c = inst.new_client(0).unwrap();
+    assert_eq!(
+        c.open("/probe", OpenFlags::RDONLY, Mode::default())
+            .unwrap_err(),
+        Errno::ENOENT
+    );
+    let before = inst.machine().msg_stats.sends();
+    assert_eq!(
+        c.open("/probe", OpenFlags::RDONLY, Mode::default())
+            .unwrap_err(),
+        Errno::ENOENT
+    );
+    assert_eq!(inst.machine().msg_stats.sends() - before, 0);
+    drop(c);
+    inst.shutdown();
+}

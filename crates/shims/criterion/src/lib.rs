@@ -1,0 +1,168 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Provides a wall-clock timing loop under criterion's API (groups,
+//! `bench_function`, `iter`, `iter_batched`) so `cargo bench` runs and
+//! prints ns/iter, without statistics, plots, or comparisons.
+
+use std::time::Instant;
+
+/// Declared throughput of a benchmark (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            throughput: None,
+            sample_iters: 0,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+    sample_iters: u64,
+}
+
+impl BenchmarkGroup {
+    /// Declares the per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the iteration count (criterion's sample count knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_iters = n as u64;
+        self
+    }
+
+    /// Times one benchmark closure.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            iters: if self.sample_iters > 0 {
+                self.sample_iters
+            } else {
+                1000
+            },
+            elapsed_ns: 0,
+            done: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.done > 0 { b.elapsed_ns / b.done } else { 0 };
+        let extra = match self.throughput {
+            Some(Throughput::Bytes(n)) if per_iter > 0 => {
+                format!(" ({:.1} MiB/s)", n as f64 * 1e9 / (per_iter as f64 * 1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0 => {
+                format!(" ({:.0} elem/s)", n as f64 * 1e9 / per_iter as f64)
+            }
+            _ => String::new(),
+        };
+        println!("  {name}: {per_iter} ns/iter{extra}");
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+    done: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing each call.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as u64;
+        self.done += self.iters;
+    }
+
+    /// Runs `routine` on fresh inputs from `setup`, timing only `routine`
+    /// (the shim times both; our setups are trivial).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as u64;
+        self.done += self.iters;
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main()` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut count = 0u64;
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("inc", |b| b.iter(|| count += 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 1u64, |x| x + 1, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(count, 10);
+    }
+}

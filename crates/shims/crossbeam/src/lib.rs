@@ -1,0 +1,50 @@
+//! Minimal offline stand-in for the `crossbeam` crate: only
+//! `utils::CachePadded`, which the virtual clocks use to keep per-core
+//! counters on separate cache lines.
+
+pub mod utils {
+    /// Pads and aligns a value to 128 bytes (two x86 cache lines, matching
+    /// crossbeam's choice on modern Intel parts to defeat adjacent-line
+    /// prefetching).
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T>(T);
+
+    impl<T> CachePadded<T> {
+        /// Wraps `t` in padding.
+        pub const fn new(t: T) -> Self {
+            CachePadded(t)
+        }
+
+        /// Unwraps the value.
+        pub fn into_inner(self) -> T {
+            self.0
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+
+    #[test]
+    fn aligned_and_transparent() {
+        let c = CachePadded::new(7u64);
+        assert_eq!(*c, 7);
+        assert_eq!(std::mem::align_of_val(&c), 128);
+        assert_eq!(c.into_inner(), 7);
+    }
+}
