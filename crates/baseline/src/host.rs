@@ -23,8 +23,8 @@ use fsapi::{
     ProcMain, Stat, System, Whence,
 };
 use parking_lot::Mutex;
-use std::sync::atomic::AtomicUsize;
 use std::collections::HashMap;
+use std::sync::atomic::AtomicUsize;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Weak};
 use vtime::{Clocks, CostModel, ResourceClock};
@@ -387,8 +387,7 @@ impl fsapi::ProcFs for HostProc {
         match self.get_fd(fd)? {
             HostFd::File { ino, offset, .. } => {
                 let mut cur = offset.lock();
-                let new = fsapi::flags::apply_seek(*cur, ino.size(), off, whence)
-                    .map_err(|_| Errno::EINVAL)?;
+                let new = fsapi::flags::apply_seek(*cur, ino.size(), off, whence)?;
                 *cur = new;
                 self.sys.work(self, self.sys.cost.ramfs_syscall);
                 Ok(new)

@@ -334,16 +334,24 @@ mod tests {
         fs.rename(&root, "a", &root, "b").unwrap();
         assert!(fs.resolve("/a", None).is_err());
         assert!(fs.resolve("/b", None).is_ok());
-        fs.create_in(&root, "d", FileType::Directory, 0o755).unwrap();
-        assert!(matches!(fs.rename(&root, "b", &root, "d"), Err(Errno::EISDIR)));
+        fs.create_in(&root, "d", FileType::Directory, 0o755)
+            .unwrap();
+        assert!(matches!(
+            fs.rename(&root, "b", &root, "d"),
+            Err(Errno::EISDIR)
+        ));
     }
 
     #[test]
     fn rename_across_directories() {
         let fs = MemFs::new();
         let root = fs.root();
-        let d1 = fs.create_in(&root, "d1", FileType::Directory, 0o755).unwrap();
-        let d2 = fs.create_in(&root, "d2", FileType::Directory, 0o755).unwrap();
+        let d1 = fs
+            .create_in(&root, "d1", FileType::Directory, 0o755)
+            .unwrap();
+        let d2 = fs
+            .create_in(&root, "d2", FileType::Directory, 0o755)
+            .unwrap();
         let f = fs.create_in(&d1, "f", FileType::Regular, 0o644).unwrap();
         write_at(&f, 0, b"m");
         fs.rename(&d1, "f", &d2, "f2").unwrap();
@@ -358,7 +366,9 @@ mod tests {
     fn rmdir_requires_empty() {
         let fs = MemFs::new();
         let root = fs.root();
-        let d = fs.create_in(&root, "d", FileType::Directory, 0o755).unwrap();
+        let d = fs
+            .create_in(&root, "d", FileType::Directory, 0o755)
+            .unwrap();
         fs.create_in(&d, "f", FileType::Regular, 0o644).unwrap();
         assert!(matches!(fs.rmdir_in(&root, "d"), Err(Errno::ENOTEMPTY)));
         fs.unlink_in(&d, "f").unwrap();
@@ -382,7 +392,8 @@ mod tests {
     fn unlink_dir_rejected() {
         let fs = MemFs::new();
         let root = fs.root();
-        fs.create_in(&root, "d", FileType::Directory, 0o755).unwrap();
+        fs.create_in(&root, "d", FileType::Directory, 0o755)
+            .unwrap();
         assert!(matches!(fs.unlink_in(&root, "d"), Err(Errno::EISDIR)));
     }
 }

@@ -6,7 +6,7 @@
 //! significantly different across the various benchmarks".
 
 use hare_core::HareConfig;
-use hare_workloads::ctx::{ALL_OPS, OpKind};
+use hare_workloads::ctx::{OpKind, ALL_OPS};
 use hare_workloads::Workload;
 
 fn main() {
@@ -36,5 +36,7 @@ fn main() {
 
     println!("Figure 5: operation breakdown per benchmark (Hare, {cores} cores timeshare)\n");
     table.print();
-    println!("\nNote: paper Figure 5 is a stacked-percentage bar chart; rows above are the same data.");
+    println!(
+        "\nNote: paper Figure 5 is a stacked-percentage bar chart; rows above are the same data."
+    );
 }

@@ -15,11 +15,19 @@ fn main() {
     let total = hare_bench::max_cores();
     let half = total / 2;
     // Sweep of dedicated-server counts for the "best" configuration.
-    let sweep: Vec<usize> = [total / 5, total / 4, 3 * total / 10, 2 * total / 5, half,
-        3 * total / 5, 7 * total / 10, 4 * total / 5]
-        .into_iter()
-        .filter(|&n| n > 0 && n < total)
-        .collect();
+    let sweep: Vec<usize> = [
+        total / 5,
+        total / 4,
+        3 * total / 10,
+        2 * total / 5,
+        half,
+        3 * total / 5,
+        7 * total / 10,
+        4 * total / 5,
+    ]
+    .into_iter()
+    .filter(|&n| n > 0 && n < total)
+    .collect();
 
     let mut table = hare_bench::Table::new(&[
         "benchmark",
@@ -31,13 +39,8 @@ fn main() {
 
     for wl in Workload::ALL {
         let ts = hare_bench::run_hare(HareConfig::timeshare(total), wl, total, &s).throughput();
-        let half_tp = hare_bench::run_hare(
-            HareConfig::split(total, half),
-            wl,
-            total - half,
-            &s,
-        )
-        .throughput();
+        let half_tp =
+            hare_bench::run_hare(HareConfig::split(total, half), wl, total - half, &s).throughput();
 
         let mut best = (half_tp, half);
         for &ns in &sweep {
@@ -67,9 +70,9 @@ fn main() {
         eprintln!("done: {wl}");
     }
 
-    println!(
-        "Figure 7: Hare split vs. timeshare, {total} cores (normalized to timeshare)\n"
-    );
+    println!("Figure 7: Hare split vs. timeshare, {total} cores (normalized to timeshare)\n");
     table.print();
-    println!("\npaper: optimal #servers is highly workload-dependent; a fixed split can lose badly.");
+    println!(
+        "\npaper: optimal #servers is highly workload-dependent; a fixed split can lose badly."
+    );
 }

@@ -49,7 +49,5 @@ fn main() {
     table.print();
     ramfs_ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let median = ramfs_ratios[ramfs_ratios.len() / 2];
-    println!(
-        "\nmedian Hare throughput relative to Linux ramfs: {median:.2}x (paper: 0.39x)"
-    );
+    println!("\nmedian Hare throughput relative to Linux ramfs: {median:.2}x (paper: 0.39x)");
 }

@@ -16,13 +16,14 @@
 //! | Directory cache | 0.87 | 1.44 | 1.42 | 2.42 |
 //! | Creation affinity | 0.96 | 1.02 | 1.00 | 1.16 |
 //!
-//! Two further rows ablate this reproduction's own hot-path extensions
-//! (no paper counterpart): the coalesced lookup+open RPC and the negative
-//! dentry cache.
+//! Four further rows ablate this reproduction's own hot-path extensions
+//! (no paper counterpart): the coalesced lookup+open RPC, the negative
+//! dentry cache, the coalesced lookup+stat RPC, and the batched RPC
+//! transport.
 
 use hare_workloads::Workload;
 
-const TECHNIQUES: [(&str, &str); 7] = [
+const TECHNIQUES: [(&str, &str); 9] = [
     ("distribution", "Directory distribution"),
     ("broadcast", "Directory broadcast"),
     ("direct_access", "Direct cache access"),
@@ -30,6 +31,8 @@ const TECHNIQUES: [(&str, &str); 7] = [
     ("affinity", "Creation affinity"),
     ("coalesced_open", "Coalesced lookup+open"),
     ("neg_dircache", "Negative dentry cache"),
+    ("coalesced_stat", "Coalesced lookup+stat"),
+    ("batching", "Batched RPC transport"),
 ];
 
 fn main() {

@@ -96,8 +96,16 @@ fn main() {
     let cores = hare_bench::max_cores().min(8);
     let rows = [
         measure("all", Techniques::default(), cores),
-        measure("no coalesced_open", Techniques::without("coalesced_open"), cores),
-        measure("no neg_dircache", Techniques::without("neg_dircache"), cores),
+        measure(
+            "no coalesced_open",
+            Techniques::without("coalesced_open"),
+            cores,
+        ),
+        measure(
+            "no neg_dircache",
+            Techniques::without("neg_dircache"),
+            cores,
+        ),
         measure("no dircache", Techniques::without("dircache"), cores),
     ];
 
@@ -120,22 +128,24 @@ fn main() {
     }
     t.print();
 
-    // Machine-readable trajectory point for the repository.
-    let mut json = String::from("{\n  \"bench\": \"micro_open\",\n");
-    json.push_str(&format!("  \"cores\": {cores},\n  \"configs\": [\n"));
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"open_rpcs_per_op\": {:.3}, \"open_cycles_per_op\": {:.1}, \
-             \"probe_rpcs_per_op\": {:.3}, \"probe_cycles_per_op\": {:.1}}}{}\n",
-            r.name,
-            r.open_rpcs,
-            r.open_cycles,
-            r.probe_rpcs,
-            r.probe_cycles,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
+    // Machine-readable trajectory point for the repository, gated against
+    // the committed baseline when HARE_GATE_BASELINE is set (the gate runs
+    // before the file is rewritten, so a failing run never clobbers the
+    // baseline it failed against).
+    let configs: Vec<hare_bench::BenchConfig> = rows
+        .iter()
+        .map(|r| hare_bench::BenchConfig {
+            name: r.name.to_string(),
+            metrics: vec![
+                ("open_rpcs_per_op".into(), r.open_rpcs),
+                ("open_cycles_per_op".into(), r.open_cycles),
+                ("probe_rpcs_per_op".into(), r.probe_rpcs),
+                ("probe_cycles_per_op".into(), r.probe_cycles),
+            ],
+        })
+        .collect();
+    hare_bench::perf_gate("micro_open", &configs);
+    let json = hare_bench::bench_json("micro_open", cores, &configs);
     std::fs::write("BENCH_micro_open.json", &json).expect("write BENCH_micro_open.json");
     println!("\nwrote BENCH_micro_open.json");
 

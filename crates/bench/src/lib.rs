@@ -70,19 +70,14 @@ pub fn run_ramfs(cores: usize, wl: Workload, nprocs: usize, s: &Scale) -> Worklo
 /// as in Figure 8).
 pub fn run_unfs(wl: Workload, s: &Scale) -> WorkloadResult {
     let sys = HostSystem::unfs(2);
-    let r = workloads::run(&*sys, wl, 1, s)
-        .unwrap_or_else(|e| panic!("unfs run of {wl} failed: {e}"));
+    let r =
+        workloads::run(&*sys, wl, 1, s).unwrap_or_else(|e| panic!("unfs run of {wl} failed: {e}"));
     sys.shutdown();
     r
 }
 
 /// Runs one workload on Hare with one technique disabled (Figures 9–14).
-pub fn run_hare_without(
-    technique: &str,
-    cores: usize,
-    wl: Workload,
-    s: &Scale,
-) -> WorkloadResult {
+pub fn run_hare_without(technique: &str, cores: usize, wl: Workload, s: &Scale) -> WorkloadResult {
     let mut cfg = HareConfig::timeshare(cores);
     cfg.techniques = Techniques::without(technique);
     run_hare(cfg, wl, cores, s)
@@ -158,6 +153,137 @@ pub fn ratio(x: f64) -> String {
     format!("{x:.2}x")
 }
 
+// ----- BENCH_*.json trajectory points and the perf-smoke gate -------------
+
+/// One measured configuration of a microbenchmark: a name plus flat
+/// `metric → value` pairs. Serialized into the repository's `BENCH_*.json`
+/// trajectory files and compared by the CI perf gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchConfig {
+    /// Configuration label (e.g. `"all"`, `"no batching"`).
+    pub name: String,
+    /// Metric name/value pairs, in print order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchConfig {
+    /// Looks up one metric.
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
+/// Renders the machine-readable trajectory point the repository commits
+/// (`BENCH_<bench>.json`).
+pub fn bench_json(bench: &str, cores: usize, configs: &[BenchConfig]) -> String {
+    let mut json =
+        format!("{{\n  \"bench\": \"{bench}\",\n  \"cores\": {cores},\n  \"configs\": [\n");
+    for (i, c) in configs.iter().enumerate() {
+        json.push_str(&format!("    {{\"name\": \"{}\"", c.name));
+        for (k, v) in &c.metrics {
+            json.push_str(&format!(", \"{k}\": {v:.3}"));
+        }
+        json.push_str(if i + 1 < configs.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Parses the `configs` array of a `BENCH_*.json` file written by
+/// [`bench_json`] (one object per line; no external JSON dependency in the
+/// offline build container, and we only ever parse our own writer's
+/// output).
+pub fn parse_bench_json(text: &str) -> Vec<BenchConfig> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !(line.starts_with('{') && line.contains("\"name\"")) {
+            continue;
+        }
+        let body = line.trim_start_matches('{').trim_end_matches('}');
+        let mut name = None;
+        let mut metrics = Vec::new();
+        for pair in body.split(", \"") {
+            let pair = pair.trim_start_matches('"');
+            let Some((key, value)) = pair.split_once("\":") else {
+                continue;
+            };
+            let value = value.trim();
+            if key == "name" {
+                name = Some(value.trim_matches(|c| c == ' ' || c == '"').to_string());
+            } else if let Ok(v) = value.parse::<f64>() {
+                metrics.push((key.to_string(), v));
+            }
+        }
+        if let Some(name) = name {
+            out.push(BenchConfig { name, metrics });
+        }
+    }
+    out
+}
+
+/// The CI perf-smoke regression gate: compares freshly measured configs
+/// against the committed baseline file named by the `HARE_GATE_BASELINE`
+/// environment variable (no-op when unset).
+///
+/// Policy: metrics ending in `_rpcs_per_op` are *hard* — RPC counts are
+/// deterministic per operation, so any increase beyond a 0.05 absolute
+/// tolerance fails the gate (and a missing config or metric fails it too,
+/// so renames cannot silently drop coverage). Metrics ending in
+/// `_cycles_per_op` only warn, since virtual-cycle totals shift with
+/// scale/core settings on CI runners.
+pub fn perf_gate(bench: &str, current: &[BenchConfig]) {
+    let Ok(path) = std::env::var("HARE_GATE_BASELINE") else {
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("perf gate: cannot read baseline {path}: {e}"));
+    let baseline = parse_bench_json(&text);
+    assert!(
+        !baseline.is_empty(),
+        "perf gate: baseline {path} has no configs"
+    );
+    let mut failures = Vec::new();
+    for base_cfg in &baseline {
+        let Some(cur_cfg) = current.iter().find(|c| c.name == base_cfg.name) else {
+            failures.push(format!(
+                "config {:?} present in baseline but not measured",
+                base_cfg.name
+            ));
+            continue;
+        };
+        for (key, base) in &base_cfg.metrics {
+            let Some(cur) = cur_cfg.metric(key) else {
+                failures.push(format!("{}: metric {key} disappeared", base_cfg.name));
+                continue;
+            };
+            if key.ends_with("_rpcs_per_op") {
+                if cur > base + 0.05 {
+                    failures.push(format!(
+                        "{}: {key} regressed {base:.3} -> {cur:.3}",
+                        base_cfg.name
+                    ));
+                }
+            } else if key.ends_with("_cycles_per_op") && cur > base * 1.5 {
+                eprintln!(
+                    "perf gate WARNING ({bench}/{}): {key} {base:.1} -> {cur:.1} \
+                     (cycles are warn-only; runners vary)",
+                    base_cfg.name
+                );
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("perf gate: {bench} within baseline {path}");
+    } else {
+        eprintln!("perf gate FAILED for {bench} against {path}:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 /// Summary statistics over a set of ratios (the Figure 9 rows).
 pub fn summarize(ratios: &[f64]) -> (f64, f64, f64, f64) {
     assert!(!ratios.is_empty());
@@ -195,5 +321,45 @@ mod tests {
         assert_eq!(max, 10.0);
         assert_eq!(avg, 4.0);
         assert_eq!(median, 2.5);
+    }
+
+    #[test]
+    fn bench_json_roundtrip() {
+        let configs = vec![
+            BenchConfig {
+                name: "all".into(),
+                metrics: vec![
+                    ("open_rpcs_per_op".into(), 1.125),
+                    ("open_cycles_per_op".into(), 5590.5),
+                ],
+            },
+            BenchConfig {
+                name: "no batching".into(),
+                metrics: vec![
+                    ("open_rpcs_per_op".into(), 2.0),
+                    ("open_cycles_per_op".into(), 8790.5),
+                ],
+            },
+        ];
+        let parsed = parse_bench_json(&bench_json("micro_open", 8, &configs));
+        assert_eq!(parsed, configs);
+    }
+
+    #[test]
+    fn parse_committed_baseline_shape() {
+        // The exact shape PR 1 committed; the gate must keep reading it.
+        let text = r#"{
+  "bench": "micro_open",
+  "cores": 8,
+  "configs": [
+    {"name": "all", "open_rpcs_per_op": 1.125, "probe_rpcs_per_op": 0.000},
+    {"name": "no dircache", "open_rpcs_per_op": 3.000, "probe_rpcs_per_op": 3.000}
+  ]
+}"#;
+        let parsed = parse_bench_json(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "all");
+        assert_eq!(parsed[0].metric("open_rpcs_per_op"), Some(1.125));
+        assert_eq!(parsed[1].metric("probe_rpcs_per_op"), Some(3.0));
     }
 }

@@ -8,7 +8,7 @@
 //! "check the invalidation queue first" discipline that lets servers
 //! proceed without acknowledgments.
 //!
-//! Two properties beyond the paper's cache:
+//! Three properties beyond the paper's cache:
 //!
 //! * **Negative entries**: an ENOENT lookup result is cached as
 //!   [`Cached::Neg`]. Servers track misses exactly like hits, so the
@@ -16,13 +16,21 @@
 //!   with the same queue-drain soundness argument. `O_CREAT` probes and
 //!   repeated failing lookups then cost zero RPCs.
 //! * **Allocation-free hits**: entries are keyed `dir → name`, with names
-//!   stored as `Box<str>`, so a hit probes two maps with borrowed `&str`
+//!   stored as `Arc<str>` (shared with the eviction queue, one
+//!   allocation per slot), so a hit probes two maps with borrowed `&str`
 //!   keys instead of building a fresh `(InodeId, String)` tuple per lookup.
+//! * **Bounded size**: the cache holds at most `capacity` slots (positive
+//!   and negative combined); beyond that the oldest-inserted slot is
+//!   evicted. Without the bound an adversarial probe stream — millions of
+//!   distinct absent names — would grow the negative side without limit.
+//!   Eviction is always sound: a dropped slot just means the next lookup
+//!   re-asks the server.
 
 use crate::proto::Invalidation;
 use crate::types::InodeId;
 use fsapi::FileType;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// A cached directory entry: everything a lookup RPC returns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,19 +54,44 @@ pub enum Cached {
 
 /// The lookup cache plus its invalidation queue.
 pub struct DirCache {
-    entries: HashMap<InodeId, HashMap<Box<str>, Cached>>,
+    entries: HashMap<InodeId, HashMap<Arc<str>, Slot>>,
     inval_rx: msg::Receiver<Invalidation>,
+    /// Maximum number of slots; the oldest is evicted beyond this.
+    capacity: usize,
+    /// Insertion order for eviction. Each key carries the slot's birth
+    /// sequence number: a queue entry only evicts the slot whose sequence
+    /// it recorded, so a key left behind by a removed-then-recreated slot
+    /// can never evict the (younger) recreation.
+    order: VecDeque<(InodeId, Arc<str>, u64)>,
+    /// Birth sequence for the next created slot.
+    next_seq: u64,
+    /// Live slot count (`entries` nested sizes, maintained incrementally).
+    count: usize,
     hits: u64,
     misses: u64,
     invalidations: u64,
 }
 
+/// One cache slot plus the birth sequence tying it to its eviction-queue
+/// entry.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    val: Cached,
+    seq: u64,
+}
+
 impl DirCache {
-    /// Creates an empty cache draining `inval_rx`.
-    pub fn new(inval_rx: msg::Receiver<Invalidation>) -> Self {
+    /// Creates an empty cache draining `inval_rx`, holding at most
+    /// `capacity` slots.
+    pub fn new(inval_rx: msg::Receiver<Invalidation>, capacity: usize) -> Self {
+        assert!(capacity > 0, "directory cache needs at least one slot");
         DirCache {
             entries: HashMap::new(),
             inval_rx,
+            capacity,
+            order: VecDeque::new(),
+            next_seq: 0,
+            count: 0,
             hits: 0,
             misses: 0,
             invalidations: 0,
@@ -80,11 +113,65 @@ impl DirCache {
     /// Drops one slot, pruning the per-directory map when it empties.
     fn remove_slot(&mut self, dir: InodeId, name: &str) {
         if let Some(names) = self.entries.get_mut(&dir) {
-            names.remove(name);
+            if names.remove(name).is_some() {
+                self.count -= 1;
+            }
             if names.is_empty() {
                 self.entries.remove(&dir);
             }
         }
+    }
+
+    /// Stores `val` under `(dir, name)`, evicting the oldest slot when the
+    /// cache is full. Overwriting an existing slot keeps its age.
+    fn put(&mut self, dir: InodeId, name: &str, val: Cached) {
+        let slot = self.entries.entry(dir).or_default();
+        match slot.get_mut(name) {
+            Some(s) => {
+                s.val = val;
+                return;
+            }
+            None => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                // One allocation shared by the map key and the queue key.
+                let key: Arc<str> = Arc::from(name);
+                slot.insert(Arc::clone(&key), Slot { val, seq });
+                self.count += 1;
+                self.order.push_back((dir, key, seq));
+            }
+        }
+        while self.count > self.capacity {
+            let Some((edir, ename, eseq)) = self.order.pop_front() else {
+                break;
+            };
+            // Only evict the exact slot this key was born with: a stale
+            // key (the slot was invalidated, removed, or removed and later
+            // recreated) has a mismatching sequence and is just dropped.
+            if self.slot_seq(edir, &ename) == Some(eseq) {
+                self.remove_slot(edir, &ename);
+            }
+        }
+        // Lazy-deletion hygiene: once stale keys dominate the queue,
+        // rebuild it from the live slots so the queue length stays
+        // proportional to the cache, not to its history.
+        if self.order.len() > 2 * self.capacity.max(16) {
+            let entries = &self.entries;
+            self.order.retain(|(d, n, seq)| {
+                entries
+                    .get(d)
+                    .and_then(|m| m.get(&**n))
+                    .is_some_and(|s| s.seq == *seq)
+            });
+        }
+    }
+
+    /// The birth sequence of the live slot at `(dir, name)`, if any.
+    fn slot_seq(&self, dir: InodeId, name: &str) -> Option<u64> {
+        self.entries
+            .get(&dir)
+            .and_then(|m| m.get(name))
+            .map(|s| s.seq)
     }
 
     /// Looks up `(dir, name)`, processing pending invalidations first.
@@ -96,7 +183,7 @@ impl DirCache {
             .entries
             .get(&dir)
             .and_then(|names| names.get(name))
-            .copied();
+            .map(|s| s.val);
         if hit.is_some() {
             self.hits += 1;
         } else {
@@ -107,19 +194,13 @@ impl DirCache {
 
     /// Records a positive lookup result.
     pub fn insert(&mut self, dir: InodeId, name: &str, val: CachedDentry) {
-        self.entries
-            .entry(dir)
-            .or_default()
-            .insert(Box::from(name), Cached::Pos(val));
+        self.put(dir, name, Cached::Pos(val));
     }
 
     /// Records a negative lookup result (the server answered ENOENT and
     /// tracked this client for the eventual creation's invalidation).
     pub fn insert_negative(&mut self, dir: InodeId, name: &str) {
-        self.entries
-            .entry(dir)
-            .or_default()
-            .insert(Box::from(name), Cached::Neg);
+        self.put(dir, name, Cached::Neg);
     }
 
     /// Drops an entry the local client knows is stale (it mutated the name
@@ -136,12 +217,24 @@ impl DirCache {
 
     /// Number of cached entries (positive and negative).
     pub fn len(&self) -> usize {
-        self.entries.values().map(|names| names.len()).sum()
+        debug_assert_eq!(
+            self.count,
+            self.entries
+                .values()
+                .map(|names| names.len())
+                .sum::<usize>()
+        );
+        self.count
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -150,8 +243,12 @@ mod tests {
     use super::*;
 
     fn cache() -> (msg::Sender<Invalidation>, DirCache) {
+        cache_with_capacity(1024)
+    }
+
+    fn cache_with_capacity(cap: usize) -> (msg::Sender<Invalidation>, DirCache) {
         let (tx, rx) = msg::channel(msg::MsgStats::shared());
-        (tx, DirCache::new(rx))
+        (tx, DirCache::new(rx, cap))
     }
 
     fn entry(num: u64) -> CachedDentry {
@@ -269,5 +366,83 @@ mod tests {
         c.insert_negative(InodeId::ROOT, "b");
         c.insert(sub, "a", entry(2));
         assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn capacity_bounds_adversarial_negative_stream() {
+        // A probe stream of distinct absent names must not grow the cache
+        // past its capacity.
+        let (_tx, mut c) = cache_with_capacity(8);
+        for i in 0..10_000 {
+            c.insert_negative(InodeId::ROOT, &format!("ghost{i}"));
+            assert!(c.len() <= 8, "cache exceeded capacity at insert {i}");
+        }
+        assert_eq!(c.len(), 8);
+        // Eviction is oldest-first: the latest probes survive.
+        let (hit, _) = c.lookup(InodeId::ROOT, "ghost9999");
+        assert_eq!(hit, Some(Cached::Neg));
+        let (hit, _) = c.lookup(InodeId::ROOT, "ghost0");
+        assert!(hit.is_none(), "oldest entry must have been evicted");
+    }
+
+    #[test]
+    fn recreated_slot_is_not_evicted_by_its_stale_queue_key() {
+        // The O_CREAT probe-then-create pattern: a slot is invalidated and
+        // later recreated under the same name. The stale queue key left by
+        // the first incarnation must NOT evict the fresh slot — eviction
+        // has to take the true oldest entry instead.
+        let (tx, mut c) = cache_with_capacity(2);
+        c.insert(InodeId::ROOT, "a", entry(1));
+        c.insert(InodeId::ROOT, "b", entry(2));
+        tx.send(
+            Invalidation {
+                dir: InodeId::ROOT,
+                name: "a".into(),
+            },
+            0,
+            0,
+        )
+        .unwrap();
+        c.process_invals();
+        c.insert(InodeId::ROOT, "a", entry(3)); // recreation: youngest slot
+        c.insert(InodeId::ROOT, "c", entry(4)); // overflow: must evict "b"
+        assert!(
+            c.lookup(InodeId::ROOT, "a").0.is_some(),
+            "recreated slot evicted by its stale queue key"
+        );
+        assert!(c.lookup(InodeId::ROOT, "b").0.is_none(), "true oldest kept");
+        assert!(c.lookup(InodeId::ROOT, "c").0.is_some());
+    }
+
+    #[test]
+    fn eviction_order_survives_invalidation_churn() {
+        // Interleave inserts with invalidations so the order queue carries
+        // stale keys; the live count must stay bounded and consistent.
+        let (tx, mut c) = cache_with_capacity(4);
+        for i in 0..200 {
+            c.insert(InodeId::ROOT, &format!("f{i}"), entry(i));
+            if i % 3 == 0 {
+                tx.send(
+                    Invalidation {
+                        dir: InodeId::ROOT,
+                        name: format!("f{i}"),
+                    },
+                    0,
+                    0,
+                )
+                .unwrap();
+                c.process_invals();
+            }
+            assert!(c.len() <= 4);
+        }
+        // Re-inserting an existing name must not double-count.
+        let survivors: Vec<String> = (0..200)
+            .map(|i| format!("f{i}"))
+            .filter(|n| c.lookup(InodeId::ROOT, n).0.is_some())
+            .collect();
+        for n in &survivors {
+            c.insert(InodeId::ROOT, n, entry(1));
+        }
+        assert_eq!(c.len(), survivors.len());
     }
 }

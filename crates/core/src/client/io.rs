@@ -45,11 +45,9 @@ impl ClientLib {
             .iter()
             .filter_map(|i| entry.blocks.get(*i).copied())
             .collect();
-        let n = self
-            .machine
-            .with_cache(self.params.core, |cache, dram| {
-                cache.writeback_all(dram, blocks)
-            });
+        let n = self.machine.with_cache(self.params.core, |cache, dram| {
+            cache.writeback_all(dram, blocks)
+        });
         self.charge(self.machine.cost.writeback_blk * n as u64);
     }
 
@@ -317,7 +315,8 @@ impl ClientLib {
                 let pos = start as usize + written;
                 let (bi, bo) = (pos / BLOCK_SIZE, pos % BLOCK_SIZE);
                 let chunk = (BLOCK_SIZE - bo).min(buf.len() - written);
-                let access = cache.write(dram, entry.blocks[bi], bo, &buf[written..written + chunk]);
+                let access =
+                    cache.write(dram, entry.blocks[bi], bo, &buf[written..written + chunk]);
                 cost += if access.is_miss() {
                     self.machine.cost.cache_miss_blk
                 } else {
@@ -345,8 +344,7 @@ impl ClientLib {
         }
         match entry.mode {
             FdMode::Local { offset: cur } => {
-                let new = fsapi::flags::apply_seek(cur, entry.size, offset, whence)
-                    .map_err(|_| Errno::EINVAL)?;
+                let new = fsapi::flags::apply_seek(cur, entry.size, offset, whence)?;
                 entry.mode = FdMode::Local { offset: new };
                 Ok(new)
             }
@@ -419,7 +417,13 @@ impl ClientLib {
         let snapshot = entry.clone();
         self.flush_entry(&snapshot);
         let (ino, fdid) = (entry.ino, entry.fdid);
-        self.call_unit(ino.server, Request::Truncate { fd: fdid, size: len })?;
+        self.call_unit(
+            ino.server,
+            Request::Truncate {
+                fd: fdid,
+                size: len,
+            },
+        )?;
         let entry = st.fds.get_mut(num)?;
         if let FdMode::Local { .. } = entry.mode {
             let keep = (len as usize).div_ceil(BLOCK_SIZE);
@@ -626,7 +630,9 @@ impl ClientLib {
             let (bi, bo) = (pos / BLOCK_SIZE - first_bi, pos % BLOCK_SIZE);
             let chunk = (BLOCK_SIZE - bo).min(len - filled);
             if let Some(b) = blocks.get(bi) {
-                self.machine.dram.read(*b, bo, &mut buf[filled..filled + chunk]);
+                self.machine
+                    .dram
+                    .read(*b, bo, &mut buf[filled..filled + chunk]);
             } else {
                 buf[filled..filled + chunk].fill(0);
             }

@@ -6,6 +6,7 @@
 //! message passing). The library implements the POSIX surface of
 //! [`fsapi::ProcFs`].
 
+mod batch;
 pub mod dircache;
 pub mod fd;
 mod io;
@@ -41,6 +42,8 @@ pub struct ClientParams {
     pub default_distributed: bool,
     /// Effective distribution flag of the root directory.
     pub root_distributed: bool,
+    /// Directory-cache capacity in slots (positive + negative).
+    pub dircache_capacity: usize,
 }
 
 /// Internal mutable state, serialized behind one lock (a process is a
@@ -77,6 +80,7 @@ impl ClientLib {
         machine.register_entity(params.core);
         let local_server = designated_local_server(&machine, &servers, params.core, params.id);
         let entity = Entity::new(params.core, params.start_time);
+        let dircache_capacity = params.dircache_capacity;
         let lib = ClientLib {
             machine,
             servers,
@@ -85,7 +89,7 @@ impl ClientLib {
             local_server,
             state: Mutex::new(ClientState {
                 fds: ClientFdTable::default(),
-                dircache: DirCache::new(inval_rx),
+                dircache: DirCache::new(inval_rx, dircache_capacity),
             }),
             detached: AtomicBool::new(false),
         };
@@ -120,6 +124,11 @@ impl ClientLib {
     /// Directory-cache `(hits, misses, invalidations)`.
     pub fn dircache_stats(&self) -> (u64, u64, u64) {
         self.state.lock().dircache.stats()
+    }
+
+    /// Number of directory-cache slots currently held (bound diagnostics).
+    pub fn dircache_len(&self) -> usize {
+        self.state.lock().dircache.len()
     }
 
     // ----- RPC helpers -----------------------------------------------------

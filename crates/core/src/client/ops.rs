@@ -513,53 +513,59 @@ impl ClientLib {
             return Err(Errno::EINVAL);
         }
         let mut st = self.state.lock();
-        let (old_dir, old_name) = self.resolve_parent(&mut st, &old_n)?;
-        let (new_dir, new_name) = self.resolve_parent(&mut st, &new_n)?;
+        // Lockstep prefetch: both parent chains resolve concurrently
+        // through the batched transport.
+        let ((old_dir, old_name), (new_dir, new_name)) =
+            self.resolve_parent_pair(&mut st, &old_n, &new_n)?;
         fsapi::path::validate_name(new_name)?;
         let d = self.lookup_child(&mut st, old_dir, old_name)?;
 
         // Paper §3.3: "rename first contacts the server storing the new
         // name, to create (or replace) a hard link with the new name, and
         // then contacts the server storing the old name to unlink it."
+        // The fail-fast grouped send keeps exactly that order — and when
+        // both names hash to the same shard server, the pair travels as
+        // one batched exchange instead of two RPCs.
         let new_shard = self.shard_of(new_dir.ino, new_dir.dist, new_name);
-        let replaced = expect_reply!(
-            self.call(
-                new_shard,
-                Request::AddMap {
-                    client: self.params.id,
-                    dir: new_dir.ino,
-                    name: new_name.to_string(),
-                    target: d.target,
-                    ftype: d.ftype,
-                    dist: d.dist,
-                    replace: true,
-                },
-            ),
-            Reply::AddMapped { replaced } => replaced
-        )?;
-
         let old_shard = self.shard_of(old_dir.ino, old_dir.dist, old_name);
-        let _ = expect_reply!(
-            self.call(
-                old_shard,
-                Request::RmMap {
-                    client: self.params.id,
-                    dir: old_dir.ino,
-                    name: old_name.to_string(),
-                    must_be_file: false,
-                },
-            ),
-            Reply::RmMapped { target, ftype } => (target, ftype)
-        )?;
+        let mut pair = self
+            .call_grouped(
+                vec![
+                    (
+                        new_shard,
+                        Request::AddMap {
+                            client: self.params.id,
+                            dir: new_dir.ino,
+                            name: new_name.to_string(),
+                            target: d.target,
+                            ftype: d.ftype,
+                            dist: d.dist,
+                            replace: true,
+                        },
+                    ),
+                    (
+                        old_shard,
+                        Request::RmMap {
+                            client: self.params.id,
+                            dir: old_dir.ino,
+                            name: old_name.to_string(),
+                            must_be_file: false,
+                        },
+                    ),
+                ],
+                true,
+            )
+            .into_iter();
+        let (add_reply, rm_reply) = (
+            pair.next().expect("two replies"),
+            pair.next().expect("two replies"),
+        );
+        let replaced = expect_reply!(add_reply, Reply::AddMapped { replaced } => replaced)?;
+        let _ = expect_reply!(rm_reply, Reply::RmMapped { target, ftype } => (target, ftype))?;
 
         // The displaced target (if any) loses a link.
         if let Some((displaced, _ftype)) = replaced {
-            let _ = self.call(
-                displaced.server,
-                Request::LinkDecref {
-                    num: displaced.num,
-                },
-            );
+            let _ = self.call(displaced.server, Request::LinkDecref { num: displaced.num });
         }
 
         st.dircache.remove(old_dir.ino, old_name);
@@ -579,9 +585,14 @@ impl ClientLib {
         drop(st);
 
         if dir.dist {
-            // Distributed: fan out to all servers (directory broadcast,
-            // §3.6.2; sequential RPCs when the technique is disabled).
-            let shards = self.call_all(|_| Request::ListShard { dir: dir.ino });
+            // Distributed: fan out to all servers through the batched
+            // transport — one exchange per server with batching on, N
+            // independent RPCs (broadcast-overlapped or sequential) with
+            // it off.
+            let reqs: Vec<(ServerId, Request)> = (0..self.servers.len())
+                .map(|s| (s as ServerId, Request::ListShard { dir: dir.ino }))
+                .collect();
+            let shards = self.call_grouped(reqs, false);
             let mut out = Vec::new();
             for s in shards {
                 let entries = expect_reply!(s, Reply::Shard { entries } => entries)?;
@@ -608,19 +619,96 @@ impl ClientLib {
         self.syscall();
         let mut st = self.state.lock();
         let comps = fsapi::path::components(path)?;
-        let target = if comps.is_empty() {
-            InodeId::ROOT
-        } else {
-            let (dir, name) = {
-                let (parents, name) = (&comps[..comps.len() - 1], comps[comps.len() - 1]);
-                (self.resolve_dir(&mut st, parents)?, name)
-            };
-            self.lookup_child(&mut st, dir, name)?.target
+        let Some((&name, parents)) = comps.split_last() else {
+            drop(st);
+            return self.stat_inode(InodeId::ROOT);
         };
-        drop(st);
+        let dir = self.resolve_dir(&mut st, parents)?;
+
+        // Cached dentry: go straight to the inode server.
+        match self.consult_dircache(&mut st, dir.ino, name) {
+            Some(Cached::Pos(d)) => {
+                drop(st);
+                return self.stat_inode(d.target);
+            }
+            Some(Cached::Neg) => return Err(Errno::ENOENT),
+            None => {}
+        }
+        if !self.params.techniques.coalesced_stat {
+            let d = self.lookup_child_uncached(&mut st, dir, name)?;
+            drop(st);
+            return self.stat_inode(d.target);
+        }
+
+        // Coalesced lookup+stat (the `stat` sibling of `lookup_open_fast`):
+        // one round trip to the dentry shard resolves the name and — when
+        // the inode lives there too — returns the metadata, for depth+1
+        // RPCs instead of depth+2.
+        let shard = self.shard_of(dir.ino, dir.dist, name);
+        let got = expect_reply!(
+            self.call(
+                shard,
+                Request::LookupStat {
+                    client: self.params.id,
+                    dir: dir.ino,
+                    name: name.to_string(),
+                },
+            ),
+            Reply::LookupStated { target, ftype, dist, stat } =>
+                (CachedDentry { target, ftype, dist }, stat)
+        );
+        match got {
+            Ok((d, stat)) => {
+                if self.params.techniques.dircache {
+                    st.dircache.insert(dir.ino, name, d);
+                }
+                drop(st);
+                match stat {
+                    Some(s) => Ok(s),
+                    // Remote inode: complete with the two-RPC path.
+                    None => self.stat_inode(d.target),
+                }
+            }
+            Err(Errno::ENOENT) => {
+                self.cache_negative(&mut st, dir.ino, name);
+                Err(Errno::ENOENT)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The plain `StatInode` round trip.
+    fn stat_inode(&self, ino: InodeId) -> FsResult<Stat> {
         expect_reply!(
-            self.call(target.server, Request::StatInode { num: target.num }),
+            self.call(ino.server, Request::StatInode { num: ino.num }),
             Reply::Stat(s) => s
         )
+    }
+
+    // ----- readdir + stat (the `ls -l` pattern) ----------------------------
+
+    /// Lists a directory and stats every entry, using the batched transport
+    /// to group the per-entry `StatInode`s by inode server: M entries
+    /// spread over N servers cost N stat exchanges instead of M RPCs.
+    ///
+    /// Entries whose stat fails are skipped rather than failing the whole
+    /// listing — an entry can legitimately vanish between the `ListShard`
+    /// fan-out and the stat (a concurrent unlink), exactly like `ls -l`
+    /// dropping a file that disappears mid-listing.
+    pub fn readdir_plus(&self, path: &str) -> FsResult<Vec<(DirEntry, Stat)>> {
+        let entries = self.readdir_impl(path)?;
+        let reqs: Vec<(ServerId, Request)> = entries
+            .iter()
+            .map(|e| (e.server, Request::StatInode { num: e.ino }))
+            .collect();
+        let replies = self.call_grouped(reqs, false);
+        Ok(entries
+            .into_iter()
+            .zip(replies)
+            .filter_map(|(e, r)| match r {
+                Ok(Reply::Stat(s)) => Some((e, s)),
+                _ => None,
+            })
+            .collect())
     }
 }

@@ -10,6 +10,10 @@ use crate::proto::{Reply, Request};
 use crate::types::InodeId;
 use fsapi::{Errno, FileType, FsResult};
 
+/// A `(parent directory, final name)` pair for each of two resolved paths
+/// (the result of lockstep pair resolution).
+pub(crate) type ParentPair<'a, 'b> = ((DirRef, &'a str), (DirRef, &'b str));
+
 /// A resolved directory: its inode plus distribution flag (needed to route
 /// subsequent entry operations to the right shard).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,5 +138,144 @@ impl ClientLib {
         let (parents, name) = fsapi::path::split_parent(path)?;
         let dir = self.resolve_dir(st, &parents)?;
         Ok((dir, name))
+    }
+
+    /// Resolves two paths to their `(parent directory, final name)` pairs
+    /// *in lockstep* (multi-component resolution prefetch): at every step
+    /// the two chains' frontier lookups are independent of each other, so
+    /// they ship through the batched transport — one exchange when both
+    /// hash to the same shard server, overlapped exchanges otherwise.
+    /// Shared-prefix components are deduplicated, so the RPC count never
+    /// exceeds the sequential path's. Used by `rename`, whose two
+    /// resolutions are the one hot multi-path pattern.
+    ///
+    /// Error precedence matches sequential resolution: a failure on the
+    /// first path is reported even if the second failed too.
+    pub(crate) fn resolve_parent_pair<'a, 'b>(
+        &self,
+        st: &mut ClientState,
+        a: &'a str,
+        b: &'b str,
+    ) -> FsResult<ParentPair<'a, 'b>> {
+        let (pa, na) = fsapi::path::split_parent(a)?;
+        let (pb, nb) = fsapi::path::split_parent(b)?;
+        let comps = [pa, pb];
+        let mut cur = [self.root_ref(), self.root_ref()];
+        let mut pos = [0usize; 2];
+        let mut err: [Option<Errno>; 2] = [None, None];
+
+        loop {
+            // Advance each chain through the directory cache until it needs
+            // a real RPC (or finishes).
+            let mut frontier: Vec<(usize, crate::types::ServerId, InodeId, &str)> = Vec::new();
+            for c in 0..2 {
+                if err[c].is_some() {
+                    continue;
+                }
+                while pos[c] < comps[c].len() {
+                    let name = comps[c][pos[c]];
+                    match self.consult_dircache(st, cur[c].ino, name) {
+                        Some(Cached::Pos(d)) => match self.enter_dir(d) {
+                            Ok(next) => {
+                                cur[c] = next;
+                                pos[c] += 1;
+                            }
+                            Err(e) => {
+                                err[c] = Some(e);
+                                break;
+                            }
+                        },
+                        Some(Cached::Neg) => {
+                            err[c] = Some(Errno::ENOENT);
+                            break;
+                        }
+                        None => break,
+                    }
+                }
+                if err[c].is_none() && pos[c] < comps[c].len() {
+                    let name = comps[c][pos[c]];
+                    let shard = self.shard_of(cur[c].ino, cur[c].dist, name);
+                    frontier.push((c, shard, cur[c].ino, name));
+                }
+            }
+            if frontier.is_empty() {
+                break;
+            }
+            // Identical frontier lookups (shared prefix) collapse to one.
+            if frontier.len() == 2
+                && frontier[0].2 == frontier[1].2
+                && frontier[0].3 == frontier[1].3
+            {
+                frontier.pop();
+            }
+            let reqs: Vec<(crate::types::ServerId, Request)> = frontier
+                .iter()
+                .map(|&(_, shard, dir, name)| {
+                    (
+                        shard,
+                        Request::Lookup {
+                            client: self.params.id,
+                            dir,
+                            name: name.to_string(),
+                        },
+                    )
+                })
+                .collect();
+            let replies = self.call_grouped(reqs, false);
+            for (&(_, _, dir, name), reply) in frontier.iter().zip(replies) {
+                let got = expect_reply!(
+                    reply,
+                    Reply::Lookup { target, ftype, dist } => CachedDentry { target, ftype, dist }
+                );
+                let outcome = match got {
+                    Ok(v) => {
+                        if self.params.techniques.dircache {
+                            st.dircache.insert(dir, name, v);
+                        }
+                        self.enter_dir(v)
+                    }
+                    Err(Errno::ENOENT) => {
+                        self.cache_negative(st, dir, name);
+                        Err(Errno::ENOENT)
+                    }
+                    Err(e) => Err(e),
+                };
+                // Apply to every chain waiting on this (dir, name) — both,
+                // when the frontier collapsed.
+                for c in 0..2 {
+                    if err[c].is_some() || pos[c] >= comps[c].len() {
+                        continue;
+                    }
+                    if cur[c].ino == dir && comps[c][pos[c]] == name {
+                        match outcome {
+                            Ok(next) => {
+                                cur[c] = next;
+                                pos[c] += 1;
+                            }
+                            Err(e) => err[c] = Some(e),
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(e) = err[0] {
+            return Err(e);
+        }
+        if let Some(e) = err[1] {
+            return Err(e);
+        }
+        Ok(((cur[0], na), (cur[1], nb)))
+    }
+
+    /// Interprets a resolved dentry as a directory to descend into.
+    fn enter_dir(&self, d: CachedDentry) -> FsResult<DirRef> {
+        if d.ftype != FileType::Directory {
+            return Err(Errno::ENOTDIR);
+        }
+        Ok(DirRef {
+            ino: d.target,
+            dist: d.dist && self.params.techniques.distribution,
+        })
     }
 }

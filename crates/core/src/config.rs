@@ -2,13 +2,13 @@
 
 use vtime::{CostModel, Topology};
 
-/// The five techniques the paper ablates in §5.4 (Figure 9), plus two
+/// The five techniques the paper ablates in §5.4 (Figure 9), plus four
 /// hot-path extensions this reproduction adds in the same spirit.
 ///
 /// Each toggle removes one optimization while keeping the system correct,
 /// which is exactly how the paper measures technique importance.
 ///
-/// The two extensions:
+/// The extensions:
 ///
 /// * `coalesced_open` extends the paper's §3.6.3 message coalescing from
 ///   `create` to *open-existing*: when the dentry shard and the inode
@@ -20,6 +20,18 @@ use vtime::{CostModel, Topology};
 ///   server on a later ADD_MAP, so `O_CREAT` existence probes and
 ///   create-heavy workloads (mailbench) stop re-asking servers about names
 ///   known to be absent.
+/// * `coalesced_stat` is the `stat` sibling of `coalesced_open`: the
+///   final-component lookup and the `StatInode` travel as one `LookupStat`
+///   RPC when the dentry shard also stores the inode, cutting a cold
+///   `stat` from depth+2 to depth+1 RPCs (the client falls back to the
+///   two-RPC path for remote inodes).
+/// * `batching` is the batched RPC transport: independent requests bound
+///   for the same server ship as one `Batch` message executed in order,
+///   paying one message overhead (receive, reply send, context switch) for
+///   the group. It vectorizes `readdir`'s per-shard fan-out, the
+///   readdir+stat (`ls -l`) pattern, and same-shard rename
+///   `AddMap`+`RmMap` pairs, and is the groundwork for write-behind
+///   `SetSize` batching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Techniques {
     /// Directory distribution (§3.3): when off, every directory is
@@ -44,6 +56,13 @@ pub struct Techniques {
     /// Negative directory-entry caching (extends §3.6.1): when off, every
     /// ENOENT miss re-probes the dentry shard. Requires `dircache`.
     pub neg_dircache: bool,
+    /// Coalesced lookup+stat (extends §3.6.3 like `coalesced_open`): when
+    /// off, `stat` of an uncached name always pays separate `Lookup` and
+    /// `StatInode` round trips.
+    pub coalesced_stat: bool,
+    /// Batched RPC transport: when off, requests that would share a
+    /// `Batch` message to one server are issued as independent RPCs.
+    pub batching: bool,
 }
 
 impl Default for Techniques {
@@ -57,6 +76,8 @@ impl Default for Techniques {
             affinity: true,
             coalesced_open: true,
             neg_dircache: true,
+            coalesced_stat: true,
+            batching: true,
         }
     }
 }
@@ -78,6 +99,8 @@ impl Techniques {
             "affinity" => t.affinity = false,
             "coalesced_open" => t.coalesced_open = false,
             "neg_dircache" => t.neg_dircache = false,
+            "coalesced_stat" => t.coalesced_stat = false,
+            "batching" => t.batching = false,
             other => panic!("unknown technique {other:?}"),
         }
         t
@@ -124,6 +147,14 @@ pub struct HareConfig {
     pub placement: Placement,
     /// Pipe capacity in bytes (Linux default 64 KiB).
     pub pipe_capacity: usize,
+    /// Per-client directory-cache capacity in entries (positive and
+    /// negative slots combined); oldest entries are evicted beyond this,
+    /// so adversarial probe streams cannot grow the cache without bound.
+    pub dircache_capacity: usize,
+    /// Per-server capacity of the `(dir, name)` client-tracking table
+    /// (hits and misses alike). Evicting a slot invalidates its tracked
+    /// clients first, so bounding this state never leaves a stale cache.
+    pub server_track_capacity: usize,
 }
 
 impl HareConfig {
@@ -147,6 +178,8 @@ impl HareConfig {
             techniques: Techniques::default(),
             placement: Placement::RoundRobin,
             pipe_capacity: 64 * 1024,
+            dircache_capacity: 4096,
+            server_track_capacity: 8192,
         }
     }
 
@@ -218,6 +251,10 @@ mod tests {
         // Disabling the directory cache disables the negative cache too.
         let t = Techniques::without("dircache");
         assert!(!t.dircache && !t.neg_dircache);
+        let t = Techniques::without("coalesced_stat");
+        assert!(!t.coalesced_stat && t.coalesced_open && t.batching);
+        let t = Techniques::without("batching");
+        assert!(!t.batching && t.coalesced_stat && t.broadcast);
     }
 
     #[test]

@@ -49,6 +49,7 @@ impl HareInstance {
                     // Normalized: negative caching is meaningless (and
                     // would leak invalidations) without the dircache.
                     neg_dircache: cfg.techniques.neg_dircache && cfg.techniques.dircache,
+                    track_capacity: cfg.server_track_capacity,
                 },
             );
             threads.push(
@@ -110,6 +111,7 @@ impl HareInstance {
                 techniques: self.cfg.techniques,
                 default_distributed: self.cfg.default_distributed,
                 root_distributed: self.cfg.root_distributed && self.cfg.techniques.distribution,
+                dircache_capacity: self.cfg.dircache_capacity,
             },
         )
     }

@@ -160,9 +160,9 @@ impl Machine {
 
     /// Aggregated private-cache statistics over all cores.
     pub fn cache_stats(&self) -> nccmem::CacheStats {
-        self.caches.iter().fold(Default::default(), |acc, c| {
-            acc.merged(c.lock().stats())
-        })
+        self.caches
+            .iter()
+            .fold(Default::default(), |acc, c| acc.merged(c.lock().stats()))
     }
 
     /// Publishes an entity timeline value to the machine-wide maximum.
@@ -173,7 +173,9 @@ impl Machine {
     /// Virtual runtime so far: the later of the latest entity timeline and
     /// the busiest core's executed cycles.
     pub fn elapsed_cycles(&self) -> u64 {
-        self.busy.max_time().max(self.timeline.load(Ordering::SeqCst))
+        self.busy
+            .max_time()
+            .max(self.timeline.load(Ordering::SeqCst))
     }
 
     /// Phase barrier: raises every busy counter and the timeline to the

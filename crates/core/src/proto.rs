@@ -22,6 +22,13 @@
 //! [`Reply::Data`]) travel as `Arc<[u8]>` so the msg layer, parked pipe
 //! operations, and reply clones share one buffer instead of copying it at
 //! every hop.
+//!
+//! [`Request::Batch`] is the *batched transport*: several independent
+//! requests destined for the same server travel as one message and are
+//! executed in order, paying one message overhead (receive, reply send,
+//! context switch) for the whole group instead of per request. This is the
+//! message-aggregation idea of the multikernel literature applied to Hare's
+//! client/server RPCs; the client-side grouping lives in `client/batch.rs`.
 
 use crate::types::{ClientId, FdId, InodeId};
 use fsapi::{DirEntry, Errno, FileType, Mode, OpenFlags, Stat, Whence};
@@ -127,11 +134,43 @@ pub enum Request {
         /// Open flags for the coalesced open (handles `O_TRUNC`).
         flags: OpenFlags,
     },
+    /// Coalesced `lookup` + `stat` of the final pathname component (the
+    /// `stat` sibling of [`Request::LookupOpen`]). The server resolves
+    /// `(dir, name)` and, when the target inode also lives here, returns
+    /// its metadata in the same round trip. Misses are tracked like
+    /// [`Request::Lookup`] so negative cache entries receive invalidations.
+    LookupStat {
+        /// Requesting client (tracked for invalidation).
+        client: ClientId,
+        /// Parent directory inode.
+        dir: InodeId,
+        /// Entry name.
+        name: String,
+    },
     /// Lists this server's shard of a directory (`readdir` fan-out,
     /// paper §3.6.2).
     ListShard {
         /// Directory inode.
         dir: InodeId,
+    },
+
+    /// The batched transport: independent requests for this server shipped
+    /// as one message and executed in order. The server pays one message
+    /// overhead for the group plus each entry's normal service cost, and
+    /// answers with [`Reply::Batch`] carrying one reply per entry.
+    ///
+    /// Entries must reply inline: requests that can park their reply
+    /// ([`Request::PipeRead`], [`Request::PipeWrite`],
+    /// [`Request::RmdirSerialize`]), nested batches, and registration
+    /// messages are rejected with `EINVAL`.
+    Batch {
+        /// The entries, executed in order.
+        reqs: Vec<Request>,
+        /// With `fail_fast`, entries after the first failing one are
+        /// skipped and answered `EAGAIN` (used for ordered pairs like
+        /// rename's ADD_MAP + RM_MAP where the second half must not run
+        /// when the first failed).
+        fail_fast: bool,
     },
 
     // ----- Three-phase rmdir (paper §3.3) --------------------------------
@@ -367,6 +406,19 @@ pub enum Reply {
         /// Distribution flag for directory targets.
         dist: bool,
     },
+    /// Coalesced lookup+stat result. `stat` is present only when the
+    /// target inode is stored on the answering server; otherwise the
+    /// client completes with a separate [`Request::StatInode`].
+    LookupStated {
+        /// Target inode.
+        target: InodeId,
+        /// Target type.
+        ftype: FileType,
+        /// Distribution flag for directory targets.
+        dist: bool,
+        /// The coalesced stat, when the inode was local.
+        stat: Option<Stat>,
+    },
     /// Coalesced lookup+open result. `open` is present only when the
     /// target was a regular file stored on the answering server; otherwise
     /// the client completes the open with a separate [`Request::OpenInode`].
@@ -471,6 +523,8 @@ pub enum Reply {
         /// Write-end handle.
         wfd: FdId,
     },
+    /// One reply per entry of a [`Request::Batch`], in entry order.
+    Batch(Vec<WireReply>),
 }
 
 /// What travels back to the client.
@@ -503,6 +557,9 @@ pub fn base_service_cost(req: &Request) -> u64 {
         // The lookup half; the handler adds the open half only when it
         // actually coalesces (local regular-file target).
         Request::LookupOpen { .. } => 600,
+        // The lookup half; the handler adds the stat half only when the
+        // target inode is local.
+        Request::LookupStat { .. } => 600,
         Request::AddMap { .. } => 1211,
         Request::RmMap { .. } => 756,
         Request::ListShard { .. } => 400,
@@ -526,6 +583,10 @@ pub fn base_service_cost(req: &Request) -> u64 {
         Request::PipeCreate => 600,
         Request::PipeRead { .. } => 450,
         Request::PipeWrite { .. } => 450,
+        // The batch envelope itself is free: the whole point is that the
+        // group pays each entry's service cost but only one message
+        // overhead (receive + reply send + context switch).
+        Request::Batch { reqs, .. } => reqs.iter().map(base_service_cost).sum(),
         Request::Shutdown => 0,
     }
 }
@@ -560,5 +621,28 @@ mod tests {
     #[test]
     fn shutdown_is_free() {
         assert_eq!(base_service_cost(&Request::Shutdown), 0);
+    }
+
+    #[test]
+    fn batch_base_cost_is_sum_of_entries() {
+        let batch = Request::Batch {
+            reqs: vec![
+                Request::StatInode { num: 2 },
+                Request::StatInode { num: 3 },
+                Request::ListShard { dir: InodeId::ROOT },
+            ],
+            fail_fast: false,
+        };
+        assert_eq!(base_service_cost(&batch), 400 + 400 + 400);
+        // A singleton batch costs exactly its entry: routing a request
+        // through the batched transport is never a pessimization.
+        let one = Request::Batch {
+            reqs: vec![Request::StatInode { num: 2 }],
+            fail_fast: false,
+        };
+        assert_eq!(
+            base_service_cost(&one),
+            base_service_cost(&Request::StatInode { num: 2 })
+        );
     }
 }

@@ -24,22 +24,22 @@ impl std::fmt::Debug for ServerHandle {
     }
 }
 
-/// Issues one blocking RPC from `entity` to `server`.
-///
-/// Virtual-time accounting:
-/// 1. the caller executes the send cost (busy on its core);
-/// 2. the request arrives at the server after the topology latency;
-/// 3. the server's timeline serializes it with the server's other requests
-///    and its core pays the service cycles (see the server loop);
-/// 4. the caller's timeline advances to the reply's delivery time —
-///    *waiting, not busy* — then pays receive cost plus a context switch
-///    if its core is time-shared (it had been switched out while polling).
-pub fn call(
+/// An RPC whose request has been sent but whose reply has not been
+/// collected yet; lets callers overlap several outstanding exchanges
+/// (directory broadcast, batched fan-out).
+pub struct PendingCall {
+    rrx: msg::Receiver<WireReply>,
+}
+
+/// Sends one request without waiting for the reply: the caller executes the
+/// send cost (busy on its core) and the request arrives at the server after
+/// the topology latency.
+pub fn send_call(
     machine: &Arc<Machine>,
     entity: &Entity,
     server: &ServerHandle,
     req: Request,
-) -> WireReply {
+) -> Result<PendingCall, Errno> {
     let (rtx, rrx) = msg::channel::<WireReply>(Arc::clone(&machine.msg_stats));
     let t_sent = entity.work(machine, machine.cost.msg_send);
     let arrival = t_sent + machine.latency(entity.core, server.core);
@@ -47,9 +47,80 @@ pub fn call(
         .tx
         .send(ServerMsg { req, reply: rtx }, arrival, entity.core)
         .map_err(|_| Errno::EIO)?;
-    let env = rrx.recv().map_err(|_| Errno::EIO)?;
+    Ok(PendingCall { rrx })
+}
+
+/// Collects the reply of a previously sent request: the caller's timeline
+/// advances to the reply's delivery time — *waiting, not busy* — then pays
+/// receive cost plus a context switch if its core is time-shared (it had
+/// been switched out while polling).
+pub fn wait_call(machine: &Arc<Machine>, entity: &Entity, pending: PendingCall) -> WireReply {
+    let env = pending.rrx.recv().map_err(|_| Errno::EIO)?;
     finish_recv(machine, entity, env.deliver_at);
     env.payload
+}
+
+/// Issues one blocking RPC from `entity` to `server`: [`send_call`]
+/// followed immediately by [`wait_call`]. The server's timeline serializes
+/// the request with the server's other requests and its core pays the
+/// service cycles (see the server loop).
+pub fn call(
+    machine: &Arc<Machine>,
+    entity: &Entity,
+    server: &ServerHandle,
+    req: Request,
+) -> WireReply {
+    let pending = send_call(machine, entity, server, req)?;
+    wait_call(machine, entity, pending)
+}
+
+/// Ships `reqs` to one server as a single [`Request::Batch`] exchange and
+/// unpacks the per-entry replies, preserving entry order. A transport-level
+/// failure (or a protocol mismatch) fails every entry.
+pub fn call_batch(
+    machine: &Arc<Machine>,
+    entity: &Entity,
+    server: &ServerHandle,
+    reqs: Vec<Request>,
+    fail_fast: bool,
+) -> Vec<WireReply> {
+    let pending = send_batch(machine, entity, server, reqs, fail_fast);
+    wait_batch(machine, entity, pending)
+}
+
+/// The send half of [`call_batch`], for overlapping batches to several
+/// servers. Returns the pending exchange plus the entry count.
+pub fn send_batch(
+    machine: &Arc<Machine>,
+    entity: &Entity,
+    server: &ServerHandle,
+    reqs: Vec<Request>,
+    fail_fast: bool,
+) -> (Result<PendingCall, Errno>, usize) {
+    let n = reqs.len();
+    machine.msg_stats.record_batched_ops(n as u64);
+    let pending = send_call(machine, entity, server, Request::Batch { reqs, fail_fast });
+    (pending, n)
+}
+
+/// The collect half of [`call_batch`].
+pub fn wait_batch(
+    machine: &Arc<Machine>,
+    entity: &Entity,
+    (pending, n): (Result<PendingCall, Errno>, usize),
+) -> Vec<WireReply> {
+    let outcome = match pending {
+        Ok(p) => wait_call(machine, entity, p),
+        Err(e) => Err(e),
+    };
+    match outcome {
+        Ok(crate::proto::Reply::Batch(replies)) if replies.len() == n => replies,
+        Ok(other) => {
+            debug_assert!(false, "batch protocol mismatch: {other:?}");
+            vec![Err(Errno::EIO); n]
+        }
+        Err(e) => vec![Err(e); n],
+    }
 }
 
 /// Issues the same request (produced per-server by `mk`) to many servers.
@@ -72,32 +143,13 @@ pub fn multicall(
             .map(|s| call(machine, entity, s, mk(s.id)))
             .collect();
     }
-    let mut pending = Vec::with_capacity(servers.len());
-    for s in servers {
-        let (rtx, rrx) = msg::channel::<WireReply>(Arc::clone(&machine.msg_stats));
-        let t_sent = entity.work(machine, machine.cost.msg_send);
-        let arrival = t_sent + machine.latency(entity.core, s.core);
-        let sent = s
-            .tx
-            .send(
-                ServerMsg {
-                    req: mk(s.id),
-                    reply: rtx,
-                },
-                arrival,
-                entity.core,
-            )
-            .map_err(|_| Errno::EIO);
-        pending.push((sent, rrx));
-    }
+    let pending: Vec<_> = servers
+        .iter()
+        .map(|s| send_call(machine, entity, s, mk(s.id)))
+        .collect();
     pending
         .into_iter()
-        .map(|(sent, rrx)| {
-            sent?;
-            let env = rrx.recv().map_err(|_| Errno::EIO)?;
-            finish_recv(machine, entity, env.deliver_at);
-            env.payload
-        })
+        .map(|p| wait_call(machine, entity, p?))
         .collect()
 }
 

@@ -7,9 +7,18 @@
 //! lists used for invalidation callbacks (paper §3.6.1) and the tombstones
 //! of removed directories.
 
+//! The tracking table is **bounded**: at most `track_capacity` `(dir,
+//! name)` slots are remembered, hits and misses alike, so an adversarial
+//! probe stream of distinct absent names cannot grow server state without
+//! limit. Evicting a slot first returns its tracked clients so the server
+//! can send them an invalidation — they drop their cached entry and
+//! re-resolve, which keeps eviction sound (never a stale cache, only a
+//! re-asked question).
+
 use crate::types::{ClientId, InodeId};
 use fsapi::{DirEntry, Errno, FileType, FsResult};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Value of one directory entry.
 ///
@@ -26,22 +35,76 @@ pub struct DentryVal {
     pub dist: bool,
 }
 
+/// A tracking slot evicted to make room: the entry's key plus the clients
+/// that must be sent an invalidation for it.
+#[derive(Debug)]
+pub struct EvictedTracking {
+    /// Directory of the evicted slot.
+    pub dir: InodeId,
+    /// Entry name of the evicted slot.
+    pub name: String,
+    /// Clients that were tracking it.
+    pub clients: Vec<ClientId>,
+}
+
+/// One tracking slot: the clients caching `(dir, name)` plus the birth
+/// sequence tying the slot to its eviction-queue entry.
+#[derive(Debug)]
+struct TrackSlot {
+    clients: HashSet<ClientId>,
+    seq: u64,
+}
+
 /// This server's slice of every directory.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DentryShard {
     /// dir → name → value.
     dirs: HashMap<InodeId, HashMap<String, DentryVal>>,
     /// Clients holding `(dir, name)` — positively or negatively — in
     /// their lookup caches, nested by directory so rmdir can drop a
     /// directory's lists without scanning unrelated state.
-    tracking: HashMap<InodeId, HashMap<String, HashSet<ClientId>>>,
+    tracking: HashMap<InodeId, HashMap<Arc<str>, TrackSlot>>,
+    /// Maximum number of tracking slots (see module docs).
+    track_capacity: usize,
+    /// Tracking-slot insertion order for eviction. Each key carries the
+    /// slot's birth sequence number: a queue entry only evicts the slot
+    /// whose sequence it recorded, so a key left behind by a
+    /// consumed-then-recreated slot can never evict the (younger)
+    /// recreation — nor fire a spurious invalidation at its clients.
+    track_order: VecDeque<(InodeId, Arc<str>, u64)>,
+    /// Birth sequence for the next created tracking slot.
+    track_seq: u64,
+    /// Live tracking-slot count.
+    track_slots: usize,
     /// Directories removed by a committed rmdir. Entries can never be
     /// created under a tombstoned directory, closing the race between a
     /// committed removal and a client with a stale parent lookup.
     tombstones: HashSet<InodeId>,
 }
 
+impl Default for DentryShard {
+    /// A shard with the default tracking capacity (tests and tools;
+    /// servers pass the configured capacity via [`DentryShard::new`]).
+    fn default() -> Self {
+        DentryShard::new(8192)
+    }
+}
+
 impl DentryShard {
+    /// An empty shard tracking at most `track_capacity` `(dir, name)`
+    /// slots.
+    pub fn new(track_capacity: usize) -> Self {
+        assert!(track_capacity > 0, "tracking table needs at least one slot");
+        DentryShard {
+            dirs: HashMap::new(),
+            tracking: HashMap::new(),
+            track_capacity,
+            track_order: VecDeque::new(),
+            track_seq: 0,
+            track_slots: 0,
+            tombstones: HashSet::new(),
+        }
+    }
     /// Looks up `name` in `dir`'s local slice.
     pub fn lookup(&self, dir: InodeId, name: &str) -> Option<DentryVal> {
         self.dirs.get(&dir).and_then(|m| m.get(name)).copied()
@@ -128,28 +191,88 @@ impl DentryShard {
     pub fn tombstone(&mut self, dir: InodeId) {
         self.tombstones.insert(dir);
         self.dirs.remove(&dir);
-        self.tracking.remove(&dir);
+        if let Some(names) = self.tracking.remove(&dir) {
+            self.track_slots -= names.len();
+        }
     }
 
     /// Records that `client` cached `(dir, name)`; it will receive an
-    /// invalidation when the entry changes.
-    pub fn track(&mut self, dir: InodeId, name: &str, client: ClientId) {
-        self.tracking
-            .entry(dir)
-            .or_default()
-            .entry(name.to_string())
-            .or_default()
-            .insert(client);
+    /// invalidation when the entry changes. Creating a slot beyond the
+    /// capacity evicts the oldest one; the caller must deliver an
+    /// invalidation to each returned eviction's clients (that is what
+    /// keeps bounded tracking sound).
+    #[must_use = "evicted slots' clients must be sent invalidations"]
+    pub fn track(&mut self, dir: InodeId, name: &str, client: ClientId) -> Vec<EvictedTracking> {
+        let seq = self.track_seq;
+        let names = self.tracking.entry(dir).or_default();
+        match names.get_mut(name) {
+            Some(slot) => {
+                slot.clients.insert(client);
+                return Vec::new();
+            }
+            None => {
+                self.track_seq += 1;
+                // One allocation shared by the map key and the queue key.
+                let key: Arc<str> = Arc::from(name);
+                names.insert(
+                    Arc::clone(&key),
+                    TrackSlot {
+                        clients: HashSet::from([client]),
+                        seq,
+                    },
+                );
+                self.track_slots += 1;
+                self.track_order.push_back((dir, key, seq));
+            }
+        }
+        let mut evicted = Vec::new();
+        while self.track_slots > self.track_capacity {
+            let Some((edir, ename, eseq)) = self.track_order.pop_front() else {
+                break;
+            };
+            // Only evict the exact slot this key was born with: a stale
+            // key (the slot was consumed by take_trackers, a tombstone, or
+            // untrack — possibly recreated since) has a mismatching
+            // sequence and is just dropped.
+            let live = self
+                .tracking
+                .get(&edir)
+                .and_then(|m| m.get(&ename))
+                .is_some_and(|s| s.seq == eseq);
+            if !live {
+                continue;
+            }
+            let clients = self.take_all_trackers(edir, &ename);
+            if !clients.is_empty() {
+                evicted.push(EvictedTracking {
+                    dir: edir,
+                    name: ename.as_ref().to_string(),
+                    clients,
+                });
+            }
+        }
+        if self.track_order.len() > 2 * self.track_capacity.max(16) {
+            let tracking = &self.tracking;
+            self.track_order.retain(|(d, n, seq)| {
+                tracking
+                    .get(d)
+                    .and_then(|m| m.get(n))
+                    .is_some_and(|s| s.seq == *seq)
+            });
+        }
+        evicted
     }
 
-    /// Removes and returns the clients tracking `(dir, name)`, excluding
-    /// the mutating client (its library updates its own cache locally).
-    pub fn take_trackers(&mut self, dir: InodeId, name: &str, except: ClientId) -> Vec<ClientId> {
+    /// Removes a tracking slot outright, returning every client in it.
+    fn take_all_trackers(&mut self, dir: InodeId, name: &str) -> Vec<ClientId> {
         let Some(names) = self.tracking.get_mut(&dir) else {
             return Vec::new();
         };
-        let out = match names.remove(name) {
-            Some(set) => set.into_iter().filter(|c| *c != except).collect(),
+        let out: Vec<ClientId> = match names.remove(name) {
+            Some(slot) => {
+                self.track_slots -= 1;
+                slot.clients.into_iter().collect()
+            }
             None => Vec::new(),
         };
         if names.is_empty() {
@@ -158,15 +281,40 @@ impl DentryShard {
         out
     }
 
+    /// Removes and returns the clients tracking `(dir, name)`, excluding
+    /// the mutating client (its library updates its own cache locally).
+    pub fn take_trackers(&mut self, dir: InodeId, name: &str, except: ClientId) -> Vec<ClientId> {
+        let mut out = self.take_all_trackers(dir, name);
+        out.retain(|c| *c != except);
+        out
+    }
+
     /// Drops a departing client from every tracking list.
     pub fn untrack_client(&mut self, client: ClientId) {
+        let mut removed = 0;
         for names in self.tracking.values_mut() {
-            for set in names.values_mut() {
-                set.remove(&client);
+            for slot in names.values_mut() {
+                slot.clients.remove(&client);
             }
-            names.retain(|_, set| !set.is_empty());
+            names.retain(|_, slot| {
+                let keep = !slot.clients.is_empty();
+                if !keep {
+                    removed += 1;
+                }
+                keep
+            });
         }
         self.tracking.retain(|_, names| !names.is_empty());
+        self.track_slots -= removed;
+    }
+
+    /// Number of live tracking slots (diagnostics and bound tests).
+    pub fn tracked_slots(&self) -> usize {
+        debug_assert_eq!(
+            self.track_slots,
+            self.tracking.values().map(|m| m.len()).sum::<usize>()
+        );
+        self.track_slots
     }
 }
 
@@ -229,9 +377,9 @@ mod tests {
     #[test]
     fn tracking_roundtrip() {
         let mut s = DentryShard::default();
-        s.track(DIR, "a", 1);
-        s.track(DIR, "a", 2);
-        s.track(DIR, "a", 3);
+        let _ = s.track(DIR, "a", 1);
+        let _ = s.track(DIR, "a", 2);
+        let _ = s.track(DIR, "a", 3);
         let mut got = s.take_trackers(DIR, "a", 2);
         got.sort_unstable();
         assert_eq!(got, vec![1, 3]);
@@ -242,12 +390,80 @@ mod tests {
     #[test]
     fn untrack_client_purges() {
         let mut s = DentryShard::default();
-        s.track(DIR, "a", 1);
-        s.track(DIR, "b", 1);
-        s.track(DIR, "b", 2);
+        let _ = s.track(DIR, "a", 1);
+        let _ = s.track(DIR, "b", 1);
+        let _ = s.track(DIR, "b", 2);
         s.untrack_client(1);
+        assert_eq!(s.tracked_slots(), 1);
         assert!(s.take_trackers(DIR, "a", 0).is_empty());
         assert_eq!(s.take_trackers(DIR, "b", 0), vec![2]);
+        assert_eq!(s.tracked_slots(), 0);
+    }
+
+    #[test]
+    fn tracking_is_bounded_under_adversarial_misses() {
+        // A probe stream of distinct (absent) names: the tracking table
+        // must stay within capacity, and every evicted slot must hand back
+        // its clients so the server can invalidate them.
+        let mut s = DentryShard::new(16);
+        let mut evicted_names = Vec::new();
+        for i in 0..1000 {
+            for ev in s.track(DIR, &format!("ghost{i}"), 7) {
+                assert_eq!(ev.clients, vec![7]);
+                evicted_names.push(ev.name);
+            }
+            assert!(s.tracked_slots() <= 16, "tracking grew past capacity");
+        }
+        assert_eq!(s.tracked_slots(), 16);
+        // Everything inserted was either still tracked or evicted-with-
+        // notification; nothing silently vanished.
+        assert_eq!(evicted_names.len(), 1000 - 16);
+        assert_eq!(evicted_names[0], "ghost0");
+    }
+
+    #[test]
+    fn eviction_skips_consumed_slots() {
+        let mut s = DentryShard::new(2);
+        let _ = s.track(DIR, "a", 1);
+        let _ = s.track(DIR, "b", 2);
+        // "a" is consumed by an invalidation (ADD_MAP on the name).
+        assert_eq!(s.take_trackers(DIR, "a", 0), vec![1]);
+        // Inserting two more evicts oldest *live* slots only: first "b",
+        // then nothing (capacity holds the two new ones).
+        let ev = s.track(DIR, "c", 3);
+        assert!(ev.is_empty(), "capacity not exceeded yet");
+        let ev = s.track(DIR, "d", 4);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].name, "b");
+        assert_eq!(ev[0].clients, vec![2]);
+        assert_eq!(s.tracked_slots(), 2);
+    }
+
+    #[test]
+    fn recreated_tracking_slot_not_evicted_by_stale_key() {
+        // A slot is consumed (invalidation) and recreated under the same
+        // name: the stale queue key must not evict the fresh slot — and in
+        // particular must not fire a spurious invalidation at the client
+        // that just cached the entry.
+        let mut s = DentryShard::new(2);
+        let _ = s.track(DIR, "a", 1);
+        let _ = s.track(DIR, "b", 2);
+        assert_eq!(s.take_trackers(DIR, "a", 0), vec![1]); // consume "a"
+        let ev = s.track(DIR, "a", 3); // recreation: youngest slot
+        assert!(ev.is_empty());
+        let ev = s.track(DIR, "c", 4); // overflow: must evict "b", not "a"
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].name, "b");
+        assert_eq!(s.take_trackers(DIR, "a", 0), vec![3], "recreation survives");
+    }
+
+    #[test]
+    fn tombstone_accounts_tracked_slots() {
+        let mut s = DentryShard::new(8);
+        let _ = s.track(DIR, "a", 1);
+        let _ = s.track(DIR, "b", 1);
+        s.tombstone(DIR);
+        assert_eq!(s.tracked_slots(), 0);
     }
 
     #[test]

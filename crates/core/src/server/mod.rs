@@ -20,8 +20,8 @@ pub mod rmdir;
 
 use crate::machine::Machine;
 use crate::proto::{
-    base_service_cost, DemoteInfo, Invalidation, MarkResult, OpenResult, Reply, Request,
-    ServerMsg, WireReply,
+    base_service_cost, DemoteInfo, Invalidation, MarkResult, OpenResult, Reply, Request, ServerMsg,
+    WireReply,
 };
 use crate::types::{ClientId, FdId, InodeId, ServerId};
 use buffer::BlockAllocator;
@@ -41,6 +41,10 @@ use std::sync::Arc;
 struct Ctx {
     /// Additional service cycles beyond the request's base cost.
     extra: u64,
+    /// Base cycles refunded for work that never ran (batch entries skipped
+    /// by fail-fast or rejected as non-batchable). Always a subset of the
+    /// request's base cost.
+    refund: u64,
     /// Parked replies released by this request (pipe progress, lock
     /// hand-off).
     wake: Vec<Wakeup>,
@@ -69,6 +73,10 @@ pub struct ServerParams {
     /// `Techniques::neg_dircache`): gates miss tracking and fresh-insert
     /// invalidations so the ablation truly restores baseline behavior.
     pub neg_dircache: bool,
+    /// Capacity of the `(dir, name)` client-tracking table; evictions
+    /// beyond it invalidate the tracked clients first (see
+    /// [`dentry::DentryShard`]).
+    pub track_capacity: usize,
 }
 
 /// One Hare file server.
@@ -111,7 +119,7 @@ impl Server {
             core: params.core,
             machine,
             inodes,
-            dentries: DentryShard::default(),
+            dentries: DentryShard::new(params.track_capacity),
             fds: FdTable::default(),
             alloc: BlockAllocator::new(params.partition_start, params.partition_len),
             pipes: PipeTable::default(),
@@ -167,6 +175,7 @@ impl Server {
         match req {
             Request::Lookup { dir, .. }
             | Request::LookupOpen { dir, .. }
+            | Request::LookupStat { dir, .. }
             | Request::AddMap { dir, .. }
             | Request::RmMap { dir, .. }
             | Request::ListShard { dir } => Some(*dir),
@@ -178,19 +187,28 @@ impl Server {
         }
     }
 
+    /// The marked directory this request (or, for a batch, any of its
+    /// entries) must be parked on, if any. Parking the whole batch keeps
+    /// the in-order execution guarantee: entries never reorder around a
+    /// deletion mark.
+    fn park_dir_of(&self, req: &Request) -> Option<InodeId> {
+        match req {
+            Request::Batch { reqs, .. } => reqs.iter().find_map(|r| self.park_dir_of(r)),
+            other => Self::marked_dir_of(other).filter(|d| self.rmdir.is_marked(*d)),
+        }
+    }
+
     /// Processes one request envelope end-to-end (including virtual-time
     /// accounting and reply delivery).
     pub fn handle(&mut self, env: msg::Envelope<ServerMsg>) {
         // Delay operations on directories marked for deletion.
-        if let Some(dir) = Self::marked_dir_of(&env.payload.req) {
-            if self.rmdir.is_marked(dir) {
-                // The server still pays for receiving and inspecting the
-                // message.
-                let cost = self.machine.cost.msg_recv + 100;
-                self.serve(env.deliver_at, cost);
-                self.rmdir.park(dir, env);
-                return;
-            }
+        if let Some(dir) = self.park_dir_of(&env.payload.req) {
+            // The server still pays for receiving and inspecting the
+            // message.
+            let cost = self.machine.cost.msg_recv + 100;
+            self.serve(env.deliver_at, cost);
+            self.rmdir.park(dir, env);
+            return;
         }
 
         let deliver_at = env.deliver_at;
@@ -204,7 +222,7 @@ impl Server {
         let mut ctx = Ctx::default();
         let out = self.dispatch(req, src_core, &reply, &mut ctx);
 
-        let mut cost = self.machine.cost.msg_recv + base + ctx.extra;
+        let mut cost = self.machine.cost.msg_recv + (base + ctx.extra).saturating_sub(ctx.refund);
         if out.is_some() {
             cost += self.machine.cost.msg_send;
         }
@@ -215,7 +233,11 @@ impl Server {
         let done = self.serve(deliver_at, cost);
 
         if let Some(r) = out {
-            let _ = reply.send(r, done + self.machine.latency(self.core, src_core), self.core);
+            let _ = reply.send(
+                r,
+                done + self.machine.latency(self.core, src_core),
+                self.core,
+            );
         }
         for (tx, wsrc, wr) in ctx.wake.drain(..) {
             let _ = tx.send(wr, done + self.machine.latency(self.core, wsrc), self.core);
@@ -225,7 +247,11 @@ impl Server {
                 // Atomic delivery: the invalidation is in the client's queue
                 // when this send returns; the server never waits for an ack
                 // (paper §3.6.1).
-                let _ = tx.send(inv, done + self.machine.latency(self.core, *ccore), self.core);
+                let _ = tx.send(
+                    inv,
+                    done + self.machine.latency(self.core, *ccore),
+                    self.core,
+                );
             }
         }
         // Replay operations that were delayed behind a resolved mark.
@@ -249,7 +275,11 @@ impl Server {
         ctx: &mut Ctx,
     ) -> Option<WireReply> {
         match req {
-            Request::Register { client, core, inval } => {
+            Request::Register {
+                client,
+                core,
+                inval,
+            } => {
                 self.clients.insert(client, (inval, core));
                 Some(Ok(Reply::Unit))
             }
@@ -258,13 +288,16 @@ impl Server {
                 self.dentries.untrack_client(client);
                 Some(Ok(Reply::Unit))
             }
-            Request::Lookup { client, dir, name } => Some(self.op_lookup(client, dir, &name)),
+            Request::Lookup { client, dir, name } => Some(self.op_lookup(client, dir, &name, ctx)),
             Request::LookupOpen {
                 client,
                 dir,
                 name,
                 flags,
             } => Some(self.op_lookup_open(client, dir, &name, flags, ctx)),
+            Request::LookupStat { client, dir, name } => {
+                Some(self.op_lookup_stat(client, dir, &name, ctx))
+            }
             Request::AddMap {
                 client,
                 dir,
@@ -310,7 +343,11 @@ impl Server {
                 add_map,
                 open,
             } => Some(self.op_create(client, ftype, mode, dist, add_map, open, ctx)),
-            Request::OpenInode { client: _, num, flags } => Some(self.op_open(num, flags, ctx)),
+            Request::OpenInode {
+                client: _,
+                num,
+                flags,
+            } => Some(self.op_open(num, flags, ctx)),
             Request::CloseFd { fd, size } => Some(self.op_close(fd, size, ctx)),
             Request::FdIncref { fd, offset } => Some(self.op_incref(fd, offset)),
             Request::SharedIo {
@@ -336,6 +373,9 @@ impl Server {
             Request::PipeCreate => Some(self.op_pipe_create()),
             Request::PipeRead { fd, max } => self.op_pipe_read(fd, max, src_core, reply, ctx),
             Request::PipeWrite { fd, data } => self.op_pipe_write(fd, data, src_core, reply, ctx),
+            Request::Batch { reqs, fail_fast } => {
+                Some(self.op_batch(reqs, fail_fast, src_core, reply, ctx))
+            }
             Request::Shutdown => {
                 self.stop = true;
                 None
@@ -343,15 +383,73 @@ impl Server {
         }
     }
 
+    /// True for requests that always reply inline and may therefore travel
+    /// inside a batch. Parking requests are excluded because a parked reply
+    /// would arrive as a bare [`WireReply`] instead of a batch slot.
+    fn batchable(req: &Request) -> bool {
+        !matches!(
+            req,
+            Request::Batch { .. }
+                | Request::PipeRead { .. }
+                | Request::PipeWrite { .. }
+                | Request::RmdirSerialize { .. }
+                | Request::Register { .. }
+                | Request::Shutdown
+        )
+    }
+
+    /// Executes a batch: entries run in order, each paying its normal
+    /// service cost (charged by [`base_service_cost`] on the envelope plus
+    /// the per-entry `ctx.extra` its handler adds), while the message
+    /// overhead is paid once for the whole exchange in [`Server::handle`].
+    fn op_batch(
+        &mut self,
+        reqs: Vec<Request>,
+        fail_fast: bool,
+        src_core: usize,
+        reply: &msg::Sender<WireReply>,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut failed = false;
+        for req in reqs {
+            if fail_fast && failed {
+                // Skipped because an earlier entry failed; the client
+                // reports that earlier error. The entry never ran, so its
+                // base cycles (pre-charged on the whole envelope) are
+                // refunded.
+                ctx.refund += base_service_cost(&req);
+                out.push(Err(Errno::EAGAIN));
+                continue;
+            }
+            let entry = if Self::batchable(&req) {
+                self.dispatch(req, src_core, reply, ctx)
+                    .expect("batchable requests reply inline")
+            } else {
+                ctx.refund += base_service_cost(&req);
+                Err(Errno::EINVAL)
+            };
+            failed = failed || entry.is_err();
+            out.push(entry);
+        }
+        Ok(Reply::Batch(out))
+    }
+
     // ----- Directory entry operations ------------------------------------
 
-    fn op_lookup(&mut self, client: ClientId, dir: InodeId, name: &str) -> WireReply {
+    fn op_lookup(
+        &mut self,
+        client: ClientId,
+        dir: InodeId,
+        name: &str,
+        ctx: &mut Ctx,
+    ) -> WireReply {
         if self.dentries.is_tombstoned(dir) {
             return Err(Errno::ENOENT);
         }
         match self.dentries.lookup(dir, name) {
             Some(v) => {
-                self.dentries.track(dir, name, client);
+                self.track_entry(dir, name, client, ctx);
                 Ok(Reply::Lookup {
                     target: v.target,
                     ftype: v.ftype,
@@ -363,7 +461,7 @@ impl Server {
                 // (negative dentry) must be invalidated when the name is
                 // later created. Gated so the ablation sheds this state.
                 if self.neg_dircache {
-                    self.dentries.track(dir, name, client);
+                    self.track_entry(dir, name, client, ctx);
                 }
                 Err(Errno::ENOENT)
             }
@@ -386,7 +484,7 @@ impl Server {
         }
         match self.dentries.lookup(dir, name) {
             Some(v) => {
-                self.dentries.track(dir, name, client);
+                self.track_entry(dir, name, client, ctx);
                 let open = if v.ftype == FileType::Regular && v.target.server == self.id {
                     // The open half of the coalesced message (cheaper than
                     // a standalone OpenInode: no second dispatch). A
@@ -414,7 +512,57 @@ impl Server {
             None => {
                 // Track the miss for negative-cache invalidation.
                 if self.neg_dircache {
-                    self.dentries.track(dir, name, client);
+                    self.track_entry(dir, name, client, ctx);
+                }
+                Err(Errno::ENOENT)
+            }
+        }
+    }
+
+    /// Coalesced lookup+stat (the `stat` sibling of
+    /// [`Server::op_lookup_open`]): resolves the entry and, when its inode
+    /// is stored here, returns the metadata in the same round trip. Unlike
+    /// the open variant there is no type restriction — directories and
+    /// files stat alike.
+    fn op_lookup_stat(
+        &mut self,
+        client: ClientId,
+        dir: InodeId,
+        name: &str,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        if self.dentries.is_tombstoned(dir) {
+            return Err(Errno::ENOENT);
+        }
+        match self.dentries.lookup(dir, name) {
+            Some(v) => {
+                self.track_entry(dir, name, client, ctx);
+                let stat = if v.target.server == self.id {
+                    // The stat half of the coalesced message. A failing
+                    // local stat (the inode vanished) degrades to
+                    // lookup-only; the client's fallback StatInode
+                    // reproduces the authoritative error.
+                    match self.op_stat(v.target.num) {
+                        Ok(Reply::Stat(s)) => {
+                            ctx.extra += 400;
+                            Some(s)
+                        }
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                Ok(Reply::LookupStated {
+                    target: v.target,
+                    ftype: v.ftype,
+                    dist: v.dist,
+                    stat,
+                })
+            }
+            None => {
+                // Track the miss for negative-cache invalidation.
+                if self.neg_dircache {
+                    self.track_entry(dir, name, client, ctx);
                 }
                 Err(Errno::ENOENT)
             }
@@ -433,7 +581,11 @@ impl Server {
         replace: bool,
         ctx: &mut Ctx,
     ) -> WireReply {
-        let val = DentryVal { target, ftype, dist };
+        let val = DentryVal {
+            target,
+            ftype,
+            dist,
+        };
         let replaced = self.dentries.insert(dir, name, val, replace)?;
         // Invalidate on fresh inserts too (when negative caching is on),
         // not just replacements: clients may hold *negative* entries for
@@ -442,7 +594,7 @@ impl Server {
         if replaced.is_some() || self.neg_dircache {
             self.queue_invals(client, dir, name, ctx);
         }
-        self.dentries.track(dir, name, client);
+        self.track_entry(dir, name, client, ctx);
         Ok(Reply::AddMapped {
             replaced: replaced.map(|v| (v.target, v.ftype)),
         })
@@ -456,10 +608,7 @@ impl Server {
         must_be_file: bool,
         ctx: &mut Ctx,
     ) -> WireReply {
-        let cur = self
-            .dentries
-            .lookup(dir, name)
-            .ok_or(Errno::ENOENT)?;
+        let cur = self.dentries.lookup(dir, name).ok_or(Errno::ENOENT)?;
         if must_be_file && cur.ftype == FileType::Directory {
             return Err(Errno::EISDIR);
         }
@@ -494,6 +643,24 @@ impl Server {
         }
     }
 
+    /// Records `client` in `(dir, name)`'s tracking list. When the bounded
+    /// tracking table evicts an older slot to make room, its clients are
+    /// queued an invalidation — they drop the cached entry and re-resolve,
+    /// which is what keeps the bound sound.
+    fn track_entry(&mut self, dir: InodeId, name: &str, client: ClientId, ctx: &mut Ctx) {
+        for ev in self.dentries.track(dir, name, client) {
+            for c in ev.clients {
+                ctx.invals.push((
+                    c,
+                    Invalidation {
+                        dir: ev.dir,
+                        name: ev.name.clone(),
+                    },
+                ));
+            }
+        }
+    }
+
     // ----- rmdir protocol -------------------------------------------------
 
     fn op_rmdir_serialize(
@@ -507,9 +674,7 @@ impl Server {
         debug_assert_eq!(dir.server, self.id, "serialize goes to the home server");
         match self.inodes.get(dir.num) {
             Err(_) => return Some(Err(Errno::ENOENT)),
-            Ok(ino) if ino.ftype() != FileType::Directory => {
-                return Some(Err(Errno::ENOTDIR))
-            }
+            Ok(ino) if ino.ftype() != FileType::Directory => return Some(Err(Errno::ENOTDIR)),
             Ok(_) => {}
         }
         let granted = self.rmdir.lock(dir, || LockWaiter {
@@ -551,6 +716,7 @@ impl Server {
 
     // ----- Inode / descriptor operations ----------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn op_create(
         &mut self,
         client: ClientId,
@@ -598,7 +764,7 @@ impl Server {
             if self.neg_dircache {
                 self.queue_invals(client, *dir, name, ctx);
             }
-            self.dentries.track(*dir, name, client);
+            self.track_entry(*dir, name, client, ctx);
             ctx.extra += 300; // coalesced ADD_MAP work
         }
         let open = match open {
@@ -807,7 +973,7 @@ impl Server {
         let cur = rec.shared_offset.ok_or(Errno::EIO)?;
         let ino = self.inodes.get(num)?;
         let size = ino.size();
-        let new = fsapi::flags::apply_seek(cur, size, offset, whence).map_err(|_| Errno::EINVAL)?;
+        let new = fsapi::flags::apply_seek(cur, size, offset, whence)?;
         let (all_blocks, size) = match &ino.kind {
             InodeKind::File { blocks, size } => (blocks.clone(), *size),
             _ => return Err(Errno::EBADF),

@@ -299,7 +299,10 @@ mod tests {
         let mut p = Pipe::new(4);
         let mut w = Vec::new();
         let _ = p.write(b"abcd".to_vec().into(), &mut w).unwrap();
-        assert!(p.write(b"xy".to_vec().into(), &mut w).is_err(), "full pipe blocks");
+        assert!(
+            p.write(b"xy".to_vec().into(), &mut w).is_err(),
+            "full pipe blocks"
+        );
         let (tx, rx) = wire();
         p.pending_writes.push_back(Parked {
             reply: tx,

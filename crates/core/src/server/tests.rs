@@ -23,6 +23,7 @@ impl Harness {
                 root_distributed: false,
                 pipe_capacity: 16,
                 neg_dircache: true,
+                track_capacity: 8192,
             },
         );
         Harness { server, machine }
@@ -200,7 +201,9 @@ fn shared_fd_offset_and_demotion() {
         write: false,
         append: false,
     }) {
-        Reply::SharedIo { demote: Some(d), .. } => {
+        Reply::SharedIo {
+            demote: Some(d), ..
+        } => {
             // The read at offset 150 hits EOF (size 150): offset unchanged.
             assert_eq!(d.offset, 150);
             assert_eq!(d.size, 150);
@@ -296,7 +299,10 @@ fn rmdir_mark_delays_creates_until_abort() {
     // ABORT releases and replays it: the create now succeeds.
     h.must(Request::RmdirAbort { dir });
     let env = rx.try_recv().expect("replayed after abort");
-    assert!(matches!(env.payload, Ok(Reply::AddMapped { replaced: None })));
+    assert!(matches!(
+        env.payload,
+        Ok(Reply::AddMapped { replaced: None })
+    ));
 }
 
 #[test]
@@ -398,10 +404,7 @@ fn centralized_rmdir_single_message() {
         name: "c".into(),
         must_be_file: true,
     });
-    assert!(matches!(
-        h.must(Request::RmdirCentral { dir }),
-        Reply::Unit
-    ));
+    assert!(matches!(h.must(Request::RmdirCentral { dir }), Reply::Unit));
 }
 
 #[test]

@@ -1,0 +1,80 @@
+//! Bounded-memory tests for the negative dentry cache and the server-side
+//! miss-tracking lists: an adversarial stream of probes for distinct
+//! absent names must not grow either structure past its configured
+//! capacity, and the bound must stay *sound* — evictions only ever cause
+//! re-resolution, never a stale answer.
+
+use fsapi::{Errno, ProcFs};
+use hare_core::{HareConfig, HareInstance};
+
+#[test]
+fn adversarial_probe_stream_stays_within_client_capacity() {
+    let mut cfg = HareConfig::timeshare(1);
+    cfg.dircache_capacity = 64;
+    cfg.server_track_capacity = 64;
+    let inst = HareInstance::start(cfg);
+    let c = inst.new_client(0).unwrap();
+
+    // Hammer absent names: every probe caches a negative dentry, and the
+    // server tracks the miss. Both must stay bounded.
+    for i in 0..2000 {
+        assert_eq!(c.stat(&format!("/ghost{i}")).unwrap_err(), Errno::ENOENT);
+        assert!(
+            c.dircache_len() <= 64,
+            "client dircache exceeded capacity at probe {i}: {}",
+            c.dircache_len()
+        );
+    }
+    assert_eq!(c.dircache_len(), 64);
+    drop(c);
+    inst.shutdown();
+}
+
+#[test]
+fn eviction_is_sound_after_tracking_overflow() {
+    // Overflow the server's tracking table, then create one of the names
+    // whose miss-tracking slot was evicted. The client's negative entry
+    // was dropped by the eviction invalidation, so the next lookup must
+    // re-resolve and see the new file — never a stale ENOENT.
+    let mut cfg = HareConfig::timeshare(1);
+    cfg.dircache_capacity = 1024; // client side roomy: the server bound is under test
+    cfg.server_track_capacity = 16;
+    let inst = HareInstance::start(cfg);
+    let prober = inst.new_client(0).unwrap();
+    assert_eq!(prober.stat("/early").unwrap_err(), Errno::ENOENT);
+    // 100 further probes push /early's tracking slot out of the table.
+    for i in 0..100 {
+        assert_eq!(prober.stat(&format!("/g{i}")).unwrap_err(), Errno::ENOENT);
+    }
+
+    let creator = inst.new_client(0).unwrap();
+    fsapi::write_file(&creator, "/early", b"now exists").unwrap();
+    drop(creator);
+
+    let st = prober
+        .stat("/early")
+        .expect("evicted negative entry must re-resolve");
+    assert_eq!(st.size, 10);
+    drop(prober);
+    inst.shutdown();
+}
+
+#[test]
+fn positive_entries_survive_eviction_via_reresolution() {
+    // A client's positive entry may be evicted (client bound) or its
+    // tracking slot may be (server bound); either way the name must keep
+    // resolving correctly afterwards.
+    let mut cfg = HareConfig::timeshare(1);
+    cfg.dircache_capacity = 8;
+    cfg.server_track_capacity = 8;
+    let inst = HareInstance::start(cfg);
+    let c = inst.new_client(0).unwrap();
+    fsapi::write_file(&c, "/keeper", b"data").unwrap();
+    for i in 0..50 {
+        assert_eq!(c.stat(&format!("/no{i}")).unwrap_err(), Errno::ENOENT);
+    }
+    assert!(c.dircache_len() <= 8);
+    assert_eq!(c.stat("/keeper").unwrap().size, 4);
+    drop(c);
+    inst.shutdown();
+}

@@ -42,7 +42,9 @@ fn unlinked_file_readable_through_open_fd() {
     let b = inst.new_client(1).unwrap();
 
     write_file(&a, "/doomed", b"still here").unwrap();
-    let fd = a.open("/doomed", OpenFlags::RDONLY, Mode::default()).unwrap();
+    let fd = a
+        .open("/doomed", OpenFlags::RDONLY, Mode::default())
+        .unwrap();
     // Another process unlinks it (the compilation idiom, paper §2.2/§3.4).
     b.unlink("/doomed").unwrap();
     assert_eq!(b.stat("/doomed").unwrap_err(), Errno::ENOENT);
@@ -147,8 +149,12 @@ fn rmdir_distributed_empty_and_nonempty() {
     assert_eq!(c.stat("/d").unwrap_err(), Errno::ENOENT);
     // Creating in a removed directory fails.
     assert_eq!(
-        c.open("/d/x", OpenFlags::CREAT | OpenFlags::WRONLY, Mode::default())
-            .unwrap_err(),
+        c.open(
+            "/d/x",
+            OpenFlags::CREAT | OpenFlags::WRONLY,
+            Mode::default()
+        )
+        .unwrap_err(),
         Errno::ENOENT
     );
     // And the name can be reused.
@@ -185,7 +191,11 @@ fn lseek_and_sparse_reads() {
     let inst = boot(2);
     let c = inst.new_client(0).unwrap();
     let fd = c
-        .open("/sparse", OpenFlags::RDWR | OpenFlags::CREAT, Mode::default())
+        .open(
+            "/sparse",
+            OpenFlags::RDWR | OpenFlags::CREAT,
+            Mode::default(),
+        )
         .unwrap();
     // Write at 10000 leaving a hole in block 0/1.
     c.lseek(fd, 10_000, Whence::Set).unwrap();
@@ -229,7 +239,11 @@ fn append_mode() {
     let c = inst.new_client(0).unwrap();
     write_file(&c, "/log", b"one\n").unwrap();
     let fd = c
-        .open("/log", OpenFlags::WRONLY | OpenFlags::APPEND, Mode::default())
+        .open(
+            "/log",
+            OpenFlags::WRONLY | OpenFlags::APPEND,
+            Mode::default(),
+        )
         .unwrap();
     c.write(fd, b"two\n").unwrap();
     c.close(fd).unwrap();
@@ -241,7 +255,9 @@ fn dup_shares_offset_via_server() {
     let inst = boot(2);
     let c = inst.new_client(0).unwrap();
     write_file(&c, "/shared-off", b"abcdefgh").unwrap();
-    let fd1 = c.open("/shared-off", OpenFlags::RDONLY, Mode::default()).unwrap();
+    let fd1 = c
+        .open("/shared-off", OpenFlags::RDONLY, Mode::default())
+        .unwrap();
     let fd2 = c.dup(fd1).unwrap();
     let mut b1 = [0u8; 3];
     let mut b2 = [0u8; 3];
@@ -305,7 +321,11 @@ fn fsync_publishes_without_close() {
     let a = inst.new_client(0).unwrap();
     let b = inst.new_client(1).unwrap();
     let fd = a
-        .open("/pub", OpenFlags::WRONLY | OpenFlags::CREAT, Mode::default())
+        .open(
+            "/pub",
+            OpenFlags::WRONLY | OpenFlags::CREAT,
+            Mode::default(),
+        )
         .unwrap();
     a.write(fd, b"durable").unwrap();
     a.fsync(fd).unwrap();
@@ -321,7 +341,8 @@ fn errors_match_posix() {
     let c = inst.new_client(0).unwrap();
     assert_eq!(c.stat("/nope").unwrap_err(), Errno::ENOENT);
     assert_eq!(
-        c.open("/nope", OpenFlags::RDONLY, Mode::default()).unwrap_err(),
+        c.open("/nope", OpenFlags::RDONLY, Mode::default())
+            .unwrap_err(),
         Errno::ENOENT
     );
     write_file(&c, "/file", b"x").unwrap();
@@ -336,7 +357,8 @@ fn errors_match_posix() {
     c.mkdir("/dir", Mode::default()).unwrap();
     assert_eq!(c.unlink("/dir").unwrap_err(), Errno::EISDIR);
     assert_eq!(
-        c.open("/dir", OpenFlags::RDONLY, Mode::default()).unwrap_err(),
+        c.open("/dir", OpenFlags::RDONLY, Mode::default())
+            .unwrap_err(),
         Errno::EISDIR
     );
     assert_eq!(c.mkdir("/dir", Mode::default()).unwrap_err(), Errno::EEXIST);

@@ -86,10 +86,16 @@ fn excl_retry_loop_is_answered_locally() {
     fsapi::write_file(&holder, "/lock", b"held").unwrap();
     let waiter = inst.new_client(0).unwrap();
     let excl = OpenFlags::CREAT | OpenFlags::EXCL | OpenFlags::WRONLY;
-    assert_eq!(waiter.open("/lock", excl, Mode::default()).unwrap_err(), Errno::EEXIST);
+    assert_eq!(
+        waiter.open("/lock", excl, Mode::default()).unwrap_err(),
+        Errno::EEXIST
+    );
     let before = inst.machine().msg_stats.sends();
     for _ in 0..3 {
-        assert_eq!(waiter.open("/lock", excl, Mode::default()).unwrap_err(), Errno::EEXIST);
+        assert_eq!(
+            waiter.open("/lock", excl, Mode::default()).unwrap_err(),
+            Errno::EEXIST
+        );
     }
     assert_eq!(inst.machine().msg_stats.sends() - before, 0);
     // The holder releases the lock: the waiter's cached entry is
@@ -99,6 +105,159 @@ fn excl_retry_loop_is_answered_locally() {
     waiter.close(fd).unwrap();
     drop(waiter);
     drop(holder);
+    inst.shutdown();
+}
+
+/// Message sends for one cold-cache `stat` of `/d1/d2/f` on a
+/// single-server machine (dentry shard and inode server always coincide).
+fn stat_sends(techniques: Techniques) -> u64 {
+    let mut cfg = HareConfig::timeshare(1);
+    cfg.techniques = techniques;
+    let inst = HareInstance::start(cfg);
+    let setup = inst.new_client(0).unwrap();
+    fsapi::mkdir_p(&setup, "/d1/d2", MkdirOpts::default()).unwrap();
+    fsapi::write_file(&setup, "/d1/d2/f", b"payload").unwrap();
+    drop(setup);
+
+    let prober = inst.new_client(0).unwrap();
+    let before = inst.machine().msg_stats.sends();
+    let st = prober.stat("/d1/d2/f").unwrap();
+    assert_eq!(st.size, 7);
+    let delta = inst.machine().msg_stats.sends() - before;
+    drop(prober);
+    inst.shutdown();
+    delta
+}
+
+#[test]
+fn coalesced_stat_costs_depth_plus_one_rpcs() {
+    // /d1/d2/f has depth = 2 parent directories. Coalesced path: two
+    // parent lookups + one LookupStat = depth + 1 RPCs.
+    assert_eq!(stat_sends(Techniques::default()), 2 * (2 + 1));
+}
+
+#[test]
+fn uncoalesced_stat_costs_depth_plus_two_rpcs() {
+    // Toggle off: two parent lookups + Lookup + StatInode = depth + 2.
+    assert_eq!(
+        stat_sends(Techniques::without("coalesced_stat")),
+        2 * (2 + 2)
+    );
+}
+
+/// Message sends and batched-op count for one `rename("/src", "/dst")` on
+/// a single-server machine (old and new shard always coincide).
+fn rename_counts(techniques: Techniques) -> (u64, u64) {
+    let mut cfg = HareConfig::timeshare(1);
+    cfg.techniques = techniques;
+    let inst = HareInstance::start(cfg);
+    let setup = inst.new_client(0).unwrap();
+    fsapi::write_file(&setup, "/src", b"x").unwrap();
+    drop(setup);
+
+    let c = inst.new_client(0).unwrap();
+    let before = inst.machine().msg_stats.sends();
+    let batched_before = inst.machine().msg_stats.batched_ops();
+    c.rename("/src", "/dst").unwrap();
+    let sends = inst.machine().msg_stats.sends() - before;
+    let batched = inst.machine().msg_stats.batched_ops() - batched_before;
+    assert!(c.stat("/dst").is_ok());
+    drop(c);
+    inst.shutdown();
+    (sends, batched)
+}
+
+#[test]
+fn batched_rename_pairs_add_map_with_rm_map() {
+    // Lookup of the old name (1 RPC) + one batched AddMap+RmMap exchange:
+    // 2 transport exchanges instead of 3 RPCs.
+    let (sends, batched) = rename_counts(Techniques::default());
+    assert_eq!(sends, 2 * 2);
+    assert_eq!(batched, 2, "the AddMap+RmMap pair must travel batched");
+}
+
+#[test]
+fn unbatched_rename_costs_three_rpcs() {
+    let (sends, batched) = rename_counts(Techniques::without("batching"));
+    assert_eq!(sends, 2 * 3);
+    assert_eq!(batched, 0);
+}
+
+/// Message sends and batched-op count for one cold-cache `readdir("/")`
+/// over a root-distributed N-server machine.
+fn readdir_counts(techniques: Techniques, nservers: usize) -> (u64, u64, usize) {
+    let mut cfg = HareConfig::timeshare(nservers);
+    cfg.techniques = techniques;
+    let inst = HareInstance::start(cfg);
+    let setup = inst.new_client(0).unwrap();
+    for i in 0..8 {
+        fsapi::write_file(&setup, &format!("/f{i}"), b"x").unwrap();
+    }
+    drop(setup);
+
+    let c = inst.new_client(0).unwrap();
+    let before = inst.machine().msg_stats.sends();
+    let batched_before = inst.machine().msg_stats.batched_ops();
+    let entries = c.readdir("/").unwrap();
+    let sends = inst.machine().msg_stats.sends() - before;
+    let batched = inst.machine().msg_stats.batched_ops() - batched_before;
+    drop(c);
+    inst.shutdown();
+    (sends, batched, entries.len())
+}
+
+#[test]
+fn batched_readdir_costs_one_exchange_per_server() {
+    // Root is distributed over N = 4 servers: the fan-out is one batched
+    // transport exchange per server (2 sends each).
+    let (sends, batched, n) = readdir_counts(Techniques::default(), 4);
+    assert_eq!(n, 8);
+    assert_eq!(sends, 2 * 4);
+    assert_eq!(batched, 4, "each shard list must travel batched");
+}
+
+#[test]
+fn unbatched_readdir_costs_one_rpc_per_server() {
+    // Toggle off: N independent ListShard RPCs (same wire count, no batch
+    // envelopes).
+    let (sends, batched, n) = readdir_counts(Techniques::without("batching"), 4);
+    assert_eq!(n, 8);
+    assert_eq!(sends, 2 * 4);
+    assert_eq!(batched, 0);
+}
+
+#[test]
+fn batched_readdir_plus_groups_stats_by_server() {
+    // The ls -l pattern over a distributed directory: per-entry stats must
+    // collapse to at most one exchange per server instead of one RPC per
+    // entry.
+    let nservers = 4u64;
+    let nfiles = 16u64;
+    let inst = HareInstance::start(HareConfig::timeshare(nservers as usize));
+    let setup = inst.new_client(0).unwrap();
+    setup
+        .mkdir_opts("/big", Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+    for i in 0..nfiles {
+        fsapi::write_file(&setup, &format!("/big/f{i}"), b"x").unwrap();
+    }
+    drop(setup);
+
+    let c = inst.new_client(0).unwrap();
+    // Warm the path to /big so only the fan-out is measured.
+    c.stat("/big").unwrap();
+    let before = inst.machine().msg_stats.sends();
+    let listed = c.readdir_plus("/big").unwrap();
+    let sends = inst.machine().msg_stats.sends() - before;
+    assert_eq!(listed.len(), nfiles as usize);
+    // N ListShard exchanges + at most N stat exchanges — far below the
+    // N + nfiles RPCs of the unbatched path.
+    assert!(
+        sends <= 2 * (2 * nservers),
+        "batched ls -l cost {sends} sends, expected <= {}",
+        2 * (2 * nservers)
+    );
+    drop(c);
     inst.shutdown();
 }
 

@@ -105,16 +105,16 @@ pub enum Whence {
 
 /// Computes a new file offset from an lseek request.
 ///
-/// Returns `Err(())` if the resulting offset would be negative.
-pub fn apply_seek(cur: u64, size: u64, offset: i64, whence: Whence) -> Result<u64, ()> {
+/// Returns `Err(Errno::EINVAL)` if the resulting offset would be negative.
+pub fn apply_seek(cur: u64, size: u64, offset: i64, whence: Whence) -> Result<u64, crate::Errno> {
     let base = match whence {
         Whence::Set => 0,
         Whence::Cur => cur as i64,
         Whence::End => size as i64,
     };
-    let new = base.checked_add(offset).ok_or(())?;
+    let new = base.checked_add(offset).ok_or(crate::Errno::EINVAL)?;
     if new < 0 {
-        Err(())
+        Err(crate::Errno::EINVAL)
     } else {
         Ok(new as u64)
     }

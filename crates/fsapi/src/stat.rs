@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn dir_entries_sort_by_name() {
-        let mut v = vec![
+        let mut v = [
             DirEntry {
                 name: "b".into(),
                 ino: 1,

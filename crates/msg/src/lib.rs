@@ -20,7 +20,7 @@
 pub mod channel;
 pub mod stats;
 
-pub use channel::{channel, Envelope, RecvError, Receiver, SendError, Sender};
+pub use channel::{channel, Envelope, Receiver, RecvError, SendError, Sender};
 pub use stats::MsgStats;
 
 #[cfg(test)]
@@ -35,7 +35,9 @@ mod tests {
         // try_recv (no blocking, no waiting) must see it.
         let (tx, rx) = channel::<u32>(MsgStats::shared());
         tx.send(7, 123, 0).unwrap();
-        let env = rx.try_recv().expect("message must be present once send returned");
+        let env = rx
+            .try_recv()
+            .expect("message must be present once send returned");
         assert_eq!(env.payload, 7);
         assert_eq!(env.deliver_at, 123);
         assert_eq!(env.src_core, 0);

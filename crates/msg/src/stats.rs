@@ -11,6 +11,7 @@ use std::sync::Arc;
 #[derive(Debug, Default)]
 pub struct MsgStats {
     sends: AtomicU64,
+    batched_ops: AtomicU64,
 }
 
 impl MsgStats {
@@ -28,6 +29,20 @@ impl MsgStats {
     pub fn sends(&self) -> u64 {
         self.sends.load(Ordering::Relaxed)
     }
+
+    /// Records `n` operations shipped inside one batched exchange (the
+    /// envelope itself is counted by [`MsgStats::record_send`] as usual).
+    pub fn record_batched_ops(&self, n: u64) {
+        self.batched_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total operations that traveled inside batch envelopes. Tests and
+    /// benches use this to verify a path really went through the batched
+    /// transport, since a k-entry batch is indistinguishable from a single
+    /// RPC in [`MsgStats::sends`].
+    pub fn batched_ops(&self) -> u64 {
+        self.batched_ops.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -41,5 +56,14 @@ mod tests {
         s.record_send();
         s.record_send();
         assert_eq!(s.sends(), 2);
+    }
+
+    #[test]
+    fn batched_op_counts_are_separate() {
+        let s = MsgStats::default();
+        s.record_batched_ops(3);
+        s.record_batched_ops(1);
+        assert_eq!(s.batched_ops(), 4);
+        assert_eq!(s.sends(), 0);
     }
 }

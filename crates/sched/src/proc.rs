@@ -173,4 +173,3 @@ impl fsapi::ProcFs for HareProc {
         self.lib.fstat(fd)
     }
 }
-

@@ -62,7 +62,9 @@ pub fn run_sched_server(
         match env.payload {
             SchedMsg::Shutdown => break,
             SchedMsg::Exec(req) => {
-                let Some(system) = system.upgrade() else { break };
+                let Some(system) = system.upgrade() else {
+                    break;
+                };
                 let machine = Arc::clone(system.instance().machine());
                 // The scheduling server forks itself and execs the image:
                 // the spawn cost is CPU work on this core, and the child's

@@ -102,8 +102,7 @@ impl System for HareSystem {
         let core = self.app_cores()[0];
         let system = self.self_ref.upgrade().expect("system alive");
         let placement = PlacementState::new(self.inst.config().placement, 0);
-        HareProc::start_on(system, core, 0, Vec::new(), placement, None)
-            .expect("initial process")
+        HareProc::start_on(system, core, 0, Vec::new(), placement, None).expect("initial process")
     }
 
     fn elapsed_cycles(&self) -> u64 {
@@ -118,4 +117,3 @@ impl System for HareSystem {
         self.inst.config().ncores
     }
 }
-

@@ -20,7 +20,7 @@ fn spawn_runs_on_other_cores_and_returns_status() {
         joins.push(
             root.spawn(Box::new(move |p| {
                 cores.lock().push(p.core());
-                i as i32 * 10
+                i * 10
             }))
             .unwrap(),
         );
@@ -47,7 +47,9 @@ fn children_share_parent_descriptor_offset() {
 
     let data: Vec<u8> = (0..4000u32).map(|i| (i % 256) as u8).collect();
     write_file(&root, "/archive", &data).unwrap();
-    let fd = root.open("/archive", OpenFlags::RDONLY, Mode::default()).unwrap();
+    let fd = root
+        .open("/archive", OpenFlags::RDONLY, Mode::default())
+        .unwrap();
 
     let total = Arc::new(AtomicUsize::new(0));
     let mut joins = Vec::new();

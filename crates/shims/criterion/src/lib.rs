@@ -72,10 +72,13 @@ impl BenchmarkGroup {
             done: 0,
         };
         f(&mut b);
-        let per_iter = if b.done > 0 { b.elapsed_ns / b.done } else { 0 };
+        let per_iter = b.elapsed_ns.checked_div(b.done).unwrap_or(0);
         let extra = match self.throughput {
             Some(Throughput::Bytes(n)) if per_iter > 0 => {
-                format!(" ({:.1} MiB/s)", n as f64 * 1e9 / (per_iter as f64 * 1024.0 * 1024.0))
+                format!(
+                    " ({:.1} MiB/s)",
+                    n as f64 * 1e9 / (per_iter as f64 * 1024.0 * 1024.0)
+                )
             }
             Some(Throughput::Elements(n)) if per_iter > 0 => {
                 format!(" ({:.0} elem/s)", n as f64 * 1e9 / per_iter as f64)

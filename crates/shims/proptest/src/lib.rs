@@ -165,14 +165,17 @@ pub mod strategy {
         Some((alphabet, min, max))
     }
 
+    /// One pre-boxed generator arm of a [`OneOf`].
+    pub type OneOfArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
     /// Uniform choice among same-valued strategies (see `prop_oneof!`).
     pub struct OneOf<V> {
-        arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+        arms: Vec<OneOfArm<V>>,
     }
 
     impl<V> OneOf<V> {
         /// Builds a choice over pre-boxed generator arms.
-        pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Self {
+        pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
             assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
             OneOf { arms }
         }

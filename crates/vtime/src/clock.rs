@@ -21,7 +21,9 @@ impl Clocks {
     /// Creates `n` clocks at time zero.
     pub fn new(n: usize) -> Self {
         Clocks {
-            cores: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            cores: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
         }
     }
 

@@ -167,10 +167,7 @@ impl<'p, P: ProcHandle> Ctx<'p, P> {
 
     /// Spawns a worker process whose closure receives a [`Ctx`] sharing
     /// these counters.
-    pub fn spawn(
-        &self,
-        f: impl FnOnce(&Ctx<'_, P>) -> i32 + Send + 'static,
-    ) -> FsResult<ProcJoin> {
+    pub fn spawn(&self, f: impl FnOnce(&Ctx<'_, P>) -> i32 + Send + 'static) -> FsResult<ProcJoin> {
         self.stats.record(OpKind::Spawn);
         let stats = Arc::clone(&self.stats);
         let ops = Arc::clone(&self.ops);

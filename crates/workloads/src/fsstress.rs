@@ -42,11 +42,8 @@ pub fn run<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> FsResul
                     let dir = dirs.choose(&mut rng).expect("base dir always present");
                     let path = format!("{dir}/f{seq}");
                     seq += 1;
-                    let fd = wctx.open(
-                        &path,
-                        OpenFlags::CREAT | OpenFlags::WRONLY,
-                        Mode::default(),
-                    )?;
+                    let fd =
+                        wctx.open(&path, OpenFlags::CREAT | OpenFlags::WRONLY, Mode::default())?;
                     wctx.close(fd)?;
                     files.push(path);
                 }

@@ -142,7 +142,10 @@ pub fn run<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> FsResul
         total += ctx.get_file(&format!("{}/built-in.a", obj_dir(k)))?.len();
     }
     ctx.compute(4 * s.cc_cycles);
-    ctx.put_file(&format!("{OBJ}/vmlinux"), &synth_data(0xBEEF, total.min(1 << 20)))?;
+    ctx.put_file(
+        &format!("{OBJ}/vmlinux"),
+        &synth_data(0xBEEF, total.min(1 << 20)),
+    )?;
     ctx.add_ops(1);
 
     ctx.close(jr)?;

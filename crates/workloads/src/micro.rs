@@ -27,11 +27,7 @@ pub fn run_creates<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) ->
     crate::run_workers(ctx, nprocs, move |wctx, w| {
         for i in 0..iters {
             let path = format!("{BENCH_DIR}/w{w}_f{i}");
-            let fd = wctx.open(
-                &path,
-                OpenFlags::CREAT | OpenFlags::WRONLY,
-                Mode::default(),
-            )?;
+            let fd = wctx.open(&path, OpenFlags::CREAT | OpenFlags::WRONLY, Mode::default())?;
             wctx.close(fd)?;
             wctx.add_ops(1);
         }
@@ -46,11 +42,7 @@ pub fn run_writes<P: ProcHandle>(ctx: &Ctx<'_, P>, nprocs: usize, s: &Scale) -> 
     let chunk = s.write_chunk;
     crate::run_workers(ctx, nprocs, move |wctx, w| {
         let path = format!("{BENCH_DIR}/w{w}_data");
-        let fd = wctx.open(
-            &path,
-            OpenFlags::CREAT | OpenFlags::RDWR,
-            Mode::default(),
-        )?;
+        let fd = wctx.open(&path, OpenFlags::CREAT | OpenFlags::RDWR, Mode::default())?;
         let data = crate::trees::synth_data(w as u64, chunk);
         // Rotate over 16 block-sized slots so the file stays bounded while
         // the write path (allocation + private-cache writes) is exercised.

@@ -67,11 +67,7 @@ pub fn build_dense<P: ProcHandle>(
 /// are centralized — the paper turns distribution *off* for them because
 /// broadcasting rmdir/readdir over near-empty directories only adds cost
 /// (Figure 10, `rm sparse` and `pfind sparse`).
-pub fn build_sparse<P: ProcHandle>(
-    ctx: &Ctx<'_, P>,
-    root: &str,
-    s: &Scale,
-) -> FsResult<String> {
+pub fn build_sparse<P: ProcHandle>(ctx: &Ctx<'_, P>, root: &str, s: &Scale) -> FsResult<String> {
     ctx.mkdir_p(root, MkdirOpts::CENTRALIZED)?;
     let top = format!("{root}/top");
     ctx.mkdir(&top, MkdirOpts::CENTRALIZED)?;

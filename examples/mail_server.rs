@@ -26,7 +26,12 @@ fn main() {
     // distributed so concurrent deliveries do not serialize.
     fsapi::mkdir_p(&main_proc, "/mail/tmp", MkdirOpts::DISTRIBUTED).unwrap();
     for u in 0..USERS {
-        fsapi::mkdir_p(&main_proc, &format!("/mail/user{u}/new"), MkdirOpts::DISTRIBUTED).unwrap();
+        fsapi::mkdir_p(
+            &main_proc,
+            &format!("/mail/user{u}/new"),
+            MkdirOpts::DISTRIBUTED,
+        )
+        .unwrap();
     }
 
     // Delivery agents.

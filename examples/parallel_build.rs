@@ -40,7 +40,7 @@ fn main() {
 
     // The jobserver: JOBS tokens in a pipe every compile process shares.
     let (jr, jw) = make.pipe().unwrap();
-    make.write(jw, &vec![b'+'; JOBS]).unwrap();
+    make.write(jw, &[b'+'; JOBS]).unwrap();
 
     let t0 = std::time::Instant::now();
     let mut joins = Vec::new();

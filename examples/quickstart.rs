@@ -62,10 +62,7 @@ fn main() {
         .open("/project/notes.txt", OpenFlags::RDONLY, Mode::default())
         .expect("open");
     shell.unlink("/project/notes.txt").expect("unlink");
-    assert_eq!(
-        shell.stat("/project/notes.txt").unwrap_err(),
-        Errno::ENOENT
-    );
+    assert_eq!(shell.stat("/project/notes.txt").unwrap_err(), Errno::ENOENT);
     let mut buf = [0u8; 8];
     let n = shell.read(fd, &mut buf).expect("read unlinked");
     println!("read {n} bytes from the unlinked file through the open fd");

@@ -53,7 +53,11 @@ fn main() {
     let join = writer
         .spawn(Box::new(|reader: &hare::HareProc| {
             let v1 = fsapi::read_to_vec(reader, "/shared.dat").unwrap();
-            println!("reader (core {}): {:?}", reader.core(), String::from_utf8_lossy(&v1));
+            println!(
+                "reader (core {}): {:?}",
+                reader.core(),
+                String::from_utf8_lossy(&v1)
+            );
             0
         }))
         .unwrap();
@@ -61,7 +65,11 @@ fn main() {
 
     // ...the writer rewrites it (write + close = write-back)...
     let fd = writer
-        .open("/shared.dat", OpenFlags::WRONLY | OpenFlags::TRUNC, Mode::default())
+        .open(
+            "/shared.dat",
+            OpenFlags::WRONLY | OpenFlags::TRUNC,
+            Mode::default(),
+        )
         .unwrap();
     writer.write(fd, b"version-2").unwrap();
     writer.close(fd).unwrap();
@@ -73,7 +81,11 @@ fn main() {
         .spawn(Box::new(|reader: &hare::HareProc| {
             let v2 = fsapi::read_to_vec(reader, "/shared.dat").unwrap();
             assert_eq!(v2, b"version-2");
-            println!("reader (core {}): {:?}", reader.core(), String::from_utf8_lossy(&v2));
+            println!(
+                "reader (core {}): {:?}",
+                reader.core(),
+                String::from_utf8_lossy(&v2)
+            );
             0
         }))
         .unwrap();

@@ -54,8 +54,7 @@ fn mixed_namespace_storm_converges() {
             root.spawn(Box::new(|p: &hare::HareProc| {
                 for _ in 0..20 {
                     let entries = p.readdir("/storm").unwrap();
-                    let names: BTreeSet<&str> =
-                        entries.iter().map(|e| e.name.as_str()).collect();
+                    let names: BTreeSet<&str> = entries.iter().map(|e| e.name.as_str()).collect();
                     assert_eq!(names.len(), entries.len(), "duplicate entries");
                 }
                 0
@@ -106,7 +105,13 @@ fn mixed_namespace_storm_converges() {
 
 #[test]
 fn storm_with_each_technique_disabled() {
-    for t in ["distribution", "broadcast", "direct_access", "dircache", "affinity"] {
+    for t in [
+        "distribution",
+        "broadcast",
+        "direct_access",
+        "dircache",
+        "affinity",
+    ] {
         let mut cfg = HareConfig::timeshare(4);
         cfg.techniques = hare::Techniques::without(t);
         let sys = HareSystem::start(cfg);
@@ -129,11 +134,7 @@ fn storm_with_each_technique_disabled() {
             assert_eq!(j.wait(), 0, "technique {t}");
         }
         assert_eq!(root.readdir("/mini").unwrap().len(), 40, "technique {t}");
-        assert_eq!(
-            root.stat("/mini/0_0").unwrap().size,
-            1,
-            "technique {t}"
-        );
+        assert_eq!(root.stat("/mini/0_0").unwrap().size, 1, "technique {t}");
         assert_eq!(root.unlink("/mini/missing").unwrap_err(), Errno::ENOENT);
         drop(root);
         sys.shutdown();
