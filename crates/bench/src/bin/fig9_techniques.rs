@@ -16,14 +16,14 @@
 //! | Directory cache | 0.87 | 1.44 | 1.42 | 2.42 |
 //! | Creation affinity | 0.96 | 1.02 | 1.00 | 1.16 |
 //!
-//! Four further rows ablate this reproduction's own hot-path extensions
+//! Five further rows ablate this reproduction's own hot-path extensions
 //! (no paper counterpart): the coalesced lookup+open RPC, the negative
-//! dentry cache, the coalesced lookup+stat RPC, and the batched RPC
-//! transport.
+//! dentry cache, the coalesced lookup+stat RPC, the batched RPC
+//! transport, and server-side chained path resolution.
 
 use hare_workloads::Workload;
 
-const TECHNIQUES: [(&str, &str); 9] = [
+const TECHNIQUES: [(&str, &str); 10] = [
     ("distribution", "Directory distribution"),
     ("broadcast", "Directory broadcast"),
     ("direct_access", "Direct cache access"),
@@ -33,6 +33,7 @@ const TECHNIQUES: [(&str, &str); 9] = [
     ("neg_dircache", "Negative dentry cache"),
     ("coalesced_stat", "Coalesced lookup+stat"),
     ("batching", "Batched RPC transport"),
+    ("chained_resolution", "Chained path resolution"),
 ];
 
 fn main() {

@@ -1,0 +1,162 @@
+//! `micro_resolve`: transport exchanges and virtual cycles for cold
+//! deep-path resolution, per technique configuration.
+//!
+//! This is the measurement harness for server-side `LookupPath` chaining:
+//! a cold resolution of a d-component path costs d round trips in the
+//! paper's per-component walk, but only one message per *run* of
+//! co-located components (plus the reply) when dentry servers resolve what
+//! they own and forward the remainder. The bench stats files at depth 4
+//! and depth 8 under distributed directories with a fresh (cold-cache)
+//! client per round, and reports messages/2 per operation — the same
+//! "RPC-equivalent" unit as the other micro benches — plus cycles.
+//! Results go to `BENCH_micro_resolve.json`; with `HARE_GATE_BASELINE`
+//! set, the run is gated against the committed baseline first (CI perf
+//! smoke).
+
+use fsapi::{MkdirOpts, Mode, ProcFs};
+use hare_core::{HareConfig, HareInstance, Techniques};
+
+/// One configuration's measurements.
+struct Row {
+    name: &'static str,
+    mid_rpcs: f64,
+    mid_cycles: f64,
+    deep_rpcs: f64,
+    deep_cycles: f64,
+}
+
+/// Iterations scaled by `HARE_SCALE` (quick for CI smoke, bench for real
+/// numbers).
+fn iters() -> usize {
+    match std::env::var("HARE_SCALE").as_deref() {
+        Ok("quick") => 8,
+        _ => 32,
+    }
+}
+
+/// Builds a chain of `depth` distributed directories with a file `f` at
+/// the bottom; returns the file's path.
+fn build_chain(setup: &dyn ProcFs, root: &str, depth: usize) -> String {
+    let mut path = root.to_string();
+    setup
+        .mkdir_opts(&path, Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+    for level in 0..depth {
+        path = format!("{path}/d{level}");
+        setup
+            .mkdir_opts(&path, Mode::default(), MkdirOpts::DISTRIBUTED)
+            .unwrap();
+    }
+    let file = format!("{path}/f");
+    fsapi::write_file(setup, &file, b"x").unwrap();
+    file
+}
+
+fn measure(name: &'static str, techniques: Techniques, cores: usize) -> Row {
+    let rounds = iters();
+    let mut cfg = HareConfig::timeshare(cores);
+    cfg.techniques = techniques;
+    let inst = HareInstance::start(cfg);
+
+    let setup = inst.new_client(0).unwrap();
+    // Depth counts path components: /mid/d0/d1/f is 4, /deep/d0/../d6/f
+    // is 8.
+    let mid = build_chain(&setup, "/mid", 2);
+    let deep = build_chain(&setup, "/deep", 6);
+    drop(setup);
+
+    // Cold-cache resolution: a fresh client per round so every component
+    // is resolved with real messages.
+    let run = |path: &str| -> (f64, f64) {
+        let mut sends = 0u64;
+        let mut cycles = 0u64;
+        for _ in 0..rounds {
+            let c = inst.new_client(0).unwrap();
+            let s0 = inst.machine().msg_stats.sends();
+            let t0 = c.vnow();
+            c.stat(path).unwrap();
+            sends += inst.machine().msg_stats.sends() - s0;
+            cycles += c.vnow() - t0;
+            drop(c);
+        }
+        (
+            sends as f64 / 2.0 / rounds as f64,
+            cycles as f64 / rounds as f64,
+        )
+    };
+    let (mid_rpcs, mid_cycles) = run(&mid);
+    let (deep_rpcs, deep_cycles) = run(&deep);
+    inst.shutdown();
+
+    Row {
+        name,
+        mid_rpcs,
+        mid_cycles,
+        deep_rpcs,
+        deep_cycles,
+    }
+}
+
+fn main() {
+    let cores = hare_bench::max_cores().min(8);
+    let rows = [
+        measure("all", Techniques::default(), cores),
+        measure(
+            "no chained_resolution",
+            Techniques::without("chained_resolution"),
+            cores,
+        ),
+        measure("no dircache", Techniques::without("dircache"), cores),
+    ];
+
+    println!("micro_resolve: cold deep-path resolution ({cores} cores timeshare)\n");
+    let mut t = hare_bench::Table::new(&[
+        "configuration",
+        "depth-4 RPCs/op",
+        "depth-4 cycles/op",
+        "depth-8 RPCs/op",
+        "depth-8 cycles/op",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.name.to_string(),
+            format!("{:.2}", r.mid_rpcs),
+            format!("{:.0}", r.mid_cycles),
+            format!("{:.2}", r.deep_rpcs),
+            format!("{:.0}", r.deep_cycles),
+        ]);
+    }
+    t.print();
+
+    let configs: Vec<hare_bench::BenchConfig> = rows
+        .iter()
+        .map(|r| hare_bench::BenchConfig {
+            name: r.name.to_string(),
+            metrics: vec![
+                ("resolve4_rpcs_per_op".into(), r.mid_rpcs),
+                ("resolve4_cycles_per_op".into(), r.mid_cycles),
+                ("resolve8_rpcs_per_op".into(), r.deep_rpcs),
+                ("resolve8_cycles_per_op".into(), r.deep_cycles),
+            ],
+        })
+        .collect();
+    hare_bench::perf_gate("micro_resolve", &configs);
+    let json = hare_bench::bench_json("micro_resolve", cores, &configs);
+    std::fs::write("BENCH_micro_resolve.json", &json).expect("write BENCH_micro_resolve.json");
+    println!("\nwrote BENCH_micro_resolve.json");
+
+    // The whole point of chaining: strictly fewer exchanges per deep
+    // resolution, and the deeper the path the bigger the gap.
+    assert!(
+        rows[0].deep_rpcs < rows[1].deep_rpcs,
+        "chained resolution must save exchanges ({:.2} vs {:.2})",
+        rows[0].deep_rpcs,
+        rows[1].deep_rpcs
+    );
+    assert!(
+        rows[0].mid_rpcs < rows[1].mid_rpcs,
+        "chaining must help at depth 4 too ({:.2} vs {:.2})",
+        rows[0].mid_rpcs,
+        rows[1].mid_rpcs
+    );
+}

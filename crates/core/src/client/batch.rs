@@ -175,7 +175,11 @@ impl ClientLib {
 
     /// The batching-off fallback: per-request RPCs with the legacy
     /// overlap/ordering rules.
-    fn call_ungrouped(&self, reqs: Vec<(ServerId, Request)>, fail_fast: bool) -> Vec<WireReply> {
+    pub(crate) fn call_ungrouped(
+        &self,
+        reqs: Vec<(ServerId, Request)>,
+        fail_fast: bool,
+    ) -> Vec<WireReply> {
         if fail_fast {
             // Sequential with early exit, like the hand-written call
             // sequences this path replaces.

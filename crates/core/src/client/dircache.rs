@@ -27,9 +27,10 @@
 //!   re-asks the server.
 
 use crate::proto::Invalidation;
+use crate::seqfifo::SeqFifo;
 use crate::types::InodeId;
 use fsapi::FileType;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A cached directory entry: everything a lookup RPC returns.
@@ -56,15 +57,10 @@ pub enum Cached {
 pub struct DirCache {
     entries: HashMap<InodeId, HashMap<Arc<str>, Slot>>,
     inval_rx: msg::Receiver<Invalidation>,
-    /// Maximum number of slots; the oldest is evicted beyond this.
-    capacity: usize,
-    /// Insertion order for eviction. Each key carries the slot's birth
-    /// sequence number: a queue entry only evicts the slot whose sequence
-    /// it recorded, so a key left behind by a removed-then-recreated slot
-    /// can never evict the (younger) recreation.
-    order: VecDeque<(InodeId, Arc<str>, u64)>,
-    /// Birth sequence for the next created slot.
-    next_seq: u64,
+    /// Bounded eviction order (the seq-tagged FIFO shared with the server
+    /// tracking table — see [`crate::seqfifo`] for the stale-key /
+    /// recreation invariant).
+    fifo: SeqFifo<(InodeId, Arc<str>)>,
     /// Live slot count (`entries` nested sizes, maintained incrementally).
     count: usize,
     hits: u64,
@@ -84,13 +80,10 @@ impl DirCache {
     /// Creates an empty cache draining `inval_rx`, holding at most
     /// `capacity` slots.
     pub fn new(inval_rx: msg::Receiver<Invalidation>, capacity: usize) -> Self {
-        assert!(capacity > 0, "directory cache needs at least one slot");
         DirCache {
             entries: HashMap::new(),
             inval_rx,
-            capacity,
-            order: VecDeque::new(),
-            next_seq: 0,
+            fifo: SeqFifo::new(capacity),
             count: 0,
             hits: 0,
             misses: 0,
@@ -123,7 +116,8 @@ impl DirCache {
     }
 
     /// Stores `val` under `(dir, name)`, evicting the oldest slot when the
-    /// cache is full. Overwriting an existing slot keeps its age.
+    /// cache is full. Overwriting an existing slot keeps its age. The
+    /// stale-key/recreation invariant lives in [`SeqFifo`].
     fn put(&mut self, dir: InodeId, name: &str, val: Cached) {
         let slot = self.entries.entry(dir).or_default();
         match slot.get_mut(name) {
@@ -132,46 +126,26 @@ impl DirCache {
                 return;
             }
             None => {
-                let seq = self.next_seq;
-                self.next_seq += 1;
                 // One allocation shared by the map key and the queue key.
                 let key: Arc<str> = Arc::from(name);
-                slot.insert(Arc::clone(&key), Slot { val, seq });
+                let seq = self.fifo.admit((dir, Arc::clone(&key)));
+                slot.insert(key, Slot { val, seq });
                 self.count += 1;
-                self.order.push_back((dir, key, seq));
             }
         }
-        while self.count > self.capacity {
-            let Some((edir, ename, eseq)) = self.order.pop_front() else {
+        while self.count > self.fifo.capacity() {
+            let entries = &self.entries;
+            let Some((edir, ename)) = self
+                .fifo
+                .pop_evictable(|(d, n)| entries.get(d).and_then(|m| m.get(&**n)).map(|s| s.seq))
+            else {
                 break;
             };
-            // Only evict the exact slot this key was born with: a stale
-            // key (the slot was invalidated, removed, or removed and later
-            // recreated) has a mismatching sequence and is just dropped.
-            if self.slot_seq(edir, &ename) == Some(eseq) {
-                self.remove_slot(edir, &ename);
-            }
+            self.remove_slot(edir, &ename);
         }
-        // Lazy-deletion hygiene: once stale keys dominate the queue,
-        // rebuild it from the live slots so the queue length stays
-        // proportional to the cache, not to its history.
-        if self.order.len() > 2 * self.capacity.max(16) {
-            let entries = &self.entries;
-            self.order.retain(|(d, n, seq)| {
-                entries
-                    .get(d)
-                    .and_then(|m| m.get(&**n))
-                    .is_some_and(|s| s.seq == *seq)
-            });
-        }
-    }
-
-    /// The birth sequence of the live slot at `(dir, name)`, if any.
-    fn slot_seq(&self, dir: InodeId, name: &str) -> Option<u64> {
-        self.entries
-            .get(&dir)
-            .and_then(|m| m.get(name))
-            .map(|s| s.seq)
+        let entries = &self.entries;
+        self.fifo
+            .maintain(|(d, n)| entries.get(d).and_then(|m| m.get(&**n)).map(|s| s.seq));
     }
 
     /// Looks up `(dir, name)`, processing pending invalidations first.
@@ -234,7 +208,7 @@ impl DirCache {
 
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.fifo.capacity()
     }
 }
 

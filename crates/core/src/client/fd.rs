@@ -42,6 +42,13 @@ pub struct FdEntry {
     pub dirty: HashSet<usize>,
     /// The process wrote through this descriptor (close sends the size).
     pub wrote: bool,
+    /// The largest file size this client knows the server to have seen
+    /// (from the size at open, a `SetSize`/`Truncate` it sent, or a flush
+    /// that subsumed this descriptor's view). While local,
+    /// `size > published_size` means a size update is buffered
+    /// write-behind; fsync flushes every buffered update — one `SetSize`
+    /// per inode, largest view wins — in one batched exchange.
+    pub published_size: u64,
 }
 
 impl FdEntry {
@@ -145,6 +152,7 @@ mod tests {
             blocks: Vec::new(),
             dirty: HashSet::new(),
             wrote: false,
+            published_size: 0,
         }
     }
 

@@ -16,7 +16,15 @@ impl ClientLib {
         let entry = st.fds.remove(num)?;
         drop(st);
         self.flush_entry(&entry);
-        let size = if entry.wrote && !entry.is_pipe() && self.params.techniques.direct_access {
+        // Publish the close-to-open size only when this descriptor's view
+        // *grows* what the server already knows: a stale smaller view
+        // (another descriptor of the same file published a larger size
+        // write-behind) must never regress it.
+        let size = if entry.wrote
+            && !entry.is_pipe()
+            && self.params.techniques.direct_access
+            && entry.size > entry.published_size
+        {
             Some(entry.size)
         } else {
             None
@@ -382,20 +390,107 @@ impl ClientLib {
                 if !entry.wrote {
                     return Ok(());
                 }
+                // Write back the target's dirty blocks.
                 let snapshot = entry.clone();
                 entry.dirty.clear();
-                drop(st);
                 self.flush_entry(&snapshot);
-                if self.params.techniques.direct_access {
-                    self.call_unit(
-                        snapshot.ino.server,
-                        Request::SetSize {
-                            fd: snapshot.fdid,
-                            size: snapshot.size,
-                        },
-                    )?;
+                if !self.params.techniques.direct_access {
+                    return Ok(());
                 }
-                Ok(())
+                // Write-behind size publication: size updates buffer
+                // client-side as writes extend files (`size` runs ahead of
+                // `published_size`), and fsync flushes *every* buffered
+                // update — the target's and other written descriptors' —
+                // as one grouped exchange through the batch layer. Each
+                // published descriptor's dirty blocks are written back
+                // first, so publication never runs ahead of data. A later
+                // fsync of those descriptors then costs zero RPCs.
+                //
+                // Updates aggregate per *inode*, publishing the largest
+                // buffered size: writes only ever grow a file, so when two
+                // descriptors of one file hold different views, the larger
+                // one subsumes the smaller — and a stale smaller view must
+                // never overwrite a larger just-published size (the server
+                // applies SetSize unconditionally).
+                let mut updates: Vec<SizeUpdate> = Vec::new();
+                for n in st.fds.numbers() {
+                    let e = st.fds.get(n)?;
+                    if e.is_pipe()
+                        || !matches!(e.mode, FdMode::Local { .. })
+                        || !e.wrote
+                        || e.size <= e.published_size
+                    {
+                        continue;
+                    }
+                    let snap = e.clone();
+                    self.flush_entry(&snap);
+                    let e = st.fds.get_mut(n)?;
+                    e.dirty.clear();
+                    match updates.iter_mut().find(|u| u.ino == snap.ino) {
+                        Some(u) => {
+                            if snap.size > u.size {
+                                u.size = snap.size;
+                                u.fd = snap.fdid;
+                            }
+                            u.fds.push(n);
+                        }
+                        None => updates.push(SizeUpdate {
+                            ino: snap.ino,
+                            fd: snap.fdid,
+                            size: snap.size,
+                            fds: vec![n],
+                        }),
+                    }
+                }
+                if updates.is_empty() {
+                    // The target's size is already published (an earlier
+                    // fsync flushed it write-behind).
+                    return Ok(());
+                }
+                let target_ino = st.fds.get(num)?.ino;
+                // One grouped exchange through the batch layer, with the
+                // state lock dropped for the duration of the round trips
+                // (the io.rs convention — unlike the namespace ops, data
+                // paths never hold the state lock across an RPC).
+                drop(st);
+                let replies = self.call_grouped(
+                    updates
+                        .iter()
+                        .map(|u| {
+                            (
+                                u.ino.server,
+                                Request::SetSize {
+                                    fd: u.fd,
+                                    size: u.size,
+                                },
+                            )
+                        })
+                        .collect(),
+                    false,
+                );
+                let mut st = self.state.lock();
+                let mut target_result = Ok(());
+                for (u, r) in updates.iter().zip(replies) {
+                    match expect_reply!(r, Reply::Unit => ()) {
+                        Ok(()) => {
+                            for &n in &u.fds {
+                                if let Ok(e) = st.fds.get_mut(n) {
+                                    // The server now knows the file holds
+                                    // at least `u.size` bytes, which
+                                    // subsumes this descriptor's (equal or
+                                    // smaller) view.
+                                    e.published_size = e.published_size.max(u.size);
+                                }
+                            }
+                        }
+                        // Only the target file's reply decides the fsync
+                        // result — other files report their own errors at
+                        // their own fsync or close.
+                        Err(e) if u.ino == target_ino => target_result = Err(e),
+                        Err(_) => {}
+                    }
+                }
+                target_result
             }
             // Shared descriptors are server-mediated: nothing to flush.
             FdMode::Shared => Ok(()),
@@ -444,6 +539,9 @@ impl ClientLib {
             });
             self.charge(self.machine.cost.invalidate_blk * dropped as u64);
             entry.size = len;
+            // The Truncate made the server's size authoritative: nothing
+            // is buffered for this descriptor anymore.
+            entry.published_size = len;
             entry.wrote = true;
         }
         Ok(())
@@ -503,6 +601,7 @@ impl ClientLib {
             blocks: Vec::new(),
             dirty: HashSet::new(),
             wrote: false,
+            published_size: 0,
         };
         let r = st.fds.insert(mk(rfd, OpenFlags::RDONLY))?;
         let w = st.fds.insert(mk(wfd, OpenFlags::WRONLY))?;
@@ -592,6 +691,7 @@ impl ClientLib {
                     blocks: Vec::new(),
                     dirty: HashSet::new(),
                     wrote: false,
+                    published_size: 0,
                 },
             );
         }
@@ -611,6 +711,8 @@ impl ClientLib {
         if let Ok(e) = st.fds.get_mut(num) {
             e.mode = FdMode::Local { offset: d.offset };
             e.size = d.size;
+            // The server handed this size over, so it already knows it.
+            e.published_size = d.size;
             e.blocks = d.blocks;
             e.dirty.clear();
         }
@@ -675,4 +777,23 @@ impl ClientLib {
             cache.invalidate_all(blocks.iter().copied())
         });
     }
+}
+
+/// One buffered size publication of fsync's write-behind flush: the
+/// inode's size grows to the largest view buffered by this client's
+/// descriptors. One `SetSize` per inode ships in a single grouped
+/// exchange; successes mark every subsumed descriptor's size published,
+/// failures leave them buffered for the next flush.
+struct SizeUpdate {
+    /// The inode whose size is published (one update per inode).
+    ino: crate::types::InodeId,
+    /// The descriptor handle carrying the `SetSize` (the one holding the
+    /// largest buffered view).
+    fd: crate::types::FdId,
+    /// The largest buffered size among this client's descriptors of the
+    /// inode.
+    size: u64,
+    /// Every local descriptor number whose buffered view this update
+    /// subsumes (marked published on success).
+    fds: Vec<u32>,
 }

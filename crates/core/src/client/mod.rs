@@ -8,6 +8,7 @@
 
 mod batch;
 pub mod dircache;
+mod engine;
 pub mod fd;
 mod io;
 mod ops;
@@ -22,8 +23,6 @@ use dircache::DirCache;
 use fd::ClientFdTable;
 use fsapi::{Errno, FsResult};
 use parking_lot::Mutex;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -93,15 +92,23 @@ impl ClientLib {
             }),
             detached: AtomicBool::new(false),
         };
-        for s in lib.servers.iter() {
-            lib.call_srv(
-                s,
-                Request::Register {
-                    client: lib.params.id,
-                    core: lib.params.core,
-                    inval: inval_tx.clone(),
-                },
-            )?;
+        // Registration fan-out: one RPC per server, overlapped like a
+        // directory broadcast when the technique allows. (Register carries
+        // the invalidation channel, which a batch envelope cannot ship, so
+        // it overlaps rather than batches.)
+        let replies = rpc::multicall(
+            &lib.machine,
+            &lib.entity,
+            &lib.servers,
+            lib.params.techniques.broadcast,
+            |_| Request::Register {
+                client: lib.params.id,
+                core: lib.params.core,
+                inval: inval_tx.clone(),
+            },
+        );
+        for r in replies {
+            expect_reply!(r, Reply::Unit => ())?;
         }
         Ok(lib)
     }
@@ -133,28 +140,12 @@ impl ClientLib {
 
     // ----- RPC helpers -----------------------------------------------------
 
-    pub(crate) fn call_srv(&self, server: &ServerHandle, req: Request) -> WireReply {
-        rpc::call(&self.machine, &self.entity, server, req)
-    }
-
     pub(crate) fn call(&self, server: ServerId, req: Request) -> WireReply {
         rpc::call(
             &self.machine,
             &self.entity,
             &self.servers[server as usize],
             req,
-        )
-    }
-
-    /// Fans a request out to every server (directory broadcast §3.6.2, or
-    /// sequential RPCs when the broadcast technique is disabled).
-    pub(crate) fn call_all(&self, mk: impl FnMut(ServerId) -> Request) -> Vec<WireReply> {
-        rpc::multicall(
-            &self.machine,
-            &self.entity,
-            &self.servers,
-            self.params.techniques.broadcast,
-            mk,
         )
     }
 
@@ -190,19 +181,11 @@ impl ClientLib {
 
     // ----- Placement -------------------------------------------------------
 
-    /// The dentry shard server for `name` in `dir`:
-    /// `hash(dir, name) % NSERVERS` for distributed directories (paper
-    /// §3.3 — `dir` is the parent's inode id, rename-stable), or the home
-    /// server for centralized ones.
+    /// The dentry shard server for `name` in `dir` (see
+    /// [`crate::types::dentry_shard`] — the one routing function shared
+    /// with the servers' chained-resolution walk).
     pub(crate) fn shard_of(&self, dir: InodeId, dist: bool, name: &str) -> ServerId {
-        if !dist {
-            return dir.server;
-        }
-        let mut h = DefaultHasher::new();
-        dir.server.hash(&mut h);
-        dir.num.hash(&mut h);
-        name.hash(&mut h);
-        (h.finish() % self.servers.len() as u64) as ServerId
+        crate::types::dentry_shard(dir, dist, name, self.servers.len())
     }
 
     /// Where to place a newly created inode (creation affinity §3.6.4):
@@ -240,14 +223,21 @@ impl ClientLib {
         for n in nums {
             let _ = self.close_impl(n);
         }
-        for s in self.servers.iter() {
-            let _ = self.call_srv(
-                s,
-                Request::Unregister {
-                    client: self.params.id,
-                },
-            );
-        }
+        // Unregister fan-out through the batch layer: one exchange per
+        // server (overlapped), instead of N sequential round trips.
+        let _ = self.call_grouped(
+            (0..self.servers.len() as ServerId)
+                .map(|s| {
+                    (
+                        s,
+                        Request::Unregister {
+                            client: self.params.id,
+                        },
+                    )
+                })
+                .collect(),
+            false,
+        );
         self.machine.unregister_entity(self.params.core);
     }
 }

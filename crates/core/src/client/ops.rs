@@ -2,10 +2,11 @@
 //! readdir, stat.
 
 use super::dircache::{Cached, CachedDentry};
+use super::engine::{MultiStepOp, Next, Step};
 use super::fd::{FdEntry, FdMode};
 use super::resolve::DirRef;
 use super::{expect_reply, ClientLib, ClientState};
-use crate::proto::{MarkResult, OpenResult, Reply, Request};
+use crate::proto::{MarkResult, OpenResult, Reply, Request, WireReply};
 use crate::types::{InodeId, ServerId};
 use fsapi::{DirEntry, Errno, FileType, FsResult, MkdirOpts, Mode, OpenFlags, Stat};
 use std::collections::HashSet;
@@ -295,6 +296,7 @@ impl ClientLib {
             blocks: open.blocks,
             dirty: HashSet::new(),
             wrote: false,
+            published_size: open.size,
         };
         st.fds.insert(entry)
     }
@@ -433,7 +435,7 @@ impl ClientLib {
             // Centralized: a single atomic message to the home server.
             self.call_unit(dir.server, Request::RmdirCentral { dir })?;
         } else {
-            self.rmdir_distributed(dir)?;
+            self.run_op(&mut st, RmdirDistOp::new(dir, self.nservers()))??;
         }
 
         // Remove the entry from the parent and drop the cached dentry.
@@ -454,49 +456,8 @@ impl ClientLib {
         Ok(())
     }
 
-    /// The three-phase removal protocol for distributed directories
-    /// (paper §3.3).
-    fn rmdir_distributed(&self, dir: InodeId) -> FsResult<()> {
-        // Phase 1: serialize at the home server.
-        expect_reply!(
-            self.call(dir.server, Request::RmdirSerialize { dir }),
-            Reply::RmdirLocked => ()
-        )?;
-
-        // Phase 2 (prepare): ask every server to mark the directory,
-        // succeeding only on empty shards.
-        let marks = self.call_all(|_| Request::RmdirMark { dir });
-        let mut all_marked = true;
-        let mut failed = false;
-        let mut marked: Vec<ServerId> = Vec::new();
-        for (i, m) in marks.iter().enumerate() {
-            match m {
-                Ok(Reply::RmdirMark(MarkResult::Marked)) => marked.push(i as ServerId),
-                Ok(Reply::RmdirMark(MarkResult::NotEmpty)) => all_marked = false,
-                Ok(_) | Err(_) => {
-                    all_marked = false;
-                    failed = true;
-                }
-            }
-        }
-
-        // Phase 3: COMMIT if everyone marked, else ABORT the markers.
-        let result = if all_marked {
-            let _ = self.call_all(|_| Request::RmdirCommit { dir });
-            Ok(())
-        } else {
-            for s in marked {
-                let _ = self.call(s, Request::RmdirAbort { dir });
-            }
-            if failed {
-                Err(Errno::EIO)
-            } else {
-                Err(Errno::ENOTEMPTY)
-            }
-        };
-        let _ = self.call(dir.server, Request::RmdirRelease { dir });
-        result
-    }
+    // (The three-phase distributed removal protocol lives in
+    // [`RmdirDistOp`] below, driven by the operation engine.)
 
     // ----- rename ----------------------------------------------------------
 
@@ -523,50 +484,39 @@ impl ClientLib {
         // Paper §3.3: "rename first contacts the server storing the new
         // name, to create (or replace) a hard link with the new name, and
         // then contacts the server storing the old name to unlink it."
-        // The fail-fast grouped send keeps exactly that order — and when
+        // The engine's ordered step keeps exactly that order — and when
         // both names hash to the same shard server, the pair travels as
-        // one batched exchange instead of two RPCs.
+        // one batched exchange instead of two RPCs. The displaced target's
+        // link-decref (if any) is the op's optional third step.
         let new_shard = self.shard_of(new_dir.ino, new_dir.dist, new_name);
         let old_shard = self.shard_of(old_dir.ino, old_dir.dist, old_name);
-        let mut pair = self
-            .call_grouped(
-                vec![
-                    (
-                        new_shard,
-                        Request::AddMap {
-                            client: self.params.id,
-                            dir: new_dir.ino,
-                            name: new_name.to_string(),
-                            target: d.target,
-                            ftype: d.ftype,
-                            dist: d.dist,
-                            replace: true,
-                        },
-                    ),
-                    (
-                        old_shard,
-                        Request::RmMap {
-                            client: self.params.id,
-                            dir: old_dir.ino,
-                            name: old_name.to_string(),
-                            must_be_file: false,
-                        },
-                    ),
-                ],
-                true,
-            )
-            .into_iter();
-        let (add_reply, rm_reply) = (
-            pair.next().expect("two replies"),
-            pair.next().expect("two replies"),
-        );
-        let replaced = expect_reply!(add_reply, Reply::AddMapped { replaced } => replaced)?;
-        let _ = expect_reply!(rm_reply, Reply::RmMapped { target, ftype } => (target, ftype))?;
-
-        // The displaced target (if any) loses a link.
-        if let Some((displaced, _ftype)) = replaced {
-            let _ = self.call(displaced.server, Request::LinkDecref { num: displaced.num });
-        }
+        self.run_op(
+            &mut st,
+            RenameCommitOp {
+                add: Some((
+                    new_shard,
+                    Request::AddMap {
+                        client: self.params.id,
+                        dir: new_dir.ino,
+                        name: new_name.to_string(),
+                        target: d.target,
+                        ftype: d.ftype,
+                        dist: d.dist,
+                        replace: true,
+                    },
+                )),
+                rm: Some((
+                    old_shard,
+                    Request::RmMap {
+                        client: self.params.id,
+                        dir: old_dir.ino,
+                        name: old_name.to_string(),
+                        must_be_file: false,
+                    },
+                )),
+                decref_sent: false,
+            },
+        )??;
 
         st.dircache.remove(old_dir.ino, old_name);
         if self.params.techniques.dircache {
@@ -710,5 +660,171 @@ impl ClientLib {
                 _ => None,
             })
             .collect())
+    }
+}
+
+/// The mutation phase of rename, as an engine-driven state machine: the
+/// ordered (fail-fast) ADD_MAP + RM_MAP pair — one batched exchange when
+/// both names share a shard server — followed, when the ADD_MAP displaced
+/// an existing target, by that target's link-decref.
+struct RenameCommitOp {
+    add: Option<(ServerId, Request)>,
+    rm: Option<(ServerId, Request)>,
+    decref_sent: bool,
+}
+
+impl MultiStepOp for RenameCommitOp {
+    type Out = FsResult<()>;
+
+    fn step(
+        &mut self,
+        _lib: &ClientLib,
+        _st: &mut ClientState,
+        replies: Option<Vec<WireReply>>,
+    ) -> FsResult<Next<FsResult<()>>> {
+        if let (Some(add), Some(rm)) = (self.add.take(), self.rm.take()) {
+            return Ok(Next::Run(Step::Ordered(vec![add, rm])));
+        }
+        if self.decref_sent {
+            // The decref's reply is advisory (the displaced inode's server
+            // reclaims it regardless of what we do next).
+            return Ok(Next::Done(Ok(())));
+        }
+        let mut rs = replies.ok_or(Errno::EIO)?.into_iter();
+        let (add_reply, rm_reply) = (rs.next().ok_or(Errno::EIO)?, rs.next().ok_or(Errno::EIO)?);
+        let replaced = match expect_reply!(add_reply, Reply::AddMapped { replaced } => replaced) {
+            Ok(r) => r,
+            Err(e) => return Ok(Next::Done(Err(e))),
+        };
+        if let Err(e) =
+            expect_reply!(rm_reply, Reply::RmMapped { target, ftype } => (target, ftype))
+        {
+            return Ok(Next::Done(Err(e)));
+        }
+        match replaced {
+            Some((displaced, _ftype)) => {
+                self.decref_sent = true;
+                Ok(Next::Run(Step::Call(
+                    displaced.server,
+                    Request::LinkDecref { num: displaced.num },
+                )))
+            }
+            None => Ok(Next::Done(Ok(()))),
+        }
+    }
+}
+
+/// The three-phase removal protocol for distributed directories (paper
+/// §3.3), as an engine-driven state machine. The mark and commit/abort
+/// fan-outs travel through the batch layer (one exchange per server,
+/// overlapped), and the serialization lock is always released — protocol
+/// failures are carried in the operation's output instead of aborting the
+/// state machine mid-protocol.
+struct RmdirDistOp {
+    dir: InodeId,
+    nservers: usize,
+    phase: RmdirPhase,
+    marked: Vec<ServerId>,
+    outcome: FsResult<()>,
+}
+
+enum RmdirPhase {
+    /// Nothing sent yet; next step serializes at the home server.
+    Serialize,
+    /// Serialization requested; next step is the mark fan-out.
+    Mark,
+    /// Marks requested; next step commits or aborts.
+    Resolve,
+    /// Commit/abort requested; next step releases the lock.
+    Release,
+    /// Release requested; the operation is done.
+    Finish,
+}
+
+impl RmdirDistOp {
+    fn new(dir: InodeId, nservers: usize) -> Self {
+        RmdirDistOp {
+            dir,
+            nservers,
+            phase: RmdirPhase::Serialize,
+            marked: Vec::new(),
+            outcome: Ok(()),
+        }
+    }
+}
+
+impl MultiStepOp for RmdirDistOp {
+    type Out = FsResult<()>;
+
+    fn step(
+        &mut self,
+        _lib: &ClientLib,
+        _st: &mut ClientState,
+        replies: Option<Vec<WireReply>>,
+    ) -> FsResult<Next<FsResult<()>>> {
+        let dir = self.dir;
+        let all = |req_of: fn(InodeId) -> Request| {
+            Step::Grouped(
+                (0..self.nservers as ServerId)
+                    .map(|s| (s, req_of(dir)))
+                    .collect(),
+            )
+        };
+        match self.phase {
+            RmdirPhase::Serialize => {
+                self.phase = RmdirPhase::Mark;
+                Ok(Next::Run(Step::Call(
+                    dir.server,
+                    Request::RmdirSerialize { dir },
+                )))
+            }
+            RmdirPhase::Mark => {
+                // Phase 1 reply: the lock. A failure here aborts outright —
+                // nothing was locked, so there is nothing to release.
+                let mut rs = replies.ok_or(Errno::EIO)?;
+                expect_reply!(rs.pop().ok_or(Errno::EIO)?, Reply::RmdirLocked => ())?;
+                self.phase = RmdirPhase::Resolve;
+                Ok(Next::Run(all(|dir| Request::RmdirMark { dir })))
+            }
+            RmdirPhase::Resolve => {
+                // Phase 2 replies: marks. COMMIT everywhere if every shard
+                // marked; otherwise ABORT exactly the marked shards.
+                let marks = replies.ok_or(Errno::EIO)?;
+                let mut all_marked = true;
+                let mut failed = false;
+                for (i, m) in marks.iter().enumerate() {
+                    match m {
+                        Ok(Reply::RmdirMark(MarkResult::Marked)) => self.marked.push(i as ServerId),
+                        Ok(Reply::RmdirMark(MarkResult::NotEmpty)) => all_marked = false,
+                        Ok(_) | Err(_) => {
+                            all_marked = false;
+                            failed = true;
+                        }
+                    }
+                }
+                self.phase = RmdirPhase::Release;
+                if all_marked {
+                    self.outcome = Ok(());
+                    Ok(Next::Run(all(|dir| Request::RmdirCommit { dir })))
+                } else {
+                    self.outcome = Err(if failed { Errno::EIO } else { Errno::ENOTEMPTY });
+                    Ok(Next::Run(Step::Grouped(
+                        std::mem::take(&mut self.marked)
+                            .into_iter()
+                            .map(|s| (s, Request::RmdirAbort { dir }))
+                            .collect(),
+                    )))
+                }
+            }
+            RmdirPhase::Release => {
+                // Commit/abort replies are advisory; release regardless.
+                self.phase = RmdirPhase::Finish;
+                Ok(Next::Run(Step::Call(
+                    dir.server,
+                    Request::RmdirRelease { dir },
+                )))
+            }
+            RmdirPhase::Finish => Ok(Next::Done(std::mem::replace(&mut self.outcome, Ok(())))),
+        }
     }
 }

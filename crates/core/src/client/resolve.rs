@@ -1,13 +1,30 @@
-//! Iterative pathname resolution through the directory cache.
+//! Pathname resolution through the directory cache.
 //!
 //! "Pathname lookups proceed iteratively, issuing the following RPC to each
 //! directory server in turn: `lookup(dir, name) -> (server, inode)`"
 //! (paper §3.6.1). Results are cached; servers invalidate stale entries.
+//!
+//! This reproduction layers two mechanisms on top of the paper's loop, both
+//! expressed as [`MultiStepOp`] state machines driven by the operation
+//! engine (`engine.rs`):
+//!
+//! * **Chained resolution** ([`ResolveOp`]): with the `chained_resolution`
+//!   technique on, a cold walk ships the *whole remaining component list*
+//!   to the first uncached component's shard server as one
+//!   [`Request::LookupPath`]; servers resolve what they own and forward
+//!   the rest directly to the next owner, so the client pays one exchange
+//!   per run of co-located components instead of one round trip per
+//!   component.
+//! * **Pair resolution** ([`PairResolveOp`]): rename's two parent chains
+//!   advance in lockstep; per round the two frontier requests are
+//!   deduplicated (shared prefix) and shipped together — batched when they
+//!   are plain lookups, overlapped when they are chains.
 
 use super::dircache::{Cached, CachedDentry};
+use super::engine::{MultiStepOp, Next, Step};
 use super::{expect_reply, ClientLib, ClientState};
-use crate::proto::{Reply, Request};
-use crate::types::InodeId;
+use crate::proto::{Reply, Request, WireReply};
+use crate::types::{InodeId, ServerId};
 use fsapi::{Errno, FileType, FsResult};
 
 /// A `(parent directory, final name)` pair for each of two resolved paths
@@ -115,18 +132,7 @@ impl ClientLib {
 
     /// Resolves a component list to a directory.
     pub(crate) fn resolve_dir(&self, st: &mut ClientState, comps: &[&str]) -> FsResult<DirRef> {
-        let mut cur = self.root_ref();
-        for comp in comps {
-            let d = self.lookup_child(st, cur, comp)?;
-            if d.ftype != FileType::Directory {
-                return Err(Errno::ENOTDIR);
-            }
-            cur = DirRef {
-                ino: d.target,
-                dist: d.dist && self.params.techniques.distribution,
-            };
-        }
-        Ok(cur)
+        self.run_op(st, ResolveOp::new(self.root_ref(), comps))
     }
 
     /// Resolves `path` to `(parent directory, final name)`.
@@ -141,13 +147,9 @@ impl ClientLib {
     }
 
     /// Resolves two paths to their `(parent directory, final name)` pairs
-    /// *in lockstep* (multi-component resolution prefetch): at every step
-    /// the two chains' frontier lookups are independent of each other, so
-    /// they ship through the batched transport — one exchange when both
-    /// hash to the same shard server, overlapped exchanges otherwise.
-    /// Shared-prefix components are deduplicated, so the RPC count never
-    /// exceeds the sequential path's. Used by `rename`, whose two
-    /// resolutions are the one hot multi-path pattern.
+    /// *in lockstep*: per round the two chains' frontier requests ship
+    /// together and shared-prefix duplicates collapse to one. Used by
+    /// `rename`, whose two resolutions are the one hot multi-path pattern.
     ///
     /// Error precedence matches sequential resolution: a failure on the
     /// first path is reported even if the second failed too.
@@ -159,113 +161,8 @@ impl ClientLib {
     ) -> FsResult<ParentPair<'a, 'b>> {
         let (pa, na) = fsapi::path::split_parent(a)?;
         let (pb, nb) = fsapi::path::split_parent(b)?;
-        let comps = [pa, pb];
-        let mut cur = [self.root_ref(), self.root_ref()];
-        let mut pos = [0usize; 2];
-        let mut err: [Option<Errno>; 2] = [None, None];
-
-        loop {
-            // Advance each chain through the directory cache until it needs
-            // a real RPC (or finishes).
-            let mut frontier: Vec<(usize, crate::types::ServerId, InodeId, &str)> = Vec::new();
-            for c in 0..2 {
-                if err[c].is_some() {
-                    continue;
-                }
-                while pos[c] < comps[c].len() {
-                    let name = comps[c][pos[c]];
-                    match self.consult_dircache(st, cur[c].ino, name) {
-                        Some(Cached::Pos(d)) => match self.enter_dir(d) {
-                            Ok(next) => {
-                                cur[c] = next;
-                                pos[c] += 1;
-                            }
-                            Err(e) => {
-                                err[c] = Some(e);
-                                break;
-                            }
-                        },
-                        Some(Cached::Neg) => {
-                            err[c] = Some(Errno::ENOENT);
-                            break;
-                        }
-                        None => break,
-                    }
-                }
-                if err[c].is_none() && pos[c] < comps[c].len() {
-                    let name = comps[c][pos[c]];
-                    let shard = self.shard_of(cur[c].ino, cur[c].dist, name);
-                    frontier.push((c, shard, cur[c].ino, name));
-                }
-            }
-            if frontier.is_empty() {
-                break;
-            }
-            // Identical frontier lookups (shared prefix) collapse to one.
-            if frontier.len() == 2
-                && frontier[0].2 == frontier[1].2
-                && frontier[0].3 == frontier[1].3
-            {
-                frontier.pop();
-            }
-            let reqs: Vec<(crate::types::ServerId, Request)> = frontier
-                .iter()
-                .map(|&(_, shard, dir, name)| {
-                    (
-                        shard,
-                        Request::Lookup {
-                            client: self.params.id,
-                            dir,
-                            name: name.to_string(),
-                        },
-                    )
-                })
-                .collect();
-            let replies = self.call_grouped(reqs, false);
-            for (&(_, _, dir, name), reply) in frontier.iter().zip(replies) {
-                let got = expect_reply!(
-                    reply,
-                    Reply::Lookup { target, ftype, dist } => CachedDentry { target, ftype, dist }
-                );
-                let outcome = match got {
-                    Ok(v) => {
-                        if self.params.techniques.dircache {
-                            st.dircache.insert(dir, name, v);
-                        }
-                        self.enter_dir(v)
-                    }
-                    Err(Errno::ENOENT) => {
-                        self.cache_negative(st, dir, name);
-                        Err(Errno::ENOENT)
-                    }
-                    Err(e) => Err(e),
-                };
-                // Apply to every chain waiting on this (dir, name) — both,
-                // when the frontier collapsed.
-                for c in 0..2 {
-                    if err[c].is_some() || pos[c] >= comps[c].len() {
-                        continue;
-                    }
-                    if cur[c].ino == dir && comps[c][pos[c]] == name {
-                        match outcome {
-                            Ok(next) => {
-                                cur[c] = next;
-                                pos[c] += 1;
-                            }
-                            Err(e) => err[c] = Some(e),
-                        }
-                    }
-                }
-            }
-        }
-
-        if let Some(e) = err[0] {
-            return Err(e);
-        }
-        if let Some(e) = err[1] {
-            return Err(e);
-        }
-        Ok(((cur[0], na), (cur[1], nb)))
+        let (da, db) = self.run_op(st, PairResolveOp::new(self.root_ref(), &pa, &pb))?;
+        Ok(((da, na), (db, nb)))
     }
 
     /// Interprets a resolved dentry as a directory to descend into.
@@ -277,5 +174,318 @@ impl ClientLib {
             ino: d.target,
             dist: d.dist && self.params.techniques.distribution,
         })
+    }
+}
+
+/// The request a resolve chain has in flight.
+enum Pending {
+    /// Nothing outstanding.
+    Idle,
+    /// A chained `LookupPath` covering every remaining component.
+    Chain,
+    /// A single `Lookup` for the current component.
+    Single,
+}
+
+/// The path-walk state machine: one directory-component cursor advanced by
+/// cache hits, chained `LookupPath` exchanges, or per-component lookups.
+pub(crate) struct ResolveOp<'p> {
+    comps: &'p [&'p str],
+    cur: DirRef,
+    pos: usize,
+    pending: Pending,
+    /// Resolve the next component with a plain (parkable) `Lookup` before
+    /// chaining again — set when a chain stopped `EAGAIN` on a directory
+    /// marked for deletion.
+    single_once: bool,
+}
+
+impl<'p> ResolveOp<'p> {
+    /// A walk of `comps` starting at `root`.
+    pub(crate) fn new(root: DirRef, comps: &'p [&'p str]) -> Self {
+        ResolveOp {
+            comps,
+            cur: root,
+            pos: 0,
+            pending: Pending::Idle,
+            single_once: false,
+        }
+    }
+
+    /// Caches and descends into one resolved component.
+    fn descend(&mut self, lib: &ClientLib, st: &mut ClientState, d: CachedDentry) -> FsResult<()> {
+        if lib.params.techniques.dircache {
+            st.dircache.insert(self.cur.ino, self.comps[self.pos], d);
+        }
+        self.cur = lib.enter_dir(d)?;
+        self.pos += 1;
+        Ok(())
+    }
+
+    /// Applies the reply of the previously emitted request.
+    fn absorb(&mut self, lib: &ClientLib, st: &mut ClientState, reply: WireReply) -> FsResult<()> {
+        match std::mem::replace(&mut self.pending, Pending::Idle) {
+            Pending::Single => {
+                let dir = self.cur.ino;
+                let name = self.comps[self.pos];
+                let got = expect_reply!(
+                    reply,
+                    Reply::Lookup { target, ftype, dist } => CachedDentry { target, ftype, dist }
+                );
+                match got {
+                    Ok(v) => self.descend(lib, st, v),
+                    Err(Errno::ENOENT) => {
+                        lib.cache_negative(st, dir, name);
+                        Err(Errno::ENOENT)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Pending::Chain => {
+                let (entries, stopped) = expect_reply!(
+                    reply,
+                    Reply::Path { entries, stopped } => (entries, stopped)
+                )?;
+                debug_assert!(entries.len() <= self.comps.len() - self.pos);
+                for e in entries {
+                    let d = CachedDentry {
+                        target: e.target,
+                        ftype: e.ftype,
+                        dist: e.dist,
+                    };
+                    // A non-directory intermediate surfaces ENOTDIR here,
+                    // exactly like the sequential walk entering it would.
+                    self.descend(lib, st, d)?;
+                }
+                match stopped {
+                    None => {
+                        debug_assert_eq!(self.pos, self.comps.len());
+                        Ok(())
+                    }
+                    Some(Errno::ENOENT) => {
+                        lib.cache_negative(st, self.cur.ino, self.comps[self.pos]);
+                        Err(Errno::ENOENT)
+                    }
+                    // The chain reached a directory marked for deletion:
+                    // re-ask that component as a plain lookup, which parks
+                    // at the server until the rmdir commits or aborts.
+                    Some(Errno::EAGAIN) => {
+                        self.single_once = true;
+                        Ok(())
+                    }
+                    Some(e) => Err(e),
+                }
+            }
+            Pending::Idle => {
+                debug_assert!(false, "reply without a pending request");
+                Err(Errno::EIO)
+            }
+        }
+    }
+
+    /// Advances through the directory cache, then picks the next request —
+    /// a chain covering the remaining components when the technique
+    /// applies, a single lookup otherwise. `None` when resolution is
+    /// complete (`self.cur` is the result).
+    fn next_request(
+        &mut self,
+        lib: &ClientLib,
+        st: &mut ClientState,
+    ) -> FsResult<Option<(ServerId, Request)>> {
+        while self.pos < self.comps.len() {
+            let name = self.comps[self.pos];
+            match lib.consult_dircache(st, self.cur.ino, name) {
+                Some(Cached::Pos(d)) => {
+                    self.cur = lib.enter_dir(d)?;
+                    self.pos += 1;
+                }
+                Some(Cached::Neg) => return Err(Errno::ENOENT),
+                None => break,
+            }
+        }
+        if self.pos == self.comps.len() {
+            return Ok(None);
+        }
+        let name = self.comps[self.pos];
+        let shard = lib.shard_of(self.cur.ino, self.cur.dist, name);
+        let remaining = &self.comps[self.pos..];
+        // Chaining pays off once two or more uncached components remain; a
+        // single component is exactly one round trip either way, and the
+        // plain lookup parks correctly on deletion-marked directories.
+        if lib.params.techniques.chained_resolution && remaining.len() >= 2 && !self.single_once {
+            self.pending = Pending::Chain;
+            return Ok(Some((
+                shard,
+                Request::LookupPath {
+                    client: lib.params.id,
+                    dir: self.cur.ino,
+                    dist: self.cur.dist,
+                    comps: remaining.iter().map(|c| c.to_string()).collect(),
+                    acc: Vec::new(),
+                    hops: 0,
+                },
+            )));
+        }
+        self.single_once = false;
+        self.pending = Pending::Single;
+        Ok(Some((
+            shard,
+            Request::Lookup {
+                client: lib.params.id,
+                dir: self.cur.ino,
+                name: name.to_string(),
+            },
+        )))
+    }
+
+    /// True when the in-flight request must not travel in a batch
+    /// envelope (its reply may come from a different server).
+    fn pending_unbatchable(&self) -> bool {
+        matches!(self.pending, Pending::Chain)
+    }
+
+    /// The `(directory, remaining components)` frontier of the in-flight
+    /// request, for pair deduplication.
+    fn frontier(&self) -> (InodeId, &'p [&'p str]) {
+        (self.cur.ino, &self.comps[self.pos..])
+    }
+}
+
+impl MultiStepOp for ResolveOp<'_> {
+    type Out = DirRef;
+
+    fn step(
+        &mut self,
+        lib: &ClientLib,
+        st: &mut ClientState,
+        replies: Option<Vec<WireReply>>,
+    ) -> FsResult<Next<DirRef>> {
+        if let Some(mut rs) = replies {
+            debug_assert_eq!(rs.len(), 1);
+            self.absorb(lib, st, rs.pop().ok_or(Errno::EIO)?)?;
+        }
+        match self.next_request(lib, st)? {
+            Some((server, req)) => Ok(Next::Run(Step::Call(server, req))),
+            None => Ok(Next::Done(self.cur)),
+        }
+    }
+}
+
+/// Two [`ResolveOp`] chains advanced in lockstep (rename's pair
+/// resolution). Each round collects both chains' frontier requests,
+/// collapses shared-prefix duplicates to one, and ships the round as a
+/// batched/overlapped step; a chain that errors stops advancing while the
+/// other finishes, and the first path's error takes precedence.
+pub(crate) struct PairResolveOp<'p> {
+    ops: [ResolveOp<'p>; 2],
+    err: [Option<Errno>; 2],
+    done: [Option<DirRef>; 2],
+    /// Which chains contributed a request to the in-flight step.
+    in_flight: [bool; 2],
+    /// The in-flight step was deduplicated: one request answers both.
+    dedup: bool,
+}
+
+impl<'p> PairResolveOp<'p> {
+    /// Lockstep resolution of two component lists from `root`.
+    pub(crate) fn new(root: DirRef, a: &'p [&'p str], b: &'p [&'p str]) -> Self {
+        PairResolveOp {
+            ops: [ResolveOp::new(root, a), ResolveOp::new(root, b)],
+            err: [None, None],
+            done: [None, None],
+            in_flight: [false, false],
+            dedup: false,
+        }
+    }
+
+    /// Feeds one chain's reply, downgrading failures to per-chain errors.
+    fn absorb_into(&mut self, i: usize, lib: &ClientLib, st: &mut ClientState, reply: WireReply) {
+        if let Err(e) = self.ops[i].absorb(lib, st, reply) {
+            self.err[i] = Some(e);
+        }
+    }
+}
+
+impl MultiStepOp for PairResolveOp<'_> {
+    type Out = (DirRef, DirRef);
+
+    fn step(
+        &mut self,
+        lib: &ClientLib,
+        st: &mut ClientState,
+        replies: Option<Vec<WireReply>>,
+    ) -> FsResult<Next<(DirRef, DirRef)>> {
+        if let Some(rs) = replies {
+            let mut it = rs.into_iter();
+            if self.dedup {
+                let r = it.next().ok_or(Errno::EIO)?;
+                self.absorb_into(0, lib, st, r.clone());
+                self.absorb_into(1, lib, st, r);
+            } else {
+                for i in 0..2 {
+                    if self.in_flight[i] {
+                        let r = it.next().ok_or(Errno::EIO)?;
+                        self.absorb_into(i, lib, st, r);
+                    }
+                }
+            }
+            self.in_flight = [false, false];
+            self.dedup = false;
+        }
+
+        let mut reqs: Vec<(ServerId, Request)> = Vec::with_capacity(2);
+        let mut unbatchable = false;
+        for i in 0..2 {
+            if self.err[i].is_some() || self.done[i].is_some() {
+                continue;
+            }
+            match self.ops[i].next_request(lib, st) {
+                Ok(Some((server, req))) => {
+                    // Shared prefix: identical frontiers collapse to one
+                    // request whose reply feeds both chains.
+                    if self.in_flight[0] && i == 1 && frontier_matches(&self.ops[0], &self.ops[1]) {
+                        self.dedup = true;
+                        continue;
+                    }
+                    unbatchable = unbatchable || self.ops[i].pending_unbatchable();
+                    reqs.push((server, req));
+                    self.in_flight[i] = true;
+                }
+                Ok(None) => self.done[i] = Some(self.ops[i].cur),
+                Err(e) => self.err[i] = Some(e),
+            }
+        }
+
+        if reqs.is_empty() {
+            if let Some(e) = self.err[0] {
+                return Err(e);
+            }
+            if let Some(e) = self.err[1] {
+                return Err(e);
+            }
+            let (a, b) = (self.done[0], self.done[1]);
+            return Ok(Next::Done((a.ok_or(Errno::EIO)?, b.ok_or(Errno::EIO)?)));
+        }
+        Ok(Next::Run(if unbatchable {
+            Step::Overlapped(reqs)
+        } else {
+            Step::Grouped(reqs)
+        }))
+    }
+}
+
+/// True when both chains ask the same question next: same directory and —
+/// for a single lookup — the same first remaining component, or — for a
+/// chain — the same full remainder (so one `LookupPath` answers both).
+fn frontier_matches(a: &ResolveOp<'_>, b: &ResolveOp<'_>) -> bool {
+    let (da, ra) = a.frontier();
+    let (db, rb) = b.frontier();
+    if da != db || ra.is_empty() || rb.is_empty() {
+        return false;
+    }
+    match (&a.pending, &b.pending) {
+        (Pending::Single, Pending::Single) => ra[0] == rb[0],
+        (Pending::Chain, Pending::Chain) => ra == rb,
+        _ => false,
     }
 }

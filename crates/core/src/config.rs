@@ -29,9 +29,18 @@ use vtime::{CostModel, Topology};
 ///   for the same server ship as one `Batch` message executed in order,
 ///   paying one message overhead (receive, reply send, context switch) for
 ///   the group. It vectorizes `readdir`'s per-shard fan-out, the
-///   readdir+stat (`ls -l`) pattern, and same-shard rename
-///   `AddMap`+`RmMap` pairs, and is the groundwork for write-behind
-///   `SetSize` batching.
+///   readdir+stat (`ls -l`) pattern, same-shard rename `AddMap`+`RmMap`
+///   pairs, the rmdir mark/commit fan-out, write-behind `SetSize` flushes
+///   on fsync, and client `Unregister` teardown.
+/// * `chained_resolution` is server-side `LookupPath` chaining: on a cold
+///   multi-component resolution the client sends the *whole remaining
+///   path* to the first uncached component's shard server, which resolves
+///   as many consecutive components as it owns and forwards the remainder
+///   directly to the next owner; the final server answers the client.
+///   Cold resolution of a deep path costs one message per *run* of
+///   co-located components (plus the reply) instead of one round trip per
+///   component. When off, the resolve loop walks component-by-component
+///   exactly as the paper describes (§3.6.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Techniques {
     /// Directory distribution (§3.3): when off, every directory is
@@ -63,6 +72,10 @@ pub struct Techniques {
     /// Batched RPC transport: when off, requests that would share a
     /// `Batch` message to one server are issued as independent RPCs.
     pub batching: bool,
+    /// Server-side `LookupPath` chaining for cold multi-component
+    /// resolution: when off, the resolve loop issues one `Lookup` round
+    /// trip per uncached component (the paper's §3.6.1 protocol).
+    pub chained_resolution: bool,
 }
 
 impl Default for Techniques {
@@ -78,6 +91,7 @@ impl Default for Techniques {
             neg_dircache: true,
             coalesced_stat: true,
             batching: true,
+            chained_resolution: true,
         }
     }
 }
@@ -101,6 +115,7 @@ impl Techniques {
             "neg_dircache" => t.neg_dircache = false,
             "coalesced_stat" => t.coalesced_stat = false,
             "batching" => t.batching = false,
+            "chained_resolution" => t.chained_resolution = false,
             other => panic!("unknown technique {other:?}"),
         }
         t
@@ -255,6 +270,8 @@ mod tests {
         assert!(!t.coalesced_stat && t.coalesced_open && t.batching);
         let t = Techniques::without("batching");
         assert!(!t.batching && t.coalesced_stat && t.broadcast);
+        let t = Techniques::without("chained_resolution");
+        assert!(!t.chained_resolution && t.batching && t.dircache);
     }
 
     #[test]

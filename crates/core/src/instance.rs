@@ -32,16 +32,29 @@ impl HareInstance {
         let per_server = cfg.dram_blocks / nservers;
         assert!(per_server > 0, "buffer cache too small for server count");
 
+        // Every server holds handles to all of its peers (for forwarding
+        // chained LookupPath remainders), so the channels are created
+        // up-front and the server threads spawned in a second pass.
         let mut handles = Vec::with_capacity(nservers);
-        let mut threads = Vec::with_capacity(nservers);
+        let mut rxs = Vec::with_capacity(nservers);
         for (i, &core) in cfg.server_cores.iter().enumerate() {
             let (tx, rx) = msg::channel::<ServerMsg>(Arc::clone(&machine.msg_stats));
             machine.register_entity(core);
+            handles.push(ServerHandle {
+                id: i as ServerId,
+                core,
+                tx,
+            });
+            rxs.push(rx);
+        }
+        let handles = Arc::new(handles);
+        let mut threads = Vec::with_capacity(nservers);
+        for (i, rx) in rxs.into_iter().enumerate() {
             let server = Server::new(
                 Arc::clone(&machine),
                 ServerParams {
                     id: i as ServerId,
-                    core,
+                    core: cfg.server_cores[i],
                     partition_start: i * per_server,
                     partition_len: per_server,
                     root_distributed: cfg.root_distributed && cfg.techniques.distribution,
@@ -50,6 +63,8 @@ impl HareInstance {
                     // would leak invalidations) without the dircache.
                     neg_dircache: cfg.techniques.neg_dircache && cfg.techniques.dircache,
                     track_capacity: cfg.server_track_capacity,
+                    peers: Arc::clone(&handles),
+                    distribution: cfg.techniques.distribution,
                 },
             );
             threads.push(
@@ -58,16 +73,11 @@ impl HareInstance {
                     .spawn(move || server.run(rx))
                     .expect("spawn server thread"),
             );
-            handles.push(ServerHandle {
-                id: i as ServerId,
-                core,
-                tx,
-            });
         }
         Arc::new(HareInstance {
             machine,
             cfg,
-            servers: Arc::new(handles),
+            servers: handles,
             threads: Mutex::new(threads),
             next_client: AtomicU64::new(1),
         })

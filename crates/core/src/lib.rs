@@ -36,6 +36,7 @@ pub mod instance;
 pub mod machine;
 pub mod proto;
 pub mod rpc;
+pub mod seqfifo;
 pub mod server;
 pub mod types;
 
@@ -43,4 +44,4 @@ pub use client::{ClientLib, ClientParams};
 pub use config::{HareConfig, Placement, Techniques};
 pub use instance::HareInstance;
 pub use machine::Machine;
-pub use types::{ClientId, FdId, InodeId, ServerId};
+pub use types::{dentry_shard, ClientId, FdId, InodeId, ServerId};

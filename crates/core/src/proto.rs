@@ -29,6 +29,19 @@
 //! context switch) for the whole group instead of per request. This is the
 //! message-aggregation idea of the multikernel literature applied to Hare's
 //! client/server RPCs; the client-side grouping lives in `client/batch.rs`.
+//!
+//! [`Request::LookupPath`] is the one deliberate exception to the paper's
+//! no-server-to-server-RPC rule (§3.3): it is a *forwardable* request. A
+//! dentry server resolves as many consecutive path components as it owns
+//! and, when the next component's shard is a different server, forwards the
+//! remainder — carrying the original reply channel as a continuation — so
+//! the final server answers the client directly. A cold deep-path
+//! resolution costs one message per *run* of co-located components plus one
+//! reply, instead of one round trip per component. The exception stays
+//! deadlock-free because the chain is strictly feed-forward (no server ever
+//! waits on another server's reply; each hop is a plain `send` and the
+//! reply channel travels with the request) and bounded by an explicit hop
+//! budget (`ELOOP` beyond it).
 
 use crate::types::{ClientId, FdId, InodeId};
 use fsapi::{DirEntry, Errno, FileType, Mode, OpenFlags, Stat, Whence};
@@ -43,6 +56,20 @@ pub struct Invalidation {
     pub dir: InodeId,
     /// The entry name.
     pub name: String,
+}
+
+/// One resolved component of a chained [`Request::LookupPath`] walk:
+/// everything a [`Reply::Lookup`] would have carried for that component.
+/// The client reconstructs `(dir, name)` keys from its own component list,
+/// so entries only need the values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathEntry {
+    /// The inode the component resolves to.
+    pub target: InodeId,
+    /// Its type.
+    pub ftype: FileType,
+    /// Distribution flag for directory targets.
+    pub dist: bool,
 }
 
 /// Result of the mark phase of the three-phase `rmdir` protocol (§3.3).
@@ -152,6 +179,38 @@ pub enum Request {
     ListShard {
         /// Directory inode.
         dir: InodeId,
+    },
+
+    /// Chained multi-component resolution (server-side `LookupPath`
+    /// forwarding; see the module docs). The receiving server resolves
+    /// consecutive components of `comps` starting in `dir` for as long as
+    /// it owns their shard, then either replies [`Reply::Path`] to the
+    /// client or forwards the remainder (with the resolved prefix
+    /// accumulated in `acc`) to the next component's owner. Every resolved
+    /// component is tracked for invalidation exactly like
+    /// [`Request::Lookup`], misses included, so the client may cache the
+    /// whole prefix.
+    LookupPath {
+        /// Requesting client (tracked for invalidation at every hop).
+        client: ClientId,
+        /// Directory the first component of `comps` is resolved in.
+        dir: InodeId,
+        /// Effective distribution flag of `dir` (routing).
+        dist: bool,
+        /// The remaining pathname components.
+        comps: Vec<String>,
+        /// Components already resolved by earlier servers in the chain, in
+        /// path order; the final reply carries `acc` + the local results.
+        /// (Forwards preserve the envelope's `src_core`, so the final
+        /// server computes the reply latency to the originating client,
+        /// not to the previous hop.)
+        acc: Vec<PathEntry>,
+        /// Forwards taken so far. Every legitimate hop lands at the owner
+        /// of its first remaining component and therefore resolves at
+        /// least one, so the hop budget (components + a small slack for
+        /// mis-routed requests) bounds any chain; beyond it the server
+        /// answers `ELOOP` instead of forwarding again.
+        hops: u32,
     },
 
     /// The batched transport: independent requests for this server shipped
@@ -444,6 +503,27 @@ pub enum Reply {
         /// Its type.
         ftype: FileType,
     },
+    /// Result of a chained [`Request::LookupPath`] walk: the dentries of
+    /// every component whose *lookup* succeeded, in path order, plus why
+    /// the walk stopped early (if it did). A transport-level `Err` is
+    /// never used for partial progress, so the client can always cache
+    /// the prefix.
+    Path {
+        /// Dentries of the resolved components, in path order.
+        entries: Vec<PathEntry>,
+        /// The error that stopped the walk. For `ENOENT` (missing entry,
+        /// cacheable negatively), `EAGAIN` (the walk reached a directory
+        /// marked for deletion — the client retries that component as a
+        /// plain lookup, which parks until the rmdir resolves), and
+        /// `ELOOP` (hop budget exhausted), the failing component is the
+        /// one at index `entries.len()` — its lookup never succeeded.
+        /// For `ENOTDIR` the offending component *did* resolve, so its
+        /// dentry is the last element of `entries` and the error means
+        /// "descending into it failed"; a client that replays `entries`
+        /// with a directory check per intermediate derives the same error
+        /// at the same component.
+        stopped: Option<Errno>,
+    },
     /// One shard of a directory listing.
     Shard {
         /// Entries stored at this server.
@@ -547,19 +627,30 @@ impl std::fmt::Debug for ServerMsg {
     }
 }
 
+/// Service cycles of resolving one directory entry at a server — the base
+/// cost of [`Request::Lookup`] and its coalesced/chained variants, and the
+/// per-component charge of a [`Request::LookupPath`] walk (so chained and
+/// per-component resolution stay comparable if this is ever retuned).
+pub const LOOKUP_SERVICE_COST: u64 = 600;
+
 /// Base service cost (cycles) of a request at the server, before per-item
 /// additions computed by the handler. ADD_MAP and RM_MAP use the paper's
 /// measured 1211 and 756 cycles (§5.3.3).
 pub fn base_service_cost(req: &Request) -> u64 {
     match req {
         Request::Register { .. } | Request::Unregister { .. } => 200,
-        Request::Lookup { .. } => 600,
+        Request::Lookup { .. } => LOOKUP_SERVICE_COST,
         // The lookup half; the handler adds the open half only when it
         // actually coalesces (local regular-file target).
-        Request::LookupOpen { .. } => 600,
+        Request::LookupOpen { .. } => LOOKUP_SERVICE_COST,
         // The lookup half; the handler adds the stat half only when the
         // target inode is local.
-        Request::LookupStat { .. } => 600,
+        Request::LookupStat { .. } => LOOKUP_SERVICE_COST,
+        // The chain envelope (routing + guard checks); the handler adds
+        // the per-component lookup cost for every component it resolves
+        // locally, so one server resolving k components costs what k
+        // lookups would have, minus the k-1 elided message overheads.
+        Request::LookupPath { .. } => 300,
         Request::AddMap { .. } => 1211,
         Request::RmMap { .. } => 756,
         Request::ListShard { .. } => 400,

@@ -1,0 +1,184 @@
+//! Seq-tagged bounded-FIFO eviction, shared by the client directory cache
+//! and the server dentry-tracking table.
+//!
+//! Both caches bound an open-ended map of `(dir, name)`-keyed slots with
+//! oldest-first eviction, and both face the same subtle hazard: a slot can
+//! be removed out-of-band (an invalidation, a tombstone, a consumed
+//! tracking list) and later *recreated* under the same key. A naive
+//! eviction queue would then let the stale queue entry left behind by the
+//! first incarnation evict the younger recreation — silently dropping a
+//! fresh slot (or, server-side, firing a spurious invalidation at a client
+//! that just cached the entry).
+//!
+//! The invariant lives here, in one place: every admitted slot gets a
+//! **birth sequence number** which the owner stores inside the slot, and a
+//! queue entry only ever evicts the slot whose sequence it recorded. A
+//! mismatch means the key is stale (removed, or removed-and-recreated) and
+//! the queue entry is simply discarded. Because stale keys accumulate
+//! under churn, [`SeqFifo::maintain`] rebuilds the queue from the live
+//! slots once stale keys dominate, keeping the queue length proportional
+//! to the cache rather than to its history.
+//!
+//! The helper owns only the *order*; the slots themselves stay in the
+//! caller's maps (the two users index them differently), which is why the
+//! API works through a `seq_of` probe instead of storing values.
+
+use std::collections::VecDeque;
+
+/// The eviction index: insertion order over `(key, birth sequence)` pairs.
+#[derive(Debug)]
+pub struct SeqFifo<K> {
+    order: VecDeque<(K, u64)>,
+    next_seq: u64,
+    capacity: usize,
+}
+
+impl<K> SeqFifo<K> {
+    /// An empty index for a cache holding at most `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "bounded cache needs at least one slot");
+        SeqFifo {
+            order: VecDeque::new(),
+            next_seq: 0,
+            capacity,
+        }
+    }
+
+    /// The configured slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits a freshly created slot, returning the birth sequence the
+    /// caller must store in it (it ties the slot to its queue entry).
+    pub fn admit(&mut self, key: K) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.order.push_back((key, seq));
+        seq
+    }
+
+    /// Pops the oldest *live* slot's key for eviction, where `seq_of`
+    /// reports the live slot's stored sequence for a key (`None` if the
+    /// slot is gone). Stale queue entries — whose recorded sequence no
+    /// longer matches — are discarded along the way; they must never evict
+    /// a recreation. Returns `None` when the queue is exhausted.
+    ///
+    /// The caller removes the slot itself (and delivers whatever
+    /// notifications its eviction contract requires), typically in a loop
+    /// while its live count exceeds [`SeqFifo::capacity`].
+    pub fn pop_evictable(&mut self, mut seq_of: impl FnMut(&K) -> Option<u64>) -> Option<K> {
+        while let Some((key, seq)) = self.order.pop_front() {
+            if seq_of(&key) == Some(seq) {
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Lazy-deletion hygiene: once stale keys dominate the queue (more
+    /// than twice the capacity), rebuild it from the live slots.
+    pub fn maintain(&mut self, mut seq_of: impl FnMut(&K) -> Option<u64>) {
+        if self.order.len() > 2 * self.capacity.max(16) {
+            self.order.retain(|(key, seq)| seq_of(key) == Some(*seq));
+        }
+    }
+
+    /// Number of queue entries, live and stale (diagnostics/tests).
+    pub fn queue_len(&self) -> usize {
+        self.order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A minimal owner: a map of `name -> seq` slots bounded by the fifo.
+    struct Toy {
+        slots: HashMap<String, u64>,
+        fifo: SeqFifo<String>,
+    }
+
+    impl Toy {
+        fn new(capacity: usize) -> Self {
+            Toy {
+                slots: HashMap::new(),
+                fifo: SeqFifo::new(capacity),
+            }
+        }
+
+        fn insert(&mut self, name: &str) {
+            if self.slots.contains_key(name) {
+                return; // overwrites keep their age, like both real users
+            }
+            let seq = self.fifo.admit(name.to_string());
+            self.slots.insert(name.to_string(), seq);
+            while self.slots.len() > self.fifo.capacity() {
+                let slots = &self.slots;
+                let Some(victim) = self.fifo.pop_evictable(|k| slots.get(k).copied()) else {
+                    break;
+                };
+                self.slots.remove(&victim);
+            }
+            let slots = &self.slots;
+            self.fifo.maintain(|k| slots.get(k).copied());
+        }
+
+        fn remove(&mut self, name: &str) {
+            self.slots.remove(name);
+        }
+    }
+
+    #[test]
+    fn evicts_oldest_first() {
+        let mut t = Toy::new(2);
+        t.insert("a");
+        t.insert("b");
+        t.insert("c");
+        assert!(!t.slots.contains_key("a"));
+        assert!(t.slots.contains_key("b") && t.slots.contains_key("c"));
+    }
+
+    #[test]
+    fn stale_key_never_evicts_recreation() {
+        let mut t = Toy::new(2);
+        t.insert("a");
+        t.insert("b");
+        t.remove("a"); // out-of-band removal (invalidation)
+        t.insert("a"); // recreation: youngest slot
+        t.insert("c"); // overflow: must evict "b", not the recreated "a"
+        assert!(t.slots.contains_key("a"), "recreation evicted by stale key");
+        assert!(!t.slots.contains_key("b"));
+        assert!(t.slots.contains_key("c"));
+    }
+
+    #[test]
+    fn queue_stays_proportional_under_churn() {
+        let mut t = Toy::new(4);
+        for i in 0..10_000 {
+            let name = format!("n{i}");
+            t.insert(&name);
+            if i % 2 == 0 {
+                t.remove(&name);
+            }
+        }
+        assert!(t.slots.len() <= 4);
+        assert!(
+            t.fifo.queue_len() <= 2 * 16 + 1,
+            "stale keys must be pruned, queue is {}",
+            t.fifo.queue_len()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        SeqFifo::<u32>::new(0);
+    }
+}

@@ -15,9 +15,10 @@
 //! re-resolve, which keeps eviction sound (never a stale cache, only a
 //! re-asked question).
 
+use crate::seqfifo::SeqFifo;
 use crate::types::{ClientId, InodeId};
 use fsapi::{DirEntry, Errno, FileType, FsResult};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Value of one directory entry.
@@ -64,16 +65,12 @@ pub struct DentryShard {
     /// their lookup caches, nested by directory so rmdir can drop a
     /// directory's lists without scanning unrelated state.
     tracking: HashMap<InodeId, HashMap<Arc<str>, TrackSlot>>,
-    /// Maximum number of tracking slots (see module docs).
-    track_capacity: usize,
-    /// Tracking-slot insertion order for eviction. Each key carries the
-    /// slot's birth sequence number: a queue entry only evicts the slot
-    /// whose sequence it recorded, so a key left behind by a
-    /// consumed-then-recreated slot can never evict the (younger)
-    /// recreation — nor fire a spurious invalidation at its clients.
-    track_order: VecDeque<(InodeId, Arc<str>, u64)>,
-    /// Birth sequence for the next created tracking slot.
-    track_seq: u64,
+    /// Bounded eviction order for tracking slots (the seq-tagged FIFO
+    /// shared with the client directory cache — see [`crate::seqfifo`]):
+    /// a key left behind by a consumed-then-recreated slot can never evict
+    /// the (younger) recreation, nor fire a spurious invalidation at its
+    /// clients.
+    track_fifo: SeqFifo<(InodeId, Arc<str>)>,
     /// Live tracking-slot count.
     track_slots: usize,
     /// Directories removed by a committed rmdir. Entries can never be
@@ -94,13 +91,10 @@ impl DentryShard {
     /// An empty shard tracking at most `track_capacity` `(dir, name)`
     /// slots.
     pub fn new(track_capacity: usize) -> Self {
-        assert!(track_capacity > 0, "tracking table needs at least one slot");
         DentryShard {
             dirs: HashMap::new(),
             tracking: HashMap::new(),
-            track_capacity,
-            track_order: VecDeque::new(),
-            track_seq: 0,
+            track_fifo: SeqFifo::new(track_capacity),
             track_slots: 0,
             tombstones: HashSet::new(),
         }
@@ -203,7 +197,6 @@ impl DentryShard {
     /// keeps bounded tracking sound).
     #[must_use = "evicted slots' clients must be sent invalidations"]
     pub fn track(&mut self, dir: InodeId, name: &str, client: ClientId) -> Vec<EvictedTracking> {
-        let seq = self.track_seq;
         let names = self.tracking.entry(dir).or_default();
         match names.get_mut(name) {
             Some(slot) => {
@@ -211,37 +204,31 @@ impl DentryShard {
                 return Vec::new();
             }
             None => {
-                self.track_seq += 1;
                 // One allocation shared by the map key and the queue key.
                 let key: Arc<str> = Arc::from(name);
+                let seq = self.track_fifo.admit((dir, Arc::clone(&key)));
                 names.insert(
-                    Arc::clone(&key),
+                    key,
                     TrackSlot {
                         clients: HashSet::from([client]),
                         seq,
                     },
                 );
                 self.track_slots += 1;
-                self.track_order.push_back((dir, key, seq));
             }
         }
+        // Eviction through the shared seq-tagged FIFO: a stale key (the
+        // slot was consumed by take_trackers, a tombstone, or untrack —
+        // possibly recreated since) can never evict the recreation.
         let mut evicted = Vec::new();
-        while self.track_slots > self.track_capacity {
-            let Some((edir, ename, eseq)) = self.track_order.pop_front() else {
+        while self.track_slots > self.track_fifo.capacity() {
+            let tracking = &self.tracking;
+            let Some((edir, ename)) = self
+                .track_fifo
+                .pop_evictable(|(d, n)| tracking.get(d).and_then(|m| m.get(&**n)).map(|s| s.seq))
+            else {
                 break;
             };
-            // Only evict the exact slot this key was born with: a stale
-            // key (the slot was consumed by take_trackers, a tombstone, or
-            // untrack — possibly recreated since) has a mismatching
-            // sequence and is just dropped.
-            let live = self
-                .tracking
-                .get(&edir)
-                .and_then(|m| m.get(&ename))
-                .is_some_and(|s| s.seq == eseq);
-            if !live {
-                continue;
-            }
             let clients = self.take_all_trackers(edir, &ename);
             if !clients.is_empty() {
                 evicted.push(EvictedTracking {
@@ -251,15 +238,9 @@ impl DentryShard {
                 });
             }
         }
-        if self.track_order.len() > 2 * self.track_capacity.max(16) {
-            let tracking = &self.tracking;
-            self.track_order.retain(|(d, n, seq)| {
-                tracking
-                    .get(d)
-                    .and_then(|m| m.get(n))
-                    .is_some_and(|s| s.seq == *seq)
-            });
-        }
+        let tracking = &self.tracking;
+        self.track_fifo
+            .maintain(|(d, n)| tracking.get(d).and_then(|m| m.get(&**n)).map(|s| s.seq));
         evicted
     }
 

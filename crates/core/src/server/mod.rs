@@ -20,10 +20,10 @@ pub mod rmdir;
 
 use crate::machine::Machine;
 use crate::proto::{
-    base_service_cost, DemoteInfo, Invalidation, MarkResult, OpenResult, Reply, Request, ServerMsg,
-    WireReply,
+    base_service_cost, DemoteInfo, Invalidation, MarkResult, OpenResult, PathEntry, Reply, Request,
+    ServerMsg, WireReply,
 };
-use crate::types::{ClientId, FdId, InodeId, ServerId};
+use crate::types::{dentry_shard, ClientId, FdId, InodeId, ServerId};
 use buffer::BlockAllocator;
 use dentry::{DentryShard, DentryVal};
 use fdtable::{FdKind, FdTable};
@@ -48,6 +48,10 @@ struct Ctx {
     /// Parked replies released by this request (pipe progress, lock
     /// hand-off).
     wake: Vec<Wakeup>,
+    /// A chained [`Request::LookupPath`] remainder to forward to a peer
+    /// server, carrying the client's reply channel as the continuation.
+    /// Mutually exclusive with an inline reply.
+    forward: Option<(ServerId, Request)>,
     /// Directory-cache invalidations to deliver (client, message).
     invals: Vec<(ClientId, Invalidation)>,
     /// Operations delayed behind a deletion mark, replayed after COMMIT or
@@ -77,6 +81,13 @@ pub struct ServerParams {
     /// beyond it invalidate the tracked clients first (see
     /// [`dentry::DentryShard`]).
     pub track_capacity: usize,
+    /// Handles to every server (self included), for forwarding chained
+    /// [`Request::LookupPath`] remainders to the next component's owner.
+    pub peers: Arc<Vec<crate::rpc::ServerHandle>>,
+    /// Whether the directory-distribution technique is on (mirrors
+    /// `Techniques::distribution`): the chained walk must route with the
+    /// same effective distribution flags the clients use.
+    pub distribution: bool,
 }
 
 /// One Hare file server.
@@ -93,6 +104,8 @@ pub struct Server {
     clients: HashMap<ClientId, (msg::Sender<Invalidation>, usize)>,
     pipe_capacity: usize,
     neg_dircache: bool,
+    peers: Arc<Vec<crate::rpc::ServerHandle>>,
+    distribution: bool,
     /// Virtual time the current busy period is anchored at (the last
     /// phase barrier).
     anchor: u64,
@@ -127,6 +140,8 @@ impl Server {
             clients: HashMap::new(),
             pipe_capacity: params.pipe_capacity,
             neg_dircache: params.neg_dircache,
+            peers: params.peers,
+            distribution: params.distribution,
             anchor: 0,
             acc: 0,
             stop: false,
@@ -176,6 +191,7 @@ impl Server {
             Request::Lookup { dir, .. }
             | Request::LookupOpen { dir, .. }
             | Request::LookupStat { dir, .. }
+            | Request::LookupPath { dir, .. }
             | Request::AddMap { dir, .. }
             | Request::RmMap { dir, .. }
             | Request::ListShard { dir } => Some(*dir),
@@ -223,7 +239,7 @@ impl Server {
         let out = self.dispatch(req, src_core, &reply, &mut ctx);
 
         let mut cost = self.machine.cost.msg_recv + (base + ctx.extra).saturating_sub(ctx.refund);
-        if out.is_some() {
+        if out.is_some() || ctx.forward.is_some() {
             cost += self.machine.cost.msg_send;
         }
         cost += (ctx.wake.len() + ctx.invals.len()) as u64 * self.machine.cost.msg_send;
@@ -237,6 +253,17 @@ impl Server {
                 r,
                 done + self.machine.latency(self.core, src_core),
                 self.core,
+            );
+        } else if let Some((peer, fwd)) = ctx.forward.take() {
+            // Chained LookupPath hand-off: the remainder travels to the
+            // next owner with the client's reply channel as continuation.
+            // `src_core` is preserved so the final server's reply latency
+            // targets the originating client, not this hop.
+            let h = &self.peers[peer as usize];
+            let _ = h.tx.send(
+                ServerMsg { req: fwd, reply },
+                done + self.machine.latency(self.core, h.core),
+                src_core,
             );
         }
         for (tx, wsrc, wr) in ctx.wake.drain(..) {
@@ -298,6 +325,14 @@ impl Server {
             Request::LookupStat { client, dir, name } => {
                 Some(self.op_lookup_stat(client, dir, &name, ctx))
             }
+            Request::LookupPath {
+                client,
+                dir,
+                dist,
+                comps,
+                acc,
+                hops,
+            } => self.op_lookup_path(client, dir, dist, comps, acc, hops, ctx),
             Request::AddMap {
                 client,
                 dir,
@@ -385,7 +420,9 @@ impl Server {
 
     /// True for requests that always reply inline and may therefore travel
     /// inside a batch. Parking requests are excluded because a parked reply
-    /// would arrive as a bare [`WireReply`] instead of a batch slot.
+    /// would arrive as a bare [`WireReply`] instead of a batch slot;
+    /// [`Request::LookupPath`] is excluded because a forwarded chain's
+    /// reply comes from a *different server* than the batch envelope's.
     fn batchable(req: &Request) -> bool {
         !matches!(
             req,
@@ -393,6 +430,7 @@ impl Server {
                 | Request::PipeRead { .. }
                 | Request::PipeWrite { .. }
                 | Request::RmdirSerialize { .. }
+                | Request::LookupPath { .. }
                 | Request::Register { .. }
                 | Request::Shutdown
         )
@@ -567,6 +605,113 @@ impl Server {
                 Err(Errno::ENOENT)
             }
         }
+    }
+
+    /// Chained multi-component resolution (the server half of the
+    /// `chained_resolution` technique). Resolves consecutive components of
+    /// `comps` for as long as this server owns their shard, then either
+    /// answers the client with the accumulated prefix or forwards the
+    /// remainder to the next component's owner (via `ctx.forward`; the
+    /// reply channel travels with it, so the final server answers the
+    /// client directly).
+    ///
+    /// Correctness notes:
+    /// * Every resolved component is tracked exactly like a standalone
+    ///   [`Request::Lookup`] (misses included when negative caching is
+    ///   on), so the client may cache the entire returned prefix.
+    /// * Revisiting a server is *normal* (shards alternate along a path);
+    ///   termination comes from progress, not visit sets: a forward always
+    ///   targets the first remaining component's owner, so every hop
+    ///   resolves at least one component. The explicit hop budget only
+    ///   guards against mis-routed or crafted requests, answering `ELOOP`
+    ///   instead of forwarding further.
+    /// * A deletion-marked directory reached mid-walk stops the chain with
+    ///   `EAGAIN` (the initial park check in [`Server::handle`] only sees
+    ///   the first component's directory); the client retries that
+    ///   component as a plain lookup, which parks until COMMIT/ABORT.
+    #[allow(clippy::too_many_arguments)]
+    fn op_lookup_path(
+        &mut self,
+        client: ClientId,
+        dir: InodeId,
+        dist: bool,
+        mut comps: Vec<String>,
+        mut acc: Vec<PathEntry>,
+        hops: u32,
+        ctx: &mut Ctx,
+    ) -> Option<WireReply> {
+        let nservers = self.peers.len();
+        let max_hops = (acc.len() + comps.len() + 2 * nservers) as u32;
+        let mut cur_dir = dir;
+        let mut cur_dist = dist;
+        let mut idx = 0;
+        let mut stopped = None;
+        while idx < comps.len() {
+            let name = &comps[idx];
+            let owner = dentry_shard(cur_dir, cur_dist, name, nservers);
+            if owner != self.id {
+                if hops >= max_hops {
+                    stopped = Some(Errno::ELOOP);
+                    break;
+                }
+                let rest = comps.split_off(idx);
+                ctx.forward = Some((
+                    owner,
+                    Request::LookupPath {
+                        client,
+                        dir: cur_dir,
+                        dist: cur_dist,
+                        comps: rest,
+                        acc,
+                        hops: hops + 1,
+                    },
+                ));
+                return None;
+            }
+            if self.rmdir.is_marked(cur_dir) {
+                stopped = Some(Errno::EAGAIN);
+                break;
+            }
+            // The per-component lookup work (the chain envelope's base
+            // cost covers routing; each component costs what a standalone
+            // lookup's service would).
+            ctx.extra += crate::proto::LOOKUP_SERVICE_COST;
+            if self.dentries.is_tombstoned(cur_dir) {
+                stopped = Some(Errno::ENOENT);
+                break;
+            }
+            match self.dentries.lookup(cur_dir, name) {
+                Some(v) => {
+                    self.track_entry(cur_dir, name, client, ctx);
+                    acc.push(PathEntry {
+                        target: v.target,
+                        ftype: v.ftype,
+                        dist: v.dist,
+                    });
+                    if idx + 1 < comps.len() {
+                        if v.ftype != FileType::Directory {
+                            stopped = Some(Errno::ENOTDIR);
+                            break;
+                        }
+                        cur_dir = v.target;
+                        cur_dist = v.dist && self.distribution;
+                    }
+                    idx += 1;
+                }
+                None => {
+                    // Track the miss for negative-cache invalidation.
+                    if self.neg_dircache {
+                        self.track_entry(cur_dir, name, client, ctx);
+                    }
+                    stopped = Some(Errno::ENOENT);
+                    break;
+                }
+            }
+        }
+        Some(Ok(Reply::Path {
+            entries: acc,
+            stopped,
+        }))
     }
 
     #[allow(clippy::too_many_arguments)]

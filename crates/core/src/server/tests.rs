@@ -13,6 +13,14 @@ impl Harness {
     fn new() -> Self {
         let cfg = HareConfig::timeshare(2);
         let machine = Machine::new(&cfg);
+        // A single-server peer table (no forwarding possible, but routing
+        // still needs the server count).
+        let (self_tx, _self_rx) = msg::channel(Arc::clone(&machine.msg_stats));
+        let peers = Arc::new(vec![crate::rpc::ServerHandle {
+            id: 0,
+            core: 0,
+            tx: self_tx,
+        }]);
         let server = Server::new(
             Arc::clone(&machine),
             ServerParams {
@@ -24,6 +32,8 @@ impl Harness {
                 pipe_capacity: 16,
                 neg_dircache: true,
                 track_capacity: 8192,
+                peers,
+                distribution: true,
             },
         );
         Harness { server, machine }

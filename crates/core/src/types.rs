@@ -48,6 +48,30 @@ impl std::fmt::Display for FdId {
     }
 }
 
+/// The dentry shard server for `name` in `dir`: `hash(dir, name) %
+/// nservers` for distributed directories (paper §3.3 — `dir` is the
+/// parent's inode id, rename-stable), or the home server for centralized
+/// ones.
+///
+/// This is *the* routing function of the namespace: clients use it to pick
+/// the server for every entry operation, and servers use the same function
+/// to decide whether the next component of a chained
+/// [`LookupPath`](crate::proto::Request::LookupPath) walk is local or must
+/// be forwarded. Keeping one definition is what guarantees a forwarded
+/// request always lands at the owner (so every hop makes progress).
+pub fn dentry_shard(dir: InodeId, dist: bool, name: &str, nservers: usize) -> ServerId {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    if !dist {
+        return dir.server;
+    }
+    let mut h = DefaultHasher::new();
+    dir.server.hash(&mut h);
+    dir.num.hash(&mut h);
+    name.hash(&mut h);
+    (h.finish() % nservers as u64) as ServerId
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +87,21 @@ mod tests {
         let a = InodeId { server: 0, num: 5 };
         let b = InodeId { server: 1, num: 1 };
         assert!(a < b);
+    }
+
+    #[test]
+    fn centralized_entries_live_at_the_home_server() {
+        let dir = InodeId { server: 3, num: 9 };
+        assert_eq!(dentry_shard(dir, false, "anything", 8), 3);
+    }
+
+    #[test]
+    fn distributed_routing_is_deterministic_and_in_range() {
+        let dir = InodeId { server: 0, num: 1 };
+        for n in ["a", "b", "deep/nested-ish", "x1"] {
+            let s = dentry_shard(dir, true, n, 8);
+            assert!(usize::from(s) < 8);
+            assert_eq!(s, dentry_shard(dir, true, n, 8), "stable per input");
+        }
     }
 }

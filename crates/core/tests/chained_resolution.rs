@@ -1,0 +1,285 @@
+//! Exchange-count and protocol tests for server-side chained path
+//! resolution (`LookupPath` forwarding).
+//!
+//! Counting convention: `MsgStats::sends()` counts every message — the
+//! client's request, each server-to-server forward, and the final reply.
+//! A chained resolution of p components spread over r *runs* of
+//! co-located components therefore costs r + 1 messages (one client send,
+//! r - 1 forwards, one reply), versus 2p messages for the per-component
+//! walk. The expected counts below are computed from the actual shard
+//! placement via the exported routing function, so the tests hold for any
+//! hash layout.
+
+use fsapi::{Errno, MkdirOpts, Mode, ProcFs};
+use hare_core::proto::{Reply, Request, ServerMsg};
+use hare_core::{dentry_shard, HareConfig, HareInstance, InodeId, Techniques};
+use std::sync::Arc;
+
+/// Creates a chain of `depth` *distributed* directories under `/`, with a
+/// regular file `f` in the deepest one, and returns the shard server of
+/// each directory component plus the deep file's path.
+///
+/// Component names are free-form (`c0`, `c1`, …) unless `want_shards`
+/// pins, per level, the server the component's dentry must hash to (names
+/// are then brute-forced against the exported routing function).
+fn build_tree(
+    inst: &Arc<HareInstance>,
+    depth: usize,
+    want_shards: Option<&[u16]>,
+) -> (Vec<u16>, String) {
+    let nservers = inst.servers().len();
+    let setup = inst.new_client(0).unwrap();
+    let mut path = String::new();
+    let mut parent = InodeId::ROOT;
+    let mut shards = Vec::new();
+    for level in 0..depth {
+        let name = match want_shards {
+            Some(w) => (0..)
+                .map(|i| format!("c{level}x{i}"))
+                .find(|n| dentry_shard(parent, true, n, nservers) == w[level])
+                .unwrap(),
+            None => format!("c{level}"),
+        };
+        shards.push(dentry_shard(parent, true, &name, nservers));
+        path = format!("{path}/{name}");
+        setup
+            .mkdir_opts(&path, Mode::default(), MkdirOpts::DISTRIBUTED)
+            .unwrap();
+        let st = setup.stat(&path).unwrap();
+        parent = InodeId {
+            server: st.server,
+            num: st.ino,
+        };
+    }
+    let file = format!("{path}/f");
+    fsapi::write_file(&setup, &file, b"x").unwrap();
+    drop(setup);
+    (shards, file)
+}
+
+/// Messages for one cold-cache `stat` of the deep file: the parent
+/// resolution (chained or per-component) plus the final-component
+/// `LookupStat` exchange.
+fn cold_stat_sends(inst: &Arc<HareInstance>, file: &str) -> u64 {
+    let prober = inst.new_client(0).unwrap();
+    let before = inst.machine().msg_stats.sends();
+    let st = prober.stat(file).unwrap();
+    assert_eq!(st.size, 1);
+    let delta = inst.machine().msg_stats.sends() - before;
+    drop(prober);
+    delta
+}
+
+/// Number of runs of consecutive equal shards (the chain's hop count + 1).
+fn runs(shards: &[u16]) -> u64 {
+    if shards.is_empty() {
+        return 0;
+    }
+    1 + shards.windows(2).filter(|w| w[0] != w[1]).count() as u64
+}
+
+/// The expected message count for a cold stat of a file under `shards`'
+/// directory chain.
+fn expected_sends(shards: &[u16], chained: bool) -> u64 {
+    let p = shards.len() as u64;
+    let resolve = if p == 0 {
+        0
+    } else if chained && p >= 2 {
+        // One client request, runs-1 forwards, one reply.
+        runs(shards) + 1
+    } else {
+        // Per-component round trips (a single component never chains).
+        2 * p
+    };
+    resolve + 2 // the final component's LookupStat round trip
+}
+
+#[test]
+fn chained_exchange_counts_match_shard_runs_across_depths_and_servers() {
+    // The satellite matrix: depths 1/4/8 across 1/2/8 servers, both
+    // toggle settings. Depth counts the full path components; the file is
+    // the last one, so `depth - 1` directories precede it.
+    for &nservers in &[1usize, 2, 8] {
+        for &depth in &[1usize, 4, 8] {
+            for &chained in &[true, false] {
+                let mut cfg = HareConfig::timeshare(nservers);
+                cfg.techniques = if chained {
+                    Techniques::default()
+                } else {
+                    Techniques::without("chained_resolution")
+                };
+                let inst = HareInstance::start(cfg);
+                let (shards, file) = build_tree(&inst, depth - 1, None);
+                let got = cold_stat_sends(&inst, &file);
+                let want = expected_sends(&shards, chained);
+                assert_eq!(
+                    got, want,
+                    "depth {depth}, {nservers} servers, chained={chained}, shards {shards:?}"
+                );
+                inst.shutdown();
+            }
+        }
+    }
+}
+
+#[test]
+fn eight_deep_path_on_two_servers_resolves_in_three_messages() {
+    // The headline acceptance: an 8-deep path whose components live on
+    // two servers (one boundary: four components each) resolves in 3
+    // messages — request, one forward, reply — instead of the 16 the
+    // per-component walk pays.
+    let inst = HareInstance::start(HareConfig::timeshare(2));
+    let (shards, file) = build_tree(&inst, 8, Some(&[0, 0, 0, 0, 1, 1, 1, 1]));
+    assert_eq!(runs(&shards), 2);
+    let got = cold_stat_sends(&inst, &file);
+    // 3 resolution messages + the final LookupStat round trip.
+    assert_eq!(got, 3 + 2);
+    inst.shutdown();
+
+    // The same tree without chaining: one round trip per component.
+    let mut cfg = HareConfig::timeshare(2);
+    cfg.techniques = Techniques::without("chained_resolution");
+    let inst = HareInstance::start(cfg);
+    let (_, file) = build_tree(&inst, 8, Some(&[0, 0, 0, 0, 1, 1, 1, 1]));
+    assert_eq!(cold_stat_sends(&inst, &file), 2 * 8 + 2);
+    inst.shutdown();
+}
+
+#[test]
+fn forwarding_chain_may_revisit_a_server_and_terminates() {
+    // Shards alternate 0 → 1 → 0: the chain *revisits* server 0, which is
+    // normal (termination comes from per-hop progress, not visit sets).
+    // Three runs: request + 2 forwards + reply = 4 messages.
+    let inst = HareInstance::start(HareConfig::timeshare(2));
+    let (shards, file) = build_tree(&inst, 3, Some(&[0, 1, 0]));
+    assert_eq!(runs(&shards), 3);
+    assert_eq!(cold_stat_sends(&inst, &file), 4 + 2);
+    inst.shutdown();
+}
+
+#[test]
+fn chain_miss_is_cached_negatively() {
+    // A chained walk that dies with ENOENT mid-path must cache the miss,
+    // so the repeat probe costs zero messages — and the prefix it did
+    // resolve must be cached too.
+    let inst = HareInstance::start(HareConfig::timeshare(4));
+    let (_, file) = build_tree(&inst, 4, None);
+    let dir = file.rsplit_once('/').unwrap().0.to_string();
+    let missing = format!("{dir}/ghost/deeper");
+    let prober = inst.new_client(0).unwrap();
+    assert_eq!(prober.stat(&missing).unwrap_err(), Errno::ENOENT);
+    let before = inst.machine().msg_stats.sends();
+    assert_eq!(prober.stat(&missing).unwrap_err(), Errno::ENOENT);
+    assert_eq!(
+        inst.machine().msg_stats.sends() - before,
+        0,
+        "repeat miss after a chain stop must be answered locally"
+    );
+    // The resolved prefix is warm: statting the real file only pays the
+    // final-component exchange.
+    assert_eq!(cold_stat_sends_warm(&prober, &inst, &file), 2);
+    drop(prober);
+    inst.shutdown();
+}
+
+/// Messages for a `stat` on an already-used client (warm parent cache).
+fn cold_stat_sends_warm(
+    prober: &hare_core::ClientLib,
+    inst: &Arc<HareInstance>,
+    file: &str,
+) -> u64 {
+    let before = inst.machine().msg_stats.sends();
+    prober.stat(file).unwrap();
+    inst.machine().msg_stats.sends() - before
+}
+
+#[test]
+fn chain_reports_enotdir_for_file_intermediate() {
+    // /c0/f is a regular file; resolving /c0/f/x must fail ENOTDIR under
+    // both toggle settings.
+    for &chained in &[true, false] {
+        let mut cfg = HareConfig::timeshare(2);
+        if !chained {
+            cfg.techniques = Techniques::without("chained_resolution");
+        }
+        let inst = HareInstance::start(cfg);
+        let (_, file) = build_tree(&inst, 1, None);
+        let prober = inst.new_client(0).unwrap();
+        let bad = format!("{file}/x/y");
+        assert_eq!(
+            prober.stat(&bad).unwrap_err(),
+            Errno::ENOTDIR,
+            "chained={chained}"
+        );
+        drop(prober);
+        inst.shutdown();
+    }
+}
+
+/// Sends a raw `LookupPath` to a chosen server and returns the reply.
+fn raw_lookup_path(
+    inst: &Arc<HareInstance>,
+    server: usize,
+    comps: Vec<String>,
+    hops: u32,
+) -> Reply {
+    let (tx, rx) = msg::channel(Arc::clone(&inst.machine().msg_stats));
+    inst.servers()[server]
+        .tx
+        .send(
+            ServerMsg {
+                req: Request::LookupPath {
+                    client: 999,
+                    dir: InodeId::ROOT,
+                    dist: true,
+                    comps,
+                    acc: Vec::new(),
+                    hops,
+                },
+                reply: tx,
+            },
+            0,
+            0,
+        )
+        .unwrap();
+    rx.recv().unwrap().payload.unwrap()
+}
+
+#[test]
+fn exhausted_hop_budget_answers_eloop_instead_of_forwarding() {
+    // A crafted request that lands at the *wrong* server with its hop
+    // budget already burned: the server must answer ELOOP rather than
+    // keep the chain alive forever. (Legitimate chains can never hit the
+    // budget — every forward lands at the owner and resolves at least one
+    // component — so only mis-routed or crafted traffic sees this.)
+    let inst = HareInstance::start(HareConfig::timeshare(2));
+    let (_, file) = build_tree(&inst, 2, Some(&[0, 0]));
+    let comps: Vec<String> = file
+        .trim_start_matches('/')
+        .split('/')
+        .map(str::to_string)
+        .collect();
+
+    // Mis-routed with budget left: server 1 forwards to the owner, which
+    // resolves the whole path — self-healing, no error.
+    match raw_lookup_path(&inst, 1, comps.clone(), 0) {
+        Reply::Path { entries, stopped } => {
+            assert_eq!(stopped, None);
+            assert_eq!(entries.len(), comps.len());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Mis-routed with the budget exhausted: ELOOP, no forward.
+    let before = inst.machine().msg_stats.sends();
+    match raw_lookup_path(&inst, 1, comps.clone(), u32::MAX) {
+        Reply::Path { entries, stopped } => {
+            assert_eq!(stopped, Some(Errno::ELOOP));
+            assert!(entries.is_empty());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Exactly the crafted request and its reply — nothing forwarded.
+    assert_eq!(inst.machine().msg_stats.sends() - before, 2);
+    inst.shutdown();
+}

@@ -35,19 +35,40 @@ fn open_existing_sends(techniques: Techniques) -> u64 {
 }
 
 #[test]
-fn coalesced_open_costs_depth_plus_one_rpcs() {
-    // /d1/d2/f has depth = 2 parent directories. Coalesced path: two
-    // parent lookups + one LookupOpen = depth + 1 RPCs.
-    assert_eq!(open_existing_sends(Techniques::default()), 2 * (2 + 1));
+fn coalesced_open_with_chaining_costs_two_exchanges() {
+    // /d1/d2/f has depth = 2 parent directories. One chained LookupPath
+    // exchange resolves both parents (single server, so no forwards),
+    // then one LookupOpen: 2 exchanges total.
+    assert_eq!(open_existing_sends(Techniques::default()), 2 * 2);
 }
 
 #[test]
-fn uncoalesced_open_costs_depth_plus_two_rpcs() {
-    // Toggle off: two parent lookups + Lookup + OpenInode = depth + 2.
+fn unchained_coalesced_open_costs_depth_plus_one_rpcs() {
+    // Chaining off restores the per-component walk: two parent lookups +
+    // one LookupOpen = depth + 1 RPCs.
+    assert_eq!(
+        open_existing_sends(Techniques::without("chained_resolution")),
+        2 * (2 + 1)
+    );
+}
+
+#[test]
+fn uncoalesced_open_costs_one_more_exchange() {
+    // Coalescing off: the chained parent resolve (1 exchange) + Lookup +
+    // OpenInode.
     assert_eq!(
         open_existing_sends(Techniques::without("coalesced_open")),
-        2 * (2 + 2)
+        2 * 3
     );
+}
+
+#[test]
+fn unchained_uncoalesced_open_costs_depth_plus_two_rpcs() {
+    // Both extensions off: the seed protocol, two parent lookups +
+    // Lookup + OpenInode = depth + 2 RPCs.
+    let mut t = Techniques::without("coalesced_open");
+    t.chained_resolution = false;
+    assert_eq!(open_existing_sends(t), 2 * (2 + 2));
 }
 
 /// Message sends for the second of two identical failing lookups.
@@ -130,19 +151,24 @@ fn stat_sends(techniques: Techniques) -> u64 {
 }
 
 #[test]
-fn coalesced_stat_costs_depth_plus_one_rpcs() {
-    // /d1/d2/f has depth = 2 parent directories. Coalesced path: two
-    // parent lookups + one LookupStat = depth + 1 RPCs.
-    assert_eq!(stat_sends(Techniques::default()), 2 * (2 + 1));
+fn coalesced_stat_with_chaining_costs_two_exchanges() {
+    // One chained LookupPath exchange for both parents + one LookupStat.
+    assert_eq!(stat_sends(Techniques::default()), 2 * 2);
 }
 
 #[test]
-fn uncoalesced_stat_costs_depth_plus_two_rpcs() {
-    // Toggle off: two parent lookups + Lookup + StatInode = depth + 2.
+fn unchained_coalesced_stat_costs_depth_plus_one_rpcs() {
+    // Chaining off: two parent lookups + one LookupStat = depth + 1.
     assert_eq!(
-        stat_sends(Techniques::without("coalesced_stat")),
-        2 * (2 + 2)
+        stat_sends(Techniques::without("chained_resolution")),
+        2 * (2 + 1)
     );
+}
+
+#[test]
+fn uncoalesced_stat_costs_one_more_exchange() {
+    // Coalescing off: chained parent resolve + Lookup + StatInode.
+    assert_eq!(stat_sends(Techniques::without("coalesced_stat")), 2 * 3);
 }
 
 /// Message sends and batched-op count for one `rename("/src", "/dst")` on
@@ -280,6 +306,105 @@ fn o_creat_probe_is_free_after_first_miss() {
         Errno::ENOENT
     );
     assert_eq!(inst.machine().msg_stats.sends() - before, 0);
+    drop(c);
+    inst.shutdown();
+}
+
+#[test]
+fn fsync_flushes_buffered_sizes_as_one_grouped_exchange() {
+    // Write-behind SetSize batching: write three files (descriptors kept
+    // open), then fsync. The first fsync publishes every buffered size in
+    // one grouped exchange; the later fsyncs find their sizes already
+    // published and cost zero RPCs.
+    let inst = HareInstance::start(HareConfig::timeshare(1));
+    let c = inst.new_client(0).unwrap();
+    let mut fds = Vec::new();
+    for i in 0..3 {
+        let fd = c
+            .open(
+                &format!("/wb{i}"),
+                OpenFlags::CREAT | OpenFlags::WRONLY,
+                Mode::default(),
+            )
+            .unwrap();
+        assert_eq!(c.write(fd, b"payload").unwrap(), 7);
+        fds.push(fd);
+    }
+    let before = inst.machine().msg_stats.sends();
+    let batched_before = inst.machine().msg_stats.batched_ops();
+    c.fsync(fds[0]).unwrap();
+    // One transport exchange (2 sends) carrying all three SetSizes.
+    assert_eq!(inst.machine().msg_stats.sends() - before, 2);
+    assert_eq!(inst.machine().msg_stats.batched_ops() - batched_before, 3);
+    // The other descriptors' sizes are already published.
+    let before = inst.machine().msg_stats.sends();
+    c.fsync(fds[1]).unwrap();
+    c.fsync(fds[2]).unwrap();
+    assert_eq!(inst.machine().msg_stats.sends() - before, 0);
+    // And the published sizes are authoritative: a fresh client stats the
+    // files without the writers closing.
+    let other = inst.new_client(0).unwrap();
+    assert_eq!(other.stat("/wb1").unwrap().size, 7);
+    drop(other);
+    for fd in fds {
+        c.close(fd).unwrap();
+    }
+    drop(c);
+    inst.shutdown();
+}
+
+#[test]
+fn unregister_teardown_is_one_grouped_exchange_per_server() {
+    // Client teardown fans Unregister out through the batch layer: one
+    // exchange per server (overlapped), not N sequential round trips.
+    let nservers = 4u64;
+    let inst = HareInstance::start(HareConfig::timeshare(nservers as usize));
+    let c = inst.new_client(0).unwrap();
+    let before = inst.machine().msg_stats.sends();
+    let batched_before = inst.machine().msg_stats.batched_ops();
+    drop(c); // shutdown: no open fds, just the Unregister fan-out
+    assert_eq!(inst.machine().msg_stats.sends() - before, 2 * nservers);
+    assert_eq!(
+        inst.machine().msg_stats.batched_ops() - batched_before,
+        nservers
+    );
+    inst.shutdown();
+}
+
+#[test]
+fn fsync_size_flush_never_regresses_a_larger_view_of_the_same_file() {
+    // Two descriptors of one file with different buffered views: the
+    // flush publishes one SetSize per inode — the largest view — so the
+    // stale smaller view can never overwrite the larger one.
+    let inst = HareInstance::start(HareConfig::timeshare(1));
+    let c = inst.new_client(0).unwrap();
+    let a = c
+        .open(
+            "/same",
+            OpenFlags::CREAT | OpenFlags::WRONLY,
+            Mode::default(),
+        )
+        .unwrap();
+    assert_eq!(c.write(a, b"0123456789").unwrap(), 10); // view: 10 bytes
+    let b = c.open("/same", OpenFlags::WRONLY, Mode::default()).unwrap();
+    assert_eq!(c.write(b, b"xyz").unwrap(), 3); // stale view: 3 bytes
+    c.fsync(a).unwrap();
+    let other = inst.new_client(0).unwrap();
+    assert_eq!(
+        other.stat("/same").unwrap().size,
+        10,
+        "the larger buffered view must win the per-inode flush"
+    );
+    // Closing the stale descriptor must not regress the published size
+    // either: close only publishes a *growing* view.
+    c.close(a).unwrap();
+    c.close(b).unwrap();
+    assert_eq!(
+        other.stat("/same").unwrap().size,
+        10,
+        "closing a stale smaller view must not shrink the file"
+    );
+    drop(other);
     drop(c);
     inst.shutdown();
 }

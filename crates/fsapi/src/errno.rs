@@ -58,6 +58,9 @@ pub enum Errno {
     ECHILD,
     /// Interrupted system call.
     EINTR,
+    /// Too many levels of indirection (a forwarding chain exceeded its
+    /// hop budget).
+    ELOOP,
 }
 
 impl Errno {
@@ -86,6 +89,7 @@ impl Errno {
             Errno::ENAMETOOLONG => 36,
             Errno::ENOTEMPTY => 39,
             Errno::ENOSYS => 38,
+            Errno::ELOOP => 40,
         }
     }
 
@@ -114,6 +118,7 @@ impl Errno {
             Errno::ENAMETOOLONG => "File name too long",
             Errno::ENOTEMPTY => "Directory not empty",
             Errno::ENOSYS => "Function not implemented",
+            Errno::ELOOP => "Too many levels of symbolic links",
         }
     }
 }
