@@ -16,14 +16,19 @@
 //! | Directory cache | 0.87 | 1.44 | 1.42 | 2.42 |
 //! | Creation affinity | 0.96 | 1.02 | 1.00 | 1.16 |
 //!
-//! Five further rows ablate this reproduction's own hot-path extensions
+//! Six further rows ablate this reproduction's own hot-path extensions
 //! (no paper counterpart): the coalesced lookup+open RPC, the negative
 //! dentry cache, the coalesced lookup+stat RPC, the batched RPC
-//! transport, and server-side chained path resolution.
+//! transport, server-side chained path resolution, and terminal-op fusion
+//! for chained resolution.
+//!
+//! `--list` prints the registered toggle keys, one per line — the CI
+//! ablation smoke loops over this output, so adding a row here is all it
+//! takes to get a new toggle smoked (no workflow edit).
 
 use hare_workloads::Workload;
 
-const TECHNIQUES: [(&str, &str); 10] = [
+const TECHNIQUES: [(&str, &str); 11] = [
     ("distribution", "Directory distribution"),
     ("broadcast", "Directory broadcast"),
     ("direct_access", "Direct cache access"),
@@ -34,10 +39,19 @@ const TECHNIQUES: [(&str, &str); 10] = [
     ("coalesced_stat", "Coalesced lookup+stat"),
     ("batching", "Batched RPC transport"),
     ("chained_resolution", "Chained path resolution"),
+    ("fused_terminal", "Fused chain terminal op"),
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        // Machine-readable toggle registry for the self-extending CI
+        // smoke loop.
+        for (key, _) in TECHNIQUES {
+            println!("{key}");
+        }
+        return;
+    }
     let detail = args
         .iter()
         .position(|a| a == "--detail")

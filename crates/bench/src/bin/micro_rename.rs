@@ -10,17 +10,26 @@
 //! The calibration rows run with the batched transport *disabled*, because
 //! the paper's measurement is of the two-RPC protocol; a third row shows
 //! what the batched AddMap+RmMap exchange does to the same-core case.
+//!
+//! Each configuration's transport exchanges per rename (a deterministic
+//! protocol property: the warm loop's lookup is a cache hit, so a rename
+//! is the ADD_MAP + RM_MAP pair — 2 RPCs unbatched, 1 exchange with the
+//! pair batched) and cycles per rename go to `BENCH_micro_rename.json`;
+//! with `HARE_GATE_BASELINE` set, the run is gated against the committed
+//! baseline first (CI perf smoke).
 
 use fsapi::{ProcFs, System};
 use hare_core::{HareConfig, Techniques};
 use hare_sched::HareSystem;
 
-fn measure(cfg: HareConfig, label: &str) -> f64 {
+/// Measured cost of one rename under `cfg`: (µs, cycles, RPC-equivalents).
+fn measure(cfg: HareConfig, label: &str) -> (f64, f64, f64) {
     let iters = 2000u64;
     let sys = HareSystem::start(cfg);
     let root = sys.start_proc();
     fsapi::write_file(&root, "/a", b"x").expect("setup");
     sys.sync_cores();
+    let sends0 = sys.instance().machine().msg_stats.sends();
     let t0 = sys.elapsed_cycles();
     for i in 0..iters {
         if i % 2 == 0 {
@@ -30,11 +39,16 @@ fn measure(cfg: HareConfig, label: &str) -> f64 {
         }
     }
     let cycles = sys.elapsed_cycles() - t0;
+    let rpcs = (sys.instance().machine().msg_stats.sends() - sends0) as f64 / 2.0 / iters as f64;
     drop(root);
     sys.shutdown();
-    let us = cycles as f64 / iters as f64 / vtime::CYCLES_PER_US as f64;
-    println!("{label}: {us:.3} us per rename ({} cycles)", cycles / iters);
-    us
+    let per_op = cycles as f64 / iters as f64;
+    let us = per_op / vtime::CYCLES_PER_US as f64;
+    println!(
+        "{label}: {us:.3} us per rename ({} cycles, {rpcs:.2} RPCs/op)",
+        per_op as u64
+    );
+    (us, per_op, rpcs)
 }
 
 fn main() {
@@ -43,13 +57,13 @@ fn main() {
     same_cfg.techniques = Techniques::without("batching");
     let mut split_cfg = HareConfig::split(2, 1);
     split_cfg.techniques = Techniques::without("batching");
-    let same = measure(same_cfg, "same core (timeshare)");
-    let split = measure(split_cfg, "separate cores (split)");
+    let (same, same_cycles, same_rpcs) = measure(same_cfg, "same core (timeshare)");
+    let (split, split_cycles, split_rpcs) = measure(split_cfg, "separate cores (split)");
     println!(
         "\nratio: {:.2}x (paper: 7.204 us / 4.171 us = 1.73x)",
         same / split
     );
-    let batched = measure(
+    let (batched, batched_cycles, batched_rpcs) = measure(
         HareConfig::timeshare(1),
         "\nsame core, batched AddMap+RmMap",
     );
@@ -57,4 +71,23 @@ fn main() {
         "batching saves {:.2}x on the same-core pair",
         same / batched
     );
+
+    let configs: Vec<hare_bench::BenchConfig> = [
+        ("same core unbatched", same_cycles, same_rpcs),
+        ("split unbatched", split_cycles, split_rpcs),
+        ("same core batched", batched_cycles, batched_rpcs),
+    ]
+    .into_iter()
+    .map(|(name, cycles, rpcs)| hare_bench::BenchConfig {
+        name: name.to_string(),
+        metrics: vec![
+            ("rename_rpcs_per_op".into(), rpcs),
+            ("rename_cycles_per_op".into(), cycles),
+        ],
+    })
+    .collect();
+    hare_bench::perf_gate("micro_rename", &configs);
+    let json = hare_bench::bench_json("micro_rename", 1, &configs);
+    std::fs::write("BENCH_micro_rename.json", &json).expect("write BENCH_micro_rename.json");
+    println!("\nwrote BENCH_micro_rename.json");
 }

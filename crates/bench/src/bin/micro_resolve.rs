@@ -1,14 +1,17 @@
 //! `micro_resolve`: transport exchanges and virtual cycles for cold
 //! deep-path resolution, per technique configuration.
 //!
-//! This is the measurement harness for server-side `LookupPath` chaining:
-//! a cold resolution of a d-component path costs d round trips in the
-//! paper's per-component walk, but only one message per *run* of
-//! co-located components (plus the reply) when dentry servers resolve what
-//! they own and forward the remainder. The bench stats files at depth 4
-//! and depth 8 under distributed directories with a fresh (cold-cache)
-//! client per round, and reports messages/2 per operation — the same
-//! "RPC-equivalent" unit as the other micro benches — plus cycles.
+//! This is the measurement harness for server-side `LookupPath` chaining
+//! and its terminal-op fusion: a cold resolution of a d-component path
+//! costs d round trips in the paper's per-component walk, but only one
+//! message per *run* of co-located components (plus the reply) when
+//! dentry servers resolve what they own and forward the remainder — and
+//! with the fused terminal the final coalesced stat rides the same chain,
+//! so the whole cold stat is one end-to-end exchange when shards align.
+//! The bench stats files at depth 4 and depth 8 under distributed
+//! directories with a fresh (cold-cache) client per round, and reports
+//! messages/2 per operation — the same "RPC-equivalent" unit as the other
+//! micro benches — plus cycles.
 //! Results go to `BENCH_micro_resolve.json`; with `HARE_GATE_BASELINE`
 //! set, the run is gated against the committed baseline first (CI perf
 //! smoke).
@@ -102,6 +105,11 @@ fn main() {
     let rows = [
         measure("all", Techniques::default(), cores),
         measure(
+            "no fused_terminal",
+            Techniques::without("fused_terminal"),
+            cores,
+        ),
+        measure(
             "no chained_resolution",
             Techniques::without("chained_resolution"),
             cores,
@@ -145,18 +153,25 @@ fn main() {
     std::fs::write("BENCH_micro_resolve.json", &json).expect("write BENCH_micro_resolve.json");
     println!("\nwrote BENCH_micro_resolve.json");
 
-    // The whole point of chaining: strictly fewer exchanges per deep
-    // resolution, and the deeper the path the bigger the gap.
+    // The whole point of fusion: strictly fewer exchanges than the
+    // chain-then-stat protocol, which itself beats the per-component walk
+    // — and the deeper the path the bigger the gap.
     assert!(
         rows[0].deep_rpcs < rows[1].deep_rpcs,
-        "chained resolution must save exchanges ({:.2} vs {:.2})",
+        "terminal fusion must save exchanges ({:.2} vs {:.2})",
         rows[0].deep_rpcs,
         rows[1].deep_rpcs
     );
     assert!(
-        rows[0].mid_rpcs < rows[1].mid_rpcs,
-        "chaining must help at depth 4 too ({:.2} vs {:.2})",
+        rows[1].deep_rpcs < rows[2].deep_rpcs,
+        "chained resolution must save exchanges ({:.2} vs {:.2})",
+        rows[1].deep_rpcs,
+        rows[2].deep_rpcs
+    );
+    assert!(
+        rows[0].mid_rpcs < rows[2].mid_rpcs,
+        "fused chaining must help at depth 4 too ({:.2} vs {:.2})",
         rows[0].mid_rpcs,
-        rows[1].mid_rpcs
+        rows[2].mid_rpcs
     );
 }

@@ -232,6 +232,10 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchConfig> {
 /// so renames cannot silently drop coverage). Metrics ending in
 /// `_cycles_per_op` only warn, since virtual-cycle totals shift with
 /// scale/core settings on CI runners.
+///
+/// When `GITHUB_STEP_SUMMARY` is set (GitHub Actions), every comparison is
+/// also appended there as a markdown table, so a regression is readable
+/// from the run page without digging through logs.
 pub fn perf_gate(bench: &str, current: &[BenchConfig]) {
     let Ok(path) = std::env::var("HARE_GATE_BASELINE") else {
         return;
@@ -244,6 +248,7 @@ pub fn perf_gate(bench: &str, current: &[BenchConfig]) {
         "perf gate: baseline {path} has no configs"
     );
     let mut failures = Vec::new();
+    let mut summary_rows: Vec<[String; 5]> = Vec::new();
     for base_cfg in &baseline {
         let Some(cur_cfg) = current.iter().find(|c| c.name == base_cfg.name) else {
             failures.push(format!(
@@ -257,12 +262,15 @@ pub fn perf_gate(bench: &str, current: &[BenchConfig]) {
                 failures.push(format!("{}: metric {key} disappeared", base_cfg.name));
                 continue;
             };
-            if key.ends_with("_rpcs_per_op") {
+            let status = if key.ends_with("_rpcs_per_op") {
                 if cur > base + 0.05 {
                     failures.push(format!(
                         "{}: {key} regressed {base:.3} -> {cur:.3}",
                         base_cfg.name
                     ));
+                    "❌ regressed"
+                } else {
+                    "✅"
                 }
             } else if key.ends_with("_cycles_per_op") && cur > base * 1.5 {
                 eprintln!(
@@ -270,9 +278,20 @@ pub fn perf_gate(bench: &str, current: &[BenchConfig]) {
                      (cycles are warn-only; runners vary)",
                     base_cfg.name
                 );
-            }
+                "⚠️ warn (cycles)"
+            } else {
+                "✅"
+            };
+            summary_rows.push([
+                base_cfg.name.clone(),
+                key.clone(),
+                format!("{base:.3}"),
+                format!("{cur:.3}"),
+                status.to_string(),
+            ]);
         }
     }
+    write_step_summary(bench, &summary_rows, &failures);
     if failures.is_empty() {
         println!("perf gate: {bench} within baseline {path}");
     } else {
@@ -281,6 +300,37 @@ pub fn perf_gate(bench: &str, current: &[BenchConfig]) {
             eprintln!("  - {f}");
         }
         std::process::exit(1);
+    }
+}
+
+/// Appends one bench's baseline-vs-measured table to the GitHub Actions
+/// step summary, when running under Actions. Failures that have no table
+/// row (a vanished config or metric) are listed below it.
+fn write_step_summary(bench: &str, rows: &[[String; 5]], failures: &[String]) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    let mut md = format!(
+        "### perf gate: `{bench}`\n\n\
+         | config | metric | baseline | measured | status |\n\
+         |---|---|---:|---:|---|\n"
+    );
+    for [config, metric, base, cur, status] in rows {
+        md.push_str(&format!(
+            "| {config} | `{metric}` | {base} | {cur} | {status} |\n"
+        ));
+    }
+    for f in failures {
+        md.push_str(&format!("\n- ❌ {f}"));
+    }
+    md.push('\n');
+    use std::io::Write;
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+    {
+        let _ = file.write_all(md.as_bytes());
     }
 }
 

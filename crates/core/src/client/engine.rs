@@ -13,7 +13,10 @@
 //! * [`Step::Call`] — one request, one server, one round trip. When the
 //!   request is a [`Request::LookupPath`] chain this is still a single
 //!   exchange from the client's point of view, even though the reply may
-//!   come from a different server than the request went to.
+//!   come from a different server than the request went to — and with a
+//!   fused [`crate::proto::TerminalOp`] riding the chain, that one
+//!   exchange can carry the whole operation (resolution *plus* the final
+//!   stat/open/list) end to end.
 //! * [`Step::Grouped`] — independent requests; same-server runs share one
 //!   batched exchange and distinct servers' exchanges overlap. Degrades to
 //!   independent (overlapped or sequential) RPCs per the `batching` and
@@ -29,9 +32,10 @@
 //! Which mode a step uses is decided by the op that declares it — e.g. the
 //! resolve op in `resolve.rs` emits a chained `LookupPath` call when the
 //! `chained_resolution` technique is on and at least two uncached
-//! components remain, and per-component `Lookup` calls otherwise — so the
-//! policy reads in one place per operation instead of being interleaved
-//! with transport plumbing.
+//! components remain (fusing the terminal stat/open/list into the chain
+//! when `fused_terminal` allows), and per-component `Lookup` calls
+//! otherwise — so the policy reads in one place per operation instead of
+//! being interleaved with transport plumbing.
 
 use super::{ClientLib, ClientState};
 use crate::proto::{Request, WireReply};

@@ -4,9 +4,9 @@
 use super::dircache::{Cached, CachedDentry};
 use super::engine::{MultiStepOp, Next, Step};
 use super::fd::{FdEntry, FdMode};
-use super::resolve::DirRef;
+use super::resolve::{DirRef, FusedPathOp};
 use super::{expect_reply, ClientLib, ClientState};
-use crate::proto::{MarkResult, OpenResult, Reply, Request, WireReply};
+use crate::proto::{MarkResult, OpenResult, Reply, Request, TerminalOp, TerminalReply, WireReply};
 use crate::types::{InodeId, ServerId};
 use fsapi::{DirEntry, Errno, FileType, FsResult, MkdirOpts, Mode, OpenFlags, Stat};
 use std::collections::HashSet;
@@ -17,11 +17,39 @@ impl ClientLib {
     pub(crate) fn open_impl(&self, path: &str, flags: OpenFlags, mode: Mode) -> FsResult<u32> {
         self.syscall();
         let mut st = self.state.lock();
+        let excl = flags.contains(OpenFlags::CREAT) && flags.contains(OpenFlags::EXCL);
+
+        // The fused fast path: one LookupPath chain resolving parents
+        // *and* final component, with the coalesced open executed by the
+        // final server — a cold deep open whose shards align is one
+        // end-to-end exchange. O_CREAT|O_EXCL keeps the probe-elision path
+        // below (its create answers the existence question; a fused open
+        // would open a descriptor just to report EEXIST).
+        let t = &self.params.techniques;
+        if !excl && t.chained_resolution && t.fused_terminal && t.coalesced_open {
+            let (mut comps, name) = fsapi::path::split_parent(path)?;
+            comps.push(name);
+            let out = self.run_op(
+                &mut st,
+                FusedPathOp::new(self.root_ref(), &comps, TerminalOp::Open { flags }),
+            )?;
+            let existing = match out.dentry {
+                Some(d) => match out.term {
+                    Some(TerminalReply::Open(o)) => self.install_fd(&mut st, d.target, o, flags),
+                    // Remote inode (or non-file, or a failing local open):
+                    // complete with the ordinary follow-up, which also
+                    // reproduces the authoritative error (EISDIR, EACCES).
+                    _ => self.open_existing(&mut st, d, flags),
+                },
+                None => Err(Errno::ENOENT),
+            };
+            return self.finish_open(&mut st, out.parent, name, flags, mode, excl, existing);
+        }
+
         let (dir, name) = self.resolve_parent(&mut st, path)?;
 
         // The coalesced fast path resolves the final component and opens
         // the target in one RPC when possible.
-        let excl = flags.contains(OpenFlags::CREAT) && flags.contains(OpenFlags::EXCL);
         let existing = if self.params.techniques.coalesced_open {
             if excl {
                 // O_CREAT|O_EXCL expects the name absent: when the create
@@ -63,13 +91,30 @@ impl ClientLib {
                 Err(e) => Err(e),
             }
         };
+        self.finish_open(&mut st, dir, name, flags, mode, excl, existing)
+    }
+
+    /// The create tail of `open`: turns an ENOENT on the existing-file
+    /// path into a creation when `O_CREAT` asks for one, handling the
+    /// create races. Shared by the fused-chain and per-component paths.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_open(
+        &self,
+        st: &mut ClientState,
+        dir: DirRef,
+        name: &str,
+        flags: OpenFlags,
+        mode: Mode,
+        excl: bool,
+        existing: FsResult<u32>,
+    ) -> FsResult<u32> {
         match existing {
             Err(Errno::ENOENT) if flags.contains(OpenFlags::CREAT) => {
-                match self.create_file(&mut st, dir, name, flags, mode) {
+                match self.create_file(st, dir, name, flags, mode) {
                     Err(Errno::EEXIST) if !excl => {
                         // Lost a create race: open the winner's file.
-                        let d = self.lookup_child(&mut st, dir, name)?;
-                        self.open_existing(&mut st, d, flags)
+                        let d = self.lookup_child(st, dir, name)?;
+                        self.open_existing(st, d, flags)
                     }
                     Err(Errno::EEXIST) => {
                         // Probe-elided O_EXCL hit an existing name (a
@@ -78,7 +123,7 @@ impl ClientLib {
                         // is answered locally until the holder's unlink
                         // invalidates it.
                         if self.params.techniques.dircache {
-                            let _ = self.lookup_child(&mut st, dir, name);
+                            let _ = self.lookup_child(st, dir, name);
                         }
                         Err(Errno::EEXIST)
                     }
@@ -531,19 +576,47 @@ impl ClientLib {
         self.syscall();
         let mut st = self.state.lock();
         let comps = fsapi::path::components(path)?;
-        let dir = self.resolve_dir(&mut st, &comps)?;
+
+        // Chain the resolution into the listing: the final server of the
+        // LookupPath chain returns *its* shard of the target directory in
+        // the resolution reply, so the fan-out below skips it — and a
+        // centralized directory listed by its own home server costs no
+        // fan-out round at all.
+        let t = &self.params.techniques;
+        let mut pre: Option<(ServerId, Vec<DirEntry>)> = None;
+        let dir = if !comps.is_empty() && t.chained_resolution && t.fused_terminal {
+            let out = self.run_op(
+                &mut st,
+                FusedPathOp::new(self.root_ref(), &comps, TerminalOp::List),
+            )?;
+            let d = out.dentry.ok_or(Errno::ENOENT)?;
+            if d.ftype != FileType::Directory {
+                return Err(Errno::ENOTDIR);
+            }
+            if let Some(TerminalReply::List { server, entries }) = out.term {
+                pre = Some((server, entries));
+            }
+            DirRef {
+                ino: d.target,
+                dist: d.dist && t.distribution,
+            }
+        } else {
+            self.resolve_dir(&mut st, &comps)?
+        };
         drop(st);
 
         if dir.dist {
             // Distributed: fan out to all servers through the batched
             // transport — one exchange per server with batching on, N
             // independent RPCs (broadcast-overlapped or sequential) with
-            // it off.
+            // it off. The shard that rode the resolution chain is skipped.
             let reqs: Vec<(ServerId, Request)> = (0..self.servers.len())
-                .map(|s| (s as ServerId, Request::ListShard { dir: dir.ino }))
+                .map(|s| s as ServerId)
+                .filter(|s| pre.as_ref().is_none_or(|(ps, _)| s != ps))
+                .map(|s| (s, Request::ListShard { dir: dir.ino }))
                 .collect();
             let shards = self.call_grouped(reqs, false);
-            let mut out = Vec::new();
+            let mut out = pre.map(|(_, entries)| entries).unwrap_or_default();
             for s in shards {
                 let entries = expect_reply!(s, Reply::Shard { entries } => entries)?;
                 out.extend(entries);
@@ -552,12 +625,17 @@ impl ClientLib {
             out.sort();
             Ok(out)
         } else {
-            let entries = expect_reply!(
-                self.call(dir.ino.server, Request::ListShard { dir: dir.ino }),
-                Reply::Shard { entries } => entries
-            )?;
-            self.charge(20 * entries.len() as u64);
-            let mut out = entries;
+            // Centralized: everything lives at the home server. If that is
+            // the server that answered the chain, the listing is already
+            // here; otherwise one ListShard round trip.
+            let mut out = match pre {
+                Some((server, entries)) if server == dir.ino.server => entries,
+                _ => expect_reply!(
+                    self.call(dir.ino.server, Request::ListShard { dir: dir.ino }),
+                    Reply::Shard { entries } => entries
+                )?,
+            };
+            self.charge(20 * out.len() as u64);
             out.sort();
             Ok(out)
         }
@@ -573,6 +651,26 @@ impl ClientLib {
             drop(st);
             return self.stat_inode(InodeId::ROOT);
         };
+
+        // The fused fast path: one LookupPath chain resolving parents
+        // *and* final component, with the coalesced stat executed by the
+        // final server — a cold deep stat whose shards align is one
+        // end-to-end exchange.
+        let t = &self.params.techniques;
+        if t.chained_resolution && t.fused_terminal && t.coalesced_stat {
+            let out = self.run_op(
+                &mut st,
+                FusedPathOp::new(self.root_ref(), &comps, TerminalOp::Stat),
+            )?;
+            let d = out.dentry.ok_or(Errno::ENOENT)?;
+            drop(st);
+            return match out.term {
+                Some(TerminalReply::Stat(s)) => Ok(s),
+                // Remote inode: complete with the ordinary follow-up.
+                _ => self.stat_inode(d.target),
+            };
+        }
+
         let dir = self.resolve_dir(&mut st, parents)?;
 
         // Cached dentry: go straight to the inode server.

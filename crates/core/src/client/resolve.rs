@@ -4,8 +4,8 @@
 //! directory server in turn: `lookup(dir, name) -> (server, inode)`"
 //! (paper §3.6.1). Results are cached; servers invalidate stale entries.
 //!
-//! This reproduction layers two mechanisms on top of the paper's loop, both
-//! expressed as [`MultiStepOp`] state machines driven by the operation
+//! This reproduction layers three mechanisms on top of the paper's loop,
+//! all expressed as [`MultiStepOp`] state machines driven by the operation
 //! engine (`engine.rs`):
 //!
 //! * **Chained resolution** ([`ResolveOp`]): with the `chained_resolution`
@@ -15,15 +15,23 @@
 //!   the rest directly to the next owner, so the client pays one exchange
 //!   per run of co-located components instead of one round trip per
 //!   component.
+//! * **Terminal-op fusion** ([`FusedPathOp`]): with `fused_terminal` on,
+//!   the chain additionally carries the operation the walk was *for* —
+//!   the final component's coalesced stat/open, or the first shard of a
+//!   `readdir` listing — and the final server answers it in the same
+//!   exchange when its shards align. Cold deep `stat`/`open` becomes one
+//!   end-to-end exchange.
 //! * **Pair resolution** ([`PairResolveOp`]): rename's two parent chains
 //!   advance in lockstep; per round the two frontier requests are
-//!   deduplicated (shared prefix) and shipped together — batched when they
-//!   are plain lookups, overlapped when they are chains.
+//!   deduplicated — fully when the remainders are identical, and down to
+//!   the shared prefix when one remainder is a prefix of the other — and
+//!   shipped together (batched when they are plain lookups, overlapped
+//!   when they are chains).
 
 use super::dircache::{Cached, CachedDentry};
 use super::engine::{MultiStepOp, Next, Step};
 use super::{expect_reply, ClientLib, ClientState};
-use crate::proto::{Reply, Request, WireReply};
+use crate::proto::{Reply, Request, TerminalOp, TerminalReply, WireReply};
 use crate::types::{InodeId, ServerId};
 use fsapi::{Errno, FileType, FsResult};
 
@@ -181,35 +189,69 @@ impl ClientLib {
 enum Pending {
     /// Nothing outstanding.
     Idle,
-    /// A chained `LookupPath` covering every remaining component.
-    Chain,
-    /// A single `Lookup` for the current component.
+    /// A chained `LookupPath` covering the next `upto` components (all of
+    /// them, unless a pair-dedup'd prefix chain asked for fewer).
+    Chain {
+        /// Components the chain was asked to resolve.
+        upto: usize,
+    },
+    /// A single `Lookup` for the current (non-terminal) component.
     Single,
+    /// The final component's coalesced single RPC of a terminal walk
+    /// (`LookupStat`/`LookupOpen`, or a plain `Lookup` for `List`).
+    Terminal,
 }
 
 /// The path-walk state machine: one directory-component cursor advanced by
 /// cache hits, chained `LookupPath` exchanges, or per-component lookups.
+///
+/// With a [`TerminalOp`] other than `None`, the *last* component is the
+/// walk's target rather than a directory to descend into: its dentry is
+/// captured (`final_dentry`), a chain reaching it carries the terminal op,
+/// and a final ENOENT finishes the op with `final_dentry: None` (cached
+/// negatively) instead of erroring — callers like `open(O_CREAT)` need the
+/// resolved parent in that case.
 pub(crate) struct ResolveOp<'p> {
     comps: &'p [&'p str],
     cur: DirRef,
     pos: usize,
     pending: Pending,
-    /// Resolve the next component with a plain (parkable) `Lookup` before
-    /// chaining again — set when a chain stopped `EAGAIN` on a directory
-    /// marked for deletion.
+    /// Resolve the next component with a plain (parkable) single RPC
+    /// before chaining again — set when a chain stopped `EAGAIN` on a
+    /// directory marked for deletion.
     single_once: bool,
+    /// What the walk is for (fused into the chain's tail).
+    terminal: TerminalOp,
+    /// The final component's dentry, when `terminal` is not `None`.
+    final_dentry: Option<CachedDentry>,
+    /// The fused terminal result, when the final server answered it.
+    term: Option<TerminalReply>,
 }
 
 impl<'p> ResolveOp<'p> {
-    /// A walk of `comps` starting at `root`.
+    /// A walk of `comps` starting at `root`, descending every component.
     pub(crate) fn new(root: DirRef, comps: &'p [&'p str]) -> Self {
+        Self::with_terminal(root, comps, TerminalOp::None)
+    }
+
+    /// A walk whose last component is the target of `terminal`.
+    fn with_terminal(root: DirRef, comps: &'p [&'p str], terminal: TerminalOp) -> Self {
         ResolveOp {
             comps,
             cur: root,
             pos: 0,
             pending: Pending::Idle,
             single_once: false,
+            terminal,
+            final_dentry: None,
+            term: None,
         }
+    }
+
+    /// True when the cursor stands on the final component of a terminal
+    /// walk (captured, not descended).
+    fn at_terminal(&self) -> bool {
+        self.terminal != TerminalOp::None && self.pos + 1 == self.comps.len()
     }
 
     /// Caches and descends into one resolved component.
@@ -220,6 +262,22 @@ impl<'p> ResolveOp<'p> {
         self.cur = lib.enter_dir(d)?;
         self.pos += 1;
         Ok(())
+    }
+
+    /// Caches and captures the final component of a terminal walk.
+    fn capture_final(&mut self, lib: &ClientLib, st: &mut ClientState, d: CachedDentry) {
+        if lib.params.techniques.dircache {
+            st.dircache.insert(self.cur.ino, self.comps[self.pos], d);
+        }
+        self.final_dentry = Some(d);
+        self.pos += 1;
+    }
+
+    /// Records a final-component ENOENT: the miss is cached and the walk
+    /// finishes with `final_dentry: None` (the parent is resolved).
+    fn finish_absent(&mut self, lib: &ClientLib, st: &mut ClientState) {
+        lib.cache_negative(st, self.cur.ino, self.comps[self.pos]);
+        self.pos = self.comps.len();
     }
 
     /// Applies the reply of the previously emitted request.
@@ -241,25 +299,85 @@ impl<'p> ResolveOp<'p> {
                     Err(e) => Err(e),
                 }
             }
-            Pending::Chain => {
-                let (entries, stopped) = expect_reply!(
+            Pending::Terminal => {
+                // All three coalesced final-component replies carry a
+                // dentry plus an optional fused result.
+                let got = match reply {
+                    Ok(Reply::Lookup {
+                        target,
+                        ftype,
+                        dist,
+                    }) => ((target, ftype, dist), None),
+                    Ok(Reply::LookupStated {
+                        target,
+                        ftype,
+                        dist,
+                        stat,
+                    }) => ((target, ftype, dist), stat.map(TerminalReply::Stat)),
+                    Ok(Reply::LookupOpened {
+                        target,
+                        ftype,
+                        dist,
+                        open,
+                    }) => ((target, ftype, dist), open.map(TerminalReply::Open)),
+                    Ok(other) => {
+                        debug_assert!(false, "protocol mismatch: {other:?}");
+                        return Err(Errno::EIO);
+                    }
+                    Err(Errno::ENOENT) => {
+                        self.finish_absent(lib, st);
+                        return Ok(());
+                    }
+                    Err(e) => return Err(e),
+                };
+                let ((target, ftype, dist), term) = got;
+                self.capture_final(
+                    lib,
+                    st,
+                    CachedDentry {
+                        target,
+                        ftype,
+                        dist,
+                    },
+                );
+                self.term = term;
+                Ok(())
+            }
+            Pending::Chain { upto } => {
+                let start = self.pos;
+                let (entries, stopped, term) = expect_reply!(
                     reply,
-                    Reply::Path { entries, stopped } => (entries, stopped)
+                    Reply::Path { entries, stopped, term } => (entries, stopped, term)
                 )?;
-                debug_assert!(entries.len() <= self.comps.len() - self.pos);
+                debug_assert!(entries.len() <= upto);
                 for e in entries {
                     let d = CachedDentry {
                         target: e.target,
                         ftype: e.ftype,
                         dist: e.dist,
                     };
-                    // A non-directory intermediate surfaces ENOTDIR here,
-                    // exactly like the sequential walk entering it would.
-                    self.descend(lib, st, d)?;
+                    if self.at_terminal() {
+                        // Only reachable when the chain covered the final
+                        // component (and therefore carried the terminal).
+                        self.capture_final(lib, st, d);
+                    } else {
+                        // A non-directory intermediate surfaces ENOTDIR
+                        // here, exactly like the sequential walk entering
+                        // it would.
+                        self.descend(lib, st, d)?;
+                    }
+                }
+                debug_assert!(term.is_none() || stopped.is_none());
+                if stopped.is_none() {
+                    self.term = term;
                 }
                 match stopped {
                     None => {
-                        debug_assert_eq!(self.pos, self.comps.len());
+                        debug_assert_eq!(self.pos, start + upto);
+                        Ok(())
+                    }
+                    Some(Errno::ENOENT) if self.at_terminal() => {
+                        self.finish_absent(lib, st);
                         Ok(())
                     }
                     Some(Errno::ENOENT) => {
@@ -267,8 +385,9 @@ impl<'p> ResolveOp<'p> {
                         Err(Errno::ENOENT)
                     }
                     // The chain reached a directory marked for deletion:
-                    // re-ask that component as a plain lookup, which parks
-                    // at the server until the rmdir commits or aborts.
+                    // re-ask that component as a plain single RPC, which
+                    // parks at the server until the rmdir commits or
+                    // aborts.
                     Some(Errno::EAGAIN) => {
                         self.single_once = true;
                         Ok(())
@@ -283,69 +402,145 @@ impl<'p> ResolveOp<'p> {
         }
     }
 
-    /// Advances through the directory cache, then picks the next request —
-    /// a chain covering the remaining components when the technique
-    /// applies, a single lookup otherwise. `None` when resolution is
-    /// complete (`self.cur` is the result).
-    fn next_request(
-        &mut self,
-        lib: &ClientLib,
-        st: &mut ClientState,
-    ) -> FsResult<Option<(ServerId, Request)>> {
+    /// Advances the cursor through the directory cache. Returns `true`
+    /// when resolution is complete (nothing left to ask a server).
+    fn advance_cached(&mut self, lib: &ClientLib, st: &mut ClientState) -> FsResult<bool> {
         while self.pos < self.comps.len() {
             let name = self.comps[self.pos];
             match lib.consult_dircache(st, self.cur.ino, name) {
                 Some(Cached::Pos(d)) => {
-                    self.cur = lib.enter_dir(d)?;
-                    self.pos += 1;
+                    if self.at_terminal() {
+                        self.final_dentry = Some(d);
+                        self.pos += 1;
+                    } else {
+                        self.cur = lib.enter_dir(d)?;
+                        self.pos += 1;
+                    }
                 }
-                Some(Cached::Neg) => return Err(Errno::ENOENT),
+                Some(Cached::Neg) => {
+                    if self.at_terminal() {
+                        // Known absent: finish with no dentry (the
+                        // negative entry is already cached).
+                        self.pos = self.comps.len();
+                    } else {
+                        return Err(Errno::ENOENT);
+                    }
+                }
                 None => break,
             }
         }
-        if self.pos == self.comps.len() {
-            return Ok(None);
-        }
+        Ok(self.pos == self.comps.len())
+    }
+
+    /// True when the next emission would be a chained `LookupPath`.
+    /// Chaining pays off once two or more uncached components remain; a
+    /// single component is exactly one round trip either way, and the
+    /// single RPC parks correctly on deletion-marked directories.
+    fn would_chain(&self, lib: &ClientLib) -> bool {
+        lib.params.techniques.chained_resolution
+            && self.comps.len() - self.pos >= 2
+            && !self.single_once
+    }
+
+    /// Emits a chain covering the next `upto` components. Only a chain
+    /// that reaches the final component carries the terminal op; a
+    /// pair-dedup'd prefix chain resolves directories only.
+    fn chain_request(&mut self, lib: &ClientLib, upto: usize) -> (ServerId, Request) {
+        debug_assert!(upto >= 1 && self.pos + upto <= self.comps.len());
         let name = self.comps[self.pos];
         let shard = lib.shard_of(self.cur.ino, self.cur.dist, name);
-        let remaining = &self.comps[self.pos..];
-        // Chaining pays off once two or more uncached components remain; a
-        // single component is exactly one round trip either way, and the
-        // plain lookup parks correctly on deletion-marked directories.
-        if lib.params.techniques.chained_resolution && remaining.len() >= 2 && !self.single_once {
-            self.pending = Pending::Chain;
-            return Ok(Some((
-                shard,
-                Request::LookupPath {
+        let terminal = if self.pos + upto == self.comps.len() {
+            self.terminal
+        } else {
+            TerminalOp::None
+        };
+        self.pending = Pending::Chain { upto };
+        (
+            shard,
+            Request::LookupPath {
+                client: lib.params.id,
+                dir: self.cur.ino,
+                dist: self.cur.dist,
+                comps: self.comps[self.pos..self.pos + upto]
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect(),
+                acc: Vec::new(),
+                hops: 0,
+                terminal,
+            },
+        )
+    }
+
+    /// Emits the single RPC for the current component: a plain `Lookup`
+    /// for intermediates, the coalesced terminal RPC for the final
+    /// component of a terminal walk.
+    fn single_request(&mut self, lib: &ClientLib) -> (ServerId, Request) {
+        self.single_once = false;
+        let name = self.comps[self.pos];
+        let shard = lib.shard_of(self.cur.ino, self.cur.dist, name);
+        if self.at_terminal() {
+            self.pending = Pending::Terminal;
+            let req = match self.terminal {
+                TerminalOp::Stat => Request::LookupStat {
                     client: lib.params.id,
                     dir: self.cur.ino,
-                    dist: self.cur.dist,
-                    comps: remaining.iter().map(|c| c.to_string()).collect(),
-                    acc: Vec::new(),
-                    hops: 0,
+                    name: name.to_string(),
                 },
-            )));
+                TerminalOp::Open { flags } => Request::LookupOpen {
+                    client: lib.params.id,
+                    dir: self.cur.ino,
+                    name: name.to_string(),
+                    flags,
+                },
+                // A listing's final single is a plain lookup (the shard
+                // server is not, in general, where the listing lives).
+                TerminalOp::List | TerminalOp::None => Request::Lookup {
+                    client: lib.params.id,
+                    dir: self.cur.ino,
+                    name: name.to_string(),
+                },
+            };
+            return (shard, req);
         }
-        self.single_once = false;
         self.pending = Pending::Single;
-        Ok(Some((
+        (
             shard,
             Request::Lookup {
                 client: lib.params.id,
                 dir: self.cur.ino,
                 name: name.to_string(),
             },
-        )))
+        )
+    }
+
+    /// Advances through the directory cache, then picks the next request —
+    /// a chain covering the remaining components when the technique
+    /// applies, a single RPC otherwise. `None` when resolution is
+    /// complete.
+    fn next_request(
+        &mut self,
+        lib: &ClientLib,
+        st: &mut ClientState,
+    ) -> FsResult<Option<(ServerId, Request)>> {
+        if self.advance_cached(lib, st)? {
+            return Ok(None);
+        }
+        if self.would_chain(lib) {
+            let upto = self.comps.len() - self.pos;
+            return Ok(Some(self.chain_request(lib, upto)));
+        }
+        Ok(Some(self.single_request(lib)))
     }
 
     /// True when the in-flight request must not travel in a batch
     /// envelope (its reply may come from a different server).
     fn pending_unbatchable(&self) -> bool {
-        matches!(self.pending, Pending::Chain)
+        matches!(self.pending, Pending::Chain { .. })
     }
 
-    /// The `(directory, remaining components)` frontier of the in-flight
-    /// request, for pair deduplication.
+    /// The `(directory, remaining components)` frontier, for pair
+    /// deduplication. Only meaningful after [`Self::advance_cached`].
     fn frontier(&self) -> (InodeId, &'p [&'p str]) {
         (self.cur.ino, &self.comps[self.pos..])
     }
@@ -371,11 +566,69 @@ impl MultiStepOp for ResolveOp<'_> {
     }
 }
 
+/// What a terminal walk resolved.
+pub(crate) struct FusedOut {
+    /// The final component's parent directory (always resolved on
+    /// success).
+    pub(crate) parent: DirRef,
+    /// The final component's dentry; `None` means the name is absent
+    /// (`ENOENT`, cached negatively) while every parent resolved —
+    /// `open(O_CREAT)` creates into `parent` from here.
+    pub(crate) dentry: Option<CachedDentry>,
+    /// The fused terminal result, when the final server answered it.
+    pub(crate) term: Option<TerminalReply>,
+}
+
+/// A full-path walk with a fused terminal: resolves `comps` (parents *and*
+/// final component, favoring a single `LookupPath` chain that carries the
+/// terminal op) and reports the final dentry plus any fused result.
+/// Mid-path errors abort the op; a final-component ENOENT completes with
+/// `dentry: None` so callers keep the resolved parent.
+pub(crate) struct FusedPathOp<'p>(ResolveOp<'p>);
+
+impl<'p> FusedPathOp<'p> {
+    /// A terminal walk of `comps` (which must be non-empty) from `root`.
+    pub(crate) fn new(root: DirRef, comps: &'p [&'p str], terminal: TerminalOp) -> Self {
+        debug_assert!(!comps.is_empty());
+        debug_assert!(terminal != TerminalOp::None);
+        FusedPathOp(ResolveOp::with_terminal(root, comps, terminal))
+    }
+}
+
+impl MultiStepOp for FusedPathOp<'_> {
+    type Out = FusedOut;
+
+    fn step(
+        &mut self,
+        lib: &ClientLib,
+        st: &mut ClientState,
+        replies: Option<Vec<WireReply>>,
+    ) -> FsResult<Next<FusedOut>> {
+        if let Some(mut rs) = replies {
+            debug_assert_eq!(rs.len(), 1);
+            self.0.absorb(lib, st, rs.pop().ok_or(Errno::EIO)?)?;
+        }
+        match self.0.next_request(lib, st)? {
+            Some((server, req)) => Ok(Next::Run(Step::Call(server, req))),
+            None => {
+                debug_assert!(self.0.term.is_none() || self.0.final_dentry.is_some());
+                Ok(Next::Done(FusedOut {
+                    parent: self.0.cur,
+                    dentry: self.0.final_dentry,
+                    term: self.0.term.take(),
+                }))
+            }
+        }
+    }
+}
+
 /// Two [`ResolveOp`] chains advanced in lockstep (rename's pair
-/// resolution). Each round collects both chains' frontier requests,
-/// collapses shared-prefix duplicates to one, and ships the round as a
-/// batched/overlapped step; a chain that errors stops advancing while the
-/// other finishes, and the first path's error takes precedence.
+/// resolution). Each round collects both chains' frontier requests and
+/// collapses shared work to one request: identical remainders share the
+/// whole chain, and when one remainder is a *prefix* of the other the
+/// prefix resolves once (the longer chain continues from there next
+/// round). A chain that errors stops advancing while the other finishes,
+/// and the first path's error takes precedence.
 pub(crate) struct PairResolveOp<'p> {
     ops: [ResolveOp<'p>; 2],
     err: [Option<Errno>; 2],
@@ -403,6 +656,53 @@ impl<'p> PairResolveOp<'p> {
         if let Err(e) = self.ops[i].absorb(lib, st, reply) {
             self.err[i] = Some(e);
         }
+    }
+
+    /// Whether chain `i` still has work (and no recorded outcome).
+    fn active(&self, i: usize) -> bool {
+        self.err[i].is_none() && self.done[i].is_none()
+    }
+
+    /// Builds one request serving both chains, when their frontiers allow
+    /// it: same directory and either one remainder a prefix of the other
+    /// (shared chain — the identical-remainder case included) or the same
+    /// next single lookup. Returns the request plus whether it is a chain
+    /// (unbatchable). Both ops' pending states are armed to absorb the
+    /// shared reply.
+    fn dedup_request(&mut self, lib: &ClientLib) -> Option<((ServerId, Request), bool)> {
+        let (d0, r0) = self.ops[0].frontier();
+        let (d1, r1) = self.ops[1].frontier();
+        if d0 != d1 || r0.is_empty() || r1.is_empty() {
+            return None;
+        }
+        let chain = [self.ops[0].would_chain(lib), self.ops[1].would_chain(lib)];
+        let (short, long) = if r0.len() <= r1.len() { (0, 1) } else { (1, 0) };
+        let prefix_len = if r0.len() <= r1.len() {
+            r1.starts_with(r0).then_some(r0.len())
+        } else {
+            r0.starts_with(r1).then_some(r1.len())
+        };
+        if let (Some(upto), [true, true]) = (prefix_len, chain) {
+            // Shared-prefix chain: one LookupPath over the common prefix
+            // (the shorter remainder in full); the longer chain absorbs
+            // the same entries and continues with its own suffix.
+            debug_assert!(upto >= 2, "would_chain requires 2+ remaining");
+            let req = self.ops[short].chain_request(lib, upto);
+            self.ops[long].pending = Pending::Chain { upto };
+            return Some((req, true));
+        }
+        if chain == [false, false] && r0[0] == r1[0] {
+            // Both chains next ask the same single lookup.
+            let req = self.ops[short].single_request(lib);
+            debug_assert!(matches!(self.ops[short].pending, Pending::Single));
+            self.ops[long].single_once = false;
+            self.ops[long].pending = Pending::Single;
+            return Some((req, false));
+        }
+        // Mixed chain/single frontiers (or diverging suffixes): resolving
+        // them independently overlaps in one round; a forced shared prefix
+        // would serialize an extra round for no message saving.
+        None
     }
 }
 
@@ -433,26 +733,43 @@ impl MultiStepOp for PairResolveOp<'_> {
             self.dedup = false;
         }
 
-        let mut reqs: Vec<(ServerId, Request)> = Vec::with_capacity(2);
-        let mut unbatchable = false;
+        // Advance both chains through the directory cache first, so the
+        // frontiers compared below are the real next requests.
         for i in 0..2 {
-            if self.err[i].is_some() || self.done[i].is_some() {
+            if !self.active(i) {
                 continue;
             }
-            match self.ops[i].next_request(lib, st) {
-                Ok(Some((server, req))) => {
-                    // Shared prefix: identical frontiers collapse to one
-                    // request whose reply feeds both chains.
-                    if self.in_flight[0] && i == 1 && frontier_matches(&self.ops[0], &self.ops[1]) {
-                        self.dedup = true;
-                        continue;
-                    }
-                    unbatchable = unbatchable || self.ops[i].pending_unbatchable();
-                    reqs.push((server, req));
-                    self.in_flight[i] = true;
-                }
-                Ok(None) => self.done[i] = Some(self.ops[i].cur),
+            match self.ops[i].advance_cached(lib, st) {
+                Ok(true) => self.done[i] = Some(self.ops[i].cur),
+                Ok(false) => {}
                 Err(e) => self.err[i] = Some(e),
+            }
+        }
+
+        let mut reqs: Vec<(ServerId, Request)> = Vec::with_capacity(2);
+        let mut unbatchable = false;
+        if self.active(0) && self.active(1) {
+            if let Some((req, chain)) = self.dedup_request(lib) {
+                self.dedup = true;
+                self.in_flight = [true, true];
+                unbatchable = chain;
+                reqs.push(req);
+            }
+        }
+        if reqs.is_empty() {
+            for i in 0..2 {
+                if !self.active(i) {
+                    continue;
+                }
+                let req = if self.ops[i].would_chain(lib) {
+                    let upto = self.ops[i].comps.len() - self.ops[i].pos;
+                    self.ops[i].chain_request(lib, upto)
+                } else {
+                    self.ops[i].single_request(lib)
+                };
+                unbatchable = unbatchable || self.ops[i].pending_unbatchable();
+                reqs.push(req);
+                self.in_flight[i] = true;
             }
         }
 
@@ -471,21 +788,5 @@ impl MultiStepOp for PairResolveOp<'_> {
         } else {
             Step::Grouped(reqs)
         }))
-    }
-}
-
-/// True when both chains ask the same question next: same directory and —
-/// for a single lookup — the same first remaining component, or — for a
-/// chain — the same full remainder (so one `LookupPath` answers both).
-fn frontier_matches(a: &ResolveOp<'_>, b: &ResolveOp<'_>) -> bool {
-    let (da, ra) = a.frontier();
-    let (db, rb) = b.frontier();
-    if da != db || ra.is_empty() || rb.is_empty() {
-        return false;
-    }
-    match (&a.pending, &b.pending) {
-        (Pending::Single, Pending::Single) => ra[0] == rb[0],
-        (Pending::Chain, Pending::Chain) => ra == rb,
-        _ => false,
     }
 }

@@ -2,7 +2,7 @@
 
 use vtime::{CostModel, Topology};
 
-/// The five techniques the paper ablates in §5.4 (Figure 9), plus four
+/// The five techniques the paper ablates in §5.4 (Figure 9), plus six
 /// hot-path extensions this reproduction adds in the same spirit.
 ///
 /// Each toggle removes one optimization while keeping the system correct,
@@ -41,6 +41,16 @@ use vtime::{CostModel, Topology};
 ///   co-located components (plus the reply) instead of one round trip per
 ///   component. When off, the resolve loop walks component-by-component
 ///   exactly as the paper describes (§3.6.1).
+/// * `fused_terminal` fuses the *terminal* operation into the chain: the
+///   `LookupPath` carries what the walk was for (`stat`, `open`, or the
+///   first shard of a `readdir` listing), and the server resolving the
+///   final component executes it against its co-located inode shard and
+///   replies directly — a cold deep `stat`/`open` whose shards align is
+///   one end-to-end exchange. When the terminal inode lives elsewhere the
+///   chain degrades to the resolved dentry and the client pays the
+///   ordinary follow-up RPC. When off, the chain resolves and the client
+///   issues the coalesced final-component RPC separately (the PR 3
+///   protocol).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Techniques {
     /// Directory distribution (§3.3): when off, every directory is
@@ -76,6 +86,12 @@ pub struct Techniques {
     /// resolution: when off, the resolve loop issues one `Lookup` round
     /// trip per uncached component (the paper's §3.6.1 protocol).
     pub chained_resolution: bool,
+    /// Terminal-op fusion for chained resolution: the final server of a
+    /// `LookupPath` chain executes the coalesced stat/open (or lists its
+    /// shard of the target directory) in the same exchange. Inert without
+    /// `chained_resolution`; the stat/open terminals also respect
+    /// `coalesced_stat`/`coalesced_open`.
+    pub fused_terminal: bool,
 }
 
 impl Default for Techniques {
@@ -92,6 +108,7 @@ impl Default for Techniques {
             coalesced_stat: true,
             batching: true,
             chained_resolution: true,
+            fused_terminal: true,
         }
     }
 }
@@ -116,6 +133,7 @@ impl Techniques {
             "coalesced_stat" => t.coalesced_stat = false,
             "batching" => t.batching = false,
             "chained_resolution" => t.chained_resolution = false,
+            "fused_terminal" => t.fused_terminal = false,
             other => panic!("unknown technique {other:?}"),
         }
         t
@@ -272,6 +290,10 @@ mod tests {
         assert!(!t.batching && t.coalesced_stat && t.broadcast);
         let t = Techniques::without("chained_resolution");
         assert!(!t.chained_resolution && t.batching && t.dircache);
+        // fused_terminal stays on (it is simply inert without chaining).
+        assert!(t.fused_terminal);
+        let t = Techniques::without("fused_terminal");
+        assert!(!t.fused_terminal && t.chained_resolution && t.coalesced_stat);
     }
 
     #[test]

@@ -42,8 +42,19 @@
 //! waits on another server's reply; each hop is a plain `send` and the
 //! reply channel travels with the request) and bounded by an explicit hop
 //! budget (`ELOOP` beyond it).
+//!
+//! A chain may additionally carry a [`TerminalOp`]: the operation the walk
+//! was *for* (the final component's coalesced stat/open, or the first
+//! shard of a `readdir` listing). The server that resolves the last
+//! component executes it — strictly locally, against its own inode shard —
+//! and returns the result in the same [`Reply::Path`], so a cold deep
+//! `stat` or `open` whose shards align is **one end-to-end exchange**. When
+//! the terminal inode lives elsewhere the server answers the resolved
+//! dentry alone (`term: None`) and the client completes with the ordinary
+//! follow-up RPC; the terminal op never adds a forward, so the feed-forward
+//! deadlock argument is untouched.
 
-use crate::types::{ClientId, FdId, InodeId};
+use crate::types::{ClientId, FdId, InodeId, ServerId};
 use fsapi::{DirEntry, Errno, FileType, Mode, OpenFlags, Stat, Whence};
 use std::sync::Arc;
 
@@ -70,6 +81,52 @@ pub struct PathEntry {
     pub ftype: FileType,
     /// Distribution flag for directory targets.
     pub dist: bool,
+}
+
+/// The operation fused into the tail of a chained [`Request::LookupPath`]
+/// walk (the `fused_terminal` technique): what the client actually wanted
+/// the resolution *for*. The server that resolves the final component
+/// executes it locally when it can and returns a [`TerminalReply`] in the
+/// same [`Reply::Path`]; otherwise it answers the resolved dentry alone
+/// and the client falls back to the ordinary follow-up RPC. Execution is
+/// strictly local — a terminal op never forwards to a peer — so the
+/// chain's feed-forward no-deadlock argument is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminalOp {
+    /// Pure resolution; the walk has no fused tail.
+    None,
+    /// `stat` of the final component (the chained form of
+    /// [`Request::LookupStat`]): answered when the target inode lives on
+    /// the final server.
+    Stat,
+    /// `open` of the final component (the chained form of
+    /// [`Request::LookupOpen`]): answered when the target is a regular
+    /// file whose inode lives on the final server.
+    Open {
+        /// Open flags for the coalesced open (handles `O_TRUNC`).
+        flags: OpenFlags,
+    },
+    /// The final server's shard of the target directory's listing (the
+    /// chained head of a `readdir` fan-out): the client then only fans
+    /// [`Request::ListShard`] to the *other* servers.
+    List,
+}
+
+/// A fused terminal result, carried in [`Reply::Path::term`].
+#[derive(Debug, Clone)]
+pub enum TerminalReply {
+    /// The coalesced stat.
+    Stat(Stat),
+    /// The coalesced open.
+    Open(OpenResult),
+    /// One server's shard of the target directory listing, tagged with the
+    /// answering server so the client can skip it in the fan-out.
+    List {
+        /// The server whose shard `entries` is.
+        server: ServerId,
+        /// Entries stored at that server.
+        entries: Vec<DirEntry>,
+    },
 }
 
 /// Result of the mark phase of the three-phase `rmdir` protocol (§3.3).
@@ -211,6 +268,9 @@ pub enum Request {
         /// mis-routed requests) bounds any chain; beyond it the server
         /// answers `ELOOP` instead of forwarding again.
         hops: u32,
+        /// The fused terminal operation, executed by the server resolving
+        /// the last component of `comps` (see [`TerminalOp`]).
+        terminal: TerminalOp,
     },
 
     /// The batched transport: independent requests for this server shipped
@@ -523,6 +583,13 @@ pub enum Reply {
         /// with a directory check per intermediate derives the same error
         /// at the same component.
         stopped: Option<Errno>,
+        /// The fused terminal result, present only when the walk resolved
+        /// every component (`stopped` is `None`), the chain carried a
+        /// [`TerminalOp`], and the final server could execute it locally.
+        /// `None` otherwise — the client completes with the ordinary
+        /// follow-up RPC, which also reproduces any authoritative error
+        /// (a vanished inode, `EACCES`, …).
+        term: Option<TerminalReply>,
     },
     /// One shard of a directory listing.
     Shard {

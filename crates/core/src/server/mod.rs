@@ -21,7 +21,7 @@ pub mod rmdir;
 use crate::machine::Machine;
 use crate::proto::{
     base_service_cost, DemoteInfo, Invalidation, MarkResult, OpenResult, PathEntry, Reply, Request,
-    ServerMsg, WireReply,
+    ServerMsg, TerminalOp, TerminalReply, WireReply,
 };
 use crate::types::{dentry_shard, ClientId, FdId, InodeId, ServerId};
 use buffer::BlockAllocator;
@@ -332,7 +332,8 @@ impl Server {
                 comps,
                 acc,
                 hops,
-            } => self.op_lookup_path(client, dir, dist, comps, acc, hops, ctx),
+                terminal,
+            } => self.op_lookup_path(client, dir, dist, comps, acc, hops, terminal, ctx),
             Request::AddMap {
                 client,
                 dir,
@@ -629,6 +630,14 @@ impl Server {
     ///   `EAGAIN` (the initial park check in [`Server::handle`] only sees
     ///   the first component's directory); the client retries that
     ///   component as a plain lookup, which parks until COMMIT/ABORT.
+    ///   Because the fused terminal runs only after the *whole* walk
+    ///   succeeded, an `EAGAIN` stop can never have opened a descriptor —
+    ///   a fused open of an rmdir-marked path degrades to the retry,
+    ///   never to an orphan fd.
+    /// * The fused terminal op executes strictly on this (final) server:
+    ///   a remote terminal inode degrades to `term: None` rather than
+    ///   forwarding mid-execution, preserving the per-hop-progress
+    ///   termination argument.
     #[allow(clippy::too_many_arguments)]
     fn op_lookup_path(
         &mut self,
@@ -638,6 +647,7 @@ impl Server {
         mut comps: Vec<String>,
         mut acc: Vec<PathEntry>,
         hops: u32,
+        terminal: TerminalOp,
         ctx: &mut Ctx,
     ) -> Option<WireReply> {
         let nservers = self.peers.len();
@@ -664,6 +674,7 @@ impl Server {
                         comps: rest,
                         acc,
                         hops: hops + 1,
+                        terminal,
                     },
                 ));
                 return None;
@@ -708,10 +719,87 @@ impl Server {
                 }
             }
         }
+        let term = if stopped.is_none() {
+            self.exec_terminal(terminal, acc.last().copied(), ctx)
+        } else {
+            None
+        };
         Some(Ok(Reply::Path {
             entries: acc,
             stopped,
+            term,
         }))
+    }
+
+    /// Executes the fused terminal op of a completed chain walk against the
+    /// final resolved dentry, strictly locally. Anything the final server
+    /// cannot answer from its own shards — a remote terminal inode, a
+    /// non-file open target, a failing local attempt — degrades to `None`;
+    /// the client's ordinary follow-up RPC then reproduces the
+    /// authoritative result. No path here ever forwards to a peer.
+    fn exec_terminal(
+        &mut self,
+        terminal: TerminalOp,
+        last: Option<PathEntry>,
+        ctx: &mut Ctx,
+    ) -> Option<TerminalReply> {
+        let last = last?;
+        match terminal {
+            TerminalOp::None => None,
+            TerminalOp::Stat => {
+                if last.target.server != self.id {
+                    return None;
+                }
+                match self.op_stat(last.target.num) {
+                    Ok(Reply::Stat(s)) => {
+                        // The stat half, priced like the coalesced
+                        // LookupStat's.
+                        ctx.extra += 400;
+                        Some(TerminalReply::Stat(s))
+                    }
+                    _ => None,
+                }
+            }
+            TerminalOp::Open { flags } => {
+                if last.ftype != FileType::Regular || last.target.server != self.id {
+                    return None;
+                }
+                match self.open_local_file(last.target.num, flags, ctx) {
+                    Ok(o) => {
+                        // The open half, priced like the coalesced
+                        // LookupOpen's.
+                        ctx.extra += 700;
+                        Some(TerminalReply::Open(o))
+                    }
+                    Err(_) => None,
+                }
+            }
+            TerminalOp::List => {
+                if last.ftype != FileType::Directory {
+                    return None;
+                }
+                let dir = last.target;
+                // A distributed directory has a meaningful shard on every
+                // server; a centralized one lives entirely at its home, so
+                // any other server's listing would be dead weight the
+                // client discards.
+                if !(last.dist && self.distribution) && dir.server != self.id {
+                    return None;
+                }
+                // A listing must not race the rmdir mark/commit window (a
+                // standalone ListShard would park); degrade and let the
+                // client's fan-out park normally.
+                if self.rmdir.is_marked(dir) || self.dentries.is_tombstoned(dir) {
+                    return None;
+                }
+                let entries = self.dentries.list(dir);
+                ctx.extra += 400 + 25 * entries.len() as u64;
+                Some(TerminalReply::List {
+                    server: self.id,
+                    entries,
+                })
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]

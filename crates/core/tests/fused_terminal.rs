@@ -1,0 +1,470 @@
+//! Tests for terminal-op fusion: the final server of a chained
+//! `LookupPath` walk executes the coalesced stat/open (or lists its shard
+//! of the target directory) in the resolution exchange itself.
+//!
+//! Counting convention as in `chained_resolution.rs`: `sends()` counts
+//! every message, a chain over r runs of co-located components costs
+//! r + 1 messages, and a fused terminal adds zero messages when the
+//! terminal inode lives on the final chain server — and exactly one
+//! follow-up round trip (2 sends) when it does not.
+
+use fsapi::{Errno, MkdirOpts, Mode, OpenFlags, ProcFs};
+use hare_core::proto::{Reply, Request, ServerMsg};
+use hare_core::{dentry_shard, HareConfig, HareInstance, InodeId, Techniques};
+use std::sync::Arc;
+use vtime::Topology;
+
+/// Builds `depth - 1` distributed directories under `/` (names brute-
+/// forced to the pinned shards when given) and a file named so its dentry
+/// hashes to `file_shard` (when pinned). Returns the per-component shards
+/// (file included) and the file path.
+fn build_tree(
+    inst: &Arc<HareInstance>,
+    depth: usize,
+    dir_shards: Option<&[u16]>,
+    file_shard: Option<u16>,
+) -> (Vec<u16>, String) {
+    assert!(depth >= 1);
+    let nservers = inst.servers().len();
+    let setup = inst.new_client(0).unwrap();
+    let mut path = String::new();
+    let mut parent = InodeId::ROOT;
+    let mut shards = Vec::new();
+    for level in 0..depth - 1 {
+        let name = match dir_shards {
+            Some(w) => (0..)
+                .map(|i| format!("c{level}x{i}"))
+                .find(|n| dentry_shard(parent, true, n, nservers) == w[level])
+                .unwrap(),
+            None => format!("c{level}"),
+        };
+        shards.push(dentry_shard(parent, true, &name, nservers));
+        path = format!("{path}/{name}");
+        setup
+            .mkdir_opts(&path, Mode::default(), MkdirOpts::DISTRIBUTED)
+            .unwrap();
+        let st = setup.stat(&path).unwrap();
+        parent = InodeId {
+            server: st.server,
+            num: st.ino,
+        };
+    }
+    let fname = match file_shard {
+        Some(w) => (0..)
+            .map(|i| format!("fx{i}"))
+            .find(|n| dentry_shard(parent, true, n, nservers) == w)
+            .unwrap(),
+        None => "f".to_string(),
+    };
+    shards.push(dentry_shard(parent, true, &fname, nservers));
+    let file = format!("{path}/{fname}");
+    fsapi::write_file(&setup, &file, b"x").unwrap();
+    drop(setup);
+    (shards, file)
+}
+
+/// Number of runs of consecutive equal shards.
+fn runs(shards: &[u16]) -> u64 {
+    if shards.is_empty() {
+        return 0;
+    }
+    1 + shards.windows(2).filter(|w| w[0] != w[1]).count() as u64
+}
+
+/// Message sends for one operation on a fresh (cold-cache) client.
+fn cold_sends(
+    inst: &Arc<HareInstance>,
+    op: impl FnOnce(&hare_core::ClientLib) -> u16,
+) -> (u64, u16) {
+    let prober = inst.new_client(0).unwrap();
+    let before = inst.machine().msg_stats.sends();
+    let ino_server = op(&prober);
+    let delta = inst.machine().msg_stats.sends() - before;
+    drop(prober);
+    (delta, ino_server)
+}
+
+#[test]
+fn fused_stat_and_open_exchange_counts_across_depths_and_servers() {
+    // Depths 1/4/8 × 1/2/8 servers, fusion on and off. On a single-socket
+    // machine creation affinity stores every inode at its dentry shard,
+    // so the terminal is always co-located and the fused stat/open adds
+    // zero messages to the chain.
+    for &nservers in &[1usize, 2, 8] {
+        for &depth in &[1usize, 4, 8] {
+            for &fused in &[true, false] {
+                let mut cfg = HareConfig::timeshare(nservers);
+                if !fused {
+                    cfg.techniques = Techniques::without("fused_terminal");
+                }
+                let inst = HareInstance::start(cfg);
+                let (shards, file) = build_tree(&inst, depth, None, None);
+                let p = shards.len() as u64;
+                let chain = if p >= 2 { runs(&shards) + 1 } else { 2 };
+                let dirs = &shards[..shards.len() - 1];
+                let parent_resolve = if dirs.len() >= 2 {
+                    runs(dirs) + 1
+                } else {
+                    2 * dirs.len() as u64
+                };
+
+                let (stat_sends, ino_server) = cold_sends(&inst, |c| c.stat(&file).unwrap().server);
+                assert_eq!(
+                    ino_server,
+                    *shards.last().unwrap(),
+                    "single socket: affinity co-locates the inode"
+                );
+                let want = if fused { chain } else { parent_resolve + 2 };
+                assert_eq!(
+                    stat_sends, want,
+                    "stat: depth {depth}, {nservers} servers, fused={fused}, shards {shards:?}"
+                );
+
+                let (open_sends, _) = cold_sends(&inst, |c| {
+                    let fd = c.open(&file, OpenFlags::RDONLY, Mode::default()).unwrap();
+                    c.close(fd).unwrap();
+                    0
+                });
+                // Opening adds the CloseFd round trip to either protocol.
+                assert_eq!(
+                    open_sends,
+                    want + 2,
+                    "open: depth {depth}, {nservers} servers, fused={fused}, shards {shards:?}"
+                );
+                inst.shutdown();
+            }
+        }
+    }
+}
+
+#[test]
+fn remote_terminal_inode_degrades_to_one_follow_up_round_trip() {
+    // A two-socket machine: the creating client runs on socket 0, the
+    // file's dentry shard is pinned to socket 1, so creation affinity
+    // places the inode on the client's designated *local* server (socket
+    // 0) — away from the final chain server. The fused chain answers the
+    // dentry alone and the client pays exactly one follow-up round trip;
+    // a co-located sibling (shard on socket 0, where its inode also
+    // lands) answers entirely in the chain.
+    let mut cfg = HareConfig::timeshare(8);
+    cfg.topology = Topology::new(2, 4);
+    let inst = HareInstance::start(cfg);
+
+    let (shards_remote, remote) = build_tree(&inst, 4, Some(&[0, 0, 0]), Some(5));
+    let (remote_sends, remote_ino) = cold_sends(&inst, |c| c.stat(&remote).unwrap().server);
+    assert_ne!(remote_ino, 5, "cross-socket shard: inode stays local");
+    assert_eq!(remote_sends, runs(&shards_remote) + 1 + 2);
+
+    // The sibling under the same (now freshly re-resolved) directories:
+    // shard 0 is on the creator's socket, so the inode lands there too.
+    let nservers = inst.servers().len();
+    let setup = inst.new_client(0).unwrap();
+    let parent_path = remote.rsplit_once('/').unwrap().0.to_string();
+    let pstat = setup.stat(&parent_path).unwrap();
+    let parent = InodeId {
+        server: pstat.server,
+        num: pstat.ino,
+    };
+    let co_name = (0..)
+        .map(|i| format!("gx{i}"))
+        .find(|n| dentry_shard(parent, true, n, nservers) == 0)
+        .unwrap();
+    let co = format!("{parent_path}/{co_name}");
+    fsapi::write_file(&setup, &co, b"x").unwrap();
+    drop(setup);
+    let mut shards_co = shards_remote.clone();
+    *shards_co.last_mut().unwrap() = 0;
+    let (co_sends, co_ino) = cold_sends(&inst, |c| c.stat(&co).unwrap().server);
+    assert_eq!(co_ino, 0, "same-socket shard: affinity co-locates");
+    assert_eq!(co_sends, runs(&shards_co) + 1);
+
+    // The same split for open: co-located opens in the chain, remote pays
+    // the OpenInode follow-up (plus CloseFd either way).
+    let (open_remote, _) = cold_sends(&inst, |c| {
+        let fd = c.open(&remote, OpenFlags::RDONLY, Mode::default()).unwrap();
+        c.close(fd).unwrap();
+        0
+    });
+    assert_eq!(open_remote, runs(&shards_remote) + 1 + 2 + 2);
+    let (open_co, _) = cold_sends(&inst, |c| {
+        let fd = c.open(&co, OpenFlags::RDONLY, Mode::default()).unwrap();
+        c.close(fd).unwrap();
+        0
+    });
+    assert_eq!(open_co, runs(&shards_co) + 1 + 2);
+    inst.shutdown();
+}
+
+/// Sends a raw rmdir-protocol message to server 0 and awaits the reply.
+fn raw_rmdir_msg(inst: &Arc<HareInstance>, req: Request) -> Reply {
+    let (tx, rx) = msg::channel(Arc::clone(&inst.machine().msg_stats));
+    inst.servers()[0]
+        .tx
+        .send(ServerMsg { req, reply: tx }, 0, 0)
+        .unwrap();
+    rx.recv().unwrap().payload.unwrap()
+}
+
+#[test]
+fn fused_open_of_rmdir_marked_path_degrades_to_eagain_retry() {
+    // A fused open(O_CREAT) whose path crosses a directory marked for
+    // deletion must stop the chain with EAGAIN and retry the final
+    // component as a parkable single RPC — never open (or create) a
+    // descriptor on the to-be-deleted directory. Exercised for both rmdir
+    // outcomes: after ABORT the parked retry proceeds and the create
+    // wins; after COMMIT the open fails ENOENT outright (had the fused
+    // chain opened anything mid-mark, this open would wrongly succeed and
+    // leak an orphan fd).
+    for &commit in &[false, true] {
+        let inst = HareInstance::start(HareConfig::timeshare(1));
+        let setup = inst.new_client(0).unwrap();
+        setup
+            .mkdir_opts("/a", Mode::default(), MkdirOpts::default())
+            .unwrap();
+        setup
+            .mkdir_opts("/a/d", Mode::default(), MkdirOpts::default())
+            .unwrap();
+        let dstat = setup.stat("/a/d").unwrap();
+        let dir = InodeId {
+            server: dstat.server,
+            num: dstat.ino,
+        };
+        drop(setup);
+
+        // Mark /a/d for deletion (the prepare phase of a distributed
+        // rmdir, driven raw so the window stays open).
+        match raw_rmdir_msg(&inst, Request::RmdirMark { dir }) {
+            Reply::RmdirMark(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // The open must park behind the mark; drive it from a thread and
+        // resolve the rmdir from here.
+        let inst2 = Arc::clone(&inst);
+        let opener = std::thread::spawn(move || {
+            let c = inst2.new_client(0).unwrap();
+            let r = c
+                .open(
+                    "/a/d/x",
+                    OpenFlags::CREAT | OpenFlags::WRONLY,
+                    Mode::default(),
+                )
+                .inspect(|&fd| c.close(fd).unwrap());
+            drop(c);
+            r
+        });
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let resolve = if commit {
+            Request::RmdirCommit { dir }
+        } else {
+            Request::RmdirAbort { dir }
+        };
+        match raw_rmdir_msg(&inst, resolve) {
+            Reply::Unit => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let outcome = opener.join().unwrap();
+        if commit {
+            // The directory is gone: no descriptor may exist. A fused
+            // open that had executed mid-mark would have returned one.
+            assert_eq!(outcome.unwrap_err(), Errno::ENOENT);
+        } else {
+            // The rmdir aborted: the parked retry proceeds and the
+            // create succeeds normally.
+            assert!(outcome.is_ok(), "open after abort: {outcome:?}");
+        }
+        inst.shutdown();
+    }
+}
+
+#[test]
+fn rename_pair_resolution_dedups_partially_shared_prefixes() {
+    // rename("/A/B/f1", "/A/B/C/D/f2"): the parent chains [A, B] and
+    // [A, B, C, D] share the prefix [A, B] — which is the whole shorter
+    // remainder — so one LookupPath serves both and the longer chain
+    // continues with [C, D] alone. Shards are pinned so the shared prefix
+    // spans a server boundary: re-resolving it per chain would cost an
+    // extra forward, which the dedup saves.
+    let inst = HareInstance::start(HareConfig::timeshare(2));
+    let nservers = 2usize;
+    let setup = inst.new_client(0).unwrap();
+    let mut parent = InodeId::ROOT;
+    let mut path = String::new();
+    // A@0, B@1, C@1, D@1.
+    let mut ino_of = Vec::new();
+    for (level, want) in [0u16, 1, 1, 1].iter().enumerate() {
+        let name = (0..)
+            .map(|i| format!("p{level}x{i}"))
+            .find(|n| dentry_shard(parent, true, n, nservers) == *want)
+            .unwrap();
+        path = format!("{path}/{name}");
+        setup
+            .mkdir_opts(&path, Mode::default(), MkdirOpts::DISTRIBUTED)
+            .unwrap();
+        let st = setup.stat(&path).unwrap();
+        parent = InodeId {
+            server: st.server,
+            num: st.ino,
+        };
+        ino_of.push((path.clone(), parent));
+    }
+    let (old_dir_path, old_dir) = ino_of[1].clone(); // /A/B
+    let (new_dir_path, new_dir) = ino_of[3].clone(); // /A/B/C/D
+                                                     // f1 in B and the f2 target name in D, both pinned to server 0 so the
+                                                     // commit's AddMap+RmMap pair shares one batched exchange.
+    let f1 = (0..)
+        .map(|i| format!("f1x{i}"))
+        .find(|n| dentry_shard(old_dir, true, n, nservers) == 0)
+        .unwrap();
+    let f2 = (0..)
+        .map(|i| format!("f2x{i}"))
+        .find(|n| dentry_shard(new_dir, true, n, nservers) == 0)
+        .unwrap();
+    let old = format!("{old_dir_path}/{f1}");
+    let new = format!("{new_dir_path}/{f2}");
+    fsapi::write_file(&setup, &old, b"x").unwrap();
+    drop(setup);
+
+    let c = inst.new_client(0).unwrap();
+    let before = inst.machine().msg_stats.sends();
+    c.rename(&old, &new).unwrap();
+    let sends = inst.machine().msg_stats.sends() - before;
+    // Shared prefix chain [A@0, B@1]: request + forward + reply = 3.
+    // Longer chain's suffix [C@1, D@1]: request + reply = 2.
+    // Lookup of f1: 2. Batched AddMap+RmMap pair at server 0: 2.
+    // (Without the partial dedup the pair resolution pays two full
+    // chains, 3 + 3, for 10 sends in total.)
+    assert_eq!(sends, 3 + 2 + 2 + 2);
+    assert_eq!(c.stat(&new).unwrap().size, 1);
+    assert_eq!(c.stat(&old).unwrap_err(), Errno::ENOENT);
+    drop(c);
+    inst.shutdown();
+}
+
+#[test]
+fn fused_readdir_rides_the_resolution_chain() {
+    // Distributed target: the final chain server's shard returns with the
+    // resolution reply, so the fan-out skips that server (one exchange
+    // saved). Centralized target whose home answers the chain: the whole
+    // listing rides the chain and the fan-out round disappears.
+    let nservers = 4usize;
+    let inst = HareInstance::start(HareConfig::timeshare(nservers));
+    let setup = inst.new_client(0).unwrap();
+    setup
+        .mkdir_opts("/p", Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+    setup
+        .mkdir_opts("/p/q", Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+    setup
+        .mkdir_opts("/p/c", Mode::default(), MkdirOpts::default())
+        .unwrap();
+    for i in 0..12 {
+        fsapi::write_file(&setup, &format!("/p/q/e{i}"), b"x").unwrap();
+        fsapi::write_file(&setup, &format!("/p/c/e{i}"), b"x").unwrap();
+    }
+    let p_shard = dentry_shard(InodeId::ROOT, true, "p", nservers);
+    let pstat = setup.stat("/p").unwrap();
+    let p_ino = InodeId {
+        server: pstat.server,
+        num: pstat.ino,
+    };
+    let q_shard = dentry_shard(p_ino, true, "q", nservers);
+    let c_shard = dentry_shard(p_ino, true, "c", nservers);
+    let cstat = setup.stat("/p/c").unwrap();
+    // Single socket: the centralized directory's home is its dentry shard.
+    assert_eq!(cstat.server, c_shard);
+    drop(setup);
+
+    let chain = |shards: &[u16]| runs(shards) + 1;
+
+    // Distributed /p/q: chain + (nservers - 1) ListShard exchanges.
+    let (dist_sends, _) = cold_sends(&inst, |c| {
+        assert_eq!(c.readdir("/p/q").unwrap().len(), 12);
+        0
+    });
+    assert_eq!(
+        dist_sends,
+        chain(&[p_shard, q_shard]) + 2 * (nservers as u64 - 1)
+    );
+
+    // Centralized /p/c resolved by its own home: the listing rides the
+    // chain, no follow-up at all.
+    let (central_sends, _) = cold_sends(&inst, |c| {
+        assert_eq!(c.readdir("/p/c").unwrap().len(), 12);
+        0
+    });
+    assert_eq!(central_sends, chain(&[p_shard, c_shard]));
+
+    // Fusion off: the full fan-out (or the single home round trip) is
+    // paid after resolution.
+    let mut cfg = HareConfig::timeshare(nservers);
+    cfg.techniques = Techniques::without("fused_terminal");
+    let inst_off = HareInstance::start(cfg);
+    let setup = inst_off.new_client(0).unwrap();
+    setup
+        .mkdir_opts("/p", Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+    setup
+        .mkdir_opts("/p/q", Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+    for i in 0..12 {
+        fsapi::write_file(&setup, &format!("/p/q/e{i}"), b"x").unwrap();
+    }
+    drop(setup);
+    let (off_sends, _) = cold_sends(&inst_off, |c| {
+        assert_eq!(c.readdir("/p/q").unwrap().len(), 12);
+        0
+    });
+    assert_eq!(off_sends, chain(&[p_shard, q_shard]) + 2 * nservers as u64);
+    inst.shutdown();
+    inst_off.shutdown();
+}
+
+#[test]
+fn fused_readdir_plus_saves_one_listing_exchange() {
+    // The ls -l pattern end to end: resolution chains into the listing,
+    // the per-entry stats still group by inode server, and the fused and
+    // unfused listings agree.
+    let nservers = 4usize;
+    let mk = |fused: bool| {
+        let mut cfg = HareConfig::timeshare(nservers);
+        if !fused {
+            cfg.techniques = Techniques::without("fused_terminal");
+        }
+        let inst = HareInstance::start(cfg);
+        let setup = inst.new_client(0).unwrap();
+        setup
+            .mkdir_opts("/big", Mode::default(), MkdirOpts::DISTRIBUTED)
+            .unwrap();
+        for i in 0..16 {
+            fsapi::write_file(&setup, &format!("/big/e{i}"), b"x").unwrap();
+        }
+        drop(setup);
+        inst
+    };
+    let count = |inst: &Arc<HareInstance>| {
+        let c = inst.new_client(0).unwrap();
+        let before = inst.machine().msg_stats.sends();
+        let listed = c.readdir_plus("/big").unwrap();
+        let sends = inst.machine().msg_stats.sends() - before;
+        let names: Vec<String> = listed.into_iter().map(|(e, _)| e.name).collect();
+        drop(c);
+        (sends, names)
+    };
+    let on = mk(true);
+    let off = mk(false);
+    let (on_sends, on_names) = count(&on);
+    let (off_sends, off_names) = count(&off);
+    assert_eq!(on_names, off_names);
+    assert_eq!(on_names.len(), 16);
+    // /big is one uncached component: resolution is a single (coalesced)
+    // exchange either way, but the fused listing rides it, saving the
+    // final server's ListShard from the fan-out... except a single
+    // component never chains — so the two protocols tie here, and the
+    // saving shows on deeper paths (previous test). What must hold
+    // regardless: fusion never costs extra exchanges.
+    assert!(on_sends <= off_sends, "{on_sends} vs {off_sends}");
+    on.shutdown();
+    off.shutdown();
+}

@@ -35,11 +35,21 @@ fn open_existing_sends(techniques: Techniques) -> u64 {
 }
 
 #[test]
-fn coalesced_open_with_chaining_costs_two_exchanges() {
-    // /d1/d2/f has depth = 2 parent directories. One chained LookupPath
-    // exchange resolves both parents (single server, so no forwards),
-    // then one LookupOpen: 2 exchanges total.
-    assert_eq!(open_existing_sends(Techniques::default()), 2 * 2);
+fn fused_open_costs_one_end_to_end_exchange() {
+    // /d1/d2/f: one LookupPath chain resolves both parents *and* the
+    // file, and the final server (which also stores the inode — single
+    // server) opens the descriptor in the same exchange: 1 exchange.
+    assert_eq!(open_existing_sends(Techniques::default()), 2);
+}
+
+#[test]
+fn unfused_chained_open_costs_two_exchanges() {
+    // Fusion off restores the PR 3 protocol: one chained LookupPath
+    // exchange for the parents, then one LookupOpen.
+    assert_eq!(
+        open_existing_sends(Techniques::without("fused_terminal")),
+        2 * 2
+    );
 }
 
 #[test]
@@ -151,9 +161,17 @@ fn stat_sends(techniques: Techniques) -> u64 {
 }
 
 #[test]
-fn coalesced_stat_with_chaining_costs_two_exchanges() {
-    // One chained LookupPath exchange for both parents + one LookupStat.
-    assert_eq!(stat_sends(Techniques::default()), 2 * 2);
+fn fused_stat_costs_one_end_to_end_exchange() {
+    // One LookupPath chain resolves /d1/d2/f and the final server (also
+    // the inode's — single server) answers the stat in the same exchange.
+    assert_eq!(stat_sends(Techniques::default()), 2);
+}
+
+#[test]
+fn unfused_chained_stat_costs_two_exchanges() {
+    // Fusion off: one chained LookupPath exchange for the parents + one
+    // LookupStat.
+    assert_eq!(stat_sends(Techniques::without("fused_terminal")), 2 * 2);
 }
 
 #[test]
