@@ -1,0 +1,263 @@
+//! `micro_skew`: the hot-directory workload the dynamic placement
+//! subsystem exists for — one centralized mail-spool directory pinning a
+//! single server that also carries other traffic.
+//!
+//! Four worker threads churn the spool (create + stat + unlink, the
+//! maildir pattern) and stat files in per-worker directories that are
+//! deliberately homed on the *same* server as the spool, so that server
+//! serializes nearly the whole workload. The bench measures the skewed
+//! phase, runs one load-aware rebalance pass (which migrates the spool's
+//! dentry shard to the least-loaded server), and measures again: with
+//! `rebalancing` on, the spool churn and the background load now run on
+//! different servers and the virtual cycles per operation drop; with it
+//! off, the rebalance is a no-op and nothing changes. The machine is the
+//! paper's *split* configuration (dedicated server cores) so the
+//! before/after comparison isolates server queueing from the timeshare
+//! context-switch tax.
+//!
+//! RPCs/op is the *hard* gate metric: the post-migration count may exceed
+//! the pre-migration count only by the one-bounce redirect amortization
+//! (each fresh worker pays one `NotOwner` exchange), which the gate's 0.05
+//! tolerance covers. Cycles are warn-only as usual. Results go to
+//! `BENCH_micro_skew.json`; with `HARE_GATE_BASELINE` set the run is gated
+//! against the committed baseline first (CI perf smoke).
+
+use fsapi::{MkdirOpts, Mode, OpenFlags, ProcFs};
+use hare_core::{dentry_shard, HareConfig, HareInstance, InodeId, RebalancePolicy, Techniques};
+use std::sync::Arc;
+
+/// Two worker processes per application core: while one waits on the hot
+/// server the other runs, so the server — not client latency — is the
+/// bottleneck the rebalance relieves.
+const WORKERS: usize = 8;
+
+/// Iterations per worker, scaled by `HARE_SCALE`.
+fn iters() -> usize {
+    match std::env::var("HARE_SCALE").as_deref() {
+        Ok("quick") => 24,
+        _ => 96,
+    }
+}
+
+/// A name under `dir` whose dentry shard is `want` (brute-forced like the
+/// pinned exchange-count tests).
+fn pinned_name(dir: InodeId, dist: bool, prefix: &str, want: u16, nservers: usize) -> String {
+    (0..)
+        .map(|i| format!("{prefix}{i}"))
+        .find(|n| dentry_shard(dir, dist, n, nservers) == want)
+        .expect("some name hashes to every shard")
+}
+
+struct Phase {
+    rpcs_per_op: f64,
+    cycles_per_op: f64,
+}
+
+/// Runs the skewed workload once: each worker creates, stats, and unlinks
+/// spool messages and stats its two background files. Returns per-op
+/// transport exchanges and virtual cycles (wall-clock of the contended
+/// phase, not per-client sums — queueing at the hot server is the point).
+fn run_phase(inst: &Arc<HareInstance>, spool: &str, bg_dirs: &[String], rounds: usize) -> Phase {
+    use std::sync::Barrier;
+
+    let machine = inst.machine();
+    let app_cores = inst.config().app_cores.clone();
+    // Two barriers bracket the measured window: workers warm up (resolve
+    // the spool and their background directory, pay any one-time redirect
+    // bounce), everyone meets at `warm`, the main thread snapshots the
+    // counters, and `go` releases the measured rounds — so RPCs/op is
+    // per-iteration steady state, independent of the scale preset.
+    let warm = Arc::new(Barrier::new(WORKERS + 1));
+    let go = Arc::new(Barrier::new(WORKERS + 1));
+    // …and `done`/`exit` bracket the far end, so client teardown (the
+    // Unregister fan-out) stays outside the measured window too.
+    let done = Arc::new(Barrier::new(WORKERS + 1));
+    let exit = Arc::new(Barrier::new(WORKERS + 1));
+    let mut joins = Vec::new();
+    for w in 0..WORKERS {
+        let inst = Arc::clone(inst);
+        let spool = spool.to_string();
+        let bg = bg_dirs[w].clone();
+        let core = app_cores[w % app_cores.len()];
+        let (warm, go) = (Arc::clone(&warm), Arc::clone(&go));
+        let (done, exit) = (Arc::clone(&done), Arc::clone(&exit));
+        joins.push(std::thread::spawn(move || {
+            let c = inst.new_client(core).unwrap();
+            let iter = |i: usize| {
+                let msg = format!("{spool}/w{w}m{i}");
+                let fd = c
+                    .open(&msg, OpenFlags::CREAT | OpenFlags::WRONLY, Mode::default())
+                    .unwrap();
+                c.close(fd).unwrap();
+                c.stat(&msg).unwrap();
+                c.unlink(&msg).unwrap();
+                for f in 0..4 {
+                    c.stat(&format!("{bg}/f{f}")).unwrap();
+                }
+            };
+            iter(usize::MAX); // warmup, outside the measured window
+            warm.wait();
+            go.wait();
+            for i in 0..rounds {
+                iter(i);
+            }
+            done.wait();
+            exit.wait();
+            drop(c);
+        }));
+    }
+    warm.wait();
+    machine.sync();
+    let sends0 = machine.msg_stats.sends();
+    let t0 = machine.sync();
+    go.wait();
+    done.wait();
+    let cycles = machine.sync() - t0;
+    let sends = machine.msg_stats.sends() - sends0;
+    exit.wait();
+    for j in joins {
+        j.join().unwrap();
+    }
+    let ops = (WORKERS * rounds * 7) as f64;
+    Phase {
+        rpcs_per_op: sends as f64 / 2.0 / ops,
+        cycles_per_op: cycles as f64 / ops,
+    }
+}
+
+struct Row {
+    name: &'static str,
+    pre: Phase,
+    post: Phase,
+    migrated: bool,
+}
+
+fn measure(name: &'static str, techniques: Techniques, cores: usize) -> Row {
+    let rounds = iters();
+    // Split configuration: half the cores run dedicated servers, half run
+    // the workers.
+    let mut cfg = HareConfig::split(cores, cores / 2);
+    cfg.techniques = techniques;
+    let nservers = cfg.nservers();
+    let inst = HareInstance::start(cfg);
+
+    // The hot server: the spool's shard in the (distributed) root. Every
+    // background directory is pinned to the same server, so it serializes
+    // spool churn *and* background stats until the spool migrates.
+    let setup = inst.new_client(inst.config().app_cores[0]).unwrap();
+    let hot = dentry_shard(InodeId::ROOT, true, "spool", nservers);
+    let spool = "/spool".to_string();
+    setup
+        .mkdir_opts(&spool, Mode::default(), MkdirOpts::default())
+        .unwrap();
+    let mut bg_dirs = Vec::new();
+    for w in 0..WORKERS {
+        let dir = format!(
+            "/{}",
+            pinned_name(InodeId::ROOT, true, &format!("bg{w}x"), hot, nservers)
+        );
+        setup
+            .mkdir_opts(&dir, Mode::default(), MkdirOpts::default())
+            .unwrap();
+        for f in 0..4 {
+            fsapi::write_file(&setup, &format!("{dir}/f{f}"), b"payload").unwrap();
+        }
+        bg_dirs.push(dir);
+    }
+    assert_eq!(setup.stat(&spool).unwrap().server, hot);
+
+    let pre = run_phase(&inst, &spool, &bg_dirs, rounds);
+
+    // One load-aware rebalance pass: reads every server's counters, finds
+    // the hot server's dominant directory (the spool), and migrates its
+    // shard to the least-loaded server. A no-op with `rebalancing` off.
+    let plan = setup.rebalance_once(&RebalancePolicy::default()).unwrap();
+    let migrated = plan.is_some();
+    if let Some(p) = plan {
+        assert_eq!(p.from, hot, "the spool's server must be the hot one");
+        assert_ne!(p.to, hot);
+        assert_eq!(setup.dir_owner(&spool).unwrap(), p.to);
+    }
+
+    let post = run_phase(&inst, &spool, &bg_dirs, rounds);
+    drop(setup);
+    inst.shutdown();
+
+    Row {
+        name,
+        pre,
+        post,
+        migrated,
+    }
+}
+
+fn main() {
+    let cores = hare_bench::max_cores().min(8);
+    let rows = [
+        measure("all", Techniques::default(), cores),
+        measure("no rebalancing", Techniques::without("rebalancing"), cores),
+    ];
+
+    println!(
+        "micro_skew: hot-directory workload, before/after rebalance \
+         ({cores} cores, {} dedicated servers)\n",
+        cores / 2
+    );
+    let mut t = hare_bench::Table::new(&[
+        "configuration",
+        "pre RPCs/op",
+        "pre cycles/op",
+        "post RPCs/op",
+        "post cycles/op",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.name.to_string(),
+            format!("{:.2}", r.pre.rpcs_per_op),
+            format!("{:.0}", r.pre.cycles_per_op),
+            format!("{:.2}", r.post.rpcs_per_op),
+            format!("{:.0}", r.post.cycles_per_op),
+        ]);
+    }
+    t.print();
+
+    let configs: Vec<hare_bench::BenchConfig> = rows
+        .iter()
+        .map(|r| hare_bench::BenchConfig {
+            name: r.name.to_string(),
+            metrics: vec![
+                ("skew_pre_rpcs_per_op".into(), r.pre.rpcs_per_op),
+                ("skew_pre_cycles_per_op".into(), r.pre.cycles_per_op),
+                ("skew_post_rpcs_per_op".into(), r.post.rpcs_per_op),
+                ("skew_post_cycles_per_op".into(), r.post.cycles_per_op),
+            ],
+        })
+        .collect();
+    hare_bench::perf_gate("micro_skew", &configs);
+    let json = hare_bench::bench_json("micro_skew", cores, &configs);
+    std::fs::write("BENCH_micro_skew.json", &json).expect("write BENCH_micro_skew.json");
+    println!("\nwrote BENCH_micro_skew.json");
+
+    // The whole point of rebalancing: the hot-directory workload must
+    // improve after the spool's shard migrates off the loaded server, and
+    // the ablated configuration must not migrate at all.
+    assert!(rows[0].migrated, "the rebalancer must migrate the spool");
+    assert!(
+        !rows[1].migrated,
+        "rebalancing off: the pass must be a no-op"
+    );
+    assert!(
+        rows[0].post.cycles_per_op < rows[0].pre.cycles_per_op,
+        "migrating the hot directory must relieve the bottleneck ({:.0} -> {:.0} cycles/op)",
+        rows[0].pre.cycles_per_op,
+        rows[0].post.cycles_per_op
+    );
+    // Redirect amortization: the post-migration protocol may cost at most
+    // one extra bounce per fresh worker, far under half an RPC per op.
+    assert!(
+        rows[0].post.rpcs_per_op < rows[0].pre.rpcs_per_op + 0.05,
+        "redirects must stay amortized ({:.3} -> {:.3} RPCs/op)",
+        rows[0].pre.rpcs_per_op,
+        rows[0].post.rpcs_per_op
+    );
+}

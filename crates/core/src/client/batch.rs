@@ -113,7 +113,12 @@ impl ClientLib {
                 run,
                 true,
             );
-            abort = replies.iter().any(|r| r.is_err());
+            // A NotOwner redirect did not execute its entry: later runs
+            // must not run ahead of the re-routed one (same rule as the
+            // server-side fail-fast skip).
+            abort = replies
+                .iter()
+                .any(|r| r.is_err() || matches!(r, Ok(crate::proto::Reply::NotOwner { .. })));
             out.extend(replies);
         }
         debug_assert_eq!(out.len(), total);
@@ -191,7 +196,7 @@ impl ClientLib {
                     continue;
                 }
                 let r = self.call(server, req);
-                abort = r.is_err();
+                abort = r.is_err() || matches!(r, Ok(crate::proto::Reply::NotOwner { .. }));
                 out.push(r);
             }
             return out;

@@ -1,0 +1,169 @@
+//! The client half of the dynamic placement subsystem: the live-migration
+//! driver and the load-aware rebalancer (see `crate::placement` for the
+//! routing model and the protocol walkthrough).
+//!
+//! Migration is composed from single-server RPCs like every other
+//! multi-server protocol in Hare: `MigrateBegin` at the source (parks the
+//! shard), `MigrateInstall` at the destination, `MigrateCommit` back at
+//! the source (which starts redirecting and replays parked operations).
+//! The rebalancer reads every server's load counters in one grouped
+//! exchange, asks [`crate::placement::plan_rebalance`] for a decision, and
+//! drives the migration it returns. Everything here is a no-op with the
+//! `rebalancing` technique off, so the ablation (and every pinned exchange
+//! count) sees the static system.
+
+use super::{expect_reply, ClientLib};
+use crate::placement::{plan_rebalance, LoadReport, MigrationPlan, RebalancePolicy};
+use crate::proto::{Reply, Request};
+use crate::types::{InodeId, ServerId};
+use fsapi::{Errno, FsResult};
+
+impl ClientLib {
+    /// Reads every server's load counters (total operations served plus
+    /// hottest directories) in one grouped exchange. With `reset`, the
+    /// counters restart so successive probes cover disjoint windows.
+    pub fn server_loads(&self, reset: bool) -> FsResult<Vec<LoadReport>> {
+        let reqs: Vec<(ServerId, Request)> = (0..self.servers.len() as ServerId)
+            .map(|s| (s, Request::LoadReport { reset }))
+            .collect();
+        let mut out = Vec::with_capacity(reqs.len());
+        for (server, r) in self.call_grouped(reqs, false).into_iter().enumerate() {
+            let (ops, hot_dirs) =
+                expect_reply!(r, Reply::Load { ops, hot_dirs } => (ops, hot_dirs))?;
+            out.push(LoadReport {
+                server: server as ServerId,
+                ops,
+                hot_dirs,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Migrates the dentry shard of the **centralized** directory at
+    /// `path` to server `to`. Returns `Ok(false)` without touching
+    /// anything when the `rebalancing` technique is off or the directory
+    /// already lives at `to`; errors if the path is not a centralized
+    /// directory (distributed directories have no single shard to move)
+    /// or the migration loses to a concurrent removal.
+    pub fn migrate_dir(&self, path: &str, to: ServerId) -> FsResult<bool> {
+        if !self.params.techniques.rebalancing {
+            return Ok(false);
+        }
+        self.syscall();
+        let mut st = self.state.lock();
+        let comps = fsapi::path::components(path)?;
+        let dir = self.resolve_dir(&mut st, &comps)?;
+        drop(st);
+        if dir.ino == InodeId::ROOT {
+            return Err(Errno::EBUSY);
+        }
+        if dir.dist {
+            return Err(Errno::EINVAL);
+        }
+        self.drive_migration(dir.ino, to)
+    }
+
+    /// One rebalancing pass: probe every server's load, nominate the hot
+    /// server's dominant directories, and drive the first migratable one
+    /// to the least-loaded server. Returns the migration performed, if
+    /// any. No-op (`Ok(None)`) with the `rebalancing` technique off, when
+    /// the load is balanced, or when no candidate turns out migratable —
+    /// a hot-but-unmigratable directory (distributed, concurrently
+    /// removed, or racing an rmdir) is skipped, not allowed to mask a
+    /// migratable runner-up.
+    pub fn rebalance_once(&self, policy: &RebalancePolicy) -> FsResult<Option<MigrationPlan>> {
+        if !self.params.techniques.rebalancing {
+            return Ok(None);
+        }
+        let reports = self.server_loads(true)?;
+        for plan in plan_rebalance(&reports, policy) {
+            match self.drive_migration(plan.dir, plan.to) {
+                Ok(true) => return Ok(Some(plan)),
+                // Not migratable after all (the source refused:
+                // distributed or already gone; EAGAIN: lost a race with an
+                // rmdir or another migration) — try the next candidate.
+                Ok(false) | Err(Errno::EINVAL) | Err(Errno::ENOENT) | Err(Errno::ENOTDIR)
+                | Err(Errno::EAGAIN) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Drives one migration of `dir`'s shard to `to`, following `NotOwner`
+    /// redirects to find the current source. Returns whether a migration
+    /// actually happened (`Ok(false)` when the shard already lives at
+    /// `to`).
+    pub(crate) fn drive_migration(&self, dir: InodeId, to: ServerId) -> FsResult<bool> {
+        if (to as usize) >= self.servers.len() {
+            return Err(Errno::EINVAL);
+        }
+        for _ in 0..self.servers.len() + 2 {
+            let from = self.dir_home_of(dir);
+            if from == to {
+                return Ok(false);
+            }
+            match self.call(from, Request::MigrateBegin { dir }) {
+                Ok(Reply::NotOwner {
+                    dir: d,
+                    epoch,
+                    owner,
+                }) => {
+                    if !self.learn_owner(d, owner, epoch) {
+                        return Err(Errno::EIO);
+                    }
+                }
+                Ok(Reply::MigrateSnapshot { epoch, entries }) => {
+                    let epoch = epoch + 1;
+                    match self.call(
+                        to,
+                        Request::MigrateInstall {
+                            dir,
+                            epoch,
+                            entries,
+                        },
+                    ) {
+                        Ok(Reply::Unit) => {
+                            self.call_unit(from, Request::MigrateCommit { dir, epoch, to })?;
+                            self.learn_owner(dir, to, epoch);
+                            return Ok(true);
+                        }
+                        other => {
+                            // Unwind: clear the source's migrating mark so
+                            // the parked operations replay against the
+                            // unchanged shard.
+                            let _ = self.call(from, Request::MigrateAbort { dir });
+                            return match other {
+                                Ok(_) => Err(Errno::EIO),
+                                Err(e) => Err(e),
+                            };
+                        }
+                    }
+                }
+                Ok(other) => {
+                    debug_assert!(false, "protocol mismatch: {other:?}");
+                    return Err(Errno::EIO);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(Errno::EIO)
+    }
+
+    /// Resolves `path` and reports the server currently holding its
+    /// dentry-shard home (diagnostics for examples and tests; for a
+    /// migrated centralized directory this is the override owner).
+    pub fn dir_owner(&self, path: &str) -> FsResult<ServerId> {
+        let mut st = self.state.lock();
+        let comps = fsapi::path::components(path)?;
+        let dir = self.resolve_dir(&mut st, &comps)?;
+        drop(st);
+        Ok(self.dir_home_of(dir.ino))
+    }
+
+    /// Test/diagnostic hook: number of placement overrides this client has
+    /// learned.
+    pub fn routing_overrides(&self) -> usize {
+        self.routing.lock().len()
+    }
+}

@@ -11,11 +11,13 @@ pub mod dircache;
 mod engine;
 pub mod fd;
 mod io;
+mod migrate;
 mod ops;
 mod resolve;
 
 use crate::config::Techniques;
 use crate::machine::{Entity, Machine};
+use crate::placement::RoutingTable;
 use crate::proto::{Reply, Request, WireReply};
 use crate::rpc::{self, ServerHandle};
 use crate::types::{ClientId, InodeId, ServerId};
@@ -64,6 +66,13 @@ pub struct ClientLib {
     /// (paper §3.6.4: "each client library has a designated local server").
     pub(crate) local_server: ServerId,
     pub(crate) state: Mutex<ClientState>,
+    /// This client's copy of the epoch-versioned routing table (the
+    /// dynamic placement subsystem, `crate::placement`). Starts at epoch 0
+    /// — the paper's hash — and learns placement overrides from `NotOwner`
+    /// redirects, so a stale route costs one extra exchange per migrated
+    /// directory. Its own lock (not `state`): routing is consulted from
+    /// paths that hold the state lock and paths that do not.
+    pub(crate) routing: Mutex<RoutingTable>,
     detached: AtomicBool,
 }
 
@@ -90,6 +99,7 @@ impl ClientLib {
                 fds: ClientFdTable::default(),
                 dircache: DirCache::new(inval_rx, dircache_capacity),
             }),
+            routing: Mutex::new(RoutingTable::new()),
             detached: AtomicBool::new(false),
         };
         // Registration fan-out: one RPC per server, overlapped like a
@@ -181,11 +191,60 @@ impl ClientLib {
 
     // ----- Placement -------------------------------------------------------
 
-    /// The dentry shard server for `name` in `dir` (see
-    /// [`crate::types::dentry_shard`] — the one routing function shared
-    /// with the servers' chained-resolution walk).
+    /// The dentry shard server for `name` in `dir`: this client's routing
+    /// table, which defaults to [`crate::types::dentry_shard`] (the one
+    /// routing function shared with the servers' chained-resolution walk)
+    /// and overlays the placement overrides learned from `NotOwner`
+    /// redirects.
     pub(crate) fn shard_of(&self, dir: InodeId, dist: bool, name: &str) -> ServerId {
-        crate::types::dentry_shard(dir, dist, name, self.servers.len())
+        self.routing
+            .lock()
+            .route(dir, dist, name, self.servers.len())
+    }
+
+    /// The server holding a centralized directory's entries, per this
+    /// client's routing table (override or home).
+    pub(crate) fn dir_home_of(&self, dir: InodeId) -> ServerId {
+        self.routing.lock().dir_home(dir)
+    }
+
+    /// Folds a `NotOwner` redirect into the routing table. Returns whether
+    /// the redirect was news (an equal-or-older epoch is ignored — and a
+    /// no-news redirect means re-sending would loop, since the route that
+    /// produced it is unchanged).
+    pub(crate) fn learn_owner(&self, dir: InodeId, owner: ServerId, epoch: u64) -> bool {
+        self.routing.lock().learn(dir, owner, epoch)
+    }
+
+    /// Issues an entry RPC routed by `(dir, dist, name)`, following
+    /// `NotOwner` redirects: each redirect is folded into the routing
+    /// table and the request (rebuilt by `mk`) retried at the named owner.
+    /// A stale route costs one extra exchange per migrated directory; the
+    /// retry bound only guards against a corrupted redirect chain.
+    pub(crate) fn call_entry(
+        &self,
+        dir: InodeId,
+        dist: bool,
+        name: &str,
+        mk: impl Fn(&ClientLib) -> Request,
+    ) -> WireReply {
+        for _ in 0..self.servers.len() + 2 {
+            let server = self.shard_of(dir, dist, name);
+            match self.call(server, mk(self)) {
+                Ok(Reply::NotOwner {
+                    dir: d,
+                    epoch,
+                    owner,
+                }) => {
+                    if !self.learn_owner(d, owner, epoch) {
+                        // No news: the route is unchanged, retrying loops.
+                        return Err(Errno::EIO);
+                    }
+                }
+                other => return other,
+            }
+        }
+        Err(Errno::EIO)
     }
 
     /// Where to place a newly created inode (creation affinity §3.6.4):

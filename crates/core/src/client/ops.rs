@@ -152,17 +152,13 @@ impl ClientLib {
             Some(Cached::Neg) => return Err(Errno::ENOENT),
             None => {}
         }
-        let shard = self.shard_of(dir.ino, dir.dist, name);
         let got = expect_reply!(
-            self.call(
-                shard,
-                Request::LookupOpen {
-                    client: self.params.id,
-                    dir: dir.ino,
-                    name: name.to_string(),
-                    flags,
-                },
-            ),
+            self.call_entry(dir.ino, dir.dist, name, |lib| Request::LookupOpen {
+                client: lib.params.id,
+                dir: dir.ino,
+                name: name.to_string(),
+                flags,
+            }),
             Reply::LookupOpened { target, ftype, dist, open } =>
                 (CachedDentry { target, ftype, dist }, open)
         );
@@ -222,12 +218,18 @@ impl ClientLib {
         mode: Mode,
     ) -> FsResult<u32> {
         fsapi::path::validate_name(name)?;
-        let dentry_server = self.shard_of(dir.ino, dir.dist, name);
-        let inode_server = self.inode_server_for_create(dentry_server);
+        // The placement decision (coalesce at the dentry shard vs. place
+        // the inode near the creator) depends on the routed shard, so a
+        // NotOwner redirect restarts the decision under the updated table
+        // — new files under a migrated directory coalesce at its new
+        // owner. Every accepted redirect raises the directory's epoch, so
+        // the retry loop terminates.
+        for _ in 0..self.nservers() + 2 {
+            let dentry_server = self.shard_of(dir.ino, dir.dist, name);
+            let inode_server = self.inode_server_for_create(dentry_server);
 
-        if inode_server == dentry_server {
-            let (ino, open) = expect_reply!(
-                self.call(
+            if inode_server == dentry_server {
+                let got = match self.call(
                     inode_server,
                     Request::Create {
                         client: self.params.id,
@@ -237,57 +239,21 @@ impl ClientLib {
                         add_map: Some((dir.ino, name.to_string())),
                         open: Some(flags),
                     },
-                ),
-                Reply::Created { ino, open } => (ino, open)
-            )?;
-            let open = open.ok_or(Errno::EIO)?;
-            if self.params.techniques.dircache {
-                st.dircache.insert(
-                    dir.ino,
-                    name,
-                    CachedDentry {
-                        target: ino,
-                        ftype: FileType::Regular,
-                        dist: false,
-                    },
-                );
-            }
-            return self.install_fd(st, ino, open, flags);
-        }
-
-        // Affinity placement: inode near the creator, entry at its shard.
-        let (ino, open) = expect_reply!(
-            self.call(
-                inode_server,
-                Request::Create {
-                    client: self.params.id,
-                    ftype: FileType::Regular,
-                    mode,
-                    dist: false,
-                    add_map: None,
-                    open: Some(flags),
-                },
-            ),
-            Reply::Created { ino, open } => (ino, open)
-        )?;
-        let open = open.ok_or(Errno::EIO)?;
-        let added = expect_reply!(
-            self.call(
-                dentry_server,
-                Request::AddMap {
-                    client: self.params.id,
-                    dir: dir.ino,
-                    name: name.to_string(),
-                    target: ino,
-                    ftype: FileType::Regular,
-                    dist: false,
-                    replace: false,
-                },
-            ),
-            Reply::AddMapped { replaced } => replaced
-        );
-        match added {
-            Ok(_) => {
+                ) {
+                    Ok(Reply::NotOwner {
+                        dir: d,
+                        epoch,
+                        owner,
+                    }) => {
+                        if !self.learn_owner(d, owner, epoch) {
+                            return Err(Errno::EIO);
+                        }
+                        continue;
+                    }
+                    r => expect_reply!(r, Reply::Created { ino, open } => (ino, open)),
+                };
+                let (ino, open) = got?;
+                let open = open.ok_or(Errno::EIO)?;
                 if self.params.techniques.dircache {
                     st.dircache.insert(
                         dir.ino,
@@ -299,21 +265,69 @@ impl ClientLib {
                         },
                     );
                 }
-                self.install_fd(st, ino, open, flags)
+                return self.install_fd(st, ino, open, flags);
             }
-            Err(e) => {
-                // Undo the orphaned inode (lost race or vanished directory).
-                let _ = self.call(
-                    ino.server,
-                    Request::CloseFd {
-                        fd: open.fd,
-                        size: None,
+
+            // Affinity placement: inode near the creator, entry at its
+            // shard (the ADD_MAP follows redirects via call_entry).
+            let (ino, open) = expect_reply!(
+                self.call(
+                    inode_server,
+                    Request::Create {
+                        client: self.params.id,
+                        ftype: FileType::Regular,
+                        mode,
+                        dist: false,
+                        add_map: None,
+                        open: Some(flags),
                     },
-                );
-                let _ = self.call(ino.server, Request::LinkDecref { num: ino.num });
-                Err(e)
-            }
+                ),
+                Reply::Created { ino, open } => (ino, open)
+            )?;
+            let open = open.ok_or(Errno::EIO)?;
+            let added = expect_reply!(
+                self.call_entry(dir.ino, dir.dist, name, |lib| Request::AddMap {
+                    client: lib.params.id,
+                    dir: dir.ino,
+                    name: name.to_string(),
+                    target: ino,
+                    ftype: FileType::Regular,
+                    dist: false,
+                    replace: false,
+                }),
+                Reply::AddMapped { replaced } => replaced
+            );
+            return match added {
+                Ok(_) => {
+                    if self.params.techniques.dircache {
+                        st.dircache.insert(
+                            dir.ino,
+                            name,
+                            CachedDentry {
+                                target: ino,
+                                ftype: FileType::Regular,
+                                dist: false,
+                            },
+                        );
+                    }
+                    self.install_fd(st, ino, open, flags)
+                }
+                Err(e) => {
+                    // Undo the orphaned inode (lost race or vanished
+                    // directory).
+                    let _ = self.call(
+                        ino.server,
+                        Request::CloseFd {
+                            fd: open.fd,
+                            size: None,
+                        },
+                    );
+                    let _ = self.call(ino.server, Request::LinkDecref { num: ino.num });
+                    Err(e)
+                }
+            };
         }
+        Err(Errno::EIO)
     }
 
     /// Installs a client descriptor for a server-side open, applying the
@@ -352,17 +366,13 @@ impl ClientLib {
         self.syscall();
         let mut st = self.state.lock();
         let (dir, name) = self.resolve_parent(&mut st, path)?;
-        let server = self.shard_of(dir.ino, dir.dist, name);
         let (target, _ftype) = expect_reply!(
-            self.call(
-                server,
-                Request::RmMap {
-                    client: self.params.id,
-                    dir: dir.ino,
-                    name: name.to_string(),
-                    must_be_file: true,
-                },
-            ),
+            self.call_entry(dir.ino, dir.dist, name, |lib| Request::RmMap {
+                client: lib.params.id,
+                dir: dir.ino,
+                name: name.to_string(),
+                must_be_file: true,
+            }),
             Reply::RmMapped { target, ftype } => (target, ftype)
         )?;
         st.dircache.remove(dir.ino, name);
@@ -377,12 +387,14 @@ impl ClientLib {
         let (dir, name) = self.resolve_parent(&mut st, path)?;
         fsapi::path::validate_name(name)?;
         let dist = self.effective_dist(opts.distributed);
-        let dentry_server = self.shard_of(dir.ino, dir.dist, name);
-        let home_server = self.inode_server_for_create(dentry_server);
+        // Like create_file: a NotOwner redirect on the coalesced form
+        // restarts the placement decision under the updated table.
+        for _ in 0..self.nservers() + 2 {
+            let dentry_server = self.shard_of(dir.ino, dir.dist, name);
+            let home_server = self.inode_server_for_create(dentry_server);
 
-        if home_server == dentry_server {
-            let ino = expect_reply!(
-                self.call(
+            if home_server == dentry_server {
+                let got = match self.call(
                     home_server,
                     Request::Create {
                         client: self.params.id,
@@ -392,54 +404,20 @@ impl ClientLib {
                         add_map: Some((dir.ino, name.to_string())),
                         open: None,
                     },
-                ),
-                Reply::Created { ino, .. } => ino
-            )?;
-            if self.params.techniques.dircache {
-                st.dircache.insert(
-                    dir.ino,
-                    name,
-                    CachedDentry {
-                        target: ino,
-                        ftype: FileType::Directory,
-                        dist,
-                    },
-                );
-            }
-            return Ok(());
-        }
-
-        let ino = expect_reply!(
-            self.call(
-                home_server,
-                Request::Create {
-                    client: self.params.id,
-                    ftype: FileType::Directory,
-                    mode,
-                    dist,
-                    add_map: None,
-                    open: None,
-                },
-            ),
-            Reply::Created { ino, .. } => ino
-        )?;
-        let added = expect_reply!(
-            self.call(
-                dentry_server,
-                Request::AddMap {
-                    client: self.params.id,
-                    dir: dir.ino,
-                    name: name.to_string(),
-                    target: ino,
-                    ftype: FileType::Directory,
-                    dist,
-                    replace: false,
-                },
-            ),
-            Reply::AddMapped { replaced } => replaced
-        );
-        match added {
-            Ok(_) => {
+                ) {
+                    Ok(Reply::NotOwner {
+                        dir: d,
+                        epoch,
+                        owner,
+                    }) => {
+                        if !self.learn_owner(d, owner, epoch) {
+                            return Err(Errno::EIO);
+                        }
+                        continue;
+                    }
+                    r => expect_reply!(r, Reply::Created { ino, .. } => ino),
+                };
+                let ino = got?;
                 if self.params.techniques.dircache {
                     st.dircache.insert(
                         dir.ino,
@@ -451,13 +429,57 @@ impl ClientLib {
                         },
                     );
                 }
-                Ok(())
+                return Ok(());
             }
-            Err(e) => {
-                let _ = self.call(ino.server, Request::LinkDecref { num: ino.num });
-                Err(e)
-            }
+
+            let ino = expect_reply!(
+                self.call(
+                    home_server,
+                    Request::Create {
+                        client: self.params.id,
+                        ftype: FileType::Directory,
+                        mode,
+                        dist,
+                        add_map: None,
+                        open: None,
+                    },
+                ),
+                Reply::Created { ino, .. } => ino
+            )?;
+            let added = expect_reply!(
+                self.call_entry(dir.ino, dir.dist, name, |lib| Request::AddMap {
+                    client: lib.params.id,
+                    dir: dir.ino,
+                    name: name.to_string(),
+                    target: ino,
+                    ftype: FileType::Directory,
+                    dist,
+                    replace: false,
+                }),
+                Reply::AddMapped { replaced } => replaced
+            );
+            return match added {
+                Ok(_) => {
+                    if self.params.techniques.dircache {
+                        st.dircache.insert(
+                            dir.ino,
+                            name,
+                            CachedDentry {
+                                target: ino,
+                                ftype: FileType::Directory,
+                                dist,
+                            },
+                        );
+                    }
+                    Ok(())
+                }
+                Err(e) => {
+                    let _ = self.call(ino.server, Request::LinkDecref { num: ino.num });
+                    Err(e)
+                }
+            };
         }
+        Err(Errno::EIO)
     }
 
     // ----- rmdir -----------------------------------------------------------
@@ -476,25 +498,38 @@ impl ClientLib {
         let dir = d.target;
         let dist = d.dist && self.params.techniques.distribution;
 
-        if !dist {
+        // A migrated centralized directory's entries and inode live on
+        // different servers, so the single-message removal no longer
+        // applies: the three-phase protocol checks every server (the
+        // override owner reports its entries, the home server destroys the
+        // inode on commit). A client that does not yet know about the
+        // migration learns it from the central attempt's NotOwner.
+        let migrated = self.routing.lock().override_of(dir).is_some();
+        if !dist && !migrated {
             // Centralized: a single atomic message to the home server.
-            self.call_unit(dir.server, Request::RmdirCentral { dir })?;
+            match self.call(dir.server, Request::RmdirCentral { dir }) {
+                Ok(Reply::NotOwner {
+                    dir: rd,
+                    epoch,
+                    owner,
+                }) => {
+                    self.learn_owner(rd, owner, epoch);
+                    self.run_op(&mut st, RmdirDistOp::new(dir, self.nservers()))??;
+                }
+                r => expect_reply!(r, Reply::Unit => ())?,
+            }
         } else {
             self.run_op(&mut st, RmdirDistOp::new(dir, self.nservers()))??;
         }
 
         // Remove the entry from the parent and drop the cached dentry.
-        let shard = self.shard_of(parent.ino, parent.dist, name);
         let _ = expect_reply!(
-            self.call(
-                shard,
-                Request::RmMap {
-                    client: self.params.id,
-                    dir: parent.ino,
-                    name: name.to_string(),
-                    must_be_file: false,
-                },
-            ),
+            self.call_entry(parent.ino, parent.dist, name, |lib| Request::RmMap {
+                client: lib.params.id,
+                dir: parent.ino,
+                name: name.to_string(),
+                must_be_file: false,
+            }),
             Reply::RmMapped { target, ftype } => (target, ftype)
         )?;
         st.dircache.remove(parent.ino, name);
@@ -532,34 +567,23 @@ impl ClientLib {
         // The engine's ordered step keeps exactly that order — and when
         // both names hash to the same shard server, the pair travels as
         // one batched exchange instead of two RPCs. The displaced target's
-        // link-decref (if any) is the op's optional third step.
-        let new_shard = self.shard_of(new_dir.ino, new_dir.dist, new_name);
-        let old_shard = self.shard_of(old_dir.ino, old_dir.dist, old_name);
+        // link-decref (if any) is the op's optional third step. Shards are
+        // routed at emit time so a NotOwner redirect (a parent's shard
+        // migrated) re-issues just the bounced half at the new owner.
         self.run_op(
             &mut st,
             RenameCommitOp {
-                add: Some((
-                    new_shard,
-                    Request::AddMap {
-                        client: self.params.id,
-                        dir: new_dir.ino,
-                        name: new_name.to_string(),
-                        target: d.target,
-                        ftype: d.ftype,
-                        dist: d.dist,
-                        replace: true,
-                    },
-                )),
-                rm: Some((
-                    old_shard,
-                    Request::RmMap {
-                        client: self.params.id,
-                        dir: old_dir.ino,
-                        name: old_name.to_string(),
-                        must_be_file: false,
-                    },
-                )),
-                decref_sent: false,
+                new_dir,
+                new_name,
+                old_dir,
+                old_name,
+                moved: d,
+                sent: RenameSent::Nothing,
+                add_done: false,
+                rm_done: false,
+                replaced: None,
+                failed: None,
+                redirects: 2 * self.nservers() as u32 + 2,
             },
         )??;
 
@@ -573,6 +597,18 @@ impl ClientLib {
     // ----- readdir ---------------------------------------------------------
 
     pub(crate) fn readdir_impl(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        Ok(self
+            .readdir_inner(path, false)?
+            .into_iter()
+            .map(|(e, _)| e)
+            .collect())
+    }
+
+    /// The shared listing walk behind `readdir` and `readdir_plus`: each
+    /// entry comes back with the stat the fused `List` terminal prefetched
+    /// for it, if any (`plus` asks the final chain server to stat every
+    /// listed entry whose inode it stores).
+    fn readdir_inner(&self, path: &str, plus: bool) -> FsResult<Vec<(DirEntry, Option<Stat>)>> {
         self.syscall();
         let mut st = self.state.lock();
         let comps = fsapi::path::components(path)?;
@@ -583,18 +619,23 @@ impl ClientLib {
         // centralized directory listed by its own home server costs no
         // fan-out round at all.
         let t = &self.params.techniques;
-        let mut pre: Option<(ServerId, Vec<DirEntry>)> = None;
+        let mut pre: Option<(ServerId, Vec<DirEntry>, Vec<Option<Stat>>)> = None;
         let dir = if !comps.is_empty() && t.chained_resolution && t.fused_terminal {
             let out = self.run_op(
                 &mut st,
-                FusedPathOp::new(self.root_ref(), &comps, TerminalOp::List),
+                FusedPathOp::new(self.root_ref(), &comps, TerminalOp::List { plus }),
             )?;
             let d = out.dentry.ok_or(Errno::ENOENT)?;
             if d.ftype != FileType::Directory {
                 return Err(Errno::ENOTDIR);
             }
-            if let Some(TerminalReply::List { server, entries }) = out.term {
-                pre = Some((server, entries));
+            if let Some(TerminalReply::List {
+                server,
+                entries,
+                stats,
+            }) = out.term
+            {
+                pre = Some((server, entries, stats));
             }
             DirRef {
                 ino: d.target,
@@ -605,6 +646,17 @@ impl ClientLib {
         };
         drop(st);
 
+        let with_stats = |entries: Vec<DirEntry>, stats: Vec<Option<Stat>>| {
+            let mut stats = stats.into_iter();
+            entries
+                .into_iter()
+                .map(|e| {
+                    let s = stats.next().flatten();
+                    (e, s)
+                })
+                .collect::<Vec<_>>()
+        };
+
         if dir.dist {
             // Distributed: fan out to all servers through the batched
             // transport — one exchange per server with batching on, N
@@ -612,31 +664,54 @@ impl ClientLib {
             // it off. The shard that rode the resolution chain is skipped.
             let reqs: Vec<(ServerId, Request)> = (0..self.servers.len())
                 .map(|s| s as ServerId)
-                .filter(|s| pre.as_ref().is_none_or(|(ps, _)| s != ps))
+                .filter(|s| pre.as_ref().is_none_or(|(ps, _, _)| s != ps))
                 .map(|s| (s, Request::ListShard { dir: dir.ino }))
                 .collect();
             let shards = self.call_grouped(reqs, false);
-            let mut out = pre.map(|(_, entries)| entries).unwrap_or_default();
+            let mut out = pre
+                .map(|(_, entries, stats)| with_stats(entries, stats))
+                .unwrap_or_default();
             for s in shards {
                 let entries = expect_reply!(s, Reply::Shard { entries } => entries)?;
-                out.extend(entries);
+                out.extend(entries.into_iter().map(|e| (e, None)));
             }
             self.charge(20 * out.len() as u64);
-            out.sort();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
             Ok(out)
         } else {
-            // Centralized: everything lives at the home server. If that is
-            // the server that answered the chain, the listing is already
-            // here; otherwise one ListShard round trip.
-            let mut out = match pre {
-                Some((server, entries)) if server == dir.ino.server => entries,
-                _ => expect_reply!(
-                    self.call(dir.ino.server, Request::ListShard { dir: dir.ino }),
-                    Reply::Shard { entries } => entries
-                )?,
+            // Centralized: everything lives at the directory's home per
+            // the routing table (a migrated directory's entries follow the
+            // override). If that is the server that answered the chain,
+            // the listing is already here; otherwise one ListShard round
+            // trip — following NotOwner redirects (bounded like every
+            // other redirect loop), since a stale route lands on a server
+            // that migrated the shard away.
+            let mut redirects = self.nservers() + 2;
+            let mut out = loop {
+                let home = self.dir_home_of(dir.ino);
+                if let Some((server, entries, stats)) = pre.take_if(|(s, _, _)| *s == home) {
+                    debug_assert_eq!(server, home);
+                    break with_stats(entries, stats);
+                }
+                match self.call(home, Request::ListShard { dir: dir.ino }) {
+                    Ok(Reply::NotOwner {
+                        dir: d,
+                        epoch,
+                        owner,
+                    }) => {
+                        if !self.learn_owner(d, owner, epoch) || redirects == 0 {
+                            return Err(Errno::EIO);
+                        }
+                        redirects -= 1;
+                    }
+                    r => {
+                        let entries = expect_reply!(r, Reply::Shard { entries } => entries)?;
+                        break entries.into_iter().map(|e| (e, None)).collect();
+                    }
+                }
             };
             self.charge(20 * out.len() as u64);
-            out.sort();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
             Ok(out)
         }
     }
@@ -692,16 +767,12 @@ impl ClientLib {
         // one round trip to the dentry shard resolves the name and — when
         // the inode lives there too — returns the metadata, for depth+1
         // RPCs instead of depth+2.
-        let shard = self.shard_of(dir.ino, dir.dist, name);
         let got = expect_reply!(
-            self.call(
-                shard,
-                Request::LookupStat {
-                    client: self.params.id,
-                    dir: dir.ino,
-                    name: name.to_string(),
-                },
-            ),
+            self.call_entry(dir.ino, dir.dist, name, |lib| Request::LookupStat {
+                client: lib.params.id,
+                dir: dir.ino,
+                name: name.to_string(),
+            }),
             Reply::LookupStated { target, ftype, dist, stat } =>
                 (CachedDentry { target, ftype, dist }, stat)
         );
@@ -738,24 +809,32 @@ impl ClientLib {
     /// Lists a directory and stats every entry, using the batched transport
     /// to group the per-entry `StatInode`s by inode server: M entries
     /// spread over N servers cost N stat exchanges instead of M RPCs.
+    /// Entries whose stats rode the fused `List` terminal (their inodes
+    /// live on the final chain server) are excluded from the fan-out
+    /// entirely — on a deep path to a directory whose files were created
+    /// by their shard's server, the whole `ls -l` is the chain plus the
+    /// remaining shards.
     ///
     /// Entries whose stat fails are skipped rather than failing the whole
     /// listing — an entry can legitimately vanish between the `ListShard`
     /// fan-out and the stat (a concurrent unlink), exactly like `ls -l`
     /// dropping a file that disappears mid-listing.
     pub fn readdir_plus(&self, path: &str) -> FsResult<Vec<(DirEntry, Stat)>> {
-        let entries = self.readdir_impl(path)?;
+        let entries = self.readdir_inner(path, true)?;
         let reqs: Vec<(ServerId, Request)> = entries
             .iter()
-            .map(|e| (e.server, Request::StatInode { num: e.ino }))
+            .filter(|(_, s)| s.is_none())
+            .map(|(e, _)| (e.server, Request::StatInode { num: e.ino }))
             .collect();
-        let replies = self.call_grouped(reqs, false);
+        let mut replies = self.call_grouped(reqs, false).into_iter();
         Ok(entries
             .into_iter()
-            .zip(replies)
-            .filter_map(|(e, r)| match r {
-                Ok(Reply::Stat(s)) => Some((e, s)),
-                _ => None,
+            .filter_map(|(e, pre)| match pre {
+                Some(s) => Some((e, s)),
+                None => match replies.next() {
+                    Some(Ok(Reply::Stat(s))) => Some((e, s)),
+                    _ => None,
+                },
             })
             .collect())
     }
@@ -764,51 +843,190 @@ impl ClientLib {
 /// The mutation phase of rename, as an engine-driven state machine: the
 /// ordered (fail-fast) ADD_MAP + RM_MAP pair — one batched exchange when
 /// both names share a shard server — followed, when the ADD_MAP displaced
-/// an existing target, by that target's link-decref.
-struct RenameCommitOp {
-    add: Option<(ServerId, Request)>,
-    rm: Option<(ServerId, Request)>,
-    decref_sent: bool,
+/// an existing target, by that target's link-decref. Shards are routed at
+/// emit time through the client's routing table; a half answered
+/// `NotOwner` (its parent's shard migrated) is re-issued alone at the
+/// learned owner, so a migration mid-rename costs one extra exchange and
+/// never fails the operation.
+struct RenameCommitOp<'a> {
+    new_dir: DirRef,
+    new_name: &'a str,
+    old_dir: DirRef,
+    old_name: &'a str,
+    /// The dentry being renamed.
+    moved: CachedDentry,
+    sent: RenameSent,
+    add_done: bool,
+    rm_done: bool,
+    replaced: Option<(InodeId, FileType)>,
+    /// First protocol failure; carried to the end so cleanup still runs.
+    failed: Option<Errno>,
+    /// Redirect budget: both halves may bounce on the *same* migration
+    /// (one redirect is then no news to the table but still requires a
+    /// re-send), so unlike single-request paths the loop is bounded by a
+    /// count, not by epoch progress.
+    redirects: u32,
 }
 
-impl MultiStepOp for RenameCommitOp {
+/// What the previous step shipped.
+enum RenameSent {
+    Nothing,
+    Pair,
+    AddOnly,
+    RmOnly,
+    Decref,
+}
+
+impl RenameCommitOp<'_> {
+    fn add_request(&self, lib: &ClientLib) -> (ServerId, Request) {
+        (
+            lib.shard_of(self.new_dir.ino, self.new_dir.dist, self.new_name),
+            Request::AddMap {
+                client: lib.params.id,
+                dir: self.new_dir.ino,
+                name: self.new_name.to_string(),
+                target: self.moved.target,
+                ftype: self.moved.ftype,
+                dist: self.moved.dist,
+                replace: true,
+            },
+        )
+    }
+
+    fn rm_request(&self, lib: &ClientLib) -> (ServerId, Request) {
+        (
+            lib.shard_of(self.old_dir.ino, self.old_dir.dist, self.old_name),
+            Request::RmMap {
+                client: lib.params.id,
+                dir: self.old_dir.ino,
+                name: self.old_name.to_string(),
+                must_be_file: false,
+            },
+        )
+    }
+
+    /// Notes one redirect against the budget; an exhausted budget turns
+    /// into the protocol failure a corrupted redirect chain deserves.
+    fn note_redirect(&mut self, lib: &ClientLib, dir: InodeId, owner: ServerId, epoch: u64) {
+        lib.learn_owner(dir, owner, epoch);
+        if self.redirects == 0 {
+            self.failed = Some(Errno::EIO);
+            return;
+        }
+        self.redirects -= 1;
+    }
+
+    /// Absorbs the ADD_MAP half's reply; `step` rederives what to re-send
+    /// from the `add_done`/`rm_done`/`failed` flags this updates.
+    fn absorb_add(&mut self, lib: &ClientLib, reply: WireReply) {
+        if let Ok(Reply::NotOwner { dir, epoch, owner }) = &reply {
+            self.note_redirect(lib, *dir, *owner, *epoch);
+            return;
+        }
+        match expect_reply!(reply, Reply::AddMapped { replaced } => replaced) {
+            Ok(r) => {
+                self.add_done = true;
+                self.replaced = r;
+            }
+            Err(e) => self.failed = self.failed.or(Some(e)),
+        }
+    }
+
+    /// Absorbs the RM_MAP half's reply. An `EAGAIN` while the ADD_MAP has
+    /// neither succeeded nor failed is the fail-fast skip behind the
+    /// ADD_MAP's *redirect* (every transport skips ordered entries after a
+    /// NotOwner, preserving add-before-rm): the RM_MAP never executed and
+    /// stays pending, to be re-sent together with the re-routed ADD_MAP.
+    /// An `EAGAIN` after a failed ADD_MAP is the ordinary skip — the
+    /// ADD_MAP's error is the operation's.
+    fn absorb_rm(&mut self, lib: &ClientLib, reply: WireReply) {
+        if let Ok(Reply::NotOwner { dir, epoch, owner }) = &reply {
+            self.note_redirect(lib, *dir, *owner, *epoch);
+            return;
+        }
+        if self.failed.is_some() {
+            // Skipped (or moot) behind the ADD_MAP failure.
+            return;
+        }
+        if !self.add_done && matches!(reply, Err(Errno::EAGAIN)) {
+            // Skipped behind the ADD_MAP's redirect: still pending.
+            return;
+        }
+        match expect_reply!(reply, Reply::RmMapped { target, ftype } => (target, ftype)) {
+            Ok(_) => self.rm_done = true,
+            Err(e) => self.failed = Some(e),
+        }
+    }
+}
+
+impl MultiStepOp for RenameCommitOp<'_> {
     type Out = FsResult<()>;
 
     fn step(
         &mut self,
-        _lib: &ClientLib,
+        lib: &ClientLib,
         _st: &mut ClientState,
         replies: Option<Vec<WireReply>>,
     ) -> FsResult<Next<FsResult<()>>> {
-        if let (Some(add), Some(rm)) = (self.add.take(), self.rm.take()) {
-            return Ok(Next::Run(Step::Ordered(vec![add, rm])));
+        if let Some(rs) = replies {
+            let mut it = rs.into_iter();
+            match self.sent {
+                RenameSent::Nothing => return Err(Errno::EIO),
+                RenameSent::Pair => {
+                    let add = it.next().ok_or(Errno::EIO)?;
+                    let rm = it.next().ok_or(Errno::EIO)?;
+                    self.absorb_add(lib, add);
+                    self.absorb_rm(lib, rm);
+                }
+                RenameSent::AddOnly => {
+                    let add = it.next().ok_or(Errno::EIO)?;
+                    self.absorb_add(lib, add);
+                }
+                RenameSent::RmOnly => {
+                    let rm = it.next().ok_or(Errno::EIO)?;
+                    self.absorb_rm(lib, rm);
+                }
+                RenameSent::Decref => {
+                    // The decref's reply is advisory (the displaced
+                    // inode's server reclaims it regardless).
+                    return Ok(Next::Done(match self.failed {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    }));
+                }
+            }
         }
-        if self.decref_sent {
-            // The decref's reply is advisory (the displaced inode's server
-            // reclaims it regardless of what we do next).
-            return Ok(Next::Done(Ok(())));
-        }
-        let mut rs = replies.ok_or(Errno::EIO)?.into_iter();
-        let (add_reply, rm_reply) = (rs.next().ok_or(Errno::EIO)?, rs.next().ok_or(Errno::EIO)?);
-        let replaced = match expect_reply!(add_reply, Reply::AddMapped { replaced } => replaced) {
-            Ok(r) => r,
-            Err(e) => return Ok(Next::Done(Err(e))),
-        };
-        if let Err(e) =
-            expect_reply!(rm_reply, Reply::RmMapped { target, ftype } => (target, ftype))
-        {
-            return Ok(Next::Done(Err(e)));
-        }
-        match replaced {
-            Some((displaced, _ftype)) => {
-                self.decref_sent = true;
-                Ok(Next::Run(Step::Call(
+        if self.failed.is_none() {
+            match (self.add_done, self.rm_done) {
+                (false, false) => {
+                    self.sent = RenameSent::Pair;
+                    let (add, rm) = (self.add_request(lib), self.rm_request(lib));
+                    return Ok(Next::Run(Step::Ordered(vec![add, rm])));
+                }
+                (false, true) => {
+                    self.sent = RenameSent::AddOnly;
+                    let (s, r) = self.add_request(lib);
+                    return Ok(Next::Run(Step::Call(s, r)));
+                }
+                (true, false) => {
+                    self.sent = RenameSent::RmOnly;
+                    let (s, r) = self.rm_request(lib);
+                    return Ok(Next::Run(Step::Call(s, r)));
+                }
+                (true, true) => {}
+            }
+            if let Some((displaced, _ftype)) = self.replaced.take() {
+                self.sent = RenameSent::Decref;
+                return Ok(Next::Run(Step::Call(
                     displaced.server,
                     Request::LinkDecref { num: displaced.num },
-                )))
+                )));
             }
-            None => Ok(Next::Done(Ok(()))),
         }
+        Ok(Next::Done(match self.failed {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }))
     }
 }
 

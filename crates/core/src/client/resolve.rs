@@ -111,16 +111,12 @@ impl ClientLib {
         dir: DirRef,
         name: &str,
     ) -> FsResult<CachedDentry> {
-        let server = self.shard_of(dir.ino, dir.dist, name);
         let got = expect_reply!(
-            self.call(
-                server,
-                Request::Lookup {
-                    client: self.params.id,
-                    dir: dir.ino,
-                    name: name.to_string(),
-                },
-            ),
+            self.call_entry(dir.ino, dir.dist, name, |lib| Request::Lookup {
+                client: lib.params.id,
+                dir: dir.ino,
+                name: name.to_string(),
+            }),
             Reply::Lookup { target, ftype, dist } => CachedDentry { target, ftype, dist }
         );
         match got {
@@ -282,6 +278,24 @@ impl<'p> ResolveOp<'p> {
 
     /// Applies the reply of the previously emitted request.
     fn absorb(&mut self, lib: &ClientLib, st: &mut ClientState, reply: WireReply) -> FsResult<()> {
+        // A NotOwner redirect (the addressed server no longer holds the
+        // directory's migrated shard) is not an outcome for any pending
+        // kind: fold it into the routing table and leave the cursor where
+        // it is — the next `next_request` re-emits at the owner. Chains
+        // never produce one (stale hops re-forward server-side).
+        if let Ok(Reply::NotOwner { dir, epoch, owner }) = &reply {
+            debug_assert!(!matches!(self.pending, Pending::Chain { .. }));
+            self.pending = Pending::Idle;
+            // No news means the route that produced this redirect is
+            // unchanged — re-sending would loop, so treat it as the
+            // protocol error it is. Every accepted redirect strictly
+            // raises the directory's epoch, which bounds the retries.
+            return if lib.learn_owner(*dir, *owner, *epoch) {
+                Ok(())
+            } else {
+                Err(Errno::EIO)
+            };
+        }
         match std::mem::replace(&mut self.pending, Pending::Idle) {
             Pending::Single => {
                 let dir = self.cur.ino;
@@ -495,7 +509,7 @@ impl<'p> ResolveOp<'p> {
                 },
                 // A listing's final single is a plain lookup (the shard
                 // server is not, in general, where the listing lives).
-                TerminalOp::List | TerminalOp::None => Request::Lookup {
+                TerminalOp::List { .. } | TerminalOp::None => Request::Lookup {
                     client: lib.params.id,
                     dir: self.cur.ino,
                     name: name.to_string(),

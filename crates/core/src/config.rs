@@ -2,8 +2,8 @@
 
 use vtime::{CostModel, Topology};
 
-/// The five techniques the paper ablates in §5.4 (Figure 9), plus six
-/// hot-path extensions this reproduction adds in the same spirit.
+/// The five techniques the paper ablates in §5.4 (Figure 9), plus seven
+/// extensions this reproduction adds in the same spirit.
 ///
 /// Each toggle removes one optimization while keeping the system correct,
 /// which is exactly how the paper measures technique importance.
@@ -51,6 +51,15 @@ use vtime::{CostModel, Topology};
 ///   ordinary follow-up RPC. When off, the chain resolves and the client
 ///   issues the coalesced final-component RPC separately (the PR 3
 ///   protocol).
+/// * `rebalancing` is the dynamic placement subsystem (`crate::placement`):
+///   epoch-versioned routing tables, live migration of a hot centralized
+///   directory's dentry shard to the least-loaded server, and `NotOwner`
+///   redirects that teach stale clients the new owner in one extra
+///   exchange. When off, routing is the paper's fixed hash forever —
+///   migration requests become no-ops and every pinned exchange count is
+///   byte-for-byte the static system's (with it *on* but no migration
+///   performed, the tables stay at epoch 0 and the counts are identical
+///   too).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Techniques {
     /// Directory distribution (§3.3): when off, every directory is
@@ -92,6 +101,10 @@ pub struct Techniques {
     /// `chained_resolution`; the stat/open terminals also respect
     /// `coalesced_stat`/`coalesced_open`.
     pub fused_terminal: bool,
+    /// The dynamic placement subsystem: when off, the rebalancer and the
+    /// migration driver are no-ops and the routing tables stay at epoch 0
+    /// (the paper's fixed hash) forever.
+    pub rebalancing: bool,
 }
 
 impl Default for Techniques {
@@ -109,6 +122,7 @@ impl Default for Techniques {
             batching: true,
             chained_resolution: true,
             fused_terminal: true,
+            rebalancing: true,
         }
     }
 }
@@ -134,6 +148,7 @@ impl Techniques {
             "batching" => t.batching = false,
             "chained_resolution" => t.chained_resolution = false,
             "fused_terminal" => t.fused_terminal = false,
+            "rebalancing" => t.rebalancing = false,
             other => panic!("unknown technique {other:?}"),
         }
         t
@@ -188,6 +203,12 @@ pub struct HareConfig {
     /// (hits and misses alike). Evicting a slot invalidates its tracked
     /// clients first, so bounding this state never leaves a stale cache.
     pub server_track_capacity: usize,
+    /// Load-aware remote-execution placement: when on, the round-robin
+    /// exec policy prefers the application core whose co-located file
+    /// server has served the fewest operations (ties rotate through the
+    /// round-robin cursor), instead of blindly cycling. Off by default —
+    /// the paper's §3.5 policies are load-blind.
+    pub load_aware_exec: bool,
 }
 
 impl HareConfig {
@@ -213,6 +234,7 @@ impl HareConfig {
             pipe_capacity: 64 * 1024,
             dircache_capacity: 4096,
             server_track_capacity: 8192,
+            load_aware_exec: false,
         }
     }
 
@@ -294,6 +316,8 @@ mod tests {
         assert!(t.fused_terminal);
         let t = Techniques::without("fused_terminal");
         assert!(!t.fused_terminal && t.chained_resolution && t.coalesced_stat);
+        let t = Techniques::without("rebalancing");
+        assert!(!t.rebalancing && t.chained_resolution && t.fused_terminal);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod client;
 pub mod config;
 pub mod instance;
 pub mod machine;
+pub mod placement;
 pub mod proto;
 pub mod rpc;
 pub mod seqfifo;
@@ -44,4 +45,5 @@ pub use client::{ClientLib, ClientParams};
 pub use config::{HareConfig, Placement, Techniques};
 pub use instance::HareInstance;
 pub use machine::Machine;
+pub use placement::{LoadReport, MigrationPlan, RebalancePolicy, RoutingTable};
 pub use types::{dentry_shard, ClientId, FdId, InodeId, ServerId};

@@ -1,0 +1,375 @@
+//! The dynamic placement subsystem: epoch-versioned routing tables, the
+//! live shard-migration protocol's bookkeeping, and the load-aware
+//! rebalancing policy.
+//!
+//! The paper places every directory entry with a fixed hash over
+//! `NSERVERS` ([`crate::types::dentry_shard`], §3.3). That is the **epoch-0
+//! policy** here too, so with no migrations the system is byte-for-byte
+//! the static system — same servers contacted, same message counts. On top
+//! of it, a [`RoutingTable`] records per-directory *placement overrides*:
+//! `dir → (owner, epoch)` pairs created by migrating a (centralized)
+//! directory's dentry shard from one server to another. Routing a name
+//! consults the override first and falls back to the hash.
+//!
+//! Tables are **distributed and lazily consistent**: every client library
+//! and every server holds its own copy. A migration updates only the two
+//! servers involved (source and destination); everyone else learns on
+//! demand:
+//!
+//! * A *client* with a stale table sends an entry RPC to the old owner,
+//!   which answers [`Reply::NotOwner`]`{dir, epoch, owner}`
+//!   ([`crate::proto::Reply::NotOwner`]); the client folds the redirect
+//!   into its table (epochs keep late redirects from regressing fresh
+//!   knowledge) and retries at the named owner — **one extra exchange per
+//!   stale directory**, after which the client routes directly.
+//! * A *chained* [`crate::proto::Request::LookupPath`] hop landing on a
+//!   stale owner is **re-forwarded** under the server's own table instead
+//!   of bounced to the client: still feed-forward (a forward is a plain
+//!   send carrying the reply channel), still bounded by the chain's hop
+//!   budget, so the §3.3 no-deadlock argument and the `ELOOP` guard are
+//!   untouched. The redirect costs one extra hop, not an extra exchange.
+//!
+//! Migration itself is client-composed from single-server RPCs, like every
+//! other multi-server protocol in Hare (no server-to-server RPC, §3.3):
+//! `MigrateBegin` at the source (marks the shard *migrating* — operations
+//! on the directory park exactly like behind an rmdir deletion mark — and
+//! snapshots the entries), `MigrateInstall` at the destination (installs
+//! entries + the override), `MigrateCommit` back at the source (drops the
+//! entries, records the redirect, invalidates every client tracked for the
+//! directory through the existing tracking lists, and replays the parked
+//! operations — which now answer `NotOwner`, so no in-flight operation is
+//! ever failed by a migration). `MigrateAbort` undoes a begun migration
+//! whose install failed.
+//!
+//! Only **centralized** directories migrate: a distributed directory's
+//! entries are already spread over every server by the hash, so there is
+//! no single hot shard to move (and an override would wrongly claim the
+//! other servers' shards). The rebalancer enforces this; the scenario it
+//! exists for — one hot mail-spool directory pinning a single server — is
+//! exactly the centralized case.
+//!
+//! Inodes do **not** migrate: Hare names an inode by `(server, number)`
+//! (§3.6.4), so moving one would break the global naming invariant every
+//! descriptor and block list relies on. New files created under a migrated
+//! directory *do* coalesce their inodes at the new owner (creation
+//! placement follows the routing table), so a churning hot directory's
+//! inode load drains to the new owner naturally.
+
+use crate::types::{dentry_shard, InodeId, ServerId};
+use std::collections::HashMap;
+
+/// One placement override: the directory's entries live at `owner` as of
+/// migration `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwnerRecord {
+    /// The server holding every entry of the directory.
+    pub owner: ServerId,
+    /// Epoch of the migration that installed this override. Strictly
+    /// increasing per directory; a table only accepts a record that is
+    /// newer than what it holds.
+    pub epoch: u64,
+}
+
+/// An epoch-versioned routing table: the paper's hash plus per-directory
+/// placement overrides. Every client library and every server holds one;
+/// see the module docs for how copies converge.
+#[derive(Debug, Default)]
+pub struct RoutingTable {
+    overrides: HashMap<InodeId, OwnerRecord>,
+}
+
+impl RoutingTable {
+    /// An empty (epoch-0) table: pure hash routing.
+    pub fn new() -> RoutingTable {
+        RoutingTable::default()
+    }
+
+    /// The dentry shard for `name` in `dir`: the override owner when one
+    /// exists, the paper's hash otherwise. This is *the* routing function —
+    /// clients route every entry RPC and servers route every chain hop
+    /// through their table, which is what keeps a forwarded request
+    /// landing at a server that either owns the shard or knows who does.
+    pub fn route(&self, dir: InodeId, dist: bool, name: &str, nservers: usize) -> ServerId {
+        match self.overrides.get(&dir) {
+            Some(rec) => rec.owner,
+            None => dentry_shard(dir, dist, name, nservers),
+        }
+    }
+
+    /// The server holding a **centralized** directory's entries: the
+    /// override owner, or its home server. (Used for whole-directory
+    /// operations — `ListShard` of a centralized directory, the emptiness
+    /// side of `rmdir`.)
+    pub fn dir_home(&self, dir: InodeId) -> ServerId {
+        self.overrides.get(&dir).map_or(dir.server, |r| r.owner)
+    }
+
+    /// The override record for `dir`, if any.
+    pub fn override_of(&self, dir: InodeId) -> Option<OwnerRecord> {
+        self.overrides.get(&dir).copied()
+    }
+
+    /// The epoch of `dir`'s placement (0 = never migrated).
+    pub fn epoch_of(&self, dir: InodeId) -> u64 {
+        self.overrides.get(&dir).map_or(0, |r| r.epoch)
+    }
+
+    /// Folds a redirect (or a migration this party performed) into the
+    /// table. Returns true when the record was news; an equal-or-older
+    /// epoch is ignored, so a late redirect can never regress fresher
+    /// knowledge.
+    pub fn learn(&mut self, dir: InodeId, owner: ServerId, epoch: u64) -> bool {
+        match self.overrides.get_mut(&dir) {
+            Some(rec) if rec.epoch >= epoch => false,
+            Some(rec) => {
+                *rec = OwnerRecord { owner, epoch };
+                true
+            }
+            None => {
+                self.overrides.insert(dir, OwnerRecord { owner, epoch });
+                true
+            }
+        }
+    }
+
+    /// For a server's own table: the redirect to answer when this server
+    /// (`me`) receives an entry operation for `dir` it no longer (or
+    /// never) owns under its override knowledge. `None` means no override
+    /// names another server — the hash decides, and a client that routed
+    /// here by hash is correct.
+    pub fn foreign_owner(&self, dir: InodeId, me: ServerId) -> Option<OwnerRecord> {
+        self.overrides.get(&dir).copied().filter(|r| r.owner != me)
+    }
+
+    /// Number of overrides held (diagnostics).
+    pub fn len(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// True when the table is pure epoch-0 hash routing.
+    pub fn is_empty(&self) -> bool {
+        self.overrides.is_empty()
+    }
+}
+
+/// One server's load report: total operations served plus its hottest
+/// directories by entry-operation count (what [`Reply::Load`] carries).
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The reporting server.
+    pub server: ServerId,
+    /// Operations served since the last reset.
+    pub ops: u64,
+    /// `(directory, entry ops)` pairs, hottest first.
+    pub hot_dirs: Vec<(InodeId, u64)>,
+}
+
+/// A migration the rebalancer decided on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// The directory whose dentry shard moves.
+    pub dir: InodeId,
+    /// Current owner (the overloaded server).
+    pub from: ServerId,
+    /// New owner (the least-loaded server).
+    pub to: ServerId,
+}
+
+/// Tuning knobs for [`plan_rebalance`].
+#[derive(Debug, Clone, Copy)]
+pub struct RebalancePolicy {
+    /// A server must have served at least this many operations to be
+    /// considered hot (keeps cold systems, and every pinned test, inert).
+    pub min_ops: u64,
+    /// The hottest server must carry at least `imbalance` times the
+    /// load of the coolest before a migration pays for itself.
+    pub imbalance: f64,
+    /// The candidate directory must account for at least this share of
+    /// the hot server's operations — migrating a minor directory would
+    /// not relieve the hotspot.
+    pub min_dir_share: f64,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            min_ops: 64,
+            imbalance: 1.5,
+            min_dir_share: 0.25,
+        }
+    }
+}
+
+/// The load-aware rebalancing decision, as a pure function of the load
+/// reports so it is unit-testable without a machine: find the hottest and
+/// coolest servers; if the imbalance clears the policy bar, nominate
+/// every hot-server directory that carries enough of its load, hottest
+/// first. The root is never nominated; whether a candidate is
+/// *distributed* (and therefore unmigratable) only its home server
+/// knows, so the driver tries candidates in order and skips the ones the
+/// source refuses — a hot-but-unmigratable directory must not mask a
+/// migratable runner-up.
+pub fn plan_rebalance(reports: &[LoadReport], policy: &RebalancePolicy) -> Vec<MigrationPlan> {
+    let (Some(hot), Some(cool)) = (
+        reports.iter().max_by_key(|r| r.ops),
+        reports.iter().min_by_key(|r| r.ops),
+    ) else {
+        return Vec::new();
+    };
+    if hot.server == cool.server || hot.ops < policy.min_ops {
+        return Vec::new();
+    }
+    if (hot.ops as f64) < (cool.ops as f64).max(1.0) * policy.imbalance {
+        return Vec::new();
+    }
+    hot.hot_dirs
+        .iter()
+        .filter(|(dir, dir_ops)| {
+            *dir != InodeId::ROOT && (*dir_ops as f64) >= hot.ops as f64 * policy.min_dir_share
+        })
+        .map(|(dir, _)| MigrationPlan {
+            dir: *dir,
+            from: hot.server,
+            to: cool.server,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIR: InodeId = InodeId { server: 0, num: 7 };
+
+    #[test]
+    fn epoch_zero_is_the_paper_hash() {
+        let t = RoutingTable::new();
+        assert!(t.is_empty());
+        for n in ["a", "b", "spool"] {
+            assert_eq!(t.route(DIR, true, n, 8), dentry_shard(DIR, true, n, 8));
+        }
+        assert_eq!(t.route(DIR, false, "a", 8), 0);
+        assert_eq!(t.dir_home(DIR), 0);
+        assert_eq!(t.epoch_of(DIR), 0);
+    }
+
+    #[test]
+    fn override_redirects_all_names() {
+        let mut t = RoutingTable::new();
+        assert!(t.learn(DIR, 5, 1));
+        for n in ["a", "b", "anything"] {
+            assert_eq!(t.route(DIR, false, n, 8), 5);
+            assert_eq!(t.route(DIR, true, n, 8), 5);
+        }
+        assert_eq!(t.dir_home(DIR), 5);
+        assert_eq!(t.epoch_of(DIR), 1);
+        // Other directories keep hashing.
+        let other = InodeId { server: 3, num: 9 };
+        assert_eq!(t.route(other, false, "a", 8), 3);
+    }
+
+    #[test]
+    fn stale_redirect_never_regresses_fresh_knowledge() {
+        let mut t = RoutingTable::new();
+        assert!(t.learn(DIR, 5, 2));
+        // A late redirect from the original migration must be ignored.
+        assert!(!t.learn(DIR, 3, 1));
+        assert!(!t.learn(DIR, 3, 2));
+        assert_eq!(t.dir_home(DIR), 5);
+        // A newer migration wins.
+        assert!(t.learn(DIR, 1, 3));
+        assert_eq!(t.dir_home(DIR), 1);
+    }
+
+    #[test]
+    fn foreign_owner_names_the_redirect_target() {
+        let mut t = RoutingTable::new();
+        assert!(t.foreign_owner(DIR, 0).is_none(), "no override: hash rules");
+        t.learn(DIR, 5, 1);
+        let r = t.foreign_owner(DIR, 0).unwrap();
+        assert_eq!((r.owner, r.epoch), (5, 1));
+        assert!(
+            t.foreign_owner(DIR, 5).is_none(),
+            "the owner is not foreign"
+        );
+    }
+
+    fn report(server: ServerId, ops: u64, hot: &[(InodeId, u64)]) -> LoadReport {
+        LoadReport {
+            server,
+            ops,
+            hot_dirs: hot.to_vec(),
+        }
+    }
+
+    #[test]
+    fn rebalance_plans_hot_directories_hottest_first() {
+        let p = RebalancePolicy::default();
+        let second = InodeId { server: 0, num: 9 };
+        let reports = [
+            report(
+                0,
+                1000,
+                &[
+                    (DIR, 600),
+                    (second, 300),
+                    (InodeId { server: 0, num: 11 }, 50),
+                ],
+            ),
+            report(1, 100, &[]),
+            report(2, 200, &[]),
+        ];
+        let plans = plan_rebalance(&reports, &p);
+        // Both directories above the share bar are nominated (so an
+        // unmigratable hottest cannot mask the runner-up); the 50-op one
+        // is below the bar and dropped.
+        assert_eq!(
+            plans,
+            vec![
+                MigrationPlan {
+                    dir: DIR,
+                    from: 0,
+                    to: 1
+                },
+                MigrationPlan {
+                    dir: second,
+                    from: 0,
+                    to: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn rebalance_never_nominates_the_root() {
+        let p = RebalancePolicy::default();
+        let plans = plan_rebalance(
+            &[
+                report(0, 1000, &[(InodeId::ROOT, 900), (DIR, 400)]),
+                report(1, 10, &[]),
+            ],
+            &p,
+        );
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].dir, DIR);
+    }
+
+    #[test]
+    fn rebalance_stays_inert_below_the_bars() {
+        let p = RebalancePolicy::default();
+        // Too few ops overall.
+        assert!(plan_rebalance(&[report(0, 10, &[(DIR, 9)]), report(1, 1, &[])], &p).is_empty());
+        // Balanced servers.
+        assert!(
+            plan_rebalance(&[report(0, 1000, &[(DIR, 900)]), report(1, 900, &[])], &p).is_empty()
+        );
+        // Hot server, but no single directory dominates.
+        assert!(
+            plan_rebalance(&[report(0, 1000, &[(DIR, 50)]), report(1, 10, &[])], &p).is_empty()
+        );
+        // One server: nowhere to move.
+        assert!(plan_rebalance(&[report(0, 1000, &[(DIR, 900)])], &p).is_empty());
+        // No reports at all.
+        assert!(plan_rebalance(&[], &p).is_empty());
+    }
+}

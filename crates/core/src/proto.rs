@@ -58,6 +58,15 @@ use crate::types::{ClientId, FdId, InodeId, ServerId};
 use fsapi::{DirEntry, Errno, FileType, Mode, OpenFlags, Stat, Whence};
 use std::sync::Arc;
 
+// Placement note: every request below that names a `(dir, name)` entry (or
+// a whole directory's shard) is routed by the epoch-versioned routing
+// table (`crate::placement`), which defaults to the paper's hash. A server
+// that receives an entry operation for a directory whose shard migrated
+// away answers [`Reply::NotOwner`] instead of executing it; the migration
+// protocol itself is the `Migrate*` quartet below, composed by the client
+// like every other multi-server protocol (still no server-to-server RPC
+// beyond the feed-forward chain forwarding).
+
 /// A directory-cache invalidation callback, sent by a server to every client
 /// that has `(dir, name)` cached (paper §3.6.1). Thanks to atomic message
 /// delivery the server proceeds as soon as `send()` returns.
@@ -108,8 +117,14 @@ pub enum TerminalOp {
     },
     /// The final server's shard of the target directory's listing (the
     /// chained head of a `readdir` fan-out): the client then only fans
-    /// [`Request::ListShard`] to the *other* servers.
-    List,
+    /// [`Request::ListShard`] to the *other* servers. With `plus`, the
+    /// server additionally stats every listed entry whose inode it stores
+    /// (the `readdir_plus` / `ls -l` fusion), so those entries need no
+    /// follow-up `StatInode`.
+    List {
+        /// Fuse per-entry stats for locally stored inodes into the reply.
+        plus: bool,
+    },
 }
 
 /// A fused terminal result, carried in [`Reply::Path::term`].
@@ -126,7 +141,25 @@ pub enum TerminalReply {
         server: ServerId,
         /// Entries stored at that server.
         entries: Vec<DirEntry>,
+        /// With [`TerminalOp::List::plus`]: one slot per entry, `Some`
+        /// when the entry's inode is stored on the answering server (its
+        /// stat rides the chain). Empty without `plus`.
+        stats: Vec<Option<Stat>>,
     },
+}
+
+/// One directory entry in flight during a shard migration (the payload of
+/// [`Request::MigrateInstall`], snapshotted by [`Reply::MigrateSnapshot`]).
+#[derive(Debug, Clone)]
+pub struct MigEntry {
+    /// Entry name.
+    pub name: String,
+    /// The inode the entry points at.
+    pub target: InodeId,
+    /// Target type.
+    pub ftype: FileType,
+    /// Distribution flag for directory targets.
+    pub dist: bool,
 }
 
 /// Result of the mark phase of the three-phase `rmdir` protocol (§3.3).
@@ -290,6 +323,60 @@ pub enum Request {
         /// rename's ADD_MAP + RM_MAP where the second half must not run
         /// when the first failed).
         fail_fast: bool,
+    },
+
+    // ----- Live shard migration (the dynamic placement subsystem) --------
+    /// Phase 1 at the **source** (current owner): marks `dir`'s shard
+    /// *migrating* — operations on the directory park exactly like behind
+    /// an rmdir deletion mark — and returns a snapshot of its entries plus
+    /// the directory's current placement epoch. The shard cannot change
+    /// under the copy: the server is single-threaded and every later
+    /// operation parks until COMMIT or ABORT.
+    MigrateBegin {
+        /// Directory whose shard is migrating.
+        dir: InodeId,
+    },
+    /// Phase 2 at the **destination**: installs the snapshotted entries
+    /// and the override `dir → self @ epoch` in the destination's routing
+    /// table. After this the destination answers for the directory; no
+    /// client routes here until the source starts redirecting, so the data
+    /// is always in place before the first redirect.
+    MigrateInstall {
+        /// Directory whose shard is migrating.
+        dir: InodeId,
+        /// The migration's epoch (source's epoch + 1).
+        epoch: u64,
+        /// The snapshotted entries.
+        entries: Vec<MigEntry>,
+    },
+    /// Phase 3 at the **source**: drops the migrated entries, records the
+    /// redirect `dir → to @ epoch`, queues invalidations to every client
+    /// tracked for the directory (through the existing per-entry tracking
+    /// lists — stale caches re-resolve and pick up the redirect), and
+    /// replays the operations parked since BEGIN (they now answer
+    /// [`Reply::NotOwner`], so nothing in flight is ever failed).
+    MigrateCommit {
+        /// Directory whose shard migrated.
+        dir: InodeId,
+        /// The migration's epoch.
+        epoch: u64,
+        /// The new owner.
+        to: ServerId,
+    },
+    /// Abandons a begun migration (the install failed): clears the
+    /// migrating mark and replays the parked operations against the
+    /// unchanged local shard.
+    MigrateAbort {
+        /// Directory whose migration is abandoned.
+        dir: InodeId,
+    },
+    /// Reads this server's load counters (total operations served and the
+    /// hottest directories by entry-operation count) — the rebalancer's
+    /// input. With `reset`, the counters restart from zero so successive
+    /// reports cover disjoint windows.
+    LoadReport {
+        /// Restart the counters after reading them.
+        reset: bool,
     },
 
     // ----- Three-phase rmdir (paper §3.3) --------------------------------
@@ -672,6 +759,34 @@ pub enum Reply {
     },
     /// One reply per entry of a [`Request::Batch`], in entry order.
     Batch(Vec<WireReply>),
+    /// The answering server does not hold `dir`'s shard (it migrated
+    /// away): the caller should fold the redirect into its routing table —
+    /// applying it only if `epoch` is newer than what it holds — and retry
+    /// at `owner`. A stale route costs exactly this one extra exchange per
+    /// directory.
+    NotOwner {
+        /// The directory whose shard moved.
+        dir: InodeId,
+        /// Epoch of the migration the answering server knows about.
+        epoch: u64,
+        /// The owner as of that epoch.
+        owner: ServerId,
+    },
+    /// The source's snapshot answering [`Request::MigrateBegin`].
+    MigrateSnapshot {
+        /// The directory's placement epoch *before* this migration (the
+        /// driver installs the override at `epoch + 1`).
+        epoch: u64,
+        /// Every entry of the shard.
+        entries: Vec<MigEntry>,
+    },
+    /// One server's load counters answering [`Request::LoadReport`].
+    Load {
+        /// Operations served since the last reset.
+        ops: u64,
+        /// `(directory, entry ops)` pairs, hottest first (bounded).
+        hot_dirs: Vec<(InodeId, u64)>,
+    },
 }
 
 /// What travels back to the client.
@@ -721,6 +836,13 @@ pub fn base_service_cost(req: &Request) -> u64 {
         Request::AddMap { .. } => 1211,
         Request::RmMap { .. } => 756,
         Request::ListShard { .. } => 400,
+        // Migration control messages: routing/guard work plus, for the
+        // data-bearing halves, a per-entry charge added by the handler.
+        Request::MigrateBegin { .. } => 500,
+        Request::MigrateInstall { .. } => 500,
+        Request::MigrateCommit { .. } => 400,
+        Request::MigrateAbort { .. } => 300,
+        Request::LoadReport { .. } => 300,
         Request::RmdirSerialize { .. } | Request::RmdirRelease { .. } => 300,
         Request::RmdirMark { .. } => 400,
         Request::RmdirCommit { .. } | Request::RmdirAbort { .. } => 350,

@@ -174,6 +174,58 @@ impl DentryShard {
         })
     }
 
+    /// Every entry this shard holds for `dir`, with full values — the
+    /// migration snapshot (order is not significant).
+    pub fn export(&self, dir: InodeId) -> Vec<(String, DentryVal)> {
+        self.dirs.get(&dir).map_or_else(Vec::new, |m| {
+            m.iter().map(|(n, v)| (n.clone(), *v)).collect()
+        })
+    }
+
+    /// Installs a migrated entry unconditionally (the snapshot is
+    /// authoritative — a leftover from an earlier residence of the shard
+    /// here is simply overwritten). Tombstoned directories still reject
+    /// installs: a committed rmdir outranks any migration.
+    pub fn install(&mut self, dir: InodeId, name: &str, val: DentryVal) -> FsResult<()> {
+        if self.tombstones.contains(&dir) {
+            return Err(Errno::ENOENT);
+        }
+        self.dirs
+            .entry(dir)
+            .or_default()
+            .insert(name.to_string(), val);
+        Ok(())
+    }
+
+    /// Drops every entry of `dir` (the source's half of a migration
+    /// commit), returning how many were dropped. Tracking lists are left
+    /// for [`DentryShard::drain_dir_tracking`] so the caller can turn them
+    /// into invalidations.
+    pub fn drop_dir(&mut self, dir: InodeId) -> usize {
+        self.dirs.remove(&dir).map_or(0, |m| m.len())
+    }
+
+    /// Removes every tracking slot under `dir`, returning `(name,
+    /// clients)` pairs so the caller can invalidate each tracked client —
+    /// the migration-commit counterpart of the per-entry
+    /// [`DentryShard::take_trackers`].
+    #[must_use = "drained slots' clients must be sent invalidations"]
+    pub fn drain_dir_tracking(&mut self, dir: InodeId) -> Vec<(String, Vec<ClientId>)> {
+        let Some(names) = self.tracking.remove(&dir) else {
+            return Vec::new();
+        };
+        self.track_slots -= names.len();
+        names
+            .into_iter()
+            .map(|(name, slot)| {
+                (
+                    name.as_ref().to_string(),
+                    slot.clients.into_iter().collect(),
+                )
+            })
+            .collect()
+    }
+
     /// True if `dir` was removed by a committed rmdir.
     pub fn is_tombstoned(&self, dir: InodeId) -> bool {
         self.tombstones.contains(&dir)
@@ -445,6 +497,48 @@ mod tests {
         let _ = s.track(DIR, "b", 1);
         s.tombstone(DIR);
         assert_eq!(s.tracked_slots(), 0);
+    }
+
+    #[test]
+    fn export_install_drop_roundtrip() {
+        let mut src = DentryShard::default();
+        src.insert(DIR, "a", file_val(1), false).unwrap();
+        src.insert(DIR, "b", file_val(2), false).unwrap();
+        let snap = src.export(DIR);
+        assert_eq!(snap.len(), 2);
+        let mut dst = DentryShard::default();
+        for (n, v) in &snap {
+            dst.install(DIR, n, *v).unwrap();
+        }
+        assert_eq!(src.drop_dir(DIR), 2);
+        assert_eq!(src.count(DIR), 0);
+        assert_eq!(dst.count(DIR), 2);
+        assert_eq!(dst.lookup(DIR, "a").unwrap().target.num, 1);
+        // Install into a tombstoned directory is refused: a committed
+        // rmdir outranks a migration.
+        dst.tombstone(DIR);
+        assert_eq!(dst.install(DIR, "c", file_val(3)), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn drain_dir_tracking_returns_every_tracked_client() {
+        let mut s = DentryShard::default();
+        let _ = s.track(DIR, "a", 1);
+        let _ = s.track(DIR, "a", 2);
+        let _ = s.track(DIR, "b", 3);
+        let other = InodeId { server: 1, num: 4 };
+        let _ = s.track(other, "x", 9);
+        let mut drained = s.drain_dir_tracking(DIR);
+        drained.sort();
+        assert_eq!(drained.len(), 2);
+        let (an, mut ac) = drained[0].clone();
+        ac.sort_unstable();
+        assert_eq!((an.as_str(), ac), ("a", vec![1, 2]));
+        assert_eq!(drained[1], ("b".to_string(), vec![3]));
+        // Unrelated directories keep their tracking, and the slot count
+        // stays consistent.
+        assert_eq!(s.tracked_slots(), 1);
+        assert_eq!(s.take_trackers(other, "x", 0), vec![9]);
     }
 
     #[test]

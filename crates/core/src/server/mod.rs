@@ -19,11 +19,12 @@ pub mod pipes;
 pub mod rmdir;
 
 use crate::machine::Machine;
+use crate::placement::RoutingTable;
 use crate::proto::{
-    base_service_cost, DemoteInfo, Invalidation, MarkResult, OpenResult, PathEntry, Reply, Request,
-    ServerMsg, TerminalOp, TerminalReply, WireReply,
+    base_service_cost, DemoteInfo, Invalidation, MarkResult, MigEntry, OpenResult, PathEntry,
+    Reply, Request, ServerMsg, TerminalOp, TerminalReply, WireReply,
 };
-use crate::types::{dentry_shard, ClientId, FdId, InodeId, ServerId};
+use crate::types::{ClientId, FdId, InodeId, ServerId};
 use buffer::BlockAllocator;
 use dentry::{DentryShard, DentryVal};
 use fdtable::{FdKind, FdTable};
@@ -106,6 +107,23 @@ pub struct Server {
     neg_dircache: bool,
     peers: Arc<Vec<crate::rpc::ServerHandle>>,
     distribution: bool,
+    /// This server's copy of the epoch-versioned routing table. Starts at
+    /// epoch 0 (pure hash); updated by the migrations this server takes
+    /// part in. Entry operations for a directory whose shard migrated away
+    /// answer [`Reply::NotOwner`]; chain hops re-forward instead.
+    routing: RoutingTable,
+    /// Directories whose shard is mid-migration (between BEGIN and
+    /// COMMIT/ABORT), with the operations parked behind the copy window —
+    /// the same delay discipline as an rmdir deletion mark.
+    migrating: HashMap<InodeId, Vec<rmdir::ParkedOp>>,
+    /// Operations served since the last `LoadReport { reset: true }` (the
+    /// rebalancer's coarse signal).
+    ops_served: u64,
+    /// Entry operations per directory (the rebalancer's hot-directory
+    /// signal). Bounded: beyond [`DIR_OPS_CAPACITY`] distinct directories,
+    /// new ones go uncounted until a reset — load tracking must never be a
+    /// memory hole.
+    dir_ops: HashMap<InodeId, u64>,
     /// Virtual time the current busy period is anchored at (the last
     /// phase barrier).
     anchor: u64,
@@ -142,6 +160,10 @@ impl Server {
             neg_dircache: params.neg_dircache,
             peers: params.peers,
             distribution: params.distribution,
+            routing: RoutingTable::new(),
+            migrating: HashMap::new(),
+            ops_served: 0,
+            dir_ops: HashMap::new(),
             anchor: 0,
             acc: 0,
             stop: false,
@@ -199,31 +221,57 @@ impl Server {
                 add_map: Some((dir, _)),
                 ..
             } => Some(*dir),
+            // A migration of a directory being rmdir'd waits the removal
+            // out (and fails cleanly on its tombstone if it commits).
+            Request::MigrateBegin { dir } => Some(*dir),
             _ => None,
         }
     }
 
-    /// The marked directory this request (or, for a batch, any of its
-    /// entries) must be parked on, if any. Parking the whole batch keeps
-    /// the in-order execution guarantee: entries never reorder around a
-    /// deletion mark.
+    /// The directory an operation must be delayed on while its shard is
+    /// mid-migration: the rmdir set plus the rmdir protocol's own
+    /// shard-inspecting messages (their emptiness checks must not observe
+    /// a half-copied shard).
+    fn migrating_dir_of(req: &Request) -> Option<InodeId> {
+        match req {
+            Request::RmdirMark { dir } | Request::RmdirCentral { dir } => Some(*dir),
+            other => Self::marked_dir_of(other),
+        }
+    }
+
+    /// The marked-or-migrating directory this request (or, for a batch,
+    /// any of its entries) must be parked on, if any. Parking the whole
+    /// batch keeps the in-order execution guarantee: entries never reorder
+    /// around a deletion mark or a migration window.
     fn park_dir_of(&self, req: &Request) -> Option<InodeId> {
         match req {
             Request::Batch { reqs, .. } => reqs.iter().find_map(|r| self.park_dir_of(r)),
-            other => Self::marked_dir_of(other).filter(|d| self.rmdir.is_marked(*d)),
+            other => Self::marked_dir_of(other)
+                .filter(|d| self.rmdir.is_marked(*d))
+                .or_else(|| {
+                    Self::migrating_dir_of(other).filter(|d| self.migrating.contains_key(d))
+                }),
         }
     }
 
     /// Processes one request envelope end-to-end (including virtual-time
     /// accounting and reply delivery).
     pub fn handle(&mut self, env: msg::Envelope<ServerMsg>) {
-        // Delay operations on directories marked for deletion.
+        // Delay operations on directories marked for deletion or caught in
+        // a migration copy window.
         if let Some(dir) = self.park_dir_of(&env.payload.req) {
             // The server still pays for receiving and inspecting the
             // message.
             let cost = self.machine.cost.msg_recv + 100;
             self.serve(env.deliver_at, cost);
-            self.rmdir.park(dir, env);
+            if self.rmdir.is_marked(dir) {
+                self.rmdir.park(dir, env);
+            } else {
+                self.migrating
+                    .get_mut(&dir)
+                    .expect("park_dir_of saw the migration")
+                    .push(env);
+            }
             return;
         }
 
@@ -301,6 +349,7 @@ impl Server {
         reply: &msg::Sender<WireReply>,
         ctx: &mut Ctx,
     ) -> Option<WireReply> {
+        self.note_op(&req);
         match req {
             Request::Register {
                 client,
@@ -350,6 +399,20 @@ impl Server {
                 must_be_file,
             } => Some(self.op_rm_map(client, dir, &name, must_be_file, ctx)),
             Request::ListShard { dir } => Some(self.op_list_shard(dir, ctx)),
+            Request::MigrateBegin { dir } => Some(self.op_migrate_begin(dir, ctx)),
+            Request::MigrateInstall {
+                dir,
+                epoch,
+                entries,
+            } => Some(self.op_migrate_install(dir, epoch, entries, ctx)),
+            Request::MigrateCommit { dir, epoch, to } => {
+                Some(self.op_migrate_commit(dir, epoch, to, ctx))
+            }
+            Request::MigrateAbort { dir } => {
+                ctx.replays = self.migrating.remove(&dir).unwrap_or_default();
+                Some(Ok(Reply::Unit))
+            }
+            Request::LoadReport { reset } => Some(self.op_load_report(reset)),
             Request::RmdirSerialize { dir } => self.op_rmdir_serialize(dir, src_core, reply),
             Request::RmdirRelease { dir } => {
                 if let Some(w) = self.rmdir.unlock(dir) {
@@ -433,6 +496,9 @@ impl Server {
                 | Request::RmdirSerialize { .. }
                 | Request::LookupPath { .. }
                 | Request::Register { .. }
+                // MigrateBegin can park behind an rmdir mark, so its reply
+                // may not come inline.
+                | Request::MigrateBegin { .. }
                 | Request::Shutdown
         )
     }
@@ -468,10 +534,206 @@ impl Server {
                 ctx.refund += base_service_cost(&req);
                 Err(Errno::EINVAL)
             };
-            failed = failed || entry.is_err();
+            // A NotOwner redirect is Ok at the wire level but means the
+            // entry did NOT execute — for an ordered (fail-fast) pair the
+            // later halves must be skipped too, or rename's add-before-rm
+            // guarantee would break while the add half re-routes.
+            failed = failed || entry.is_err() || matches!(entry, Ok(Reply::NotOwner { .. }));
             out.push(entry);
         }
         Ok(Reply::Batch(out))
+    }
+
+    // ----- Load accounting and placement ----------------------------------
+
+    /// Counts one served operation toward the load counters (total plus,
+    /// for entry operations, the per-directory hot counter). Control
+    /// traffic — registration, migration, load reports, batch envelopes
+    /// (whose entries count individually) — is not load.
+    fn note_op(&mut self, req: &Request) {
+        const DIR_OPS_CAPACITY: usize = 4096;
+        match req {
+            Request::Register { .. }
+            | Request::Unregister { .. }
+            | Request::MigrateBegin { .. }
+            | Request::MigrateInstall { .. }
+            | Request::MigrateCommit { .. }
+            | Request::MigrateAbort { .. }
+            | Request::LoadReport { .. }
+            | Request::Batch { .. }
+            | Request::Shutdown => return,
+            _ => {}
+        }
+        self.ops_served += 1;
+        self.machine.record_server_op(self.id);
+        // The per-directory signal counts shard work only: operations that
+        // would move with the directory's dentry shard if it migrated.
+        let dir = match req {
+            Request::Lookup { dir, .. }
+            | Request::LookupOpen { dir, .. }
+            | Request::LookupStat { dir, .. }
+            | Request::AddMap { dir, .. }
+            | Request::RmMap { dir, .. }
+            | Request::ListShard { dir } => Some(*dir),
+            Request::Create {
+                add_map: Some((dir, _)),
+                ..
+            } => Some(*dir),
+            _ => None,
+        };
+        if let Some(dir) = dir {
+            if self.dir_ops.len() < DIR_OPS_CAPACITY || self.dir_ops.contains_key(&dir) {
+                *self.dir_ops.entry(dir).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// The redirect to answer when this server no longer owns `dir`'s
+    /// shard (its routing table names another owner). The guard at the top
+    /// of every entry-operation handler: a stale client pays exactly one
+    /// extra exchange, folds the redirect into its table, and retries at
+    /// the named owner.
+    fn not_owner(&self, dir: InodeId) -> Option<WireReply> {
+        self.routing.foreign_owner(dir, self.id).map(|r| {
+            Ok(Reply::NotOwner {
+                dir,
+                epoch: r.epoch,
+                owner: r.owner,
+            })
+        })
+    }
+
+    /// Phase 1 of a shard migration, at the source: validate, mark the
+    /// directory migrating (later operations park until COMMIT/ABORT), and
+    /// snapshot the entries. Only centralized directories migrate — a
+    /// distributed directory's entries are spread by the hash and have no
+    /// single shard to move — and the root is pinned. The first migration
+    /// starts at the home server, which holds the inode and can check the
+    /// distribution flag; re-migrations start at a past destination, where
+    /// the invariant is already established.
+    fn op_migrate_begin(&mut self, dir: InodeId, ctx: &mut Ctx) -> WireReply {
+        if let Some(r) = self.not_owner(dir) {
+            return r;
+        }
+        if dir == InodeId::ROOT {
+            return Err(Errno::EINVAL);
+        }
+        if self.dentries.is_tombstoned(dir) {
+            return Err(Errno::ENOENT);
+        }
+        if dir.server == self.id && self.routing.override_of(dir).is_none() {
+            // First migration: the home server holds the inode.
+            let ino = self.inodes.get(dir.num)?;
+            match ino.kind {
+                InodeKind::Dir { dist } => {
+                    if dist && self.distribution {
+                        return Err(Errno::EINVAL);
+                    }
+                }
+                _ => return Err(Errno::ENOTDIR),
+            }
+        }
+        let entries: Vec<MigEntry> = self
+            .dentries
+            .export(dir)
+            .into_iter()
+            .map(|(name, v)| MigEntry {
+                name,
+                target: v.target,
+                ftype: v.ftype,
+                dist: v.dist,
+            })
+            .collect();
+        ctx.extra += 30 * entries.len() as u64;
+        self.migrating.entry(dir).or_default();
+        Ok(Reply::MigrateSnapshot {
+            epoch: self.routing.epoch_of(dir),
+            entries,
+        })
+    }
+
+    /// Phase 2, at the destination: install the snapshot and own the
+    /// directory as of `epoch`. No client routes here until the source
+    /// starts redirecting, so the data always lands before the first
+    /// redirect can.
+    fn op_migrate_install(
+        &mut self,
+        dir: InodeId,
+        epoch: u64,
+        entries: Vec<MigEntry>,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        // A destination mid-rmdir (or itself mid-migration) must REJECT,
+        // not park: the rmdir's mark fan-out may be parked behind the
+        // *source's* migration window, so parking here would close a wait
+        // cycle (driver → install → rmdir → source mark → driver's
+        // commit). The inline EAGAIN makes the driver abort — the source
+        // unparks and replays, the rmdir proceeds, and the rebalancer
+        // simply tries again later. Installing into a marked directory
+        // would also let the rmdir's emptiness votes miss the migrated
+        // entries and commit a non-empty removal.
+        if self.rmdir.is_marked(dir) || self.migrating.contains_key(&dir) {
+            return Err(Errno::EAGAIN);
+        }
+        ctx.extra += 30 * entries.len() as u64;
+        for e in &entries {
+            self.dentries.install(
+                dir,
+                &e.name,
+                DentryVal {
+                    target: e.target,
+                    ftype: e.ftype,
+                    dist: e.dist,
+                },
+            )?;
+        }
+        self.routing.learn(dir, self.id, epoch);
+        Ok(Reply::Unit)
+    }
+
+    /// Phase 3, at the source: drop the migrated entries, record the
+    /// redirect, invalidate every client tracked for the directory (the
+    /// existing tracking lists double as the migration's invalidation
+    /// fan-out — stale dircache and negative entries are re-resolved and
+    /// pick up the redirect), and replay the operations parked since
+    /// BEGIN, which now answer [`Reply::NotOwner`].
+    fn op_migrate_commit(
+        &mut self,
+        dir: InodeId,
+        epoch: u64,
+        to: ServerId,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        self.routing.learn(dir, to, epoch);
+        let dropped = self.dentries.drop_dir(dir);
+        ctx.extra += 10 * dropped as u64;
+        for (name, clients) in self.dentries.drain_dir_tracking(dir) {
+            for c in clients {
+                ctx.invals.push((
+                    c,
+                    Invalidation {
+                        dir,
+                        name: name.clone(),
+                    },
+                ));
+            }
+        }
+        ctx.replays = self.migrating.remove(&dir).unwrap_or_default();
+        Ok(Reply::Unit)
+    }
+
+    /// Answers the rebalancer's load probe: total operations served plus
+    /// the hottest directories by entry-operation count.
+    fn op_load_report(&mut self, reset: bool) -> WireReply {
+        let mut hot: Vec<(InodeId, u64)> = self.dir_ops.iter().map(|(d, n)| (*d, *n)).collect();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hot.truncate(8);
+        let ops = self.ops_served;
+        if reset {
+            self.ops_served = 0;
+            self.dir_ops.clear();
+        }
+        Ok(Reply::Load { ops, hot_dirs: hot })
     }
 
     // ----- Directory entry operations ------------------------------------
@@ -483,6 +745,9 @@ impl Server {
         name: &str,
         ctx: &mut Ctx,
     ) -> WireReply {
+        if let Some(r) = self.not_owner(dir) {
+            return r;
+        }
         if self.dentries.is_tombstoned(dir) {
             return Err(Errno::ENOENT);
         }
@@ -518,6 +783,9 @@ impl Server {
         flags: OpenFlags,
         ctx: &mut Ctx,
     ) -> WireReply {
+        if let Some(r) = self.not_owner(dir) {
+            return r;
+        }
         if self.dentries.is_tombstoned(dir) {
             return Err(Errno::ENOENT);
         }
@@ -570,6 +838,9 @@ impl Server {
         name: &str,
         ctx: &mut Ctx,
     ) -> WireReply {
+        if let Some(r) = self.not_owner(dir) {
+            return r;
+        }
         if self.dentries.is_tombstoned(dir) {
             return Err(Errno::ENOENT);
         }
@@ -658,7 +929,12 @@ impl Server {
         let mut stopped = None;
         while idx < comps.len() {
             let name = &comps[idx];
-            let owner = dentry_shard(cur_dir, cur_dist, name, nservers);
+            // Routed through this server's table, not the bare hash: a hop
+            // that landed on a stale owner (the directory's shard migrated
+            // away) re-forwards to the owner this server knows — still
+            // feed-forward, still within the hop budget — instead of
+            // bouncing the client.
+            let owner = self.routing.route(cur_dir, cur_dist, name, nservers);
             if owner != self.id {
                 if hops >= max_hops {
                     stopped = Some(Errno::ELOOP);
@@ -679,7 +955,10 @@ impl Server {
                 ));
                 return None;
             }
-            if self.rmdir.is_marked(cur_dir) {
+            if self.rmdir.is_marked(cur_dir) || self.migrating.contains_key(&cur_dir) {
+                // A deletion mark or a migration copy window mid-walk: the
+                // client retries this component as a plain (parkable)
+                // single RPC, which waits the window out.
                 stopped = Some(Errno::EAGAIN);
                 break;
             }
@@ -774,29 +1053,57 @@ impl Server {
                     Err(_) => None,
                 }
             }
-            TerminalOp::List => {
+            TerminalOp::List { plus } => {
                 if last.ftype != FileType::Directory {
                     return None;
                 }
                 let dir = last.target;
                 // A distributed directory has a meaningful shard on every
-                // server; a centralized one lives entirely at its home, so
-                // any other server's listing would be dead weight the
-                // client discards.
-                if !(last.dist && self.distribution) && dir.server != self.id {
+                // server; a centralized one lives entirely at its home —
+                // per this server's routing table, since a migrated
+                // directory's entries follow the override — so any other
+                // server's listing would be dead weight the client
+                // discards.
+                if !(last.dist && self.distribution) && self.routing.dir_home(dir) != self.id {
                     return None;
                 }
-                // A listing must not race the rmdir mark/commit window (a
-                // standalone ListShard would park); degrade and let the
-                // client's fan-out park normally.
-                if self.rmdir.is_marked(dir) || self.dentries.is_tombstoned(dir) {
+                // A listing must not race the rmdir mark/commit window or
+                // a migration copy (a standalone ListShard would park);
+                // degrade and let the client's fan-out park normally.
+                if self.rmdir.is_marked(dir)
+                    || self.migrating.contains_key(&dir)
+                    || self.dentries.is_tombstoned(dir)
+                {
                     return None;
                 }
                 let entries = self.dentries.list(dir);
                 ctx.extra += 400 + 25 * entries.len() as u64;
+                // The readdir_plus fusion: stat every listed entry whose
+                // inode this server stores, so those entries need no
+                // follow-up StatInode exchange.
+                let stats = if plus {
+                    let mut stats = Vec::with_capacity(entries.len());
+                    for e in &entries {
+                        stats.push(if e.server == self.id {
+                            match self.op_stat(e.ino) {
+                                Ok(Reply::Stat(s)) => {
+                                    ctx.extra += 400;
+                                    Some(s)
+                                }
+                                _ => None,
+                            }
+                        } else {
+                            None
+                        });
+                    }
+                    stats
+                } else {
+                    Vec::new()
+                };
                 Some(TerminalReply::List {
                     server: self.id,
                     entries,
+                    stats,
                 })
             }
         }
@@ -814,6 +1121,9 @@ impl Server {
         replace: bool,
         ctx: &mut Ctx,
     ) -> WireReply {
+        if let Some(r) = self.not_owner(dir) {
+            return r;
+        }
         let val = DentryVal {
             target,
             ftype,
@@ -841,6 +1151,9 @@ impl Server {
         must_be_file: bool,
         ctx: &mut Ctx,
     ) -> WireReply {
+        if let Some(r) = self.not_owner(dir) {
+            return r;
+        }
         let cur = self.dentries.lookup(dir, name).ok_or(Errno::ENOENT)?;
         if must_be_file && cur.ftype == FileType::Directory {
             return Err(Errno::EISDIR);
@@ -854,6 +1167,13 @@ impl Server {
     }
 
     fn op_list_shard(&mut self, dir: InodeId, ctx: &mut Ctx) -> WireReply {
+        // Only centralized directories migrate, so a foreign override
+        // means this server's (empty) shard would silently truncate the
+        // listing — redirect instead. Distributed fan-outs never see an
+        // override and answer their shard as before.
+        if let Some(r) = self.not_owner(dir) {
+            return r;
+        }
         if self.dentries.is_tombstoned(dir) {
             return Err(Errno::ENOENT);
         }
@@ -934,6 +1254,13 @@ impl Server {
     }
 
     fn op_rmdir_central(&mut self, dir: InodeId) -> WireReply {
+        // A migrated directory's entries live elsewhere: the single-message
+        // removal no longer applies (the emptiness check and the inode are
+        // on different servers). Redirect; the client reruns the removal
+        // through the distributed three-phase protocol.
+        if let Some(r) = self.not_owner(dir) {
+            return r;
+        }
         debug_assert_eq!(dir.server, self.id, "centralized rmdir at home server");
         let ino = self.inodes.get(dir.num)?;
         if ino.ftype() != FileType::Directory {
@@ -961,6 +1288,11 @@ impl Server {
         ctx: &mut Ctx,
     ) -> WireReply {
         if let Some((dir, name)) = &add_map {
+            // The coalesced ADD_MAP half must run at the shard owner; a
+            // stale creator is redirected before any inode is allocated.
+            if let Some(r) = self.not_owner(*dir) {
+                return r;
+            }
             if self.dentries.is_tombstoned(*dir) {
                 return Err(Errno::ENOENT);
             }

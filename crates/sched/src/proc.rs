@@ -70,7 +70,19 @@ impl HareProc {
         let exports = self.lib.export_fds()?;
         let (target_core, child_placement) = {
             let mut p = self.placement.lock();
-            let core = p.pick(self.system.app_cores());
+            // Load-aware placement (config flag): prefer the core whose
+            // co-located file server has served the fewest operations in
+            // the current placement window (recent load, not
+            // ops-since-boot — a formerly hot but now idle server must
+            // not repel placement forever), instead of blindly cycling.
+            let core = if self.system.instance().config().load_aware_exec {
+                machine.placement_tick();
+                p.pick_loaded(self.system.app_cores(), |c| {
+                    machine.recent_server_ops_on_core(c)
+                })
+            } else {
+                p.pick(self.system.app_cores())
+            };
             (core, p.inherit())
         };
 
