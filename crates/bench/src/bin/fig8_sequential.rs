@@ -5,6 +5,12 @@
 //! context switches, ~7.2 µs vs 4.2 µs per rename); Linux ramfs is up to
 //! ~3.4× faster than Hare (median: Hare reaches 0.39× of Linux); UNFS3 is
 //! far slower than Hare on everything except the CPU-bound build linux.
+//!
+//! One extra column beyond the paper: an 8-core split machine with the
+//! striped data plane on (`stripe_width = 4`) — the single-application
+//! sequential story once file service is spread over four servers. The
+//! single-server columns cannot stripe (width clamps to the server
+//! count), so this is where the data-plane PR shows up in fig8.
 
 use hare_core::HareConfig;
 use hare_workloads::Workload;
@@ -16,6 +22,7 @@ fn main() {
         "benchmark",
         "hare timeshare",
         "hare 2-core",
+        "hare 4-srv striped",
         "linux ramfs",
         "linux unfs",
         "hare runtime (virt ms)",
@@ -27,6 +34,11 @@ fn main() {
         let hare_ts = hare_bench::run_hare(HareConfig::timeshare(1), wl, 1, &s);
         // Hare 2-core split: dedicated server core.
         let hare_2c = hare_bench::run_hare(HareConfig::split(2, 1), wl, 1, &s);
+        // Hare 8-core split with width-4 extent maps: one application
+        // process, four servers streaming its file data in parallel.
+        let mut scfg = HareConfig::split(8, 4);
+        scfg.stripe_width = 4;
+        let hare_striped = hare_bench::run_hare(scfg, wl, 1, &s);
         // Linux ramfs on one core.
         let ramfs = hare_bench::run_ramfs(1, wl, 1, &s);
         // UNFS3 over loopback, application on one core.
@@ -38,6 +50,7 @@ fn main() {
             wl.name().to_string(),
             "1.00".to_string(),
             format!("{:.2}", hare_2c.throughput() / base),
+            format!("{:.2}", hare_striped.throughput() / base),
             format!("{:.2}", ramfs.throughput() / base),
             format!("{:.2}", unfs.throughput() / base),
             format!("{:.2}", hare_ts.virtual_secs() * 1e3),

@@ -1,5 +1,6 @@
 //! The client library's descriptor table.
 
+use crate::proto::ExtentMap;
 use crate::types::{FdId, InodeId};
 use fsapi::{Errno, FileType, FsResult, OpenFlags};
 use nccmem::BlockId;
@@ -37,6 +38,11 @@ pub struct FdEntry {
     pub size: u64,
     /// Cached block list (valid while local).
     pub blocks: Vec<BlockId>,
+    /// The file's extent map from the open reply: which servers service
+    /// its stripes, or `None` for the all-blocks-home paper layout. Valid
+    /// while local; striped I/O falls back to the home server when the
+    /// descriptor demotes to shared.
+    pub extent: Option<ExtentMap>,
     /// Indices of blocks holding dirty private-cache data to write back on
     /// close/fsync.
     pub dirty: HashSet<usize>,
@@ -150,6 +156,7 @@ mod tests {
             mode: FdMode::Local { offset: 0 },
             size: 0,
             blocks: Vec::new(),
+            extent: None,
             dirty: HashSet::new(),
             wrote: false,
             published_size: 0,

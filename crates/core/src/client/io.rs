@@ -3,10 +3,47 @@
 
 use super::fd::{ExportedFd, FdEntry, FdMode};
 use super::{expect_reply, ClientLib};
-use crate::proto::{DemoteInfo, Reply, Request};
+use crate::proto::{DemoteInfo, ExtentMap, Reply, Request};
+use crate::rpc::{self, PendingCall};
 use fsapi::{Errno, FileType, FsResult, OpenFlags, Stat, Whence};
 use nccmem::BLOCK_SIZE;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// The windowed readahead pipeline of one striped sequential reader.
+///
+/// While reads arrive in file order, up to `readahead_window` stripe
+/// fetches stay outstanding at the stripe servers, so the next stripes'
+/// service overlaps the current stripe's wait: a cold sequential scan pays
+/// roughly one stripe of latency total instead of one per stripe. The
+/// pipeline is pure prefetched state — any non-sequential use of the
+/// descriptor (seek, write, truncate, dup/share, close) simply drops it.
+///
+/// Fetched payloads are held as the reply's `Arc<[u8]>` until they land in
+/// a caller's buffer: the bytes are copied exactly once end-to-end.
+pub(crate) struct Readahead {
+    /// File offset the next sequential read must start at for the
+    /// pipeline to stay valid.
+    next_offset: u64,
+    /// Index of the next stripe to request.
+    next_stripe: u64,
+    /// Outstanding fetches, oldest first (collected in send order).
+    inflight: VecDeque<(u64, PendingCall)>,
+    /// Fetched stripes awaiting consumption: stripe index → payload.
+    ready: HashMap<u64, Arc<[u8]>>,
+}
+
+impl Readahead {
+    /// A fresh pipeline positioned at `offset`.
+    fn starting_at(offset: u64, stripe_unit: u64) -> Readahead {
+        Readahead {
+            next_offset: offset,
+            next_stripe: offset / stripe_unit,
+            inflight: VecDeque::new(),
+            ready: HashMap::new(),
+        }
+    }
+}
 
 impl ClientLib {
     // ----- close -----------------------------------------------------------
@@ -14,6 +51,7 @@ impl ClientLib {
     pub(crate) fn close_impl(&self, num: u32) -> FsResult<()> {
         let mut st = self.state.lock();
         let entry = st.fds.remove(num)?;
+        st.readahead.remove(&num);
         drop(st);
         self.flush_entry(&entry);
         // Publish the close-to-open size only when this descriptor's view
@@ -88,6 +126,13 @@ impl ClientLib {
             }
             (_, FdMode::Local { offset }) => {
                 if self.params.techniques.direct_access {
+                    if entry.extent.is_some() {
+                        // Striped data plane: the extent map's servers move
+                        // the bytes in parallel, pipelined by the
+                        // readahead window.
+                        let em = entry.extent.clone().expect("checked");
+                        return self.read_striped(num, st, em, offset, buf);
+                    }
                     let n = self.read_local(entry, offset, buf);
                     entry.mode = FdMode::Local {
                         offset: offset + n as u64,
@@ -150,6 +195,138 @@ impl ClientLib {
                 Ok(len as usize)
             }
         }
+    }
+
+    /// Sequential read through the striped data plane: one stateless
+    /// [`Request::ReadStripe`] per stripe, addressed to the stripe's
+    /// server per the extent map, with up to `readahead_window` fetches in
+    /// flight ahead of the copy-out. Bypasses this core's private cache —
+    /// the stripe servers read shared DRAM and ship the bytes, which is
+    /// what lets W servers stream one file in parallel.
+    ///
+    /// Exchange-count contract (pinned by tests): a cold full-file read
+    /// costs exactly `ceil(size / stripe_unit)` exchanges — each stripe is
+    /// requested once and prefetch never runs past EOF.
+    fn read_striped(
+        &self,
+        num: u32,
+        mut st: parking_lot::MutexGuard<'_, super::ClientState>,
+        em: ExtentMap,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> FsResult<usize> {
+        let entry = st.fds.get(num)?;
+        let size = entry.size;
+        if offset >= size {
+            return Ok(0);
+        }
+        let n = (buf.len() as u64).min(size - offset) as usize;
+        if n == 0 {
+            return Ok(0);
+        }
+        let su = em.stripe_unit;
+        let blocks = entry.blocks.clone();
+        // Take the pipeline out of the table for the duration of the
+        // exchanges (the io.rs convention: data paths do not hold the
+        // state lock across RPCs). A pipeline positioned elsewhere is
+        // stale prefetch — drop it and start at `offset`.
+        let mut ra = st
+            .readahead
+            .remove(&num)
+            .filter(|r| r.next_offset == offset)
+            .unwrap_or_else(|| Readahead::starting_at(offset, su));
+        drop(st);
+        let window = self.params.readahead_window;
+        let nstripes = size.div_ceil(su);
+        let first = offset / su;
+        let last = (offset + n as u64 - 1) / su;
+        let mut filled = 0usize;
+        for s in first..=last {
+            // Top up the window before blocking on stripe `s`: the later
+            // stripes' fetches overlap this one's service and wait.
+            while ra.inflight.len() < window && ra.next_stripe < nstripes {
+                let t = ra.next_stripe;
+                ra.next_stripe += 1;
+                if ra.ready.contains_key(&t) {
+                    continue;
+                }
+                let p = self.send_stripe_fetch(&em, &blocks, size, t)?;
+                ra.inflight.push_back((t, p));
+            }
+            // Collect replies (send order) until stripe `s` is in hand.
+            while !ra.ready.contains_key(&s) {
+                let (idx, p) = ra.inflight.pop_front().expect("stripe was requested");
+                let data = expect_reply!(
+                    rpc::wait_call(&self.machine, &self.entity, p),
+                    Reply::Data { data, _eof } => data
+                )?;
+                ra.ready.insert(idx, data);
+            }
+            let data = ra.ready.get(&s).expect("just collected");
+            let s_start = s * su;
+            let from = (offset + filled as u64 - s_start) as usize;
+            // Bytes this stripe still owes the file (the last stripe is
+            // short; holes return less data and read as zeros).
+            let logical = (su.min(size - s_start) as usize) - from;
+            let take = (n - filled).min(logical);
+            let from_data = take.min(data.len().saturating_sub(from));
+            buf[filled..filled + from_data].copy_from_slice(&data[from..from + from_data]);
+            buf[filled + from_data..filled + take].fill(0);
+            filled += take;
+            // Consumed through the stripe's logical end: its payload is
+            // spent.
+            if (offset + filled as u64) >= s_start + su.min(size - s_start) {
+                ra.ready.remove(&s);
+            }
+        }
+        debug_assert_eq!(filled, n);
+        // The single end-to-end copy, charged like every other client-side
+        // payload move.
+        self.charge(n as u64 / 32);
+        let mut st = self.state.lock();
+        ra.next_offset = offset + n as u64;
+        st.readahead.insert(num, ra);
+        if let Ok(entry) = st.fds.get_mut(num) {
+            // The descriptor may have been shared (dup/export) while the
+            // lock was dropped: only advance a still-local offset.
+            if let FdMode::Local { .. } = entry.mode {
+                entry.mode = FdMode::Local {
+                    offset: offset + n as u64,
+                };
+            }
+        }
+        Ok(n)
+    }
+
+    /// Sends one stripe's [`Request::ReadStripe`] to its extent-map server
+    /// without waiting: the block sub-list is sliced client-side from the
+    /// open-time block list, so the request is self-contained and any
+    /// server can service it.
+    fn send_stripe_fetch(
+        &self,
+        em: &ExtentMap,
+        blocks: &[nccmem::BlockId],
+        size: u64,
+        stripe: u64,
+    ) -> FsResult<PendingCall> {
+        let su = em.stripe_unit;
+        let start = stripe * su;
+        let len = su.min(size - start);
+        let bps = (su as usize) / BLOCK_SIZE;
+        let b0 = (stripe as usize) * bps;
+        let b1 = (b0 + bps).min(blocks.len());
+        let slice = blocks.get(b0..b1).unwrap_or(&[]).to_vec();
+        let server = em.server_of(stripe);
+        rpc::send_call(
+            &self.machine,
+            &self.entity,
+            &self.servers[server as usize],
+            Request::ReadStripe {
+                blocks: slice,
+                offset: 0,
+                len,
+            },
+        )
     }
 
     /// Direct buffer-cache read through this core's private cache
@@ -218,7 +395,17 @@ impl ClientLib {
             (_, FdMode::Local { offset }) => {
                 let start = if append { entry.size } else { offset };
                 if self.params.techniques.direct_access {
-                    self.write_local(num, &mut st, start, buf)?;
+                    if entry.extent.is_some() {
+                        // Striped data plane: write through the stripe
+                        // servers (shared DRAM stays authoritative, so
+                        // striped reads never miss this data). Any
+                        // readahead is stale once the file mutates.
+                        let em = entry.extent.clone().expect("checked");
+                        st.readahead.remove(&num);
+                        self.write_striped(num, &mut st, em, start, buf)?;
+                    } else {
+                        self.write_local(num, &mut st, start, buf)?;
+                    }
                     let entry = st.fds.get_mut(num)?;
                     entry.mode = FdMode::Local {
                         offset: start + buf.len() as u64,
@@ -341,6 +528,78 @@ impl ClientLib {
         Ok(())
     }
 
+    /// Write through the striped data plane: blocks are still allocated
+    /// from the *home* server (striping spreads data service, not storage
+    /// ownership), then one stateless [`Request::WriteStripe`] per touched
+    /// stripe fans out through the batch transport — per-server grouping,
+    /// overlapped exchanges. The bytes land in shared DRAM immediately, so
+    /// nothing is dirty client-side; the size is published write-behind at
+    /// close/fsync exactly like the direct-access path.
+    fn write_striped(
+        &self,
+        num: u32,
+        st: &mut parking_lot::MutexGuard<'_, super::ClientState>,
+        em: ExtentMap,
+        start: u64,
+        buf: &[u8],
+    ) -> FsResult<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let end = start + buf.len() as u64;
+        let entry = st.fds.get_mut(num)?;
+        let need_blocks = (end as usize).div_ceil(BLOCK_SIZE);
+        if need_blocks > entry.blocks.len() {
+            let (ino, fdid) = (entry.ino, entry.fdid);
+            let (blocks, _size) = expect_reply!(
+                self.call(
+                    ino.server,
+                    Request::AllocBlocks {
+                        fd: fdid,
+                        min_size: end,
+                    },
+                ),
+                Reply::Blocks { blocks, size } => (blocks, size)
+            )?;
+            let entry = st.fds.get_mut(num)?;
+            entry.blocks = blocks;
+        }
+        let entry = st.fds.get_mut(num)?;
+        let su = em.stripe_unit;
+        let bps = (su as usize) / BLOCK_SIZE;
+        let mut reqs = Vec::new();
+        let mut cur = start;
+        while cur < end {
+            let s = cur / su;
+            let s_start = s * su;
+            let chunk_end = end.min(s_start + su);
+            let b0 = (s as usize) * bps;
+            let b1 = (b0 + bps).min(entry.blocks.len());
+            let slice = entry.blocks.get(b0..b1).unwrap_or(&[]).to_vec();
+            let data: Arc<[u8]> =
+                Arc::from(&buf[(cur - start) as usize..(chunk_end - start) as usize]);
+            reqs.push((
+                em.server_of(s),
+                Request::WriteStripe {
+                    blocks: slice,
+                    offset: cur - s_start,
+                    data,
+                },
+            ));
+            cur = chunk_end;
+        }
+        // The one client-side copy (into the request payloads above).
+        self.charge(buf.len() as u64 / 32);
+        let replies = self.call_grouped(reqs, false);
+        for r in replies {
+            expect_reply!(r, Reply::Written { .. } => ())?;
+        }
+        let entry = st.fds.get_mut(num)?;
+        entry.size = entry.size.max(end);
+        entry.wrote = true;
+        Ok(())
+    }
+
     // ----- lseek / fsync / truncate -----------------------------------------
 
     pub(crate) fn lseek_impl(&self, num: u32, offset: i64, whence: Whence) -> FsResult<u64> {
@@ -354,6 +613,9 @@ impl ClientLib {
             FdMode::Local { offset: cur } => {
                 let new = fsapi::flags::apply_seek(cur, entry.size, offset, whence)?;
                 entry.mode = FdMode::Local { offset: new };
+                // A repositioned descriptor invalidates any sequential
+                // readahead (prefetched stripes are for the old position).
+                st.readahead.remove(&num);
                 Ok(new)
             }
             FdMode::Shared => {
@@ -510,8 +772,9 @@ impl ClientLib {
         // Flush local dirty data first: the server zeroes the truncated
         // tail in DRAM, and this core's copies must be refreshed after.
         let snapshot = entry.clone();
-        self.flush_entry(&snapshot);
         let (ino, fdid) = (entry.ino, entry.fdid);
+        st.readahead.remove(&num);
+        self.flush_entry(&snapshot);
         self.call_unit(
             ino.server,
             Request::Truncate {
@@ -574,6 +837,7 @@ impl ClientLib {
         e.dirty.clear();
         let mut copy = e.clone();
         copy.mode = FdMode::Shared;
+        st.readahead.remove(&num);
         st.fds.insert(copy)
     }
 
@@ -599,6 +863,7 @@ impl ClientLib {
             mode: FdMode::Shared,
             size: 0,
             blocks: Vec::new(),
+            extent: None,
             dirty: HashSet::new(),
             wrote: false,
             published_size: 0,
@@ -638,6 +903,8 @@ impl ClientLib {
     /// flips the descriptor to shared (paper §3.4/§3.5).
     pub fn export_fds(&self) -> FsResult<Vec<ExportedFd>> {
         let mut st = self.state.lock();
+        // Every descriptor goes shared: all readahead state is moot.
+        st.readahead.clear();
         let mut out = Vec::new();
         for num in st.fds.numbers() {
             let entry = st.fds.get(num)?.clone();
@@ -689,6 +956,7 @@ impl ClientLib {
                     mode: FdMode::Shared,
                     size: 0,
                     blocks: Vec::new(),
+                    extent: None,
                     dirty: HashSet::new(),
                     wrote: false,
                     published_size: 0,
@@ -708,6 +976,7 @@ impl ClientLib {
         });
         self.charge(self.machine.cost.invalidate_blk * dropped as u64);
         let mut st = self.state.lock();
+        st.readahead.remove(&num);
         if let Ok(e) = st.fds.get_mut(num) {
             e.mode = FdMode::Local { offset: d.offset };
             e.size = d.size;

@@ -45,6 +45,10 @@ pub struct ClientParams {
     pub root_distributed: bool,
     /// Directory-cache capacity in slots (positive + negative).
     pub dircache_capacity: usize,
+    /// Stripe requests kept in flight per sequential reader (already
+    /// normalized by the instance: the `readahead` toggle off is window 1,
+    /// one stripe at a time).
+    pub readahead_window: usize,
 }
 
 /// Internal mutable state, serialized behind one lock (a process is a
@@ -53,6 +57,11 @@ pub struct ClientParams {
 pub(crate) struct ClientState {
     pub(crate) fds: ClientFdTable,
     pub(crate) dircache: DirCache,
+    /// Per-descriptor readahead pipelines for striped sequential reads
+    /// (keyed by descriptor number). Lives here, not in [`fd::FdEntry`]:
+    /// in-flight calls are not clonable and the pipeline is pure
+    /// prefetched state, dropped on any non-sequential use.
+    pub(crate) readahead: std::collections::HashMap<u32, io::Readahead>,
 }
 
 /// A process's Hare client library.
@@ -98,6 +107,7 @@ impl ClientLib {
             state: Mutex::new(ClientState {
                 fds: ClientFdTable::default(),
                 dircache: DirCache::new(inval_rx, dircache_capacity),
+                readahead: std::collections::HashMap::new(),
             }),
             routing: Mutex::new(RoutingTable::new()),
             detached: AtomicBool::new(false),

@@ -29,13 +29,24 @@ impl ClientLib {
         if !excl && t.chained_resolution && t.fused_terminal && t.coalesced_open {
             let (mut comps, name) = fsapi::path::split_parent(path)?;
             comps.push(name);
-            let out = self.run_op(
-                &mut st,
-                FusedPathOp::new(self.root_ref(), &comps, TerminalOp::Open { flags }),
-            )?;
+            // O_CREAT rides the chain as a Create terminal: a missing
+            // final component is created by the final server (which owns
+            // its dentry shard — the coalesced placement) instead of
+            // bouncing ENOENT back, so the cold create-open is one
+            // exchange too. An existing name behaves exactly like Open.
+            let terminal = if flags.contains(OpenFlags::CREAT) {
+                TerminalOp::Create { flags, mode }
+            } else {
+                TerminalOp::Open { flags }
+            };
+            let out = self.run_op(&mut st, FusedPathOp::new(self.root_ref(), &comps, terminal))?;
             let existing = match out.dentry {
                 Some(d) => match out.term {
                     Some(TerminalReply::Open(o)) => self.install_fd(&mut st, d.target, o, flags),
+                    Some(TerminalReply::Created { ino, open }) => {
+                        debug_assert_eq!(ino, d.target);
+                        self.install_fd(&mut st, ino, open, flags)
+                    }
                     // Remote inode (or non-file, or a failing local open):
                     // complete with the ordinary follow-up, which also
                     // reproduces the authoritative error (EISDIR, EACCES).
@@ -353,6 +364,7 @@ impl ClientLib {
             mode: FdMode::Local { offset: 0 },
             size: open.size,
             blocks: open.blocks,
+            extent: open.extent,
             dirty: HashSet::new(),
             wrote: false,
             published_size: open.size,

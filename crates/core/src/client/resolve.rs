@@ -507,6 +507,16 @@ impl<'p> ResolveOp<'p> {
                     name: name.to_string(),
                     flags,
                 },
+                // The single-RPC form cannot create (only a chain's final
+                // server is known to own both halves of the coalesced
+                // placement): degrade to the coalesced open — an ENOENT
+                // falls through to the client's ordinary create tail.
+                TerminalOp::Create { flags, .. } => Request::LookupOpen {
+                    client: lib.params.id,
+                    dir: self.cur.ino,
+                    name: name.to_string(),
+                    flags,
+                },
                 // A listing's final single is a plain lookup (the shard
                 // server is not, in general, where the listing lives).
                 TerminalOp::List { .. } | TerminalOp::None => Request::Lookup {
@@ -705,6 +715,21 @@ impl<'p> PairResolveOp<'p> {
             self.ops[long].pending = Pending::Chain { upto };
             return Some((req, true));
         }
+        if let ([true, true], None) = (chain, prefix_len) {
+            // Diverging suffixes that still share a leading run of 2+
+            // components (e.g. rename("a/b/c/x", "a/b/c/y/z")): chain the
+            // shared prefix once and split there. With hashed dentry
+            // placement a k-component prefix expects 1 + (k-1)(1 - 1/n)
+            // distinct server runs, so resolving it twice would forward
+            // through ~2x the servers; one shared chain halves that, and
+            // both suffixes still resolve (overlapped) next round.
+            let upto = r0.iter().zip(r1).take_while(|(a, b)| a == b).count();
+            if upto >= 2 {
+                let req = self.ops[short].chain_request(lib, upto);
+                self.ops[long].pending = Pending::Chain { upto };
+                return Some((req, true));
+            }
+        }
         if chain == [false, false] && r0[0] == r1[0] {
             // Both chains next ask the same single lookup.
             let req = self.ops[short].single_request(lib);
@@ -713,9 +738,10 @@ impl<'p> PairResolveOp<'p> {
             self.ops[long].pending = Pending::Single;
             return Some((req, false));
         }
-        // Mixed chain/single frontiers (or diverging suffixes): resolving
-        // them independently overlaps in one round; a forced shared prefix
-        // would serialize an extra round for no message saving.
+        // Mixed chain/single frontiers (or suffixes diverging on the first
+        // or second component): resolving them independently overlaps in
+        // one round; a forced shared prefix would serialize an extra round
+        // for no message saving.
         None
     }
 }

@@ -105,6 +105,19 @@ pub struct Techniques {
     /// migration driver are no-ops and the routing tables stay at epoch 0
     /// (the paper's fixed hash) forever.
     pub rebalancing: bool,
+    /// The striped data plane: when on *and* `HareConfig::stripe_width`
+    /// is ≥ 2, opens carry an extent map and clients address each
+    /// stripe's `ReadStripe`/`WriteStripe` to its service owner in
+    /// parallel. When off (or un-widened, the default), every block is
+    /// serviced by the file's home server — byte-for-byte the paper's
+    /// layout.
+    pub striping: bool,
+    /// Windowed stripe readahead: the client keeps up to
+    /// `HareConfig::readahead_window` stripe fetches in flight ahead of a
+    /// sequential reader. When off, striped reads fetch one stripe at a
+    /// time (still parallel across a multi-stripe read call). Inert
+    /// without `striping`.
+    pub readahead: bool,
 }
 
 impl Default for Techniques {
@@ -123,6 +136,8 @@ impl Default for Techniques {
             chained_resolution: true,
             fused_terminal: true,
             rebalancing: true,
+            striping: true,
+            readahead: true,
         }
     }
 }
@@ -149,6 +164,8 @@ impl Techniques {
             "chained_resolution" => t.chained_resolution = false,
             "fused_terminal" => t.fused_terminal = false,
             "rebalancing" => t.rebalancing = false,
+            "striping" => t.striping = false,
+            "readahead" => t.readahead = false,
             other => panic!("unknown technique {other:?}"),
         }
         t
@@ -209,6 +226,18 @@ pub struct HareConfig {
     /// round-robin cursor), instead of blindly cycling. Off by default —
     /// the paper's §3.5 policies are load-blind.
     pub load_aware_exec: bool,
+    /// Stripe unit of the striped data plane in bytes (a multiple of the
+    /// block size). Only meaningful with `techniques.striping` and
+    /// `stripe_width ≥ 2`.
+    pub stripe_unit: u64,
+    /// How many servers a file's stripe I/O is spread over (clamped to
+    /// the machine's server count). The default 1 keeps the paper's
+    /// all-blocks-home layout — the striping toggle is then inert and
+    /// every exchange count is byte-for-byte the seed's.
+    pub stripe_width: usize,
+    /// How many stripe fetches the readahead pipeline keeps in flight
+    /// ahead of a sequential reader (with `techniques.readahead`).
+    pub readahead_window: usize,
 }
 
 impl HareConfig {
@@ -235,6 +264,9 @@ impl HareConfig {
             dircache_capacity: 4096,
             server_track_capacity: 8192,
             load_aware_exec: false,
+            stripe_unit: 64 * 1024,
+            stripe_width: 1,
+            readahead_window: 4,
         }
     }
 
@@ -318,6 +350,19 @@ mod tests {
         assert!(!t.fused_terminal && t.chained_resolution && t.coalesced_stat);
         let t = Techniques::without("rebalancing");
         assert!(!t.rebalancing && t.chained_resolution && t.fused_terminal);
+        let t = Techniques::without("striping");
+        assert!(!t.striping && t.readahead && t.direct_access && t.batching);
+        // readahead without striping is inert, not invalid.
+        let t = Techniques::without("readahead");
+        assert!(!t.readahead && t.striping && t.chained_resolution);
+    }
+
+    #[test]
+    fn default_stripe_knobs_are_the_paper_layout() {
+        let c = HareConfig::timeshare(8);
+        assert_eq!(c.stripe_width, 1, "default layout is all-blocks-home");
+        assert_eq!(c.stripe_unit % 4096, 0, "stripe unit is block-aligned");
+        assert!(c.readahead_window >= 1);
     }
 
     #[test]

@@ -65,6 +65,14 @@ impl HareInstance {
                     track_capacity: cfg.server_track_capacity,
                     peers: Arc::clone(&handles),
                     distribution: cfg.techniques.distribution,
+                    stripe_unit: cfg.stripe_unit,
+                    // Normalized like neg_dircache: the toggle off (or an
+                    // un-widened config) is width 1, the paper's layout.
+                    stripe_width: if cfg.techniques.striping {
+                        cfg.stripe_width
+                    } else {
+                        1
+                    },
                 },
             );
             threads.push(
@@ -122,6 +130,11 @@ impl HareInstance {
                 default_distributed: self.cfg.default_distributed,
                 root_distributed: self.cfg.root_distributed && self.cfg.techniques.distribution,
                 dircache_capacity: self.cfg.dircache_capacity,
+                readahead_window: if self.cfg.techniques.readahead {
+                    self.cfg.readahead_window.max(1)
+                } else {
+                    1
+                },
             },
         )
     }

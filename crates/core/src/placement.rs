@@ -55,8 +55,50 @@
 //! placement follows the routing table), so a churning hot directory's
 //! inode load drains to the new owner naturally.
 
+use crate::proto::ExtentMap;
 use crate::types::{dentry_shard, InodeId, ServerId};
 use std::collections::HashMap;
+
+/// The striping policy: which servers *service* a file's stripe I/O (the
+/// data-plane sibling of the dentry-shard hash above). Like the dentry
+/// hash it is a pure function — every server and client derives the same
+/// [`ExtentMap`] from the inode alone, so extent maps carry no durable
+/// state: nothing migrates with a directory, nothing can be stranded, and
+/// the epoch-0 default (`stripe_width < 2`, or a single-server machine)
+/// is **byte-for-byte the paper's layout**: every block of a file is
+/// serviced by its home server, pinned by test below.
+///
+/// With width `w ≥ 2`, stripe `k` is serviced by server
+/// `(home + k) mod nservers` walked round-robin from the home server —
+/// home-anchored so a file still leads with its own server (stripe 0 is
+/// home: the first stripe of a cold read never leaves the inode's server)
+/// and different files anchored at different homes interleave instead of
+/// converging on server 0.
+pub fn stripe_servers(ino: InodeId, stripe_width: usize, nservers: usize) -> Vec<ServerId> {
+    let width = stripe_width.min(nservers);
+    if width < 2 {
+        return vec![ino.server];
+    }
+    (0..width)
+        .map(|k| ((ino.server as usize + k) % nservers) as ServerId)
+        .collect()
+}
+
+/// The full extent map for `ino` under the policy: `None` when the
+/// layout is the paper's all-blocks-home (width < 2), so every consumer
+/// treats "no extent" and "epoch-0 layout" as the same thing.
+pub fn extent_for(
+    ino: InodeId,
+    stripe_unit: u64,
+    stripe_width: usize,
+    nservers: usize,
+) -> Option<ExtentMap> {
+    let servers = stripe_servers(ino, stripe_width, nservers);
+    (servers.len() >= 2).then_some(ExtentMap {
+        stripe_unit,
+        servers,
+    })
+}
 
 /// One placement override: the directory's entries live at `owner` as of
 /// migration `epoch`.
@@ -251,6 +293,35 @@ mod tests {
         assert_eq!(t.route(DIR, false, "a", 8), 0);
         assert_eq!(t.dir_home(DIR), 0);
         assert_eq!(t.epoch_of(DIR), 0);
+    }
+
+    #[test]
+    fn epoch_zero_striping_is_all_blocks_home() {
+        // The paper's layout, byte for byte: width < 2 (or one server)
+        // services every stripe at the file's home server and advertises
+        // no extent map at all — so with striping off (or un-widened)
+        // the data plane is indistinguishable from the seed.
+        for ino in [InodeId::ROOT, InodeId { server: 3, num: 42 }] {
+            assert_eq!(stripe_servers(ino, 1, 8), vec![ino.server]);
+            assert_eq!(stripe_servers(ino, 0, 8), vec![ino.server]);
+            assert_eq!(stripe_servers(ino, 4, 1), vec![ino.server]);
+            assert!(extent_for(ino, 65536, 1, 8).is_none());
+            assert!(extent_for(ino, 65536, 4, 1).is_none());
+        }
+    }
+
+    #[test]
+    fn striping_is_home_anchored_round_robin() {
+        let ino = InodeId { server: 6, num: 9 };
+        // Width 4 over 8 servers: home leads, then the next three.
+        assert_eq!(stripe_servers(ino, 4, 8), vec![6, 7, 0, 1]);
+        // Width clamps to the machine (home 6 ≡ 2 mod 4 servers).
+        assert_eq!(stripe_servers(ino, 16, 4), vec![2, 3, 0, 1]);
+        let e = extent_for(ino, 65536, 4, 8).unwrap();
+        assert_eq!(e.server_of(0), 6, "stripe 0 stays home");
+        assert_eq!(e.server_of(4), 6, "round robin wraps");
+        // Deterministic: every party derives the same map.
+        assert_eq!(e, extent_for(ino, 65536, 4, 8).unwrap());
     }
 
     #[test]

@@ -115,6 +115,23 @@ pub enum TerminalOp {
         /// Open flags for the coalesced open (handles `O_TRUNC`).
         flags: OpenFlags,
     },
+    /// `open(O_CREAT)` of the final component: like [`TerminalOp::Open`]
+    /// when the name exists, but a *missing* final component is created —
+    /// inode, directory entry, and descriptor in one coalesced step, the
+    /// chained form of [`Request::Create`] with `add_map` + `open` — so a
+    /// cold create-open whose shards align is one end-to-end exchange. The
+    /// final server is by construction the dentry shard owner; creation is
+    /// answered only when the placement policy would also put the inode
+    /// there (otherwise the walk reports `ENOENT` as usual and the client
+    /// runs the ordinary affinity-placed create). Never used for
+    /// `O_CREAT|O_EXCL`, whose probe-elision path answers the existence
+    /// question through a plain create.
+    Create {
+        /// Open flags for the coalesced open.
+        flags: OpenFlags,
+        /// Permission bits for the created file.
+        mode: Mode,
+    },
     /// The final server's shard of the target directory's listing (the
     /// chained head of a `readdir` fan-out): the client then only fans
     /// [`Request::ListShard`] to the *other* servers. With `plus`, the
@@ -134,6 +151,16 @@ pub enum TerminalReply {
     Stat(Stat),
     /// The coalesced open.
     Open(OpenResult),
+    /// The coalesced create+open of a previously missing final component
+    /// (answering [`TerminalOp::Create`]); the created file's dentry is
+    /// also appended to the reply's `entries`, so the client caches it
+    /// like any resolved component.
+    Created {
+        /// The new inode.
+        ino: InodeId,
+        /// The open descriptor.
+        open: OpenResult,
+    },
     /// One server's shard of the target directory listing, tagged with the
     /// answering server so the client can skip it in the fan-out.
     List {
@@ -533,6 +560,34 @@ pub enum Request {
         /// Append at end of file.
         append: bool,
     },
+    /// Reads one stripe's bytes from shared DRAM, addressed to the
+    /// stripe's *service* owner per the file's [`ExtentMap`] — any server,
+    /// since DRAM is shared and the request carries the explicit block
+    /// slice. Stateless (no descriptor, no inode): the client slices its
+    /// open-time block list by the extent map, so stripe owners hold no
+    /// per-file state and the request batches like any other. The striped
+    /// data plane's read half.
+    ReadStripe {
+        /// The blocks covering the stripe, in file order.
+        blocks: Vec<nccmem::BlockId>,
+        /// Byte offset *within* the slice covered by `blocks`.
+        offset: u64,
+        /// Length to read.
+        len: u64,
+    },
+    /// Writes one stripe's bytes to shared DRAM (the write half of
+    /// [`Request::ReadStripe`]; same stateless addressing). Capacity is
+    /// the client's problem: blocks are allocated beforehand from the home
+    /// server via [`Request::AllocBlocks`], and the new size is published
+    /// at close/fsync exactly like the direct-access write path.
+    WriteStripe {
+        /// The blocks covering the stripe, in file order.
+        blocks: Vec<nccmem::BlockId>,
+        /// Byte offset *within* the slice covered by `blocks`.
+        offset: u64,
+        /// Bytes to write (shared, so batching never copies).
+        data: Arc<[u8]>,
+    },
     /// Increments an inode's link count (rename bookkeeping).
     LinkIncref {
         /// Per-server inode number.
@@ -586,6 +641,42 @@ pub struct DemoteInfo {
     pub blocks: Vec<nccmem::BlockId>,
 }
 
+/// How a file's block I/O is spread over servers (the striped data
+/// plane). Block *storage* never moves — every block is allocated from
+/// the home server's buffer-cache partition, so migration and teardown
+/// stay single-owner — but the DRAM *service* work for stripe `k`
+/// (`stripe_unit` bytes) is addressed to `servers[k % servers.len()]`
+/// via [`Request::ReadStripe`]/[`Request::WriteStripe`]. The map is
+/// derived deterministically from the inode by the striping policy in
+/// `crate::placement` (epoch 0, width < 2: all blocks serviced by the
+/// home server, byte-for-byte the paper's layout), so it carries no
+/// durable state: nothing to migrate, nothing to strand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtentMap {
+    /// Stripe unit in bytes (a multiple of the block size).
+    pub stripe_unit: u64,
+    /// Ordered stripe service owners; `servers[k % width]` serves stripe
+    /// `k`.
+    pub servers: Vec<ServerId>,
+}
+
+impl ExtentMap {
+    /// Number of servers the file's I/O is spread over.
+    pub fn width(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The server servicing stripe `k`.
+    pub fn server_of(&self, stripe: u64) -> ServerId {
+        self.servers[(stripe % self.servers.len() as u64) as usize]
+    }
+
+    /// The stripe covering byte `offset`.
+    pub fn stripe_of(&self, offset: u64) -> u64 {
+        offset / self.stripe_unit
+    }
+}
+
 /// Fields returned by a successful open (plain or coalesced into `Create`).
 #[derive(Debug, Clone)]
 pub struct OpenResult {
@@ -595,6 +686,13 @@ pub struct OpenResult {
     pub size: u64,
     /// The file's block list for direct buffer-cache access.
     pub blocks: Vec<nccmem::BlockId>,
+    /// The file's extent map when the striping policy spreads its I/O
+    /// (`None` = all blocks serviced by the home server, the paper's
+    /// layout). Riding the open reply — including a fused chain's
+    /// [`TerminalReply::Open`] — is what makes a cold open+read one
+    /// metadata exchange plus parallel stripe fetches, with zero warm-up
+    /// round trips.
+    pub extent: Option<ExtentMap>,
 }
 
 /// A successful reply. Failures travel as `Err(Errno)` in [`WireReply`].
@@ -856,8 +954,14 @@ pub fn base_service_cost(req: &Request) -> u64 {
         Request::AllocBlocks { .. } => 400,
         Request::SetSize { .. } => 250,
         Request::Truncate { .. } => 500,
-        Request::ReadData { .. } => 500,
-        Request::WriteData { .. } => 500,
+        // Data-bearing requests scale with the payload: a fixed dispatch
+        // cost plus ~32 bytes/cycle of marshalling (the handler adds the
+        // per-block DRAM work on top). A flat cost here would let a 1 MiB
+        // transfer cost the same as a 4 KiB one at the server.
+        Request::ReadData { len, .. } => 150 + len / 32,
+        Request::WriteData { data, .. } => 150 + data.len() as u64 / 32,
+        Request::ReadStripe { len, .. } => 150 + len / 32,
+        Request::WriteStripe { data, .. } => 150 + data.len() as u64 / 32,
         Request::LinkIncref { .. } | Request::LinkDecref { .. } => 300,
         Request::StatInode { .. } => 400,
         Request::PipeCreate => 600,
@@ -901,6 +1005,55 @@ mod tests {
     #[test]
     fn shutdown_is_free() {
         assert_eq!(base_service_cost(&Request::Shutdown), 0);
+    }
+
+    #[test]
+    fn data_costs_scale_with_payload() {
+        let read = |len| Request::ReadData {
+            fd: FdId(1),
+            offset: 0,
+            len,
+        };
+        // Marshalling scales linearly at ~32 bytes/cycle over the fixed
+        // dispatch cost, so a 64 KiB transfer is charged far more than a
+        // 4 KiB one (the flat-500 regression this pins against).
+        assert_eq!(
+            base_service_cost(&read(65536)) - base_service_cost(&read(4096)),
+            (65536 - 4096) / 32
+        );
+        let ws = |n: usize| Request::WriteStripe {
+            blocks: vec![],
+            offset: 0,
+            data: vec![0u8; n].into(),
+        };
+        assert_eq!(
+            base_service_cost(&ws(65536)) - base_service_cost(&ws(4096)),
+            (65536 - 4096) / 32
+        );
+        // Stripe and through-server reads cost the same at equal payload:
+        // striping never pays a protocol premium per byte.
+        assert_eq!(
+            base_service_cost(&read(4096)),
+            base_service_cost(&Request::ReadStripe {
+                blocks: vec![],
+                offset: 0,
+                len: 4096
+            })
+        );
+    }
+
+    #[test]
+    fn extent_map_addresses_stripes_round_robin() {
+        let e = ExtentMap {
+            stripe_unit: 65536,
+            servers: vec![2, 3, 0, 1],
+        };
+        assert_eq!(e.width(), 4);
+        assert_eq!(e.stripe_of(0), 0);
+        assert_eq!(e.stripe_of(65535), 0);
+        assert_eq!(e.stripe_of(65536), 1);
+        assert_eq!(e.server_of(0), 2);
+        assert_eq!(e.server_of(5), 3);
     }
 
     #[test]

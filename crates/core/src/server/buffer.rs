@@ -5,6 +5,14 @@
 //! blocks; each block is managed by one file server" (paper §3.2). Block
 //! stealing between servers is not implemented, as in the paper's
 //! prototype.
+//!
+//! Striping does not change any of this: a file's blocks are always
+//! *allocated* from its home server's partition, even when an extent map
+//! spreads stripe *service* over other servers. DRAM is shared, so any
+//! server can move bytes for any block; the partition only decides who
+//! owns allocation and reclamation. Extent maps are therefore pure
+//! functions of the inode and the configured knobs — there is no
+//! per-server stripe state to migrate or leak.
 
 use fsapi::{Errno, FsResult};
 use nccmem::BlockId;

@@ -89,6 +89,13 @@ pub struct ServerParams {
     /// `Techniques::distribution`): the chained walk must route with the
     /// same effective distribution flags the clients use.
     pub distribution: bool,
+    /// Stripe unit in bytes for the striping policy (multiple of the block
+    /// size). Only consulted when `stripe_width >= 2`.
+    pub stripe_unit: u64,
+    /// Effective stripe width (already normalized by the instance: the
+    /// `striping` toggle off is width 1, the paper's all-blocks-home
+    /// layout).
+    pub stripe_width: usize,
 }
 
 /// One Hare file server.
@@ -107,6 +114,11 @@ pub struct Server {
     neg_dircache: bool,
     peers: Arc<Vec<crate::rpc::ServerHandle>>,
     distribution: bool,
+    /// Striping knobs for the extent-map policy attached to opened files
+    /// (see [`crate::placement::extent_for`]). Width 1 means no extent
+    /// maps are ever handed out — the paper's layout.
+    stripe_unit: u64,
+    stripe_width: usize,
     /// This server's copy of the epoch-versioned routing table. Starts at
     /// epoch 0 (pure hash); updated by the migrations this server takes
     /// part in. Entry operations for a directory whose shard migrated away
@@ -160,6 +172,8 @@ impl Server {
             neg_dircache: params.neg_dircache,
             peers: params.peers,
             distribution: params.distribution,
+            stripe_unit: params.stripe_unit,
+            stripe_width: params.stripe_width,
             routing: RoutingTable::new(),
             migrating: HashMap::new(),
             ops_served: 0,
@@ -466,6 +480,16 @@ impl Server {
                 data,
                 append,
             } => Some(self.op_write_data(fd, offset, data, append, ctx)),
+            Request::ReadStripe {
+                blocks,
+                offset,
+                len,
+            } => Some(self.op_read_stripe(&blocks, offset, len, ctx)),
+            Request::WriteStripe {
+                blocks,
+                offset,
+                data,
+            } => Some(self.op_write_stripe(&blocks, offset, data, ctx)),
             Request::LinkIncref { num } => Some(self.op_link_incref(num)),
             Request::LinkDecref { num } => Some(self.op_link_decref(num)),
             Request::StatInode { num } => Some(self.op_stat(num)),
@@ -989,6 +1013,24 @@ impl Server {
                     idx += 1;
                 }
                 None => {
+                    // A missing *final* component under a Create terminal
+                    // is not a failed walk — it is the create target, and
+                    // by routing this server owns its dentry shard, which
+                    // is exactly where the coalesced placement policy puts
+                    // the inode. Create it here: the chained form of the
+                    // coalesced [`Request::Create`].
+                    if idx + 1 == comps.len() && self.coalesced_create_here(client) {
+                        if let TerminalOp::Create { flags, mode } = terminal {
+                            let (entry, ino, open) =
+                                self.terminal_create(client, cur_dir, name, flags, mode, ctx);
+                            acc.push(entry);
+                            return Some(Ok(Reply::Path {
+                                entries: acc,
+                                stopped: None,
+                                term: Some(TerminalReply::Created { ino, open }),
+                            }));
+                        }
+                    }
                     // Track the miss for negative-cache invalidation.
                     if self.neg_dircache {
                         self.track_entry(cur_dir, name, client, ctx);
@@ -1053,6 +1095,22 @@ impl Server {
                     Err(_) => None,
                 }
             }
+            TerminalOp::Create { flags, .. } => {
+                // The name resolved after all: POSIX `open(O_CREAT)` of an
+                // existing file opens it, so this arm is exactly the Open
+                // terminal. (The created-missing-file case never reaches
+                // here — it is handled inline at the walk's miss branch.)
+                if last.ftype != FileType::Regular || last.target.server != self.id {
+                    return None;
+                }
+                match self.open_local_file(last.target.num, flags, ctx) {
+                    Ok(o) => {
+                        ctx.extra += 700;
+                        Some(TerminalReply::Open(o))
+                    }
+                    Err(_) => None,
+                }
+            }
             TerminalOp::List { plus } => {
                 if last.ftype != FileType::Directory {
                     return None;
@@ -1107,6 +1165,83 @@ impl Server {
                 })
             }
         }
+    }
+
+    /// Whether the creation-affinity policy (§3.6.4) would place a new
+    /// inode for `client` on this server. On the client's socket the
+    /// dentry-shard owner doubles as the inode server (the coalesced
+    /// placement the fused create replicates); across sockets the client
+    /// may prefer its designated local server, so the walk degrades to a
+    /// plain ENOENT and the client runs its ordinary placed create. The
+    /// check uses the registered client core, so a fused create never
+    /// moves an inode the unfused path would have placed elsewhere.
+    fn coalesced_create_here(&self, client: ClientId) -> bool {
+        match self.clients.get(&client) {
+            Some((_, core)) => {
+                self.machine.topology.socket_of(*core) == self.machine.topology.socket_of(self.core)
+            }
+            None => false,
+        }
+    }
+
+    /// The fused-create terminal's create half: makes `name` in `dir` —
+    /// known absent, live, and owned here — as a regular file with an open
+    /// descriptor, all in the current chain hop. Mirrors the coalesced
+    /// [`Server::op_create`] body (inode, dentry with invalidations and
+    /// tracking, descriptor) and is priced like it: the standalone
+    /// coalesced Create's base (900) plus its ADD_MAP half (300), charged
+    /// as chain extra since the chain envelope never pre-paid them.
+    fn terminal_create(
+        &mut self,
+        client: ClientId,
+        dir: InodeId,
+        name: &str,
+        flags: OpenFlags,
+        mode: Mode,
+        ctx: &mut Ctx,
+    ) -> (PathEntry, InodeId, OpenResult) {
+        let num = self.inodes.alloc(
+            mode,
+            InodeKind::File {
+                blocks: Vec::new(),
+                size: 0,
+            },
+        );
+        let ino = InodeId {
+            server: self.id,
+            num,
+        };
+        let val = DentryVal {
+            target: ino,
+            ftype: FileType::Regular,
+            dist: false,
+        };
+        // The walk just observed the name absent; the server is
+        // single-threaded so this cannot race.
+        self.dentries
+            .insert(dir, name, val, false)
+            .expect("entry checked absent");
+        // Clients holding a cached ENOENT for this name must hear about
+        // the creation (negative dentry invalidation).
+        if self.neg_dircache {
+            self.queue_invals(client, dir, name, ctx);
+        }
+        self.track_entry(dir, name, client, ctx);
+        ctx.extra += 900 + 300;
+        let fd = self.fds.open(num, FdKind::File, flags);
+        self.inodes.get_mut(num).expect("just created").open_fds += 1;
+        let open = OpenResult {
+            fd: FdId(fd),
+            size: 0,
+            blocks: Vec::new(),
+            extent: self.extent_of(num),
+        };
+        let entry = PathEntry {
+            target: ino,
+            ftype: FileType::Regular,
+            dist: false,
+        };
+        (entry, ino, open)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1340,6 +1475,7 @@ impl Server {
                     fd: FdId(fd),
                     size: 0,
                     blocks: Vec::new(),
+                    extent: self.extent_of(num),
                 })
             }
             _ => None,
@@ -1388,7 +1524,23 @@ impl Server {
             fd: FdId(fd),
             size,
             blocks,
+            extent: self.extent_of(num),
         })
+    }
+
+    /// The striping policy's verdict for a local file: which servers
+    /// service its stripes (see [`crate::placement::extent_for`]). `None`
+    /// (always, at width 1) is the paper's all-blocks-home layout.
+    fn extent_of(&self, num: u64) -> Option<crate::proto::ExtentMap> {
+        crate::placement::extent_for(
+            InodeId {
+                server: self.id,
+                num,
+            },
+            self.stripe_unit,
+            self.stripe_width,
+            self.peers.len(),
+        )
     }
 
     fn op_close(&mut self, fd: FdId, size: Option<u64>, ctx: &mut Ctx) -> WireReply {
@@ -1722,6 +1874,70 @@ impl Server {
         let mut written = 0usize;
         while written < data.len() {
             let pos = start as usize + written;
+            let (bi, bo) = (pos / BLOCK_SIZE, pos % BLOCK_SIZE);
+            let chunk = (BLOCK_SIZE - bo).min(data.len() - written);
+            self.machine
+                .dram
+                .write(blocks[bi], bo, &data[written..written + chunk]);
+            written += chunk;
+            ctx.extra += self.machine.cost.dram_direct_blk;
+        }
+        Ok(Reply::Written {
+            n: data.len() as u64,
+        })
+    }
+
+    /// Services a stripe read against an explicit block list (the striped
+    /// data plane). Stateless by design: the request names the blocks, so
+    /// *any* server can service it against the shared DRAM — ownership of
+    /// the descriptor and inode stays at the home server, only the data
+    /// movement is spread. `offset` is relative to the byte range the
+    /// block list covers.
+    fn op_read_stripe(
+        &mut self,
+        blocks: &[BlockId],
+        offset: u64,
+        len: u64,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        let cover = (blocks.len() * BLOCK_SIZE) as u64;
+        let n = len.min(cover.saturating_sub(offset)) as usize;
+        let mut data = vec![0u8; n];
+        let mut filled = 0usize;
+        while filled < n {
+            let pos = offset as usize + filled;
+            let (bi, bo) = (pos / BLOCK_SIZE, pos % BLOCK_SIZE);
+            let chunk = (BLOCK_SIZE - bo).min(n - filled);
+            self.machine
+                .dram
+                .read(blocks[bi], bo, &mut data[filled..filled + chunk]);
+            filled += chunk;
+            ctx.extra += self.machine.cost.dram_direct_blk;
+        }
+        Ok(Reply::Data {
+            data: data.into(),
+            _eof: false,
+        })
+    }
+
+    /// The write half of the striped data plane; see
+    /// [`Server::op_read_stripe`] for the addressing model. Capacity is
+    /// the client's problem (blocks come pre-allocated from the home
+    /// server), so writing past the listed blocks is a protocol error.
+    fn op_write_stripe(
+        &mut self,
+        blocks: &[BlockId],
+        offset: u64,
+        data: Arc<[u8]>,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        let cover = (blocks.len() * BLOCK_SIZE) as u64;
+        if offset + data.len() as u64 > cover {
+            return Err(Errno::EINVAL);
+        }
+        let mut written = 0usize;
+        while written < data.len() {
+            let pos = offset as usize + written;
             let (bi, bo) = (pos / BLOCK_SIZE, pos % BLOCK_SIZE);
             let chunk = (BLOCK_SIZE - bo).min(data.len() - written);
             self.machine

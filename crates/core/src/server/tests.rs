@@ -34,6 +34,8 @@ impl Harness {
                 track_capacity: 8192,
                 peers,
                 distribution: true,
+                stripe_unit: 64 * 1024,
+                stripe_width: 1,
             },
         );
         Harness { server, machine }

@@ -342,6 +342,70 @@ fn rename_pair_resolution_dedups_partially_shared_prefixes() {
 }
 
 #[test]
+fn rename_pair_resolution_dedups_diverging_suffixes_over_a_shared_prefix() {
+    // rename("/A/B/C/X/f1", "/A/B/C/Y/f2"): neither parent remainder is
+    // a prefix of the other — they diverge after [A, B, C] — but the
+    // shared prefix spans three server runs (A@0, B@1, C@0), so
+    // re-resolving it per chain would pay the forwards twice. The
+    // diverging-prefix dedup chains [A, B, C] once and splits: X@1 and
+    // Y@0 then resolve as two overlapped singles.
+    let inst = HareInstance::start(HareConfig::timeshare(2));
+    let nservers = 2usize;
+    let setup = inst.new_client(0).unwrap();
+    let pin = |parent: InodeId, prefix: &str, want: u16| {
+        (0..)
+            .map(|i| format!("{prefix}{i}"))
+            .find(|n| dentry_shard(parent, true, n, nservers) == want)
+            .unwrap()
+    };
+    let mkdir_pinned = |parent: InodeId, base: &str, prefix: &str, want: u16| {
+        let name = pin(parent, prefix, want);
+        let path = if base.is_empty() {
+            format!("/{name}")
+        } else {
+            format!("{base}/{name}")
+        };
+        setup
+            .mkdir_opts(&path, Mode::default(), MkdirOpts::DISTRIBUTED)
+            .unwrap();
+        let st = setup.stat(&path).unwrap();
+        (
+            path,
+            InodeId {
+                server: st.server,
+                num: st.ino,
+            },
+        )
+    };
+    let (a_path, a) = mkdir_pinned(InodeId::ROOT, "", "a", 0);
+    let (b_path, b) = mkdir_pinned(a, &a_path, "b", 1);
+    let (c_path, cc) = mkdir_pinned(b, &b_path, "c", 0);
+    let (x_path, x) = mkdir_pinned(cc, &c_path, "x", 1);
+    let (y_path, y) = mkdir_pinned(cc, &c_path, "y", 0);
+    // f1 in X and the f2 target name in Y, both pinned to server 0 so the
+    // commit's AddMap+RmMap pair shares one batched exchange.
+    let old = format!("{x_path}/{}", pin(x, "f1x", 0));
+    let new = format!("{y_path}/{}", pin(y, "f2x", 0));
+    fsapi::write_file(&setup, &old, b"x").unwrap();
+    drop(setup);
+
+    let c = inst.new_client(0).unwrap();
+    let before = inst.machine().msg_stats.sends();
+    c.rename(&old, &new).unwrap();
+    let sends = inst.machine().msg_stats.sends() - before;
+    // Shared prefix chain [A@0, B@1, C@0]: request + 2 forwards + reply
+    // = 4. Diverged singles X@1 and Y@0, overlapped: 2 + 2. Lookup of
+    // f1: 2. Batched AddMap+RmMap pair at server 0: 2. (Without the
+    // dedup the pair resolution pays the prefix runs in both chains —
+    // a 5-send and a 4-send chain — for 13 sends in total.)
+    assert_eq!(sends, 4 + 2 + 2 + 2 + 2);
+    assert_eq!(c.stat(&new).unwrap().size, 1);
+    assert_eq!(c.stat(&old).unwrap_err(), Errno::ENOENT);
+    drop(c);
+    inst.shutdown();
+}
+
+#[test]
 fn fused_readdir_rides_the_resolution_chain() {
     // Distributed target: the final chain server's shard returns with the
     // resolution reply, so the fan-out skips that server (one exchange
