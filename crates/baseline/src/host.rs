@@ -1,7 +1,7 @@
 //! The baseline host: process model and virtual-time accounting shared by
 //! the ramfs and UNFS3 comparison systems.
 //!
-//! Both baselines run the same coherent [`MemFs`](crate::memfs::MemFs); they
+//! Both baselines run the same coherent [`crate::memfs::MemFs`]; they
 //! differ in *where operations pay their costs*:
 //!
 //! * **ramfs** (Linux tmpfs stand-in): VFS syscall + dcache walk on the

@@ -6,14 +6,17 @@
 //! maildir pattern) and stat files in per-worker directories that are
 //! deliberately homed on the *same* server as the spool, so that server
 //! serializes nearly the whole workload. The bench measures the skewed
-//! phase, runs one load-aware rebalance pass (which migrates the spool's
-//! dentry shard to the least-loaded server), and measures again: with
-//! `rebalancing` on, the spool churn and the background load now run on
-//! different servers and the virtual cycles per operation drop; with it
-//! off, the rebalance is a no-op and nothing changes. The machine is the
-//! paper's *split* configuration (dedicated server cores) so the
-//! before/after comparison isolates server queueing from the timeshare
-//! context-switch tax.
+//! phase, then drives the cadence-based rebalancer
+//! ([`hare_core::Rebalancer`]) through unmeasured confirmation bursts
+//! until it commits — the hysteresis is visible: the first probe only
+//! opens the confirmation streak, and the migration (of the spool's
+//! dentry shard to the least-loaded server) lands on a later tick — and
+//! measures again: with `rebalancing` on, the spool churn and the
+//! background load now run on different servers and the virtual cycles
+//! per operation drop; with it off, every tick is a no-op and nothing
+//! changes. The machine is the paper's *split* configuration (dedicated
+//! server cores) so the before/after comparison isolates server queueing
+//! from the timeshare context-switch tax.
 //!
 //! RPCs/op is the *hard* gate metric: the post-migration count may exceed
 //! the pre-migration count only by the one-bounce redirect amortization
@@ -23,7 +26,11 @@
 //! against the committed baseline first (CI perf smoke).
 
 use fsapi::{MkdirOpts, Mode, OpenFlags, ProcFs};
-use hare_core::{dentry_shard, HareConfig, HareInstance, InodeId, RebalancePolicy, Techniques};
+use hare_bench::pinned_name;
+use hare_core::{
+    dentry_shard, HareConfig, HareInstance, InodeId, RebalanceCadence, RebalancePolicy, Rebalancer,
+    Techniques,
+};
 use std::sync::Arc;
 
 /// Two worker processes per application core: while one waits on the hot
@@ -37,15 +44,6 @@ fn iters() -> usize {
         Ok("quick") => 24,
         _ => 96,
     }
-}
-
-/// A name under `dir` whose dentry shard is `want` (brute-forced like the
-/// pinned exchange-count tests).
-fn pinned_name(dir: InodeId, dist: bool, prefix: &str, want: u16, nservers: usize) -> String {
-    (0..)
-        .map(|i| format!("{prefix}{i}"))
-        .find(|n| dentry_shard(dir, dist, n, nservers) == want)
-        .expect("some name hashes to every shard")
 }
 
 struct Phase {
@@ -168,12 +166,44 @@ fn measure(name: &'static str, techniques: Techniques, cores: usize) -> Row {
 
     let pre = run_phase(&inst, &spool, &bg_dirs, rounds);
 
-    // One load-aware rebalance pass: reads every server's counters, finds
-    // the hot server's dominant directory (the spool), and migrates its
-    // shard to the least-loaded server. A no-op with `rebalancing` off.
-    let plan = setup.rebalance_once(&RebalancePolicy::default()).unwrap();
+    // Drive the background rebalancer between the measured phases: each
+    // unmeasured burst keeps the skew visible to the next load probe
+    // (probes reset the counters, so an idle gap would read as a cold
+    // server), and the cadence's confirm=2 hysteresis means the first
+    // probe only opens the streak — the migration lands on a later tick.
+    // With `rebalancing` off every tick is a no-op.
+    let mut reb = Rebalancer::new(
+        RebalancePolicy::default(),
+        RebalanceCadence {
+            probe_interval: 50_000,
+            confirm: 2,
+            cooldown: 400_000,
+        },
+    );
+    let burst = |serial: usize| {
+        for k in 0..24 {
+            let msg = format!("{spool}/conf{serial}_{k}");
+            let fd = setup
+                .open(&msg, OpenFlags::CREAT | OpenFlags::WRONLY, Mode::default())
+                .unwrap();
+            setup.close(fd).unwrap();
+            setup.unlink(&msg).unwrap();
+        }
+    };
+    let mut plan = None;
+    let mut ticks = 0;
+    while plan.is_none() && ticks < 8 {
+        burst(ticks);
+        setup.vwait(setup.vnow() + 60_000);
+        plan = setup.rebalance_tick(&mut reb).unwrap();
+        ticks += 1;
+    }
     let migrated = plan.is_some();
     if let Some(p) = plan {
+        assert!(
+            ticks >= 2,
+            "hysteresis: a single probe must never migrate (committed on tick {ticks})"
+        );
         assert_eq!(p.from, hot, "the spool's server must be the hot one");
         assert_ne!(p.to, hot);
         assert_eq!(setup.dir_owner(&spool).unwrap(), p.to);

@@ -1,0 +1,305 @@
+//! `micro_trace`: replays the committed shifting-hotspot trace and gates
+//! the background rebalancer's *behavior over time*.
+//!
+//! The scenario (authored by `trace_gen`, committed under `traces/`):
+//! four clients run a metadata-heavy mix over eight centralized
+//! directories that all start on server 1 of a 4-server split machine.
+//! In phase 1 directory A draws ~a third of the traffic; in phase 2 the
+//! hotspot shifts to directory B. The replay drives the cadence-based
+//! rebalancer ([`Rebalancer`]) at every window boundary, and the
+//! time-series layer ([`TimeSeries`]) records per-window ops, failures,
+//! message sends, per-server load, and migration/invalidation events.
+//!
+//! The gate asserts the *shape* of the reaction, not just averages:
+//!
+//! * no operation fails (migration parks and replays in-flight ops);
+//! * the rebalancer migrates each hotspot away within
+//!   [`CONVERGE_WINDOWS`] windows of its phase — exactly one migration
+//!   per phase, with hysteresis eating the probe noise in between;
+//! * after the second migration it goes **quiet** (no trailing
+//!   migrations — no ping-pong);
+//! * with `rebalancing` ablated, zero migrations and identical failure
+//!   behavior.
+//!
+//! `trace_rpcs_per_op` is the hard baseline metric (it includes the
+//! rebalancer's probe exchanges, so a chattier cadence fails the gate);
+//! cycles are warn-only as usual. The per-window table lands in
+//! `$GITHUB_STEP_SUMMARY` on CI.
+//!
+//! The machine shape is **fixed** (8 cores; `HARE_CORES`/`HARE_SCALE` are
+//! ignored): the committed trace pins directory homes for 4 servers, and
+//! the determinism test (`tests/trace_replay.rs`) relies on one canonical
+//! configuration.
+
+use fsapi::{MkdirOpts, Mode, ProcFs};
+use hare_core::{
+    HareConfig, HareInstance, RebalanceCadence, RebalancePolicy, Rebalancer, Techniques, TimeSeries,
+};
+use hare_workloads::trace::{replay, ReplayEvent, Trace};
+
+const TRACE_TEXT: &str = include_str!("../../../../traces/shifting_hotspot.trace");
+
+/// Fixed machine shape: 8 cores, 4 dedicated servers, 4 app cores.
+const CORES: usize = 8;
+
+/// Window width: 2 virtual ms.
+const WINDOW: u64 = 4_000_000;
+
+/// The server every trace directory starts on (trace_gen's pin).
+const HOT_SERVER: u16 = 1;
+
+/// Each hotspot must be migrated away within this many windows of its
+/// phase starting (phase 2 starts halfway through the series).
+const CONVERGE_WINDOWS: usize = 6;
+
+/// Probe every window boundary (the interval sits just under the window
+/// so the driver's post-sample clock still qualifies), confirm over two
+/// consecutive probes, then back off for two windows.
+fn cadence() -> RebalanceCadence {
+    RebalanceCadence {
+        probe_interval: WINDOW - 200_000,
+        confirm: 2,
+        cooldown: 2 * WINDOW - 200_000,
+    }
+}
+
+/// Share bar tuned to this workload's shard-op to served-op ratio: the
+/// client dentry cache absorbs most lookups, so even the hot directory's
+/// shard counter only reaches ~20% of the server's total served ops. The
+/// bar must sit below that but well above a background directory's ~5%.
+fn policy() -> RebalancePolicy {
+    RebalancePolicy {
+        min_dir_share: 0.15,
+        ..RebalancePolicy::default()
+    }
+}
+
+struct Run {
+    series: TimeSeries,
+    /// `(window boundary, plan)` per committed migration.
+    migrations: Vec<(u64, hare_core::MigrationPlan)>,
+    ops: u64,
+    failures: u64,
+    rpcs_per_op: f64,
+    cycles_per_op: f64,
+    /// Final owner of the two hotspot directories.
+    owners: (u16, u16),
+}
+
+fn measure(techniques: Techniques) -> Run {
+    let trace = Trace::parse(TRACE_TEXT).expect("committed trace parses");
+    let mut cfg = HareConfig::split(CORES, CORES / 2);
+    cfg.techniques = techniques;
+    let app_cores = cfg.app_cores.clone();
+    let inst = HareInstance::start(cfg);
+    let machine = inst.machine();
+
+    // Setup: the trace's directories, centralized so they can migrate,
+    // and all starting on the pinned hot server — if this assert fires,
+    // the dentry hash moved under the committed trace; rerun trace_gen.
+    let setup = inst.new_client(app_cores[0]).unwrap();
+    for d in &trace.dirs {
+        setup
+            .mkdir_opts(d, Mode::default(), MkdirOpts::CENTRALIZED)
+            .unwrap();
+        assert_eq!(
+            setup.stat(d).unwrap().server,
+            HOT_SERVER,
+            "{d} is not pinned to server {HOT_SERVER}: regenerate traces with trace_gen"
+        );
+    }
+
+    let clients: Vec<_> = (0..trace.nclients())
+        .map(|i| inst.new_client(app_cores[i % app_cores.len()]).unwrap())
+        .collect();
+
+    machine.sync();
+    let t0 = machine.sync();
+    let sends0 = machine.msg_stats.sends();
+    let mut series = TimeSeries::start(machine, WINDOW);
+    let mut reb = Rebalancer::new(policy(), cadence());
+    let mut migrations = Vec::new();
+    let outcome = replay(&clients, &trace, WINDOW, |ev| match ev {
+        ReplayEvent::Op { completed, ok, .. } => series.op(completed, ok),
+        ReplayEvent::Window(b) => {
+            // Sample first, then tick: the probe's RPCs land in the next
+            // window, so the series shows the rebalancer's own traffic.
+            series.close_window(machine, b);
+            clients[0].vwait(b);
+            if std::env::var("HARE_TRACE_DEBUG").is_ok() {
+                let reports = clients[0].server_loads(false).unwrap();
+                eprintln!(
+                    "w{}: {:?}",
+                    b / WINDOW,
+                    reports
+                        .iter()
+                        .map(|r| (r.server, r.ops, r.hot_dirs.clone()))
+                        .collect::<Vec<_>>()
+                );
+            }
+            if let Some(p) = clients[0].rebalance_tick(&mut reb).unwrap() {
+                migrations.push((b, p));
+            }
+        }
+    });
+    series.finish(machine, outcome.end);
+
+    let cycles = machine.sync() - t0;
+    let sends = machine.msg_stats.sends() - sends0;
+    // Ask the client that drove the migrations — dir_owner reports the
+    // asking client's routing view, and only the driver has learned the
+    // overrides without further traffic on the directories.
+    let owners = (
+        clients[0].dir_owner(&trace.dirs[0]).unwrap(),
+        clients[0].dir_owner(&trace.dirs[1]).unwrap(),
+    );
+    drop(setup);
+    drop(clients);
+    inst.shutdown();
+    Run {
+        series,
+        migrations,
+        ops: outcome.ops,
+        failures: outcome.failures,
+        rpcs_per_op: sends as f64 / 2.0 / outcome.ops as f64,
+        cycles_per_op: cycles as f64 / outcome.ops as f64,
+        owners,
+    }
+}
+
+/// Renders the per-window series as both a terminal table and (on CI) a
+/// step-summary markdown table.
+fn report(run: &Run) {
+    let mut t = hare_bench::Table::new(&[
+        "window",
+        "ops",
+        "fail",
+        "RPCs/op",
+        "imbal",
+        "server ops",
+        "migs",
+        "invals",
+    ]);
+    let mut md = String::from(
+        "### micro_trace: shifting-hotspot time series (config `all`)\n\n\
+         | window | ops | fail | RPCs/op | imbalance | server ops | migrations | invalidations |\n\
+         |---:|---:|---:|---:|---:|---|---:|---:|\n",
+    );
+    for (i, w) in run.series.windows().iter().enumerate() {
+        let servers = w
+            .server_ops
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        t.row(vec![
+            format!("{i}"),
+            format!("{}", w.ops),
+            format!("{}", w.failures),
+            format!("{:.2}", w.rpcs_per_op()),
+            format!("{:.2}", w.imbalance()),
+            servers.clone(),
+            format!("{}", w.migrations),
+            format!("{}", w.invalidations),
+        ]);
+        md.push_str(&format!(
+            "| {i} | {} | {} | {:.2} | {:.2} | {servers} | {} | {} |\n",
+            w.ops,
+            w.failures,
+            w.rpcs_per_op(),
+            w.imbalance(),
+            w.migrations,
+            w.invalidations
+        ));
+    }
+    t.print();
+    md.push('\n');
+    hare_bench::append_step_summary(&md);
+}
+
+fn main() {
+    let all = measure(Techniques::default());
+    let ablated = measure(Techniques::without("rebalancing"));
+
+    println!(
+        "micro_trace: shifting-hotspot replay ({CORES} cores, {} servers, {} windows of {} ms)\n",
+        CORES / 2,
+        all.series.windows().len(),
+        WINDOW / 2_000_000
+    );
+    report(&all);
+    println!(
+        "\nmigrations: {:?}",
+        all.migrations
+            .iter()
+            .map(|(b, p)| (b / WINDOW, p.dir, p.from, p.to))
+            .collect::<Vec<_>>()
+    );
+
+    let configs = [&all, &ablated]
+        .iter()
+        .zip(["all", "no rebalancing"])
+        .map(|(r, name)| hare_bench::BenchConfig {
+            name: name.to_string(),
+            metrics: vec![
+                ("trace_rpcs_per_op".into(), r.rpcs_per_op),
+                ("trace_cycles_per_op".into(), r.cycles_per_op),
+                (
+                    "trace_converge_window".into(),
+                    r.series
+                        .last_migration_window()
+                        .map_or(0.0, |w| w as f64 + 1.0),
+                ),
+                ("trace_migrations".into(), r.migrations.len() as f64),
+                ("trace_failures".into(), r.failures as f64),
+            ],
+        })
+        .collect::<Vec<_>>();
+    hare_bench::perf_gate("micro_trace", &configs);
+    let json = hare_bench::bench_json("micro_trace", CORES, &configs);
+    std::fs::write("BENCH_micro_trace.json", &json).expect("write BENCH_micro_trace.json");
+    println!("wrote BENCH_micro_trace.json");
+
+    // ----- The behavior gate ---------------------------------------------
+    let nwin = all.series.windows().len();
+    assert_eq!(all.failures, 0, "no op may fail under migration");
+    assert_eq!(ablated.failures, 0, "ablation must not fail ops either");
+    assert_eq!(
+        ablated.migrations.len(),
+        0,
+        "rebalancing off: no migrations"
+    );
+    assert_eq!(
+        all.migrations.len(),
+        2,
+        "one migration per hotspot phase, no ping-pong: {:?}",
+        all.migrations
+    );
+    let (w1, w2) = (
+        (all.migrations[0].0 / WINDOW) as usize,
+        (all.migrations[1].0 / WINDOW) as usize,
+    );
+    assert!(
+        w1 <= CONVERGE_WINDOWS,
+        "phase-1 hotspot not migrated within {CONVERGE_WINDOWS} windows (at {w1})"
+    );
+    let phase2 = nwin / 2;
+    assert!(
+        w2 >= phase2.saturating_sub(1) && w2 <= phase2 + CONVERGE_WINDOWS,
+        "phase-2 hotspot must migrate within {CONVERGE_WINDOWS} windows of the shift \
+         (migrated at window {w2} of {nwin})"
+    );
+    assert!(
+        all.owners.0 != HOT_SERVER && all.owners.1 != HOT_SERVER,
+        "both hotspots must end up off server {HOT_SERVER} (owners: {:?})",
+        all.owners
+    );
+    assert_eq!(
+        all.ops, ablated.ops,
+        "both configs replay the identical trace"
+    );
+    println!(
+        "\nconverged: hotspot A migrated in window {w1}, B in window {w2} \
+         (phase 2 began ~window {phase2}); quiet afterwards"
+    );
+}

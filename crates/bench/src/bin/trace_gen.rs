@@ -1,0 +1,263 @@
+//! `trace_gen`: regenerates the committed traces under `traces/`.
+//!
+//! The traces are build artifacts of this binary, checked in so benches
+//! and tests replay fixed inputs. Run it from the repository root after
+//! changing the trace format, the scenarios, or the dentry hash; CI runs
+//! it and fails on a dirty `traces/` diff, so a drifted generator (or a
+//! hash change silently un-pinning the shifting-hotspot scenario) cannot
+//! go unnoticed. Everything here is a pure function of constants — no
+//! wall clock, no ambient randomness.
+//!
+//! Three scenarios (see `docs/traces.md`):
+//!
+//! * **build_burst** — a parallel build: source tree extract, a burst of
+//!   stat+read+creat compile jobs, a quiet link gap, then an incremental
+//!   rebuild that is mostly stats.
+//! * **mail_spool** — a maildir day: deliverers creat-in-tmp then rename
+//!   into `new`, read and purge later; think times swell at midday.
+//! * **shifting_hotspot** — the rebalancer's scenario: phase 1 hammers
+//!   job directory A, phase 2 shifts the same mix to job directory B.
+//!   Every directory is name-pinned (`hare_bench::pinned_name`) so the
+//!   hot ones and the background all start on server 1 of a 4-server
+//!   machine — `micro_trace` replays this and gates on the rebalancer
+//!   migrating the hotspot away (twice) and then going quiet.
+
+use hare_bench::pinned_name;
+use hare_core::InodeId;
+use hare_workloads::trace::{concat, synth_mix, MixSpec, MixWeights, Trace, TraceOp, TraceRecord};
+
+/// Server count the shifting-hotspot trace is pinned for (micro_trace's
+/// split machine: 8 cores, servers 0..4).
+const NSERVERS: usize = 4;
+/// The server every pinned directory starts on.
+const HOT_SERVER: u16 = 1;
+
+/// SplitMix64: the deterministic jitter source for the hand-rolled
+/// scenarios (the synthetic mixes use the rand shim's ChaCha instead).
+struct Jitter(u64);
+
+impl Jitter {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+fn build_burst() -> Trace {
+    const CLIENTS: usize = 6;
+    const FILES: usize = 24; // sources per compile worker
+    let mut j = Jitter(7);
+    let mut records = Vec::new();
+    let mut rec = |client: usize, think: u64, op: TraceOp| {
+        records.push(TraceRecord { client, think, op });
+    };
+    for c in 0..CLIENTS {
+        // Extract: the source tree appears in one tight burst.
+        for f in 0..FILES {
+            rec(
+                c,
+                j.range(1, 6),
+                TraceOp::Creat {
+                    path: format!("/src/c{c}f{f}.c"),
+                    size: 2048,
+                },
+            );
+        }
+        // Compile: stat + read each source, write its object.
+        for f in 0..FILES {
+            let src = format!("/src/c{c}f{f}.c");
+            rec(c, j.range(2, 12), TraceOp::Stat { path: src.clone() });
+            rec(
+                c,
+                j.range(1, 4),
+                TraceOp::Read {
+                    path: src,
+                    size: 2048,
+                },
+            );
+            rec(
+                c,
+                j.range(20, 90), // the compile itself
+                TraceOp::Creat {
+                    path: format!("/obj/c{c}f{f}.o"),
+                    size: 4096,
+                },
+            );
+        }
+        // Link gap: the machine goes quiet, then one big artifact.
+        rec(
+            c,
+            j.range(4_000, 9_000),
+            TraceOp::Creat {
+                path: format!("/obj/prog{c}"),
+                size: 16384,
+            },
+        );
+        // Incremental rebuild: mostly stats, two files recompile.
+        for f in 0..FILES {
+            rec(
+                c,
+                j.range(1, 5),
+                TraceOp::Stat {
+                    path: format!("/src/c{c}f{f}.c"),
+                },
+            );
+        }
+        for f in [3usize, 11] {
+            rec(
+                c,
+                j.range(20, 90),
+                TraceOp::Creat {
+                    path: format!("/obj/c{c}f{f}.o"),
+                    size: 4096,
+                },
+            );
+        }
+    }
+    Trace {
+        name: "build-burst".into(),
+        dirs: vec!["/src".into(), "/obj".into()],
+        records,
+    }
+}
+
+fn mail_spool() -> Trace {
+    const DELIVERERS: usize = 3;
+    let mut j = Jitter(11);
+    let mut records = Vec::new();
+    let mut rec = |client: usize, think: u64, op: TraceOp| {
+        records.push(TraceRecord { client, think, op });
+    };
+    // Three day phases: (messages per deliverer, think range) — busy
+    // morning, slow midday, busy evening.
+    let phases: [(usize, (u64, u64)); 3] = [(30, (80, 300)), (12, (600, 1500)), (30, (80, 300))];
+    for (serial, (msgs, think)) in phases.into_iter().enumerate() {
+        for d in 0..DELIVERERS {
+            for m in 0..msgs {
+                let tmp = format!("/spool/tmp/d{d}m{serial}_{m}");
+                let new = format!("/spool/new/d{d}m{serial}_{m}");
+                rec(
+                    d,
+                    j.range(think.0, think.1),
+                    TraceOp::Creat {
+                        path: tmp.clone(),
+                        size: 512,
+                    },
+                );
+                rec(
+                    d,
+                    j.range(1, 8),
+                    TraceOp::Rename {
+                        old: tmp,
+                        new: new.clone(),
+                    },
+                );
+                // The pop: read and purge a little later.
+                rec(
+                    d,
+                    j.range(think.0, think.1),
+                    TraceOp::Read {
+                        path: new.clone(),
+                        size: 512,
+                    },
+                );
+                rec(d, j.range(1, 10), TraceOp::Unlink { path: new });
+            }
+        }
+        // The watcher polls the spool through the whole day.
+        for _ in 0..msgs / 2 {
+            rec(
+                DELIVERERS,
+                j.range(think.0 * 2, think.1 * 2),
+                TraceOp::Readdir {
+                    path: "/spool/new".into(),
+                },
+            );
+        }
+    }
+    Trace {
+        name: "mail-spool".into(),
+        dirs: vec!["/spool".into(), "/spool/tmp".into(), "/spool/new".into()],
+        records,
+    }
+}
+
+/// The pinned directory set of the shifting-hotspot scenario: two hot job
+/// directories plus six background directories, all starting on
+/// [`HOT_SERVER`]. `micro_trace` recomputes the same names for its setup.
+pub fn hotspot_dirs() -> (String, String, Vec<String>) {
+    let pin = |prefix: &str| {
+        format!(
+            "/{}",
+            pinned_name(InodeId::ROOT, true, prefix, HOT_SERVER, NSERVERS)
+        )
+    };
+    let a = pin("jobs_a");
+    let b = pin("jobs_b");
+    let bg = (0..6).map(|i| pin(&format!("bg{i}x"))).collect();
+    (a, b, bg)
+}
+
+fn shifting_hotspot() -> Trace {
+    let (a, b, bg) = hotspot_dirs();
+    // The scenario is job-queue churn: workers stat/creat/unlink
+    // zero-length job markers. Metadata-only on purpose — the rebalancer
+    // nominates a directory by its share of *dentry-shard* work in the hot
+    // server's total, and file payload ops would dilute that share below
+    // the policy bar. Weighting: the hot directory draws ~40% of the
+    // traffic (clears the share bar while hot) and each background
+    // directory under 10% — so once the hotspot migrates, the
+    // still-loaded background server offers no candidate and the
+    // rebalancer goes quiet. That convergence is what the micro_trace
+    // gate asserts.
+    let dirs = |hot: &str, cold: &str| {
+        let mut d = vec![(hot.to_string(), 12u32), (cold.to_string(), 1)];
+        d.extend(bg.iter().map(|g| (g.clone(), 3)));
+        d
+    };
+    let phase = |name: &str, hot: &str, cold: &str, seed: u64| {
+        synth_mix(&MixSpec {
+            name: name.into(),
+            clients: 4,
+            ops_per_client: 260,
+            seed,
+            dirs: dirs(hot, cold),
+            think: 20..100,
+            weights: MixWeights {
+                creat: 5,
+                read: 1,
+                stat: 4,
+                unlink: 3,
+                rename: 2,
+                readdir: 1,
+            },
+            file_size: 0,
+        })
+    };
+    concat(
+        "shifting-hotspot",
+        &[phase("p1", &a, &b, 1001), phase("p2", &b, &a, 1002)],
+    )
+}
+
+fn main() {
+    std::fs::create_dir_all("traces").expect("create traces/");
+    for t in [build_burst(), mail_spool(), shifting_hotspot()] {
+        let path = format!("traces/{}.trace", t.name.replace('-', "_"));
+        std::fs::write(&path, t.to_text()).expect("write trace");
+        println!(
+            "{path}: {} records, {} clients, {} dirs",
+            t.records.len(),
+            t.nclients(),
+            t.dirs.len()
+        );
+    }
+}

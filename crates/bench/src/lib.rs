@@ -23,6 +23,23 @@ use hare_core::{HareConfig, Techniques};
 use hare_sched::HareSystem;
 use hare_workloads::{self as workloads, Scale, Workload, WorkloadResult};
 
+/// A name under `dir` whose dentry shard is `want` (brute-forced like the
+/// pinned exchange-count tests). Shared by the skew/trace benches and the
+/// trace generator so a committed trace's paths land on the servers its
+/// scenario assumes.
+pub fn pinned_name(
+    dir: hare_core::InodeId,
+    dist: bool,
+    prefix: &str,
+    want: u16,
+    nservers: usize,
+) -> String {
+    (0..)
+        .map(|i| format!("{prefix}{i}"))
+        .find(|n| hare_core::dentry_shard(dir, dist, n, nservers) == want)
+        .expect("some name hashes to every shard")
+}
+
 /// Default core count for full-machine experiments (the paper's machine
 /// has 40; override with the `HARE_CORES` environment variable if the
 /// wall-clock budget is tight).
@@ -303,13 +320,28 @@ pub fn perf_gate(bench: &str, current: &[BenchConfig]) {
     }
 }
 
+/// Appends raw markdown to the GitHub Actions step summary when running
+/// under Actions (`GITHUB_STEP_SUMMARY` set); a no-op otherwise. Benches
+/// use this for run artifacts beyond the gate table — e.g. `micro_trace`'s
+/// per-window time series.
+pub fn append_step_summary(md: &str) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    use std::io::Write;
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+    {
+        let _ = file.write_all(md.as_bytes());
+    }
+}
+
 /// Appends one bench's baseline-vs-measured table to the GitHub Actions
 /// step summary, when running under Actions. Failures that have no table
 /// row (a vanished config or metric) are listed below it.
 fn write_step_summary(bench: &str, rows: &[[String; 5]], failures: &[String]) {
-    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
-        return;
-    };
     let mut md = format!(
         "### perf gate: `{bench}`\n\n\
          | config | metric | baseline | measured | status |\n\
@@ -324,14 +356,7 @@ fn write_step_summary(bench: &str, rows: &[[String; 5]], failures: &[String]) {
         md.push_str(&format!("\n- ❌ {f}"));
     }
     md.push('\n');
-    use std::io::Write;
-    if let Ok(mut file) = std::fs::OpenOptions::new()
-        .append(true)
-        .create(true)
-        .open(&path)
-    {
-        let _ = file.write_all(md.as_bytes());
-    }
+    append_step_summary(&md);
 }
 
 /// Summary statistics over a set of ratios (the Figure 9 rows).

@@ -1,0 +1,105 @@
+//! End-to-end determinism of trace replay plus the vtime time-series:
+//! replaying the same trace on a fresh machine twice must produce
+//! byte-identical serialized metrics — the property `BENCH_micro_trace`'s
+//! committed baseline relies on. Along the way every replay checks event
+//! conservation: each completed operation lands in exactly one window,
+//! including operations completing right at a boundary (the vtime epoch
+//! bump between windows must not drop or double-count a straggler).
+
+use fsapi::{MkdirOpts, Mode, ProcFs};
+use hare_core::{HareConfig, HareInstance, TimeSeries};
+use hare_workloads::trace::{replay, synth_mix, MixSpec, MixWeights, ReplayEvent, Trace};
+
+/// 1 virtual ms — small enough that the short test trace spans several
+/// windows and exercises boundary crossings.
+const WINDOW: u64 = 2_000_000;
+
+fn small_trace() -> Trace {
+    synth_mix(&MixSpec {
+        name: "determinism-probe".into(),
+        clients: 3,
+        ops_per_client: 60,
+        seed: 42,
+        dirs: vec![("/a".into(), 4), ("/b".into(), 1)],
+        think: 10..80,
+        weights: MixWeights::default(),
+        file_size: 512,
+    })
+}
+
+/// Boots a split machine, replays `trace`, and returns the serialized
+/// time series plus the replay's end time. Asserts event conservation:
+/// the window rows sum to exactly the replay's op and failure totals.
+fn replay_to_json(trace: &Trace) -> (String, u64) {
+    let cfg = HareConfig::split(8, 4);
+    let app_cores = cfg.app_cores.clone();
+    let inst = HareInstance::start(cfg);
+    let machine = inst.machine();
+
+    let setup = inst.new_client(app_cores[0]).unwrap();
+    for d in &trace.dirs {
+        setup
+            .mkdir_opts(d, Mode::default(), MkdirOpts::default())
+            .unwrap();
+    }
+    let clients: Vec<_> = (0..trace.nclients())
+        .map(|i| inst.new_client(app_cores[i % app_cores.len()]).unwrap())
+        .collect();
+
+    machine.sync();
+    let mut series = TimeSeries::start(machine, WINDOW);
+    let outcome = replay(&clients, trace, WINDOW, |ev| match ev {
+        ReplayEvent::Op { completed, ok, .. } => series.op(completed, ok),
+        ReplayEvent::Window(b) => series.close_window(machine, b),
+    });
+    series.finish(machine, outcome.end);
+
+    assert!(
+        series.windows().len() > 2,
+        "the trace must span several windows to exercise boundaries"
+    );
+    let (ops, failures) = series
+        .windows()
+        .iter()
+        .fold((0, 0), |(o, f), w| (o + w.ops, f + w.failures));
+    assert_eq!(
+        ops, outcome.ops,
+        "every completion lands in exactly one window"
+    );
+    assert_eq!(failures, outcome.failures);
+    assert_eq!(
+        outcome.failures, 0,
+        "synthetic mixes are failure-free by construction"
+    );
+
+    let json = series.to_json(&trace.name);
+    drop(setup);
+    drop(clients);
+    inst.shutdown();
+    (json, outcome.end)
+}
+
+#[test]
+fn same_trace_replays_to_byte_identical_json() {
+    let trace = small_trace();
+    let (a, end_a) = replay_to_json(&trace);
+    let (b, end_b) = replay_to_json(&trace);
+    assert_eq!(end_a, end_b, "virtual end times must agree exactly");
+    assert_eq!(
+        a, b,
+        "replay must be deterministic down to the serialized time series"
+    );
+}
+
+#[test]
+fn committed_hotspot_trace_is_canonical() {
+    let text = include_str!("../../../traces/shifting_hotspot.trace");
+    let trace = Trace::parse(text).expect("committed trace parses");
+    assert_eq!(
+        trace.to_text(),
+        text,
+        "committed trace must be in trace_gen's canonical form"
+    );
+    assert_eq!(trace.nclients(), 4);
+    assert_eq!(trace.dirs.len(), 8);
+}

@@ -250,6 +250,14 @@ impl ClientLib {
                 if ra.ready.contains_key(&t) {
                     continue;
                 }
+                if t > last {
+                    // A fetch beyond the caller's range is readahead proper
+                    // — count it for the time-series observability layer.
+                    self.machine
+                        .events
+                        .readaheads
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
                 let p = self.send_stripe_fetch(&em, &blocks, size, t)?;
                 ra.inflight.push_back((t, p));
             }

@@ -13,7 +13,7 @@
 //! count) sees the static system.
 
 use super::{expect_reply, ClientLib};
-use crate::placement::{plan_rebalance, LoadReport, MigrationPlan, RebalancePolicy};
+use crate::placement::{plan_rebalance, LoadReport, MigrationPlan, RebalancePolicy, Rebalancer};
 use crate::proto::{Reply, Request};
 use crate::types::{InodeId, ServerId};
 use fsapi::{Errno, FsResult};
@@ -82,6 +82,38 @@ impl ClientLib {
                 // Not migratable after all (the source refused:
                 // distributed or already gone; EAGAIN: lost a race with an
                 // rmdir or another migration) — try the next candidate.
+                Ok(false) | Err(Errno::EINVAL) | Err(Errno::ENOENT) | Err(Errno::ENOTDIR)
+                | Err(Errno::EAGAIN) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// One tick of the **background** rebalancer: the cadence-driven
+    /// sibling of [`ClientLib::rebalance_once`]. Call it periodically
+    /// from whatever loop owns the virtual clock (a trace replay's window
+    /// boundaries, a bench's inter-burst points); the [`Rebalancer`]
+    /// decides whether this tick probes at all (cadence), and whether a
+    /// nomination has been confirmed by enough consecutive probes to act
+    /// on (hysteresis) — so calling it too often is harmless and a single
+    /// skewed probe never triggers a migration. Returns the migration
+    /// performed, if any; `Ok(None)` covers every quiet case, and the
+    /// whole tick is a no-op with the `rebalancing` technique off.
+    pub fn rebalance_tick(&self, reb: &mut Rebalancer) -> FsResult<Option<MigrationPlan>> {
+        if !self.params.techniques.rebalancing || !reb.due(self.vnow()) {
+            return Ok(None);
+        }
+        let reports = self.server_loads(true)?;
+        let nominated = plan_rebalance(&reports, reb.policy());
+        for plan in reb.observe(self.vnow(), &nominated) {
+            match self.drive_migration(plan.dir, plan.to) {
+                Ok(true) => {
+                    reb.committed(self.vnow());
+                    return Ok(Some(plan));
+                }
+                // Same skip set as `rebalance_once`: an unmigratable
+                // candidate must not mask a migratable runner-up.
                 Ok(false) | Err(Errno::EINVAL) | Err(Errno::ENOENT) | Err(Errno::ENOTDIR)
                 | Err(Errno::EAGAIN) => {}
                 Err(e) => return Err(e),

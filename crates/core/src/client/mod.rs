@@ -426,6 +426,16 @@ impl fsapi::ProcFs for ClientLib {
     }
 }
 
+impl fsapi::VClock for ClientLib {
+    fn vnow(&self) -> u64 {
+        ClientLib::vnow(self)
+    }
+
+    fn vwait(&self, t: u64) {
+        ClientLib::vwait(self, t)
+    }
+}
+
 /// Helper shared by ops/io: run an RPC that returns `Reply::Unit`.
 impl ClientLib {
     pub(crate) fn call_unit(&self, server: ServerId, req: Request) -> FsResult<()> {

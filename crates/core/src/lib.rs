@@ -34,6 +34,7 @@ pub mod client;
 pub mod config;
 pub mod instance;
 pub mod machine;
+pub mod metrics;
 pub mod placement;
 pub mod proto;
 pub mod rpc;
@@ -45,5 +46,8 @@ pub use client::{ClientLib, ClientParams};
 pub use config::{HareConfig, Placement, Techniques};
 pub use instance::HareInstance;
 pub use machine::Machine;
-pub use placement::{LoadReport, MigrationPlan, RebalancePolicy, RoutingTable};
+pub use metrics::{TimeSeries, WindowMetrics};
+pub use placement::{
+    LoadReport, MigrationPlan, RebalanceCadence, RebalancePolicy, Rebalancer, RoutingTable,
+};
 pub use types::{dentry_shard, ClientId, FdId, InodeId, ServerId};

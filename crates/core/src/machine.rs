@@ -116,10 +116,39 @@ pub struct Machine {
     placement_base: Vec<AtomicU64>,
     /// Exec placements since boot (drives the baseline roll).
     placement_ticks: AtomicU64,
+    /// Event counters for the time-series observability layer.
+    pub events: EventCounters,
 }
 
 /// Exec placements between rolls of the load-aware placement baseline.
 const PLACEMENT_WINDOW: u64 = 16;
+
+/// Monotone counters for the rare-but-interesting events the time-series
+/// observability layer (`crate::metrics`) windows over virtual time:
+/// directory migrations committing, cache-invalidation notices sent, and
+/// readahead stripe fetches issued. Like [`Machine::server_ops`] these are
+/// machine-level mirrors readable without an RPC — the protocol itself
+/// never consults them.
+#[derive(Debug, Default)]
+pub struct EventCounters {
+    /// Directory migrations committed (`MigrateCommit` applied).
+    pub migrations: AtomicU64,
+    /// Invalidation notices sent to registered sharers.
+    pub invalidations: AtomicU64,
+    /// Stripe fetches issued ahead of the requested range.
+    pub readaheads: AtomicU64,
+}
+
+impl EventCounters {
+    /// Snapshot as `(migrations, invalidations, readaheads)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.migrations.load(Ordering::Relaxed),
+            self.invalidations.load(Ordering::Relaxed),
+            self.readaheads.load(Ordering::Relaxed),
+        )
+    }
+}
 
 impl Machine {
     /// Builds the machine described by `cfg`.
@@ -140,6 +169,7 @@ impl Machine {
             server_ops: cfg.server_cores.iter().map(|_| AtomicU64::new(0)).collect(),
             placement_base: cfg.server_cores.iter().map(|_| AtomicU64::new(0)).collect(),
             placement_ticks: AtomicU64::new(0),
+            events: EventCounters::default(),
         })
     }
 
@@ -166,7 +196,7 @@ impl Machine {
     }
 
     /// Advances the load-aware placement clock: every
-    /// [`PLACEMENT_WINDOW`]-th call rolls the baselines so
+    /// `PLACEMENT_WINDOW`-th call rolls the baselines so
     /// [`Machine::recent_server_ops_on_core`] reflects the current window.
     /// Called once per exec placement.
     pub fn placement_tick(&self) {

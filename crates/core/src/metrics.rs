@@ -1,0 +1,397 @@
+//! Time-series observability: machine counters windowed over virtual time.
+//!
+//! The fig benches report one number per run. That is the wrong shape for
+//! the dynamic subsystems — a rebalancer *reacting to a shifting hotspot*
+//! or write-behind *absorbing a burst* is only visible as a sequence of
+//! per-window samples. This module turns the machine's monotone counters
+//! ([`Machine::server_ops`], [`msg::MsgStats`], [`Machine::events`]) into
+//! exactly that: fixed-width virtual-time windows, each carrying the
+//! counter *deltas* that landed in it plus the operation completions the
+//! driver observed.
+//!
+//! ## Who closes windows
+//!
+//! The recorder does not poll. The replay driver (or any other workload
+//! loop) owns the clock and calls:
+//!
+//! * [`TimeSeries::op`] after every operation, with its completion time —
+//!   ops bucket into the window their completion falls in;
+//! * [`TimeSeries::close_window`] at each window boundary — counter
+//!   deltas since the previous close are attributed to the window just
+//!   ended (in-flight work that *started* in the window is included, the
+//!   driver guarantees it has completed; see `hare_workloads::trace`);
+//! * [`TimeSeries::finish`] once at the end, closing the final partial
+//!   window.
+//!
+//! ## Determinism
+//!
+//! Everything recorded is an integer derived from virtual time, so the
+//! JSON from [`TimeSeries::to_json`] is **byte-identical** across replays
+//! of the same trace (pinned by `tests/metrics_windows.rs` and the bench
+//! crate's `trace_replay` test). Derived rates (ops/ms, RPCs/op) are left
+//! to presentation code — floats never enter the stored series.
+
+use crate::machine::Machine;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+/// Counter deltas and operation completions of one virtual-time window
+/// `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowMetrics {
+    /// Window start (inclusive), virtual cycles.
+    pub start: u64,
+    /// Window end (exclusive), virtual cycles.
+    pub end: u64,
+    /// Operations whose completion fell in the window.
+    pub ops: u64,
+    /// Of those, how many failed.
+    pub failures: u64,
+    /// One-way message sends in the window (an RPC exchange is two).
+    pub sends: u64,
+    /// Operations served per file server (the load distribution).
+    pub server_ops: Vec<u64>,
+    /// Directory migrations committed.
+    pub migrations: u64,
+    /// Cache-invalidation notices sent.
+    pub invalidations: u64,
+    /// Readahead stripe fetches issued.
+    pub readaheads: u64,
+}
+
+impl WindowMetrics {
+    /// RPC exchanges per completed operation (`NaN`-free: 0 for an idle
+    /// window). Presentation helper; not stored in the JSON.
+    pub fn rpcs_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.sends as f64 / 2.0 / self.ops as f64
+        }
+    }
+
+    /// Load imbalance: busiest server's ops over the per-server mean
+    /// (1.0 = perfectly even; 0 for an idle window).
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.server_ops.iter().sum();
+        if total == 0 || self.server_ops.is_empty() {
+            return 0.0;
+        }
+        let max = *self.server_ops.iter().max().unwrap() as f64;
+        max * self.server_ops.len() as f64 / total as f64
+    }
+}
+
+/// Snapshot of every monotone counter the series windows.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    sends: u64,
+    server_ops: Vec<u64>,
+    migrations: u64,
+    invalidations: u64,
+    readaheads: u64,
+}
+
+impl Snapshot {
+    fn take(machine: &Machine) -> Snapshot {
+        // `server_ops` is the machine-level mirror, NOT the servers'
+        // protocol counters: a rebalancer probe (`LoadReport{reset:true}`)
+        // clears the latter mid-run and would corrupt the series.
+        Snapshot {
+            sends: machine.msg_stats.sends(),
+            server_ops: machine.server_ops(),
+            migrations: machine.events.migrations.load(Ordering::Relaxed),
+            invalidations: machine.events.invalidations.load(Ordering::Relaxed),
+            readaheads: machine.events.readaheads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A growing sequence of [`WindowMetrics`], fed by a driver that owns the
+/// virtual clock.
+#[derive(Debug)]
+pub struct TimeSeries {
+    /// Window width in virtual cycles.
+    window: u64,
+    /// Closed windows, in time order.
+    windows: Vec<WindowMetrics>,
+    /// Completions not yet claimed by a closed window:
+    /// window index → (ops, failures).
+    pending: BTreeMap<u64, (u64, u64)>,
+    /// Counter values at the last close.
+    last: Snapshot,
+    /// The boundary the next [`TimeSeries::close_window`] must carry
+    /// (`None` until the first close fixes the origin).
+    expect: Option<u64>,
+}
+
+impl TimeSeries {
+    /// Starts recording against `machine` with `window`-cycle windows,
+    /// snapshotting every counter now (setup traffic before this call
+    /// never pollutes the first window).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` is zero.
+    pub fn start(machine: &Machine, window: u64) -> TimeSeries {
+        assert!(window > 0, "window width must be positive");
+        TimeSeries {
+            window,
+            windows: Vec::new(),
+            pending: BTreeMap::new(),
+            last: Snapshot::take(machine),
+            expect: None,
+        }
+    }
+
+    /// Window width in cycles.
+    pub fn window_cycles(&self) -> u64 {
+        self.window
+    }
+
+    /// Records one operation completion at virtual time `t`.
+    pub fn op(&mut self, t: u64, ok: bool) {
+        let e = self.pending.entry(t / self.window).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += u64::from(!ok);
+    }
+
+    /// Closes the window ending at `boundary` (a multiple of the window
+    /// width; boundaries must arrive consecutively — the driver emits one
+    /// call per elapsed window, so idle windows appear as zero rows rather
+    /// than silent gaps).
+    pub fn close_window(&mut self, machine: &Machine, boundary: u64) {
+        assert!(
+            boundary.is_multiple_of(self.window) && boundary > 0,
+            "boundary {boundary} is not a positive multiple of {}",
+            self.window
+        );
+        if let Some(e) = self.expect {
+            assert_eq!(boundary, e, "window boundaries must be consecutive");
+        }
+        self.push(machine, boundary - self.window, boundary);
+        self.expect = Some(boundary + self.window);
+    }
+
+    /// Closes the final partial window ending at `end` (no-op when `end`
+    /// does not reach past the last closed boundary).
+    pub fn finish(&mut self, machine: &Machine, end: u64) {
+        let start = self
+            .expect
+            .map_or(end - end % self.window, |e| e - self.window);
+        if end > start || !self.pending.is_empty() {
+            self.push(machine, start, end.max(start + 1));
+            self.expect = None;
+        }
+    }
+
+    fn push(&mut self, machine: &Machine, start: u64, end: u64) {
+        let cur = Snapshot::take(machine);
+        let idx = start / self.window;
+        // Claim this window's completions and any stragglers the driver
+        // guaranteed are already done (finish() may cover several indices).
+        let (ops, failures) = {
+            let mut o = 0;
+            let mut f = 0;
+            let claimed: Vec<u64> = self
+                .pending
+                .range(..=idx.max(end.saturating_sub(1) / self.window))
+                .map(|(&k, _)| k)
+                .collect();
+            for k in claimed {
+                let (ko, kf) = self.pending.remove(&k).unwrap();
+                o += ko;
+                f += kf;
+            }
+            (o, f)
+        };
+        self.windows.push(WindowMetrics {
+            start,
+            end,
+            ops,
+            failures,
+            sends: cur.sends - self.last.sends,
+            server_ops: cur
+                .server_ops
+                .iter()
+                .zip(&self.last.server_ops)
+                .map(|(c, l)| c - l)
+                .collect(),
+            migrations: cur.migrations - self.last.migrations,
+            invalidations: cur.invalidations - self.last.invalidations,
+            readaheads: cur.readaheads - self.last.readaheads,
+        });
+        self.last = cur;
+    }
+
+    /// The closed windows, in time order.
+    pub fn windows(&self) -> &[WindowMetrics] {
+        &self.windows
+    }
+
+    /// Index (into [`TimeSeries::windows`]) of the last window containing
+    /// a migration, if any — "when did the rebalancer last act".
+    pub fn last_migration_window(&self) -> Option<usize> {
+        self.windows.iter().rposition(|w| w.migrations > 0)
+    }
+
+    /// Total failed operations across all windows.
+    pub fn total_failures(&self) -> u64 {
+        self.windows.iter().map(|w| w.failures).sum()
+    }
+
+    /// Renders the series as JSON. All values are integers derived from
+    /// virtual time, so the output is byte-identical across replays of the
+    /// same trace.
+    pub fn to_json(&self, name: &str) -> String {
+        let mut s = String::with_capacity(256 + self.windows.len() * 160);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"name\": \"{name}\",\n"));
+        s.push_str(&format!("  \"window_cycles\": {},\n", self.window));
+        s.push_str("  \"windows\": [\n");
+        for (i, w) in self.windows.iter().enumerate() {
+            let servers = w
+                .server_ops
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            s.push_str(&format!(
+                "    {{\"start\": {}, \"end\": {}, \"ops\": {}, \"failures\": {}, \
+                 \"sends\": {}, \"server_ops\": [{}], \"migrations\": {}, \
+                 \"invalidations\": {}, \"readaheads\": {}}}{}\n",
+                w.start,
+                w.end,
+                w.ops,
+                w.failures,
+                w.sends,
+                servers,
+                w.migrations,
+                w.invalidations,
+                w.readaheads,
+                if i + 1 == self.windows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HareConfig;
+
+    fn machine() -> std::sync::Arc<Machine> {
+        Machine::new(&HareConfig::timeshare(4))
+    }
+
+    #[test]
+    fn deltas_land_in_their_window() {
+        let m = machine();
+        m.record_server_op(0); // pre-start traffic must not count
+        let mut ts = TimeSeries::start(&m, 100);
+        m.record_server_op(1);
+        m.msg_stats.record_send();
+        m.msg_stats.record_send();
+        ts.op(40, true);
+        ts.close_window(&m, 100);
+        m.record_server_op(2);
+        m.events.migrations.fetch_add(1, Ordering::Relaxed);
+        ts.op(150, false);
+        ts.close_window(&m, 200);
+        ts.finish(&m, 200);
+        let w = ts.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].server_ops, vec![0, 1, 0, 0]);
+        assert_eq!(w[0].sends, 2);
+        assert_eq!((w[0].ops, w[0].failures), (1, 0));
+        assert_eq!(w[1].server_ops, vec![0, 0, 1, 0]);
+        assert_eq!(w[1].migrations, 1);
+        assert_eq!((w[1].ops, w[1].failures), (1, 1));
+        assert_eq!(ts.total_failures(), 1);
+        assert_eq!(ts.last_migration_window(), Some(1));
+    }
+
+    #[test]
+    fn idle_windows_are_zero_rows_not_gaps() {
+        let m = machine();
+        let mut ts = TimeSeries::start(&m, 100);
+        ts.op(10, true);
+        ts.close_window(&m, 100);
+        ts.close_window(&m, 200); // idle
+        ts.close_window(&m, 300); // idle
+        ts.op(310, true);
+        ts.finish(&m, 350);
+        let w = ts.windows();
+        assert_eq!(w.len(), 4);
+        assert_eq!((w[1].ops, w[2].ops), (0, 0));
+        assert_eq!(w[3].start, 300);
+        assert_eq!(w[3].end, 350);
+        assert_eq!(w[3].ops, 1);
+    }
+
+    #[test]
+    fn straggler_completion_is_claimed_by_its_window() {
+        // An op starts in window 0 but completes in window 1: the driver
+        // closes window 0 only after the op ran, and the completion must
+        // surface in window 1, not vanish.
+        let m = machine();
+        let mut ts = TimeSeries::start(&m, 100);
+        ts.op(130, true); // completion past the first boundary
+        ts.close_window(&m, 100);
+        assert_eq!(ts.windows()[0].ops, 0);
+        ts.close_window(&m, 200);
+        assert_eq!(ts.windows()[1].ops, 1);
+        ts.finish(&m, 200);
+        assert_eq!(ts.windows().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn skipping_a_boundary_panics() {
+        let m = machine();
+        let mut ts = TimeSeries::start(&m, 100);
+        ts.close_window(&m, 100);
+        ts.close_window(&m, 300); // skipped 200
+    }
+
+    #[test]
+    fn json_is_stable_and_integer_only() {
+        let m = machine();
+        let mut ts = TimeSeries::start(&m, 100);
+        ts.op(10, true);
+        ts.close_window(&m, 100);
+        ts.finish(&m, 150);
+        let j = ts.to_json("t");
+        assert!(j.contains("\"window_cycles\": 100"));
+        assert!(j.contains("\"start\": 100, \"end\": 150"));
+        assert!(!j.contains('.'), "floats must never enter the JSON: {j}");
+        assert_eq!(j, ts.to_json("t"));
+    }
+
+    #[test]
+    fn presentation_helpers() {
+        let w = WindowMetrics {
+            start: 0,
+            end: 100,
+            ops: 4,
+            failures: 0,
+            sends: 16,
+            server_ops: vec![6, 2, 0, 0],
+            migrations: 0,
+            invalidations: 0,
+            readaheads: 0,
+        };
+        assert_eq!(w.rpcs_per_op(), 2.0);
+        assert_eq!(w.imbalance(), 3.0); // 6 / (8/4)
+        let idle = WindowMetrics {
+            ops: 0,
+            sends: 0,
+            server_ops: vec![0, 0],
+            ..w
+        };
+        assert_eq!(idle.rpcs_per_op(), 0.0);
+        assert_eq!(idle.imbalance(), 0.0);
+    }
+}

@@ -17,7 +17,7 @@
 //! demand:
 //!
 //! * A *client* with a stale table sends an entry RPC to the old owner,
-//!   which answers [`Reply::NotOwner`]`{dir, epoch, owner}`
+//!   which answers `Reply::NotOwner {dir, epoch, owner}`
 //!   ([`crate::proto::Reply::NotOwner`]); the client folds the redirect
 //!   into its table (epochs keep late redirects from regressing fresh
 //!   knowledge) and retries at the named owner — **one extra exchange per
@@ -195,7 +195,8 @@ impl RoutingTable {
 }
 
 /// One server's load report: total operations served plus its hottest
-/// directories by entry-operation count (what [`Reply::Load`] carries).
+/// directories by entry-operation count (what
+/// [`crate::proto::Reply::Load`] carries).
 #[derive(Debug, Clone)]
 pub struct LoadReport {
     /// The reporting server.
@@ -275,6 +276,104 @@ pub fn plan_rebalance(reports: &[LoadReport], policy: &RebalancePolicy) -> Vec<M
             to: cool.server,
         })
         .collect()
+}
+
+/// Cadence knobs for the background rebalancer ([`Rebalancer`]).
+///
+/// All times are virtual cycles (`vtime::CYCLES_PER_US` per virtual µs).
+#[derive(Debug, Clone, Copy)]
+pub struct RebalanceCadence {
+    /// Minimum virtual time between load probes. Probing costs one
+    /// grouped exchange and resets the servers' load windows, so it must
+    /// be slow relative to the traffic it observes.
+    pub probe_interval: u64,
+    /// Consecutive probes that must nominate the *same* hottest directory
+    /// before a migration runs — the hysteresis that keeps a one-window
+    /// blip (or a probe racing a phase change) from bouncing a directory
+    /// back and forth.
+    pub confirm: u32,
+    /// Back-off after a committed migration, giving redirects time to
+    /// propagate and the load picture time to re-form before the next
+    /// probe (without it, the first post-migration probe still sees the
+    /// old skew and double-migrates).
+    pub cooldown: u64,
+}
+
+impl Default for RebalanceCadence {
+    fn default() -> Self {
+        RebalanceCadence {
+            probe_interval: 2_000_000, // 1 virtual ms
+            confirm: 2,
+            cooldown: 4_000_000,
+        }
+    }
+}
+
+/// The background rebalancer's decision state: *when* to probe and *when*
+/// a nomination is trustworthy. Pure virtual-time bookkeeping — the RPCs
+/// (probing, migrating) live in `ClientLib::rebalance_tick`, so this is
+/// unit-testable without a machine, like [`plan_rebalance`].
+#[derive(Debug)]
+pub struct Rebalancer {
+    policy: RebalancePolicy,
+    cadence: RebalanceCadence,
+    /// Earliest virtual time of the next probe (0 = immediately).
+    next_probe: u64,
+    /// The directory the streak is building on, and its length.
+    streak: Option<(InodeId, u32)>,
+}
+
+impl Rebalancer {
+    /// A rebalancer with the given policy and cadence, ready to probe.
+    pub fn new(policy: RebalancePolicy, cadence: RebalanceCadence) -> Rebalancer {
+        Rebalancer {
+            policy,
+            cadence,
+            next_probe: 0,
+            streak: None,
+        }
+    }
+
+    /// The load-plan policy probes are judged against.
+    pub fn policy(&self) -> &RebalancePolicy {
+        &self.policy
+    }
+
+    /// True when a probe is due at virtual time `now`.
+    pub fn due(&self, now: u64) -> bool {
+        now >= self.next_probe
+    }
+
+    /// Feeds one probe's nominations (from [`plan_rebalance`], hottest
+    /// first) taken at virtual time `now`. Returns the plans to execute —
+    /// empty until [`RebalanceCadence::confirm`] consecutive probes have
+    /// agreed on the hottest directory; an empty or disagreeing probe
+    /// restarts the streak.
+    pub fn observe(&mut self, now: u64, plans: &[MigrationPlan]) -> Vec<MigrationPlan> {
+        self.next_probe = now + self.cadence.probe_interval;
+        let Some(first) = plans.first() else {
+            self.streak = None;
+            return Vec::new();
+        };
+        let n = match self.streak {
+            Some((dir, n)) if dir == first.dir => n + 1,
+            _ => 1,
+        };
+        if n >= self.cadence.confirm {
+            self.streak = None;
+            plans.to_vec()
+        } else {
+            self.streak = Some((first.dir, n));
+            Vec::new()
+        }
+    }
+
+    /// Records a committed migration at virtual time `now`: enter the
+    /// cooldown and forget the streak.
+    pub fn committed(&mut self, now: u64) {
+        self.next_probe = now + self.cadence.cooldown;
+        self.streak = None;
+    }
 }
 
 #[cfg(test)]
@@ -423,6 +522,65 @@ mod tests {
         );
         assert_eq!(plans.len(), 1);
         assert_eq!(plans[0].dir, DIR);
+    }
+
+    fn plan(dir: InodeId) -> MigrationPlan {
+        MigrationPlan {
+            dir,
+            from: 0,
+            to: 1,
+        }
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_agreement() {
+        let cadence = RebalanceCadence {
+            probe_interval: 100,
+            confirm: 2,
+            cooldown: 1000,
+        };
+        let mut r = Rebalancer::new(RebalancePolicy::default(), cadence);
+        assert!(r.due(0), "first probe is immediate");
+        // First nomination: streak of 1, nothing executes yet.
+        assert!(r.observe(0, &[plan(DIR)]).is_empty());
+        assert!(!r.due(50), "cadence: next probe not yet due");
+        assert!(r.due(100));
+        // Second agreeing nomination: confirmed.
+        let go = r.observe(100, &[plan(DIR)]);
+        assert_eq!(go, vec![plan(DIR)]);
+        r.committed(150);
+        assert!(!r.due(1000), "cooldown outlasts the probe interval");
+        assert!(r.due(1150));
+    }
+
+    #[test]
+    fn a_blip_restarts_the_streak() {
+        let cadence = RebalanceCadence {
+            probe_interval: 100,
+            confirm: 2,
+            cooldown: 1000,
+        };
+        let other = InodeId { server: 2, num: 9 };
+        let mut r = Rebalancer::new(RebalancePolicy::default(), cadence);
+        assert!(r.observe(0, &[plan(DIR)]).is_empty());
+        // Balanced probe in between: the streak dies.
+        assert!(r.observe(100, &[]).is_empty());
+        assert!(r.observe(200, &[plan(DIR)]).is_empty(), "back to one");
+        // A different hottest directory also restarts it...
+        assert!(r.observe(300, &[plan(other)]).is_empty());
+        // ...and then confirms on its own second probe.
+        assert_eq!(r.observe(400, &[plan(other)]), vec![plan(other)]);
+    }
+
+    #[test]
+    fn confirm_one_migrates_on_first_sight() {
+        let cadence = RebalanceCadence {
+            probe_interval: 100,
+            confirm: 1,
+            cooldown: 1000,
+        };
+        let mut r = Rebalancer::new(RebalancePolicy::default(), cadence);
+        assert_eq!(r.observe(0, &[plan(DIR)]), vec![plan(DIR)]);
     }
 
     #[test]

@@ -336,6 +336,10 @@ impl Server {
                 // Atomic delivery: the invalidation is in the client's queue
                 // when this send returns; the server never waits for an ack
                 // (paper §3.6.1).
+                self.machine
+                    .events
+                    .invalidations
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let _ = tx.send(
                     inv,
                     done + self.machine.latency(self.core, *ccore),
@@ -743,6 +747,10 @@ impl Server {
             }
         }
         ctx.replays = self.migrating.remove(&dir).unwrap_or_default();
+        self.machine
+            .events
+            .migrations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(Reply::Unit)
     }
 

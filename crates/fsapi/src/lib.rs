@@ -180,6 +180,24 @@ pub trait ProcHandle: ProcFs + Send + Sized + 'static {
     fn compute(&self, cycles: u64);
 }
 
+/// Virtual-clock access for one process: the hook trace replay needs.
+///
+/// Every simulated process carries a logical timeline in virtual cycles
+/// (see the `vtime` crate). The trace-replay driver schedules per-client
+/// operation streams on that timeline — an operation's *think time* is
+/// idle waiting, so the driver needs to read a process's clock after each
+/// operation and park it (without consuming CPU) until the next one is
+/// due. [`ProcHandle::compute`] cannot express that: compute is *busy*
+/// time and would charge think time to the core.
+pub trait VClock {
+    /// This process's current virtual time, in cycles.
+    fn vnow(&self) -> u64;
+
+    /// Advances this process's virtual clock to at least `t` without
+    /// consuming CPU (idle think time; never moves the clock backwards).
+    fn vwait(&self, t: u64);
+}
+
 /// A complete system under test: a machine image that can host processes.
 pub trait System: Send + Sync + 'static {
     /// The process handle type for this system.

@@ -9,7 +9,7 @@
 //! to observe every invalidation sent before the lookup began — no
 //! acknowledgment round trip needed.
 //!
-//! [`Channel`] provides exactly that property (the message is enqueued under
+//! [`channel()`] provides exactly that property (the message is enqueued under
 //! the receiver's lock before `send` returns), plus virtual-time stamps on
 //! every envelope so the receiving entity can charge arrival latency.
 //!

@@ -135,6 +135,16 @@ impl ProcHandle for HareProc {
     }
 }
 
+impl fsapi::VClock for HareProc {
+    fn vnow(&self) -> u64 {
+        self.lib.vnow()
+    }
+
+    fn vwait(&self, t: u64) {
+        self.lib.vwait(t)
+    }
+}
+
 impl fsapi::ProcFs for HareProc {
     fn open(&self, path: &str, flags: fsapi::OpenFlags, mode: fsapi::Mode) -> FsResult<fsapi::Fd> {
         self.lib.open(path, flags, mode)

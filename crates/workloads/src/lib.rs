@@ -30,6 +30,7 @@ pub mod micro;
 pub mod pfind;
 pub mod rm;
 pub mod scale;
+pub mod trace;
 pub mod trees;
 
 pub use ctx::{Ctx, OpKind, OpStats};

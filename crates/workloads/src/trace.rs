@@ -1,0 +1,746 @@
+//! Trace-replay workloads: a syscall-level trace format, a synthetic-mix
+//! generator, and a deterministic virtual-time replay driver.
+//!
+//! The fig suite is closed-loop microbenches: every worker issues its next
+//! operation the instant the previous one returns. Production traffic is
+//! nothing like that — it is bursty, phased, and mixed, and the behaviors
+//! the dynamic subsystems exist for (rebalancing reacting to a shifting
+//! hotspot, write-behind absorbing a burst) only show up *over time*. A
+//! trace captures that shape: per-client operation streams with **think
+//! times** between operations, scheduled on the virtual clock.
+//!
+//! ## The format (see `docs/traces.md`)
+//!
+//! One operation per line, whitespace-separated; `#` starts a comment:
+//!
+//! ```text
+//! # client think-vticks op path [arg]
+//! 0 120 creat /build/obj/a.o 4096
+//! 0  40 stat  /build/src/a.c
+//! 1 500 rename /spool/tmp/m1 /spool/new/m1
+//! ```
+//!
+//! `client` names the logical client issuing the operation (streams of one
+//! client replay in order; different clients interleave by virtual time).
+//! `think-vticks` is idle time **before** the operation, in vticks
+//! ([`VTICK_CYCLES`] virtual cycles = 1 virtual µs), measured from the
+//! completion of the client's previous operation.
+//!
+//! ## Determinism
+//!
+//! [`replay`] multiplexes every logical client onto the calling thread,
+//! executing operations in scheduled-start order (ties broken by client
+//! id). One operation is in flight at a time, so the servers observe a
+//! deterministic request sequence and every virtual-time outcome — op
+//! completion times, message counts, per-server load — is **byte-for-byte
+//! reproducible** across runs. That is what lets `BENCH_micro_trace.json`
+//! commit an exact time series and lets CI diff metrics JSON byte-wise
+//! (pinned by `crates/bench/tests/trace_replay.rs`).
+
+use fsapi::{Errno, FsResult, MkdirOpts, Mode, OpenFlags, ProcFs, VClock, Whence};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Virtual cycles per trace think-time tick: 1 vtick = 1 virtual µs.
+pub const VTICK_CYCLES: u64 = vtime::CYCLES_PER_US;
+
+/// One traced file system operation (the syscall-level surface traces
+/// capture; descriptor management is implicit — data ops open and close
+/// around the transfer, the tar/maildir idiom).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Create (or truncate) a file and write `size` bytes.
+    Creat { path: String, size: u64 },
+    /// Open read-only and read up to `size` bytes.
+    Read { path: String, size: u64 },
+    /// Open, seek to end, append `size` bytes.
+    Append { path: String, size: u64 },
+    /// `stat` the path.
+    Stat { path: String },
+    /// Remove the file.
+    Unlink { path: String },
+    /// Create a directory (centralized unless the system default says
+    /// otherwise — hot-spot traces want a migratable shard).
+    Mkdir { path: String },
+    /// Remove an empty directory.
+    Rmdir { path: String },
+    /// Atomic rename.
+    Rename { old: String, new: String },
+    /// List a directory.
+    Readdir { path: String },
+}
+
+impl TraceOp {
+    /// The op keyword as it appears in the text format.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            TraceOp::Creat { .. } => "creat",
+            TraceOp::Read { .. } => "read",
+            TraceOp::Append { .. } => "append",
+            TraceOp::Stat { .. } => "stat",
+            TraceOp::Unlink { .. } => "unlink",
+            TraceOp::Mkdir { .. } => "mkdir",
+            TraceOp::Rmdir { .. } => "rmdir",
+            TraceOp::Rename { .. } => "rename",
+            TraceOp::Readdir { .. } => "readdir",
+        }
+    }
+}
+
+/// One line of a trace: which client, how long it thinks first, what it
+/// does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Logical client issuing the operation (dense small integers).
+    pub client: usize,
+    /// Idle vticks between the client's previous completion and this
+    /// operation's start.
+    pub think: u64,
+    /// The operation.
+    pub op: TraceOp,
+}
+
+/// A parsed trace: named, ordered records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Trace name (from the `# name:` header, or `"trace"`).
+    pub name: String,
+    /// Directories the trace assumes exist (`# dir:` headers) — replay
+    /// setup creates these before the first record runs; how (distributed
+    /// or centralized, pinned where) is the replayer's scenario choice.
+    pub dirs: Vec<String>,
+    /// Records in file order (per-client order is replay order).
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Parses the text format. Errors carry the 1-based line number.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut name = String::from("trace");
+        let mut dirs = Vec::new();
+        let mut records = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if let Some(rest) = line.strip_prefix('#') {
+                if let Some(n) = rest.trim().strip_prefix("name:") {
+                    name = n.trim().to_string();
+                } else if let Some(d) = rest.trim().strip_prefix("dir:") {
+                    dirs.push(d.trim().to_string());
+                }
+                continue;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            let mut f = line.split_whitespace();
+            let err = |what: &str| format!("line {lineno}: {what}: {line:?}");
+            let client: usize = f
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("bad client id"))?;
+            let think: u64 = f
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("bad think time"))?;
+            let kw = f.next().ok_or_else(|| err("missing op"))?;
+            let mut path = |what: &str| -> Result<String, String> {
+                let p = f.next().ok_or_else(|| err(what))?;
+                if !p.starts_with('/') {
+                    return Err(err("path must be absolute"));
+                }
+                Ok(p.to_string())
+            };
+            let op = match kw {
+                "creat" | "read" | "append" => {
+                    let p = path("missing path")?;
+                    let size: u64 = f
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad size"))?;
+                    match kw {
+                        "creat" => TraceOp::Creat { path: p, size },
+                        "read" => TraceOp::Read { path: p, size },
+                        _ => TraceOp::Append { path: p, size },
+                    }
+                }
+                "stat" => TraceOp::Stat {
+                    path: path("missing path")?,
+                },
+                "unlink" => TraceOp::Unlink {
+                    path: path("missing path")?,
+                },
+                "mkdir" => TraceOp::Mkdir {
+                    path: path("missing path")?,
+                },
+                "rmdir" => TraceOp::Rmdir {
+                    path: path("missing path")?,
+                },
+                "readdir" => TraceOp::Readdir {
+                    path: path("missing path")?,
+                },
+                "rename" => {
+                    let old = path("missing old path")?;
+                    let new = path("missing new path")?;
+                    TraceOp::Rename { old, new }
+                }
+                other => return Err(err(&format!("unknown op {other:?}"))),
+            };
+            if f.next().is_some() {
+                return Err(err("trailing fields"));
+            }
+            records.push(TraceRecord { client, think, op });
+        }
+        Ok(Trace {
+            name,
+            dirs,
+            records,
+        })
+    }
+
+    /// Renders the trace back to the text format ([`Trace::parse`] of the
+    /// output is identity on the records).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("# name: {}\n", self.name);
+        for d in &self.dirs {
+            out.push_str(&format!("# dir: {d}\n"));
+        }
+        out.push_str("# client think op path [arg]\n");
+        for r in &self.records {
+            out.push_str(&format!("{} {} ", r.client, r.think));
+            match &r.op {
+                TraceOp::Creat { path, size } => out.push_str(&format!("creat {path} {size}")),
+                TraceOp::Read { path, size } => out.push_str(&format!("read {path} {size}")),
+                TraceOp::Append { path, size } => out.push_str(&format!("append {path} {size}")),
+                TraceOp::Stat { path } => out.push_str(&format!("stat {path}")),
+                TraceOp::Unlink { path } => out.push_str(&format!("unlink {path}")),
+                TraceOp::Mkdir { path } => out.push_str(&format!("mkdir {path}")),
+                TraceOp::Rmdir { path } => out.push_str(&format!("rmdir {path}")),
+                TraceOp::Rename { old, new } => out.push_str(&format!("rename {old} {new}")),
+                TraceOp::Readdir { path } => out.push_str(&format!("readdir {path}")),
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of logical clients (max client id + 1).
+    pub fn nclients(&self) -> usize {
+        self.records.iter().map(|r| r.client + 1).max().unwrap_or(0)
+    }
+
+    /// Total records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the trace has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+// ----- Synthetic-mix generation -------------------------------------------
+
+/// Relative operation weights of a synthetic mix (zero disables an op).
+#[derive(Debug, Clone, Copy)]
+pub struct MixWeights {
+    /// Create + write + close.
+    pub creat: u32,
+    /// Open + read + close of an existing file.
+    pub read: u32,
+    /// `stat` of an existing file.
+    pub stat: u32,
+    /// Remove an existing file.
+    pub unlink: u32,
+    /// Rename an existing file within its directory.
+    pub rename: u32,
+    /// List the directory.
+    pub readdir: u32,
+}
+
+impl Default for MixWeights {
+    /// A metadata-heavy mix (the mail-spool shape: churn + probes).
+    fn default() -> Self {
+        MixWeights {
+            creat: 3,
+            read: 2,
+            stat: 6,
+            unlink: 2,
+            rename: 1,
+            readdir: 1,
+        }
+    }
+}
+
+/// Specification of a synthetic workload phase: clients hammer a weighted
+/// set of directories with a weighted op mix and uniform think times.
+#[derive(Debug, Clone)]
+pub struct MixSpec {
+    /// Trace name.
+    pub name: String,
+    /// Logical clients.
+    pub clients: usize,
+    /// Operations per client.
+    pub ops_per_client: usize,
+    /// RNG seed — the whole trace is a pure function of the spec.
+    pub seed: u64,
+    /// `(directory, weight)` pairs; weight is the relative probability an
+    /// operation lands in that directory (the hotness knob).
+    pub dirs: Vec<(String, u32)>,
+    /// Think time range in vticks, sampled uniformly.
+    pub think: std::ops::Range<u64>,
+    /// Operation mix.
+    pub weights: MixWeights,
+    /// File payload size in bytes.
+    pub file_size: u64,
+}
+
+/// Generates a synthetic-mix trace from `spec`: each client gets an
+/// independent seeded stream; per-directory file populations are tracked
+/// so reads/stats/unlinks always target files the trace has created (the
+/// replay is failure-free by construction).
+pub fn synth_mix(spec: &MixSpec) -> Trace {
+    assert!(!spec.dirs.is_empty(), "need at least one directory");
+    let dir_total: u32 = spec.dirs.iter().map(|(_, w)| w).sum();
+    assert!(dir_total > 0, "all directory weights are zero");
+    let mut records = Vec::with_capacity(spec.clients * spec.ops_per_client);
+    for client in 0..spec.clients {
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ (client as u64).wrapping_mul(0x9E37));
+        // Files this client has created and not yet removed, per directory.
+        let mut live: Vec<Vec<String>> = vec![Vec::new(); spec.dirs.len()];
+        let mut serial = 0u64;
+        for _ in 0..spec.ops_per_client {
+            let think = if spec.think.is_empty() {
+                spec.think.start
+            } else {
+                rng.gen_range(spec.think.clone())
+            };
+            // Pick the directory by weight.
+            let mut pick = rng.gen_range(0..dir_total);
+            let mut di = 0;
+            for (i, (_, w)) in spec.dirs.iter().enumerate() {
+                if pick < *w {
+                    di = i;
+                    break;
+                }
+                pick -= w;
+            }
+            let dir = &spec.dirs[di].0;
+            let w = &spec.weights;
+            let total = w.creat + w.read + w.stat + w.unlink + w.rename + w.readdir;
+            assert!(total > 0, "all op weights are zero");
+            let mut roll = rng.gen_range(0..total);
+            let mut kind = 5;
+            let table = [w.creat, w.read, w.stat, w.unlink, w.rename, w.readdir];
+            for (k, wt) in table.iter().enumerate() {
+                if roll < *wt {
+                    kind = k;
+                    break;
+                }
+                roll -= wt;
+            }
+            // File ops need a live file in the directory; with none, fall
+            // back to creat (only creat/readdir make sense on empty).
+            if live[di].is_empty() && (1..=4).contains(&kind) {
+                kind = 0;
+            }
+            let op = match kind {
+                0 => {
+                    serial += 1;
+                    let path = format!("{dir}/c{client}f{serial}");
+                    live[di].push(path.clone());
+                    TraceOp::Creat {
+                        path,
+                        size: spec.file_size,
+                    }
+                }
+                1 => {
+                    let path = live[di].choose(&mut rng).expect("have").clone();
+                    TraceOp::Read {
+                        path,
+                        size: spec.file_size,
+                    }
+                }
+                2 => {
+                    let path = live[di].choose(&mut rng).expect("have").clone();
+                    TraceOp::Stat { path }
+                }
+                3 => {
+                    let i = rng.gen_range(0..live[di].len());
+                    let path = live[di].swap_remove(i);
+                    TraceOp::Unlink { path }
+                }
+                4 => {
+                    let i = rng.gen_range(0..live[di].len());
+                    serial += 1;
+                    let old = live[di][i].clone();
+                    let new = format!("{dir}/c{client}r{serial}");
+                    live[di][i] = new.clone();
+                    TraceOp::Rename { old, new }
+                }
+                _ => TraceOp::Readdir { path: dir.clone() },
+            };
+            records.push(TraceRecord { client, think, op });
+        }
+    }
+    Trace {
+        name: spec.name.clone(),
+        dirs: spec.dirs.iter().map(|(d, _)| d.clone()).collect(),
+        records,
+    }
+}
+
+/// Concatenates traces into one (phased workloads: each input is one
+/// phase; per-client streams chain, so a client's first phase-2 operation
+/// starts one think time after its last phase-1 completion). Directory
+/// headers are merged, first occurrence wins.
+pub fn concat(name: &str, phases: &[Trace]) -> Trace {
+    let mut dirs: Vec<String> = Vec::new();
+    let mut records = Vec::new();
+    for p in phases {
+        for d in &p.dirs {
+            if !dirs.contains(d) {
+                dirs.push(d.clone());
+            }
+        }
+        records.extend(p.records.iter().cloned());
+    }
+    Trace {
+        name: name.to_string(),
+        dirs,
+        records,
+    }
+}
+
+// ----- Replay --------------------------------------------------------------
+
+/// One observation the replay driver hands to its event callback. A
+/// single callback (rather than one closure per event kind) lets the
+/// caller drive *one* recorder — typically `hare_core`'s `TimeSeries` —
+/// mutably from both arms.
+#[derive(Debug)]
+pub enum ReplayEvent<'a> {
+    /// A window boundary was crossed at the given virtual time: every
+    /// operation *starting* before it has completed. Fires once per
+    /// elapsed multiple of the window width, in order, so an idle stretch
+    /// shows up as consecutive boundaries with no ops in between. The
+    /// natural point to sample counters and run background cadence work
+    /// (e.g. a rebalance tick).
+    Window(u64),
+    /// An operation finished.
+    Op {
+        /// The trace record that ran.
+        record: &'a TraceRecord,
+        /// Virtual time of its completion.
+        completed: u64,
+        /// Whether it succeeded.
+        ok: bool,
+    },
+}
+
+/// Outcome of one trace replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Operations executed.
+    pub ops: u64,
+    /// Operations that returned an error.
+    pub failures: u64,
+    /// Virtual time of the last completion.
+    pub end: u64,
+}
+
+/// Replays `trace` over `clients` (indexed by the records' client ids),
+/// scheduling every operation on the virtual clock.
+///
+/// Execution is **deterministic**: the calling thread multiplexes all
+/// logical clients, running operations one at a time in scheduled-start
+/// order (client id breaks ties). A client's next start is its previous
+/// completion plus the record's think time; [`VClock::vwait`] parks the
+/// client's entity clock (idle, not busy) until then, so servers see
+/// arrivals in nondecreasing virtual time and queueing delay accrues
+/// exactly as if the clients ran concurrently.
+///
+/// `on_event` receives a [`ReplayEvent::Window`] once per elapsed
+/// multiple of `window_cycles` (`0` disables windows) and a
+/// [`ReplayEvent::Op`] after every operation.
+///
+/// Failed operations are counted, not fatal — a replay's failure count is
+/// part of its result (the micro_trace gate asserts it is zero).
+///
+/// # Panics
+///
+/// Panics when `clients` is shorter than [`Trace::nclients`].
+pub fn replay<C: ProcFs + VClock>(
+    clients: &[C],
+    trace: &Trace,
+    window_cycles: u64,
+    mut on_event: impl FnMut(ReplayEvent<'_>),
+) -> ReplayOutcome {
+    assert!(
+        clients.len() >= trace.nclients(),
+        "trace names client {} but only {} clients were provided",
+        trace.nclients().saturating_sub(1),
+        clients.len()
+    );
+    // Per-client streams of record indices, in trace order.
+    let mut streams: Vec<std::collections::VecDeque<usize>> =
+        vec![std::collections::VecDeque::new(); trace.nclients()];
+    for (i, r) in trace.records.iter().enumerate() {
+        streams[r.client].push_back(i);
+    }
+    // Scheduled start of each client's next record.
+    let mut next_start: Vec<Option<u64>> = streams
+        .iter()
+        .enumerate()
+        .map(|(c, s)| {
+            s.front()
+                .map(|&i| clients[c].vnow() + trace.records[i].think * VTICK_CYCLES)
+        })
+        .collect();
+    let first = next_start.iter().flatten().min().copied().unwrap_or(0);
+    let mut next_boundary = first
+        .checked_div(window_cycles)
+        .map_or(u64::MAX, |w| (w + 1) * window_cycles);
+    let mut out = ReplayOutcome {
+        ops: 0,
+        failures: 0,
+        end: first,
+    };
+    // The earliest scheduled client runs next; client id breaks ties so
+    // the order is a pure function of the trace.
+    while let Some((c, start)) = next_start
+        .iter()
+        .enumerate()
+        .filter_map(|(c, s)| s.map(|t| (c, t)))
+        .min_by_key(|&(c, t)| (t, c))
+    {
+        while start >= next_boundary {
+            on_event(ReplayEvent::Window(next_boundary));
+            next_boundary += window_cycles;
+        }
+        let idx = streams[c].pop_front().expect("scheduled client has work");
+        let rec = &trace.records[idx];
+        clients[c].vwait(start);
+        let ok = exec_op(&clients[c], &rec.op).is_ok();
+        let done = clients[c].vnow();
+        out.ops += 1;
+        out.failures += u64::from(!ok);
+        out.end = out.end.max(done);
+        on_event(ReplayEvent::Op {
+            record: rec,
+            completed: done,
+            ok,
+        });
+        next_start[c] = streams[c]
+            .front()
+            .map(|&i| done + trace.records[i].think * VTICK_CYCLES);
+    }
+    // Close out the windows the tail of the run spans.
+    while window_cycles > 0 && next_boundary <= out.end {
+        on_event(ReplayEvent::Window(next_boundary));
+        next_boundary += window_cycles;
+    }
+    out
+}
+
+/// Executes one traced operation through the POSIX surface.
+fn exec_op<C: ProcFs>(c: &C, op: &TraceOp) -> FsResult<()> {
+    /// Data ops move payload in bounded chunks (a trace size is logical,
+    /// not a buffer).
+    const CHUNK: usize = 16 * 1024;
+    match op {
+        TraceOp::Creat { path, size } => {
+            let fd = c.open(
+                path,
+                OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC,
+                Mode::default(),
+            )?;
+            let r = write_n(c, fd, *size);
+            c.close(fd).and(r)
+        }
+        TraceOp::Append { path, size } => {
+            let fd = c.open(path, OpenFlags::WRONLY, Mode::default())?;
+            let r = c
+                .lseek(fd, 0, Whence::End)
+                .and_then(|_| write_n(c, fd, *size));
+            c.close(fd).and(r)
+        }
+        TraceOp::Read { path, size } => {
+            let fd = c.open(path, OpenFlags::RDONLY, Mode::default())?;
+            let mut left = *size as usize;
+            let mut buf = [0u8; CHUNK];
+            let mut r = Ok(());
+            while left > 0 {
+                let want = left.min(CHUNK);
+                match c.read(fd, &mut buf[..want]) {
+                    Ok(0) => break,
+                    Ok(n) => left -= n,
+                    Err(e) => {
+                        r = Err(e);
+                        break;
+                    }
+                }
+            }
+            c.close(fd).and(r)
+        }
+        TraceOp::Stat { path } => c.stat(path).map(|_| ()),
+        TraceOp::Unlink { path } => c.unlink(path),
+        TraceOp::Mkdir { path } => c.mkdir_opts(path, Mode(0o755), MkdirOpts::default()),
+        TraceOp::Rmdir { path } => c.rmdir(path),
+        TraceOp::Rename { old, new } => c.rename(old, new),
+        TraceOp::Readdir { path } => c.readdir(path).map(|_| ()),
+    }
+}
+
+/// Writes `size` bytes of patterned payload to `fd` in bounded chunks.
+fn write_n<C: ProcFs>(c: &C, fd: fsapi::Fd, size: u64) -> FsResult<()> {
+    const CHUNK: usize = 16 * 1024;
+    let buf = [0x5au8; CHUNK];
+    let mut left = size as usize;
+    while left > 0 {
+        let want = left.min(CHUNK);
+        let n = c.write(fd, &buf[..want])?;
+        if n == 0 {
+            return Err(Errno::EIO);
+        }
+        left -= n;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# name: sample
+# dir: /a
+# a comment
+0 120 creat /a/f1 4096
+
+1 0 stat /a/f1
+0 40 rename /a/f1 /a/f2
+1 7 readdir /a
+";
+
+    #[test]
+    fn parse_and_render_roundtrip() {
+        let t = Trace::parse(SAMPLE).unwrap();
+        assert_eq!(t.name, "sample");
+        assert_eq!(t.dirs, vec!["/a"]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.nclients(), 2);
+        assert_eq!(
+            t.records[0],
+            TraceRecord {
+                client: 0,
+                think: 120,
+                op: TraceOp::Creat {
+                    path: "/a/f1".into(),
+                    size: 4096
+                }
+            }
+        );
+        assert_eq!(
+            t.records[2].op,
+            TraceOp::Rename {
+                old: "/a/f1".into(),
+                new: "/a/f2".into()
+            }
+        );
+        let again = Trace::parse(&t.to_text()).unwrap();
+        assert_eq!(again, t);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        for (text, what) in [
+            ("0 nope stat /a", "bad think"),
+            ("0 1 frobnicate /a", "unknown op"),
+            ("0 1 stat", "missing path"),
+            ("0 1 stat relative/path", "absolute"),
+            ("0 1 creat /a/f", "bad size"),
+            ("0 1 stat /a extra", "trailing"),
+        ] {
+            let e = Trace::parse(text).unwrap_err();
+            assert!(e.contains("line 1"), "{e}");
+            assert!(
+                e.to_lowercase().contains(&what.to_lowercase()),
+                "{e} should mention {what}"
+            );
+        }
+    }
+
+    fn spec() -> MixSpec {
+        MixSpec {
+            name: "mix".into(),
+            clients: 3,
+            ops_per_client: 200,
+            seed: 42,
+            dirs: vec![("/hot".into(), 8), ("/cold".into(), 2)],
+            think: 10..500,
+            weights: MixWeights::default(),
+            file_size: 1024,
+        }
+    }
+
+    #[test]
+    fn synth_mix_is_deterministic() {
+        let a = synth_mix(&spec());
+        let b = synth_mix(&spec());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 600);
+        assert_eq!(a.nclients(), 3);
+        // A different seed produces a different trace.
+        let mut s = spec();
+        s.seed = 43;
+        assert_ne!(synth_mix(&s), a);
+    }
+
+    #[test]
+    fn synth_mix_targets_existing_files() {
+        // Every read/stat/unlink/rename source must have been created (and
+        // not removed) earlier in the same client's stream.
+        let t = synth_mix(&spec());
+        let mut live: std::collections::HashSet<(usize, &str)> = Default::default();
+        for r in &t.records {
+            match &r.op {
+                TraceOp::Creat { path, .. } => {
+                    live.insert((r.client, path));
+                }
+                TraceOp::Read { path, .. } | TraceOp::Stat { path } => {
+                    assert!(live.contains(&(r.client, path.as_str())), "{path} unborn");
+                }
+                TraceOp::Unlink { path } => {
+                    assert!(live.remove(&(r.client, path.as_str())), "{path} unborn");
+                }
+                TraceOp::Rename { old, new } => {
+                    assert!(live.remove(&(r.client, old.as_str())), "{old} unborn");
+                    live.insert((r.client, new));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn synth_mix_respects_hotness() {
+        let t = synth_mix(&spec());
+        let hot = t
+            .records
+            .iter()
+            .filter(|r| match &r.op {
+                TraceOp::Creat { path, .. }
+                | TraceOp::Read { path, .. }
+                | TraceOp::Stat { path }
+                | TraceOp::Unlink { path }
+                | TraceOp::Readdir { path } => path.starts_with("/hot"),
+                TraceOp::Rename { old, .. } => old.starts_with("/hot"),
+                _ => false,
+            })
+            .count();
+        // 8:2 weights: the hot directory must dominate.
+        assert!(hot * 10 > t.len() * 6, "{hot}/{} not hot enough", t.len());
+    }
+}

@@ -3,16 +3,16 @@
 //!
 //! This facade crate re-exports the whole reproduction:
 //!
-//! * [`core`](hare_core) — the Hare file system: sharded file servers, the
+//! * [`hare_core`] — the Hare file system: sharded file servers, the
 //!   client library, the close-to-open invalidate/write-back protocol over
 //!   a simulated non-coherent memory, the three-phase distributed `rmdir`,
 //!   hybrid shared file descriptors, and server-side pipes.
-//! * [`sched`](hare_sched) — scheduling servers, the remote execution
+//! * [`hare_sched`] — scheduling servers, the remote execution
 //!   protocol with proxy processes and signal relay, and the
 //!   [`fsapi::System`] implementation ([`HareSystem`]).
-//! * [`baseline`](hare_baseline) — the paper's comparison systems: Linux
+//! * [`hare_baseline`] — the paper's comparison systems: Linux
 //!   ramfs/tmpfs and the UNFS3 user-space NFS server.
-//! * [`workloads`](hare_workloads) — the 13 evaluation benchmarks.
+//! * [`hare_workloads`] — the 13 evaluation benchmarks.
 //! * [`nccmem`], [`vtime`], [`msg`] — the simulated hardware substrates:
 //!   non-coherent shared memory, per-core virtual clocks, atomic-delivery
 //!   message passing.
