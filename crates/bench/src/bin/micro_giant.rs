@@ -1,0 +1,328 @@
+//! `micro_giant`: big-machine hot paths over a giant tree.
+//!
+//! PR 8's scale test: a ~1M-entry directory tree (256 distributed
+//! directories × 4096 files at bench scale) created, walked, statted,
+//! listed, and removed on a 64+-core machine. The point of the gate is
+//! the *O(owned shards)* property: every `_rpcs_per_op` metric below is
+//! independent of the machine's server count because the directories are
+//! sharded a fixed width (4 and 8), so the CI smoke lane reproduces the
+//! committed 64-core numbers on an 8-core runner exactly. Pagination is
+//! exercised by shrinking `list_page_max` so every shard needs exactly
+//! two `ListShard` pages regardless of scale, and — at bench scale — by a
+//! flat 131072-entry directory listed through the default page bound.
+//!
+//! Results go to `BENCH_micro_giant.json`; with `HARE_GATE_BASELINE` set
+//! the run is gated first (RPC metrics hard, cycle metrics warn-only).
+//!
+//! Scale: `HARE_SCALE=quick` shrinks the tree to 16×64 entries for the
+//! debug/CI lane; the full 1M-entry tree is meant for release builds.
+
+use fsapi::{MkdirOpts, Mode, OpenFlags, ProcFs};
+use hare_core::{HareConfig, HareInstance};
+use std::sync::Arc;
+
+/// Tree shape: `dirs` distributed directories of `files` entries each,
+/// plus (bench only) one flat directory of `flat` entries.
+struct Shape {
+    dirs: usize,
+    files: usize,
+    flat: usize,
+}
+
+fn shape() -> Shape {
+    match std::env::var("HARE_SCALE").as_deref() {
+        Ok("quick") => Shape {
+            dirs: 16,
+            files: 64,
+            flat: 0,
+        },
+        _ => Shape {
+            dirs: 256,
+            files: 4096,
+            flat: 131072,
+        },
+    }
+}
+
+/// One width configuration's measurements.
+struct Row {
+    name: String,
+    metrics: Vec<(String, f64)>,
+}
+
+/// Runs `work(thread_index, client)` on `nthreads` parallel clients (the
+/// bulk tree build/teardown). Unmeasured: broadcast invalidation traffic
+/// between concurrent clients depends on thread interleaving, so the
+/// gated per-op numbers come from serial probe batches instead.
+fn parallel_phase(
+    inst: &Arc<HareInstance>,
+    cores: usize,
+    nthreads: usize,
+    work: impl Fn(usize, &dyn ProcFs) + Sync,
+) {
+    std::thread::scope(|s| {
+        for t in 0..nthreads {
+            let work = &work;
+            s.spawn(move || {
+                let c = inst.new_client(t * cores / nthreads).unwrap();
+                work(t, &c);
+            });
+        }
+    });
+}
+
+fn create_empty(c: &dyn ProcFs, path: &str) {
+    let fd = c
+        .open(path, OpenFlags::CREAT | OpenFlags::WRONLY, Mode::default())
+        .unwrap();
+    c.close(fd).unwrap();
+}
+
+fn measure(width: usize, cores: usize, sh: &Shape) -> Row {
+    let nthreads = cores.min(8);
+    let mut cfg = HareConfig::timeshare(cores);
+    cfg.dir_shard_width = width;
+    // Two ListShard pages per shard at every scale: the pagination cost is
+    // part of the pinned numbers without tying them to the tree size.
+    cfg.list_page_max = (sh.files / width / 2).max(1);
+    let page_max = cfg.list_page_max;
+    let inst = HareInstance::start(cfg);
+
+    let setup = inst.new_client(0).unwrap();
+    setup.mkdir("/giant", Mode::default()).unwrap();
+    for d in 0..sh.dirs {
+        setup
+            .mkdir_opts(
+                &format!("/giant/d{d}"),
+                Mode::default(),
+                MkdirOpts::DISTRIBUTED,
+            )
+            .unwrap();
+    }
+    setup
+        .mkdir_opts("/giant/probe", Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+    if sh.flat > 0 {
+        setup
+            .mkdir_opts("/giant/flat", Mode::default(), MkdirOpts::DISTRIBUTED)
+            .unwrap();
+    }
+    drop(setup);
+
+    // Bulk create: the whole tree, directories split across parallel
+    // clients (unmeasured — see parallel_phase).
+    parallel_phase(&inst, cores, nthreads, |t, c| {
+        for d in (t..sh.dirs).step_by(nthreads) {
+            for f in 0..sh.files {
+                create_empty(c, &format!("/giant/d{d}/f{f}"));
+            }
+        }
+        for f in (t..sh.flat).step_by(nthreads) {
+            create_empty(c, &format!("/giant/flat/f{f}"));
+        }
+    });
+
+    // Measured create: a serial probe batch on the now-giant machine with
+    // a single registered client, so the counts are deterministic.
+    let nprobe = 256usize;
+    let probe = inst.new_client(0).unwrap();
+    create_empty(&probe, "/giant/probe/warm");
+    let s0 = inst.machine().msg_stats.sends();
+    let t0 = probe.vnow();
+    for i in 0..nprobe {
+        create_empty(&probe, &format!("/giant/probe/p{i}"));
+    }
+    let create_rpcs = (inst.machine().msg_stats.sends() - s0) as f64 / 2.0 / nprobe as f64;
+    let create_cycles = (probe.vnow() - t0) as f64 / nprobe as f64;
+
+    // Walk: cold-cache stat of one leaf per sampled directory, a fresh
+    // client each so every sample pays the full resolution.
+    let samples: Vec<String> = (0..sh.dirs.min(64))
+        .map(|d| format!("/giant/d{d}/f{}", d % sh.files))
+        .collect();
+    let mut walk_sends = 0u64;
+    let mut walk_cycles = 0u64;
+    for path in &samples {
+        let c = inst.new_client(0).unwrap();
+        let s0 = inst.machine().msg_stats.sends();
+        let t0 = c.vnow();
+        c.stat(path).unwrap();
+        walk_sends += inst.machine().msg_stats.sends() - s0;
+        walk_cycles += c.vnow() - t0;
+        drop(c);
+    }
+    let walk_rpcs = walk_sends as f64 / 2.0 / samples.len() as f64;
+    let walk_cycles = walk_cycles as f64 / samples.len() as f64;
+
+    // Warm stat: same path, dircache-hot client.
+    let c = inst.new_client(0).unwrap();
+    c.stat("/giant/d0/f0").unwrap();
+    let nstats = 256u64;
+    let s0 = inst.machine().msg_stats.sends();
+    let t0 = c.vnow();
+    for _ in 0..nstats {
+        c.stat("/giant/d0/f0").unwrap();
+    }
+    let stat_rpcs = (inst.machine().msg_stats.sends() - s0) as f64 / 2.0 / nstats as f64;
+    let stat_cycles = (c.vnow() - t0) as f64 / nstats as f64;
+
+    // List: readdir every directory on one warm client. Per call this is
+    // one shard lookup plus `width` shard sweeps of exactly two pages.
+    let t0 = c.vnow();
+    let s0 = inst.machine().msg_stats.sends();
+    let mut listed = 0usize;
+    for d in 0..sh.dirs {
+        listed += c.readdir(&format!("/giant/d{d}")).unwrap().len();
+    }
+    assert_eq!(
+        listed,
+        sh.dirs * sh.files,
+        "giant tree listing lost entries"
+    );
+    let list_rpcs = (inst.machine().msg_stats.sends() - s0) as f64 / 2.0 / sh.dirs as f64;
+    let list_cycles = (c.vnow() - t0) as f64 / sh.dirs as f64;
+
+    // The flat directory (bench scale): large enough that every shard
+    // needs many pages at the *same* page bound as above, proving a giant
+    // listing really is paged. The expected exchange count is computed
+    // from the real per-shard entry counts (hashing skews them, so a
+    // uniform-split formula would be off by the odd boundary page): one
+    // dir lookup plus, for every shard, one exchange per `page_max`-sized
+    // page — which also means no reply ever exceeded the page bound.
+    if sh.flat > 0 {
+        // Measure first — the name "flat" must still be cold in this
+        // client's dircache so the listing pays its one dir lookup.
+        let s0 = inst.machine().msg_stats.sends();
+        assert_eq!(c.readdir("/giant/flat").unwrap().len(), sh.flat);
+        let exch = (inst.machine().msg_stats.sends() - s0) / 2;
+
+        let st = c.stat("/giant/flat").unwrap();
+        let flat_ino = hare_core::InodeId {
+            server: st.server,
+            num: st.ino,
+        };
+        let mut per_shard = std::collections::HashMap::new();
+        for f in 0..sh.flat {
+            let s = hare_core::dentry_shard_in(flat_ino, true, &format!("f{f}"), width, cores);
+            *per_shard.entry(s).or_insert(0usize) += 1;
+        }
+        let expected: usize = 1 + hare_core::dir_shard_servers(flat_ino, width, cores)
+            .iter()
+            .map(|s| {
+                per_shard
+                    .get(s)
+                    .copied()
+                    .unwrap_or(0)
+                    .div_ceil(page_max)
+                    .max(1)
+            })
+            .sum::<usize>();
+        assert!(
+            expected > 1 + width,
+            "flat dir must take multiple pages on some shard"
+        );
+        assert_eq!(
+            exch as usize, expected,
+            "flat listing exchanges must match the page math"
+        );
+    }
+    drop(c);
+
+    // Measured remove: the serial probe batch again (the creator's
+    // dircache is warm, as a steady-state unlink would be).
+    let s0 = inst.machine().msg_stats.sends();
+    let t0 = probe.vnow();
+    for i in 0..nprobe {
+        probe.unlink(&format!("/giant/probe/p{i}")).unwrap();
+    }
+    let rm_rpcs = (inst.machine().msg_stats.sends() - s0) as f64 / 2.0 / nprobe as f64;
+    let rm_cycles = (probe.vnow() - t0) as f64 / nprobe as f64;
+    probe.unlink("/giant/probe/warm").unwrap();
+    probe.rmdir("/giant/probe").unwrap();
+    drop(probe);
+
+    // Bulk teardown: every file, then every directory, split like the
+    // create (unmeasured, but every op is checked).
+    parallel_phase(&inst, cores, nthreads, |t, c| {
+        for d in (t..sh.dirs).step_by(nthreads) {
+            for f in 0..sh.files {
+                c.unlink(&format!("/giant/d{d}/f{f}")).unwrap();
+            }
+            c.rmdir(&format!("/giant/d{d}")).unwrap();
+        }
+        for f in (t..sh.flat).step_by(nthreads) {
+            c.unlink(&format!("/giant/flat/f{f}")).unwrap();
+        }
+    });
+    // The flat dir can only go once *every* thread's unlink slice is done.
+    if sh.flat > 0 {
+        let c = inst.new_client(0).unwrap();
+        c.rmdir("/giant/flat").unwrap();
+    }
+    inst.shutdown();
+
+    Row {
+        name: format!("width {width}"),
+        metrics: vec![
+            ("create_rpcs_per_op".into(), create_rpcs),
+            ("create_cycles_per_op".into(), create_cycles),
+            ("walk_rpcs_per_op".into(), walk_rpcs),
+            ("walk_cycles_per_op".into(), walk_cycles),
+            ("stat_rpcs_per_op".into(), stat_rpcs),
+            ("stat_cycles_per_op".into(), stat_cycles),
+            ("list_rpcs_per_op".into(), list_rpcs),
+            ("list_cycles_per_op".into(), list_cycles),
+            ("rm_rpcs_per_op".into(), rm_rpcs),
+            ("rm_cycles_per_op".into(), rm_cycles),
+        ],
+    }
+}
+
+fn main() {
+    let sh = shape();
+    // The quick lane runs small machines; the real bench wants the
+    // paper's "what if the machine were huge" question answered at 64+
+    // simulated cores.
+    let cores = match std::env::var("HARE_SCALE").as_deref() {
+        Ok("quick") => hare_bench::max_cores(),
+        _ => hare_bench::max_cores().clamp(64, 256),
+    };
+    let rows = [measure(4, cores, &sh), measure(8, cores, &sh)];
+
+    println!(
+        "micro_giant: {} dirs x {} files (+{} flat) on {cores} cores timeshare\n",
+        sh.dirs, sh.files, sh.flat
+    );
+    let mut t =
+        hare_bench::Table::new(&["configuration", "create", "walk", "stat", "list/dir", "rm"]);
+    for r in &rows {
+        let m = |k: &str| {
+            r.metrics
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.2}", m("create_rpcs_per_op")),
+            format!("{:.2}", m("walk_rpcs_per_op")),
+            format!("{:.2}", m("stat_rpcs_per_op")),
+            format!("{:.2}", m("list_rpcs_per_op")),
+            format!("{:.2}", m("rm_rpcs_per_op")),
+        ]);
+    }
+    t.print();
+
+    let configs: Vec<hare_bench::BenchConfig> = rows
+        .iter()
+        .map(|r| hare_bench::BenchConfig {
+            name: r.name.clone(),
+            metrics: r.metrics.clone(),
+        })
+        .collect();
+    hare_bench::perf_gate("micro_giant", &configs);
+    let json = hare_bench::bench_json("micro_giant", cores, &configs);
+    std::fs::write("BENCH_micro_giant.json", &json).expect("write BENCH_micro_giant.json");
+    println!("\nwrote BENCH_micro_giant.json");
+}

@@ -18,6 +18,9 @@
 //! factor, where crossovers fall. EXPERIMENTS.md records paper-vs-measured
 //! values for each figure.
 
+#[cfg(feature = "count-alloc")]
+pub mod alloc_count;
+
 use hare_baseline::HostSystem;
 use hare_core::{HareConfig, Techniques};
 use hare_sched::HareSystem;

@@ -49,6 +49,14 @@ pub struct ClientParams {
     /// normalized by the instance: the `readahead` toggle off is window 1,
     /// one stripe at a time).
     pub readahead_window: usize,
+    /// Effective per-directory shard width (already normalized by the
+    /// instance to `1..=nservers`). Routing, the readdir/rmdir fan-outs,
+    /// and the redirect retry budgets are all sized by it: O(owned
+    /// shards), not O(servers on the machine).
+    pub dir_shard_width: usize,
+    /// Page bound this client requests per `ListShard` exchange (the
+    /// server clamps to its own configured bound regardless).
+    pub list_page_max: usize,
 }
 
 /// Internal mutable state, serialized behind one lock (a process is a
@@ -82,6 +90,11 @@ pub struct ClientLib {
     /// directory. Its own lock (not `state`): routing is consulted from
     /// paths that hold the state lock and paths that do not.
     pub(crate) routing: Mutex<RoutingTable>,
+    /// Reusable reply channel for the serial blocking [`ClientLib::call`]
+    /// path (a process is a single thread of control, so at most one such
+    /// call is outstanding). Overlapped exchanges — readahead pipelines,
+    /// batched fan-outs — keep per-call channels.
+    reply_slot: rpc::ReplySlot,
     detached: AtomicBool,
 }
 
@@ -98,6 +111,7 @@ impl ClientLib {
         let local_server = designated_local_server(&machine, &servers, params.core, params.id);
         let entity = Entity::new(params.core, params.start_time);
         let dircache_capacity = params.dircache_capacity;
+        let reply_slot = rpc::ReplySlot::new(Arc::clone(&machine.msg_stats));
         let lib = ClientLib {
             machine,
             servers,
@@ -110,6 +124,7 @@ impl ClientLib {
                 readahead: std::collections::HashMap::new(),
             }),
             routing: Mutex::new(RoutingTable::new()),
+            reply_slot,
             detached: AtomicBool::new(false),
         };
         // Registration fan-out: one RPC per server, overlapped like a
@@ -161,11 +176,12 @@ impl ClientLib {
     // ----- RPC helpers -----------------------------------------------------
 
     pub(crate) fn call(&self, server: ServerId, req: Request) -> WireReply {
-        rpc::call(
+        rpc::call_reusing(
             &self.machine,
             &self.entity,
             &self.servers[server as usize],
             req,
+            &self.reply_slot,
         )
     }
 
@@ -202,14 +218,62 @@ impl ClientLib {
     // ----- Placement -------------------------------------------------------
 
     /// The dentry shard server for `name` in `dir`: this client's routing
-    /// table, which defaults to [`crate::types::dentry_shard`] (the one
+    /// table, which defaults to [`crate::types::dentry_shard_in`] (the one
     /// routing function shared with the servers' chained-resolution walk)
     /// and overlays the placement overrides learned from `NotOwner`
     /// redirects.
     pub(crate) fn shard_of(&self, dir: InodeId, dist: bool, name: &str) -> ServerId {
-        self.routing
-            .lock()
-            .route(dir, dist, name, self.servers.len())
+        self.routing.lock().route(
+            dir,
+            dist,
+            name,
+            self.params.dir_shard_width,
+            self.servers.len(),
+        )
+    }
+
+    /// The servers a directory's entries can live on: the home-anchored
+    /// shard set for distributed directories
+    /// ([`crate::placement::dir_shard_servers`]), or the single
+    /// routed home for centralized ones. Every whole-directory fan-out
+    /// (readdir's `ListShard` sweep, rmdir's mark/commit rounds) iterates
+    /// exactly this set — O(owned shards), so a 4-shard directory costs
+    /// four sends on a 256-server machine, not 256.
+    pub(crate) fn dir_shard_set(&self, dir: InodeId, dist: bool) -> Vec<ServerId> {
+        if dist {
+            crate::placement::dir_shard_servers(
+                dir,
+                self.params.dir_shard_width,
+                self.servers.len(),
+            )
+        } else {
+            vec![self.dir_home_of(dir)]
+        }
+    }
+
+    /// The redirect/retry budget for an entry operation on a directory
+    /// with `owners` possible shard owners: one attempt per owner plus
+    /// [`REDIRECT_SLACK`] for a migration racing the operation. Every
+    /// accepted `NotOwner` redirect carries a strictly newer epoch (a
+    /// no-news redirect aborts immediately with `EIO`), so the budget is
+    /// a liveness backstop against a corrupted redirect chain, not a
+    /// correctness bound — in practice a stale route costs exactly one
+    /// extra exchange.
+    pub(crate) fn retry_budget(&self, owners: usize) -> usize {
+        owners + REDIRECT_SLACK
+    }
+
+    /// How many servers can own entries of a directory, for
+    /// [`ClientLib::retry_budget`]: a *distributed* directory's entries
+    /// never migrate (only centralized shards do), so its owners are its
+    /// shard set; a *centralized* shard can be re-homed to any server by
+    /// the rebalancer.
+    pub(crate) fn owner_count(&self, dist: bool) -> usize {
+        if dist {
+            self.params.dir_shard_width
+        } else {
+            self.servers.len()
+        }
     }
 
     /// The server holding a centralized directory's entries, per this
@@ -238,7 +302,7 @@ impl ClientLib {
         name: &str,
         mk: impl Fn(&ClientLib) -> Request,
     ) -> WireReply {
-        for _ in 0..self.servers.len() + 2 {
+        for _ in 0..self.retry_budget(self.owner_count(dist)) {
             let server = self.shard_of(dir, dist, name);
             match self.call(server, mk(self)) {
                 Ok(Reply::NotOwner {
@@ -316,6 +380,11 @@ impl Drop for ClientLib {
         self.shutdown();
     }
 }
+
+/// Extra retry attempts granted beyond one-per-possible-owner (see
+/// [`ClientLib::retry_budget`]): covers the initial send plus one
+/// migration landing between the route and the retry.
+pub(crate) const REDIRECT_SLACK: usize = 2;
 
 /// Picks the client's designated nearby server: the servers on the client's
 /// socket, indexed by client id so co-located clients spread over them

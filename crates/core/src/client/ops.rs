@@ -234,8 +234,8 @@ impl ClientLib {
         // NotOwner redirect restarts the decision under the updated table
         // — new files under a migrated directory coalesce at its new
         // owner. Every accepted redirect raises the directory's epoch, so
-        // the retry loop terminates.
-        for _ in 0..self.nservers() + 2 {
+        // the retry loop terminates within the parent's owner count.
+        for _ in 0..self.retry_budget(self.owner_count(dir.dist)) {
             let dentry_server = self.shard_of(dir.ino, dir.dist, name);
             let inode_server = self.inode_server_for_create(dentry_server);
 
@@ -401,7 +401,7 @@ impl ClientLib {
         let dist = self.effective_dist(opts.distributed);
         // Like create_file: a NotOwner redirect on the coalesced form
         // restarts the placement decision under the updated table.
-        for _ in 0..self.nservers() + 2 {
+        for _ in 0..self.retry_budget(self.owner_count(dir.dist)) {
             let dentry_server = self.shard_of(dir.ino, dir.dist, name);
             let home_server = self.inode_server_for_create(dentry_server);
 
@@ -510,6 +510,20 @@ impl ClientLib {
         let dir = d.target;
         let dist = d.dist && self.params.techniques.distribution;
 
+        // The three-phase fan-out set. A distributed directory's entries
+        // are confined to its shard set by routing, so marking the set is
+        // marking every server that could hold an entry (the home is
+        // always a member, so the commit's inode destruction lands). A
+        // migrated centralized directory's entries live wholly at its
+        // current owner — but the owner this client has recorded may be
+        // one migration behind, so that rare path keeps the machine-wide
+        // sweep.
+        let mark_set: Vec<ServerId> = if dist {
+            self.dir_shard_set(dir, true)
+        } else {
+            (0..self.nservers() as ServerId).collect()
+        };
+
         // A migrated centralized directory's entries and inode live on
         // different servers, so the single-message removal no longer
         // applies: the three-phase protocol checks every server (the
@@ -526,12 +540,12 @@ impl ClientLib {
                     owner,
                 }) => {
                     self.learn_owner(rd, owner, epoch);
-                    self.run_op(&mut st, RmdirDistOp::new(dir, self.nservers()))??;
+                    self.run_op(&mut st, RmdirDistOp::new(dir, mark_set))??;
                 }
                 r => expect_reply!(r, Reply::Unit => ())?,
             }
         } else {
-            self.run_op(&mut st, RmdirDistOp::new(dir, self.nservers()))??;
+            self.run_op(&mut st, RmdirDistOp::new(dir, mark_set))??;
         }
 
         // Remove the entry from the parent and drop the cached dentry.
@@ -562,7 +576,7 @@ impl ClientLib {
         }
         // POSIX: renaming a directory into its own subtree is invalid
         // (would disconnect the subtree from the namespace).
-        if new_n.starts_with(&format!("{old_n}/")) {
+        if new_n.starts_with(old_n.as_str()) && new_n.as_bytes().get(old_n.len()) == Some(&b'/') {
             return Err(Errno::EINVAL);
         }
         let mut st = self.state.lock();
@@ -595,7 +609,9 @@ impl ClientLib {
                 rm_done: false,
                 replaced: None,
                 failed: None,
-                redirects: 2 * self.nservers() as u32 + 2,
+                redirects: self
+                    .retry_budget(self.owner_count(old_dir.dist) + self.owner_count(new_dir.dist))
+                    as u32,
             },
         )??;
 
@@ -631,7 +647,7 @@ impl ClientLib {
         // centralized directory listed by its own home server costs no
         // fan-out round at all.
         let t = &self.params.techniques;
-        let mut pre: Option<(ServerId, Vec<DirEntry>, Vec<Option<Stat>>)> = None;
+        let mut pre: Option<PrefetchedPage> = None;
         let dir = if !comps.is_empty() && t.chained_resolution && t.fused_terminal {
             let out = self.run_op(
                 &mut st,
@@ -645,9 +661,10 @@ impl ClientLib {
                 server,
                 entries,
                 stats,
+                next,
             }) = out.term
             {
-                pre = Some((server, entries, stats));
+                pre = Some((server, entries, stats, next));
             }
             DirRef {
                 ino: d.target,
@@ -656,7 +673,6 @@ impl ClientLib {
         } else {
             self.resolve_dir(&mut st, &comps)?
         };
-        drop(st);
 
         let with_stats = |entries: Vec<DirEntry>, stats: Vec<Option<Stat>>| {
             let mut stats = stats.into_iter();
@@ -669,63 +685,57 @@ impl ClientLib {
                 .collect::<Vec<_>>()
         };
 
-        if dir.dist {
-            // Distributed: fan out to all servers through the batched
-            // transport — one exchange per server with batching on, N
-            // independent RPCs (broadcast-overlapped or sequential) with
-            // it off. The shard that rode the resolution chain is skipped.
-            let reqs: Vec<(ServerId, Request)> = (0..self.servers.len())
-                .map(|s| s as ServerId)
-                .filter(|s| pre.as_ref().is_none_or(|(ps, _, _)| s != ps))
-                .map(|s| (s, Request::ListShard { dir: dir.ino }))
+        // Seed the paged walk. Distributed: one first-page cursor per
+        // *owned shard* — the directory's home-anchored shard set, not
+        // every server on the machine — with the shard that rode the
+        // resolution chain entering at its continuation cursor (or skipped
+        // entirely when its first page was the whole shard). Centralized:
+        // everything lives at the directory's home per the routing table;
+        // if that is the server that answered the chain, only the
+        // continuation (if any) remains.
+        let (mut out, pending): (Vec<ListedEntry>, Vec<PageCursor>) = if dir.dist {
+            let pre_server = pre.as_ref().map(|&(s, ..)| s);
+            let mut pending: Vec<PageCursor> = self
+                .dir_shard_set(dir.ino, true)
+                .into_iter()
+                .filter(|s| pre_server != Some(*s))
+                .map(|s| (s, None))
                 .collect();
-            let shards = self.call_grouped(reqs, false);
-            let mut out = pre
-                .map(|(_, entries, stats)| with_stats(entries, stats))
-                .unwrap_or_default();
-            for s in shards {
-                let entries = expect_reply!(s, Reply::Shard { entries } => entries)?;
-                out.extend(entries.into_iter().map(|e| (e, None)));
-            }
-            self.charge(20 * out.len() as u64);
-            out.sort_by(|a, b| a.0.cmp(&b.0));
-            Ok(out)
-        } else {
-            // Centralized: everything lives at the directory's home per
-            // the routing table (a migrated directory's entries follow the
-            // override). If that is the server that answered the chain,
-            // the listing is already here; otherwise one ListShard round
-            // trip — following NotOwner redirects (bounded like every
-            // other redirect loop), since a stale route lands on a server
-            // that migrated the shard away.
-            let mut redirects = self.nservers() + 2;
-            let mut out = loop {
-                let home = self.dir_home_of(dir.ino);
-                if let Some((server, entries, stats)) = pre.take_if(|(s, _, _)| *s == home) {
-                    debug_assert_eq!(server, home);
-                    break with_stats(entries, stats);
-                }
-                match self.call(home, Request::ListShard { dir: dir.ino }) {
-                    Ok(Reply::NotOwner {
-                        dir: d,
-                        epoch,
-                        owner,
-                    }) => {
-                        if !self.learn_owner(d, owner, epoch) || redirects == 0 {
-                            return Err(Errno::EIO);
-                        }
-                        redirects -= 1;
+            let out = match pre {
+                Some((server, entries, stats, next)) => {
+                    if let Some(cursor) = next {
+                        pending.push((server, Some(cursor)));
                     }
-                    r => {
-                        let entries = expect_reply!(r, Reply::Shard { entries } => entries)?;
-                        break entries.into_iter().map(|e| (e, None)).collect();
-                    }
+                    with_stats(entries, stats)
                 }
+                None => Vec::new(),
             };
-            self.charge(20 * out.len() as u64);
-            out.sort_by(|a, b| a.0.cmp(&b.0));
-            Ok(out)
-        }
+            (out, pending)
+        } else {
+            let home = self.dir_home_of(dir.ino);
+            match pre {
+                Some((server, entries, stats, next)) if server == home => (
+                    with_stats(entries, stats),
+                    next.map(|c| (server, Some(c))).into_iter().collect(),
+                ),
+                _ => (Vec::new(), vec![(home, None)]),
+            }
+        };
+        let listed = self.run_op(
+            &mut st,
+            ListPagesOp {
+                dir: dir.ino,
+                pending,
+                sent: Vec::new(),
+                entries: Vec::new(),
+                redirects: self.retry_budget(self.owner_count(dir.dist)),
+            },
+        )?;
+        drop(st);
+        out.extend(listed.into_iter().map(|e| (e, None)));
+        self.charge(20 * out.len() as u64);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
     }
 
     // ----- stat ------------------------------------------------------------
@@ -849,6 +859,88 @@ impl ClientLib {
                 },
             })
             .collect())
+    }
+}
+
+/// One shard's place in a paged listing: the server to ask and the name
+/// cursor to resume after (`None` asks for the first page).
+type PageCursor = (ServerId, Option<String>);
+
+/// The first page a fused `List` terminal prefetched during resolution:
+/// the answering server, its entries and per-entry stats, and the
+/// continuation cursor if its shard didn't fit in one page.
+type PrefetchedPage = (ServerId, Vec<DirEntry>, Vec<Option<Stat>>, Option<String>);
+
+/// A listed entry with the stat prefetched for it, if any.
+type ListedEntry = (DirEntry, Option<Stat>);
+
+/// A paged directory listing, as an engine-driven state machine: every
+/// outstanding shard advances one page per round through the batched
+/// transport, so a listing over S shards whose deepest shard needs P
+/// pages costs max(P) grouped exchanges, not S×P round trips. The cursor
+/// is a *name* (the last one the previous page returned), so it stays
+/// valid across concurrent inserts and removes — and across a wholesale
+/// shard migration: a `NotOwner` between pages (a centralized shard moved
+/// mid-listing) re-issues the same cursor at the learned owner.
+struct ListPagesOp {
+    dir: InodeId,
+    /// Cursors awaiting their next page; `None` asks for the first.
+    pending: Vec<PageCursor>,
+    /// The in-flight round, in request order (reply `i` answers `sent[i]`).
+    sent: Vec<PageCursor>,
+    entries: Vec<DirEntry>,
+    /// Redirect budget, counted like every other redirect loop.
+    redirects: usize,
+}
+
+impl MultiStepOp for ListPagesOp {
+    type Out = Vec<DirEntry>;
+
+    fn step(
+        &mut self,
+        lib: &ClientLib,
+        _st: &mut ClientState,
+        replies: Option<Vec<WireReply>>,
+    ) -> FsResult<Next<Vec<DirEntry>>> {
+        if let Some(rs) = replies {
+            let sent = std::mem::take(&mut self.sent);
+            for ((server, after), r) in sent.into_iter().zip(rs) {
+                if let Ok(Reply::NotOwner { dir, epoch, owner }) = &r {
+                    lib.learn_owner(*dir, *owner, *epoch);
+                    if self.redirects == 0 {
+                        return Err(Errno::EIO);
+                    }
+                    self.redirects -= 1;
+                    self.pending.push((lib.dir_home_of(self.dir), after));
+                    continue;
+                }
+                let (entries, next) =
+                    expect_reply!(r, Reply::Shard { entries, next } => (entries, next))?;
+                self.entries.extend(entries);
+                if let Some(cursor) = next {
+                    self.pending.push((server, Some(cursor)));
+                }
+            }
+        }
+        if self.pending.is_empty() {
+            return Ok(Next::Done(std::mem::take(&mut self.entries)));
+        }
+        self.sent = std::mem::take(&mut self.pending);
+        let reqs = self
+            .sent
+            .iter()
+            .map(|(s, after)| {
+                (
+                    *s,
+                    Request::ListShard {
+                        dir: self.dir,
+                        after: after.clone(),
+                        max: 0,
+                    },
+                )
+            })
+            .collect();
+        Ok(Next::Run(Step::Grouped(reqs)))
     }
 }
 
@@ -1050,7 +1142,11 @@ impl MultiStepOp for RenameCommitOp<'_> {
 /// state machine mid-protocol.
 struct RmdirDistOp {
     dir: InodeId,
-    nservers: usize,
+    /// Every server that may hold entries of the directory — the shard
+    /// set for a distributed directory, the whole machine for a migrated
+    /// centralized one. Always includes the home (`dir.server`), where
+    /// the commit destroys the inode.
+    servers: Vec<ServerId>,
     phase: RmdirPhase,
     marked: Vec<ServerId>,
     outcome: FsResult<()>,
@@ -1070,10 +1166,11 @@ enum RmdirPhase {
 }
 
 impl RmdirDistOp {
-    fn new(dir: InodeId, nservers: usize) -> Self {
+    fn new(dir: InodeId, servers: Vec<ServerId>) -> Self {
+        debug_assert!(servers.contains(&dir.server));
         RmdirDistOp {
             dir,
-            nservers,
+            servers,
             phase: RmdirPhase::Serialize,
             marked: Vec::new(),
             outcome: Ok(()),
@@ -1092,11 +1189,7 @@ impl MultiStepOp for RmdirDistOp {
     ) -> FsResult<Next<FsResult<()>>> {
         let dir = self.dir;
         let all = |req_of: fn(InodeId) -> Request| {
-            Step::Grouped(
-                (0..self.nservers as ServerId)
-                    .map(|s| (s, req_of(dir)))
-                    .collect(),
-            )
+            Step::Grouped(self.servers.iter().map(|&s| (s, req_of(dir))).collect())
         };
         match self.phase {
             RmdirPhase::Serialize => {
@@ -1122,7 +1215,9 @@ impl MultiStepOp for RmdirDistOp {
                 let mut failed = false;
                 for (i, m) in marks.iter().enumerate() {
                     match m {
-                        Ok(Reply::RmdirMark(MarkResult::Marked)) => self.marked.push(i as ServerId),
+                        Ok(Reply::RmdirMark(MarkResult::Marked)) => {
+                            self.marked.push(self.servers[i])
+                        }
                         Ok(Reply::RmdirMark(MarkResult::NotEmpty)) => all_marked = false,
                         Ok(_) | Err(_) => {
                             all_marked = false;

@@ -238,6 +238,22 @@ pub struct HareConfig {
     /// How many stripe fetches the readahead pipeline keeps in flight
     /// ahead of a sequential reader (with `techniques.readahead`).
     pub readahead_window: usize,
+    /// How many servers a *distributed* directory's dentries are spread
+    /// over (clamped to the machine's server count; `0` means every
+    /// server). The default 0 keeps the paper's `hash % NSERVERS` routing
+    /// byte-for-byte. A narrower width bounds every per-directory fan-out
+    /// — readdir's `ListShard` sweep, rmdir's mark/commit rounds, the
+    /// redirect retry budgets — at O(owned shards) instead of O(servers
+    /// on the machine), which is what keeps a 4-shard directory equally
+    /// cheap to list on an 8-core and a 256-core machine.
+    pub dir_shard_width: usize,
+    /// Upper bound on the entries one `ListShard` reply (or fused `List`
+    /// terminal) may carry. Listings of larger shards return a
+    /// continuation cursor and the client pages through lexicographically;
+    /// one giant directory can therefore never materialize in a single
+    /// server arena. Small directories (every pre-existing benchmark and
+    /// test) fit one page, so exchange counts are unchanged.
+    pub list_page_max: usize,
 }
 
 impl HareConfig {
@@ -267,6 +283,8 @@ impl HareConfig {
             stripe_unit: 64 * 1024,
             stripe_width: 1,
             readahead_window: 4,
+            dir_shard_width: 0,
+            list_page_max: 4096,
         }
     }
 
@@ -292,6 +310,19 @@ impl HareConfig {
     /// True when some core hosts both a server and applications.
     pub fn is_timeshare(&self) -> bool {
         self.server_cores.iter().any(|c| self.app_cores.contains(c))
+    }
+
+    /// The effective shard width for distributed directories:
+    /// `dir_shard_width` normalized against the server count. `0` (the
+    /// default) and any width at or above the server count both mean
+    /// "every server" — the paper's spread, with routing byte-for-byte
+    /// the seed's `hash % NSERVERS`.
+    pub fn effective_dir_shard_width(&self) -> usize {
+        if self.dir_shard_width == 0 || self.dir_shard_width > self.nservers() {
+            self.nservers()
+        } else {
+            self.dir_shard_width
+        }
     }
 }
 

@@ -73,6 +73,8 @@ impl HareInstance {
                     } else {
                         1
                     },
+                    dir_shard_width: cfg.effective_dir_shard_width(),
+                    list_page_max: cfg.list_page_max,
                 },
             );
             threads.push(
@@ -135,6 +137,8 @@ impl HareInstance {
                 } else {
                     1
                 },
+                dir_shard_width: self.cfg.effective_dir_shard_width(),
+                list_page_max: self.cfg.list_page_max,
             },
         )
     }

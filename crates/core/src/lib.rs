@@ -48,6 +48,7 @@ pub use instance::HareInstance;
 pub use machine::Machine;
 pub use metrics::{TimeSeries, WindowMetrics};
 pub use placement::{
-    LoadReport, MigrationPlan, RebalanceCadence, RebalancePolicy, Rebalancer, RoutingTable,
+    dir_shard_servers, LoadReport, MigrationPlan, RebalanceCadence, RebalancePolicy, Rebalancer,
+    RoutingTable,
 };
-pub use types::{dentry_shard, ClientId, FdId, InodeId, ServerId};
+pub use types::{dentry_shard, dentry_shard_in, ClientId, FdId, InodeId, ServerId};

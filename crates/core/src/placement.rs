@@ -56,8 +56,9 @@
 //! inode load drains to the new owner naturally.
 
 use crate::proto::ExtentMap;
-use crate::types::{dentry_shard, InodeId, ServerId};
+use crate::types::{dentry_shard_in, InodeId, ServerId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The striping policy: which servers *service* a file's stripe I/O (the
 /// data-plane sibling of the dentry-shard hash above). Like the dentry
@@ -82,6 +83,32 @@ pub fn stripe_servers(ino: InodeId, stripe_width: usize, nservers: usize) -> Vec
     (0..width)
         .map(|k| ((ino.server as usize + k) % nservers) as ServerId)
         .collect()
+}
+
+/// The servers a distributed directory's dentries can live on under a
+/// shard width of `width` (`HareConfig::dir_shard_width`): the
+/// home-anchored set `{(home + k) % nservers : k < width}` that
+/// [`crate::types::dentry_shard_in`] selects within, returned in
+/// ascending server order (the order every fan-out iterates). At full
+/// width this is simply `0..nservers` — the paper's spread — so the
+/// default readdir/rmdir fan-outs are byte-for-byte the seed's.
+///
+/// Like [`stripe_servers`] this is a pure function of the directory id
+/// and the knobs: clients, servers, and tests all derive the same set
+/// with no state to migrate or invalidate. It is what turns every
+/// O(nservers) client fan-out into O(owned shards): a 4-shard directory
+/// costs four `ListShard` sends whether the machine has 8 servers or 256.
+pub fn dir_shard_servers(dir: InodeId, width: usize, nservers: usize) -> Vec<ServerId> {
+    let width = if width == 0 {
+        nservers
+    } else {
+        width.min(nservers)
+    };
+    let mut set: Vec<ServerId> = (0..width)
+        .map(|k| ((dir.server as usize + k) % nservers) as ServerId)
+        .collect();
+    set.sort_unstable();
+    set
 }
 
 /// The full extent map for `ino` under the policy: `None` when the
@@ -115,9 +142,17 @@ pub struct OwnerRecord {
 /// An epoch-versioned routing table: the paper's hash plus per-directory
 /// placement overrides. Every client library and every server holds one;
 /// see the module docs for how copies converge.
-#[derive(Debug, Default)]
+///
+/// The override map lives behind an [`Arc`], so [`RoutingTable::clone`]
+/// is a pointer bump: hot paths that route many names in one operation
+/// (a readdir fan-out, a multi-component resolve) take a snapshot clone
+/// once instead of re-locking the owner's table per name. An epoch bump
+/// ([`RoutingTable::learn`]) is **copy-on-write**: it mutates in place
+/// while the table is unshared and clones the map only when a snapshot
+/// is actually outstanding — never a full-table clone per bump.
+#[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
-    overrides: HashMap<InodeId, OwnerRecord>,
+    overrides: Arc<HashMap<InodeId, OwnerRecord>>,
 }
 
 impl RoutingTable {
@@ -127,14 +162,24 @@ impl RoutingTable {
     }
 
     /// The dentry shard for `name` in `dir`: the override owner when one
-    /// exists, the paper's hash otherwise. This is *the* routing function —
+    /// exists, the paper's hash otherwise — bounded to the directory's
+    /// shard set when `width < nservers` (see
+    /// [`crate::types::dentry_shard_in`]). This is *the* routing function —
     /// clients route every entry RPC and servers route every chain hop
-    /// through their table, which is what keeps a forwarded request
-    /// landing at a server that either owns the shard or knows who does.
-    pub fn route(&self, dir: InodeId, dist: bool, name: &str, nservers: usize) -> ServerId {
+    /// through their table with the same `width`, which is what keeps a
+    /// forwarded request landing at a server that either owns the shard
+    /// or knows who does.
+    pub fn route(
+        &self,
+        dir: InodeId,
+        dist: bool,
+        name: &str,
+        width: usize,
+        nservers: usize,
+    ) -> ServerId {
         match self.overrides.get(&dir) {
             Some(rec) => rec.owner,
-            None => dentry_shard(dir, dist, name, nservers),
+            None => dentry_shard_in(dir, dist, name, width, nservers),
         }
     }
 
@@ -161,17 +206,13 @@ impl RoutingTable {
     /// epoch is ignored, so a late redirect can never regress fresher
     /// knowledge.
     pub fn learn(&mut self, dir: InodeId, owner: ServerId, epoch: u64) -> bool {
-        match self.overrides.get_mut(&dir) {
-            Some(rec) if rec.epoch >= epoch => false,
-            Some(rec) => {
-                *rec = OwnerRecord { owner, epoch };
-                true
-            }
-            None => {
-                self.overrides.insert(dir, OwnerRecord { owner, epoch });
-                true
-            }
+        // Check against the shared map first: rejecting a stale record
+        // must not fault a copy-on-write clone.
+        if self.overrides.get(&dir).is_some_and(|r| r.epoch >= epoch) {
+            return false;
         }
+        Arc::make_mut(&mut self.overrides).insert(dir, OwnerRecord { owner, epoch });
+        true
     }
 
     /// For a server's own table: the redirect to answer when this server
@@ -387,11 +428,57 @@ mod tests {
         let t = RoutingTable::new();
         assert!(t.is_empty());
         for n in ["a", "b", "spool"] {
-            assert_eq!(t.route(DIR, true, n, 8), dentry_shard(DIR, true, n, 8));
+            assert_eq!(
+                t.route(DIR, true, n, 8, 8),
+                crate::types::dentry_shard(DIR, true, n, 8)
+            );
         }
-        assert_eq!(t.route(DIR, false, "a", 8), 0);
+        assert_eq!(t.route(DIR, false, "a", 8, 8), 0);
         assert_eq!(t.dir_home(DIR), 0);
         assert_eq!(t.epoch_of(DIR), 0);
+    }
+
+    #[test]
+    fn shard_set_is_home_anchored_and_full_width_is_everyone() {
+        let dir = InodeId { server: 6, num: 9 };
+        assert_eq!(dir_shard_servers(dir, 4, 8), vec![0, 1, 6, 7]);
+        // Full width (or the 0 default) is every server, ascending — the
+        // paper's fan-out order, byte for byte.
+        assert_eq!(
+            dir_shard_servers(dir, 0, 8),
+            (0..8).map(|s| s as ServerId).collect::<Vec<_>>()
+        );
+        assert_eq!(dir_shard_servers(dir, 8, 8), dir_shard_servers(dir, 0, 8));
+        assert_eq!(dir_shard_servers(dir, 99, 8), dir_shard_servers(dir, 0, 8));
+        // The home server is always in the set (rmdir's inode removal and
+        // a centralized fallback both rely on it).
+        for w in 1..=8 {
+            assert!(dir_shard_servers(dir, w, 8).contains(&dir.server));
+        }
+        // Routing always lands inside the set.
+        for i in 0..128 {
+            let n = format!("f{i}");
+            let s = dentry_shard_in(dir, true, &n, 4, 8);
+            assert!(dir_shard_servers(dir, 4, 8).contains(&s));
+        }
+    }
+
+    #[test]
+    fn epoch_bumps_are_copy_on_write() {
+        let mut t = RoutingTable::new();
+        assert!(t.learn(DIR, 5, 1));
+        // An outstanding snapshot keeps routing at its epoch while the
+        // owner's table moves on — and the bump clones the map rather
+        // than mutating the shared one.
+        let snap = t.clone();
+        assert!(t.learn(DIR, 2, 2));
+        assert_eq!(snap.dir_home(DIR), 5, "snapshot unperturbed");
+        assert_eq!(t.dir_home(DIR), 2);
+        // Rejecting a stale record never faults a clone (pointer-equal
+        // maps before and after).
+        let before = Arc::as_ptr(&t.overrides);
+        assert!(!t.learn(DIR, 9, 1));
+        assert_eq!(Arc::as_ptr(&t.overrides), before);
     }
 
     #[test]
@@ -428,14 +515,14 @@ mod tests {
         let mut t = RoutingTable::new();
         assert!(t.learn(DIR, 5, 1));
         for n in ["a", "b", "anything"] {
-            assert_eq!(t.route(DIR, false, n, 8), 5);
-            assert_eq!(t.route(DIR, true, n, 8), 5);
+            assert_eq!(t.route(DIR, false, n, 8, 8), 5);
+            assert_eq!(t.route(DIR, true, n, 8, 8), 5);
         }
         assert_eq!(t.dir_home(DIR), 5);
         assert_eq!(t.epoch_of(DIR), 1);
         // Other directories keep hashing.
         let other = InodeId { server: 3, num: 9 };
-        assert_eq!(t.route(other, false, "a", 8), 3);
+        assert_eq!(t.route(other, false, "a", 8, 8), 3);
     }
 
     #[test]

@@ -162,16 +162,22 @@ pub enum TerminalReply {
         open: OpenResult,
     },
     /// One server's shard of the target directory listing, tagged with the
-    /// answering server so the client can skip it in the fan-out.
+    /// answering server so the client can skip it in the fan-out. Bounded
+    /// like a standalone [`Request::ListShard`] page: a shard larger than
+    /// the server's page limit returns its first page plus a continuation
+    /// cursor, and the client pages through the rest with ordinary
+    /// `ListShard` requests at the same server.
     List {
         /// The server whose shard `entries` is.
         server: ServerId,
-        /// Entries stored at that server.
+        /// The first page of entries stored at that server.
         entries: Vec<DirEntry>,
         /// With [`TerminalOp::List::plus`]: one slot per entry, `Some`
         /// when the entry's inode is stored on the answering server (its
         /// stat rides the chain). Empty without `plus`.
         stats: Vec<Option<Stat>>,
+        /// Continuation cursor when the shard exceeded one page.
+        next: Option<String>,
     },
 }
 
@@ -292,10 +298,26 @@ pub enum Request {
         name: String,
     },
     /// Lists this server's shard of a directory (`readdir` fan-out,
-    /// paper §3.6.2).
+    /// paper §3.6.2), one bounded page at a time.
+    ///
+    /// Pages walk the shard in lexicographic name order: `after: None`
+    /// starts at the beginning, and a [`Reply::Shard`] whose `next` is
+    /// `Some(name)` is continued by re-asking with `after: Some(name)`.
+    /// The cursor is a *name*, not an index, so entries created or
+    /// removed between pages never shift the window — an entry alive for
+    /// the whole listing appears exactly once. Directories small enough
+    /// for one page (`next: None` on the first reply) cost exactly the
+    /// seed's single exchange.
     ListShard {
         /// Directory inode.
         dir: InodeId,
+        /// Resume strictly after this name (`None` = from the start).
+        after: Option<String>,
+        /// Client-requested page bound; `0` leaves the server's
+        /// configured [`list_page_max`](crate::config::HareConfig::list_page_max)
+        /// as the only bound (the server clamps to it either way, so a
+        /// greedy client cannot blow the arena).
+        max: u32,
     },
 
     /// Chained multi-component resolution (server-side `LookupPath`
@@ -776,10 +798,15 @@ pub enum Reply {
         /// (a vanished inode, `EACCES`, …).
         term: Option<TerminalReply>,
     },
-    /// One shard of a directory listing.
+    /// One page of one shard of a directory listing.
     Shard {
-        /// Entries stored at this server.
+        /// Entries stored at this server, in lexicographic name order,
+        /// starting strictly after the request's cursor.
         entries: Vec<DirEntry>,
+        /// Continuation cursor: `Some(name)` when the shard has entries
+        /// beyond this page (resume with `after: Some(name)`), `None`
+        /// when the listing is complete.
+        next: Option<String>,
     },
     /// Inode created (with optional coalesced open).
     Created {
@@ -1062,7 +1089,11 @@ mod tests {
             reqs: vec![
                 Request::StatInode { num: 2 },
                 Request::StatInode { num: 3 },
-                Request::ListShard { dir: InodeId::ROOT },
+                Request::ListShard {
+                    dir: InodeId::ROOT,
+                    after: None,
+                    max: 0,
+                },
             ],
             fail_fast: false,
         };

@@ -31,6 +31,52 @@ pub struct PendingCall {
     rrx: msg::Receiver<WireReply>,
 }
 
+/// A reusable reply channel for strictly serial blocking RPCs: the sender
+/// half rides each request (an `Arc` bump) and the receiver half is drained
+/// immediately, so steady-state calls allocate no channel. Must only be
+/// used where at most one request is outstanding at a time — overlapped
+/// exchanges keep their own per-call channels, since replies on a shared
+/// queue arrive in completion order.
+pub struct ReplySlot {
+    tx: msg::Sender<WireReply>,
+    rx: msg::Receiver<WireReply>,
+}
+
+impl ReplySlot {
+    /// Creates the slot's channel once, up front.
+    pub fn new(stats: Arc<msg::MsgStats>) -> Self {
+        let (tx, rx) = msg::channel::<WireReply>(stats);
+        ReplySlot { tx, rx }
+    }
+}
+
+/// [`call`] through a reusable [`ReplySlot`]: identical semantics and
+/// virtual-time accounting, minus the per-call channel allocation.
+pub fn call_reusing(
+    machine: &Arc<Machine>,
+    entity: &Entity,
+    server: &ServerHandle,
+    req: Request,
+    slot: &ReplySlot,
+) -> WireReply {
+    let t_sent = entity.work(machine, machine.cost.msg_send);
+    let arrival = t_sent + machine.latency(entity.core, server.core);
+    server
+        .tx
+        .send(
+            ServerMsg {
+                req,
+                reply: slot.tx.clone(),
+            },
+            arrival,
+            entity.core,
+        )
+        .map_err(|_| Errno::EIO)?;
+    let env = slot.rx.recv().map_err(|_| Errno::EIO)?;
+    finish_recv(machine, entity, env.deliver_at);
+    env.payload
+}
+
 /// Sends one request without waiting for the reply: the caller executes the
 /// send cost (busy on its core) and the request arrives at the server after
 /// the topology latency.

@@ -18,7 +18,8 @@
 use crate::seqfifo::SeqFifo;
 use crate::types::{ClientId, InodeId};
 use fsapi::{DirEntry, Errno, FileType, FsResult};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Bound;
 use std::sync::Arc;
 
 /// Value of one directory entry.
@@ -59,8 +60,11 @@ struct TrackSlot {
 /// This server's slice of every directory.
 #[derive(Debug)]
 pub struct DentryShard {
-    /// dir → name → value.
-    dirs: HashMap<InodeId, HashMap<String, DentryVal>>,
+    /// dir → name → value. The inner map is ordered by name so a listing
+    /// can be paged with a lexicographic cursor
+    /// ([`DentryShard::list_page`]): the cursor survives concurrent
+    /// inserts and removes, which an index-based cursor would not.
+    dirs: HashMap<InodeId, BTreeMap<String, DentryVal>>,
     /// Clients holding `(dir, name)` — positively or negatively — in
     /// their lookup caches, nested by directory so rmdir can drop a
     /// directory's lists without scanning unrelated state.
@@ -160,18 +164,56 @@ impl DentryShard {
         self.dirs.get(&dir).map_or(0, |m| m.len())
     }
 
-    /// This shard's contribution to `readdir(dir)`.
+    /// This shard's full contribution to `readdir(dir)`, in name order
+    /// (tests and small-directory tools; the server always pages via
+    /// [`DentryShard::list_page`]).
     pub fn list(&self, dir: InodeId) -> Vec<DirEntry> {
-        self.dirs.get(&dir).map_or_else(Vec::new, |m| {
-            m.iter()
-                .map(|(name, v)| DirEntry {
-                    name: name.clone(),
-                    ino: v.target.num,
-                    server: v.target.server,
-                    ftype: v.ftype,
-                })
-                .collect()
-        })
+        self.list_page(dir, None, usize::MAX).0
+    }
+
+    /// One page of this shard's contribution to `readdir(dir)`: up to
+    /// `max` entries in lexicographic name order, starting strictly after
+    /// `after` (`None` = from the start). Returns the page plus the
+    /// continuation cursor — `Some(last name in the page)` when more
+    /// entries follow, `None` when the shard is exhausted.
+    ///
+    /// The cursor is a name, so a page boundary is stable under
+    /// concurrent mutation: entries created or removed between pages
+    /// shift nothing, and an entry alive across the whole listing is
+    /// returned exactly once.
+    pub fn list_page(
+        &self,
+        dir: InodeId,
+        after: Option<&str>,
+        max: usize,
+    ) -> (Vec<DirEntry>, Option<String>) {
+        let Some(m) = self.dirs.get(&dir) else {
+            return (Vec::new(), None);
+        };
+        let lower = match after {
+            Some(name) => Bound::Excluded(name),
+            None => Bound::Unbounded,
+        };
+        let max = max.max(1);
+        let mut entries = Vec::with_capacity(max.min(m.len()));
+        let mut range = m.range::<str, _>((lower, Bound::Unbounded));
+        for (name, v) in range.by_ref() {
+            entries.push(DirEntry {
+                name: name.clone(),
+                ino: v.target.num,
+                server: v.target.server,
+                ftype: v.ftype,
+            });
+            if entries.len() == max {
+                break;
+            }
+        }
+        let next = if range.next().is_some() {
+            entries.last().map(|e| e.name.clone())
+        } else {
+            None
+        };
+        (entries, next)
     }
 
     /// Every entry this shard holds for `dir`, with full values — the
@@ -550,5 +592,58 @@ mod tests {
         assert_eq!(l[0].name, "x");
         assert_eq!(l[0].ino, 5);
         assert_eq!(l[0].server, 1);
+    }
+
+    #[test]
+    fn list_page_walks_in_name_order_with_stable_cursor() {
+        let mut s = DentryShard::default();
+        for i in 0..10 {
+            s.insert(DIR, &format!("f{i:02}"), file_val(i), false)
+                .unwrap();
+        }
+        // Exact-boundary pages: 10 entries in pages of 4 → 4, 4, 2.
+        let (p1, c1) = s.list_page(DIR, None, 4);
+        assert_eq!(
+            p1.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            ["f00", "f01", "f02", "f03"]
+        );
+        assert_eq!(c1.as_deref(), Some("f03"));
+        let (p2, c2) = s.list_page(DIR, c1.as_deref(), 4);
+        assert_eq!(p2.len(), 4);
+        assert_eq!(c2.as_deref(), Some("f07"));
+        let (p3, c3) = s.list_page(DIR, c2.as_deref(), 4);
+        assert_eq!(
+            p3.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            ["f08", "f09"]
+        );
+        assert!(c3.is_none(), "final page carries no cursor");
+        // A page that ends exactly at the last entry also ends cleanly.
+        let (p, c) = s.list_page(DIR, Some("f07"), 2);
+        assert_eq!(p.len(), 2);
+        assert!(c.is_none());
+    }
+
+    #[test]
+    fn list_page_cursor_survives_concurrent_mutation() {
+        let mut s = DentryShard::default();
+        for i in 0..6 {
+            s.insert(DIR, &format!("f{i}"), file_val(i), false).unwrap();
+        }
+        let (p1, c1) = s.list_page(DIR, None, 3); // f0 f1 f2
+        assert_eq!(c1.as_deref(), Some("f2"));
+        // Mutations on both sides of the cursor between pages.
+        s.remove(DIR, "f1").unwrap(); // behind: already returned
+        s.remove(DIR, "f4").unwrap(); // ahead: must simply not appear
+        s.insert(DIR, "f0a", file_val(90), false).unwrap(); // behind: missed, fine
+        s.insert(DIR, "f5a", file_val(91), false).unwrap(); // ahead: appears
+        let (p2, c2) = s.list_page(DIR, c1.as_deref(), 10);
+        let names: Vec<&str> = p1.iter().chain(&p2).map(|e| e.name.as_str()).collect();
+        // Entries alive for the whole listing (f0 f2 f3 f5) appear exactly
+        // once; nothing is duplicated, nothing shifts.
+        for alive in ["f0", "f2", "f3", "f5"] {
+            assert_eq!(names.iter().filter(|n| **n == alive).count(), 1);
+        }
+        assert!(names.contains(&"f5a"));
+        assert!(c2.is_none());
     }
 }

@@ -96,6 +96,15 @@ pub struct ServerParams {
     /// `striping` toggle off is width 1, the paper's all-blocks-home
     /// layout).
     pub stripe_width: usize,
+    /// Effective per-directory shard width (already normalized by the
+    /// instance to `1..=nservers`; `nservers` is the paper's every-server
+    /// spread). The chained walk must route with the same width the
+    /// clients use.
+    pub dir_shard_width: usize,
+    /// Upper bound on the entries one `ListShard` (or fused `List`
+    /// terminal) reply carries; larger shards page with a continuation
+    /// cursor.
+    pub list_page_max: usize,
 }
 
 /// One Hare file server.
@@ -119,6 +128,10 @@ pub struct Server {
     /// maps are ever handed out — the paper's layout.
     stripe_unit: u64,
     stripe_width: usize,
+    /// Per-directory shard width for routing (see [`ServerParams`]).
+    dir_shard_width: usize,
+    /// Page bound for shard listings (see [`ServerParams`]).
+    list_page_max: usize,
     /// This server's copy of the epoch-versioned routing table. Starts at
     /// epoch 0 (pure hash); updated by the migrations this server takes
     /// part in. Entry operations for a directory whose shard migrated away
@@ -174,6 +187,8 @@ impl Server {
             distribution: params.distribution,
             stripe_unit: params.stripe_unit,
             stripe_width: params.stripe_width,
+            dir_shard_width: params.dir_shard_width,
+            list_page_max: params.list_page_max.max(1),
             routing: RoutingTable::new(),
             migrating: HashMap::new(),
             ops_served: 0,
@@ -230,7 +245,7 @@ impl Server {
             | Request::LookupPath { dir, .. }
             | Request::AddMap { dir, .. }
             | Request::RmMap { dir, .. }
-            | Request::ListShard { dir } => Some(*dir),
+            | Request::ListShard { dir, .. } => Some(*dir),
             Request::Create {
                 add_map: Some((dir, _)),
                 ..
@@ -416,7 +431,9 @@ impl Server {
                 name,
                 must_be_file,
             } => Some(self.op_rm_map(client, dir, &name, must_be_file, ctx)),
-            Request::ListShard { dir } => Some(self.op_list_shard(dir, ctx)),
+            Request::ListShard { dir, after, max } => {
+                Some(self.op_list_shard(dir, after.as_deref(), max, ctx))
+            }
             Request::MigrateBegin { dir } => Some(self.op_migrate_begin(dir, ctx)),
             Request::MigrateInstall {
                 dir,
@@ -602,7 +619,7 @@ impl Server {
             | Request::LookupStat { dir, .. }
             | Request::AddMap { dir, .. }
             | Request::RmMap { dir, .. }
-            | Request::ListShard { dir } => Some(*dir),
+            | Request::ListShard { dir, .. } => Some(*dir),
             Request::Create {
                 add_map: Some((dir, _)),
                 ..
@@ -966,7 +983,9 @@ impl Server {
             // away) re-forwards to the owner this server knows — still
             // feed-forward, still within the hop budget — instead of
             // bouncing the client.
-            let owner = self.routing.route(cur_dir, cur_dist, name, nservers);
+            let owner = self
+                .routing
+                .route(cur_dir, cur_dist, name, self.dir_shard_width, nservers);
             if owner != self.id {
                 if hops >= max_hops {
                     stopped = Some(Errno::ELOOP);
@@ -1142,7 +1161,10 @@ impl Server {
                 {
                     return None;
                 }
-                let entries = self.dentries.list(dir);
+                // Page-bounded like a standalone ListShard: a giant shard
+                // rides the chain as its first page and the client pages
+                // through the rest at this server.
+                let (entries, next) = self.dentries.list_page(dir, None, self.list_page_max);
                 ctx.extra += 400 + 25 * entries.len() as u64;
                 // The readdir_plus fusion: stat every listed entry whose
                 // inode this server stores, so those entries need no
@@ -1170,6 +1192,7 @@ impl Server {
                     server: self.id,
                     entries,
                     stats,
+                    next,
                 })
             }
         }
@@ -1309,7 +1332,13 @@ impl Server {
         })
     }
 
-    fn op_list_shard(&mut self, dir: InodeId, ctx: &mut Ctx) -> WireReply {
+    fn op_list_shard(
+        &mut self,
+        dir: InodeId,
+        after: Option<&str>,
+        max: u32,
+        ctx: &mut Ctx,
+    ) -> WireReply {
         // Only centralized directories migrate, so a foreign override
         // means this server's (empty) shard would silently truncate the
         // listing — redirect instead. Distributed fan-outs never see an
@@ -1320,9 +1349,16 @@ impl Server {
         if self.dentries.is_tombstoned(dir) {
             return Err(Errno::ENOENT);
         }
-        let entries = self.dentries.list(dir);
+        // The server's page bound always applies; the client may only
+        // tighten it. One giant shard can therefore never materialize in
+        // a single reply regardless of what the client asks for.
+        let bound = match max {
+            0 => self.list_page_max,
+            m => (m as usize).min(self.list_page_max),
+        };
+        let (entries, next) = self.dentries.list_page(dir, after, bound);
         ctx.extra += 25 * entries.len() as u64;
-        Ok(Reply::Shard { entries })
+        Ok(Reply::Shard { entries, next })
     }
 
     /// Queues invalidations for every client tracking `(dir, name)` other

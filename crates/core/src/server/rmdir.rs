@@ -138,7 +138,11 @@ mod tests {
             DIR,
             msg::Envelope {
                 payload: ServerMsg {
-                    req: Request::ListShard { dir: DIR },
+                    req: Request::ListShard {
+                        dir: DIR,
+                        after: None,
+                        max: 0,
+                    },
                     reply: tx,
                 },
                 deliver_at: 5,
@@ -160,7 +164,11 @@ mod tests {
             DIR,
             msg::Envelope {
                 payload: ServerMsg {
-                    req: Request::ListShard { dir: DIR },
+                    req: Request::ListShard {
+                        dir: DIR,
+                        after: None,
+                        max: 0,
+                    },
                     reply: tx,
                 },
                 deliver_at: 0,

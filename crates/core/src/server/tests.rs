@@ -36,6 +36,8 @@ impl Harness {
                 distribution: true,
                 stripe_unit: 64 * 1024,
                 stripe_width: 1,
+                dir_shard_width: 1,
+                list_page_max: 4096,
             },
         );
         Harness { server, machine }

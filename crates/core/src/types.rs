@@ -60,6 +60,27 @@ impl std::fmt::Display for FdId {
 /// be forwarded. Keeping one definition is what guarantees a forwarded
 /// request always lands at the owner (so every hop makes progress).
 pub fn dentry_shard(dir: InodeId, dist: bool, name: &str, nservers: usize) -> ServerId {
+    dentry_shard_in(dir, dist, name, nservers, nservers)
+}
+
+/// [`dentry_shard`] bounded to a per-directory shard set of `width`
+/// servers (`HareConfig::dir_shard_width`).
+///
+/// At full width (`width >= nservers`, the default) this is *exactly* the
+/// paper's `hash % NSERVERS` — byte-for-byte, so epoch-0 routing and every
+/// pinned exchange count are unchanged. A narrower width confines the
+/// directory's entries to the home-anchored set `{(home + k) % nservers :
+/// k < width}` (the same rotation idiom as
+/// [`crate::placement::stripe_servers`]), selecting within the set by
+/// `hash % width`. Clients and the servers' chained walk share this one
+/// definition, so a forwarded request still always lands at the owner.
+pub fn dentry_shard_in(
+    dir: InodeId,
+    dist: bool,
+    name: &str,
+    width: usize,
+    nservers: usize,
+) -> ServerId {
     use std::collections::hash_map::DefaultHasher;
     use std::hash::{Hash, Hasher};
     if !dist {
@@ -69,7 +90,11 @@ pub fn dentry_shard(dir: InodeId, dist: bool, name: &str, nservers: usize) -> Se
     dir.server.hash(&mut h);
     dir.num.hash(&mut h);
     name.hash(&mut h);
-    (h.finish() % nservers as u64) as ServerId
+    if width >= nservers {
+        return (h.finish() % nservers as u64) as ServerId;
+    }
+    let k = h.finish() % width as u64;
+    ((dir.server as u64 + k) % nservers as u64) as ServerId
 }
 
 #[cfg(test)]
@@ -103,5 +128,38 @@ mod tests {
             assert!(usize::from(s) < 8);
             assert_eq!(s, dentry_shard(dir, true, n, 8), "stable per input");
         }
+    }
+
+    #[test]
+    fn full_width_is_the_paper_hash_byte_for_byte() {
+        let dir = InodeId { server: 3, num: 7 };
+        for i in 0..64 {
+            let n = format!("f{i}");
+            assert_eq!(
+                dentry_shard_in(dir, true, &n, 8, 8),
+                dentry_shard(dir, true, &n, 8)
+            );
+            // Over-wide configs normalize to the same thing.
+            assert_eq!(
+                dentry_shard_in(dir, true, &n, 64, 8),
+                dentry_shard(dir, true, &n, 8)
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_width_confines_to_the_home_anchored_set() {
+        let dir = InodeId { server: 6, num: 7 };
+        // width 4 on 8 servers: only {6, 7, 0, 1} may own entries.
+        let set = [6u16, 7, 0, 1];
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256 {
+            let s = dentry_shard_in(dir, true, &format!("f{i}"), 4, 8);
+            assert!(set.contains(&s), "server {s} outside the shard set");
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 4, "all four shards are actually used");
+        // Centralized directories ignore the width entirely.
+        assert_eq!(dentry_shard_in(dir, false, "x", 4, 8), 6);
     }
 }

@@ -1,0 +1,315 @@
+//! Paged `ListShard` and O(owned-shards) fan-out tests.
+//!
+//! PR 8's big-machine hot paths: a directory listing pages through
+//! bounded `ListShard` exchanges (the cursor is a *name*, so it survives
+//! concurrent mutation and shard migration), and every whole-directory
+//! fan-out — readdir's sweep, rmdir's mark/commit rounds — visits the
+//! directory's shard set, not every server on the machine. These tests
+//! pin the exchange counts and the cursor semantics end to end.
+
+use fsapi::{Errno, MkdirOpts, Mode, OpenFlags, ProcFs};
+use hare_core::proto::{MarkResult, Reply, Request, ServerMsg, WireReply};
+use hare_core::{HareConfig, HareInstance, ServerId};
+use std::sync::Arc;
+
+/// Sends one raw request to server `s` and waits for its reply, bypassing
+/// the client library (for driving the pagination protocol by hand).
+fn raw(inst: &Arc<HareInstance>, s: ServerId, req: Request) -> WireReply {
+    let (tx, rx) = msg::channel(Arc::clone(&inst.machine().msg_stats));
+    inst.servers()[s as usize]
+        .tx
+        .send(ServerMsg { req, reply: tx }, 0, 0)
+        .unwrap();
+    rx.recv().unwrap().payload
+}
+
+/// The raw first-or-continuation page request.
+fn list_req(dir: hare_core::InodeId, after: Option<&str>, max: u32) -> Request {
+    Request::ListShard {
+        dir,
+        after: after.map(str::to_string),
+        max,
+    }
+}
+
+/// Boots an instance, creates the distributed directory `/big` with
+/// `n` files `e000..`, and returns the instance.
+fn boot_with_entries(cfg: HareConfig, n: usize) -> Arc<HareInstance> {
+    let app_core = cfg.app_cores[0];
+    let inst = HareInstance::start(cfg);
+    let setup = inst.new_client(app_core).unwrap();
+    setup
+        .mkdir_opts("/big", Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+    for i in 0..n {
+        let fd = setup
+            .open(
+                &format!("/big/e{i:03}"),
+                OpenFlags::CREAT | OpenFlags::WRONLY,
+                Mode::default(),
+            )
+            .unwrap();
+        setup.close(fd).unwrap();
+    }
+    drop(setup);
+    let _ = app_core;
+    inst
+}
+
+/// Resolves `/big`'s inode through a throwaway client.
+fn big_ino(inst: &Arc<HareInstance>) -> hare_core::InodeId {
+    let core = inst.config().app_cores[0];
+    let c = inst.new_client(core).unwrap();
+    let st = c.stat("/big").unwrap();
+    let ino = hare_core::InodeId {
+        server: st.server,
+        num: st.ino,
+    };
+    drop(c);
+    ino
+}
+
+#[test]
+fn paged_listing_is_complete_and_sorted() {
+    // 100 entries over 4 shards with an 8-entry page: every shard needs
+    // several continuation rounds, and the final listing must still be
+    // exactly the created set, in name order.
+    let mut cfg = HareConfig::timeshare(4);
+    cfg.list_page_max = 8;
+    let inst = boot_with_entries(cfg, 100);
+    let c = inst.new_client(0).unwrap();
+    let names: Vec<String> = c
+        .readdir("/big")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    let expect: Vec<String> = (0..100).map(|i| format!("e{i:03}")).collect();
+    assert_eq!(names, expect);
+    drop(c);
+    inst.shutdown();
+}
+
+#[test]
+fn exact_page_boundary_ends_without_a_cursor() {
+    // A page that consumes the shard exactly must not hand back a
+    // continuation cursor (which would cost a pointless empty round).
+    let inst = boot_with_entries(HareConfig::timeshare(1), 6);
+    let dir = big_ino(&inst);
+    match raw(&inst, 0, list_req(dir, None, 6)) {
+        Ok(Reply::Shard { entries, next }) => {
+            assert_eq!(entries.len(), 6);
+            assert_eq!(next, None, "exact-boundary page must end the listing");
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    // One short of the boundary: a cursor, and a final 1-entry page.
+    let next = match raw(&inst, 0, list_req(dir, None, 5)) {
+        Ok(Reply::Shard { entries, next }) => {
+            assert_eq!(entries.len(), 5);
+            next.expect("truncated page must carry a cursor")
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    };
+    match raw(&inst, 0, list_req(dir, Some(&next), 0)) {
+        Ok(Reply::Shard { entries, next }) => {
+            assert_eq!(entries.len(), 1);
+            assert_eq!(entries[0].name, "e005");
+            assert_eq!(next, None);
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    inst.shutdown();
+}
+
+#[test]
+fn cursor_survives_mutation_between_pages() {
+    // Entries created and removed between two pages: names alive across
+    // the whole listing appear exactly once, regardless of which side of
+    // the cursor the churn lands on.
+    let inst = boot_with_entries(HareConfig::timeshare(1), 8);
+    let dir = big_ino(&inst);
+    let next = match raw(&inst, 0, list_req(dir, None, 4)) {
+        Ok(Reply::Shard { entries, next }) => {
+            assert_eq!(entries.len(), 4); // e000..e003
+            next.unwrap()
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    };
+    assert_eq!(next, "e003");
+
+    // Mutate on both sides of the cursor before the continuation.
+    let c = inst.new_client(0).unwrap();
+    c.unlink("/big/e001").unwrap(); // behind the cursor (already listed)
+    c.unlink("/big/e005").unwrap(); // ahead of the cursor (never listed)
+    let fd = c
+        .open(
+            "/big/e0005x", // sorts behind the cursor: must NOT reappear
+            OpenFlags::CREAT | OpenFlags::WRONLY,
+            Mode::default(),
+        )
+        .unwrap();
+    c.close(fd).unwrap();
+    drop(c);
+
+    match raw(&inst, 0, list_req(dir, Some(&next), 0)) {
+        Ok(Reply::Shard { entries, next }) => {
+            let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+            assert_eq!(names, vec!["e004", "e006", "e007"]);
+            assert_eq!(next, None);
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    inst.shutdown();
+}
+
+#[test]
+fn rmdir_mark_between_pages_parks_then_finishes_cleanly() {
+    // Mid-pagination, the directory empties and an rmdir marks it. The
+    // continuation request parks behind the mark (the chain-level EAGAIN
+    // semantics, preserved across page boundaries) and, when the rmdir
+    // aborts, completes with an empty final page — no orphan pages, no
+    // spurious error.
+    let inst = boot_with_entries(HareConfig::timeshare(1), 4);
+    let dir = big_ino(&inst);
+    let next = match raw(&inst, 0, list_req(dir, None, 2)) {
+        Ok(Reply::Shard { next, .. }) => next.unwrap(),
+        other => panic!("unexpected reply: {other:?}"),
+    };
+
+    // Empty the directory, then take the rmdir lock and mark it.
+    let c = inst.new_client(0).unwrap();
+    for i in 0..4 {
+        c.unlink(&format!("/big/e{i:03}")).unwrap();
+    }
+    drop(c);
+    assert!(matches!(
+        raw(&inst, 0, Request::RmdirSerialize { dir }),
+        Ok(Reply::RmdirLocked)
+    ));
+    assert!(matches!(
+        raw(&inst, 0, Request::RmdirMark { dir }),
+        Ok(Reply::RmdirMark(MarkResult::Marked))
+    ));
+
+    // The continuation parks: send it, then resolve the mark with an
+    // abort; only then does its reply arrive.
+    let (tx, rx) = msg::channel(Arc::clone(&inst.machine().msg_stats));
+    inst.servers()[0]
+        .tx
+        .send(
+            ServerMsg {
+                req: list_req(dir, Some(&next), 0),
+                reply: tx,
+            },
+            0,
+            0,
+        )
+        .unwrap();
+    assert!(matches!(
+        raw(&inst, 0, Request::RmdirAbort { dir }),
+        Ok(Reply::Unit)
+    ));
+    assert!(matches!(
+        raw(&inst, 0, Request::RmdirRelease { dir }),
+        Ok(Reply::Unit)
+    ));
+    match rx.recv().unwrap().payload {
+        Ok(Reply::Shard { entries, next }) => {
+            assert!(entries.is_empty());
+            assert_eq!(next, None);
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    inst.shutdown();
+}
+
+#[test]
+fn committed_rmdir_turns_stale_cursors_into_enoent() {
+    // The commit case: a cursor held across the directory's removal must
+    // answer ENOENT (the tombstone), never a phantom page.
+    let inst = boot_with_entries(HareConfig::timeshare(1), 4);
+    let dir = big_ino(&inst);
+    let next = match raw(&inst, 0, list_req(dir, None, 2)) {
+        Ok(Reply::Shard { next, .. }) => next.unwrap(),
+        other => panic!("unexpected reply: {other:?}"),
+    };
+    let c = inst.new_client(0).unwrap();
+    for i in 0..4 {
+        c.unlink(&format!("/big/e{i:03}")).unwrap();
+    }
+    c.rmdir("/big").unwrap();
+    drop(c);
+    assert!(matches!(
+        raw(&inst, 0, list_req(dir, Some(&next), 0)),
+        Err(Errno::ENOENT)
+    ));
+    inst.shutdown();
+}
+
+#[test]
+fn page_rounds_cost_exactly_one_exchange_each() {
+    // Single server, 10 entries: resolution is one exchange, and the
+    // listing itself is one exchange per page — ceil(10/4) = 3 pages at a
+    // 4-entry bound, one page unbounded. Pinned sends (2 per exchange).
+    let sends = |page: usize| {
+        let mut cfg = HareConfig::timeshare(1);
+        cfg.list_page_max = page;
+        let inst = boot_with_entries(cfg, 10);
+        let prober = inst.new_client(0).unwrap();
+        let before = inst.machine().msg_stats.sends();
+        assert_eq!(prober.readdir("/big").unwrap().len(), 10);
+        let delta = inst.machine().msg_stats.sends() - before;
+        drop(prober);
+        inst.shutdown();
+        delta
+    };
+    assert_eq!(sends(4096), 2 * (1 + 1), "one page: resolve + 1 exchange");
+    assert_eq!(sends(4), 2 * (1 + 3), "three pages: resolve + 3 exchanges");
+}
+
+#[test]
+fn four_shard_dir_costs_the_same_sends_at_8_and_64_servers() {
+    // The acceptance criterion: a directory sharded 4 wide pays the same
+    // distributed-readdir fan-out on an 8-server machine and a 64-server
+    // machine — O(owned shards), not O(servers).
+    let sends = |ncores: usize| {
+        let mut cfg = HareConfig::timeshare(ncores);
+        cfg.dir_shard_width = 4;
+        let inst = boot_with_entries(cfg, 32);
+        let prober = inst.new_client(0).unwrap();
+        let before = inst.machine().msg_stats.sends();
+        assert_eq!(prober.readdir("/big").unwrap().len(), 32);
+        let delta = inst.machine().msg_stats.sends() - before;
+        drop(prober);
+        inst.shutdown();
+        delta
+    };
+    let (at8, at64) = (sends(8), sends(64));
+    assert_eq!(
+        at8, at64,
+        "readdir fan-out must not scale with machine size"
+    );
+    // And the absolute count is the resolve exchange plus one per shard.
+    assert_eq!(at8, 2 * (1 + 4));
+}
+
+#[test]
+fn narrow_width_confines_creation_listing_and_removal() {
+    // End-to-end over a narrow shard set: clients that never exchanged
+    // state agree on placement (creation, listing, unlink, rmdir), and
+    // rmdir's mark/commit rounds over the shard set alone leave nothing
+    // behind.
+    let mut cfg = HareConfig::timeshare(8);
+    cfg.dir_shard_width = 3;
+    let inst = boot_with_entries(cfg, 40);
+    let c = inst.new_client(0).unwrap();
+    assert_eq!(c.readdir("/big").unwrap().len(), 40);
+    for i in 0..40 {
+        c.unlink(&format!("/big/e{i:03}")).unwrap();
+    }
+    c.rmdir("/big").unwrap();
+    assert_eq!(c.stat("/big").unwrap_err(), Errno::ENOENT);
+    drop(c);
+    inst.shutdown();
+}
