@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# The perf-smoke regression gate, shared by the CI workflow and local
+# runs (`./ci/perf_gate.sh` from anywhere inside the repo).
+#
+# The bench list is not maintained by hand: every committed
+# `BENCH_<bench>.json` baseline implies a gate run of the bench binary
+# with the same name. Committing a baseline is therefore all it takes to
+# get a bench gated — and a baseline whose binary has vanished (renamed
+# bench, dropped bin target) fails the gate instead of silently
+# un-gating, the same no-silent-drop policy the in-process gate applies
+# to individual configs and metrics.
+#
+# Each bench rewrites its BENCH_*.json in place, so the committed copies
+# are saved aside first and passed via HARE_GATE_BASELINE. Knobs:
+#
+#   HARE_SCALE    workload preset (default quick — the CI smoke size)
+#   HARE_CORES    simulated core budget (default 8)
+#   HARE_BIN_DIR  where the bench binaries live (default target/release)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${HARE_SCALE:-quick}"
+cores="${HARE_CORES:-8}"
+bindir="${HARE_BIN_DIR:-target/release}"
+
+baselines=(BENCH_*.json)
+if [ ! -e "${baselines[0]}" ]; then
+    echo "perf_gate: no committed BENCH_*.json baselines found" >&2
+    exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+failed=0
+for f in "${baselines[@]}"; do
+    bench="${f#BENCH_}"
+    bench="${bench%.json}"
+    if [ ! -x "$bindir/$bench" ]; then
+        echo "perf_gate: committed baseline $f has no gate run:" \
+             "$bindir/$bench is not a built bench binary" >&2
+        failed=1
+        continue
+    fi
+    # Gate against the committed copy, not the file the run rewrites.
+    cp "$f" "$tmp/$f"
+    echo "== perf_gate: $bench (scale=$scale cores=$cores) =="
+    HARE_SCALE="$scale" HARE_CORES="$cores" \
+        HARE_GATE_BASELINE="$tmp/$f" "$bindir/$bench"
+done
+
+exit "$failed"

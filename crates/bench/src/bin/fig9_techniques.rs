@@ -16,16 +16,19 @@
 //! | Directory cache | 0.87 | 1.44 | 1.42 | 2.42 |
 //! | Creation affinity | 0.96 | 1.02 | 1.00 | 1.16 |
 //!
-//! Nine further rows ablate this reproduction's own extensions (no paper
+//! Ten further rows ablate this reproduction's own extensions (no paper
 //! counterpart): the coalesced lookup+open RPC, the negative dentry
 //! cache, the coalesced lookup+stat RPC, the batched RPC transport,
 //! server-side chained path resolution, terminal-op fusion for chained
 //! resolution, the dynamic placement subsystem (whose win is skewed
 //! hot-directory workloads — `micro_skew` — not the fig suite; the row
 //! mainly proves the toggle costs nothing when no migration happens),
-//! and the striped data plane's two toggles (whose win is large
+//! the striped data plane's two toggles (whose win is large
 //! sequential streams — `micro_stream` — and which are inert at the
-//! default `stripe_width = 1`; the rows prove exactly that).
+//! default `stripe_width = 1`; the rows prove exactly that), and read
+//! replication of hot shards (whose win is read-heavy skew —
+//! `micro_replica` — and which is inert until the rebalancer plants a
+//! replica; the row proves the toggle is free on the fig suite).
 //!
 //! `--list` prints the registered toggle keys, one per line — the CI
 //! ablation smoke loops over this output, so adding a row here is all it
@@ -33,7 +36,7 @@
 
 use hare_workloads::Workload;
 
-const TECHNIQUES: [(&str, &str); 14] = [
+const TECHNIQUES: [(&str, &str); 15] = [
     ("distribution", "Directory distribution"),
     ("broadcast", "Directory broadcast"),
     ("direct_access", "Direct cache access"),
@@ -48,6 +51,7 @@ const TECHNIQUES: [(&str, &str); 14] = [
     ("rebalancing", "Dynamic placement / rebalancing"),
     ("striping", "Striped data plane"),
     ("readahead", "Stripe readahead pipeline"),
+    ("replication", "Read replication of hot shards"),
 ];
 
 fn main() {

@@ -1,0 +1,373 @@
+//! `micro_replica`: read-throughput scaling from replicating one hot
+//! directory's dentry shard — the read-mostly counterpart of
+//! `micro_skew`'s migration story.
+//!
+//! Eight worker processes run a 95/5 read/write mix against a single
+//! *centralized* directory: nineteen `readdir`s (each one `ListShard`
+//! exchange against a server chosen from the directory's read set) and
+//! one create-or-unlink of a per-worker slot file (always at the home
+//! shard, fanning invalidations to every replica). The directory is big
+//! enough that the listing's per-entry service cost saturates whichever
+//! servers carry it, so wall-clock cycles per op measure server
+//! queueing, exactly what read replication relieves.
+//!
+//! The bench measures three phases on one machine:
+//!
+//! 1. **x1** — no replicas; every read serializes at the home shard.
+//! 2. **x2** — one replica, planted *organically*: the shared
+//!    [`hare_bench::drive_rebalancer`] loop feeds read bursts to the
+//!    cadence-based rebalancer until its planner classifies the
+//!    directory read-mostly and commits a `Replicate` action (the
+//!    hysteresis is asserted: never on the first probe).
+//! 3. **x4** — three replicas, the policy cap, the last two planted
+//!    deterministically with `replicate_dir`.
+//!
+//! Worker processes are real separate clients, so replica knowledge does
+//! not propagate to them automatically: each phase's workers adopt the
+//! driver's advertisement (`replica_advert` → `adopt_replicas`) before
+//! the measured window, modelling the paper's servers gossiping
+//! placement hints out of band.
+//!
+//! Gates: reads must cost the same RPCs/op at every read-set size
+//! (replica selection is client-local — the hard `*_rpcs_per_op`
+//! baseline pins it, and writes only add the invalidation fan-out), and
+//! cycles/op must scale near-linearly: ≥1.7x at two read servers, ≥3x at
+//! four. With `replication` ablated, `replicate_dir` is a no-op and the
+//! three phases measure the same single-server bottleneck. Results go to
+//! `BENCH_micro_replica.json`; with `HARE_GATE_BASELINE` set the run is
+//! gated against the committed baseline first (CI perf smoke).
+
+use fsapi::{MkdirOpts, Mode, ProcFs};
+use hare_core::{
+    HareConfig, HareInstance, InodeId, RebalanceAction, RebalanceCadence, RebalancePolicy,
+    Rebalancer, ServerId, Techniques,
+};
+use std::sync::Arc;
+
+/// Two worker processes per application core at the CI core count, so
+/// the read servers — not client latency — are the bottleneck.
+const WORKERS: usize = 8;
+
+/// Files in the hot directory. The `ListShard` per-entry charge makes one
+/// listing cost ~4400 cycles of server time, far above the message
+/// latency, so server queueing dominates the measured window.
+const NFILES: usize = 160;
+
+/// Reads per round; one write joins them (95/5 mix).
+const READS_PER_ROUND: usize = 19;
+
+/// Iterations per worker, scaled by `HARE_SCALE`. Must stay even so the
+/// create/unlink slot toggle ends each phase where it started.
+fn iters() -> usize {
+    match std::env::var("HARE_SCALE").as_deref() {
+        Ok("quick") => 8,
+        _ => 32,
+    }
+}
+
+struct Phase {
+    rpcs_per_op: f64,
+    cycles_per_op: f64,
+}
+
+/// Runs the 95/5 mix once. `advert` is the driver's view of the hot
+/// directory's replica set; every worker adopts it before the measured
+/// window so phase differences come from the read set, not discovery.
+fn run_phase(
+    inst: &Arc<HareInstance>,
+    dir: &str,
+    ino: InodeId,
+    advert: Option<(Vec<ServerId>, u64)>,
+    rounds: usize,
+) -> Phase {
+    use std::sync::Barrier;
+
+    let machine = inst.machine();
+    let app_cores = inst.config().app_cores.clone();
+    // Same bracketing as micro_skew: warm/go fence the front (workers
+    // resolve the directory and adopt the replica advertisement outside
+    // the window), done/exit fence client teardown off the far end.
+    let warm = Arc::new(Barrier::new(WORKERS + 1));
+    let go = Arc::new(Barrier::new(WORKERS + 1));
+    let done = Arc::new(Barrier::new(WORKERS + 1));
+    let exit = Arc::new(Barrier::new(WORKERS + 1));
+    let mut joins = Vec::new();
+    for w in 0..WORKERS {
+        let inst = Arc::clone(inst);
+        let dir = dir.to_string();
+        let advert = advert.clone();
+        let core = app_cores[w % app_cores.len()];
+        let (warm, go) = (Arc::clone(&warm), Arc::clone(&go));
+        let (done, exit) = (Arc::clone(&done), Arc::clone(&exit));
+        joins.push(std::thread::spawn(move || {
+            let c = inst.new_client(core).unwrap();
+            if let Some((servers, epoch)) = advert {
+                c.adopt_replicas(ino, servers, epoch);
+            }
+            let slot = format!("{dir}/slot{w}");
+            // Warmup: resolve the directory, list once, and run one full
+            // create/unlink toggle so the measured rounds start clean.
+            let listed = c.readdir(&dir).unwrap();
+            assert!(listed.len() >= NFILES, "warmup listing lost entries");
+            fsapi::write_file(&c, &slot, b"x").unwrap();
+            c.unlink(&slot).unwrap();
+            warm.wait();
+            go.wait();
+            for r in 0..rounds {
+                for _ in 0..READS_PER_ROUND {
+                    let listed = c.readdir(&dir).unwrap();
+                    assert!(listed.len() >= NFILES);
+                }
+                // The 5% write: toggle this worker's slot file at the
+                // home shard (even rounds create, odd rounds unlink).
+                if r % 2 == 0 {
+                    fsapi::write_file(&c, &slot, b"x").unwrap();
+                } else {
+                    c.unlink(&slot).unwrap();
+                }
+            }
+            done.wait();
+            exit.wait();
+            drop(c);
+        }));
+    }
+    warm.wait();
+    machine.sync();
+    let sends0 = machine.msg_stats.sends();
+    let t0 = machine.sync();
+    go.wait();
+    done.wait();
+    let cycles = machine.sync() - t0;
+    let sends = machine.msg_stats.sends() - sends0;
+    exit.wait();
+    for j in joins {
+        j.join().unwrap();
+    }
+    let ops = (WORKERS * rounds * (READS_PER_ROUND + 1)) as f64;
+    Phase {
+        rpcs_per_op: sends as f64 / 2.0 / ops,
+        cycles_per_op: cycles as f64 / ops,
+    }
+}
+
+struct Row {
+    name: &'static str,
+    phases: [Phase; 3],
+    /// Read-set size after each phase's planting step.
+    read_sets: [usize; 3],
+    /// Rebalancer rounds before the organic `Replicate` committed.
+    organic_ticks: usize,
+}
+
+fn measure(name: &'static str, techniques: Techniques, cores: usize) -> Row {
+    let rounds = iters();
+    let replicating = techniques.replication;
+    // Split configuration: dedicated servers so queueing at the read
+    // set, not timeshare context switches, is what the phases compare.
+    let mut cfg = HareConfig::split(cores, cores / 2);
+    cfg.techniques = techniques;
+    let nservers = cfg.nservers();
+    assert!(nservers >= 4, "need home + 3 replicas: run with >= 8 cores");
+    let inst = HareInstance::start(cfg);
+
+    let setup = inst.new_client(inst.config().app_cores[0]).unwrap();
+    let dir = "/hot".to_string();
+    setup
+        .mkdir_opts(&dir, Mode::default(), MkdirOpts::CENTRALIZED)
+        .unwrap();
+    for i in 0..NFILES {
+        fsapi::write_file(&setup, &format!("{dir}/f{i}"), b"x").unwrap();
+    }
+    let ino = setup.dir_inode(&dir).unwrap();
+    let home = setup.dir_owner(&dir).unwrap();
+
+    // Phase 1: unreplicated — every listing queues at the home shard.
+    let p1 = run_phase(&inst, &dir, ino, None, rounds);
+    let rs1 = 1 + setup.replica_advert(ino).map_or(0, |(s, _)| s.len());
+
+    // Plant the first replica organically: read bursts make the home
+    // server hot while its top directory stays write-cold, so the
+    // planner must pick `Replicate`, and only after the cadence's
+    // confirmation streak (micro_skew drives the same loop to a
+    // `Migrate` for its write-churny spool).
+    let mut reb = Rebalancer::new(
+        RebalancePolicy::default(),
+        RebalanceCadence {
+            probe_interval: 50_000,
+            confirm: 2,
+            cooldown: 400_000,
+        },
+    );
+    // 80 listings per probe window clears the planner's `min_ops` floor
+    // (64) with zero writes, so the nomination is unambiguous.
+    let burst = |_: usize| {
+        for _ in 0..80 {
+            setup.readdir(&dir).unwrap();
+        }
+    };
+    let (action, organic_ticks) = hare_bench::drive_rebalancer(&setup, &mut reb, 60_000, 8, burst);
+    if replicating {
+        let Some(RebalanceAction::Replicate(p)) = action else {
+            panic!("read-mostly hot dir must replicate, got {action:?}");
+        };
+        assert!(
+            organic_ticks >= 2,
+            "hysteresis: a single probe must never replicate (tick {organic_ticks})"
+        );
+        assert_eq!(p.home, home);
+        assert_ne!(p.to, home);
+    } else {
+        // `rebalancing` stays on in the ablation row, so the old
+        // migrate-only planner may move the read-hot dir instead; either
+        // way no replica may appear.
+        assert_eq!(
+            setup.routing_replica_dirs(),
+            0,
+            "ablated run grew a replica"
+        );
+    }
+
+    // Phase 2: one replica (two read servers).
+    let advert2 = setup.replica_advert(ino);
+    let p2 = run_phase(&inst, &dir, ino, advert2.clone(), rounds);
+    let rs2 = 1 + advert2.map_or(0, |(s, _)| s.len());
+
+    // Phases at the policy cap: plant the remaining replicas
+    // deterministically on the lowest-numbered untouched servers. The
+    // home may have migrated in the ablation row — re-ask.
+    let home_now = setup.dir_owner(&dir).unwrap();
+    let taken: Vec<ServerId> = setup.replica_advert(ino).map_or(Vec::new(), |(s, _)| s);
+    let mut planted = 0;
+    for s in 0..nservers as ServerId {
+        if planted == 2 {
+            break;
+        }
+        if s == home_now || taken.contains(&s) {
+            continue;
+        }
+        if setup.replicate_dir(&dir, s).unwrap() {
+            planted += 1;
+        } else {
+            assert!(!replicating, "replicate_dir refused with replication on");
+            break;
+        }
+    }
+
+    // Phase 3: three replicas (four read servers).
+    let advert4 = setup.replica_advert(ino);
+    let p3 = run_phase(&inst, &dir, ino, advert4.clone(), rounds);
+    let rs3 = 1 + advert4.map_or(0, |(s, _)| s.len());
+
+    drop(setup);
+    inst.shutdown();
+    Row {
+        name,
+        phases: [p1, p2, p3],
+        read_sets: [rs1, rs2, rs3],
+        organic_ticks,
+    }
+}
+
+fn main() {
+    let cores = hare_bench::max_cores().clamp(8, 16);
+    let rows = [
+        measure("all", Techniques::default(), cores),
+        measure("no replication", Techniques::without("replication"), cores),
+    ];
+
+    println!(
+        "micro_replica: 95/5 read/write mix on one hot directory, by read-set size \
+         ({cores} cores, {} dedicated servers, {WORKERS} workers)\n",
+        cores / 2
+    );
+    let mut t = hare_bench::Table::new(&[
+        "configuration",
+        "read set",
+        "RPCs/op",
+        "cycles/op",
+        "speedup",
+    ]);
+    for r in &rows {
+        for (i, p) in r.phases.iter().enumerate() {
+            t.row(vec![
+                if i == 0 {
+                    r.name.to_string()
+                } else {
+                    String::new()
+                },
+                format!("x{}", r.read_sets[i]),
+                format!("{:.2}", p.rpcs_per_op),
+                format!("{:.0}", p.cycles_per_op),
+                hare_bench::ratio(r.phases[0].cycles_per_op / p.cycles_per_op),
+            ]);
+        }
+    }
+    t.print();
+
+    let configs: Vec<hare_bench::BenchConfig> = rows
+        .iter()
+        .map(|r| {
+            let speed = |i: usize| r.phases[0].cycles_per_op / r.phases[i].cycles_per_op;
+            hare_bench::BenchConfig {
+                name: r.name.to_string(),
+                metrics: vec![
+                    ("replica_x1_rpcs_per_op".into(), r.phases[0].rpcs_per_op),
+                    ("replica_x1_cycles_per_op".into(), r.phases[0].cycles_per_op),
+                    ("replica_x2_rpcs_per_op".into(), r.phases[1].rpcs_per_op),
+                    ("replica_x2_cycles_per_op".into(), r.phases[1].cycles_per_op),
+                    ("replica_x4_rpcs_per_op".into(), r.phases[2].rpcs_per_op),
+                    ("replica_x4_cycles_per_op".into(), r.phases[2].cycles_per_op),
+                    ("replica_x2_speedup".into(), speed(1)),
+                    ("replica_x4_speedup".into(), speed(2)),
+                ],
+            }
+        })
+        .collect();
+    hare_bench::perf_gate("micro_replica", &configs);
+    let json = hare_bench::bench_json("micro_replica", cores, &configs);
+    std::fs::write("BENCH_micro_replica.json", &json).expect("write BENCH_micro_replica.json");
+    println!("\nwrote BENCH_micro_replica.json");
+
+    // ----- The scaling gate ------------------------------------------------
+    let all = &rows[0];
+    assert_eq!(all.read_sets, [1, 2, 4], "replica planting went wrong");
+    let x2 = all.phases[0].cycles_per_op / all.phases[1].cycles_per_op;
+    let x4 = all.phases[0].cycles_per_op / all.phases[2].cycles_per_op;
+    assert!(
+        x2 >= 1.7,
+        "two read servers must give >= 1.7x ops/cycle (got {x2:.2}x)"
+    );
+    assert!(
+        x4 >= 3.0,
+        "four read servers must give >= 3x ops/cycle (got {x4:.2}x)"
+    );
+    // Replica selection is client-local: growing the read set may only
+    // add the write-side invalidation fan-out (5% of ops), never extra
+    // read-side exchanges.
+    for (i, p) in all.phases.iter().enumerate().skip(1) {
+        assert!(
+            p.rpcs_per_op - all.phases[0].rpcs_per_op < 0.3,
+            "reads must not pay extra RPCs at x{} ({:.2} vs {:.2})",
+            all.read_sets[i],
+            p.rpcs_per_op,
+            all.phases[0].rpcs_per_op
+        );
+    }
+    let ablated = &rows[1];
+    assert_eq!(
+        ablated.read_sets,
+        [1, 1, 1],
+        "replication off: the read set must never grow"
+    );
+    let ax4 = ablated.phases[0].cycles_per_op / ablated.phases[2].cycles_per_op;
+    assert!(
+        ax4 < 1.3,
+        "replication off: no phase may speed up ({ax4:.2}x)"
+    );
+    println!(
+        "\nscaling: x2 {}  x4 {} (organic replica committed on tick {})",
+        hare_bench::ratio(x2),
+        hare_bench::ratio(x4),
+        all.organic_ticks
+    );
+}

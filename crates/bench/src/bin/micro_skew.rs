@@ -190,16 +190,14 @@ fn measure(name: &'static str, techniques: Techniques, cores: usize) -> Row {
             setup.unlink(&msg).unwrap();
         }
     };
-    let mut plan = None;
-    let mut ticks = 0;
-    while plan.is_none() && ticks < 8 {
-        burst(ticks);
-        setup.vwait(setup.vnow() + 60_000);
-        plan = setup.rebalance_tick(&mut reb).unwrap();
-        ticks += 1;
-    }
-    let migrated = plan.is_some();
-    if let Some(p) = plan {
+    let (action, ticks) = hare_bench::drive_rebalancer(&setup, &mut reb, 60_000, 8, burst);
+    let migrated = action.is_some();
+    if let Some(action) = action {
+        // The spool churns creates/unlinks, so the planner must classify
+        // it write-hot and migrate it — never serve it with read replicas.
+        let hare_core::RebalanceAction::Migrate(p) = action else {
+            panic!("write-churny spool must migrate, not replicate: {action:?}");
+        };
         assert!(
             ticks >= 2,
             "hysteresis: a single probe must never migrate (committed on tick {ticks})"

@@ -137,8 +137,13 @@ fn measure(techniques: Techniques) -> Run {
                         .collect::<Vec<_>>()
                 );
             }
-            if let Some(p) = clients[0].rebalance_tick(&mut reb).unwrap() {
-                migrations.push((b, p));
+            match clients[0].rebalance_tick(&mut reb).unwrap() {
+                // The mail-spool mix churns creates/unlinks/renames, so
+                // every hotspot is write-hot: the planner must migrate it,
+                // never park read replicas on it.
+                Some(hare_core::RebalanceAction::Migrate(p)) => migrations.push((b, p)),
+                Some(other) => panic!("write-churny hotspot must migrate: {other:?}"),
+                None => {}
             }
         }
     });

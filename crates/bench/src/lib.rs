@@ -43,6 +43,36 @@ pub fn pinned_name(
         .expect("some name hashes to every shard")
 }
 
+/// Drives the cadence-based rebalancer until it commits one action.
+///
+/// Each round runs `burst(round)` to generate load, advances the driver's
+/// virtual clock by `step` so the cadence's probe interval elapses, then
+/// ticks the rebalancer. Returns the committed [`RebalanceAction`] (or
+/// `None` if `max_rounds` rounds pass without one) and the number of
+/// rounds taken — benches assert on the round count to pin hysteresis
+/// (confirmation must take at least `confirm` probes).
+///
+/// This is the one workload-side drive loop: `micro_skew`'s
+/// migration-confirmation drive and `micro_replica`'s replication cadence
+/// both go through it rather than keeping per-bench copies.
+pub fn drive_rebalancer(
+    driver: &hare_core::ClientLib,
+    reb: &mut hare_core::Rebalancer,
+    step: u64,
+    max_rounds: usize,
+    mut burst: impl FnMut(usize),
+) -> (Option<hare_core::RebalanceAction>, usize) {
+    for round in 0..max_rounds {
+        burst(round);
+        driver.vwait(driver.vnow() + step);
+        let action = driver.rebalance_tick(reb).expect("rebalance tick");
+        if action.is_some() {
+            return (action, round + 1);
+        }
+    }
+    (None, max_rounds)
+}
+
 /// Default core count for full-machine experiments (the paper's machine
 /// has 40; override with the `HARE_CORES` environment variable if the
 /// wall-clock budget is tight).
@@ -53,11 +83,12 @@ pub fn max_cores() -> usize {
         .unwrap_or(40)
 }
 
-/// Scale preset selected by `HARE_SCALE` (`quick` or `bench`, default
-/// bench).
+/// Scale preset selected by `HARE_SCALE` (`quick`, `bench`, or `full`;
+/// default bench). `full` is the scheduled nightly lane's preset.
 pub fn scale() -> Scale {
     match std::env::var("HARE_SCALE").as_deref() {
         Ok("quick") => Scale::quick(),
+        Ok("full") => Scale::full(),
         _ => Scale::bench(),
     }
 }

@@ -13,7 +13,10 @@
 //! count) sees the static system.
 
 use super::{expect_reply, ClientLib};
-use crate::placement::{plan_rebalance, LoadReport, MigrationPlan, RebalancePolicy, Rebalancer};
+use crate::placement::{
+    plan_rebalance, plan_rebalance_actions, LoadReport, MigrationPlan, RebalanceAction,
+    RebalancePolicy, Rebalancer,
+};
 use crate::proto::{Reply, Request};
 use crate::types::{InodeId, ServerId};
 use fsapi::{Errno, FsResult};
@@ -97,23 +100,52 @@ impl ClientLib {
     /// decides whether this tick probes at all (cadence), and whether a
     /// nomination has been confirmed by enough consecutive probes to act
     /// on (hysteresis) — so calling it too often is harmless and a single
-    /// skewed probe never triggers a migration. Returns the migration
-    /// performed, if any; `Ok(None)` covers every quiet case, and the
-    /// whole tick is a no-op with the `rebalancing` technique off.
-    pub fn rebalance_tick(&self, reb: &mut Rebalancer) -> FsResult<Option<MigrationPlan>> {
+    /// skewed probe never triggers an action. The planner classifies each
+    /// confirmed hot directory by its write share: read-mostly ones gain
+    /// a read **replica** on the coolest server, churny ones **migrate**
+    /// wholesale. Returns the action performed, if any; `Ok(None)` covers
+    /// every quiet case, and the whole tick is a no-op with the
+    /// `rebalancing` technique off. With `replication` off (but
+    /// `rebalancing` on) the tick runs the migrate-only planner, exactly
+    /// the pre-replication dynamic system.
+    pub fn rebalance_tick(&self, reb: &mut Rebalancer) -> FsResult<Option<RebalanceAction>> {
         if !self.params.techniques.rebalancing || !reb.due(self.vnow()) {
             return Ok(None);
         }
         let reports = self.server_loads(true)?;
-        let nominated = plan_rebalance(&reports, reb.policy());
-        for plan in reb.observe(self.vnow(), &nominated) {
-            match self.drive_migration(plan.dir, plan.to) {
+        if !self.params.techniques.replication {
+            let nominated = plan_rebalance(&reports, reb.policy());
+            for plan in reb.observe(self.vnow(), &nominated) {
+                match self.drive_migration(plan.dir, plan.to) {
+                    Ok(true) => {
+                        reb.committed(self.vnow());
+                        return Ok(Some(RebalanceAction::Migrate(plan)));
+                    }
+                    // Same skip set as `rebalance_once`: an unmigratable
+                    // candidate must not mask a migratable runner-up.
+                    Ok(false) | Err(Errno::EINVAL) | Err(Errno::ENOENT) | Err(Errno::ENOTDIR)
+                    | Err(Errno::EAGAIN) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            return Ok(None);
+        }
+        let nominated = {
+            let routing = self.routing.lock();
+            plan_rebalance_actions(&reports, reb.policy(), &routing)
+        };
+        for action in reb.observe_actions(self.vnow(), &nominated) {
+            let done = match &action {
+                RebalanceAction::Migrate(p) => self.drive_migration(p.dir, p.to),
+                RebalanceAction::Replicate(p) => self.drive_replication(p.dir, p.to),
+            };
+            match done {
                 Ok(true) => {
                     reb.committed(self.vnow());
-                    return Ok(Some(plan));
+                    return Ok(Some(action));
                 }
-                // Same skip set as `rebalance_once`: an unmigratable
-                // candidate must not mask a migratable runner-up.
+                // Same skip set as `rebalance_once`: an unactionable
+                // candidate must not mask an actionable runner-up.
                 Ok(false) | Err(Errno::EINVAL) | Err(Errno::ENOENT) | Err(Errno::ENOTDIR)
                 | Err(Errno::EAGAIN) => {}
                 Err(e) => return Err(e),
@@ -180,6 +212,137 @@ impl ClientLib {
             }
         }
         Err(Errno::EIO)
+    }
+
+    /// Grows a read **replica** of the centralized directory at `path`
+    /// on server `to` (the manual sibling of the planner's
+    /// [`crate::placement::RebalanceAction::Replicate`]). Returns
+    /// `Ok(false)` without touching anything when the `replication`
+    /// technique is off, `to` is the directory's home, or this client
+    /// already knows `to` holds a copy; errors mirror
+    /// [`ClientLib::migrate_dir`].
+    pub fn replicate_dir(&self, path: &str, to: ServerId) -> FsResult<bool> {
+        if !self.params.techniques.replication {
+            return Ok(false);
+        }
+        self.syscall();
+        let mut st = self.state.lock();
+        let comps = fsapi::path::components(path)?;
+        let dir = self.resolve_dir(&mut st, &comps)?;
+        drop(st);
+        if dir.ino == InodeId::ROOT {
+            return Err(Errno::EBUSY);
+        }
+        if dir.dist {
+            return Err(Errno::EINVAL);
+        }
+        self.drive_replication(dir.ino, to)
+    }
+
+    /// Drives one replica installation of `dir`'s entries onto `to`,
+    /// following `NotOwner` redirects to find the current home. The same
+    /// two-exchange shape as [`ClientLib::drive_migration`] minus the
+    /// commit: `ReplicaExport` at the home registers `to` in the read set
+    /// (bumping the epoch — the snapshot already carries the *new* epoch,
+    /// so unlike a migration there is nothing to bump here) and
+    /// `ReplicaInstall` lands the copy. An install failure unwinds with a
+    /// `ReplicaDrop` at the home so the read set never names a server
+    /// that refused the copy. On success this client adopts the
+    /// advertisement; other processes learn it only if the workload
+    /// spreads it (see [`ClientLib::adopt_replicas`]).
+    pub(crate) fn drive_replication(&self, dir: InodeId, to: ServerId) -> FsResult<bool> {
+        if !self.params.techniques.replication {
+            return Ok(false);
+        }
+        if (to as usize) >= self.servers.len() {
+            return Err(Errno::EINVAL);
+        }
+        for _ in 0..self.servers.len() + 2 {
+            let home = self.dir_home_of(dir);
+            if home == to {
+                return Ok(false);
+            }
+            if self
+                .routing
+                .lock()
+                .replicas_of(dir)
+                .is_some_and(|r| r.servers.contains(&to))
+            {
+                return Ok(false);
+            }
+            match self.call(home, Request::ReplicaExport { dir, replica: to }) {
+                Ok(Reply::NotOwner {
+                    dir: d,
+                    epoch,
+                    owner,
+                }) => {
+                    if !self.learn_owner(d, owner, epoch) {
+                        return Err(Errno::EIO);
+                    }
+                }
+                Ok(Reply::MigrateSnapshot { epoch, entries }) => {
+                    match self.call(
+                        to,
+                        Request::ReplicaInstall {
+                            dir,
+                            home,
+                            epoch,
+                            entries,
+                        },
+                    ) {
+                        Ok(Reply::Unit) => {
+                            // Adopt locally: the union with the known set
+                            // covers replicas another driver added that
+                            // this export's reply does not enumerate; a
+                            // member dropped since merely costs one
+                            // replica-aware NotOwner on first use.
+                            let mut routing = self.routing.lock();
+                            let mut set: Vec<ServerId> = routing
+                                .replicas_of(dir)
+                                .map(|r| r.servers.clone())
+                                .unwrap_or_default();
+                            if !set.contains(&to) {
+                                set.push(to);
+                            }
+                            routing.learn_replicas(dir, set, epoch);
+                            return Ok(true);
+                        }
+                        other => {
+                            // Unwind: unregister the copy that never
+                            // landed, so readers are not routed at it.
+                            let _ = self.call(home, Request::ReplicaDrop { dir, replica: to });
+                            return match other {
+                                Ok(_) => Err(Errno::EIO),
+                                Err(e) => Err(e),
+                            };
+                        }
+                    }
+                }
+                Ok(other) => {
+                    debug_assert!(false, "protocol mismatch: {other:?}");
+                    return Err(Errno::EIO);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(Errno::EIO)
+    }
+
+    /// Resolves `path` and reports the directory's inode id (the key for
+    /// [`ClientLib::adopt_replicas`]/[`ClientLib::replica_advert`], so a
+    /// workload can spread replica knowledge between its processes).
+    pub fn dir_inode(&self, path: &str) -> FsResult<InodeId> {
+        let mut st = self.state.lock();
+        let comps = fsapi::path::components(path)?;
+        let dir = self.resolve_dir(&mut st, &comps)?;
+        drop(st);
+        Ok(dir.ino)
+    }
+
+    /// Test/diagnostic hook: number of directories this client believes
+    /// have a live replica set.
+    pub fn routing_replica_dirs(&self) -> usize {
+        self.routing.lock().replica_dirs()
     }
 
     /// Resolves `path` and reports the server currently holding its

@@ -90,6 +90,13 @@ pub struct ClientLib {
     /// directory. Its own lock (not `state`): routing is consulted from
     /// paths that hold the state lock and paths that do not.
     pub(crate) routing: Mutex<RoutingTable>,
+    /// Per-server read-send counters backing replica selection
+    /// ([`ClientLib::read_server_of`]): one slot per server, incremented
+    /// on each pick, so a single client round-robins its reads over a
+    /// directory's read set and co-located clients (whose ids stagger
+    /// their first picks) spread statistically. Purely local — no extra
+    /// exchange is ever spent choosing a replica.
+    read_load: Mutex<Vec<u64>>,
     /// Reusable reply channel for the serial blocking [`ClientLib::call`]
     /// path (a process is a single thread of control, so at most one such
     /// call is outstanding). Overlapped exchanges — readahead pipelines,
@@ -111,6 +118,7 @@ impl ClientLib {
         let local_server = designated_local_server(&machine, &servers, params.core, params.id);
         let entity = Entity::new(params.core, params.start_time);
         let dircache_capacity = params.dircache_capacity;
+        let nservers = servers.len();
         let reply_slot = rpc::ReplySlot::new(Arc::clone(&machine.msg_stats));
         let lib = ClientLib {
             machine,
@@ -124,6 +132,7 @@ impl ClientLib {
                 readahead: std::collections::HashMap::new(),
             }),
             routing: Mutex::new(RoutingTable::new()),
+            read_load: Mutex::new(vec![0; nservers]),
             reply_slot,
             detached: AtomicBool::new(false),
         };
@@ -288,6 +297,102 @@ impl ClientLib {
     /// produced it is unchanged).
     pub(crate) fn learn_owner(&self, dir: InodeId, owner: ServerId, epoch: u64) -> bool {
         self.routing.lock().learn(dir, owner, epoch)
+    }
+
+    /// Adopts a replica advertisement — `dir`'s read set as of placement
+    /// `epoch` — into this client's routing table (epoch-monotonic, like
+    /// every placement fact). Public because each simulated process owns
+    /// its own library: replica knowledge learned by the process that
+    /// drove the replication must be spread to its peers by the workload
+    /// explicitly, standing in for the gossip or reply piggybacking a
+    /// real deployment would use. Never required for correctness — a
+    /// client that never hears an advertisement just keeps reading at
+    /// the home.
+    pub fn adopt_replicas(&self, dir: InodeId, servers: Vec<ServerId>, epoch: u64) -> bool {
+        self.routing.lock().learn_replicas(dir, servers, epoch)
+    }
+
+    /// The replica advertisement this client would spread for `dir`:
+    /// `(read-set servers minus the home, epoch)`, or `None` when it
+    /// knows of no live replica set.
+    pub fn replica_advert(&self, dir: InodeId) -> Option<(Vec<ServerId>, u64)> {
+        let routing = self.routing.lock();
+        routing
+            .replicas_of(dir)
+            .filter(|r| !r.servers.is_empty())
+            .map(|r| (r.servers.clone(), r.epoch))
+    }
+
+    /// The server to send the next **read** of centralized `dir` to: the
+    /// home when no replicas are known (or the technique is off), else
+    /// the least-loaded member of the read set by this client's own send
+    /// counters ([`ClientLib::read_load`]), ties broken starting at a
+    /// client-id-staggered offset so co-located clients fan out instead
+    /// of stampeding one replica.
+    pub(crate) fn read_server_of(&self, dir: InodeId) -> ServerId {
+        let set = self.routing.lock().read_set(dir);
+        if set.len() == 1 || !self.params.techniques.replication {
+            return set[0];
+        }
+        let mut loads = self.read_load.lock();
+        let start = self.params.id as usize % set.len();
+        let mut best = set[start];
+        for k in 1..set.len() {
+            let s = set[(start + k) % set.len()];
+            if loads[s as usize] < loads[best as usize] {
+                best = s;
+            }
+        }
+        loads[best as usize] += 1;
+        best
+    }
+
+    /// The read-routed sibling of [`ClientLib::call_entry`] for
+    /// operations that only observe the directory (lookups, stats,
+    /// readdir probes): routes each attempt via
+    /// [`ClientLib::read_server_of`] and reports, alongside the reply,
+    /// whether the answering server was the **home** — replica-served
+    /// results must not enter the dircache (replicas keep no tracking
+    /// lists, so nothing would ever invalidate the cached copy).
+    ///
+    /// A `NotOwner` from a *replica* means that copy is gone (dropped on
+    /// migration, rmdir, or retirement): the dead route is forgotten and
+    /// the redirect folded in best-effort — no-news is tolerated there,
+    /// since the retry already routes around the dropped copy. A
+    /// `NotOwner` from the home keeps [`ClientLib::call_entry`]'s strict
+    /// rule: no news means re-sending would loop, so the call aborts.
+    pub(crate) fn call_entry_read(
+        &self,
+        dir: InodeId,
+        dist: bool,
+        name: &str,
+        mk: impl Fn(&ClientLib) -> Request,
+    ) -> (WireReply, bool) {
+        if dist {
+            // Distributed directories hash-spread their reads already and
+            // are never replicated.
+            return (self.call_entry(dir, dist, name, mk), true);
+        }
+        for _ in 0..self.retry_budget(self.owner_count(dist)) {
+            let home = self.dir_home_of(dir);
+            let server = self.read_server_of(dir);
+            match self.call(server, mk(self)) {
+                Ok(Reply::NotOwner {
+                    dir: d,
+                    epoch,
+                    owner,
+                }) => {
+                    if server != home {
+                        self.routing.lock().forget_replica(d, server);
+                        let _ = self.learn_owner(d, owner, epoch);
+                    } else if !self.learn_owner(d, owner, epoch) {
+                        return (Err(Errno::EIO), true);
+                    }
+                }
+                other => return (other, server == home),
+            }
+        }
+        (Err(Errno::EIO), true)
     }
 
     /// Issues an entry RPC routed by `(dir, dist, name)`, following

@@ -163,19 +163,25 @@ impl ClientLib {
             Some(Cached::Neg) => return Err(Errno::ENOENT),
             None => {}
         }
-        let got = expect_reply!(
-            self.call_entry(dir.ino, dir.dist, name, |lib| Request::LookupOpen {
+        // Read-routed: a replica of the directory may answer. Only a
+        // home-served reply may enter the dircache (replicas keep no
+        // tracking lists, so a cached replica answer would never be
+        // invalidated).
+        let (wire, from_home) =
+            self.call_entry_read(dir.ino, dir.dist, name, |lib| Request::LookupOpen {
                 client: lib.params.id,
                 dir: dir.ino,
                 name: name.to_string(),
                 flags,
-            }),
+            });
+        let got = expect_reply!(
+            wire,
             Reply::LookupOpened { target, ftype, dist, open } =>
                 (CachedDentry { target, ftype, dist }, open)
         );
         match got {
             Ok((d, open)) => {
-                if self.params.techniques.dircache {
+                if from_home && self.params.techniques.dircache {
                     st.dircache.insert(dir.ino, name, d);
                 }
                 match open {
@@ -187,7 +193,9 @@ impl ClientLib {
                 }
             }
             Err(Errno::ENOENT) => {
-                self.cache_negative(st, dir.ino, name);
+                if from_home {
+                    self.cache_negative(st, dir.ino, name);
+                }
                 Err(Errno::ENOENT)
             }
             Err(e) => Err(e),
@@ -718,7 +726,10 @@ impl ClientLib {
                     with_stats(entries, stats),
                     next.map(|c| (server, Some(c))).into_iter().collect(),
                 ),
-                _ => (Vec::new(), vec![(home, None)]),
+                // First page read-routed: a replica serves the listing
+                // too (the name cursor is copy-independent, so later
+                // pages may land anywhere in the read set).
+                _ => (Vec::new(), vec![(self.read_server_of(dir.ino), None)]),
             }
         };
         let listed = self.run_op(
@@ -789,18 +800,23 @@ impl ClientLib {
         // one round trip to the dentry shard resolves the name and — when
         // the inode lives there too — returns the metadata, for depth+1
         // RPCs instead of depth+2.
-        let got = expect_reply!(
-            self.call_entry(dir.ino, dir.dist, name, |lib| Request::LookupStat {
+        // Read-routed: a replica of the directory may answer. Only
+        // home-served replies (positive or negative) may enter the
+        // dircache — see `lookup_open_fast`.
+        let (wire, from_home) =
+            self.call_entry_read(dir.ino, dir.dist, name, |lib| Request::LookupStat {
                 client: lib.params.id,
                 dir: dir.ino,
                 name: name.to_string(),
-            }),
+            });
+        let got = expect_reply!(
+            wire,
             Reply::LookupStated { target, ftype, dist, stat } =>
                 (CachedDentry { target, ftype, dist }, stat)
         );
         match got {
             Ok((d, stat)) => {
-                if self.params.techniques.dircache {
+                if from_home && self.params.techniques.dircache {
                     st.dircache.insert(dir.ino, name, d);
                 }
                 drop(st);
@@ -811,7 +827,9 @@ impl ClientLib {
                 }
             }
             Err(Errno::ENOENT) => {
-                self.cache_negative(&mut st, dir.ino, name);
+                if from_home {
+                    self.cache_negative(&mut st, dir.ino, name);
+                }
                 Err(Errno::ENOENT)
             }
             Err(e) => Err(e),
@@ -906,6 +924,15 @@ impl MultiStepOp for ListPagesOp {
             let sent = std::mem::take(&mut self.sent);
             for ((server, after), r) in sent.into_iter().zip(rs) {
                 if let Ok(Reply::NotOwner { dir, epoch, owner }) = &r {
+                    // A redirect from a non-home server means a replica
+                    // dropped its copy mid-listing: forget the dead route
+                    // and resume this cursor at the home (no-news there is
+                    // tolerated — the retry already routes around the
+                    // copy). A home redirect is a migration, folded in as
+                    // before.
+                    if server != lib.dir_home_of(*dir) {
+                        lib.routing.lock().forget_replica(*dir, server);
+                    }
                     lib.learn_owner(*dir, *owner, *epoch);
                     if self.redirects == 0 {
                         return Err(Errno::EIO);

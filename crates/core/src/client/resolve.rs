@@ -111,23 +111,31 @@ impl ClientLib {
         dir: DirRef,
         name: &str,
     ) -> FsResult<CachedDentry> {
-        let got = expect_reply!(
-            self.call_entry(dir.ino, dir.dist, name, |lib| Request::Lookup {
+        // Read-routed: a replica of the directory may answer the lookup.
+        // Only home-served replies (positive or negative) may enter the
+        // dircache — replicas keep no tracking lists, so a cached replica
+        // answer would never be invalidated.
+        let (wire, from_home) =
+            self.call_entry_read(dir.ino, dir.dist, name, |lib| Request::Lookup {
                 client: lib.params.id,
                 dir: dir.ino,
                 name: name.to_string(),
-            }),
+            });
+        let got = expect_reply!(
+            wire,
             Reply::Lookup { target, ftype, dist } => CachedDentry { target, ftype, dist }
         );
         match got {
             Ok(v) => {
-                if self.params.techniques.dircache {
+                if from_home && self.params.techniques.dircache {
                     st.dircache.insert(dir.ino, name, v);
                 }
                 Ok(v)
             }
             Err(Errno::ENOENT) => {
-                self.cache_negative(st, dir.ino, name);
+                if from_home {
+                    self.cache_negative(st, dir.ino, name);
+                }
                 Err(Errno::ENOENT)
             }
             Err(e) => Err(e),
@@ -216,6 +224,12 @@ pub(crate) struct ResolveOp<'p> {
     /// before chaining again — set when a chain stopped `EAGAIN` on a
     /// directory marked for deletion.
     single_once: bool,
+    /// When the pending single/terminal RPC was read-routed to a
+    /// **replica** rather than the directory's home, the server it went
+    /// to. The reply then bypasses the dircache (nothing would ever
+    /// invalidate it) and a `NotOwner` means that copy is gone, not that
+    /// the shard moved.
+    sent_replica: Option<ServerId>,
     /// What the walk is for (fused into the chain's tail).
     terminal: TerminalOp,
     /// The final component's dentry, when `terminal` is not `None`.
@@ -238,6 +252,7 @@ impl<'p> ResolveOp<'p> {
             pos: 0,
             pending: Pending::Idle,
             single_once: false,
+            sent_replica: None,
             terminal,
             final_dentry: None,
             term: None,
@@ -250,9 +265,16 @@ impl<'p> ResolveOp<'p> {
         self.terminal != TerminalOp::None && self.pos + 1 == self.comps.len()
     }
 
-    /// Caches and descends into one resolved component.
-    fn descend(&mut self, lib: &ClientLib, st: &mut ClientState, d: CachedDentry) -> FsResult<()> {
-        if lib.params.techniques.dircache {
+    /// Caches (unless the component was replica-served) and descends into
+    /// one resolved component.
+    fn descend(
+        &mut self,
+        lib: &ClientLib,
+        st: &mut ClientState,
+        d: CachedDentry,
+        cacheable: bool,
+    ) -> FsResult<()> {
+        if cacheable && lib.params.techniques.dircache {
             st.dircache.insert(self.cur.ino, self.comps[self.pos], d);
         }
         self.cur = lib.enter_dir(d)?;
@@ -260,19 +282,29 @@ impl<'p> ResolveOp<'p> {
         Ok(())
     }
 
-    /// Caches and captures the final component of a terminal walk.
-    fn capture_final(&mut self, lib: &ClientLib, st: &mut ClientState, d: CachedDentry) {
-        if lib.params.techniques.dircache {
+    /// Caches (unless replica-served) and captures the final component of
+    /// a terminal walk.
+    fn capture_final(
+        &mut self,
+        lib: &ClientLib,
+        st: &mut ClientState,
+        d: CachedDentry,
+        cacheable: bool,
+    ) {
+        if cacheable && lib.params.techniques.dircache {
             st.dircache.insert(self.cur.ino, self.comps[self.pos], d);
         }
         self.final_dentry = Some(d);
         self.pos += 1;
     }
 
-    /// Records a final-component ENOENT: the miss is cached and the walk
-    /// finishes with `final_dentry: None` (the parent is resolved).
-    fn finish_absent(&mut self, lib: &ClientLib, st: &mut ClientState) {
-        lib.cache_negative(st, self.cur.ino, self.comps[self.pos]);
+    /// Records a final-component ENOENT: the miss is cached (unless the
+    /// answer came from a replica) and the walk finishes with
+    /// `final_dentry: None` (the parent is resolved).
+    fn finish_absent(&mut self, lib: &ClientLib, st: &mut ClientState, cacheable: bool) {
+        if cacheable {
+            lib.cache_negative(st, self.cur.ino, self.comps[self.pos]);
+        }
         self.pos = self.comps.len();
     }
 
@@ -286,16 +318,26 @@ impl<'p> ResolveOp<'p> {
         if let Ok(Reply::NotOwner { dir, epoch, owner }) = &reply {
             debug_assert!(!matches!(self.pending, Pending::Chain { .. }));
             self.pending = Pending::Idle;
-            // No news means the route that produced this redirect is
-            // unchanged — re-sending would loop, so treat it as the
-            // protocol error it is. Every accepted redirect strictly
-            // raises the directory's epoch, which bounds the retries.
+            // A redirect from a *replica* means that copy is gone —
+            // forget the dead route and retry (the next emission routes
+            // around it), tolerating a no-news epoch. A redirect from the
+            // home keeps the strict rule: no news means the route that
+            // produced it is unchanged — re-sending would loop, so treat
+            // it as the protocol error it is. Every accepted redirect
+            // strictly raises the directory's epoch, which bounds the
+            // retries.
+            if let Some(server) = self.sent_replica.take() {
+                lib.routing.lock().forget_replica(*dir, server);
+                let _ = lib.learn_owner(*dir, *owner, *epoch);
+                return Ok(());
+            }
             return if lib.learn_owner(*dir, *owner, *epoch) {
                 Ok(())
             } else {
                 Err(Errno::EIO)
             };
         }
+        let from_home = self.sent_replica.take().is_none();
         match std::mem::replace(&mut self.pending, Pending::Idle) {
             Pending::Single => {
                 let dir = self.cur.ino;
@@ -305,9 +347,11 @@ impl<'p> ResolveOp<'p> {
                     Reply::Lookup { target, ftype, dist } => CachedDentry { target, ftype, dist }
                 );
                 match got {
-                    Ok(v) => self.descend(lib, st, v),
+                    Ok(v) => self.descend(lib, st, v, from_home),
                     Err(Errno::ENOENT) => {
-                        lib.cache_negative(st, dir, name);
+                        if from_home {
+                            lib.cache_negative(st, dir, name);
+                        }
                         Err(Errno::ENOENT)
                     }
                     Err(e) => Err(e),
@@ -339,7 +383,7 @@ impl<'p> ResolveOp<'p> {
                         return Err(Errno::EIO);
                     }
                     Err(Errno::ENOENT) => {
-                        self.finish_absent(lib, st);
+                        self.finish_absent(lib, st, from_home);
                         return Ok(());
                     }
                     Err(e) => return Err(e),
@@ -353,6 +397,7 @@ impl<'p> ResolveOp<'p> {
                         ftype,
                         dist,
                     },
+                    from_home,
                 );
                 self.term = term;
                 Ok(())
@@ -370,15 +415,17 @@ impl<'p> ResolveOp<'p> {
                         ftype: e.ftype,
                         dist: e.dist,
                     };
+                    // Replica-served components (`e.replica`) resolve but
+                    // never enter the dircache.
                     if self.at_terminal() {
                         // Only reachable when the chain covered the final
                         // component (and therefore carried the terminal).
-                        self.capture_final(lib, st, d);
+                        self.capture_final(lib, st, d, !e.replica);
                     } else {
                         // A non-directory intermediate surfaces ENOTDIR
                         // here, exactly like the sequential walk entering
                         // it would.
-                        self.descend(lib, st, d)?;
+                        self.descend(lib, st, d, !e.replica)?;
                     }
                 }
                 debug_assert!(term.is_none() || stopped.is_none());
@@ -390,8 +437,12 @@ impl<'p> ResolveOp<'p> {
                         debug_assert_eq!(self.pos, start + upto);
                         Ok(())
                     }
+                    // A chain's ENOENT is always home-authoritative:
+                    // replica copies only serve positive hits (a miss
+                    // forwards to the owner), so the negative is safely
+                    // cacheable.
                     Some(Errno::ENOENT) if self.at_terminal() => {
-                        self.finish_absent(lib, st);
+                        self.finish_absent(lib, st, true);
                         Ok(())
                     }
                     Some(Errno::ENOENT) => {
@@ -462,7 +513,17 @@ impl<'p> ResolveOp<'p> {
     fn chain_request(&mut self, lib: &ClientLib, upto: usize) -> (ServerId, Request) {
         debug_assert!(upto >= 1 && self.pos + upto <= self.comps.len());
         let name = self.comps[self.pos];
-        let shard = lib.shard_of(self.cur.ino, self.cur.dist, name);
+        // Hop 0 of a centralized chain is read-routed: a replica of the
+        // starting directory serves the components it can from its copy
+        // (flagged `replica` in the reply, so they bypass the dircache)
+        // and forwards the rest feed-forward like any chain hop. No
+        // per-reply bookkeeping is needed here — chains never answer
+        // `NotOwner` and the entry flags carry the cacheability.
+        let shard = if self.cur.dist {
+            lib.shard_of(self.cur.ino, true, name)
+        } else {
+            lib.read_server_of(self.cur.ino)
+        };
         let terminal = if self.pos + upto == self.comps.len() {
             self.terminal
         } else {
@@ -492,7 +553,18 @@ impl<'p> ResolveOp<'p> {
     fn single_request(&mut self, lib: &ClientLib) -> (ServerId, Request) {
         self.single_once = false;
         let name = self.comps[self.pos];
-        let shard = lib.shard_of(self.cur.ino, self.cur.dist, name);
+        // Every single emission here is a read (the coalesced terminals
+        // included — a create degrades to the coalesced open), so a
+        // centralized component is read-routed over the directory's
+        // replica set; `sent_replica` remembers a non-home pick so the
+        // reply bypasses the dircache.
+        let shard = if self.cur.dist {
+            lib.shard_of(self.cur.ino, true, name)
+        } else {
+            let s = lib.read_server_of(self.cur.ino);
+            self.sent_replica = (s != lib.dir_home_of(self.cur.ino)).then_some(s);
+            s
+        };
         if self.at_terminal() {
             self.pending = Pending::Terminal;
             let req = match self.terminal {

@@ -112,6 +112,13 @@ pub struct Techniques {
     /// serviced by the file's home server — byte-for-byte the paper's
     /// layout.
     pub striping: bool,
+    /// Read replication for hot shards: when off, clients route every
+    /// read to the directory's home (replica selection short-circuits),
+    /// the replication driver is a no-op, and — with no `ReplicaExport`
+    /// ever driven — routing tables never grow a replica record, so
+    /// behavior is byte-for-byte the unreplicated system. Writes are
+    /// unaffected either way: they always serialize at the home.
+    pub replication: bool,
     /// Windowed stripe readahead: the client keeps up to
     /// `HareConfig::readahead_window` stripe fetches in flight ahead of a
     /// sequential reader. When off, striped reads fetch one stripe at a
@@ -136,6 +143,7 @@ impl Default for Techniques {
             chained_resolution: true,
             fused_terminal: true,
             rebalancing: true,
+            replication: true,
             striping: true,
             readahead: true,
         }
@@ -164,6 +172,7 @@ impl Techniques {
             "chained_resolution" => t.chained_resolution = false,
             "fused_terminal" => t.fused_terminal = false,
             "rebalancing" => t.rebalancing = false,
+            "replication" => t.replication = false,
             "striping" => t.striping = false,
             "readahead" => t.readahead = false,
             other => panic!("unknown technique {other:?}"),

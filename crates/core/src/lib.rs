@@ -48,7 +48,7 @@ pub use instance::HareInstance;
 pub use machine::Machine;
 pub use metrics::{TimeSeries, WindowMetrics};
 pub use placement::{
-    dir_shard_servers, LoadReport, MigrationPlan, RebalanceCadence, RebalancePolicy, Rebalancer,
-    RoutingTable,
+    dir_shard_servers, LoadReport, MigrationPlan, RebalanceAction, RebalanceCadence,
+    RebalancePolicy, Rebalancer, ReplicationPlan, RoutingTable,
 };
 pub use types::{dentry_shard, dentry_shard_in, ClientId, FdId, InodeId, ServerId};

@@ -48,6 +48,19 @@
 //! exists for — one hot mail-spool directory pinning a single server — is
 //! exactly the centralized case.
 //!
+//! **Read replication** composes with all of this over the same table
+//! (sharding and replication as two strategies on one hash-space map):
+//! a read-hot *centralized* directory can additionally map to N read-only
+//! replica servers ([`ReplicaSet`], sharing the override epoch space).
+//! Reads — lookups, stats, readdir pages, chain hop 0 — pick the
+//! least-loaded member of the read set; writes always go to the home,
+//! which pushes an upsert-or-remove invalidation to every replica through
+//! the same one-way send fabric as chain forwards (a replica is just a
+//! very large tracked client, so the dircache's queue-drain soundness
+//! argument carries over verbatim). Structural events evict before they
+//! can strand staleness: an rmdir mark, a migration, and a replica
+//! retirement all drop the copies outright.
+//!
 //! Inodes do **not** migrate: Hare names an inode by `(server, number)`
 //! (§3.6.4), so moving one would break the global naming invariant every
 //! descriptor and block list relies on. New files created under a migrated
@@ -139,6 +152,24 @@ pub struct OwnerRecord {
     pub epoch: u64,
 }
 
+/// The read-replica record for a directory: the servers holding read-only
+/// copies of its dentry shard (the home/override owner is *not* listed —
+/// it always serves), as of placement `epoch`.
+///
+/// Replica epochs share the per-directory epoch space with migration
+/// overrides: every install or retirement bumps the directory's epoch, and
+/// a migration's `learn` at a newer epoch evicts the replica record
+/// outright. One monotonic counter therefore orders *every* placement
+/// change of a directory, which is what lets a late replica advertisement
+/// and a late migration redirect be compared at all.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplicaSet {
+    /// Read-only replica servers (home excluded), in install order.
+    pub servers: Vec<ServerId>,
+    /// Epoch of the placement change that produced this set.
+    pub epoch: u64,
+}
+
 /// An epoch-versioned routing table: the paper's hash plus per-directory
 /// placement overrides. Every client library and every server holds one;
 /// see the module docs for how copies converge.
@@ -153,6 +184,10 @@ pub struct OwnerRecord {
 #[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
     overrides: Arc<HashMap<InodeId, OwnerRecord>>,
+    /// Read-replica sets, keyed like the overrides and sharing their
+    /// epoch space. Empty on every epoch-0 table, so a system that never
+    /// replicates routes byte-for-byte the paper's hash (pinned below).
+    replicas: Arc<HashMap<InodeId, ReplicaSet>>,
 }
 
 impl RoutingTable {
@@ -196,23 +231,96 @@ impl RoutingTable {
         self.overrides.get(&dir).copied()
     }
 
-    /// The epoch of `dir`'s placement (0 = never migrated).
+    /// The epoch of `dir`'s placement (0 = never migrated *or*
+    /// replicated): the newest change from either the override or the
+    /// replica record, since both draw from one per-directory counter.
     pub fn epoch_of(&self, dir: InodeId) -> u64 {
-        self.overrides.get(&dir).map_or(0, |r| r.epoch)
+        let mig = self.overrides.get(&dir).map_or(0, |r| r.epoch);
+        let rep = self.replicas.get(&dir).map_or(0, |r| r.epoch);
+        mig.max(rep)
     }
 
     /// Folds a redirect (or a migration this party performed) into the
     /// table. Returns true when the record was news; an equal-or-older
     /// epoch is ignored, so a late redirect can never regress fresher
-    /// knowledge.
+    /// knowledge. A migration at a newer epoch also evicts the
+    /// directory's replica record: the copies were snapshotted from the
+    /// old owner, so routing reads to them past a move would be
+    /// staleness, not caching (eviction-before-staleness).
     pub fn learn(&mut self, dir: InodeId, owner: ServerId, epoch: u64) -> bool {
-        // Check against the shared map first: rejecting a stale record
+        // Check against the shared maps first: rejecting a stale record
         // must not fault a copy-on-write clone.
-        if self.overrides.get(&dir).is_some_and(|r| r.epoch >= epoch) {
+        if self.epoch_of(dir) >= epoch {
             return false;
         }
         Arc::make_mut(&mut self.overrides).insert(dir, OwnerRecord { owner, epoch });
+        if self.replicas.contains_key(&dir) {
+            Arc::make_mut(&mut self.replicas).remove(&dir);
+        }
         true
+    }
+
+    /// Folds a replica advertisement into the table: `dir`'s read set
+    /// gains the listed replica `servers` as of placement `epoch`. The
+    /// same monotonic-epoch rule as [`RoutingTable::learn`] applies (and
+    /// shares its counter), so a late advertisement can never resurrect a
+    /// retired or migrated-away replica set. An empty `servers` list
+    /// *retires* the record entirely.
+    pub fn learn_replicas(&mut self, dir: InodeId, servers: Vec<ServerId>, epoch: u64) -> bool {
+        if self.epoch_of(dir) >= epoch {
+            return false;
+        }
+        // An empty set is stored too: it remembers the epoch of the
+        // retirement so a stale late advertisement cannot re-install the
+        // dropped replicas.
+        Arc::make_mut(&mut self.replicas).insert(dir, ReplicaSet { servers, epoch });
+        true
+    }
+
+    /// The replica record for `dir`, if any (an empty `servers` list is a
+    /// remembered retirement, not a live set).
+    pub fn replicas_of(&self, dir: InodeId) -> Option<&ReplicaSet> {
+        self.replicas.get(&dir)
+    }
+
+    /// The **read set** for entries of centralized directory `dir`: the
+    /// home (override owner or hash home) first, then every read replica.
+    /// Epoch-0 (and any never-replicated directory) returns just the
+    /// home, so read routing degenerates to the paper's single server.
+    pub fn read_set(&self, dir: InodeId) -> Vec<ServerId> {
+        let home = self.dir_home(dir);
+        let mut set = vec![home];
+        if let Some(rec) = self.replicas.get(&dir) {
+            set.extend(rec.servers.iter().copied().filter(|s| *s != home));
+        }
+        set
+    }
+
+    /// Removes one server from `dir`'s replica read set in place — local
+    /// route hygiene after a replica-aware `NotOwner` (that copy is
+    /// gone), not an epoch event: what remains is the same set minus a
+    /// dead route, so no epoch moves and a genuinely newer advertisement
+    /// still supersedes the record normally.
+    pub fn forget_replica(&mut self, dir: InodeId, server: ServerId) {
+        if self
+            .replicas
+            .get(&dir)
+            .is_some_and(|r| r.servers.contains(&server))
+        {
+            let rec = Arc::make_mut(&mut self.replicas)
+                .get_mut(&dir)
+                .expect("checked above");
+            rec.servers.retain(|s| *s != server);
+        }
+    }
+
+    /// Number of directories with a live (non-empty) replica set
+    /// (diagnostics).
+    pub fn replica_dirs(&self) -> usize {
+        self.replicas
+            .values()
+            .filter(|r| !r.servers.is_empty())
+            .count()
     }
 
     /// For a server's own table: the redirect to answer when this server
@@ -229,9 +337,10 @@ impl RoutingTable {
         self.overrides.len()
     }
 
-    /// True when the table is pure epoch-0 hash routing.
+    /// True when the table is pure epoch-0 hash routing (no overrides
+    /// and no replica records).
     pub fn is_empty(&self) -> bool {
-        self.overrides.is_empty()
+        self.overrides.is_empty() && self.replicas.is_empty()
     }
 }
 
@@ -244,8 +353,13 @@ pub struct LoadReport {
     pub server: ServerId,
     /// Operations served since the last reset.
     pub ops: u64,
-    /// `(directory, entry ops)` pairs, hottest first.
-    pub hot_dirs: Vec<(InodeId, u64)>,
+    /// `(directory, entry ops, entry writes)` triples, hottest first. The
+    /// write count (ADD_MAP / RM_MAP / coalesced creates) is what lets
+    /// the planner tell a read-hot directory (worth replicating) from a
+    /// churn-hot one (worth migrating): replicas amplify reads but every
+    /// write still serializes at the home *and* fans out an invalidation
+    /// per replica.
+    pub hot_dirs: Vec<(InodeId, u64, u64)>,
 }
 
 /// A migration the rebalancer decided on.
@@ -257,6 +371,38 @@ pub struct MigrationPlan {
     pub from: ServerId,
     /// New owner (the least-loaded server).
     pub to: ServerId,
+}
+
+/// A replication the rebalancer decided on: install a read-only copy of
+/// `dir`'s dentry shard (home `home`) at `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationPlan {
+    /// The read-hot directory.
+    pub dir: InodeId,
+    /// Its current home (the overloaded server).
+    pub home: ServerId,
+    /// The server that gains the read-only copy (the least-loaded one).
+    pub to: ServerId,
+}
+
+/// One placement action out of [`plan_rebalance_actions`]: either move a
+/// (write-churning) hot shard or grow a read replica of a read-mostly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceAction {
+    /// Move the shard wholesale (the PR 5 protocol).
+    Migrate(MigrationPlan),
+    /// Install one more read replica (this PR's protocol).
+    Replicate(ReplicationPlan),
+}
+
+impl RebalanceAction {
+    /// The directory the action concerns (hysteresis streaks key on it).
+    pub fn dir(&self) -> InodeId {
+        match self {
+            RebalanceAction::Migrate(p) => p.dir,
+            RebalanceAction::Replicate(p) => p.dir,
+        }
+    }
 }
 
 /// Tuning knobs for [`plan_rebalance`].
@@ -272,6 +418,15 @@ pub struct RebalancePolicy {
     /// the hot server's operations — migrating a minor directory would
     /// not relieve the hotspot.
     pub min_dir_share: f64,
+    /// Replicate-vs-migrate bar: a candidate whose write share
+    /// (writes / entry ops) is at or below this replicates; above it,
+    /// the churn would serialize at the home and fan an invalidation to
+    /// every replica per write, so the shard migrates wholesale instead.
+    pub max_replica_write_share: f64,
+    /// Upper bound on read replicas per directory: once a directory's
+    /// read set reaches `1 + max_replicas` servers the planner falls
+    /// back to nominating other candidates.
+    pub max_replicas: usize,
 }
 
 impl Default for RebalancePolicy {
@@ -280,6 +435,8 @@ impl Default for RebalancePolicy {
             min_ops: 64,
             imbalance: 1.5,
             min_dir_share: 0.25,
+            max_replica_write_share: 0.1,
+            max_replicas: 3,
         }
     }
 }
@@ -294,27 +451,95 @@ impl Default for RebalancePolicy {
 /// source refuses — a hot-but-unmigratable directory must not mask a
 /// migratable runner-up.
 pub fn plan_rebalance(reports: &[LoadReport], policy: &RebalancePolicy) -> Vec<MigrationPlan> {
-    let (Some(hot), Some(cool)) = (
-        reports.iter().max_by_key(|r| r.ops),
-        reports.iter().min_by_key(|r| r.ops),
-    ) else {
-        return Vec::new();
-    };
+    nominate(reports, policy)
+        .map(|(hot, cool, dirs)| {
+            dirs.into_iter()
+                .map(|(dir, _, _)| MigrationPlan {
+                    dir,
+                    from: hot,
+                    to: cool,
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// A nominated candidate's `(dir, ops, writes)` load triple.
+type DirLoad = (InodeId, u64, u64);
+
+/// The hottest-vs-coolest nomination shared by [`plan_rebalance`] and
+/// [`plan_rebalance_actions`]: `(hot server, cool server, candidate
+/// [`DirLoad`] triples hottest first)`, or `None` when the load picture
+/// clears no bar.
+fn nominate(
+    reports: &[LoadReport],
+    policy: &RebalancePolicy,
+) -> Option<(ServerId, ServerId, Vec<DirLoad>)> {
+    let (hot, cool) = (
+        reports.iter().max_by_key(|r| r.ops)?,
+        reports.iter().min_by_key(|r| r.ops)?,
+    );
     if hot.server == cool.server || hot.ops < policy.min_ops {
-        return Vec::new();
+        return None;
     }
     if (hot.ops as f64) < (cool.ops as f64).max(1.0) * policy.imbalance {
-        return Vec::new();
+        return None;
     }
-    hot.hot_dirs
+    let dirs: Vec<DirLoad> = hot
+        .hot_dirs
         .iter()
-        .filter(|(dir, dir_ops)| {
+        .filter(|(dir, dir_ops, _)| {
             *dir != InodeId::ROOT && (*dir_ops as f64) >= hot.ops as f64 * policy.min_dir_share
         })
-        .map(|(dir, _)| MigrationPlan {
-            dir: *dir,
-            from: hot.server,
-            to: cool.server,
+        .copied()
+        .collect();
+    (!dirs.is_empty()).then_some((hot.server, cool.server, dirs))
+}
+
+/// The replication-aware sibling of [`plan_rebalance`]: the same
+/// hottest-vs-coolest nomination, but each candidate is classified by its
+/// **write share**. A read-mostly directory (writes / ops ≤
+/// [`RebalancePolicy::max_replica_write_share`]) becomes a
+/// [`RebalanceAction::Replicate`] targeting the coolest server — reads
+/// multiply across the grown read set while writes keep serializing at
+/// the home; a churning one becomes a [`RebalanceAction::Migrate`]
+/// exactly as before. `routing` supplies the caller's replica knowledge
+/// so a directory already replicated onto the cool server (or at the
+/// [`RebalancePolicy::max_replicas`] cap) degrades to the migrate/skip
+/// path instead of piling copies on one server.
+pub fn plan_rebalance_actions(
+    reports: &[LoadReport],
+    policy: &RebalancePolicy,
+    routing: &RoutingTable,
+) -> Vec<RebalanceAction> {
+    let Some((hot, cool, dirs)) = nominate(reports, policy) else {
+        return Vec::new();
+    };
+    dirs.into_iter()
+        .filter_map(|(dir, ops, writes)| {
+            let read_mostly = (writes as f64) <= (ops as f64) * policy.max_replica_write_share;
+            let replicas = routing
+                .replicas_of(dir)
+                .map(|r| r.servers.clone())
+                .unwrap_or_default();
+            if read_mostly && replicas.len() < policy.max_replicas && !replicas.contains(&cool) {
+                Some(RebalanceAction::Replicate(ReplicationPlan {
+                    dir,
+                    home: hot,
+                    to: cool,
+                }))
+            } else if !read_mostly {
+                Some(RebalanceAction::Migrate(MigrationPlan {
+                    dir,
+                    from: hot,
+                    to: cool,
+                }))
+            } else {
+                // Read-mostly but already replicated onto the cool server
+                // (or at the cap): nothing useful to do with this pair —
+                // let a runner-up candidate through instead.
+                None
+            }
         })
         .collect()
 }
@@ -391,21 +616,49 @@ impl Rebalancer {
     /// agreed on the hottest directory; an empty or disagreeing probe
     /// restarts the streak.
     pub fn observe(&mut self, now: u64, plans: &[MigrationPlan]) -> Vec<MigrationPlan> {
+        if self.confirmed(now, plans.first().map(|p| p.dir)) {
+            plans.to_vec()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// The action-typed sibling of [`Rebalancer::observe`] for
+    /// [`plan_rebalance_actions`] nominations: identical cadence and
+    /// hysteresis (the streak keys on the nominated directory, so a
+    /// candidate flapping between replicate and migrate still counts as
+    /// agreement on *where* the heat is).
+    pub fn observe_actions(
+        &mut self,
+        now: u64,
+        actions: &[RebalanceAction],
+    ) -> Vec<RebalanceAction> {
+        if self.confirmed(now, actions.first().map(|a| a.dir())) {
+            actions.to_vec()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Shared streak bookkeeping: feeds the hottest nominated directory
+    /// (if any) of a probe at `now` and reports whether the hysteresis
+    /// bar is cleared.
+    fn confirmed(&mut self, now: u64, first_dir: Option<InodeId>) -> bool {
         self.next_probe = now + self.cadence.probe_interval;
-        let Some(first) = plans.first() else {
+        let Some(first) = first_dir else {
             self.streak = None;
-            return Vec::new();
+            return false;
         };
         let n = match self.streak {
-            Some((dir, n)) if dir == first.dir => n + 1,
+            Some((dir, n)) if dir == first => n + 1,
             _ => 1,
         };
         if n >= self.cadence.confirm {
             self.streak = None;
-            plans.to_vec()
+            true
         } else {
-            self.streak = Some((first.dir, n));
-            Vec::new()
+            self.streak = Some((first, n));
+            false
         }
     }
 
@@ -555,7 +808,9 @@ mod tests {
         LoadReport {
             server,
             ops,
-            hot_dirs: hot.to_vec(),
+            // The migrate-only tests predate write counting: all-writes
+            // keeps their nominations classified as migrations.
+            hot_dirs: hot.iter().map(|&(d, n)| (d, n, n)).collect(),
         }
     }
 
@@ -668,6 +923,115 @@ mod tests {
         };
         let mut r = Rebalancer::new(RebalancePolicy::default(), cadence);
         assert_eq!(r.observe(0, &[plan(DIR)]), vec![plan(DIR)]);
+    }
+
+    #[test]
+    fn zero_replica_table_is_the_paper_hash() {
+        // The epoch-0 pin for replication: a table that never learned a
+        // replica routes, homes, and epoch-counts exactly like the seed,
+        // and its read set is the single home server.
+        let t = RoutingTable::new();
+        assert!(t.replicas_of(DIR).is_none());
+        assert_eq!(t.read_set(DIR), vec![DIR.server]);
+        assert_eq!(t.replica_dirs(), 0);
+        assert_eq!(t.epoch_of(DIR), 0);
+    }
+
+    #[test]
+    fn replica_learning_is_epoch_monotonic_and_migration_evicts() {
+        let mut t = RoutingTable::new();
+        assert!(t.learn_replicas(DIR, vec![3], 1));
+        assert_eq!(t.read_set(DIR), vec![0, 3]);
+        assert_eq!(t.epoch_of(DIR), 1);
+        assert_eq!(t.replica_dirs(), 1);
+        // Stale advertisement: ignored (shared epoch space).
+        assert!(!t.learn_replicas(DIR, vec![5], 1));
+        assert!(!t.learn(DIR, 5, 1), "migration at the same epoch loses too");
+        // Growth at a newer epoch.
+        assert!(t.learn_replicas(DIR, vec![3, 5], 2));
+        assert_eq!(t.read_set(DIR), vec![0, 3, 5]);
+        // A migration at a newer epoch evicts the replica set outright —
+        // the copies were snapshotted from the old owner.
+        assert!(t.learn(DIR, 6, 3));
+        assert_eq!(t.read_set(DIR), vec![6]);
+        assert_eq!(t.replica_dirs(), 0);
+        // Retirement (empty set) remembers its epoch, so a late replay of
+        // the old advertisement stays dead.
+        assert!(t.learn_replicas(DIR, Vec::new(), 4));
+        assert!(!t.learn_replicas(DIR, vec![3, 5], 2));
+        assert_eq!(t.read_set(DIR), vec![6]);
+    }
+
+    #[test]
+    fn read_set_leads_with_home_and_skips_a_replica_equal_to_it() {
+        let mut t = RoutingTable::new();
+        t.learn_replicas(DIR, vec![2, 0], 1);
+        // Home (0) is in the advertised list by accident: not doubled.
+        assert_eq!(t.read_set(DIR), vec![0, 2]);
+    }
+
+    #[test]
+    fn planner_replicates_read_mostly_and_migrates_churn() {
+        let p = RebalancePolicy::default();
+        let churn = InodeId { server: 0, num: 9 };
+        let reports = [
+            LoadReport {
+                server: 0,
+                ops: 1000,
+                // DIR is read-hot (2% writes); `churn` is write-heavy.
+                hot_dirs: vec![(DIR, 600, 12), (churn, 300, 200)],
+            },
+            report(1, 50, &[]),
+        ];
+        let actions = plan_rebalance_actions(&reports, &p, &RoutingTable::new());
+        assert_eq!(
+            actions,
+            vec![
+                RebalanceAction::Replicate(ReplicationPlan {
+                    dir: DIR,
+                    home: 0,
+                    to: 1
+                }),
+                RebalanceAction::Migrate(MigrationPlan {
+                    dir: churn,
+                    from: 0,
+                    to: 1
+                }),
+            ]
+        );
+        // Already replicated onto the cool server: the pair is useless,
+        // the candidate drops out instead of piling copies there.
+        let mut known = RoutingTable::new();
+        known.learn_replicas(DIR, vec![1], 1);
+        let actions = plan_rebalance_actions(&reports, &p, &known);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].dir(), churn);
+        // At the replica cap the same degradation applies.
+        let mut capped = RoutingTable::new();
+        capped.learn_replicas(DIR, vec![2, 3, 4], 1);
+        let actions = plan_rebalance_actions(&reports, &p, &capped);
+        assert_eq!(actions.len(), 1, "capped dir is skipped");
+        assert_eq!(actions[0].dir(), churn);
+    }
+
+    #[test]
+    fn action_hysteresis_matches_the_migration_hysteresis() {
+        let cadence = RebalanceCadence {
+            probe_interval: 100,
+            confirm: 2,
+            cooldown: 1000,
+        };
+        let act = RebalanceAction::Replicate(ReplicationPlan {
+            dir: DIR,
+            home: 0,
+            to: 1,
+        });
+        let mut r = Rebalancer::new(RebalancePolicy::default(), cadence);
+        assert!(r.observe_actions(0, &[act]).is_empty(), "streak of one");
+        // A migrate nomination of the same directory continues the streak:
+        // agreement is about where the heat is, not the remedy.
+        let mig = RebalanceAction::Migrate(plan(DIR));
+        assert_eq!(r.observe_actions(100, &[mig]), vec![mig]);
     }
 
     #[test]

@@ -90,6 +90,10 @@ pub struct PathEntry {
     pub ftype: FileType,
     /// Distribution flag for directory targets.
     pub dist: bool,
+    /// True when a read **replica** copy (not the owning shard) served
+    /// this component. The client must not cache such an entry: replicas
+    /// keep no tracking lists, so nothing would ever invalidate it.
+    pub replica: bool,
 }
 
 /// The operation fused into the tail of a chained [`Request::LookupPath`]
@@ -426,6 +430,67 @@ pub enum Request {
     LoadReport {
         /// Restart the counters after reading them.
         reset: bool,
+    },
+
+    // ----- Read replication (the read-side of dynamic placement) ---------
+    /// Phase 1 at the **home** (current owner) of a centralized directory:
+    /// registers `replica` as a read-only copy holder, bumps the
+    /// directory's placement epoch, and returns a snapshot of its entries
+    /// ([`Reply::MigrateSnapshot`], reused) **without** parking or
+    /// dropping anything — the home keeps serving throughout. Refused
+    /// `EAGAIN` while the directory is rmdir-marked or mid-migration
+    /// (inline reject, never parked — the same discipline as
+    /// [`Request::MigrateInstall`]'s pinned guard), `EINVAL` for the root
+    /// and for distributed directories (their entries are already spread).
+    ReplicaExport {
+        /// Directory to replicate.
+        dir: InodeId,
+        /// The server that will hold the read-only copy.
+        replica: ServerId,
+    },
+    /// Phase 2 at the **replica**: stores the snapshotted entries as a
+    /// read-only copy of `dir` (home `home`, placement epoch `epoch`).
+    /// From here this server answers lookups/stats/readdir pages for the
+    /// directory; every mutation reaches it as a [`Request::ReplicaInval`]
+    /// from the home. Refused `ENOENT` if the directory is tombstoned
+    /// here (a committed rmdir won the race).
+    ReplicaInstall {
+        /// The replicated directory.
+        dir: InodeId,
+        /// Its home server (where writes and misses go).
+        home: ServerId,
+        /// Placement epoch of the replica set that includes this copy.
+        epoch: u64,
+        /// The snapshotted entries.
+        entries: Vec<MigEntry>,
+    },
+    /// Retires a replica. At the **home**, unregisters `replica` from the
+    /// directory's read set (and bumps the epoch); at the **replica
+    /// server itself**, drops the read-only copy. The home also sends
+    /// this server-to-server (one-way, like a chain forward) when a
+    /// structural event — rmdir mark, migration begin — must evict every
+    /// copy before it can go stale.
+    ReplicaDrop {
+        /// The replicated directory.
+        dir: InodeId,
+        /// The replica being retired.
+        replica: ServerId,
+    },
+    /// One-way invalidation from a home server to a replica carrying the
+    /// entry's **new** state: `Some` upserts the copy, `None` removes it.
+    /// Converging the copy to the home's state (rather than just dropping
+    /// the name) means a replica never answers a stale *negative* after a
+    /// create, either. Sent as a plain peer send with no reply expected;
+    /// atomic delivery plus the replica's FIFO queue give the same
+    /// drain-before-next-exchange soundness as the dircache callbacks.
+    ReplicaInval {
+        /// The replicated directory.
+        dir: InodeId,
+        /// The mutated entry.
+        name: String,
+        /// The entry's new state at the home: `(target, type, dist)`, or
+        /// `None` when the mutation removed it.
+        val: Option<(InodeId, FileType, bool)>,
     },
 
     // ----- Three-phase rmdir (paper §3.3) --------------------------------
@@ -909,8 +974,10 @@ pub enum Reply {
     Load {
         /// Operations served since the last reset.
         ops: u64,
-        /// `(directory, entry ops)` pairs, hottest first (bounded).
-        hot_dirs: Vec<(InodeId, u64)>,
+        /// `(directory, entry ops, entry writes)` triples, hottest first
+        /// (bounded). The write count is what the planner's
+        /// replicate-vs-migrate decision keys on.
+        hot_dirs: Vec<(InodeId, u64, u64)>,
     },
 }
 
@@ -968,6 +1035,13 @@ pub fn base_service_cost(req: &Request) -> u64 {
         Request::MigrateCommit { .. } => 400,
         Request::MigrateAbort { .. } => 300,
         Request::LoadReport { .. } => 300,
+        // Replica control: export/install carry a per-entry charge added
+        // by the handler, like the migration halves; the one-way
+        // invalidation is a small fixed cost at the replica.
+        Request::ReplicaExport { .. } => 500,
+        Request::ReplicaInstall { .. } => 500,
+        Request::ReplicaDrop { .. } => 300,
+        Request::ReplicaInval { .. } => 150,
         Request::RmdirSerialize { .. } | Request::RmdirRelease { .. } => 300,
         Request::RmdirMark { .. } => 400,
         Request::RmdirCommit { .. } | Request::RmdirAbort { .. } => 350,

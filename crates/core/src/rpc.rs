@@ -50,6 +50,17 @@ impl ReplySlot {
     }
 }
 
+/// A reply channel for a **one-way** server→server send (the replica
+/// invalidation fabric): the caller drops the returned receiver
+/// immediately, so the peer's inline reply evaporates instead of being
+/// awaited — the send is fire-and-forget like a dircache callback, and
+/// the no-server-blocks-on-a-server invariant (§3.3) is preserved.
+pub fn oneway_reply_slot(
+    machine: &Arc<Machine>,
+) -> (msg::Sender<WireReply>, msg::Receiver<WireReply>) {
+    msg::channel::<WireReply>(Arc::clone(&machine.msg_stats))
+}
+
 /// [`call`] through a reusable [`ReplySlot`]: identical semantics and
 /// virtual-time accounting, minus the per-call channel allocation.
 pub fn call_reusing(

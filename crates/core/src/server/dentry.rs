@@ -393,6 +393,140 @@ impl DentryShard {
     }
 }
 
+/// One replicated directory held by a server: a read-only copy of the
+/// directory's full (centralized) dentry shard.
+#[derive(Debug)]
+struct ReplicaDir {
+    /// The home server (where writes and anything unanswerable here go).
+    home: crate::types::ServerId,
+    /// Placement epoch of the replica set this copy belongs to.
+    epoch: u64,
+    /// The copied entries, ordered like [`DentryShard::dirs`] so listings
+    /// page with the same lexicographic cursor.
+    entries: BTreeMap<String, DentryVal>,
+}
+
+/// The read-only replica copies a server holds, **separate** from its
+/// authoritative [`DentryShard`]: replica entries must never vote in an
+/// rmdir emptiness check, never export into a migration snapshot, and
+/// never be mutated by a client write — keeping them in their own store
+/// makes all three impossible by construction.
+///
+/// A replica is kept converged (not merely dropped) by upsert-or-remove
+/// invalidations from the home ([`ReplicaStore::apply`]), so it answers
+/// stale *negatives* correctly too: after a create, the copy gains the
+/// entry rather than being left to answer ENOENT. Structural events
+/// (rmdir mark, migration, retirement) drop the whole copy
+/// ([`ReplicaStore::drop_dir`]) — eviction before staleness.
+#[derive(Debug, Default)]
+pub struct ReplicaStore {
+    dirs: HashMap<InodeId, ReplicaDir>,
+}
+
+impl ReplicaStore {
+    /// Installs (or wholesale replaces) the copy of `dir`.
+    pub fn install(
+        &mut self,
+        dir: InodeId,
+        home: crate::types::ServerId,
+        epoch: u64,
+        entries: impl IntoIterator<Item = (String, DentryVal)>,
+    ) {
+        self.dirs.insert(
+            dir,
+            ReplicaDir {
+                home,
+                epoch,
+                entries: entries.into_iter().collect(),
+            },
+        );
+    }
+
+    /// Whether this server holds a copy of `dir`.
+    pub fn serves(&self, dir: InodeId) -> bool {
+        self.dirs.contains_key(&dir)
+    }
+
+    /// Looks `name` up in the copy of `dir`. The outer `None` means the
+    /// directory is not replicated here (the caller falls through to its
+    /// ordinary shard/redirect path); `Some(None)` is an authoritative
+    /// miss — the copy is complete, so an absent name is a real ENOENT.
+    pub fn lookup(&self, dir: InodeId, name: &str) -> Option<Option<DentryVal>> {
+        self.dirs.get(&dir).map(|d| d.entries.get(name).copied())
+    }
+
+    /// One page of the copy's contribution to `readdir(dir)` — the same
+    /// name-cursor contract as [`DentryShard::list_page`]. `None` when the
+    /// directory is not replicated here.
+    pub fn list_page(
+        &self,
+        dir: InodeId,
+        after: Option<&str>,
+        max: usize,
+    ) -> Option<(Vec<DirEntry>, Option<String>)> {
+        let d = self.dirs.get(&dir)?;
+        let lower = match after {
+            Some(name) => Bound::Excluded(name),
+            None => Bound::Unbounded,
+        };
+        let max = max.max(1);
+        let mut entries = Vec::with_capacity(max.min(d.entries.len()));
+        let mut range = d.entries.range::<str, _>((lower, Bound::Unbounded));
+        for (name, v) in range.by_ref() {
+            entries.push(DirEntry {
+                name: name.clone(),
+                ino: v.target.num,
+                server: v.target.server,
+                ftype: v.ftype,
+            });
+            if entries.len() == max {
+                break;
+            }
+        }
+        let next = if range.next().is_some() {
+            entries.last().map(|e| e.name.clone())
+        } else {
+            None
+        };
+        Some((entries, next))
+    }
+
+    /// Applies one upsert-or-remove invalidation from the home: the copy
+    /// converges to the entry's new state. Ignored when the directory is
+    /// not (or no longer) replicated here — a late invalidation after a
+    /// drop is harmless.
+    pub fn apply(&mut self, dir: InodeId, name: &str, val: Option<DentryVal>) {
+        if let Some(d) = self.dirs.get_mut(&dir) {
+            match val {
+                Some(v) => {
+                    d.entries.insert(name.to_string(), v);
+                }
+                None => {
+                    d.entries.remove(name);
+                }
+            }
+        }
+    }
+
+    /// Drops the copy of `dir`, returning its `(home, epoch)` so the
+    /// server can remember the redirect (replica-aware `NotOwner`: a
+    /// client still routing reads here must be pointed back at the home,
+    /// not answered a stale ENOENT).
+    pub fn drop_dir(&mut self, dir: InodeId) -> Option<(crate::types::ServerId, u64)> {
+        self.dirs.remove(&dir).map(|d| (d.home, d.epoch))
+    }
+
+    /// Number of directories replicated here (diagnostics).
+    pub fn len(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// True when no directory is replicated here.
+    pub fn is_empty(&self) -> bool {
+        self.dirs.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,7 +26,7 @@ use crate::proto::{
 };
 use crate::types::{ClientId, FdId, InodeId, ServerId};
 use buffer::BlockAllocator;
-use dentry::{DentryShard, DentryVal};
+use dentry::{DentryShard, DentryVal, ReplicaStore};
 use fdtable::{FdKind, FdTable};
 use fsapi::{Errno, FileType, FsResult, Mode, OpenFlags, Stat, Whence};
 use inode::{InodeKind, InodeTable};
@@ -55,6 +55,11 @@ struct Ctx {
     forward: Option<(ServerId, Request)>,
     /// Directory-cache invalidations to deliver (client, message).
     invals: Vec<(ClientId, Invalidation)>,
+    /// One-way server→server sends (replica invalidation and eviction):
+    /// plain sends with no reply expected, delivered after the reply like
+    /// the client invalidations — a replica is just a very large tracked
+    /// client, and these are its callbacks.
+    peer_sends: Vec<(ServerId, Request)>,
     /// Operations delayed behind a deletion mark, replayed after COMMIT or
     /// ABORT resolved it.
     replays: Vec<rmdir::ParkedOp>,
@@ -141,6 +146,12 @@ pub struct Server {
     /// COMMIT/ABORT), with the operations parked behind the copy window —
     /// the same delay discipline as an rmdir deletion mark.
     migrating: HashMap<InodeId, Vec<rmdir::ParkedOp>>,
+    /// Read-only replica copies this server holds for other servers'
+    /// centralized directories (the read side of dynamic placement).
+    /// Strictly separate from `dentries`: replica entries never vote in
+    /// rmdir emptiness checks, never export into migration snapshots, and
+    /// never take client writes.
+    replicas: ReplicaStore,
     /// Operations served since the last `LoadReport { reset: true }` (the
     /// rebalancer's coarse signal).
     ops_served: u64,
@@ -149,6 +160,10 @@ pub struct Server {
     /// new ones go uncounted until a reset — load tracking must never be a
     /// memory hole.
     dir_ops: HashMap<InodeId, u64>,
+    /// Entry *writes* per directory (ADD_MAP / RM_MAP / coalesced
+    /// creates), the replicate-vs-migrate signal. Bounded with and reset
+    /// alongside `dir_ops`.
+    dir_writes: HashMap<InodeId, u64>,
     /// Virtual time the current busy period is anchored at (the last
     /// phase barrier).
     anchor: u64,
@@ -191,8 +206,10 @@ impl Server {
             list_page_max: params.list_page_max.max(1),
             routing: RoutingTable::new(),
             migrating: HashMap::new(),
+            replicas: ReplicaStore::default(),
             ops_served: 0,
             dir_ops: HashMap::new(),
+            dir_writes: HashMap::new(),
             anchor: 0,
             acc: 0,
             stop: false,
@@ -319,7 +336,8 @@ impl Server {
         if out.is_some() || ctx.forward.is_some() {
             cost += self.machine.cost.msg_send;
         }
-        cost += (ctx.wake.len() + ctx.invals.len()) as u64 * self.machine.cost.msg_send;
+        cost += (ctx.wake.len() + ctx.invals.len() + ctx.peer_sends.len()) as u64
+            * self.machine.cost.msg_send;
         if self.machine.timeshared(self.core) {
             cost += self.machine.cost.ctx_switch;
         }
@@ -361,6 +379,22 @@ impl Server {
                     self.core,
                 );
             }
+        }
+        for (peer, preq) in ctx.peer_sends.drain(..) {
+            // One-way replica callback: like a chain forward it is a plain
+            // send (atomic delivery, no ack awaited), but no reply channel
+            // travels with it — the throwaway receiver is dropped and the
+            // peer's inline reply evaporates harmlessly.
+            let (tx, _rx) = crate::rpc::oneway_reply_slot(&self.machine);
+            let h = &self.peers[peer as usize];
+            let _ = h.tx.send(
+                ServerMsg {
+                    req: preq,
+                    reply: tx,
+                },
+                done + self.machine.latency(self.core, h.core),
+                self.core,
+            );
         }
         // Replay operations that were delayed behind a resolved mark.
         for parked in ctx.replays {
@@ -448,6 +482,28 @@ impl Server {
                 Some(Ok(Reply::Unit))
             }
             Request::LoadReport { reset } => Some(self.op_load_report(reset)),
+            Request::ReplicaExport { dir, replica } => {
+                Some(self.op_replica_export(dir, replica, ctx))
+            }
+            Request::ReplicaInstall {
+                dir,
+                home,
+                epoch,
+                entries,
+            } => Some(self.op_replica_install(dir, home, epoch, entries, ctx)),
+            Request::ReplicaDrop { dir, replica } => Some(self.op_replica_drop(dir, replica)),
+            Request::ReplicaInval { dir, name, val } => {
+                self.replicas.apply(
+                    dir,
+                    &name,
+                    val.map(|(target, ftype, dist)| DentryVal {
+                        target,
+                        ftype,
+                        dist,
+                    }),
+                );
+                Some(Ok(Reply::Unit))
+            }
             Request::RmdirSerialize { dir } => self.op_rmdir_serialize(dir, src_core, reply),
             Request::RmdirRelease { dir } => {
                 if let Some(w) = self.rmdir.unlock(dir) {
@@ -455,10 +511,13 @@ impl Server {
                 }
                 Some(Ok(Reply::Unit))
             }
-            Request::RmdirMark { dir } => Some(self.op_rmdir_mark(dir)),
+            Request::RmdirMark { dir } => Some(self.op_rmdir_mark(dir, ctx)),
             Request::RmdirCommit { dir } => {
                 ctx.replays = self.rmdir.resolve(dir);
                 self.dentries.tombstone(dir);
+                if let Some((home, epoch)) = self.replicas.drop_dir(dir) {
+                    self.routing.learn(dir, home, epoch);
+                }
                 if dir.server == self.id {
                     self.inodes.remove(dir.num);
                 }
@@ -468,7 +527,7 @@ impl Server {
                 ctx.replays = self.rmdir.resolve(dir);
                 Some(Ok(Reply::Unit))
             }
-            Request::RmdirCentral { dir } => Some(self.op_rmdir_central(dir)),
+            Request::RmdirCentral { dir } => Some(self.op_rmdir_central(dir, ctx)),
             Request::Create {
                 client,
                 ftype,
@@ -605,6 +664,10 @@ impl Server {
             | Request::MigrateCommit { .. }
             | Request::MigrateAbort { .. }
             | Request::LoadReport { .. }
+            | Request::ReplicaExport { .. }
+            | Request::ReplicaInstall { .. }
+            | Request::ReplicaDrop { .. }
+            | Request::ReplicaInval { .. }
             | Request::Batch { .. }
             | Request::Shutdown => return,
             _ => {}
@@ -629,6 +692,22 @@ impl Server {
         if let Some(dir) = dir {
             if self.dir_ops.len() < DIR_OPS_CAPACITY || self.dir_ops.contains_key(&dir) {
                 *self.dir_ops.entry(dir).or_insert(0) += 1;
+            }
+            // The write slice of the same signal: shard mutations, the
+            // planner's evidence *against* replicating the directory.
+            let is_write = matches!(
+                req,
+                Request::AddMap { .. }
+                    | Request::RmMap { .. }
+                    | Request::Create {
+                        add_map: Some(_),
+                        ..
+                    }
+            );
+            if is_write
+                && (self.dir_writes.len() < DIR_OPS_CAPACITY || self.dir_writes.contains_key(&dir))
+            {
+                *self.dir_writes.entry(dir).or_insert(0) += 1;
             }
         }
     }
@@ -678,6 +757,11 @@ impl Server {
                 _ => return Err(Errno::ENOTDIR),
             }
         }
+        // Evict read replicas *before* reading the snapshot epoch, so the
+        // eviction's epoch bump is included in it and the driver's
+        // install-at-epoch+1 stays strictly newer than every replica
+        // record anywhere.
+        self.replica_evict_all(dir, ctx);
         let entries: Vec<MigEntry> = self
             .dentries
             .export(dir)
@@ -720,6 +804,9 @@ impl Server {
         if self.rmdir.is_marked(dir) || self.migrating.contains_key(&dir) {
             return Err(Errno::EAGAIN);
         }
+        // A destination that held a read replica of this very directory is
+        // about to become its owner: the copy is superseded.
+        self.replicas.drop_dir(dir);
         ctx.extra += 30 * entries.len() as u64;
         for e in &entries {
             self.dentries.install(
@@ -772,17 +859,199 @@ impl Server {
     }
 
     /// Answers the rebalancer's load probe: total operations served plus
-    /// the hottest directories by entry-operation count.
+    /// the hottest directories by entry-operation count (and the write
+    /// slice of it, the replicate-vs-migrate signal).
     fn op_load_report(&mut self, reset: bool) -> WireReply {
-        let mut hot: Vec<(InodeId, u64)> = self.dir_ops.iter().map(|(d, n)| (*d, *n)).collect();
+        let mut hot: Vec<(InodeId, u64, u64)> = self
+            .dir_ops
+            .iter()
+            .map(|(d, n)| (*d, *n, self.dir_writes.get(d).copied().unwrap_or(0)))
+            .collect();
         hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         hot.truncate(8);
         let ops = self.ops_served;
         if reset {
             self.ops_served = 0;
             self.dir_ops.clear();
+            self.dir_writes.clear();
         }
         Ok(Reply::Load { ops, hot_dirs: hot })
+    }
+
+    // ----- Read replication -----------------------------------------------
+
+    /// Phase 1 of growing a read replica, at the **home**: validate,
+    /// register `replica` in the directory's read set (bumping the
+    /// placement epoch), and snapshot the entries — *without* parking or
+    /// dropping anything, because the home keeps serving reads and all
+    /// writes throughout. The guards mirror [`Server::op_migrate_begin`],
+    /// and the rmdir/migration overlap is an **inline EAGAIN reject,
+    /// never a park** — the same discipline as the pinned
+    /// `MigrateInstall`-vs-rmdir guard, and for the same wait-cycle
+    /// reason.
+    fn op_replica_export(&mut self, dir: InodeId, replica: ServerId, ctx: &mut Ctx) -> WireReply {
+        if let Some(r) = self.not_owner(dir) {
+            return r;
+        }
+        if dir == InodeId::ROOT {
+            return Err(Errno::EINVAL);
+        }
+        if (replica as usize) >= self.peers.len() || replica == self.id {
+            return Err(Errno::EINVAL);
+        }
+        if self.dentries.is_tombstoned(dir) {
+            return Err(Errno::ENOENT);
+        }
+        if self.rmdir.is_marked(dir) || self.migrating.contains_key(&dir) {
+            return Err(Errno::EAGAIN);
+        }
+        if dir.server == self.id && self.routing.override_of(dir).is_none() {
+            // First placement change: the home server holds the inode and
+            // can check that the directory is centralized.
+            let ino = self.inodes.get(dir.num)?;
+            match ino.kind {
+                InodeKind::Dir { dist } => {
+                    if dist && self.distribution {
+                        return Err(Errno::EINVAL);
+                    }
+                }
+                _ => return Err(Errno::ENOTDIR),
+            }
+        }
+        let mut set = self
+            .routing
+            .replicas_of(dir)
+            .map(|r| r.servers.clone())
+            .unwrap_or_default();
+        if !set.contains(&replica) {
+            set.push(replica);
+        }
+        let epoch = self.routing.epoch_of(dir) + 1;
+        self.routing.learn_replicas(dir, set, epoch);
+        let entries: Vec<MigEntry> = self
+            .dentries
+            .export(dir)
+            .into_iter()
+            .map(|(name, v)| MigEntry {
+                name,
+                target: v.target,
+                ftype: v.ftype,
+                dist: v.dist,
+            })
+            .collect();
+        ctx.extra += 30 * entries.len() as u64;
+        // Unlike MigrateBegin's snapshot (whose epoch the driver bumps on
+        // install), the export's epoch is the *new* one: the replica set
+        // including the exported-to server.
+        Ok(Reply::MigrateSnapshot { epoch, entries })
+    }
+
+    /// Phase 2, at the **replica**: store the copy. Refused on a local
+    /// tombstone (a committed rmdir outranks any placement change) and
+    /// with an inline EAGAIN inside a local rmdir-mark window.
+    fn op_replica_install(
+        &mut self,
+        dir: InodeId,
+        home: ServerId,
+        epoch: u64,
+        entries: Vec<MigEntry>,
+        ctx: &mut Ctx,
+    ) -> WireReply {
+        if self.dentries.is_tombstoned(dir) {
+            return Err(Errno::ENOENT);
+        }
+        if self.rmdir.is_marked(dir) {
+            return Err(Errno::EAGAIN);
+        }
+        ctx.extra += 30 * entries.len() as u64;
+        self.replicas.install(
+            dir,
+            home,
+            epoch,
+            entries.into_iter().map(|e| {
+                (
+                    e.name,
+                    DentryVal {
+                        target: e.target,
+                        ftype: e.ftype,
+                        dist: e.dist,
+                    },
+                )
+            }),
+        );
+        Ok(Reply::Unit)
+    }
+
+    /// Retires a replica — dual-role by design, so the same message works
+    /// driver→home, driver→replica, and home→replica (the one-way
+    /// eviction): at the home it unregisters `replica` from the read set
+    /// (bumping the epoch); at the replica server itself it drops the
+    /// copy and remembers the home as a routing override, so a client
+    /// still routing reads here gets a replica-aware [`Reply::NotOwner`]
+    /// instead of a stale answer.
+    fn op_replica_drop(&mut self, dir: InodeId, replica: ServerId) -> WireReply {
+        if let Some(rec) = self.routing.replicas_of(dir) {
+            if rec.servers.contains(&replica) {
+                let set: Vec<ServerId> = rec
+                    .servers
+                    .iter()
+                    .copied()
+                    .filter(|s| *s != replica)
+                    .collect();
+                let epoch = self.routing.epoch_of(dir) + 1;
+                self.routing.learn_replicas(dir, set, epoch);
+            }
+        }
+        if replica == self.id {
+            if let Some((home, epoch)) = self.replicas.drop_dir(dir) {
+                // Replica-aware NotOwner: remember who answers now.
+                self.routing.learn(dir, home, epoch);
+            }
+        }
+        Ok(Reply::Unit)
+    }
+
+    /// Queues one upsert-or-remove invalidation to every replica of `dir`
+    /// after a write to the home shard. The new state travels with the
+    /// message, so the copies *converge* rather than merely shrink — a
+    /// replica never answers a stale negative after a create.
+    fn replica_fanout(&mut self, dir: InodeId, name: &str, val: Option<DentryVal>, ctx: &mut Ctx) {
+        let Some(rec) = self.routing.replicas_of(dir) else {
+            return;
+        };
+        for s in rec.servers.clone() {
+            ctx.peer_sends.push((
+                s,
+                Request::ReplicaInval {
+                    dir,
+                    name: name.to_string(),
+                    val: val.map(|v| (v.target, v.ftype, v.dist)),
+                },
+            ));
+        }
+    }
+
+    /// Evicts every replica of `dir` outright (one-way
+    /// [`Request::ReplicaDrop`] per copy holder) and retires the read set
+    /// locally. Called before any structural change a converging copy
+    /// could not survive: a migration of the shard, an rmdir mark, a
+    /// centralized removal. Eviction-before-staleness: readers fall back
+    /// to the home, where the structural protocol parks or redirects them
+    /// correctly.
+    fn replica_evict_all(&mut self, dir: InodeId, ctx: &mut Ctx) {
+        let Some(rec) = self.routing.replicas_of(dir) else {
+            return;
+        };
+        let servers = rec.servers.clone();
+        if servers.is_empty() {
+            return;
+        }
+        let epoch = self.routing.epoch_of(dir) + 1;
+        self.routing.learn_replicas(dir, Vec::new(), epoch);
+        for s in servers {
+            ctx.peer_sends
+                .push((s, Request::ReplicaDrop { dir, replica: s }));
+        }
     }
 
     // ----- Directory entry operations ------------------------------------
@@ -794,6 +1063,20 @@ impl Server {
         name: &str,
         ctx: &mut Ctx,
     ) -> WireReply {
+        // A read replica answers before the ownership guard: the client
+        // routed here *because* this server holds a copy, not the shard.
+        // Served without tracking — replica reads are never client-cached,
+        // so there is nothing to invalidate.
+        if let Some(hit) = self.replicas.lookup(dir, name) {
+            return match hit {
+                Some(v) => Ok(Reply::Lookup {
+                    target: v.target,
+                    ftype: v.ftype,
+                    dist: v.dist,
+                }),
+                None => Err(Errno::ENOENT),
+            };
+        }
         if let Some(r) = self.not_owner(dir) {
             return r;
         }
@@ -832,6 +1115,32 @@ impl Server {
         flags: OpenFlags,
         ctx: &mut Ctx,
     ) -> WireReply {
+        // Replica-served, untracked — see [`Server::op_lookup`]. The open
+        // half still fuses when the inode happens to live here.
+        if let Some(hit) = self.replicas.lookup(dir, name) {
+            return match hit {
+                Some(v) => {
+                    let open = if v.ftype == FileType::Regular && v.target.server == self.id {
+                        match self.open_local_file(v.target.num, flags, ctx) {
+                            Ok(o) => {
+                                ctx.extra += 700;
+                                Some(o)
+                            }
+                            Err(_) => None,
+                        }
+                    } else {
+                        None
+                    };
+                    Ok(Reply::LookupOpened {
+                        target: v.target,
+                        ftype: v.ftype,
+                        dist: v.dist,
+                        open,
+                    })
+                }
+                None => Err(Errno::ENOENT),
+            };
+        }
         if let Some(r) = self.not_owner(dir) {
             return r;
         }
@@ -887,6 +1196,32 @@ impl Server {
         name: &str,
         ctx: &mut Ctx,
     ) -> WireReply {
+        // Replica-served, untracked — see [`Server::op_lookup`]. The stat
+        // half still fuses when the inode happens to live here.
+        if let Some(hit) = self.replicas.lookup(dir, name) {
+            return match hit {
+                Some(v) => {
+                    let stat = if v.target.server == self.id {
+                        match self.op_stat(v.target.num) {
+                            Ok(Reply::Stat(s)) => {
+                                ctx.extra += 400;
+                                Some(s)
+                            }
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    Ok(Reply::LookupStated {
+                        target: v.target,
+                        ftype: v.ftype,
+                        dist: v.dist,
+                        stat,
+                    })
+                }
+                None => Err(Errno::ENOENT),
+            };
+        }
         if let Some(r) = self.not_owner(dir) {
             return r;
         }
@@ -987,6 +1322,31 @@ impl Server {
                 .routing
                 .route(cur_dir, cur_dist, name, self.dir_shard_width, nservers);
             if owner != self.id {
+                // A local read replica of this component's directory lets
+                // the walk continue here without a hop — still
+                // feed-forward, and untracked like every replica read.
+                // Only positive hits are served: a miss forwards to the
+                // owner so ENOENT (and any create terminal) stays
+                // authoritative at the home shard.
+                if let Some(Some(v)) = self.replicas.lookup(cur_dir, name) {
+                    ctx.extra += crate::proto::LOOKUP_SERVICE_COST;
+                    acc.push(PathEntry {
+                        target: v.target,
+                        ftype: v.ftype,
+                        dist: v.dist,
+                        replica: true,
+                    });
+                    if idx + 1 < comps.len() {
+                        if v.ftype != FileType::Directory {
+                            stopped = Some(Errno::ENOTDIR);
+                            break;
+                        }
+                        cur_dir = v.target;
+                        cur_dist = v.dist && self.distribution;
+                    }
+                    idx += 1;
+                    continue;
+                }
                 if hops >= max_hops {
                     stopped = Some(Errno::ELOOP);
                     break;
@@ -1028,6 +1388,7 @@ impl Server {
                         target: v.target,
                         ftype: v.ftype,
                         dist: v.dist,
+                        replica: false,
                     });
                     if idx + 1 < comps.len() {
                         if v.ftype != FileType::Directory {
@@ -1258,6 +1619,7 @@ impl Server {
             self.queue_invals(client, dir, name, ctx);
         }
         self.track_entry(dir, name, client, ctx);
+        self.replica_fanout(dir, name, Some(val), ctx);
         ctx.extra += 900 + 300;
         let fd = self.fds.open(num, FdKind::File, flags);
         self.inodes.get_mut(num).expect("just created").open_fds += 1;
@@ -1271,6 +1633,7 @@ impl Server {
             target: ino,
             ftype: FileType::Regular,
             dist: false,
+            replica: false,
         };
         (entry, ino, open)
     }
@@ -1304,6 +1667,7 @@ impl Server {
             self.queue_invals(client, dir, name, ctx);
         }
         self.track_entry(dir, name, client, ctx);
+        self.replica_fanout(dir, name, Some(val), ctx);
         Ok(Reply::AddMapped {
             replaced: replaced.map(|v| (v.target, v.ftype)),
         })
@@ -1326,6 +1690,7 @@ impl Server {
         }
         let v = self.dentries.remove(dir, name)?;
         self.queue_invals(client, dir, name, ctx);
+        self.replica_fanout(dir, name, None, ctx);
         Ok(Reply::RmMapped {
             target: v.target,
             ftype: v.ftype,
@@ -1339,6 +1704,19 @@ impl Server {
         max: u32,
         ctx: &mut Ctx,
     ) -> WireReply {
+        // A read replica serves the page before the ownership guard, with
+        // the same server-side bound. The name cursor makes this safe
+        // across pages even if the client's later pages land on a
+        // *different* replica (or the home): the cursor is an entry name,
+        // not a copy-local position.
+        let bound = match max {
+            0 => self.list_page_max,
+            m => (m as usize).min(self.list_page_max),
+        };
+        if let Some((entries, next)) = self.replicas.list_page(dir, after, bound) {
+            ctx.extra += 25 * entries.len() as u64;
+            return Ok(Reply::Shard { entries, next });
+        }
         // Only centralized directories migrate, so a foreign override
         // means this server's (empty) shard would silently truncate the
         // listing — redirect instead. Distributed fan-outs never see an
@@ -1352,10 +1730,6 @@ impl Server {
         // The server's page bound always applies; the client may only
         // tighten it. One giant shard can therefore never materialize in
         // a single reply regardless of what the client asks for.
-        let bound = match max {
-            0 => self.list_page_max,
-            m => (m as usize).min(self.list_page_max),
-        };
         let (entries, next) = self.dentries.list_page(dir, after, bound);
         ctx.extra += 25 * entries.len() as u64;
         Ok(Reply::Shard { entries, next })
@@ -1420,19 +1794,28 @@ impl Server {
         }
     }
 
-    fn op_rmdir_mark(&mut self, dir: InodeId) -> WireReply {
+    fn op_rmdir_mark(&mut self, dir: InodeId, ctx: &mut Ctx) -> WireReply {
         if self.dentries.is_tombstoned(dir) {
             return Err(Errno::ENOENT);
         }
         if self.dentries.count(dir) > 0 {
             return Ok(Reply::RmdirMark(MarkResult::NotEmpty));
         }
+        // The mark opens the deletion window; any read replica of this
+        // directory must die with it (eviction-before-staleness). The mark
+        // fan-out reaches every server, so each copy holder drops its own
+        // copy here; the registering owner additionally evicts the set,
+        // which is idempotent with the local drops.
+        if let Some((home, epoch)) = self.replicas.drop_dir(dir) {
+            self.routing.learn(dir, home, epoch);
+        }
+        self.replica_evict_all(dir, ctx);
         let fresh = self.rmdir.mark(dir);
         debug_assert!(fresh, "serialization must prevent double marks");
         Ok(Reply::RmdirMark(MarkResult::Marked))
     }
 
-    fn op_rmdir_central(&mut self, dir: InodeId) -> WireReply {
+    fn op_rmdir_central(&mut self, dir: InodeId, ctx: &mut Ctx) -> WireReply {
         // A migrated directory's entries live elsewhere: the single-message
         // removal no longer applies (the emptiness check and the inode are
         // on different servers). Redirect; the client reruns the removal
@@ -1448,6 +1831,10 @@ impl Server {
         if self.dentries.count(dir) > 0 {
             return Err(Errno::ENOTEMPTY);
         }
+        // Evict read replicas before the tombstone lands: copy holders
+        // answer the directory's reads ENOENT-or-redirect from here on,
+        // never from a surviving copy.
+        self.replica_evict_all(dir, ctx);
         self.dentries.tombstone(dir);
         self.inodes.remove(dir.num);
         Ok(Reply::Unit)
@@ -1509,6 +1896,7 @@ impl Server {
                 self.queue_invals(client, *dir, name, ctx);
             }
             self.track_entry(*dir, name, client, ctx);
+            self.replica_fanout(*dir, name, Some(val), ctx);
             ctx.extra += 300; // coalesced ADD_MAP work
         }
         let open = match open {

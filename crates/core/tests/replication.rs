@@ -1,0 +1,400 @@
+//! Integration tests for read replication of hot dentry shards: replica
+//! install/serve/evict protocol, write-through invalidation, interplay
+//! with live migration and the three-phase rmdir, and the zero-replica
+//! byte-for-byte pin.
+//!
+//! Counting convention as everywhere: `MsgStats::sends()` counts every
+//! message, one request/reply exchange is two sends; the one-way replica
+//! maintenance messages (invalidate, evict) cost one send each.
+
+use fsapi::{Errno, MkdirOpts, Mode, ProcFs};
+use hare_core::proto::{MarkResult, Reply, Request, ServerMsg};
+use hare_core::{HareConfig, HareInstance, InodeId, Techniques};
+use std::sync::Arc;
+
+/// Boots `nservers` timeshare cores with a centralized `/hot` directory
+/// holding `files` entries, and returns the instance plus the
+/// directory's home server.
+fn hot_dir_instance(nservers: usize, files: usize) -> (Arc<HareInstance>, u16) {
+    let inst = HareInstance::start(HareConfig::timeshare(nservers));
+    let setup = inst.new_client(0).unwrap();
+    setup
+        .mkdir_opts("/hot", Mode::default(), MkdirOpts::CENTRALIZED)
+        .unwrap();
+    for i in 0..files {
+        fsapi::write_file(&setup, &format!("/hot/f{i}"), b"payload").unwrap();
+    }
+    let home = setup.stat("/hot").unwrap().server;
+    drop(setup);
+    (inst, home)
+}
+
+/// Replicates `/hot` onto every server except its home (up to `n`
+/// copies), returning the driver client (which holds the full replica
+/// advertisement) and the replica servers.
+fn replicate_all(
+    inst: &Arc<HareInstance>,
+    home: u16,
+    n: usize,
+) -> (hare_core::ClientLib, Vec<u16>) {
+    let admin = inst.new_client(0).unwrap();
+    let nservers = inst.servers().len() as u16;
+    let mut replicas = Vec::new();
+    for s in 0..nservers {
+        if s == home || replicas.len() == n {
+            continue;
+        }
+        assert!(admin.replicate_dir("/hot", s).unwrap());
+        replicas.push(s);
+    }
+    (admin, replicas)
+}
+
+/// Sends one raw request to a server, bypassing the client library.
+fn raw(inst: &Arc<HareInstance>, server: u16, req: Request) -> Result<Reply, Errno> {
+    let (tx, rx) = msg::channel(Arc::clone(&inst.machine().msg_stats));
+    inst.servers()[server as usize]
+        .tx
+        .send(ServerMsg { req, reply: tx }, 0, 0)
+        .unwrap();
+    rx.recv().unwrap().payload
+}
+
+#[test]
+fn replicated_listings_spread_over_the_read_set_at_flat_cost() {
+    let nservers = 4;
+    let nfiles = 6;
+    let (inst, home) = hot_dir_instance(nservers, nfiles);
+    let (admin, replicas) = replicate_all(&inst, home, 3);
+    assert_eq!(replicas.len(), 3);
+
+    // A reader that adopted the advertisement: its listings rotate over
+    // all four read-set members (local least-loaded selection), each one
+    // still exactly one ListShard exchange — replica routing costs no
+    // extra messages and no NotOwner bounces.
+    let ino = admin.dir_inode("/hot").unwrap();
+    let (set, epoch) = admin.replica_advert(ino).expect("advert after replicate");
+    assert_eq!(set.len(), 3);
+    let reader = inst.new_client(1).unwrap();
+    assert!(reader.adopt_replicas(ino, set, epoch));
+    reader.stat("/hot").unwrap(); // warm the path to isolate the listings
+
+    let _ = reader.server_loads(true).unwrap(); // reset the load windows
+    let before = inst.machine().msg_stats.sends();
+    for _ in 0..8 {
+        assert_eq!(reader.readdir("/hot").unwrap().len(), nfiles);
+    }
+    assert_eq!(
+        inst.machine().msg_stats.sends() - before,
+        2 * 8,
+        "every listing is one exchange, from whichever member serves it"
+    );
+    // Every read-set member took a share (8 listings over 4 servers:
+    // round-robin of the local load counters = exactly 2 each).
+    let loads = reader.server_loads(false).unwrap();
+    for s in std::iter::once(home).chain(replicas.iter().copied()) {
+        assert_eq!(
+            loads[s as usize].ops, 2,
+            "server {s} must serve its share of the listings"
+        );
+    }
+    drop(reader);
+    drop(admin);
+    inst.shutdown();
+}
+
+#[test]
+fn stale_replica_storm_one_write_then_no_reader_sees_the_old_entry() {
+    // Every replica holds the entry, many clients read through the whole
+    // read set — then ONE write. After the writer has its reply (and one
+    // serializing exchange lets the one-way invalidations drain, as in
+    // the migration redirect-storm test), no reader may observe the old
+    // state from any member, and the new state is visible everywhere.
+    let nservers = 4;
+    let (inst, home) = hot_dir_instance(nservers, 4);
+    let (admin, _) = replicate_all(&inst, home, 3);
+    let ino = admin.dir_inode("/hot").unwrap();
+    let advert = admin.replica_advert(ino).unwrap();
+
+    let readers: Vec<_> = (0..4)
+        .map(|i| {
+            let c = inst.new_client(i % nservers).unwrap();
+            c.adopt_replicas(ino, advert.0.clone(), advert.1);
+            // Warm every member: one listing per read-set slot.
+            for _ in 0..4 {
+                assert_eq!(c.readdir("/hot").unwrap().len(), 4);
+            }
+            c
+        })
+        .collect();
+
+    // The storm's one write: f0 dies, g is born.
+    let writer = inst.new_client(0).unwrap();
+    writer.unlink("/hot/f0").unwrap();
+    fsapi::write_file(&writer, "/hot/g", b"new").unwrap();
+    let _ = writer.server_loads(false).unwrap();
+
+    for c in &readers {
+        // 4 probes per reader walk its whole read set (selection is a
+        // local round-robin over the least-loaded counters).
+        for _ in 0..4 {
+            assert_eq!(
+                c.stat("/hot/f0").unwrap_err(),
+                Errno::ENOENT,
+                "a replica served the unlinked entry"
+            );
+            assert_eq!(c.stat("/hot/g").unwrap().size, 3);
+            let names: Vec<String> = c
+                .readdir("/hot")
+                .unwrap()
+                .into_iter()
+                .map(|e| e.name)
+                .collect();
+            assert!(!names.contains(&"f0".to_string()));
+            assert!(names.contains(&"g".to_string()));
+        }
+    }
+    drop(writer);
+    drop(readers);
+    drop(admin);
+    inst.shutdown();
+}
+
+#[test]
+fn migration_evicts_replicas_and_replica_readers_rejoin_the_new_home() {
+    let nservers = 4;
+    let nfiles = 5;
+    let (inst, home) = hot_dir_instance(nservers, nfiles);
+    let (admin, replicas) = replicate_all(&inst, home, 2);
+    let ino = admin.dir_inode("/hot").unwrap();
+    let advert = admin.replica_advert(ino).unwrap();
+
+    // A reader mid-flight on the replica set.
+    let reader = inst.new_client(1).unwrap();
+    reader.adopt_replicas(ino, advert.0.clone(), advert.1);
+    assert_eq!(reader.readdir("/hot").unwrap().len(), nfiles);
+
+    // Live migration to a server that held one of the copies: the copy
+    // dies before the snapshot is taken, so the moved shard is the only
+    // authority at the destination.
+    let to = replicas[0];
+    assert!(admin.migrate_dir("/hot", to).unwrap());
+    assert_eq!(admin.dir_owner("/hot").unwrap(), to);
+    assert_eq!(
+        admin.routing_replica_dirs(),
+        0,
+        "the driver's own replica record dies with the migration epoch"
+    );
+    let _ = admin.server_loads(false).unwrap();
+
+    // The reader still routes reads across the stale set: each member
+    // answers a replica-aware NotOwner pointing home, the chain of
+    // learns converges, and no operation fails or loses entries.
+    for _ in 0..6 {
+        assert_eq!(reader.readdir("/hot").unwrap().len(), nfiles);
+        assert_eq!(reader.stat("/hot/f0").unwrap().size, 7);
+    }
+    // Writes follow the moved home too.
+    fsapi::write_file(&reader, "/hot/post", b"x").unwrap();
+    assert_eq!(reader.stat("/hot/post").unwrap().server, to);
+    drop(reader);
+    drop(admin);
+    inst.shutdown();
+}
+
+#[test]
+fn rmdir_evicts_replicas_and_serves_tombstone_enoent() {
+    // An (empty) replicated directory is removed: the copies die before
+    // the tombstone lands, so a reader that still advertises the old
+    // read set gets ENOENT — never a listing served from a surviving
+    // copy of a deleted directory.
+    let nservers = 4;
+    let (inst, home) = hot_dir_instance(nservers, 0);
+    let (admin, _) = replicate_all(&inst, home, 3);
+    let ino = admin.dir_inode("/hot").unwrap();
+    let advert = admin.replica_advert(ino).unwrap();
+
+    let reader = inst.new_client(1).unwrap();
+    reader.adopt_replicas(ino, advert.0.clone(), advert.1);
+    assert_eq!(reader.readdir("/hot").unwrap().len(), 0);
+
+    let remover = inst.new_client(2).unwrap();
+    remover.rmdir("/hot").unwrap();
+    let _ = remover.server_loads(false).unwrap();
+
+    // The reader walks its whole stale read set: tombstone ENOENT from
+    // every angle, for listings and lookups alike.
+    for _ in 0..4 {
+        assert_eq!(reader.readdir("/hot").unwrap_err(), Errno::ENOENT);
+        assert_eq!(reader.stat("/hot/ghost").unwrap_err(), Errno::ENOENT);
+    }
+    // The name is reusable, and the recreated directory starts
+    // unreplicated.
+    remover.mkdir("/hot", Mode::default()).unwrap();
+    fsapi::write_file(&remover, "/hot/fresh", b"y").unwrap();
+    assert_eq!(reader.readdir("/hot").unwrap().len(), 1);
+    drop(reader);
+    drop(remover);
+    drop(admin);
+    inst.shutdown();
+}
+
+#[test]
+fn replica_protocol_rejects_rmdir_windows_inline_and_parks_no_continuation() {
+    // Both halves of the replication handshake must REJECT with EAGAIN
+    // while an rmdir window is open — inline, never parked, the same
+    // wait-cycle discipline as the pinned MigrateInstall-vs-rmdir guard
+    // (which `migration_into_an_rmdir_marked_destination_aborts_cleanly`
+    // in tests/placement.rs keeps pinned).
+    let nservers = 3;
+    let (inst, home) = hot_dir_instance(nservers, 0);
+    let admin = inst.new_client(0).unwrap();
+    admin.stat("/hot").unwrap();
+    let hstat = admin.stat("/hot").unwrap();
+    let dir = InodeId {
+        server: hstat.server,
+        num: hstat.ino,
+    };
+    let to = (home + 1) % nservers as u16;
+
+    // Export side: the HOME is mid-rmdir.
+    match raw(&inst, home, Request::RmdirMark { dir }) {
+        Ok(Reply::RmdirMark(MarkResult::Marked)) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(
+        admin.replicate_dir("/hot", to).unwrap_err(),
+        Errno::EAGAIN,
+        "export under an rmdir mark must be rejected inline"
+    );
+    match raw(&inst, home, Request::RmdirAbort { dir }) {
+        Ok(Reply::Unit) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Install side: the DESTINATION is mid-rmdir. The driver unwinds the
+    // half-registered copy with a ReplicaDrop, so the failed attempt
+    // leaves no replica behind.
+    match raw(&inst, to, Request::RmdirMark { dir }) {
+        Ok(Reply::RmdirMark(MarkResult::Marked)) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(
+        admin.replicate_dir("/hot", to).unwrap_err(),
+        Errno::EAGAIN,
+        "install under an rmdir mark must be rejected inline"
+    );
+    assert_eq!(
+        admin.routing_replica_dirs(),
+        0,
+        "failed install must unwind"
+    );
+    match raw(&inst, to, Request::RmdirAbort { dir }) {
+        Ok(Reply::Unit) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // With both windows closed the same replication goes through.
+    assert!(admin.replicate_dir("/hot", to).unwrap());
+    assert_eq!(admin.routing_replica_dirs(), 1);
+    drop(admin);
+    inst.shutdown();
+}
+
+#[test]
+fn pinned_replication_exchange_counts() {
+    // The replication handshake is two exchanges: ReplicaExport
+    // (snapshot + registration at the home) and ReplicaInstall (copy at
+    // the recipient) — four sends, nothing else, when the driver already
+    // routes to the home. Re-replicating onto a known member is free.
+    let nservers = 2;
+    let (inst, home) = hot_dir_instance(nservers, 3);
+    let admin = inst.new_client(0).unwrap();
+    admin.stat("/hot").unwrap(); // warm the route
+    let to = (home + 1) % 2;
+    let before = inst.machine().msg_stats.sends();
+    assert!(admin.replicate_dir("/hot", to).unwrap());
+    assert_eq!(
+        inst.machine().msg_stats.sends() - before,
+        4,
+        "replication must cost exactly two exchanges"
+    );
+    let before = inst.machine().msg_stats.sends();
+    assert!(!admin.replicate_dir("/hot", to).unwrap());
+    assert_eq!(
+        inst.machine().msg_stats.sends() - before,
+        0,
+        "an already-placed replica costs nothing"
+    );
+    drop(admin);
+    inst.shutdown();
+}
+
+#[test]
+fn replicate_dir_refuses_the_root_distributed_dirs_and_files() {
+    let inst = HareInstance::start(HareConfig::timeshare(4));
+    let c = inst.new_client(0).unwrap();
+    c.mkdir_opts("/dist", Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+    assert_eq!(c.replicate_dir("/dist", 1).unwrap_err(), Errno::EINVAL);
+    assert_eq!(c.replicate_dir("/", 1).unwrap_err(), Errno::EBUSY);
+    fsapi::write_file(&c, "/plain", b"x").unwrap();
+    assert_eq!(c.replicate_dir("/plain", 1).unwrap_err(), Errno::ENOTDIR);
+    // Replicating onto the home itself is a no-op, not an error.
+    c.mkdir("/solo", Mode::default()).unwrap();
+    let home = c.stat("/solo").unwrap().server;
+    assert!(!c.replicate_dir("/solo", home).unwrap());
+    drop(c);
+    inst.shutdown();
+}
+
+#[test]
+fn replication_off_is_byte_for_byte_the_unreplicated_system() {
+    // The same operation sequence — including reads that would consult
+    // the read set — with the technique on (but no replica placed) and
+    // off must produce identical message counts: the zero-replica,
+    // epoch-0 table is the paper's static routing.
+    let count = |techniques: Techniques| {
+        let mut cfg = HareConfig::timeshare(4);
+        cfg.techniques = techniques;
+        let inst = HareInstance::start(cfg);
+        let c = inst.new_client(0).unwrap();
+        let before = inst.machine().msg_stats.sends();
+        c.mkdir_opts("/d", Mode::default(), MkdirOpts::CENTRALIZED)
+            .unwrap();
+        for i in 0..4 {
+            fsapi::write_file(&c, &format!("/d/f{i}"), b"x").unwrap();
+        }
+        for _ in 0..3 {
+            assert_eq!(c.readdir("/d").unwrap().len(), 4);
+            c.stat("/d/f0").unwrap();
+            assert_eq!(c.stat("/d/nope").unwrap_err(), Errno::ENOENT);
+        }
+        c.rename("/d/f0", "/d/r0").unwrap();
+        for i in 1..4 {
+            c.unlink(&format!("/d/f{i}")).unwrap();
+        }
+        c.unlink("/d/r0").unwrap();
+        c.rmdir("/d").unwrap();
+        let sends = inst.machine().msg_stats.sends() - before;
+        drop(c);
+        inst.shutdown();
+        sends
+    };
+    assert_eq!(
+        count(Techniques::default()),
+        count(Techniques::without("replication")),
+        "an unused replication subsystem must cost zero messages"
+    );
+    // And the driver really is inert with the toggle off.
+    let mut cfg = HareConfig::timeshare(4);
+    cfg.techniques = Techniques::without("replication");
+    let inst = HareInstance::start(cfg);
+    let c = inst.new_client(0).unwrap();
+    c.mkdir("/hot", Mode::default()).unwrap();
+    let home = c.stat("/hot").unwrap().server;
+    assert!(!c.replicate_dir("/hot", (home + 1) % 4).unwrap());
+    assert_eq!(c.routing_replica_dirs(), 0);
+    drop(c);
+    inst.shutdown();
+}

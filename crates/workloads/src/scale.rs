@@ -87,6 +87,21 @@ impl Scale {
             cc_cycles: 2_000_000,
         }
     }
+
+    /// Sizes for the scheduled full-scale CI lane: closer to the paper's
+    /// 65,535-iteration runs than `bench`, sized so the nightly matrix at
+    /// 64 cores finishes in tens of minutes rather than hours. Tree and
+    /// build shapes stay at `bench` proportions — only the amortizable
+    /// iteration counts grow.
+    pub fn full() -> Scale {
+        Scale {
+            iters: 4_000,
+            mail_msgs: 1_000,
+            fsstress_ops: 4_000,
+            kbuild_units: 400,
+            ..Scale::bench()
+        }
+    }
 }
 
 impl Default for Scale {
@@ -106,5 +121,14 @@ mod tests {
         assert!(q.iters < b.iters);
         assert!(q.fsstress_ops < b.fsstress_ops);
         assert!(q.kbuild_units < b.kbuild_units);
+    }
+
+    #[test]
+    fn full_is_larger_than_bench() {
+        let b = Scale::bench();
+        let f = Scale::full();
+        assert!(f.iters > b.iters);
+        assert!(f.mail_msgs > b.mail_msgs);
+        assert_eq!(f.dense_files, b.dense_files, "tree shape stays at bench");
     }
 }
