@@ -16,8 +16,17 @@
 #   HARE_SCALE    workload preset (default quick — the CI smoke size)
 #   HARE_CORES    simulated core budget (default 8)
 #   HARE_BIN_DIR  where the bench binaries live (default target/release)
+#
+# With --explain, a failing gate reruns one traced round (op tracing on)
+# and dumps the span trees to trace_artifacts/TRACE_<bench>.json plus the
+# costliest op's rendered tree to the step summary — see docs/tracing.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--explain" ]; then
+    export HARE_EXPLAIN_DIR="$PWD/trace_artifacts"
+    shift
+fi
 
 scale="${HARE_SCALE:-quick}"
 cores="${HARE_CORES:-8}"

@@ -321,8 +321,46 @@ fn main() {
             metrics: r.metrics.clone(),
         })
         .collect();
-    hare_bench::perf_gate("micro_giant", &configs);
-    let json = hare_bench::bench_json("micro_giant", cores, &configs);
-    std::fs::write("BENCH_micro_giant.json", &json).expect("write BENCH_micro_giant.json");
-    println!("\nwrote BENCH_micro_giant.json");
+    hare_bench::emit::emit("micro_giant", cores, &configs);
+
+    // Nightly archive lane: with HARE_TRACE_DIR set, rerun one probe of
+    // each measured op with op tracing on and archive the span trees (the
+    // bulk phases stay untraced — the probes are what the gate pins).
+    if let Ok(dir) = std::env::var("HARE_TRACE_DIR") {
+        archive_trace(cores, &dir);
+    }
+}
+
+/// Boots a small traced replica of the probe phases (create, cold walk,
+/// warm stat, paged list, unlink) and writes the Chrome trace-event JSON
+/// to `<dir>/TRACE_micro_giant.json`.
+fn archive_trace(cores: usize, dir: &str) {
+    let mut cfg = HareConfig::timeshare(cores);
+    cfg.dir_shard_width = 8;
+    cfg.list_page_max = 4;
+    cfg.trace_ops = true;
+    let inst = HareInstance::start(cfg);
+    let setup = inst.new_client(0).unwrap();
+    setup.mkdir("/giant", Mode::default()).unwrap();
+    setup
+        .mkdir_opts("/giant/probe", Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+    for f in 0..16 {
+        create_empty(&setup, &format!("/giant/probe/f{f}"));
+    }
+    drop(setup);
+    inst.machine().otrace.reset();
+    let c = inst.new_client(0).unwrap();
+    create_empty(&c, "/giant/probe/p0");
+    c.stat("/giant/probe/f0").unwrap();
+    c.stat("/giant/probe/f0").unwrap();
+    assert_eq!(c.readdir("/giant/probe").unwrap().len(), 17);
+    c.unlink("/giant/probe/p0").unwrap();
+    drop(c);
+    let json = inst.machine().otrace.to_chrome_json();
+    inst.shutdown();
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {dir}: {e}"));
+    let path = format!("{dir}/TRACE_micro_giant.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("archived traced probe round to {path}");
 }

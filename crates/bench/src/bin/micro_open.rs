@@ -92,6 +92,34 @@ fn measure(name: &'static str, techniques: Techniques, cores: usize) -> Row {
     }
 }
 
+/// Gate explain hook: reruns one cold-cache open with op tracing enabled
+/// and returns the span trees, so a failed gate ships the causal
+/// breakdown of where the open path's RPCs went.
+fn explain(cores: usize) -> Option<hare_bench::OpExplain> {
+    let mut cfg = HareConfig::timeshare(cores);
+    cfg.trace_ops = true;
+    let inst = HareInstance::start(cfg);
+    let setup = inst.new_client(0).unwrap();
+    fsapi::mkdir_p(&setup, "/open/bench", MkdirOpts::default()).unwrap();
+    fsapi::write_file(&setup, "/open/bench/f0", b"x").unwrap();
+    drop(setup);
+    // Only the measured op should appear in the dump, not the setup.
+    inst.machine().otrace.reset();
+    let c = inst.new_client(0).unwrap();
+    let fd = c
+        .open("/open/bench/f0", OpenFlags::RDONLY, Mode::default())
+        .unwrap();
+    c.close(fd).unwrap();
+    drop(c);
+    let tracer = &inst.machine().otrace;
+    let out = hare_bench::OpExplain {
+        chrome_json: tracer.to_chrome_json(),
+        worst: tracer.explain_worst(),
+    };
+    inst.shutdown();
+    Some(out)
+}
+
 fn main() {
     let cores = hare_bench::max_cores().min(8);
     let rows = [
@@ -144,10 +172,7 @@ fn main() {
             ],
         })
         .collect();
-    hare_bench::perf_gate("micro_open", &configs);
-    let json = hare_bench::bench_json("micro_open", cores, &configs);
-    std::fs::write("BENCH_micro_open.json", &json).expect("write BENCH_micro_open.json");
-    println!("\nwrote BENCH_micro_open.json");
+    hare_bench::emit::emit_explained("micro_open", cores, &configs, || explain(cores));
 
     // The whole point of the fast path: strictly fewer RPCs per open.
     assert!(

@@ -86,8 +86,5 @@ fn main() {
         ],
     })
     .collect();
-    hare_bench::perf_gate("micro_rename", &configs);
-    let json = hare_bench::bench_json("micro_rename", 1, &configs);
-    std::fs::write("BENCH_micro_rename.json", &json).expect("write BENCH_micro_rename.json");
-    println!("\nwrote BENCH_micro_rename.json");
+    hare_bench::emit::emit("micro_rename", 1, &configs);
 }

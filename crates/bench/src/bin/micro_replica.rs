@@ -323,10 +323,7 @@ fn main() {
             }
         })
         .collect();
-    hare_bench::perf_gate("micro_replica", &configs);
-    let json = hare_bench::bench_json("micro_replica", cores, &configs);
-    std::fs::write("BENCH_micro_replica.json", &json).expect("write BENCH_micro_replica.json");
-    println!("\nwrote BENCH_micro_replica.json");
+    hare_bench::emit::emit("micro_replica", cores, &configs);
 
     // ----- The scaling gate ------------------------------------------------
     let all = &rows[0];

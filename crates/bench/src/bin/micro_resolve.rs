@@ -100,6 +100,30 @@ fn measure(name: &'static str, techniques: Techniques, cores: usize) -> Row {
     }
 }
 
+/// Gate explain hook: reruns one cold depth-8 stat with op tracing
+/// enabled — the chained-resolution span tree shows exactly which server
+/// hops (and any redirects) the resolution took.
+fn explain(cores: usize) -> Option<hare_bench::OpExplain> {
+    let mut cfg = HareConfig::timeshare(cores);
+    cfg.trace_ops = true;
+    let inst = HareInstance::start(cfg);
+    let setup = inst.new_client(0).unwrap();
+    let deep = build_chain(&setup, "/deep", 6);
+    drop(setup);
+    // Only the measured op should appear in the dump, not the setup.
+    inst.machine().otrace.reset();
+    let c = inst.new_client(0).unwrap();
+    c.stat(&deep).unwrap();
+    drop(c);
+    let tracer = &inst.machine().otrace;
+    let out = hare_bench::OpExplain {
+        chrome_json: tracer.to_chrome_json(),
+        worst: tracer.explain_worst(),
+    };
+    inst.shutdown();
+    Some(out)
+}
+
 fn main() {
     let cores = hare_bench::max_cores().min(8);
     let rows = [
@@ -148,10 +172,7 @@ fn main() {
             ],
         })
         .collect();
-    hare_bench::perf_gate("micro_resolve", &configs);
-    let json = hare_bench::bench_json("micro_resolve", cores, &configs);
-    std::fs::write("BENCH_micro_resolve.json", &json).expect("write BENCH_micro_resolve.json");
-    println!("\nwrote BENCH_micro_resolve.json");
+    hare_bench::emit::emit_explained("micro_resolve", cores, &configs, || explain(cores));
 
     // The whole point of fusion: strictly fewer exchanges than the
     // chain-then-stat protocol, which itself beats the per-component walk

@@ -261,10 +261,7 @@ fn main() {
             ],
         })
         .collect();
-    hare_bench::perf_gate("micro_skew", &configs);
-    let json = hare_bench::bench_json("micro_skew", cores, &configs);
-    std::fs::write("BENCH_micro_skew.json", &json).expect("write BENCH_micro_skew.json");
-    println!("\nwrote BENCH_micro_skew.json");
+    hare_bench::emit::emit("micro_skew", cores, &configs);
 
     // The whole point of rebalancing: the hot-directory workload must
     // improve after the spool's shard migrates off the loaded server, and

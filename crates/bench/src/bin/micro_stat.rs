@@ -98,6 +98,35 @@ fn measure(name: &'static str, techniques: Techniques, cores: usize) -> Row {
     }
 }
 
+/// Gate explain hook: reruns one cold-cache stat and one batched
+/// readdir+stat with op tracing enabled and returns the span trees.
+fn explain(cores: usize) -> Option<hare_bench::OpExplain> {
+    let mut cfg = HareConfig::timeshare(cores);
+    cfg.trace_ops = true;
+    let inst = HareInstance::start(cfg);
+    let setup = inst.new_client(0).unwrap();
+    fsapi::mkdir_p(&setup, "/stat/bench", MkdirOpts::default()).unwrap();
+    setup
+        .mkdir_opts("/stat/bench/dist", Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+    fsapi::write_file(&setup, "/stat/bench/f0", b"x").unwrap();
+    fsapi::write_file(&setup, "/stat/bench/dist/e0", b"x").unwrap();
+    drop(setup);
+    // Only the measured ops should appear in the dump, not the setup.
+    inst.machine().otrace.reset();
+    let c = inst.new_client(0).unwrap();
+    c.stat("/stat/bench/f0").unwrap();
+    c.readdir_plus("/stat/bench/dist").unwrap();
+    drop(c);
+    let tracer = &inst.machine().otrace;
+    let out = hare_bench::OpExplain {
+        chrome_json: tracer.to_chrome_json(),
+        worst: tracer.explain_worst(),
+    };
+    inst.shutdown();
+    Some(out)
+}
+
 fn main() {
     let cores = hare_bench::max_cores().min(8);
     let rows = [
@@ -142,10 +171,7 @@ fn main() {
             ],
         })
         .collect();
-    hare_bench::perf_gate("micro_stat", &configs);
-    let json = hare_bench::bench_json("micro_stat", cores, &configs);
-    std::fs::write("BENCH_micro_stat.json", &json).expect("write BENCH_micro_stat.json");
-    println!("\nwrote BENCH_micro_stat.json");
+    hare_bench::emit::emit_explained("micro_stat", cores, &configs, || explain(cores));
 
     // The whole point of the fast paths: strictly fewer RPCs per op.
     assert!(

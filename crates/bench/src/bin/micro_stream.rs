@@ -167,10 +167,7 @@ fn main() {
             ],
         })
         .collect();
-    hare_bench::perf_gate("micro_stream", &configs);
-    let json = hare_bench::bench_json("micro_stream", cores, &configs);
-    std::fs::write("BENCH_micro_stream.json", &json).expect("write BENCH_micro_stream.json");
-    println!("\nwrote BENCH_micro_stream.json");
+    hare_bench::emit::emit("micro_stream", cores, &configs);
 
     // The tentpole claim: four stripe servers stream one file at least
     // twice as fast as the single home server (virtual wall-clock).

@@ -184,12 +184,10 @@ fn report(run: &Run) {
         "server ops",
         "migs",
         "invals",
+        "bounces",
+        "parks",
     ]);
-    let mut md = String::from(
-        "### micro_trace: shifting-hotspot time series (config `all`)\n\n\
-         | window | ops | fail | RPCs/op | imbalance | server ops | migrations | invalidations |\n\
-         |---:|---:|---:|---:|---:|---|---:|---:|\n",
-    );
+    let mut rows = Vec::new();
     for (i, w) in run.series.windows().iter().enumerate() {
         let servers = w
             .server_ops
@@ -197,29 +195,39 @@ fn report(run: &Run) {
             .map(|v| v.to_string())
             .collect::<Vec<_>>()
             .join("/");
-        t.row(vec![
+        let row = vec![
             format!("{i}"),
             format!("{}", w.ops),
             format!("{}", w.failures),
             format!("{:.2}", w.rpcs_per_op()),
             format!("{:.2}", w.imbalance()),
-            servers.clone(),
+            servers,
             format!("{}", w.migrations),
             format!("{}", w.invalidations),
-        ]);
-        md.push_str(&format!(
-            "| {i} | {} | {} | {:.2} | {:.2} | {servers} | {} | {} |\n",
-            w.ops,
-            w.failures,
-            w.rpcs_per_op(),
-            w.imbalance(),
-            w.migrations,
-            w.invalidations
-        ));
+            format!("{}", w.not_owner_bounces),
+            format!("{}", w.park_replays),
+        ];
+        t.row(row.clone());
+        rows.push(row);
     }
     t.print();
-    md.push('\n');
-    hare_bench::append_step_summary(&md);
+    hare_bench::append_step_summary(&hare_bench::emit::md_table(
+        "micro_trace: shifting-hotspot time series (config `all`)",
+        &[
+            "window",
+            "ops",
+            "fail",
+            "RPCs/op",
+            "imbalance",
+            "server ops",
+            "migrations",
+            "invalidations",
+            "bounces",
+            "park replays",
+        ],
+        &[true, true, true, true, true, false, true, true, true, true],
+        &rows,
+    ));
 }
 
 fn main() {
@@ -260,10 +268,7 @@ fn main() {
             ],
         })
         .collect::<Vec<_>>();
-    hare_bench::perf_gate("micro_trace", &configs);
-    let json = hare_bench::bench_json("micro_trace", CORES, &configs);
-    std::fs::write("BENCH_micro_trace.json", &json).expect("write BENCH_micro_trace.json");
-    println!("wrote BENCH_micro_trace.json");
+    hare_bench::emit::emit("micro_trace", CORES, &configs);
 
     // ----- The behavior gate ---------------------------------------------
     let nwin = all.series.windows().len();

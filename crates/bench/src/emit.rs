@@ -1,0 +1,75 @@
+//! Shared result-emission path for the `micro_*` binaries.
+//!
+//! Every microbenchmark used to hand-roll the same four lines: run the
+//! perf gate, render [`crate::bench_json`], write `BENCH_<bench>.json`,
+//! print the confirmation — plus, for the ones that post tables to the
+//! GitHub Actions step summary, a second copy of markdown-table
+//! assembly. Both live here now so the byte format of the committed
+//! trajectory files has exactly one producer.
+
+use crate::{BenchConfig, OpExplain};
+
+/// Gates `configs` against the committed baseline (when
+/// `HARE_GATE_BASELINE` is set), then writes the `BENCH_<bench>.json`
+/// trajectory point. The gate runs first so a failing run never clobbers
+/// the baseline it failed against.
+pub fn emit(bench: &str, cores: usize, configs: &[BenchConfig]) {
+    crate::perf_gate(bench, configs);
+    write_bench_json(bench, cores, configs);
+}
+
+/// [`emit`] with a gate explain hook (see [`crate::perf_gate_explained`]):
+/// on gate failure under `HARE_EXPLAIN_DIR`, `explain()` reruns a traced
+/// round and its span trees are dumped for the CI artifact.
+pub fn emit_explained(
+    bench: &str,
+    cores: usize,
+    configs: &[BenchConfig],
+    explain: impl FnOnce() -> Option<OpExplain>,
+) {
+    crate::perf_gate_explained(bench, configs, explain);
+    write_bench_json(bench, cores, configs);
+}
+
+fn write_bench_json(bench: &str, cores: usize, configs: &[BenchConfig]) {
+    let json = crate::bench_json(bench, cores, configs);
+    let path = format!("BENCH_{bench}.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path}");
+}
+
+/// Renders a markdown table for the step summary: a `### title` heading,
+/// one header row, and an alignment row with `---:` wherever `numeric`
+/// marks a column. Rows must match the header width.
+pub fn md_table(title: &str, headers: &[&str], numeric: &[bool], rows: &[Vec<String>]) -> String {
+    assert_eq!(headers.len(), numeric.len());
+    let mut md = format!("### {title}\n\n| {} |\n", headers.join(" | "));
+    let aligns = numeric
+        .iter()
+        .map(|n| if *n { "---:" } else { "---" })
+        .collect::<Vec<_>>()
+        .join("|");
+    md.push_str(&format!("|{aligns}|\n"));
+    for row in rows {
+        assert_eq!(row.len(), headers.len());
+        md.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    md.push('\n');
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md_table_shape() {
+        let md = md_table(
+            "t",
+            &["a", "b"],
+            &[false, true],
+            &[vec!["x".into(), "1".into()]],
+        );
+        assert_eq!(md, "### t\n\n| a | b |\n|---|---:|\n| x | 1 |\n\n");
+    }
+}

@@ -21,6 +21,8 @@
 #[cfg(feature = "count-alloc")]
 pub mod alloc_count;
 
+pub mod emit;
+
 use hare_baseline::HostSystem;
 use hare_core::{HareConfig, Techniques};
 use hare_sched::HareSystem;
@@ -47,7 +49,8 @@ pub fn pinned_name(
 ///
 /// Each round runs `burst(round)` to generate load, advances the driver's
 /// virtual clock by `step` so the cadence's probe interval elapses, then
-/// ticks the rebalancer. Returns the committed [`RebalanceAction`] (or
+/// ticks the rebalancer. Returns the committed
+/// [`RebalanceAction`](hare_core::RebalanceAction) (or
 /// `None` if `max_rounds` rounds pass without one) and the number of
 /// rounds taken — benches assert on the round count to pin hysteresis
 /// (confirmation must take at least `confirm` probes).
@@ -288,6 +291,32 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchConfig> {
 /// also appended there as a markdown table, so a regression is readable
 /// from the run page without digging through logs.
 pub fn perf_gate(bench: &str, current: &[BenchConfig]) {
+    perf_gate_explained(bench, current, || None);
+}
+
+/// A causal-trace dump for the gate's `--explain` mode: the Chrome
+/// trace-event JSON of a traced rerun plus the costliest op's rendered
+/// span tree (see `hare_core::otrace`).
+pub struct OpExplain {
+    /// Perfetto-loadable trace of the rerun, from `Tracer::to_chrome_json`.
+    pub chrome_json: String,
+    /// `SpanNode::render` of the most expensive operation, if any ran.
+    pub worst: Option<String>,
+}
+
+/// [`perf_gate`] with an *explain hook*: when the gate fails **and** the
+/// `HARE_EXPLAIN_DIR` environment variable is set (`ci/perf_gate.sh
+/// --explain`), `explain()` is invoked to rerun a traced round; the
+/// resulting trace JSON is written to `$HARE_EXPLAIN_DIR/TRACE_<bench>.json`
+/// and the worst op's span tree is appended to the step summary, so a
+/// regression arrives with the causal breakdown of where the RPCs went.
+/// The hook never runs on a passing gate — `--explain` costs nothing until
+/// something regresses.
+pub fn perf_gate_explained(
+    bench: &str,
+    current: &[BenchConfig],
+    explain: impl FnOnce() -> Option<OpExplain>,
+) {
     let Ok(path) = std::env::var("HARE_GATE_BASELINE") else {
         return;
     };
@@ -349,6 +378,23 @@ pub fn perf_gate(bench: &str, current: &[BenchConfig]) {
         eprintln!("perf gate FAILED for {bench} against {path}:");
         for f in &failures {
             eprintln!("  - {f}");
+        }
+        if let Ok(dir) = std::env::var("HARE_EXPLAIN_DIR") {
+            if let Some(ex) = explain() {
+                std::fs::create_dir_all(&dir)
+                    .unwrap_or_else(|e| panic!("perf gate: cannot create {dir}: {e}"));
+                let trace_path = format!("{dir}/TRACE_{bench}.json");
+                std::fs::write(&trace_path, &ex.chrome_json)
+                    .unwrap_or_else(|e| panic!("perf gate: cannot write {trace_path}: {e}"));
+                eprintln!("perf gate: wrote traced rerun to {trace_path}");
+                if let Some(worst) = ex.worst {
+                    eprintln!("costliest traced op:\n{worst}");
+                    append_step_summary(&format!(
+                        "#### `{bench}` --explain: costliest op of the traced rerun\n\n\
+                         ```text\n{worst}```\n\n"
+                    ));
+                }
+            }
         }
         std::process::exit(1);
     }

@@ -1,0 +1,238 @@
+//! Span trees prove the committed RPC baselines: re-running the pinned
+//! `all`-configuration loops of `micro_open`, `micro_stat`, and
+//! `micro_resolve` with op tracing enabled, the per-op span-tree send
+//! sums must equal the committed `BENCH_*.json` RPCs/op values exactly —
+//! the trace is a causal *decomposition* of the gated numbers, not a
+//! separate estimate. Plus: replaying the committed shifting-hotspot
+//! trace twice yields byte-identical Chrome trace JSON.
+
+use fsapi::{Errno, MkdirOpts, Mode, OpenFlags, ProcFs};
+use hare_core::{HareConfig, HareInstance, SpanNode};
+use hare_workloads::trace::{replay, ReplayEvent, Trace};
+
+/// The committed baselines these tests decompose. All three were emitted
+/// at 8 cores (the CI smoke shape) — the loops below must boot the same.
+const OPEN_BASELINE: &str = include_str!("../../../BENCH_micro_open.json");
+const STAT_BASELINE: &str = include_str!("../../../BENCH_micro_stat.json");
+const RESOLVE_BASELINE: &str = include_str!("../../../BENCH_micro_resolve.json");
+const CORES: usize = 8;
+
+fn baseline(text: &str, config: &str, key: &str) -> f64 {
+    assert!(
+        text.contains("\"cores\": 8"),
+        "the committed baseline must match the {CORES}-core replication"
+    );
+    hare_bench::parse_bench_json(text)
+        .iter()
+        .find(|c| c.name == config)
+        .unwrap_or_else(|| panic!("baseline has no config {config:?}"))
+        .metric(key)
+        .unwrap_or_else(|| panic!("config {config:?} has no metric {key:?}"))
+}
+
+/// Boots the `all`-techniques traced machine the micro benches measure.
+fn traced_instance() -> std::sync::Arc<HareInstance> {
+    let mut cfg = HareConfig::timeshare(CORES);
+    cfg.trace_ops = true;
+    HareInstance::start(cfg)
+}
+
+/// RPCs (send pairs) summed over the given trees, per op.
+fn rpcs_per_op(trees: &[&SpanNode]) -> f64 {
+    let sends: u64 = trees.iter().map(|t| t.total_sends()).sum();
+    sends as f64 / 2.0 / trees.len() as f64
+}
+
+#[test]
+fn micro_open_span_sums_prove_the_committed_baseline() {
+    let inst = traced_instance();
+    let setup = inst.new_client(0).unwrap();
+    fsapi::mkdir_p(&setup, "/open/bench", MkdirOpts::default()).unwrap();
+    let nfiles = 16usize;
+    for i in 0..nfiles {
+        fsapi::write_file(&setup, &format!("/open/bench/f{i}"), b"x").unwrap();
+    }
+    setup.shutdown();
+    inst.machine().otrace.reset();
+
+    // One cold round of the open-existing loop (every round is the same
+    // fresh-client sequence, so one round's average IS the baseline).
+    let c = inst.new_client(0).unwrap();
+    for i in 0..nfiles {
+        let fd = c
+            .open(
+                &format!("/open/bench/f{i}"),
+                OpenFlags::RDONLY,
+                Mode::default(),
+            )
+            .unwrap();
+        c.close(fd).unwrap();
+    }
+    c.shutdown();
+
+    // The ENOENT probe loop: one warming miss, then probes the negative
+    // dircache answers locally.
+    let probes = 64usize;
+    let c = inst.new_client(0).unwrap();
+    assert_eq!(c.stat("/open/bench/missing").unwrap_err(), Errno::ENOENT);
+    for _ in 0..probes {
+        assert_eq!(c.stat("/open/bench/missing").unwrap_err(), Errno::ENOENT);
+    }
+    c.shutdown();
+    inst.shutdown();
+
+    let trees = inst.machine().otrace.op_trees();
+    let opens: Vec<&SpanNode> = trees.iter().filter(|t| t.label == "open").collect();
+    assert_eq!(opens.len(), nfiles);
+    assert_eq!(
+        rpcs_per_op(&opens),
+        baseline(OPEN_BASELINE, "all", "open_rpcs_per_op"),
+        "open span-tree sums must decompose the gated RPCs/op exactly"
+    );
+    let stats: Vec<&SpanNode> = trees.iter().filter(|t| t.label == "stat").collect();
+    assert_eq!(stats.len(), probes + 1);
+    assert_eq!(
+        rpcs_per_op(&stats[1..]),
+        baseline(OPEN_BASELINE, "all", "probe_rpcs_per_op"),
+        "probe span trees must show the negative cache answering locally"
+    );
+}
+
+#[test]
+fn micro_stat_span_sums_prove_the_committed_baseline() {
+    let inst = traced_instance();
+    let setup = inst.new_client(0).unwrap();
+    fsapi::mkdir_p(&setup, "/stat/bench", MkdirOpts::default()).unwrap();
+    setup
+        .mkdir_opts("/stat/bench/dist", Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+    let nfiles = 32usize;
+    for i in 0..nfiles {
+        fsapi::write_file(&setup, &format!("/stat/bench/f{i}"), b"x").unwrap();
+        fsapi::write_file(&setup, &format!("/stat/bench/dist/e{i}"), b"x").unwrap();
+    }
+    setup.shutdown();
+    inst.machine().otrace.reset();
+
+    // One cold round of the stat loop.
+    let c = inst.new_client(0).unwrap();
+    for i in 0..nfiles {
+        c.stat(&format!("/stat/bench/f{i}")).unwrap();
+    }
+    c.shutdown();
+
+    // One cold `ls -l` of the distributed directory.
+    let c = inst.new_client(0).unwrap();
+    assert_eq!(c.readdir_plus("/stat/bench/dist").unwrap().len(), nfiles);
+    c.shutdown();
+    inst.shutdown();
+
+    let trees = inst.machine().otrace.op_trees();
+    let stats: Vec<&SpanNode> = trees.iter().filter(|t| t.label == "stat").collect();
+    assert_eq!(stats.len(), nfiles);
+    assert_eq!(
+        rpcs_per_op(&stats),
+        baseline(STAT_BASELINE, "all", "stat_rpcs_per_op"),
+        "stat span-tree sums must decompose the gated RPCs/op exactly"
+    );
+    let lsl: Vec<&SpanNode> = trees.iter().filter(|t| t.label == "readdir_plus").collect();
+    assert_eq!(lsl.len(), 1);
+    assert_eq!(
+        rpcs_per_op(&lsl),
+        baseline(STAT_BASELINE, "all", "lsl_rpcs_per_op"),
+        "the ls -l span tree must decompose the gated exchanges exactly:\n{}",
+        lsl[0].render()
+    );
+}
+
+#[test]
+fn micro_resolve_span_sums_prove_the_committed_baseline() {
+    let inst = traced_instance();
+    let setup = inst.new_client(0).unwrap();
+    // build_chain from micro_resolve: distributed chains with a file at
+    // the bottom — /mid/d0/d1/f is 4 components, /deep/d0/../d5/f is 8.
+    let build = |root: &str, depth: usize| -> String {
+        let mut path = root.to_string();
+        setup
+            .mkdir_opts(&path, Mode::default(), MkdirOpts::DISTRIBUTED)
+            .unwrap();
+        for level in 0..depth {
+            path = format!("{path}/d{level}");
+            setup
+                .mkdir_opts(&path, Mode::default(), MkdirOpts::DISTRIBUTED)
+                .unwrap();
+        }
+        let file = format!("{path}/f");
+        fsapi::write_file(&setup, &file, b"x").unwrap();
+        file
+    };
+    let mid = build("/mid", 2);
+    let deep = build("/deep", 6);
+    setup.shutdown();
+    inst.machine().otrace.reset();
+
+    // One cold resolution each, fresh client per path like the bench.
+    for path in [&mid, &deep] {
+        let c = inst.new_client(0).unwrap();
+        c.stat(path).unwrap();
+        c.shutdown();
+    }
+    inst.shutdown();
+
+    let trees = inst.machine().otrace.op_trees();
+    let stats: Vec<&SpanNode> = trees.iter().filter(|t| t.label == "stat").collect();
+    assert_eq!(stats.len(), 2);
+    for (tree, key) in stats
+        .iter()
+        .zip(["resolve4_rpcs_per_op", "resolve8_rpcs_per_op"])
+    {
+        assert_eq!(
+            rpcs_per_op(&[tree]),
+            baseline(RESOLVE_BASELINE, "all", key),
+            "the chained-resolution tree must decompose {key} exactly:\n{}",
+            tree.render()
+        );
+    }
+}
+
+/// Replays the committed shifting-hotspot trace on a traced machine and
+/// returns the Chrome trace JSON of every op it ran.
+fn replay_chrome_json(trace: &Trace) -> String {
+    let mut cfg = HareConfig::split(8, 4);
+    cfg.trace_ops = true;
+    let app_cores = cfg.app_cores.clone();
+    let inst = HareInstance::start(cfg);
+
+    let setup = inst.new_client(app_cores[0]).unwrap();
+    for d in &trace.dirs {
+        setup
+            .mkdir_opts(d, Mode::default(), MkdirOpts::default())
+            .unwrap();
+    }
+    let clients: Vec<_> = (0..trace.nclients())
+        .map(|i| inst.new_client(app_cores[i % app_cores.len()]).unwrap())
+        .collect();
+    let outcome = replay(&clients, trace, 2_000_000, |ev: ReplayEvent<'_>| {
+        let _ = ev; // spans are the observable here, not the time series
+    });
+    assert!(outcome.ops > 0);
+    setup.shutdown();
+    for c in &clients {
+        c.shutdown();
+    }
+    inst.shutdown();
+    inst.machine().otrace.to_chrome_json()
+}
+
+#[test]
+fn committed_trace_replays_to_byte_identical_chrome_json() {
+    let text = include_str!("../../../traces/shifting_hotspot.trace");
+    let trace = Trace::parse(text).expect("committed trace parses");
+    let a = replay_chrome_json(&trace);
+    let b = replay_chrome_json(&trace);
+    assert!(a.contains("\"traceEvents\""));
+    assert_eq!(
+        a, b,
+        "the span dump must be a pure function of the replayed trace"
+    );
+}

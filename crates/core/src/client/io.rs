@@ -252,11 +252,15 @@ impl ClientLib {
                 }
                 if t > last {
                     // A fetch beyond the caller's range is readahead proper
-                    // — count it for the time-series observability layer.
+                    // — count it for the time-series observability layer
+                    // and tag its send in the op's span tree.
                     self.machine
                         .events
                         .readaheads
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.machine
+                        .otrace
+                        .tag_next(crate::otrace::Cause::Readahead);
                 }
                 let p = self.send_stripe_fetch(&em, &blocks, size, t)?;
                 ra.inflight.push_back((t, p));

@@ -294,9 +294,16 @@ impl ClientLib {
     /// Folds a `NotOwner` redirect into the routing table. Returns whether
     /// the redirect was news (an equal-or-older epoch is ignored — and a
     /// no-news redirect means re-sending would loop, since the route that
-    /// produced it is unchanged).
+    /// produced it is unchanged). Accepted news always precedes a retry at
+    /// the named owner, so the *next* send is pre-tagged as a redirect
+    /// retry in the op's span tree (routing decisions made later — e.g. a
+    /// replica pick — overwrite the tag with their own cause).
     pub(crate) fn learn_owner(&self, dir: InodeId, owner: ServerId, epoch: u64) -> bool {
-        self.routing.lock().learn(dir, owner, epoch)
+        let news = self.routing.lock().learn(dir, owner, epoch);
+        if news {
+            self.machine.otrace.tag_next(crate::otrace::Cause::Redirect);
+        }
+        news
     }
 
     /// Adopts a replica advertisement — `dir`'s read set as of placement
@@ -376,6 +383,13 @@ impl ClientLib {
         for _ in 0..self.retry_budget(self.owner_count(dist)) {
             let home = self.dir_home_of(dir);
             let server = self.read_server_of(dir);
+            if server != home {
+                // A replica-routed read, in the span tree's terms (takes
+                // precedence over a pending redirect-retry tag).
+                self.machine
+                    .otrace
+                    .tag_next(crate::otrace::Cause::ReplicaRead);
+            }
             match self.call(server, mk(self)) {
                 Ok(Reply::NotOwner {
                     dir: d,
@@ -533,70 +547,90 @@ macro_rules! expect_reply {
 }
 pub(crate) use expect_reply;
 
+impl ClientLib {
+    /// Runs one POSIX operation under a causal-tracing span
+    /// ([`crate::otrace`]): the root of the op's span tree, or a nested
+    /// child when an operation is invoked from inside another. A no-op
+    /// closure sandwich when tracing is off.
+    fn traced<T>(&self, label: &'static str, f: impl FnOnce() -> FsResult<T>) -> FsResult<T> {
+        if !self.machine.otrace.enabled() {
+            return f();
+        }
+        self.machine
+            .otrace
+            .begin_op(label, self.params.core, self.vnow());
+        let out = f();
+        self.machine.otrace.end_op(self.vnow());
+        out
+    }
+}
+
 impl fsapi::ProcFs for ClientLib {
     fn open(&self, path: &str, flags: fsapi::OpenFlags, mode: fsapi::Mode) -> FsResult<fsapi::Fd> {
-        self.open_impl(path, flags, mode).map(fsapi::Fd)
+        self.traced("open", || self.open_impl(path, flags, mode).map(fsapi::Fd))
     }
 
     fn close(&self, fd: fsapi::Fd) -> FsResult<()> {
         self.syscall();
-        self.close_impl(fd.0)
+        self.traced("close", || self.close_impl(fd.0))
     }
 
     fn read(&self, fd: fsapi::Fd, buf: &mut [u8]) -> FsResult<usize> {
-        self.read_impl(fd.0, buf)
+        self.traced("read", || self.read_impl(fd.0, buf))
     }
 
     fn write(&self, fd: fsapi::Fd, buf: &[u8]) -> FsResult<usize> {
-        self.write_impl(fd.0, buf)
+        self.traced("write", || self.write_impl(fd.0, buf))
     }
 
     fn lseek(&self, fd: fsapi::Fd, offset: i64, whence: fsapi::Whence) -> FsResult<u64> {
-        self.lseek_impl(fd.0, offset, whence)
+        self.traced("lseek", || self.lseek_impl(fd.0, offset, whence))
     }
 
     fn fsync(&self, fd: fsapi::Fd) -> FsResult<()> {
-        self.fsync_impl(fd.0)
+        self.traced("fsync", || self.fsync_impl(fd.0))
     }
 
     fn ftruncate(&self, fd: fsapi::Fd, len: u64) -> FsResult<()> {
-        self.ftruncate_impl(fd.0, len)
+        self.traced("ftruncate", || self.ftruncate_impl(fd.0, len))
     }
 
     fn dup(&self, fd: fsapi::Fd) -> FsResult<fsapi::Fd> {
-        self.dup_impl(fd.0).map(fsapi::Fd)
+        self.traced("dup", || self.dup_impl(fd.0).map(fsapi::Fd))
     }
 
     fn pipe(&self) -> FsResult<(fsapi::Fd, fsapi::Fd)> {
-        self.pipe_impl().map(|(r, w)| (fsapi::Fd(r), fsapi::Fd(w)))
+        self.traced("pipe", || {
+            self.pipe_impl().map(|(r, w)| (fsapi::Fd(r), fsapi::Fd(w)))
+        })
     }
 
     fn unlink(&self, path: &str) -> FsResult<()> {
-        self.unlink_impl(path)
+        self.traced("unlink", || self.unlink_impl(path))
     }
 
     fn mkdir_opts(&self, path: &str, mode: fsapi::Mode, opts: fsapi::MkdirOpts) -> FsResult<()> {
-        self.mkdir_impl(path, mode, opts)
+        self.traced("mkdir", || self.mkdir_impl(path, mode, opts))
     }
 
     fn rmdir(&self, path: &str) -> FsResult<()> {
-        self.rmdir_impl(path)
+        self.traced("rmdir", || self.rmdir_impl(path))
     }
 
     fn rename(&self, old: &str, new: &str) -> FsResult<()> {
-        self.rename_impl(old, new)
+        self.traced("rename", || self.rename_impl(old, new))
     }
 
     fn readdir(&self, path: &str) -> FsResult<Vec<fsapi::DirEntry>> {
-        self.readdir_impl(path)
+        self.traced("readdir", || self.readdir_impl(path))
     }
 
     fn stat(&self, path: &str) -> FsResult<fsapi::Stat> {
-        self.stat_impl(path)
+        self.traced("stat", || self.stat_impl(path))
     }
 
     fn fstat(&self, fd: fsapi::Fd) -> FsResult<fsapi::Stat> {
-        self.fstat_impl(fd.0)
+        self.traced("fstat", || self.fstat_impl(fd.0))
     }
 }
 

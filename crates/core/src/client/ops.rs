@@ -729,7 +729,15 @@ impl ClientLib {
                 // First page read-routed: a replica serves the listing
                 // too (the name cursor is copy-independent, so later
                 // pages may land anywhere in the read set).
-                _ => (Vec::new(), vec![(self.read_server_of(dir.ino), None)]),
+                _ => {
+                    let s = self.read_server_of(dir.ino);
+                    if s != home {
+                        self.machine
+                            .otrace
+                            .tag_next(crate::otrace::Cause::ReplicaRead);
+                    }
+                    (Vec::new(), vec![(s, None)])
+                }
             }
         };
         let listed = self.run_op(
@@ -860,23 +868,25 @@ impl ClientLib {
     /// fan-out and the stat (a concurrent unlink), exactly like `ls -l`
     /// dropping a file that disappears mid-listing.
     pub fn readdir_plus(&self, path: &str) -> FsResult<Vec<(DirEntry, Stat)>> {
-        let entries = self.readdir_inner(path, true)?;
-        let reqs: Vec<(ServerId, Request)> = entries
-            .iter()
-            .filter(|(_, s)| s.is_none())
-            .map(|(e, _)| (e.server, Request::StatInode { num: e.ino }))
-            .collect();
-        let mut replies = self.call_grouped(reqs, false).into_iter();
-        Ok(entries
-            .into_iter()
-            .filter_map(|(e, pre)| match pre {
-                Some(s) => Some((e, s)),
-                None => match replies.next() {
-                    Some(Ok(Reply::Stat(s))) => Some((e, s)),
-                    _ => None,
-                },
-            })
-            .collect())
+        self.traced("readdir_plus", || {
+            let entries = self.readdir_inner(path, true)?;
+            let reqs: Vec<(ServerId, Request)> = entries
+                .iter()
+                .filter(|(_, s)| s.is_none())
+                .map(|(e, _)| (e.server, Request::StatInode { num: e.ino }))
+                .collect();
+            let mut replies = self.call_grouped(reqs, false).into_iter();
+            Ok(entries
+                .into_iter()
+                .filter_map(|(e, pre)| match pre {
+                    Some(s) => Some((e, s)),
+                    None => match replies.next() {
+                        Some(Ok(Reply::Stat(s))) => Some((e, s)),
+                        _ => None,
+                    },
+                })
+                .collect())
+        })
     }
 }
 

@@ -31,6 +31,7 @@
 use super::dircache::{Cached, CachedDentry};
 use super::engine::{MultiStepOp, Next, Step};
 use super::{expect_reply, ClientLib, ClientState};
+use crate::otrace::Cause;
 use crate::proto::{Reply, Request, TerminalOp, TerminalReply, WireReply};
 use crate::types::{InodeId, ServerId};
 use fsapi::{Errno, FileType, FsResult};
@@ -329,9 +330,11 @@ impl<'p> ResolveOp<'p> {
             if let Some(server) = self.sent_replica.take() {
                 lib.routing.lock().forget_replica(*dir, server);
                 let _ = lib.learn_owner(*dir, *owner, *epoch);
+                lib.machine.otrace.tag_next(Cause::Redirect);
                 return Ok(());
             }
             return if lib.learn_owner(*dir, *owner, *epoch) {
+                lib.machine.otrace.tag_next(Cause::Redirect);
                 Ok(())
             } else {
                 Err(Errno::EIO)
@@ -455,6 +458,7 @@ impl<'p> ResolveOp<'p> {
                     // aborts.
                     Some(Errno::EAGAIN) => {
                         self.single_once = true;
+                        lib.machine.otrace.tag_next(Cause::Retry);
                         Ok(())
                     }
                     Some(e) => Err(e),
@@ -563,6 +567,9 @@ impl<'p> ResolveOp<'p> {
         } else {
             let s = lib.read_server_of(self.cur.ino);
             self.sent_replica = (s != lib.dir_home_of(self.cur.ino)).then_some(s);
+            if self.sent_replica.is_some() {
+                lib.machine.otrace.tag_next(Cause::ReplicaRead);
+            }
             s
         };
         if self.at_terminal() {

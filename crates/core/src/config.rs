@@ -263,6 +263,12 @@ pub struct HareConfig {
     /// server arena. Small directories (every pre-existing benchmark and
     /// test) fit one page, so exchange counts are unchanged.
     pub list_page_max: usize,
+    /// Per-operation causal tracing ([`crate::otrace`]). Off by default:
+    /// the disabled tracer is a no-op at every instrumentation point and
+    /// no span context travels, so the system is byte-for-byte the
+    /// untraced one (sends-parity pinned). On, every client operation
+    /// records a span tree attributing each message send to its cause.
+    pub trace_ops: bool,
 }
 
 impl HareConfig {
@@ -294,6 +300,7 @@ impl HareConfig {
             readahead_window: 4,
             dir_shard_width: 0,
             list_page_max: 4096,
+            trace_ops: false,
         }
     }
 

@@ -155,6 +155,7 @@ impl HareInstance {
                 ServerMsg {
                     req: Request::Shutdown,
                     reply: tx,
+                    span: None,
                 },
                 u64::MAX,
                 0,

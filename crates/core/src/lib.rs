@@ -35,6 +35,7 @@ pub mod config;
 pub mod instance;
 pub mod machine;
 pub mod metrics;
+pub mod otrace;
 pub mod placement;
 pub mod proto;
 pub mod rpc;
@@ -47,6 +48,7 @@ pub use config::{HareConfig, Placement, Techniques};
 pub use instance::HareInstance;
 pub use machine::Machine;
 pub use metrics::{TimeSeries, WindowMetrics};
+pub use otrace::{Cause, SpanCtx, SpanNode, Tracer};
 pub use placement::{
     dir_shard_servers, LoadReport, MigrationPlan, RebalanceAction, RebalanceCadence,
     RebalancePolicy, Rebalancer, ReplicationPlan, RoutingTable,

@@ -118,6 +118,9 @@ pub struct Machine {
     placement_ticks: AtomicU64,
     /// Event counters for the time-series observability layer.
     pub events: EventCounters,
+    /// Per-operation causal span recorder ([`crate::otrace`]); a no-op
+    /// unless the config enabled `trace_ops`.
+    pub otrace: crate::otrace::Tracer,
 }
 
 /// Exec placements between rolls of the load-aware placement baseline.
@@ -125,8 +128,9 @@ const PLACEMENT_WINDOW: u64 = 16;
 
 /// Monotone counters for the rare-but-interesting events the time-series
 /// observability layer (`crate::metrics`) windows over virtual time:
-/// directory migrations committing, cache-invalidation notices sent, and
-/// readahead stripe fetches issued. Like [`Machine::server_ops`] these are
+/// directory migrations committing, cache-invalidation notices sent,
+/// readahead stripe fetches issued, `NotOwner` redirect bounces answered,
+/// and parked operations replayed. Like [`Machine::server_ops`] these are
 /// machine-level mirrors readable without an RPC — the protocol itself
 /// never consults them.
 #[derive(Debug, Default)]
@@ -137,15 +141,24 @@ pub struct EventCounters {
     pub invalidations: AtomicU64,
     /// Stripe fetches issued ahead of the requested range.
     pub readaheads: AtomicU64,
+    /// `Reply::NotOwner` redirects answered to stale-routed clients (each
+    /// costs the client one extra exchange before it folds the redirect).
+    pub not_owner_bounces: AtomicU64,
+    /// Operations replayed after parking behind an rmdir deletion mark or
+    /// a migration copy window.
+    pub park_replays: AtomicU64,
 }
 
 impl EventCounters {
-    /// Snapshot as `(migrations, invalidations, readaheads)`.
-    pub fn snapshot(&self) -> (u64, u64, u64) {
+    /// Snapshot as `(migrations, invalidations, readaheads,
+    /// not_owner_bounces, park_replays)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
         (
             self.migrations.load(Ordering::Relaxed),
             self.invalidations.load(Ordering::Relaxed),
             self.readaheads.load(Ordering::Relaxed),
+            self.not_owner_bounces.load(Ordering::Relaxed),
+            self.park_replays.load(Ordering::Relaxed),
         )
     }
 }
@@ -170,6 +183,7 @@ impl Machine {
             placement_base: cfg.server_cores.iter().map(|_| AtomicU64::new(0)).collect(),
             placement_ticks: AtomicU64::new(0),
             events: EventCounters::default(),
+            otrace: crate::otrace::Tracer::new(cfg.trace_ops),
         })
     }
 

@@ -57,6 +57,14 @@ pub struct WindowMetrics {
     pub invalidations: u64,
     /// Readahead stripe fetches issued.
     pub readaheads: u64,
+    /// `NotOwner` bounces served (client routed a request to the wrong
+    /// server and was redirected).
+    pub not_owner_bounces: u64,
+    /// Requests replayed after parking behind a migration or rmdir lock.
+    pub park_replays: u64,
+    /// The window's costliest traced operations, `(label, sends, cycles)`,
+    /// most expensive first. Empty unless op tracing is enabled.
+    pub top_ops: Vec<(String, u64, u64)>,
 }
 
 impl WindowMetrics {
@@ -90,6 +98,8 @@ struct Snapshot {
     migrations: u64,
     invalidations: u64,
     readaheads: u64,
+    not_owner_bounces: u64,
+    park_replays: u64,
 }
 
 impl Snapshot {
@@ -103,6 +113,8 @@ impl Snapshot {
             migrations: machine.events.migrations.load(Ordering::Relaxed),
             invalidations: machine.events.invalidations.load(Ordering::Relaxed),
             readaheads: machine.events.readaheads.load(Ordering::Relaxed),
+            not_owner_bounces: machine.events.not_owner_bounces.load(Ordering::Relaxed),
+            park_replays: machine.events.park_replays.load(Ordering::Relaxed),
         }
     }
 }
@@ -220,6 +232,9 @@ impl TimeSeries {
             migrations: cur.migrations - self.last.migrations,
             invalidations: cur.invalidations - self.last.invalidations,
             readaheads: cur.readaheads - self.last.readaheads,
+            not_owner_bounces: cur.not_owner_bounces - self.last.not_owner_bounces,
+            park_replays: cur.park_replays - self.last.park_replays,
+            top_ops: machine.otrace.window_top_ops(start, end, 3),
         });
         self.last = cur;
     }
@@ -256,10 +271,25 @@ impl TimeSeries {
                 .map(|v| v.to_string())
                 .collect::<Vec<_>>()
                 .join(", ");
+            // Only traced runs carry top_ops; untraced JSON is unchanged.
+            let top = if w.top_ops.is_empty() {
+                String::new()
+            } else {
+                let entries = w
+                    .top_ops
+                    .iter()
+                    .map(|(label, sends, cycles)| {
+                        format!("{{\"op\": \"{label}\", \"sends\": {sends}, \"cycles\": {cycles}}}")
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(", \"top_ops\": [{entries}]")
+            };
             s.push_str(&format!(
                 "    {{\"start\": {}, \"end\": {}, \"ops\": {}, \"failures\": {}, \
                  \"sends\": {}, \"server_ops\": [{}], \"migrations\": {}, \
-                 \"invalidations\": {}, \"readaheads\": {}}}{}\n",
+                 \"invalidations\": {}, \"readaheads\": {}, \
+                 \"not_owner_bounces\": {}, \"park_replays\": {}{}}}{}\n",
                 w.start,
                 w.end,
                 w.ops,
@@ -269,6 +299,9 @@ impl TimeSeries {
                 w.migrations,
                 w.invalidations,
                 w.readaheads,
+                w.not_owner_bounces,
+                w.park_replays,
+                top,
                 if i + 1 == self.windows.len() { "" } else { "," }
             ));
         }
@@ -298,6 +331,8 @@ mod tests {
         ts.close_window(&m, 100);
         m.record_server_op(2);
         m.events.migrations.fetch_add(1, Ordering::Relaxed);
+        m.events.not_owner_bounces.fetch_add(2, Ordering::Relaxed);
+        m.events.park_replays.fetch_add(1, Ordering::Relaxed);
         ts.op(150, false);
         ts.close_window(&m, 200);
         ts.finish(&m, 200);
@@ -306,8 +341,10 @@ mod tests {
         assert_eq!(w[0].server_ops, vec![0, 1, 0, 0]);
         assert_eq!(w[0].sends, 2);
         assert_eq!((w[0].ops, w[0].failures), (1, 0));
+        assert_eq!((w[0].not_owner_bounces, w[0].park_replays), (0, 0));
         assert_eq!(w[1].server_ops, vec![0, 0, 1, 0]);
         assert_eq!(w[1].migrations, 1);
+        assert_eq!((w[1].not_owner_bounces, w[1].park_replays), (2, 1));
         assert_eq!((w[1].ops, w[1].failures), (1, 1));
         assert_eq!(ts.total_failures(), 1);
         assert_eq!(ts.last_migration_window(), Some(1));
@@ -366,6 +403,11 @@ mod tests {
         let j = ts.to_json("t");
         assert!(j.contains("\"window_cycles\": 100"));
         assert!(j.contains("\"start\": 100, \"end\": 150"));
+        assert!(j.contains("\"not_owner_bounces\": 0, \"park_replays\": 0"));
+        assert!(
+            !j.contains("top_ops"),
+            "untraced runs must not emit top_ops"
+        );
         assert!(!j.contains('.'), "floats must never enter the JSON: {j}");
         assert_eq!(j, ts.to_json("t"));
     }
@@ -382,6 +424,9 @@ mod tests {
             migrations: 0,
             invalidations: 0,
             readaheads: 0,
+            not_owner_bounces: 0,
+            park_replays: 0,
+            top_ops: Vec::new(),
         };
         assert_eq!(w.rpcs_per_op(), 2.0);
         assert_eq!(w.imbalance(), 3.0); // 6 / (8/4)

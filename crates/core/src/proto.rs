@@ -981,6 +981,59 @@ pub enum Reply {
     },
 }
 
+impl Request {
+    /// The variant's wire name — span labels and diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Register { .. } => "Register",
+            Request::Unregister { .. } => "Unregister",
+            Request::Lookup { .. } => "Lookup",
+            Request::AddMap { .. } => "AddMap",
+            Request::RmMap { .. } => "RmMap",
+            Request::LookupOpen { .. } => "LookupOpen",
+            Request::LookupStat { .. } => "LookupStat",
+            Request::ListShard { .. } => "ListShard",
+            Request::LookupPath { .. } => "LookupPath",
+            Request::Batch { .. } => "Batch",
+            Request::MigrateBegin { .. } => "MigrateBegin",
+            Request::MigrateInstall { .. } => "MigrateInstall",
+            Request::MigrateCommit { .. } => "MigrateCommit",
+            Request::MigrateAbort { .. } => "MigrateAbort",
+            Request::LoadReport { .. } => "LoadReport",
+            Request::ReplicaExport { .. } => "ReplicaExport",
+            Request::ReplicaInstall { .. } => "ReplicaInstall",
+            Request::ReplicaDrop { .. } => "ReplicaDrop",
+            Request::ReplicaInval { .. } => "ReplicaInval",
+            Request::RmdirSerialize { .. } => "RmdirSerialize",
+            Request::RmdirRelease { .. } => "RmdirRelease",
+            Request::RmdirMark { .. } => "RmdirMark",
+            Request::RmdirCommit { .. } => "RmdirCommit",
+            Request::RmdirAbort { .. } => "RmdirAbort",
+            Request::RmdirCentral { .. } => "RmdirCentral",
+            Request::Create { .. } => "Create",
+            Request::OpenInode { .. } => "OpenInode",
+            Request::CloseFd { .. } => "CloseFd",
+            Request::FdIncref { .. } => "FdIncref",
+            Request::SharedIo { .. } => "SharedIo",
+            Request::SeekShared { .. } => "SeekShared",
+            Request::AllocBlocks { .. } => "AllocBlocks",
+            Request::SetSize { .. } => "SetSize",
+            Request::Truncate { .. } => "Truncate",
+            Request::ReadData { .. } => "ReadData",
+            Request::WriteData { .. } => "WriteData",
+            Request::ReadStripe { .. } => "ReadStripe",
+            Request::WriteStripe { .. } => "WriteStripe",
+            Request::LinkIncref { .. } => "LinkIncref",
+            Request::LinkDecref { .. } => "LinkDecref",
+            Request::StatInode { .. } => "StatInode",
+            Request::PipeCreate => "PipeCreate",
+            Request::PipeRead { .. } => "PipeRead",
+            Request::PipeWrite { .. } => "PipeWrite",
+            Request::Shutdown => "Shutdown",
+        }
+    }
+}
+
 /// What travels back to the client.
 pub type WireReply = Result<Reply, Errno>;
 
@@ -993,6 +1046,11 @@ pub struct ServerMsg {
     pub req: Request,
     /// Where the (possibly deferred) reply goes.
     pub reply: msg::Sender<WireReply>,
+    /// Causal-tracing span context ([`crate::otrace`]): present when the
+    /// sender had an operation span open and tracing is enabled, `None`
+    /// otherwise (and always when tracing is off — the envelope then is
+    /// byte-for-byte the untraced one).
+    pub span: Option<crate::otrace::SpanCtx>,
 }
 
 impl std::fmt::Debug for ServerMsg {

@@ -1,6 +1,7 @@
 //! Client-side RPC plumbing with virtual-time accounting.
 
 use crate::machine::{Entity, Machine};
+use crate::otrace::Cause;
 use crate::proto::{Request, ServerMsg, WireReply};
 use crate::types::ServerId;
 use fsapi::Errno;
@@ -61,6 +62,25 @@ pub fn oneway_reply_slot(
     msg::channel::<WireReply>(Arc::clone(&machine.msg_stats))
 }
 
+/// The default [`Cause`] a request send carries when no decision point
+/// tagged it ([`crate::otrace::Tracer::tag_next`]) more specifically:
+/// name-resolution traffic, coalesced batches, and the post-resolution
+/// terminal follow-ups are recognizable from the request alone.
+fn cause_of(req: &Request) -> Cause {
+    match req {
+        Request::Lookup { .. }
+        | Request::LookupOpen { .. }
+        | Request::LookupStat { .. }
+        | Request::LookupPath { .. }
+        | Request::ListShard { .. } => Cause::Resolve,
+        Request::Batch { .. } => Cause::BatchRide,
+        Request::OpenInode { .. } | Request::StatInode { .. } | Request::Create { .. } => {
+            Cause::Terminal
+        }
+        _ => Cause::Rpc,
+    }
+}
+
 /// [`call`] through a reusable [`ReplySlot`]: identical semantics and
 /// virtual-time accounting, minus the per-call channel allocation.
 pub fn call_reusing(
@@ -70,6 +90,7 @@ pub fn call_reusing(
     req: Request,
     slot: &ReplySlot,
 ) -> WireReply {
+    let span = machine.otrace.send_ctx(cause_of(&req));
     let t_sent = entity.work(machine, machine.cost.msg_send);
     let arrival = t_sent + machine.latency(entity.core, server.core);
     server
@@ -78,6 +99,7 @@ pub fn call_reusing(
             ServerMsg {
                 req,
                 reply: slot.tx.clone(),
+                span,
             },
             arrival,
             entity.core,
@@ -97,12 +119,21 @@ pub fn send_call(
     server: &ServerHandle,
     req: Request,
 ) -> Result<PendingCall, Errno> {
+    let span = machine.otrace.send_ctx(cause_of(&req));
     let (rtx, rrx) = msg::channel::<WireReply>(Arc::clone(&machine.msg_stats));
     let t_sent = entity.work(machine, machine.cost.msg_send);
     let arrival = t_sent + machine.latency(entity.core, server.core);
     server
         .tx
-        .send(ServerMsg { req, reply: rtx }, arrival, entity.core)
+        .send(
+            ServerMsg {
+                req,
+                reply: rtx,
+                span,
+            },
+            arrival,
+            entity.core,
+        )
         .map_err(|_| Errno::EIO)?;
     Ok(PendingCall { rrx })
 }
@@ -262,6 +293,7 @@ mod tests {
                 ServerMsg {
                     req: Request::Shutdown,
                     reply: msg::channel(Arc::clone(&machine.msg_stats)).0,
+                    span: None,
                 },
                 0,
                 0,

@@ -19,6 +19,7 @@ pub mod pipes;
 pub mod rmdir;
 
 use crate::machine::Machine;
+use crate::otrace::Cause;
 use crate::placement::RoutingTable;
 use crate::proto::{
     base_service_cost, DemoteInfo, Invalidation, MarkResult, MigEntry, OpenResult, PathEntry,
@@ -310,6 +311,11 @@ impl Server {
             // message.
             let cost = self.machine.cost.msg_recv + 100;
             self.serve(env.deliver_at, cost);
+            // Mark the wait in the op's span tree; the eventual replay
+            // attaches as a later sibling ([`Tracer::replay_ctx`]).
+            self.machine
+                .otrace
+                .park_leaf(env.payload.span, self.core, env.deliver_at);
             if self.rmdir.is_marked(dir) {
                 self.rmdir.park(dir, env);
             } else {
@@ -323,11 +329,18 @@ impl Server {
 
         let deliver_at = env.deliver_at;
         let src_core = env.src_core;
-        let ServerMsg { req, reply } = env.payload;
+        let ServerMsg { req, reply, span } = env.payload;
         if matches!(req, Request::Shutdown) {
             self.stop = true;
             return;
         }
+        // The server side of the op's span tree: a child span from the
+        // request's context, charged with every send this handling issues
+        // (reply, chain forward, invalidations, replica callbacks).
+        let traced = self
+            .machine
+            .otrace
+            .begin_from(span, req.name(), self.core, deliver_at);
         let base = base_service_cost(&req);
         let mut ctx = Ctx::default();
         let out = self.dispatch(req, src_core, &reply, &mut ctx);
@@ -344,25 +357,40 @@ impl Server {
         let done = self.serve(deliver_at, cost);
 
         if let Some(r) = out {
-            let _ = reply.send(
-                r,
-                done + self.machine.latency(self.core, src_core),
-                self.core,
-            );
+            if reply
+                .send(
+                    r,
+                    done + self.machine.latency(self.core, src_core),
+                    self.core,
+                )
+                .is_ok()
+            {
+                self.machine.otrace.charge_send();
+            }
         } else if let Some((peer, fwd)) = ctx.forward.take() {
             // Chained LookupPath hand-off: the remainder travels to the
             // next owner with the client's reply channel as continuation.
             // `src_core` is preserved so the final server's reply latency
             // targets the originating client, not this hop.
+            let fspan = self.machine.otrace.send_ctx(Cause::ChainHop);
             let h = &self.peers[peer as usize];
             let _ = h.tx.send(
-                ServerMsg { req: fwd, reply },
+                ServerMsg {
+                    req: fwd,
+                    reply,
+                    span: fspan,
+                },
                 done + self.machine.latency(self.core, h.core),
                 src_core,
             );
         }
         for (tx, wsrc, wr) in ctx.wake.drain(..) {
-            let _ = tx.send(wr, done + self.machine.latency(self.core, wsrc), self.core);
+            if tx
+                .send(wr, done + self.machine.latency(self.core, wsrc), self.core)
+                .is_ok()
+            {
+                self.machine.otrace.charge_send();
+            }
         }
         for (client, inv) in ctx.invals.drain(..) {
             if let Some((tx, ccore)) = self.clients.get(&client) {
@@ -373,11 +401,18 @@ impl Server {
                     .events
                     .invalidations
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let _ = tx.send(
-                    inv,
-                    done + self.machine.latency(self.core, *ccore),
-                    self.core,
-                );
+                if tx
+                    .send(
+                        inv,
+                        done + self.machine.latency(self.core, *ccore),
+                        self.core,
+                    )
+                    .is_ok()
+                {
+                    self.machine
+                        .otrace
+                        .leaf_send(Cause::Inval, "inval", self.core, done);
+                }
             }
         }
         for (peer, preq) in ctx.peer_sends.drain(..) {
@@ -385,22 +420,37 @@ impl Server {
             // send (atomic delivery, no ack awaited), but no reply channel
             // travels with it — the throwaway receiver is dropped and the
             // peer's inline reply evaporates harmlessly.
+            let pspan = self.machine.otrace.send_ctx(Cause::Inval);
             let (tx, _rx) = crate::rpc::oneway_reply_slot(&self.machine);
             let h = &self.peers[peer as usize];
             let _ = h.tx.send(
                 ServerMsg {
                     req: preq,
                     reply: tx,
+                    span: pspan,
                 },
                 done + self.machine.latency(self.core, h.core),
                 self.core,
             );
         }
+        if traced {
+            self.machine.otrace.end_span(done);
+        }
         // Replay operations that were delayed behind a resolved mark.
         for parked in ctx.replays {
+            self.machine
+                .events
+                .park_replays
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let arrival = parked.deliver_at.max(done);
+            let mut payload = parked.payload;
+            // Re-attach the parked op's span at a fresh child position so
+            // the tree shows the park and the replay as siblings.
+            if let Some(rspan) = self.machine.otrace.replay_ctx(payload.span) {
+                payload.span = Some(rspan);
+            }
             self.handle(msg::Envelope {
-                payload: parked.payload,
+                payload,
                 deliver_at: arrival,
                 src_core: parked.src_core,
             });
@@ -632,8 +682,20 @@ impl Server {
                 continue;
             }
             let entry = if Self::batchable(&req) {
-                self.dispatch(req, src_core, reply, ctx)
-                    .expect("batchable requests reply inline")
+                // Each riding entry gets its own local span under the
+                // batch envelope's, so explain dumps show what the batch
+                // actually carried.
+                let traced =
+                    self.machine
+                        .otrace
+                        .begin_local(Cause::BatchRide, req.name(), self.core, 0);
+                let entry = self
+                    .dispatch(req, src_core, reply, ctx)
+                    .expect("batchable requests reply inline");
+                if traced {
+                    self.machine.otrace.end_span(0);
+                }
+                entry
             } else {
                 ctx.refund += base_service_cost(&req);
                 Err(Errno::EINVAL)
@@ -719,6 +781,10 @@ impl Server {
     /// the named owner.
     fn not_owner(&self, dir: InodeId) -> Option<WireReply> {
         self.routing.foreign_owner(dir, self.id).map(|r| {
+            self.machine
+                .events
+                .not_owner_bounces
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             Ok(Reply::NotOwner {
                 dir,
                 epoch: r.epoch,
@@ -1429,7 +1495,17 @@ impl Server {
             }
         }
         let term = if stopped.is_none() {
-            self.exec_terminal(terminal, acc.last().copied(), ctx)
+            // The fused terminal half runs in place on the last chain
+            // server — a local span, no message.
+            let traced =
+                self.machine
+                    .otrace
+                    .begin_local(Cause::Terminal, "fused_terminal", self.core, 0);
+            let term = self.exec_terminal(terminal, acc.last().copied(), ctx);
+            if traced {
+                self.machine.otrace.end_span(0);
+            }
+            term
         } else {
             None
         };

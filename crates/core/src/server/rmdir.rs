@@ -144,6 +144,7 @@ mod tests {
                         max: 0,
                     },
                     reply: tx,
+                    span: None,
                 },
                 deliver_at: 5,
                 src_core: 1,
@@ -170,6 +171,7 @@ mod tests {
                         max: 0,
                     },
                     reply: tx,
+                    span: None,
                 },
                 deliver_at: 0,
                 src_core: 0,

@@ -47,7 +47,11 @@ impl Harness {
     fn req(&mut self, req: Request) -> Option<WireReply> {
         let (tx, rx) = msg::channel(Arc::clone(&self.machine.msg_stats));
         self.server.handle(msg::Envelope {
-            payload: ServerMsg { req, reply: tx },
+            payload: ServerMsg {
+                req,
+                reply: tx,
+                span: None,
+            },
             deliver_at: 0,
             src_core: 1,
         });
@@ -304,6 +308,7 @@ fn rmdir_mark_delays_creates_until_abort() {
                 replace: false,
             },
             reply: tx,
+            span: None,
         },
         deliver_at: 0,
         src_core: 1,
@@ -373,6 +378,7 @@ fn rmdir_serialization_queues_second_locker() {
         payload: ServerMsg {
             req: Request::RmdirSerialize { dir },
             reply: tx,
+            span: None,
         },
         deliver_at: 0,
         src_core: 1,
@@ -466,6 +472,7 @@ fn pipe_blocking_read_woken_by_write() {
         payload: ServerMsg {
             req: Request::PipeRead { fd: rfd, max: 4 },
             reply: tx,
+            span: None,
         },
         deliver_at: 0,
         src_core: 1,
@@ -502,6 +509,7 @@ fn pipe_write_blocks_at_capacity_and_epipe() {
                 data: b"more".to_vec().into(),
             },
             reply: tx,
+            span: None,
         },
         deliver_at: 0,
         src_core: 1,

@@ -276,6 +276,7 @@ fn raw_lookup_path(
                     terminal: TerminalOp::None,
                 },
                 reply: tx,
+                span: None,
             },
             0,
             0,

@@ -200,7 +200,15 @@ fn raw_rmdir_msg(inst: &Arc<HareInstance>, req: Request) -> Reply {
     let (tx, rx) = msg::channel(Arc::clone(&inst.machine().msg_stats));
     inst.servers()[0]
         .tx
-        .send(ServerMsg { req, reply: tx }, 0, 0)
+        .send(
+            ServerMsg {
+                req,
+                reply: tx,
+                span: None,
+            },
+            0,
+            0,
+        )
         .unwrap();
     rx.recv().unwrap().payload.unwrap()
 }

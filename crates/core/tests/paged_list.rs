@@ -18,7 +18,15 @@ fn raw(inst: &Arc<HareInstance>, s: ServerId, req: Request) -> WireReply {
     let (tx, rx) = msg::channel(Arc::clone(&inst.machine().msg_stats));
     inst.servers()[s as usize]
         .tx
-        .send(ServerMsg { req, reply: tx }, 0, 0)
+        .send(
+            ServerMsg {
+                req,
+                reply: tx,
+                span: None,
+            },
+            0,
+            0,
+        )
         .unwrap();
     rx.recv().unwrap().payload
 }
@@ -201,6 +209,7 @@ fn rmdir_mark_between_pages_parks_then_finishes_cleanly() {
             ServerMsg {
                 req: list_req(dir, Some(&next), 0),
                 reply: tx,
+                span: None,
             },
             0,
             0,

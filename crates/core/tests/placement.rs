@@ -516,7 +516,15 @@ fn migration_into_an_rmdir_marked_destination_aborts_cleanly() {
         let (tx, rx) = msg::channel(Arc::clone(&inst.machine().msg_stats));
         inst.servers()[server]
             .tx
-            .send(ServerMsg { req, reply: tx }, 0, 0)
+            .send(
+                ServerMsg {
+                    req,
+                    reply: tx,
+                    span: None,
+                },
+                0,
+                0,
+            )
             .unwrap();
         rx.recv().unwrap().payload
     };

@@ -55,7 +55,15 @@ fn raw(inst: &Arc<HareInstance>, server: u16, req: Request) -> Result<Reply, Err
     let (tx, rx) = msg::channel(Arc::clone(&inst.machine().msg_stats));
     inst.servers()[server as usize]
         .tx
-        .send(ServerMsg { req, reply: tx }, 0, 0)
+        .send(
+            ServerMsg {
+                req,
+                reply: tx,
+                span: None,
+            },
+            0,
+            0,
+        )
         .unwrap();
     rx.recv().unwrap().payload
 }

@@ -320,10 +320,13 @@ fn migration_into_rmdir_marked_destination_still_eagains_with_striping() {
     // re-run with striped extents in the directory: the install under a
     // mark is still rejected with EAGAIN, the abort leaves every striped
     // file readable, and the retry after the rmdir resolves goes through.
+    // Op tracing is on: the EAGAIN unwind must close every span it opened
+    // (the leak assertion at the bottom).
     use hare_core::proto::{Reply, Request, ServerMsg};
     let nservers = 2;
     let mut cfg = striped_cfg(nservers); // width clamps to 2 servers
     cfg.stripe_unit = 8192;
+    cfg.trace_ops = true;
     let inst = HareInstance::start(cfg);
     let setup = inst.new_client(0).unwrap();
     setup
@@ -347,7 +350,15 @@ fn migration_into_rmdir_marked_destination_still_eagains_with_striping() {
         let (tx, rx) = msg::channel(Arc::clone(&inst.machine().msg_stats));
         inst.servers()[server]
             .tx
-            .send(ServerMsg { req, reply: tx }, 0, 0)
+            .send(
+                ServerMsg {
+                    req,
+                    reply: tx,
+                    span: None,
+                },
+                0,
+                0,
+            )
             .unwrap();
         rx.recv().unwrap().payload
     };
@@ -374,6 +385,12 @@ fn migration_into_rmdir_marked_destination_still_eagains_with_striping() {
     }
     drop(setup);
     inst.shutdown();
+    assert_eq!(
+        inst.machine().otrace.open_spans(),
+        0,
+        "the EAGAIN unwind must close every span it opened"
+    );
+    assert!(inst.machine().otrace.op_count() > 0, "the run was traced");
 }
 
 #[test]

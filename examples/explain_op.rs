@@ -1,0 +1,69 @@
+//! Causal op tracing in one sitting: boot a traced machine, run a cold
+//! deep-path `stat` and an `ls -l`, and print each operation's span tree
+//! — which server did what, on whose behalf, and where the messages went.
+//! The same dump is written as Chrome trace-event JSON, loadable in
+//! Perfetto or `chrome://tracing`. See `docs/tracing.md`.
+//!
+//! ```sh
+//! cargo run --example explain_op
+//! ```
+
+use fsapi::{MkdirOpts, Mode, ProcFs};
+use hare::{HareConfig, HareInstance};
+
+fn main() {
+    // A split machine: 4 file servers, applications on the other 4 cores.
+    // `trace_ops` is the only knob — everything else is the stock system
+    // (a traced run is byte-for-byte the untraced one, message-wise).
+    let mut cfg = HareConfig::split(8, 4);
+    cfg.trace_ops = true;
+    let app = cfg.app_cores.clone();
+    let inst = HareInstance::start(cfg);
+
+    // A deep distributed chain, so the cold stat has a story to tell:
+    // chained resolution hops between dentry servers, and the fused
+    // terminal executes the stat at the last hop.
+    let setup = inst.new_client(app[0]).unwrap();
+    let mut path = String::from("/project");
+    setup
+        .mkdir_opts(&path, Mode::default(), MkdirOpts::DISTRIBUTED)
+        .unwrap();
+    for part in ["src", "fs", "server"] {
+        path = format!("{path}/{part}");
+        setup
+            .mkdir_opts(&path, Mode::default(), MkdirOpts::DISTRIBUTED)
+            .unwrap();
+    }
+    for f in ["mod.rs", "rmdir.rs", "tests.rs"] {
+        fsapi::write_file(&setup, &format!("{path}/{f}"), b"fn main() {}").unwrap();
+    }
+    setup.shutdown();
+
+    // Only the ops below should appear in the dump, not the setup.
+    inst.machine().otrace.reset();
+
+    let c = inst.new_client(app[1]).unwrap();
+    let file = format!("{path}/mod.rs");
+    c.stat(&file).unwrap();
+    let listed = c.readdir_plus(&path).unwrap();
+    assert_eq!(listed.len(), 3);
+    c.shutdown();
+    inst.shutdown(); // joins the servers: every span is closed and charged
+
+    let tracer = &inst.machine().otrace;
+    println!("span tree of every traced op (sends = messages it caused):\n");
+    for tree in tracer.op_trees() {
+        print!("{}", tree.render());
+        println!();
+    }
+    if let Some(worst) = tracer.explain_worst() {
+        println!("costliest op:\n{worst}");
+    }
+
+    let out = std::env::temp_dir().join("hare_explain_op.json");
+    std::fs::write(&out, tracer.to_chrome_json()).unwrap();
+    println!(
+        "chrome trace written to {} (load it in Perfetto)",
+        out.display()
+    );
+}
